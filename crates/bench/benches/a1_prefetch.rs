@@ -1,0 +1,25 @@
+//! Criterion wall-clock timing for the A1 prefetch ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_core::runtime::PrefetchPolicy;
+use rdv_core::scenarios::{run_a1, A1Config};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_prefetch");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("none", PrefetchPolicy::None),
+        ("adjacency", PrefetchPolicy::Adjacency { window: 3 }),
+        ("reachability", PrefetchPolicy::Reachability),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            b.iter(|| {
+                run_a1(&A1Config { nodes: 48, decoys: 144, policy, scattered: true, ..Default::default() })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

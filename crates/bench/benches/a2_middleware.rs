@@ -1,0 +1,15 @@
+//! Criterion wall-clock timing for the A2 middleware sweep (the whole
+//! simulated scenario per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdv_bench::experiments::a2;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_middleware");
+    group.sample_size(10);
+    group.bench_function("full_sweep_quick", |b| b.iter(|| a2::run(true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion wall-clock timing for the Figure 1 strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_core::scenarios::{run_fig1, F1Config, F1Strategy};
+use rdv_wire::sparsemodel::SparseModelSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_rendezvous");
+    group.sample_size(10);
+    let model = SparseModelSpec { layers: 2, rows: 512, cols: 512, nnz_per_row: 16, vocab: 64, seed: 11 };
+    for strategy in F1Strategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| b.iter(|| run_fig1(&F1Config { strategy, model, seed: 3 })),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion wall-clock timing for the Figure 2 discovery sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_discovery::scenario::run_discovery;
+use rdv_discovery::{DiscoveryMode, ScenarioConfig, ScenarioKind, StalenessMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_discovery");
+    group.sample_size(10);
+    for pct_new in [0u8, 50, 90] {
+        for (mode, label) in
+            [(DiscoveryMode::Controller, "controller"), (DiscoveryMode::E2E, "e2e")]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(label, pct_new),
+                &pct_new,
+                |b, &pct_new| {
+                    b.iter(|| {
+                        run_discovery(&ScenarioConfig {
+                            kind: ScenarioKind::Fig2NewObjects { pct_new },
+                            mode,
+                            staleness: StalenessMode::InvalidateOnMove,
+                            accesses: 200,
+                            num_objects: 64,
+                            ..Default::default()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion wall-clock timing for the Figure 3 staleness sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_discovery::scenario::run_discovery;
+use rdv_discovery::{DiscoveryMode, ScenarioConfig, ScenarioKind, StalenessMode};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_staleness");
+    group.sample_size(10);
+    for pct_moved in [0u8, 50, 90] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pct_moved),
+            &pct_moved,
+            |b, &pct_moved| {
+                b.iter(|| {
+                    run_discovery(&ScenarioConfig {
+                        kind: ScenarioKind::Fig3Staleness { pct_moved },
+                        mode: DiscoveryMode::E2E,
+                        staleness: StalenessMode::InvalidateOnMove,
+                        accesses: 100,
+                        ..Default::default()
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

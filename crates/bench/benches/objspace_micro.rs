@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the object-space primitives: the byte-copy movement
+//! path, pointer make/resolve, FOT interning, and store snapshots. These
+//! are the raw costs underneath every macro experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdv_objspace::{FotFlags, ObjId, Object, ObjectKind, ObjectStore};
+
+fn build_object(kb: usize, refs: usize) -> Object {
+    let mut obj = Object::with_capacity(ObjId(7), ObjectKind::Data, 1 << 24);
+    let data = obj.alloc(kb as u64 * 1024).unwrap();
+    obj.write(data, &vec![0xAB; kb * 1024]).unwrap();
+    for i in 0..refs {
+        let cell = obj.alloc(8).unwrap();
+        let ptr = obj.make_ptr(ObjId(1000 + i as u128 % 64), 8, FotFlags::RO).unwrap();
+        obj.write_ptr(cell, ptr).unwrap();
+    }
+    obj
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("objspace_micro");
+
+    for kb in [4usize, 64, 1024] {
+        let obj = build_object(kb, 64);
+        let image = obj.to_image();
+        group.throughput(Throughput::Bytes(image.len() as u64));
+        group.bench_with_input(BenchmarkId::new("move_byte_copy", kb), &kb, |b, _| {
+            // The full movement path: serialize + deserialize, no fix-ups.
+            b.iter(|| Object::from_image(&obj.to_image()).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("objspace_pointers");
+    let obj = build_object(4, 1024);
+    group.bench_function("resolve_ptr", |b| {
+        let ptr = obj.read_ptr(4096 + 8).unwrap();
+        b.iter(|| obj.resolve_ptr(ptr).unwrap())
+    });
+    group.bench_function("make_ptr_interned", |b| {
+        let mut obj = build_object(4, 64);
+        b.iter(|| obj.make_ptr(ObjId(1010), 8, FotFlags::RO).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("objspace_snapshot");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ObjectStore::new();
+    for _ in 0..64 {
+        let id = store.create(&mut rng, ObjectKind::Data);
+        store.get_mut(id).unwrap().alloc(4096).unwrap();
+    }
+    let snap = store.to_snapshot();
+    group.throughput(Throughput::Bytes(snap.len() as u64));
+    group.bench_function("persist_64x4k", |b| b.iter(|| store.to_snapshot()));
+    group.bench_function("restore_64x4k", |b| {
+        b.iter(|| ObjectStore::from_snapshot(&snap).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion wall-clock cross-check of the S1 phases: serialize,
+//! deserialize+load, in-place use after byte copy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_core::modelobj::{infer_in_place, model_to_object};
+use rdv_objspace::{ObjId, Object};
+use rdv_wire::cost::CostMeter;
+use rdv_wire::sparsemodel::{deserialize_model, load_model, serialize_model, SparseModel, SparseModelSpec};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("s1_serialization");
+    for rows in [128usize, 512] {
+        let spec = SparseModelSpec { layers: 4, rows, cols: rows, nnz_per_row: 8, vocab: rows, seed: 21 };
+        let model = SparseModel::generate(&spec);
+        let mut meter = CostMeter::new();
+        let bytes = serialize_model(&model, &mut meter);
+        let activation: Vec<f32> = (0..rows).map(|i| i as f32 / rows as f32).collect();
+
+        group.bench_with_input(BenchmarkId::new("rpc_deser_load_infer", rows), &rows, |b, _| {
+            b.iter(|| {
+                let mut m = CostMeter::new();
+                let decoded = deserialize_model(&bytes, &mut m).unwrap();
+                let loaded = load_model(decoded, &mut m);
+                loaded.infer(&activation, &mut m)
+            })
+        });
+
+        let obj = model_to_object(ObjId(1), &model).unwrap();
+        let image = obj.to_image();
+        group.bench_with_input(BenchmarkId::new("gas_bytecopy_infer", rows), &rows, |b, _| {
+            b.iter(|| {
+                // The entire "move + use" path: byte copy, then use in place.
+                let moved = Object::from_image(&image).unwrap();
+                infer_in_place(&moved, &activation).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

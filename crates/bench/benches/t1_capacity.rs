@@ -1,0 +1,35 @@
+//! Criterion timing of table fill and lookup at the §3.2 capacity point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdv_bench::experiments::t1::fill_to_rejection;
+use rdv_p4rt::capacity::SramBudget;
+use rdv_p4rt::table::{Action, MatchKind, Table, TableEntry};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_capacity");
+    let budget = SramBudget { total_bits: 2_560_000, ..SramBudget::tofino() };
+    for bits in [64u64, 128] {
+        group.bench_with_input(BenchmarkId::new("fill", bits), &bits, |b, &bits| {
+            b.iter(|| fill_to_rejection(budget, bits))
+        });
+    }
+    // Lookup throughput on a full table.
+    let mut table = Table::new("t", vec![1], MatchKind::Exact, 128, budget);
+    let cap = budget.max_entries(128);
+    for i in 0..cap {
+        table
+            .insert(TableEntry::Exact { key: vec![u128::from(i) + 1] }, Action::Forward(1))
+            .unwrap();
+    }
+    group.bench_function("lookup_hit", |b| {
+        let mut i = 0u128;
+        b.iter(|| {
+            i = (i + 1) % u128::from(cap);
+            table.lookup(&[0, i + 1, 0]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

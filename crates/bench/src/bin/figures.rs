@@ -1,0 +1,63 @@
+//! `figures` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p rdv-bench --bin figures --release -- [--quick] [IDS…]
+//! ```
+//!
+//! With no IDs, runs everything (F1 F2 F3 T1 S1 A1–A5). Text tables
+//! go to stdout; JSON goes to `results/<id>.json`.
+
+use std::io::Write;
+
+use rdv_bench::experiments;
+use rdv_bench::Series;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.trim_start_matches('-').to_uppercase())
+        .collect();
+    let run_one = |id: &str| -> Option<Series> {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
+            return None;
+        }
+        eprintln!("[figures] running {id}{}…", if quick { " (quick)" } else { "" });
+        Some(match id {
+            "F1" => experiments::fig1::run(quick),
+            "F2" => experiments::fig2::run(quick),
+            "F3" => experiments::fig3::run(quick),
+            "T1" => experiments::t1::run(quick),
+            "T2" => experiments::t2::run(quick),
+            "S1" => experiments::s1::run(quick),
+            "A1" => experiments::a1::run(quick),
+            "A2" => experiments::a2::run(quick),
+            "A3" => experiments::a3::run(quick),
+            "A4" => experiments::a4::run(quick),
+            "A5" => experiments::a5::run(quick),
+            _ => unreachable!(),
+        })
+    };
+    let ids = ["F1", "F2", "F3", "T1", "T2", "S1", "A1", "A2", "A3", "A4", "A5"];
+    let _ = std::fs::create_dir_all("results");
+    let mut ran = 0;
+    for id in ids {
+        let Some(series) = run_one(id) else { continue };
+        ran += 1;
+        println!("{}", series.to_text());
+        let path = format!("results/{}.json", id.to_lowercase());
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", series.to_json());
+                eprintln!("[figures] wrote {path}");
+            }
+            Err(e) => eprintln!("[figures] could not write {path}: {e}"),
+        }
+    }
+    if ran == 0 {
+        eprintln!("usage: figures [--quick] [F1 F2 F3 T1 T2 S1 A1 A2 A3 A4 A5]");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,60 @@
+//! A1 — ablation of §3.1's prefetching claim: the FOT reachability graph
+//! lets the system prefetch on *actual* reachability instead of address
+//! adjacency proxies.
+
+use rdv_core::runtime::PrefetchPolicy;
+use rdv_core::scenarios::{run_a1, A1Config};
+
+use crate::report::{f2, Series};
+
+/// Chain walks under three policies × two layouts.
+pub fn run(quick: bool) -> Series {
+    let nodes = if quick { 48 } else { 128 };
+    let mut series = Series::new(
+        "A1",
+        "prefetching on reachability vs adjacency (paper §3.1)",
+        &["layout", "policy", "latency_ms", "demand_fetches", "prefetch_fetches"],
+    );
+    for (layout, scattered) in [("contiguous", false), ("scattered", true)] {
+        for (policy, label) in [
+            (PrefetchPolicy::None, "none"),
+            (PrefetchPolicy::Adjacency { window: 3 }, "adjacency"),
+            (PrefetchPolicy::Reachability, "reachability"),
+        ] {
+            let out = run_a1(&A1Config {
+                nodes,
+                decoys: nodes * 3,
+                policy,
+                scattered,
+                ..Default::default()
+            });
+            assert_eq!(out.values.len(), nodes, "traversal must cover the chain");
+            series.push_row(vec![
+                layout.to_string(),
+                label.to_string(),
+                f2(out.latency.as_nanos() as f64 / 1e6),
+                out.demand_fetches.to_string(),
+                out.prefetch_fetches.to_string(),
+            ]);
+        }
+    }
+    series.note("shape: reachability ≈ adjacency on adjacency's best-case layout, and keeps winning on scattered layouts where adjacency chases decoys");
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_is_layout_independent() {
+        let s = run(true);
+        let lat = |i: usize| s.rows[i][2].parse::<f64>().unwrap();
+        // Rows: 0-2 contiguous {none, adj, reach}; 3-5 scattered.
+        assert!(lat(2) < lat(0), "reach beats none");
+        assert!(lat(5) < lat(3), "reach beats none (scattered)");
+        assert!(lat(5) < lat(4), "reach beats adjacency on scattered layout");
+        let reach_ratio = lat(5) / lat(2);
+        assert!((0.8..1.2).contains(&reach_ratio), "reachability layout-independent: {reach_ratio}");
+    }
+}

@@ -1,0 +1,144 @@
+//! A2 — §1's middleware indictment: *"discovery services, load balancers,
+//! or other forms of middleware … make the execution endpoint abstract,
+//! but at the cost of increased latency and added system complexity."*
+//!
+//! Measures the same logical call through 0–2 indirection layers, against
+//! the object-routed invocation that needs none.
+
+use rdv_core::scenarios::{
+    build_star_fabric, host_link_rack, standard_registry, FN_NOOP,
+};
+use rdv_core::code::{make_code_object, CodeDesc};
+use rdv_core::runtime::{GasHostConfig, GasHostNode, ScriptStep};
+use rdv_netsim::SimTime;
+use rdv_objspace::ObjId;
+use rdv_rpc::client::{ClientNode, PlannedCall};
+use rdv_rpc::middleware::{DiscoveryServiceNode, LoadBalancerNode};
+use rdv_rpc::server::ServerNode;
+use rdv_rpc::service::{echo_methods, EchoService};
+
+use crate::report::{f1, Series};
+
+const CLIENT: ObjId = ObjId(0xAC1);
+const SERVER: ObjId = ObjId(0xA5E);
+const LB: ObjId = ObjId(0xA1B);
+const DIR: ObjId = ObjId(0xAD1);
+const CODE: ObjId = ObjId(0xAC0DE);
+
+/// Mean RPC latency (µs) over `calls` calls for a given plan template.
+fn rpc_latency_us(with_lb: bool, with_lookup: bool, calls: usize, seed: u64) -> f64 {
+    let mut client = ClientNode::new("client", CLIENT);
+    for _ in 0..calls {
+        client.plan.push(PlannedCall {
+            server: if with_lb { LB } else { SERVER },
+            service: 1,
+            method: echo_methods::ECHO,
+            args: vec![0u8; 128],
+            serialize_ns: 500,
+            lookup_via: if with_lookup { Some((DIR, "echo".into())) } else { None },
+            timeout_ns: 0,
+        });
+    }
+    let mut server = ServerNode::new("server", SERVER);
+    server.register(1, Box::new(EchoService::default()));
+    let lb = LoadBalancerNode::new("lb", LB, vec![SERVER]);
+    let mut dir = DiscoveryServiceNode::new("dir", DIR);
+    dir.register("echo", if with_lb { LB } else { SERVER });
+
+    let (mut sim, ids) = build_star_fabric(
+        seed,
+        vec![
+            (Box::new(client), CLIENT, host_link_rack()),
+            (Box::new(server), SERVER, host_link_rack()),
+            (Box::new(lb), LB, host_link_rack()),
+            (Box::new(dir), DIR, host_link_rack()),
+        ],
+        &[],
+    );
+    for i in 0..calls as u64 {
+        sim.schedule(SimTime::from_micros(1000 + 200 * i), ids[0], i);
+    }
+    sim.run_until_idle();
+    let client = sim.node_as::<ClientNode>(ids[0]).expect("client");
+    assert_eq!(client.records.len(), calls, "all calls must complete");
+    let total: u64 = client.records.iter().map(|r| r.latency().as_nanos()).sum();
+    total as f64 / calls as f64 / 1000.0
+}
+
+/// Mean object-routed invoke latency (µs).
+fn gas_latency_us(calls: usize, seed: u64) -> f64 {
+    let registry = standard_registry();
+    let mut client = GasHostNode::new("client", CLIENT, GasHostConfig::default());
+    client.registry = registry.clone();
+    for _ in 0..calls {
+        client.scripts.push(vec![ScriptStep::Invoke {
+            executor: Some(SERVER),
+            code: CODE,
+            args: vec![],
+            result_bytes: 16,
+        }]);
+    }
+    let mut server = GasHostNode::new("server", SERVER, GasHostConfig::default());
+    server.registry = registry;
+    server
+        .store
+        .insert(make_code_object(CODE, CodeDesc { fn_id: FN_NOOP, base_ns: 100, ps_per_byte: 0 }))
+        .expect("fresh");
+    let (mut sim, ids) = build_star_fabric(
+        seed,
+        vec![
+            (Box::new(client), CLIENT, host_link_rack()),
+            (Box::new(server), SERVER, host_link_rack()),
+        ],
+        &[(CODE, 1)],
+    );
+    for i in 0..calls as u64 {
+        sim.schedule(SimTime::from_micros(1000 + 200 * i), ids[0], i);
+    }
+    sim.run_until_idle();
+    let client = sim.node_as::<GasHostNode>(ids[0]).expect("client");
+    assert_eq!(client.records.len(), calls, "all invokes must complete");
+    let total: u64 =
+        client.records.iter().map(|r| (r.completed - r.started).as_nanos()).sum();
+    total as f64 / calls as f64 / 1000.0
+}
+
+/// Run the indirection-layer sweep.
+pub fn run(quick: bool) -> Series {
+    let calls = if quick { 20 } else { 100 };
+    let mut series = Series::new(
+        "A2",
+        "middleware indirection cost (paper §1)",
+        &["path", "hops_added", "mean_latency_us"],
+    );
+    let direct = rpc_latency_us(false, false, calls, 1);
+    let lb = rpc_latency_us(true, false, calls, 1);
+    let lookup = rpc_latency_us(false, true, calls, 1);
+    let lookup_lb = rpc_latency_us(true, true, calls, 1);
+    let gas = gas_latency_us(calls, 1);
+    series.push_row(vec!["rpc-direct".into(), "0".into(), f1(direct)]);
+    series.push_row(vec!["rpc+load-balancer".into(), "1".into(), f1(lb)]);
+    series.push_row(vec!["rpc+discovery-lookup".into(), "1".into(), f1(lookup)]);
+    series.push_row(vec!["rpc+lookup+lb".into(), "2".into(), f1(lookup_lb)]);
+    series.push_row(vec!["object-routed invoke".into(), "0".into(), f1(gas)]);
+    series.note("each middleware layer adds at least one proxy traversal; ID routing gets location-independence from the switches instead");
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_layer_costs_latency() {
+        let s = run(true);
+        let lat = |i: usize| s.rows[i][2].parse::<f64>().unwrap();
+        let (direct, lb, lookup, both, gas) = (lat(0), lat(1), lat(2), lat(3), lat(4));
+        assert!(lb > direct * 1.3, "LB hop must cost: {lb} vs {direct}");
+        assert!(lookup > direct * 1.3);
+        assert!(both > lb && both > lookup);
+        // Object routing is competitive with direct RPC (no middleware tax
+        // for location independence).
+        assert!(gas < lb && gas < lookup, "gas {gas} vs lb {lb} / lookup {lookup}");
+    }
+}

@@ -1,0 +1,155 @@
+//! A5 — §5's coherence exploration: *"we will experiment with offloading
+//! some synchronization and arbitration concerns to the programmable
+//! network (which now functions somewhat as a memory bus), letting us
+//! explore the consistency and coherence space together."*
+//!
+//! This repository keeps the directory at the home host (the natural first
+//! point in that design space) and measures the canonical coherence cost:
+//! a write to an object shared by N readers fans out N invalidations, and
+//! every reader pays a cold refetch. The table quantifies how that cost
+//! scales with the sharer count — the baseline any in-network offload
+//! (§5's "network as memory bus") would have to beat.
+
+use rdv_core::runtime::{GasHostConfig, GasHostNode, ScriptStep};
+use rdv_core::scenarios::{build_star_fabric, host_link_rack};
+use rdv_netsim::SimTime;
+use rdv_objspace::{ObjId, Object, ObjectKind};
+
+use crate::report::{f1, Series};
+
+const HOME: ObjId = ObjId(0x5001);
+const WRITER: ObjId = ObjId(0x5002);
+const OBJ: ObjId = ObjId(0x50BB);
+
+/// Outcome of one sharer-count point.
+#[derive(Debug, Clone, Copy)]
+pub struct A5Outcome {
+    /// Invalidations the home's directory issued for the write.
+    pub invalidations: u64,
+    /// Writer-observed write latency.
+    pub write_latency: SimTime,
+    /// Mean reader warm-fetch latency (before the write; cache-building).
+    pub warm_fetch_us: f64,
+    /// Mean reader refetch latency (after invalidation).
+    pub refetch_us: f64,
+    /// Readers whose refetched copy carried the new value.
+    pub fresh_readers: usize,
+}
+
+/// Run one point: `readers` sharers, one write, refetch.
+pub fn run_point(readers: usize, seed: u64) -> A5Outcome {
+    let mut nodes: Vec<(Box<dyn rdv_netsim::Node>, ObjId, rdv_netsim::LinkSpec)> = Vec::new();
+
+    // Home with the shared object.
+    let mut home = GasHostNode::new("home", HOME, GasHostConfig::default());
+    let mut obj = Object::with_capacity(OBJ, ObjectKind::Data, 1 << 16);
+    let off = obj.alloc(64).expect("capacity");
+    obj.write_u64(off, 1).expect("in bounds");
+    home.store.insert(obj).expect("fresh");
+    nodes.push((Box::new(home), HOME, host_link_rack()));
+
+    // Writer.
+    let mut writer = GasHostNode::new("writer", WRITER, GasHostConfig::default());
+    writer.scripts = vec![vec![ScriptStep::Write {
+        target: OBJ,
+        offset: off,
+        data: 99u64.to_le_bytes().to_vec(),
+    }]];
+    nodes.push((Box::new(writer), WRITER, host_link_rack()));
+
+    // Readers: fetch (script 0), refetch (script 1).
+    let reader_inboxes: Vec<ObjId> =
+        (0..readers).map(|i| ObjId(0x6000 + i as u128)).collect();
+    for &inbox in &reader_inboxes {
+        let mut r = GasHostNode::new(format!("r{inbox}"), inbox, GasHostConfig::default());
+        r.scripts = vec![vec![ScriptStep::Fetch(OBJ)], vec![ScriptStep::Fetch(OBJ)]];
+        nodes.push((Box::new(r), inbox, host_link_rack()));
+    }
+
+    let (mut sim, ids) = build_star_fabric(seed, nodes, &[(OBJ, 0)]);
+    // Phase 1 (1 ms): all readers fetch and become sharers.
+    for (i, _) in reader_inboxes.iter().enumerate() {
+        sim.schedule(SimTime::from_millis(1) + SimTime::from_micros(10 * i as u64), ids[2 + i], 0);
+    }
+    // Phase 2 (3 ms): the write.
+    sim.schedule(SimTime::from_millis(3), ids[1], 0);
+    // Phase 3 (5 ms): readers refetch.
+    for (i, _) in reader_inboxes.iter().enumerate() {
+        sim.schedule(SimTime::from_millis(5) + SimTime::from_micros(10 * i as u64), ids[2 + i], 1);
+    }
+    sim.run_until_idle();
+
+    let home = sim.node_as::<GasHostNode>(ids[0]).expect("home");
+    let invalidations = home.counters.get("dir_invalidates_sent");
+    let writer = sim.node_as::<GasHostNode>(ids[1]).expect("writer");
+    let write_latency = writer.records[0].completed - writer.records[0].started;
+
+    let mut warm = 0u64;
+    let mut refetch = 0u64;
+    let mut fresh = 0;
+    for (i, _) in reader_inboxes.iter().enumerate() {
+        let r = sim.node_as_mut::<GasHostNode>(ids[2 + i]).expect("reader");
+        assert_eq!(r.records.len(), 2, "both fetches must complete");
+        warm += (r.records[0].completed - r.records[0].started).as_nanos();
+        refetch += (r.records[1].completed - r.records[1].started).as_nanos();
+        // The invalidation must have forced a *fresh* copy.
+        if r.cache.get(OBJ).map(|o| o.read_u64(off).unwrap()) == Some(99) {
+            fresh += 1;
+        }
+    }
+    let n = readers.max(1) as f64;
+    A5Outcome {
+        invalidations,
+        write_latency,
+        warm_fetch_us: warm as f64 / n / 1000.0,
+        refetch_us: refetch as f64 / n / 1000.0,
+        fresh_readers: fresh,
+    }
+}
+
+/// Sweep the sharer count.
+pub fn run(quick: bool) -> Series {
+    let sweep: &[usize] = if quick { &[0, 2, 8] } else { &[0, 1, 2, 4, 8, 16, 32] };
+    let mut series = Series::new(
+        "A5",
+        "coherence write cost vs sharer count (paper §5)",
+        &["readers", "invalidations", "write_us", "warm_fetch_us", "refetch_us", "fresh"],
+    );
+    for &readers in sweep {
+        let out = run_point(readers, 41);
+        assert_eq!(out.fresh_readers, readers, "every reader must see the write");
+        series.push_row(vec![
+            readers.to_string(),
+            out.invalidations.to_string(),
+            f1(out.write_latency.as_nanos() as f64 / 1000.0),
+            f1(out.warm_fetch_us),
+            f1(out.refetch_us),
+            format!("{}/{}", out.fresh_readers, readers),
+        ]);
+    }
+    series.note("one write through the home invalidates every sharer (fan-out = reader count) and forces cold refetches — the cost §5 proposes to attack by moving arbitration into the network");
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalidations_scale_with_sharers() {
+        let s = run(true);
+        let inv = |i: usize| s.rows[i][1].parse::<u64>().unwrap();
+        assert_eq!(inv(0), 0, "no sharers, no invalidations");
+        assert_eq!(inv(1), 2);
+        assert_eq!(inv(2), 8);
+    }
+
+    #[test]
+    fn writes_never_leave_stale_readers() {
+        for readers in [1usize, 3, 5] {
+            let out = run_point(readers, 9);
+            assert_eq!(out.fresh_readers, readers);
+            assert_eq!(out.invalidations, readers as u64);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! F1 — Figure 1: the three rendezvous strategies (plus the Wang et al.
+//! reference-RPC halfway design), swept over model sizes, and the §5
+//! "Dave" adaptivity case.
+
+use rdv_core::scenarios::{run_fig1, run_fig1_dave, F1Config, F1Strategy};
+use rdv_wire::sparsemodel::SparseModelSpec;
+
+use crate::report::{f2, Series};
+
+fn spec_for(rows: usize) -> SparseModelSpec {
+    SparseModelSpec { layers: 2, rows, cols: rows, nnz_per_row: 16, vocab: 64, seed: 11 }
+}
+
+/// Sweep model sizes × strategies; report latency and bytes over the
+/// invoker's (slow) access link.
+pub fn run(quick: bool) -> Series {
+    let sizes: &[usize] = if quick { &[256, 1024] } else { &[256, 1024, 4096] };
+    let mut series = Series::new(
+        "F1",
+        "rendezvous of data and compute (paper Fig. 1 strategies)",
+        &["model_rows", "strategy", "latency_ms", "alice_link_KB", "fabric_KB", "executor"],
+    );
+    for &rows in sizes {
+        for strategy in F1Strategy::ALL {
+            let out = run_fig1(&F1Config { strategy, model: spec_for(rows), seed: 3 });
+            series.push_row(vec![
+                rows.to_string(),
+                strategy.label().to_string(),
+                f2(out.latency.as_nanos() as f64 / 1e6),
+                f2(out.alice_bytes as f64 / 1024.0),
+                f2(out.fabric_bytes as f64 / 1024.0),
+                out.executor.to_string(),
+            ]);
+        }
+    }
+    // The Dave case: strong edge device with local data.
+    let fixed = run_fig1_dave(false, &spec_for(1024), 3);
+    let auto = run_fig1_dave(true, &spec_for(1024), 3);
+    series.push_row(vec![
+        "1024(dave)".into(),
+        "ref-rpc-fixed".into(),
+        f2(fixed.latency.as_nanos() as f64 / 1e6),
+        f2(fixed.alice_bytes as f64 / 1024.0),
+        f2(fixed.fabric_bytes as f64 / 1024.0),
+        fixed.executor.to_string(),
+    ]);
+    series.push_row(vec![
+        "1024(dave)".into(),
+        "automatic".into(),
+        f2(auto.latency.as_nanos() as f64 / 1e6),
+        f2(auto.alice_bytes as f64 / 1024.0),
+        f2(auto.fabric_bytes as f64 / 1024.0),
+        auto.executor.to_string(),
+    ]);
+    series.note("paper shape: (1) manual-copy pays the slow access link twice; (2)/(3) move data Bob→Carol directly; (3) needs no app-level orchestration and adapts (Dave rows)");
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_ordering_holds_at_every_size() {
+        let s = run(true);
+        // Rows come in blocks of 4 per size.
+        for block in 0..2 {
+            let base = block * 4;
+            let lat =
+                |i: usize| s.rows[base + i][2].parse::<f64>().unwrap();
+            let alice_kb = |i: usize| s.rows[base + i][3].parse::<f64>().unwrap();
+            // manual-copy strictly worst.
+            assert!(lat(0) > lat(1), "copy {} vs pull {}", lat(0), lat(1));
+            assert!(alice_kb(0) > 5.0 * alice_kb(1));
+            // automatic tracks manual-pull.
+            let ratio = lat(3) / lat(1);
+            assert!((0.8..1.3).contains(&ratio), "auto/pull ratio {ratio}");
+        }
+        // Dave: automatic executes locally, fixed cannot.
+        let dave_fixed = &s.rows[s.rows.len() - 2];
+        let dave_auto = &s.rows[s.rows.len() - 1];
+        assert_eq!(dave_fixed[5], "carol");
+        assert_eq!(dave_auto[5], "dave");
+    }
+}

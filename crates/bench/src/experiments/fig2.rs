@@ -1,0 +1,77 @@
+//! F2 — Figure 2: *"RTT of packets as the percent of new objects (the
+//! line) increases"* — Controller vs E2E discovery, plus broadcast
+//! messages per 100 accesses.
+
+use rdv_discovery::{DiscoveryMode, ScenarioConfig, ScenarioKind, StalenessMode};
+
+use crate::report::{f1, Series};
+
+/// Sweep 0–90 % new objects for both schemes.
+pub fn run(quick: bool) -> Series {
+    let accesses = if quick { 200 } else { 1000 };
+    let num_objects = if quick { 64 } else { 256 };
+    let mut series = Series::new(
+        "F2",
+        "discovery RTT vs % accesses to new objects (paper Fig. 2)",
+        &[
+            "new%",
+            "ctl_mean_us",
+            "ctl_p99_us",
+            "e2e_mean_us",
+            "e2e_p99_us",
+            "e2e_bcast/100",
+        ],
+    );
+    for pct_new in (0..=90).step_by(10) {
+        let base = ScenarioConfig {
+            kind: ScenarioKind::Fig2NewObjects { pct_new },
+            accesses,
+            num_objects,
+            staleness: StalenessMode::InvalidateOnMove,
+            ..Default::default()
+        };
+        let ctl = rdv_discovery::scenario::run_discovery(&ScenarioConfig {
+            mode: DiscoveryMode::Controller,
+            ..base
+        });
+        let e2e = rdv_discovery::scenario::run_discovery(&ScenarioConfig {
+            mode: DiscoveryMode::E2E,
+            ..base
+        });
+        assert_eq!(ctl.incomplete, 0, "controller accesses must all complete");
+        assert_eq!(e2e.incomplete, 0, "e2e accesses must all complete");
+        let mut ctl_rtt = ctl.rtt;
+        let mut e2e_rtt = e2e.rtt;
+        series.push_row(vec![
+            pct_new.to_string(),
+            f1(ctl_rtt.mean() / 1000.0),
+            f1(ctl_rtt.percentile(99.0) as f64 / 1000.0),
+            f1(e2e_rtt.mean() / 1000.0),
+            f1(e2e_rtt.percentile(99.0) as f64 / 1000.0),
+            f1(e2e.broadcasts_per_100),
+        ]);
+    }
+    series.note("paper shape: controller flat at 1 RTT; E2E rises with new%; broadcasts/100 ≈ new%");
+    series.note("absolute µs differ from the paper (its emulation 'affected timings'); shapes match");
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let s = run(true);
+        assert_eq!(s.rows.len(), 10);
+        let get = |row: usize, col: usize| s.rows[row][col].parse::<f64>().unwrap();
+        // Controller flat: last/first mean within 25%.
+        let ctl_ratio = get(9, 1) / get(0, 1);
+        assert!((0.75..1.25).contains(&ctl_ratio), "controller not flat: {ctl_ratio}");
+        // E2E rises.
+        assert!(get(9, 3) > get(0, 3) * 1.2, "E2E must rise with new%");
+        // Broadcasts track new%.
+        assert!((get(0, 5) - 0.0).abs() < 1.0);
+        assert!((get(9, 5) - 90.0).abs() < 5.0);
+    }
+}

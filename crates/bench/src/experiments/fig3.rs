@@ -1,0 +1,69 @@
+//! F3 — Figure 3: *"E2E RTT as cache gets stale due to movement"* — mean
+//! access time climbs from 1 towards 2 RTTs; variability peaks mid-sweep.
+
+use rdv_discovery::{DiscoveryMode, ScenarioConfig, ScenarioKind, StalenessMode};
+
+use crate::report::{f1, Series};
+
+/// Sweep 0–90 % of accesses to moved objects; also report the
+/// NACK-rediscover ablation.
+pub fn run(quick: bool) -> Series {
+    let accesses = if quick { 100 } else { 400 };
+    let mut series = Series::new(
+        "F3",
+        "E2E access time vs % accesses to moved objects (paper Fig. 3)",
+        &["moved%", "mean_us", "stddev_us", "p99_us", "bcast/100", "nack_mode_mean_us"],
+    );
+    for pct_moved in (0..=90).step_by(10) {
+        let base = ScenarioConfig {
+            kind: ScenarioKind::Fig3Staleness { pct_moved },
+            mode: DiscoveryMode::E2E,
+            accesses,
+            ..Default::default()
+        };
+        let inv = rdv_discovery::scenario::run_discovery(&ScenarioConfig {
+            staleness: StalenessMode::InvalidateOnMove,
+            ..base
+        });
+        let nack = rdv_discovery::scenario::run_discovery(&ScenarioConfig {
+            staleness: StalenessMode::NackRediscover,
+            ..base
+        });
+        assert_eq!(inv.incomplete, 0);
+        assert_eq!(nack.incomplete, 0);
+        let mut rtt = inv.rtt;
+        series.push_row(vec![
+            pct_moved.to_string(),
+            f1(rtt.mean() / 1000.0),
+            f1(rtt.stddev() / 1000.0),
+            f1(rtt.percentile(99.0) as f64 / 1000.0),
+            f1(inv.broadcasts_per_100),
+            f1(nack.rtt.mean() / 1000.0),
+        ]);
+    }
+    series.note("paper shape: mean climbs 1→2 RTT; variability peaks mid-sweep then drops");
+    series.note("nack_mode = ablation where staleness is discovered by NACK (3 legs) instead of move-time invalidation");
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let s = run(true);
+        let get = |row: usize, col: usize| s.rows[row][col].parse::<f64>().unwrap();
+        // Mean roughly doubles over the sweep.
+        let ratio = get(9, 1) / get(0, 1);
+        assert!((1.5..2.6).contains(&ratio), "mean should go 1→~2 RTT, ratio {ratio}");
+        // Variability peaks mid-sweep.
+        let mid = get(5, 2);
+        assert!(mid > get(0, 2), "stddev should rise from 0%");
+        assert!(mid > get(9, 2) * 0.8, "stddev should fall towards 90%");
+        // The NACK ablation is at least as expensive everywhere stale.
+        for row in 1..10 {
+            assert!(get(row, 5) >= get(row, 1) * 0.95, "row {row}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! One module per paper artifact. Each exposes `run(quick: bool) -> Series`
+//! (quick mode shrinks sweep sizes for CI; full mode matches the paper's
+//! parameters where stated).
+
+pub mod a1;
+pub mod a2;
+pub mod a3;
+pub mod a4;
+pub mod a5;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod s1;
+pub mod t1;
+pub mod t2;
+
+use crate::report::Series;
+
+/// Run every experiment in DESIGN.md order.
+pub fn run_all(quick: bool) -> Vec<Series> {
+    vec![
+        fig1::run(quick),
+        fig2::run(quick),
+        fig3::run(quick),
+        t1::run(quick),
+        t2::run(quick),
+        s1::run(quick),
+        a1::run(quick),
+        a2::run(quick),
+        a3::run(quick),
+        a4::run(quick),
+        a5::run(quick),
+    ]
+}

@@ -1,0 +1,71 @@
+//! S1 — §2: *"As much as 70% of the processing time for these
+//! model-serving applications is spent deserializing and loading the sparse
+//! personalized models"*; §3.1: invariant pointers *"alleviat\[e\] 100% of
+//! the loading overhead"*.
+//!
+//! Three request paths over the same fabric: RPC with the model serialized
+//! into the request, RPC with the model stored serialized at the server
+//! (TrIMS scenario), and the global-address-space object path.
+
+use rdv_core::scenarios::{run_s1, S1Path};
+use rdv_wire::sparsemodel::SparseModelSpec;
+
+use crate::report::{f2, pct, Series};
+
+fn spec_for(rows: usize) -> SparseModelSpec {
+    SparseModelSpec { layers: 4, rows, cols: rows, nnz_per_row: 8, vocab: rows, seed: 21 }
+}
+
+/// Sweep model sizes × paths.
+pub fn run(quick: bool) -> Series {
+    let sizes: &[usize] = if quick { &[128, 512] } else { &[128, 512, 2048] };
+    let mut series = Series::new(
+        "S1",
+        "request-time (de)serialization and loading (paper §2 '70%')",
+        &["model_rows", "path", "latency_ms", "deser+load_us", "compute_us", "deser+load_frac"],
+    );
+    for &rows in sizes {
+        for (path, label) in [
+            (S1Path::RpcValue, "rpc-by-value"),
+            (S1Path::RpcName, "rpc-stored-model"),
+            (S1Path::Gas, "object-space"),
+        ] {
+            let out = run_s1(path, &spec_for(rows), 7);
+            series.push_row(vec![
+                rows.to_string(),
+                label.to_string(),
+                f2(out.latency.as_nanos() as f64 / 1e6),
+                f2((out.deser_ns + out.load_ns) as f64 / 1e3),
+                f2(out.compute_ns as f64 / 1e3),
+                pct(out.deser_load_fraction),
+            ]);
+        }
+    }
+    series.note("paper shape: RPC paths spend the majority (≥70% at scale) of processing in deserialize+load; the object path spends none");
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_match_claims() {
+        let s = run(true);
+        // Largest model, rpc-stored-model row.
+        let stored = &s.rows[4];
+        assert_eq!(stored[1], "rpc-stored-model");
+        let frac: f64 = stored[5].trim_end_matches('%').parse().unwrap();
+        assert!(frac >= 60.0, "deser+load fraction {frac}% should be ≥60% at scale");
+        // Object-space rows report exactly zero.
+        for row in &s.rows {
+            if row[1] == "object-space" {
+                assert_eq!(row[5], "0.0%");
+                assert_eq!(row[3], "0.00");
+            }
+        }
+        // Object path is faster end-to-end than both RPC paths at scale.
+        let lat = |i: usize| s.rows[i][2].parse::<f64>().unwrap();
+        assert!(lat(5) < lat(3) && lat(5) < lat(4));
+    }
+}

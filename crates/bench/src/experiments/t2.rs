@@ -1,0 +1,92 @@
+//! T2 — §3.1's encoding claim: *"Pointers in Twizzler are encoded
+//! efficiently, such that the pointer itself takes up only 64 bits …
+//! forming a 64 bit pointer that nonetheless references data in a 128 bit
+//! address space."*
+//!
+//! We quantify the claim against the naive alternative (a direct 128-bit
+//! ID + 64-bit offset per pointer, 24 B): build *real* objects holding `R`
+//! pointers to `T` distinct targets, measure the actual per-reference
+//! metadata bytes (8 B pointer word + the amortized 17 B FOT entry per
+//! distinct target), and compare.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rdv_objspace::{FotFlags, ObjId, Object, ObjectKind};
+
+use crate::report::{f1, f2, Series};
+
+/// Bytes a direct-encoding pointer would take (128-bit ID + 64-bit offset).
+const DIRECT_PTR_BYTES: f64 = 24.0;
+
+/// Build an object with `refs` pointers spread over `targets` distinct
+/// objects; return measured FOT+pointer bytes per reference.
+pub fn fot_bytes_per_ref(refs: usize, targets: usize, seed: u64) -> f64 {
+    assert!(targets >= 1 && refs >= targets);
+    let mut rng = StdRng::seed_from_u64(seed);
+    use rand::Rng;
+    let target_ids: Vec<ObjId> =
+        (0..targets).map(|_| ObjId(rng.gen::<u128>() | 1)).collect();
+    let mut obj = Object::with_capacity(ObjId(0x72), ObjectKind::Data, 1 << 24);
+    let empty_image = obj.image_len();
+    let base = obj.alloc(refs as u64 * 8).expect("capacity");
+    for i in 0..refs {
+        let ptr = obj
+            .make_ptr(target_ids[i % targets], 64, FotFlags::RO)
+            .expect("fot capacity");
+        obj.write_ptr(base + i as u64 * 8, ptr).expect("in bounds");
+    }
+    // Metadata = everything the references added to the image (pointer
+    // words + FOT growth).
+    (obj.image_len() - empty_image) as f64 / refs as f64
+}
+
+/// Sweep reference locality (refs per distinct target).
+pub fn run(quick: bool) -> Series {
+    let refs = if quick { 1024 } else { 16384 };
+    let mut series = Series::new(
+        "T2",
+        "pointer encoding cost: FOT (64-bit) vs direct 128-bit pointers (paper §3.1)",
+        &["refs/target", "fot_B/ref", "direct_B/ref", "saving"],
+    );
+    for ratio in [1usize, 2, 4, 16, 64] {
+        let targets = refs / ratio;
+        let fot = fot_bytes_per_ref(refs, targets, 7);
+        let saving = 1.0 - fot / DIRECT_PTR_BYTES;
+        series.push_row(vec![
+            ratio.to_string(),
+            f2(fot),
+            f2(DIRECT_PTR_BYTES),
+            format!("{}%", f1(saving * 100.0)),
+        ]);
+    }
+    series.note("measured on real object images; direct = hypothetical 16 B ID + 8 B offset per pointer");
+    series.note("FOT entries amortize across pointers to the same target: break-even just above 1 ref/target, 3× smaller at high locality — and the FOT doubles as the reachability graph (A1)");
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fot_encoding_wins_with_locality() {
+        // At 1 ref/target the schemes are within ~10% of each other…
+        let even = fot_bytes_per_ref(256, 256, 1);
+        assert!((20.0..28.0).contains(&even), "{even}");
+        // …with reuse, FOT approaches 8 B/ref.
+        let reuse = fot_bytes_per_ref(256, 16, 1);
+        assert!(reuse < 10.0, "{reuse}");
+        assert!(reuse < DIRECT_PTR_BYTES / 2.0);
+    }
+
+    #[test]
+    fn table_shape() {
+        let s = run(true);
+        let fot = |i: usize| s.rows[i][1].parse::<f64>().unwrap();
+        // Monotone improvement with locality.
+        for w in 0..4 {
+            assert!(fot(w) > fot(w + 1), "row {w}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Code as objects.
+//!
+//! §5: *"In our system, code (like data) is global and referenceable from
+//! anywhere."* A code object is an ordinary object (kind `Code`) whose heap
+//! holds a [`CodeDesc`]: which function to run and its cost model. Because
+//! we cannot ship actual machine code between simulated hosts, every host
+//! carries the same [`FnRegistry`] (think of it as the ISA — identical
+//! everywhere), and the *code object* is what moves, caches, and is named
+//! by references. This preserves exactly the property the paper needs:
+//! invoking `code_ref` on `data_refs` works on any host that can fetch the
+//! code object.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rdv_memproto::cache::ObjectCache;
+use rdv_objspace::{ObjId, Object, ObjectKind, ObjectStore};
+
+use crate::error::{CoreError, CoreResult};
+
+/// Descriptor stored in a code object's heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeDesc {
+    /// Registry function ID.
+    pub fn_id: u64,
+    /// Fixed invocation cost, model-nanoseconds (at speed 1.0).
+    pub base_ns: u64,
+    /// Additional cost per argument byte touched, model-picoseconds.
+    pub ps_per_byte: u64,
+}
+
+const DESC_OFFSET: u64 = 8;
+
+/// Write `desc` into a new code object with identity `id`.
+pub fn make_code_object(id: ObjId, desc: CodeDesc) -> Object {
+    let mut obj = Object::with_capacity(id, ObjectKind::Code, 4096);
+    let block = obj.alloc(24).expect("fresh object has room");
+    debug_assert_eq!(block, DESC_OFFSET);
+    obj.write_u64(block, desc.fn_id).expect("in bounds");
+    obj.write_u64(block + 8, desc.base_ns).expect("in bounds");
+    obj.write_u64(block + 16, desc.ps_per_byte).expect("in bounds");
+    obj
+}
+
+/// Read the descriptor back out of a code object.
+pub fn read_code_desc(obj: &Object) -> CoreResult<CodeDesc> {
+    if obj.kind() != ObjectKind::Code {
+        return Err(CoreError::MalformedObject(obj.id(), "not a code object"));
+    }
+    let read = |off| {
+        obj.read_u64(off).map_err(|_| CoreError::MalformedObject(obj.id(), "truncated descriptor"))
+    };
+    Ok(CodeDesc {
+        fn_id: read(DESC_OFFSET)?,
+        base_ns: read(DESC_OFFSET + 8)?,
+        ps_per_byte: read(DESC_OFFSET + 16)?,
+    })
+}
+
+/// Object access handed to executing functions: local store first, cache
+/// second — the function neither knows nor cares which copy it reads.
+pub struct ExecCtx<'a> {
+    store: &'a ObjectStore,
+    cache: &'a mut ObjectCache,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Build a context over a host's store and cache.
+    pub fn new(store: &'a ObjectStore, cache: &'a mut ObjectCache) -> ExecCtx<'a> {
+        ExecCtx { store, cache }
+    }
+
+    /// Read an object by reference.
+    pub fn object(&mut self, id: ObjId) -> CoreResult<&Object> {
+        if let Ok(obj) = self.store.get(id) {
+            return Ok(obj);
+        }
+        self.cache.get(id).ok_or(CoreError::ObjectUnavailable(id))
+    }
+
+    /// Whether `id` is readable here right now.
+    pub fn available(&mut self, id: ObjId) -> bool {
+        self.store.contains(id) || self.cache.get(id).is_some()
+    }
+}
+
+/// Outcome of a function execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Application-defined result bytes (small, by design).
+    pub result: Vec<u8>,
+    /// Data bytes the function touched (drives the cost model).
+    pub bytes_touched: u64,
+}
+
+/// A registered function body.
+pub type FnBody = dyn Fn(&mut ExecCtx<'_>, &[ObjId]) -> CoreResult<ExecOutcome>;
+
+/// The function registry — identical on every host, like an ISA.
+#[derive(Clone, Default)]
+pub struct FnRegistry {
+    fns: HashMap<u64, Rc<FnBody>>,
+}
+
+impl FnRegistry {
+    /// Empty registry.
+    pub fn new() -> FnRegistry {
+        FnRegistry::default()
+    }
+
+    /// Register `body` under `fn_id` (replacing any previous binding).
+    pub fn register(
+        &mut self,
+        fn_id: u64,
+        body: impl Fn(&mut ExecCtx<'_>, &[ObjId]) -> CoreResult<ExecOutcome> + 'static,
+    ) {
+        self.fns.insert(fn_id, Rc::new(body));
+    }
+
+    /// Look up a function.
+    pub fn get(&self, fn_id: u64) -> CoreResult<Rc<FnBody>> {
+        self.fns.get(&fn_id).cloned().ok_or(CoreError::UnknownFunction(fn_id))
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// True when no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+}
+
+impl std::fmt::Debug for FnRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnRegistry({} fns)", self.fns.len())
+    }
+}
+
+/// Compute the simulated execution time of one invocation.
+pub fn execution_ns(desc: &CodeDesc, bytes_touched: u64, load: f64, speed: f64) -> u64 {
+    let raw = desc.base_ns as f64 + (desc.ps_per_byte as f64 * bytes_touched as f64) / 1000.0;
+    (raw * load / speed.max(1e-9)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdv_memproto::cache::CacheState;
+
+    #[test]
+    fn code_object_roundtrip() {
+        let desc = CodeDesc { fn_id: 0xC0DE, base_ns: 1000, ps_per_byte: 250 };
+        let obj = make_code_object(ObjId(5), desc);
+        assert_eq!(obj.kind(), ObjectKind::Code);
+        assert_eq!(read_code_desc(&obj).unwrap(), desc);
+        // Code objects move like data objects — byte copy, then read.
+        let moved = Object::from_image(&obj.to_image()).unwrap();
+        assert_eq!(read_code_desc(&moved).unwrap(), desc);
+    }
+
+    #[test]
+    fn data_object_rejected_as_code() {
+        let obj = Object::new(ObjId(5), ObjectKind::Data);
+        assert!(matches!(read_code_desc(&obj), Err(CoreError::MalformedObject(..))));
+    }
+
+    #[test]
+    fn registry_dispatch() {
+        let mut reg = FnRegistry::new();
+        reg.register(7, |_ctx, args| {
+            Ok(ExecOutcome { result: vec![args.len() as u8], bytes_touched: 0 })
+        });
+        let f = reg.get(7).unwrap();
+        let store = ObjectStore::new();
+        let mut cache = ObjectCache::new(1 << 20);
+        let mut ctx = ExecCtx::new(&store, &mut cache);
+        let out = f(&mut ctx, &[ObjId(1), ObjId(2)]).unwrap();
+        assert_eq!(out.result, vec![2]);
+        assert!(matches!(reg.get(8), Err(CoreError::UnknownFunction(8))));
+    }
+
+    #[test]
+    fn exec_ctx_prefers_store_then_cache() {
+        let mut store = ObjectStore::new();
+        let mut cache = ObjectCache::new(1 << 20);
+        // Build one object in the store, one only in the cache.
+        let mut o1 = Object::new(ObjId(1), ObjectKind::Data);
+        o1.alloc(8).unwrap();
+        store.insert(o1).unwrap();
+        let mut o2 = Object::new(ObjId(2), ObjectKind::Data);
+        o2.alloc(8).unwrap();
+        cache.insert(o2, CacheState::Shared);
+        let mut ctx = ExecCtx::new(&store, &mut cache);
+        assert!(ctx.available(ObjId(1)));
+        assert!(ctx.available(ObjId(2)));
+        assert!(ctx.object(ObjId(3)).is_err());
+    }
+
+    #[test]
+    fn execution_cost_scales() {
+        let desc = CodeDesc { fn_id: 1, base_ns: 1000, ps_per_byte: 1000 };
+        let fast = execution_ns(&desc, 1000, 1.0, 2.0);
+        let slow = execution_ns(&desc, 1000, 1.0, 0.5);
+        assert_eq!(fast * 4, slow);
+        let loaded = execution_ns(&desc, 1000, 4.0, 1.0);
+        assert_eq!(loaded, 2000 * 4);
+    }
+}

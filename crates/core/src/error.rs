@@ -1,0 +1,47 @@
+//! Core runtime errors.
+
+use rdv_objspace::ObjId;
+use std::fmt;
+
+/// Errors from the rendezvous runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The code object names a function the local registry lacks.
+    UnknownFunction(u64),
+    /// An object required by an execution is unavailable.
+    ObjectUnavailable(ObjId),
+    /// An object's contents failed to parse as the expected structure.
+    MalformedObject(ObjId, &'static str),
+    /// An invocation was refused by the executor.
+    InvokeRefused,
+    /// No host satisfies the placement constraints.
+    NoPlacement,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownFunction(id) => write!(f, "unknown function {id:#x}"),
+            CoreError::ObjectUnavailable(id) => write!(f, "object {id} unavailable"),
+            CoreError::MalformedObject(id, what) => write!(f, "object {id} malformed: {what}"),
+            CoreError::InvokeRefused => write!(f, "invocation refused"),
+            CoreError::NoPlacement => write!(f, "no feasible placement"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CoreError::UnknownFunction(0xAB).to_string().contains("0xab"));
+        assert!(CoreError::ObjectUnavailable(ObjId(3)).to_string().contains("unavailable"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # rdv-core — rendezvous of code and data
+//!
+//! The paper's contribution (§3): *"combine the code mobility of RPC with
+//! the expressiveness of DSM-like solutions … The programmer is then free
+//! to express their computation through references to code to run on some
+//! references to data, instead of needing to serialize and copy values for
+//! arguments."* And §5: *"there would be no reason to provide a separate
+//! mechanism for specifying function invocations. Instead, we place all
+//! data and code in a single space … the programmer primarily orchestrates
+//! a rendezvous between code and data."*
+//!
+//! - [`code`] — code as objects: a [`code::CodeDesc`] lives in an
+//!   `ObjectKind::Code` object and names a function in the host's
+//!   [`code::FnRegistry`] (the registry stands in for an ISA: moving the
+//!   code object moves the computation).
+//! - [`placement`] — the system-side placement engine: given where the
+//!   argument objects live, how big they are, link costs, and host
+//!   load/speed, pick the execution site (Figure 1's "automatic" strategy).
+//! - [`modelobj`] — the §2 workload in global-address-space form: a sparse
+//!   model laid out *inside* an object, usable in place after a byte copy —
+//!   zero deserialization, zero loading.
+//! - [`runtime`] — [`runtime::GasHostNode`]: the host runtime. Serves
+//!   object fetches (fragmented images), executes invocations (fetching
+//!   missing code/data objects on demand), runs scripted drivers for the
+//!   Figure 1 strategies, and walks pointer structures with pluggable
+//!   prefetching ([`runtime::PrefetchPolicy`] — none / adjacency /
+//!   reachability, experiment A1).
+//! - [`local`] — [`local::LocalSpace`]: the same model in one process with
+//!   direct calls — the ten-line on-ramp (and a semantics oracle for the
+//!   simulated runtime).
+//! - [`scenarios`] — builders for the F1, S1, A1, and failure-injection
+//!   experiments.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod code;
+pub mod error;
+pub mod local;
+pub mod modelobj;
+pub mod placement;
+pub mod runtime;
+pub mod scenarios;
+
+pub use code::{CodeDesc, ExecCtx, FnRegistry};
+pub use local::{LocalInvoke, LocalSpace};
+pub use error::{CoreError, CoreResult};
+pub use placement::{HostProfile, LinkCost, PlacementEngine};
+pub use runtime::{GasHostNode, PrefetchPolicy, ScriptStep};

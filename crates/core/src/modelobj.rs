@@ -1,0 +1,183 @@
+//! Sparse models laid out inside objects — usable in place.
+//!
+//! §3.1: *"a data structure containing pointers can be copied from one host
+//! to another with merely a byte-level copy, alleviating 100% of the
+//! loading overhead."* This module is the global-address-space counterpart
+//! of `rdv_wire::sparsemodel`: the same CSR model, but stored directly in
+//! an object's heap in its working form. After a byte copy to another host
+//! the inference kernel reads it immediately — no deserialize, no index
+//! rebuild, no interning.
+//!
+//! Layout (all offsets relative to the header block at offset 8):
+//!
+//! ```text
+//! +0   u64  layers
+//! +8   u64  rows        (uniform across layers, as generated)
+//! +16  u64  cols
+//! +24  u64  nnz_per_layer
+//! +32.. per-layer section table: 4 × u64 offsets per layer
+//!       (row_ptr, col_idx, values, bias)
+//! ```
+
+use rdv_objspace::{ObjError, ObjId, ObjResult, Object, ObjectKind};
+use rdv_wire::sparsemodel::SparseModel;
+
+const HDR: u64 = 8;
+
+/// Build an object containing `model` in its in-memory working form.
+pub fn model_to_object(id: ObjId, model: &SparseModel) -> ObjResult<Object> {
+    let layers = model.layers.len() as u64;
+    let rows = model.layers.first().map(|l| l.weights.rows as u64).unwrap_or(0);
+    let cols = model.layers.first().map(|l| l.weights.cols as u64).unwrap_or(0);
+    let nnz = model.layers.first().map(|l| l.weights.nnz() as u64).unwrap_or(0);
+    let capacity = 4096 + model.approx_bytes() * 2;
+    let mut obj = Object::with_capacity(id, ObjectKind::Data, capacity);
+    let hdr = obj.alloc(32 + layers * 32)?;
+    debug_assert_eq!(hdr, HDR);
+    obj.write_u64(hdr, layers)?;
+    obj.write_u64(hdr + 8, rows)?;
+    obj.write_u64(hdr + 16, cols)?;
+    obj.write_u64(hdr + 24, nnz)?;
+    for (i, layer) in model.layers.iter().enumerate() {
+        let w = &layer.weights;
+        // row_ptr as u64 array for aligned reads.
+        let rp_off = obj.alloc((w.row_ptr.len() * 8) as u64)?;
+        for (j, &v) in w.row_ptr.iter().enumerate() {
+            obj.write_u64(rp_off + j as u64 * 8, u64::from(v))?;
+        }
+        let ci_off = obj.alloc((w.col_idx.len() * 8) as u64)?;
+        for (j, &v) in w.col_idx.iter().enumerate() {
+            obj.write_u64(ci_off + j as u64 * 8, u64::from(v))?;
+        }
+        let va_off = obj.alloc((w.values.len() * 4) as u64)?;
+        obj.write_f32s(va_off, &w.values)?;
+        let b_off = obj.alloc((layer.bias.len() * 4) as u64)?;
+        obj.write_f32s(b_off, &layer.bias)?;
+        let table = hdr + 32 + i as u64 * 32;
+        obj.write_u64(table, rp_off)?;
+        obj.write_u64(table + 8, ci_off)?;
+        obj.write_u64(table + 16, va_off)?;
+        obj.write_u64(table + 24, b_off)?;
+    }
+    Ok(obj)
+}
+
+/// Model shape read back from an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelShape {
+    /// Layer count.
+    pub layers: u64,
+    /// Rows per layer.
+    pub rows: u64,
+    /// Columns per layer.
+    pub cols: u64,
+    /// Nonzeros per layer.
+    pub nnz: u64,
+}
+
+/// Read the shape header.
+pub fn model_shape(obj: &Object) -> ObjResult<ModelShape> {
+    Ok(ModelShape {
+        layers: obj.read_u64(HDR)?,
+        rows: obj.read_u64(HDR + 8)?,
+        cols: obj.read_u64(HDR + 16)?,
+        nnz: obj.read_u64(HDR + 24)?,
+    })
+}
+
+/// Run inference directly against the object — the in-place path.
+///
+/// Returns `(output, flops)`; the caller converts flops into simulated
+/// compute time. There is deliberately **no** construction of any
+/// intermediate model structure here.
+pub fn infer_in_place(obj: &Object, activation: &[f32]) -> ObjResult<(Vec<f32>, u64)> {
+    let shape = model_shape(obj)?;
+    if activation.len() as u64 != shape.cols {
+        return Err(ObjError::OutOfBounds {
+            offset: 0,
+            len: activation.len() as u64,
+            size: shape.cols,
+        });
+    }
+    let mut x = activation.to_vec();
+    let mut flops = 0u64;
+    for layer in 0..shape.layers {
+        let table = HDR + 32 + layer * 32;
+        let rp_off = obj.read_u64(table)?;
+        let ci_off = obj.read_u64(table + 8)?;
+        let va_off = obj.read_u64(table + 16)?;
+        let b_off = obj.read_u64(table + 24)?;
+        let values = obj.read_f32s(va_off, shape.nnz as usize)?;
+        let bias = obj.read_f32s(b_off, shape.rows as usize)?;
+        let mut y = vec![0.0f32; shape.rows as usize];
+        for r in 0..shape.rows {
+            let start = obj.read_u64(rp_off + r * 8)?;
+            let end = obj.read_u64(rp_off + (r + 1) * 8)?;
+            let mut acc = 0.0f32;
+            for k in start..end {
+                let col = obj.read_u64(ci_off + k * 8)?;
+                acc += values[k as usize] * x[col as usize];
+            }
+            y[r as usize] = (acc + bias[r as usize]).max(0.0);
+        }
+        flops += 2 * shape.nnz + shape.rows;
+        x = y;
+    }
+    Ok((x, flops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdv_wire::cost::CostMeter;
+    use rdv_wire::sparsemodel::{load_model, SparseModelSpec};
+
+    fn spec() -> SparseModelSpec {
+        SparseModelSpec { layers: 2, rows: 32, cols: 32, nnz_per_row: 4, vocab: 8, seed: 77 }
+    }
+
+    #[test]
+    fn in_place_matches_loaded_inference() {
+        let model = SparseModel::generate(&spec());
+        let obj = model_to_object(ObjId(1), &model).unwrap();
+        let activation: Vec<f32> = (0..32).map(|i| (i as f32) / 32.0).collect();
+
+        let (in_place, flops) = infer_in_place(&obj, &activation).unwrap();
+        assert!(flops > 0);
+
+        let mut meter = CostMeter::new();
+        let loaded = load_model(model, &mut meter);
+        let reference = loaded.infer(&activation, &mut meter);
+        assert_eq!(in_place.len(), reference.len());
+        for (a, b) in in_place.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn survives_byte_copy_with_zero_rework() {
+        let model = SparseModel::generate(&spec());
+        let obj = model_to_object(ObjId(1), &model).unwrap();
+        let activation = vec![1.0f32; 32];
+        let (before, _) = infer_in_place(&obj, &activation).unwrap();
+        // "Move" the object: byte copy, nothing else.
+        let moved = Object::from_image(&obj.to_image()).unwrap();
+        let (after, _) = infer_in_place(&moved, &activation).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shape_header() {
+        let model = SparseModel::generate(&spec());
+        let obj = model_to_object(ObjId(1), &model).unwrap();
+        let s = model_shape(&obj).unwrap();
+        assert_eq!(s, ModelShape { layers: 2, rows: 32, cols: 32, nnz: 128 });
+    }
+
+    #[test]
+    fn wrong_activation_size_rejected() {
+        let model = SparseModel::generate(&spec());
+        let obj = model_to_object(ObjId(1), &model).unwrap();
+        assert!(infer_in_place(&obj, &[0.0; 8]).is_err());
+    }
+}

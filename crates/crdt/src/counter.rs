@@ -1,0 +1,196 @@
+//! Grow-only and increment/decrement counters.
+
+use std::collections::BTreeMap;
+
+use rdv_wire::{Decode, Encode, WireReader, WireResult, WireWriter};
+
+use crate::{Merge, ReplicaId};
+
+/// A grow-only counter: per-replica maxima, value = sum.
+///
+/// ```
+/// use rdv_crdt::{GCounter, Merge};
+///
+/// let mut a = GCounter::new();
+/// let mut b = GCounter::new();
+/// a.add(1, 5);            // replica 1 counts 5
+/// b.add(2, 7);            // replica 2 counts 7, concurrently
+/// a.merge(&b);
+/// b.merge(&a);
+/// assert_eq!(a.value(), 12);
+/// assert_eq!(a, b);       // replicas converge
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GCounter {
+    counts: BTreeMap<ReplicaId, u64>,
+}
+
+impl GCounter {
+    /// Zero counter.
+    pub fn new() -> GCounter {
+        GCounter::default()
+    }
+
+    /// Increment this replica's slot by `n`.
+    pub fn add(&mut self, replica: ReplicaId, n: u64) {
+        *self.counts.entry(replica).or_insert(0) += n;
+    }
+
+    /// The counter's value.
+    pub fn value(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+impl Merge for GCounter {
+    fn merge(&mut self, other: &Self) {
+        for (&r, &v) in &other.counts {
+            let slot = self.counts.entry(r).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+    }
+}
+
+impl Encode for GCounter {
+    fn encode(&self, w: &mut WireWriter) {
+        self.counts.encode(w);
+    }
+}
+
+impl Decode for GCounter {
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(GCounter { counts: BTreeMap::decode(r)? })
+    }
+}
+
+/// An increment/decrement counter: two G-counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PnCounter {
+    inc: GCounter,
+    dec: GCounter,
+}
+
+impl PnCounter {
+    /// Zero counter.
+    pub fn new() -> PnCounter {
+        PnCounter::default()
+    }
+
+    /// Add `n` at `replica`.
+    pub fn add(&mut self, replica: ReplicaId, n: u64) {
+        self.inc.add(replica, n);
+    }
+
+    /// Subtract `n` at `replica`.
+    pub fn sub(&mut self, replica: ReplicaId, n: u64) {
+        self.dec.add(replica, n);
+    }
+
+    /// The counter's value (may be negative).
+    pub fn value(&self) -> i64 {
+        self.inc.value() as i64 - self.dec.value() as i64
+    }
+}
+
+impl Merge for PnCounter {
+    fn merge(&mut self, other: &Self) {
+        self.inc.merge(&other.inc);
+        self.dec.merge(&other.dec);
+    }
+}
+
+impl Encode for PnCounter {
+    fn encode(&self, w: &mut WireWriter) {
+        self.inc.encode(w);
+        self.dec.encode(w);
+    }
+}
+
+impl Decode for PnCounter {
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(PnCounter { inc: GCounter::decode(r)?, dec: GCounter::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+    use proptest::prelude::*;
+
+    fn gcounter(ops: &[(u8, u64)]) -> GCounter {
+        let mut c = GCounter::new();
+        for &(r, n) in ops {
+            c.add(u64::from(r % 4), n % 1000);
+        }
+        c
+    }
+
+    #[test]
+    fn concurrent_increments_all_count() {
+        let mut a = GCounter::new();
+        a.add(1, 5);
+        let mut b = GCounter::new();
+        b.add(2, 7);
+        a.merge(&b);
+        assert_eq!(a.value(), 12);
+    }
+
+    #[test]
+    fn merge_takes_maximum_not_sum() {
+        // Replica 1 counted to 5; a stale copy of the same replica counted
+        // to 3. Merging must not double-count.
+        let mut fresh = GCounter::new();
+        fresh.add(1, 5);
+        let mut stale = GCounter::new();
+        stale.add(1, 3);
+        fresh.merge(&stale);
+        assert_eq!(fresh.value(), 5);
+    }
+
+    #[test]
+    fn pn_counter_value() {
+        let mut c = PnCounter::new();
+        c.add(1, 10);
+        c.sub(2, 3);
+        c.sub(1, 12);
+        assert_eq!(c.value(), -5);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut c = PnCounter::new();
+        c.add(1, 10);
+        c.sub(2, 3);
+        let bytes = rdv_wire::encode_to_vec(&c);
+        let back: PnCounter = rdv_wire::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.value(), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gcounter_laws(
+            a in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+            b in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+            c in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        ) {
+            let (a, b, c) = (gcounter(&a), gcounter(&b), gcounter(&c));
+            laws::commutative(&a, &b);
+            laws::associative(&a, &b, &c);
+            laws::idempotent(&a);
+        }
+
+        #[test]
+        fn prop_merge_never_loses_counts(
+            a in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+            b in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..8),
+        ) {
+            let (a, b) = (gcounter(&a), gcounter(&b));
+            let mut m = a.clone();
+            m.merge(&b);
+            prop_assert!(m.value() >= a.value());
+            prop_assert!(m.value() >= b.value());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Progressive objects: CRDTs living inside global-address-space objects.
+//!
+//! The paper's §5 imagines *"auto-merging progressive objects like CRDTs
+//! during data movement"*: when a replica of an object arrives at a host
+//! that already holds one, the system merges states instead of picking a
+//! winner. [`ProgressiveObject`] packs any `Merge + Encode + Decode` type
+//! into an object heap; [`ProgressiveObject::absorb`] implements
+//! merge-on-rendezvous over object images.
+
+use std::marker::PhantomData;
+
+use rdv_objspace::{ObjError, ObjId, ObjResult, Object, ObjectKind};
+use rdv_wire::{Decode, Encode};
+
+use crate::Merge;
+
+/// Byte offset of the state-length word within a progressive object.
+const LEN_OFFSET: u64 = 8;
+/// Byte offset of the state bytes.
+const STATE_OFFSET: u64 = 16;
+
+/// Typed view of a CRDT stored in an object.
+#[derive(Debug)]
+pub struct ProgressiveObject<C> {
+    object: Object,
+    _marker: PhantomData<C>,
+}
+
+impl<C: Merge + Encode + Decode + Default> ProgressiveObject<C> {
+    /// Create a fresh progressive object holding `initial`.
+    pub fn create(id: ObjId, initial: &C) -> ObjResult<ProgressiveObject<C>> {
+        let mut object = Object::new(id, ObjectKind::Data);
+        // Reserve the length word (offset 8) by allocating it first.
+        let len_cell = object.alloc(8)?;
+        debug_assert_eq!(len_cell, LEN_OFFSET);
+        let mut po = ProgressiveObject { object, _marker: PhantomData };
+        po.write_state(initial)?;
+        Ok(po)
+    }
+
+    /// Wrap an existing object (e.g. one that arrived as an image).
+    pub fn from_object(object: Object) -> ProgressiveObject<C> {
+        ProgressiveObject { object, _marker: PhantomData }
+    }
+
+    /// The underlying object (for movement).
+    pub fn object(&self) -> &Object {
+        &self.object
+    }
+
+    /// Consume into the underlying object.
+    pub fn into_object(self) -> Object {
+        self.object
+    }
+
+    /// Read the CRDT state out of the heap.
+    pub fn read_state(&self) -> ObjResult<C> {
+        let len = self.object.read_u64(LEN_OFFSET)?;
+        let bytes = self.object.read(STATE_OFFSET, len)?;
+        rdv_wire::decode_from_slice(bytes).map_err(|_| ObjError::CorruptImage("crdt state"))
+    }
+
+    /// Write `state` into the heap (re-allocating the state block as it
+    /// grows; CRDT states grow monotonically, so blocks are append-mostly).
+    pub fn write_state(&mut self, state: &C) -> ObjResult<()> {
+        let bytes = rdv_wire::encode_to_vec(state);
+        let needed = bytes.len() as u64;
+        let current_cap = self.object.heap_len().saturating_sub(STATE_OFFSET);
+        if needed > current_cap {
+            // Grow: allocate a fresh region at the end; state always lives
+            // at STATE_OFFSET, so we just extend the heap to cover it.
+            let grow = needed - current_cap;
+            self.object.alloc(grow)?;
+        }
+        self.object.write_u64(LEN_OFFSET, needed)?;
+        self.object.write(STATE_OFFSET, &bytes)?;
+        Ok(())
+    }
+
+    /// Apply a mutation to the state in place.
+    pub fn update(&mut self, f: impl FnOnce(&mut C)) -> ObjResult<()> {
+        let mut state = self.read_state()?;
+        f(&mut state);
+        self.write_state(&state)
+    }
+
+    /// Merge-on-rendezvous: absorb the replica carried by `image` (an
+    /// object image of the same object ID). Returns the merged state.
+    pub fn absorb(&mut self, image: &[u8]) -> ObjResult<C> {
+        let incoming = Object::from_image(image)?;
+        if incoming.id() != self.object.id() {
+            return Err(ObjError::CorruptImage("absorb: different object identity"));
+        }
+        let theirs = ProgressiveObject::<C>::from_object(incoming).read_state()?;
+        let mut ours = self.read_state()?;
+        ours.merge(&theirs);
+        self.write_state(&ours)?;
+        self.read_state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GCounter, OrSet};
+
+    fn id(n: u128) -> ObjId {
+        ObjId(n)
+    }
+
+    #[test]
+    fn state_roundtrips_through_heap() {
+        let mut c = GCounter::new();
+        c.add(1, 5);
+        let po = ProgressiveObject::create(id(1), &c).unwrap();
+        assert_eq!(po.read_state().unwrap(), c);
+    }
+
+    #[test]
+    fn update_persists() {
+        let po = ProgressiveObject::create(id(1), &GCounter::new()).unwrap();
+        let mut po = po;
+        po.update(|c| c.add(2, 10)).unwrap();
+        assert_eq!(po.read_state().unwrap().value(), 10);
+    }
+
+    #[test]
+    fn state_growth_reallocates() {
+        let mut po = ProgressiveObject::create(id(1), &OrSet::<String>::new()).unwrap();
+        for i in 0..100 {
+            po.update(|s| s.add(1, format!("element_number_{i}"))).unwrap();
+        }
+        assert_eq!(po.read_state().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn absorb_merges_replicas_on_rendezvous() {
+        // Two hosts hold replicas of the same counter object; replica B
+        // travels (as an image) to A's host, which absorbs it.
+        let mut base = GCounter::new();
+        base.add(0, 1);
+        let mut a = ProgressiveObject::create(id(9), &base).unwrap();
+        let mut b = ProgressiveObject::<GCounter>::from_object(
+            Object::from_image(&a.object().to_image()).unwrap(),
+        );
+        a.update(|c| c.add(1, 10)).unwrap();
+        b.update(|c| c.add(2, 20)).unwrap();
+        let merged = a.absorb(&b.object().to_image()).unwrap();
+        assert_eq!(merged.value(), 31);
+        // Absorbing again is idempotent.
+        let again = a.absorb(&b.object().to_image()).unwrap();
+        assert_eq!(again.value(), 31);
+    }
+
+    #[test]
+    fn absorb_rejects_foreign_objects() {
+        let mut a = ProgressiveObject::create(id(1), &GCounter::new()).unwrap();
+        let b = ProgressiveObject::create(id(2), &GCounter::new()).unwrap();
+        assert!(a.absorb(&b.object().to_image()).is_err());
+    }
+
+    #[test]
+    fn movement_preserves_state_exactly() {
+        let mut c = OrSet::new();
+        c.add(1, 42u64);
+        c.add(2, 7);
+        c.remove(&7);
+        let po = ProgressiveObject::create(id(3), &c).unwrap();
+        let moved = Object::from_image(&po.object().to_image()).unwrap();
+        let back = ProgressiveObject::<OrSet<u64>>::from_object(moved);
+        assert_eq!(back.read_state().unwrap(), c);
+    }
+}

@@ -1,0 +1,172 @@
+//! The per-host destination cache (object ID → holder inbox).
+//!
+//! §4: *"hosts store a destination cache, recording a map of object IDs and
+//! hosts that it must use broadcast to discover on first access"*. Entries
+//! go stale when objects move; [`DestCache`] tracks hit/miss/invalidation
+//! counts for the Figure 2/3 sweeps.
+
+use std::collections::HashMap;
+
+use rdv_objspace::ObjId;
+
+/// A host's object-location cache, optionally bounded (LRU eviction) —
+/// the paper notes that *"memory constraints may impose limits"* on
+/// location state; hosts have the same problem as switches.
+#[derive(Debug, Default)]
+pub struct DestCache {
+    map: HashMap<ObjId, (ObjId, u64)>,
+    capacity: Option<usize>,
+    tick: u64,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped by invalidation or NACK.
+    pub invalidations: u64,
+    /// Entries dropped by LRU pressure.
+    pub evictions: u64,
+}
+
+impl DestCache {
+    /// Unbounded cache.
+    pub fn new() -> DestCache {
+        DestCache::default()
+    }
+
+    /// Cache bounded to at most `capacity` entries (LRU eviction).
+    pub fn with_capacity(capacity: usize) -> DestCache {
+        DestCache { capacity: Some(capacity.max(1)), ..Default::default() }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up the holder of `obj`, with accounting (bumps recency).
+    pub fn lookup(&mut self, obj: ObjId) -> Option<ObjId> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&obj) {
+            Some((h, used)) => {
+                *used = tick;
+                self.hits += 1;
+                Some(*h)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching the counters or recency.
+    pub fn peek(&self, obj: ObjId) -> Option<ObjId> {
+        self.map.get(&obj).map(|(h, _)| *h)
+    }
+
+    /// Record that `obj` lives behind `holder_inbox`, evicting the
+    /// least-recently-used entry if bounded and full.
+    pub fn insert(&mut self, obj: ObjId, holder_inbox: ObjId) {
+        self.tick += 1;
+        if let Some(cap) = self.capacity {
+            if !self.map.contains_key(&obj) && self.map.len() >= cap {
+                if let Some(&victim) = self
+                    .map
+                    .iter()
+                    .min_by_key(|(id, (_, used))| (*used, id.as_u128()))
+                    .map(|(id, _)| id)
+                {
+                    self.map.remove(&victim);
+                    self.evictions += 1;
+                }
+            }
+        }
+        self.map.insert(obj, (holder_inbox, self.tick));
+    }
+
+    /// Drop the entry for `obj` (stale route learned the hard way).
+    pub fn invalidate(&mut self, obj: ObjId) -> bool {
+        let existed = self.map.remove(&obj).is_some();
+        if existed {
+            self.invalidations += 1;
+        }
+        existed
+    }
+
+    /// Fraction of lookups that hit (0.0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_accounting() {
+        let mut c = DestCache::new();
+        assert_eq!(c.lookup(ObjId(1)), None);
+        c.insert(ObjId(1), ObjId(0xA));
+        assert_eq!(c.lookup(ObjId(1)), Some(ObjId(0xA)));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn invalidation() {
+        let mut c = DestCache::new();
+        c.insert(ObjId(1), ObjId(0xA));
+        assert!(c.invalidate(ObjId(1)));
+        assert!(!c.invalidate(ObjId(1)), "second invalidate is a no-op");
+        assert_eq!(c.invalidations, 1);
+        assert_eq!(c.lookup(ObjId(1)), None);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru() {
+        let mut c = DestCache::with_capacity(2);
+        c.insert(ObjId(1), ObjId(0xA));
+        c.insert(ObjId(2), ObjId(0xB));
+        // Touch 1 so 2 is the LRU victim.
+        assert!(c.lookup(ObjId(1)).is_some());
+        c.insert(ObjId(3), ObjId(0xC));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.peek(ObjId(2)), None, "LRU entry evicted");
+        assert!(c.peek(ObjId(1)).is_some());
+        assert!(c.peek(ObjId(3)).is_some());
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut c = DestCache::with_capacity(2);
+        c.insert(ObjId(1), ObjId(0xA));
+        c.insert(ObjId(2), ObjId(0xB));
+        c.insert(ObjId(1), ObjId(0xC)); // move, same key
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions, 0);
+        assert_eq!(c.peek(ObjId(1)), Some(ObjId(0xC)));
+    }
+
+    #[test]
+    fn insert_overwrites_on_move() {
+        let mut c = DestCache::new();
+        c.insert(ObjId(1), ObjId(0xA));
+        c.insert(ObjId(1), ObjId(0xB));
+        assert_eq!(c.peek(ObjId(1)), Some(ObjId(0xB)));
+        assert_eq!(c.len(), 1);
+    }
+}

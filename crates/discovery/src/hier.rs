@@ -1,0 +1,214 @@
+//! Hierarchical identifier overlays.
+//!
+//! §3.2 closes with: *"To scale to larger deployments, we will explore
+//! hierarchical identifier overlay schemes."* This module is that
+//! exploration (experiment A3): when a deployment has more objects than a
+//! switch's exact-match SRAM can hold, allocate object IDs inside *region
+//! prefixes* (the top `k` bits name a region, e.g. a rack or a host group)
+//! and install one LPM route per region instead of one exact route per
+//! object. The tail of objects that defy regional placement still gets
+//! exact entries until SRAM runs out, then punts to the controller.
+
+use rand::Rng;
+
+use rdv_objspace::ObjId;
+use rdv_p4rt::capacity::SramBudget;
+use rdv_p4rt::table::{Action, Table, TableEntry};
+#[cfg(test)]
+use rdv_p4rt::table::MatchKind;
+
+/// Allocates object IDs whose top `prefix_bits` identify a region.
+#[derive(Debug, Clone)]
+pub struct RegionAllocator {
+    prefix_bits: u32,
+}
+
+impl RegionAllocator {
+    /// Region prefixes of `prefix_bits` bits (1..=64).
+    pub fn new(prefix_bits: u32) -> RegionAllocator {
+        assert!((1..=64).contains(&prefix_bits), "prefix must be 1..=64 bits");
+        RegionAllocator { prefix_bits }
+    }
+
+    /// Prefix width.
+    pub fn prefix_bits(&self) -> u32 {
+        self.prefix_bits
+    }
+
+    /// Allocate a random ID inside `region`.
+    pub fn alloc<R: Rng + ?Sized>(&self, rng: &mut R, region: u64) -> ObjId {
+        let shift = 128 - self.prefix_bits;
+        let prefix = (u128::from(region) & ((1 << self.prefix_bits) - 1)) << shift;
+        loop {
+            let suffix = rng.gen::<u128>() & ((1u128 << shift) - 1);
+            let id = ObjId(prefix | suffix);
+            if !id.is_nil() {
+                return id;
+            }
+        }
+    }
+
+    /// The region an ID belongs to.
+    pub fn region_of(&self, id: ObjId) -> u64 {
+        id.prefix(self.prefix_bits) as u64
+    }
+
+    /// The LPM `(value, prefix_len)` entry matching all of `region`.
+    pub fn region_rule(&self, region: u64) -> (u128, u32) {
+        let shift = 128 - self.prefix_bits;
+        ((u128::from(region) & ((1 << self.prefix_bits) - 1)) << shift, self.prefix_bits)
+    }
+}
+
+/// Outcome of planning routes for a deployment (experiment A3's metric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlayPlan {
+    /// Exact entries installed.
+    pub exact_entries: u64,
+    /// LPM region entries installed.
+    pub region_entries: u64,
+    /// Objects with no route at all (must punt to the controller).
+    pub punted_objects: u64,
+}
+
+/// Plan routes for `objects` (each `(id, egress_port)`) under `budget`.
+///
+/// Strategy: if the object count fits the exact-match capacity, install
+/// exact routes. Otherwise group by region (via `alloc`); regions whose
+/// objects all share one egress collapse to a single LPM entry; leftovers
+/// get exact entries until SRAM is exhausted, then punt.
+pub fn plan_overlay(
+    alloc: &RegionAllocator,
+    budget: &SramBudget,
+    objects: &[(ObjId, u16)],
+    exact_table: &mut Table,
+    lpm_table: &mut Table,
+) -> OverlayPlan {
+    let mut plan = OverlayPlan { exact_entries: 0, region_entries: 0, punted_objects: 0 };
+    if (objects.len() as u64) <= budget.max_entries(128) {
+        for (id, port) in objects {
+            if exact_table
+                .insert(TableEntry::Exact { key: vec![id.as_u128()] }, Action::Forward(*port as usize))
+                .is_ok()
+            {
+                plan.exact_entries += 1;
+            } else {
+                plan.punted_objects += 1;
+            }
+        }
+        return plan;
+    }
+    // Group by region; a region is collapsible when single-homed.
+    use std::collections::HashMap;
+    let mut regions: HashMap<u64, Vec<(ObjId, u16)>> = HashMap::new();
+    for (id, port) in objects {
+        regions.entry(alloc.region_of(*id)).or_default().push((*id, *port));
+    }
+    let mut region_ids: Vec<u64> = regions.keys().copied().collect();
+    region_ids.sort_unstable();
+    let mut stragglers = Vec::new();
+    for r in region_ids {
+        let members = &regions[&r];
+        let first_port = members[0].1;
+        if members.iter().all(|(_, p)| *p == first_port) {
+            let (value, len) = alloc.region_rule(r);
+            if lpm_table
+                .insert(TableEntry::Lpm { value, prefix_len: len }, Action::Forward(first_port as usize))
+                .is_ok()
+            {
+                plan.region_entries += 1;
+            } else {
+                stragglers.extend_from_slice(members);
+            }
+        } else {
+            stragglers.extend_from_slice(members);
+        }
+    }
+    for (id, port) in stragglers {
+        if exact_table
+            .insert(TableEntry::Exact { key: vec![id.as_u128()] }, Action::Forward(port as usize))
+            .is_ok()
+        {
+            plan.exact_entries += 1;
+        } else {
+            plan.punted_objects += 1;
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tables(budget: SramBudget) -> (Table, Table) {
+        (
+            Table::new("exact", vec![1], MatchKind::Exact, 128, budget),
+            Table::new("lpm", vec![1], MatchKind::Lpm, 128, budget),
+        )
+    }
+
+    #[test]
+    fn region_allocation_roundtrips() {
+        let alloc = RegionAllocator::new(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        for region in [0u64, 1, 42, 65_535] {
+            let id = alloc.alloc(&mut rng, region);
+            assert_eq!(alloc.region_of(id), region);
+        }
+    }
+
+    #[test]
+    fn small_deployments_use_exact_routes() {
+        let alloc = RegionAllocator::new(8);
+        let budget = SramBudget::tiny(100);
+        let (mut exact, mut lpm) = tables(budget);
+        let mut rng = StdRng::seed_from_u64(2);
+        let objects: Vec<(ObjId, u16)> =
+            (0..20).map(|i| (alloc.alloc(&mut rng, i % 3), (i % 3) as u16)).collect();
+        let plan = plan_overlay(&alloc, &budget, &objects, &mut exact, &mut lpm);
+        assert_eq!(plan.exact_entries, 20);
+        assert_eq!(plan.region_entries, 0);
+        assert_eq!(plan.punted_objects, 0);
+    }
+
+    #[test]
+    fn oversubscribed_deployment_collapses_to_regions() {
+        let alloc = RegionAllocator::new(8);
+        // Exact capacity for 128-bit keys: tiny(n) gives n entries at
+        // 64-bit, n/2 at 128-bit. Make it far too small for 1000 objects.
+        let budget = SramBudget::tiny(64);
+        let (mut exact, mut lpm) = tables(budget);
+        let mut rng = StdRng::seed_from_u64(3);
+        // 4 regions, each single-homed on its own port.
+        let objects: Vec<(ObjId, u16)> =
+            (0..1000).map(|i| (alloc.alloc(&mut rng, i % 4), (i % 4) as u16)).collect();
+        let plan = plan_overlay(&alloc, &budget, &objects, &mut exact, &mut lpm);
+        assert_eq!(plan.region_entries, 4, "one LPM per single-homed region");
+        assert_eq!(plan.exact_entries, 0);
+        assert_eq!(plan.punted_objects, 0);
+        // Routing goes to the right port for a member object.
+        let (id, port) = objects[17];
+        assert_eq!(
+            lpm.lookup(&[0, id.as_u128(), 0]).unwrap(),
+            Some(Action::Forward(port as usize))
+        );
+    }
+
+    #[test]
+    fn multi_homed_regions_fall_back_to_exact_then_punt() {
+        let alloc = RegionAllocator::new(8);
+        let budget = SramBudget::tiny(20); // 10 exact 128-bit entries
+        let (mut exact, mut lpm) = tables(budget);
+        let mut rng = StdRng::seed_from_u64(4);
+        // One region, objects split across two ports: not collapsible.
+        let objects: Vec<(ObjId, u16)> =
+            (0..30).map(|i| (alloc.alloc(&mut rng, 7), (i % 2) as u16)).collect();
+        let plan = plan_overlay(&alloc, &budget, &objects, &mut exact, &mut lpm);
+        assert_eq!(plan.region_entries, 0);
+        assert_eq!(plan.exact_entries, 10);
+        assert_eq!(plan.punted_objects, 20);
+    }
+}

@@ -1,0 +1,575 @@
+//! Host behaviour: issuing object accesses, serving owned objects, and
+//! migrating objects between hosts.
+//!
+//! One [`HostNode`] type plays both roles of the paper's testbed (*"one VM
+//! drove accesses to objects and the other two responded"*): give it an
+//! access plan and it drives; give it objects and it responds. Hosts have a
+//! single uplink port (port 0).
+
+use std::collections::HashMap;
+
+use rdv_memproto::msg::{Msg, MsgBody, NackCode};
+use rdv_netsim::{Node, NodeCtx, Packet, PortId, SimTime};
+use rdv_objspace::{ObjId, Object, ObjectStore};
+
+use crate::destcache::DestCache;
+use crate::CONTROLLER_INBOX;
+
+/// Which discovery scheme the host runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscoveryMode {
+    /// Decentralized: destination cache + broadcast discovery.
+    E2E,
+    /// Centralized: advertise to the SDN controller; access unicast on
+    /// object IDs directly.
+    Controller,
+}
+
+/// How E2E hosts find out that a cached location went stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StalenessMode {
+    /// The migrating host broadcasts an `Invalidate` at move time; a later
+    /// access is then an ordinary miss: discovery + access = 2 RTTs. This
+    /// matches the 1→2 RTT shape of the paper's Figure 3.
+    InvalidateOnMove,
+    /// Nothing is broadcast; the stale unicast access reaches the old
+    /// holder, which NACKs, and the requester rediscovers: 3 legs. Reported
+    /// as an ablation in EXPERIMENTS.md.
+    NackRediscover,
+}
+
+/// Host configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HostConfig {
+    /// Discovery scheme.
+    pub mode: DiscoveryMode,
+    /// Staleness handling (E2E only).
+    pub staleness: StalenessMode,
+    /// Bytes read per access.
+    pub read_len: u64,
+    /// Fixed request-service delay at the responder (models host software).
+    pub serve_delay: SimTime,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            mode: DiscoveryMode::E2E,
+            staleness: StalenessMode::InvalidateOnMove,
+            read_len: 64,
+            serve_delay: SimTime::from_micros(2),
+        }
+    }
+}
+
+/// One completed access, for the experiment series.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessRecord {
+    /// The object accessed.
+    pub target: ObjId,
+    /// When the access was issued.
+    pub issued: SimTime,
+    /// When the data arrived.
+    pub completed: SimTime,
+    /// Broadcast discoveries this access required.
+    pub broadcasts: u64,
+    /// NACKs (stale unicasts) this access hit.
+    pub nacks: u64,
+}
+
+impl AccessRecord {
+    /// End-to-end access latency.
+    pub fn latency(&self) -> SimTime {
+        self.completed.saturating_sub(self.issued)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingState {
+    Discovering,
+    Reading,
+}
+
+#[derive(Debug)]
+struct Pending {
+    target: ObjId,
+    issued: SimTime,
+    state: PendingState,
+    broadcasts: u64,
+    nacks: u64,
+}
+
+/// Timer-tag spaces (disjoint bit ranges so external schedulers can drive
+/// accesses and migrations through `Sim::schedule`).
+pub mod tags {
+    /// Tags below this are indices into the access plan.
+    pub const ACCESS_LIMIT: u64 = 1 << 40;
+    /// OR this bit: index into the migration plan.
+    pub const MIGRATE: u64 = 1 << 61;
+    /// OR this bit: internal deferred-reply id.
+    pub const DEFER: u64 = 1 << 62;
+    /// OR this bit: retry a NACKed controller-mode access (the req id is in
+    /// the low bits); used while the controller repoints a moved object.
+    pub const RETRY: u64 = 1 << 60;
+}
+
+/// A host in the object fabric.
+pub struct HostNode {
+    label: String,
+    inbox: ObjId,
+    cfg: HostConfig,
+    /// Objects whose authoritative copy lives here.
+    pub store: ObjectStore,
+    /// E2E destination cache.
+    pub dest_cache: DestCache,
+    /// Access plan: timer tag `i` starts an access to `plan[i]`.
+    pub plan: Vec<ObjId>,
+    /// Migration plan: timer tag `MIGRATE | i` pushes `migrations[i].0` to
+    /// the host whose inbox is `migrations[i].1`.
+    pub migrations: Vec<(ObjId, ObjId)>,
+    pending: HashMap<u64, Pending>,
+    deferred: HashMap<u64, Msg>,
+    next_req: u64,
+    next_trace: u64,
+    next_defer: u64,
+    /// Completed accesses, in completion order.
+    pub records: Vec<AccessRecord>,
+    /// Host counters: `broadcasts`, `nacks_received`, `serves`,
+    /// `invalidates_sent`, `migrations_done`, `advertises_sent`.
+    pub counters: rdv_netsim::Counters,
+}
+
+impl HostNode {
+    /// Create a host. `inbox` is its network identity.
+    pub fn new(label: impl Into<String>, inbox: ObjId, cfg: HostConfig) -> HostNode {
+        HostNode {
+            label: label.into(),
+            inbox,
+            cfg,
+            store: ObjectStore::new(),
+            dest_cache: DestCache::new(),
+            plan: Vec::new(),
+            migrations: Vec::new(),
+            pending: HashMap::new(),
+            deferred: HashMap::new(),
+            next_req: 1,
+            next_trace: 1,
+            next_defer: 0,
+            records: Vec::new(),
+            counters: rdv_netsim::Counters::new(),
+        }
+    }
+
+    /// The host's inbox object ID.
+    pub fn inbox(&self) -> ObjId {
+        self.inbox
+    }
+
+    /// Accesses still awaiting completion.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn fresh_trace(&mut self) -> u64 {
+        let t = self.next_trace;
+        self.next_trace += 1;
+        t
+    }
+
+    fn transmit(&mut self, ctx: &mut NodeCtx<'_>, msg: Msg) {
+        let trace = self.fresh_trace();
+        ctx.send(PortId(0), Packet::new(msg.encode(), trace));
+    }
+
+    fn transmit_deferred(&mut self, ctx: &mut NodeCtx<'_>, msg: Msg) {
+        if self.cfg.serve_delay == SimTime::ZERO {
+            self.transmit(ctx, msg);
+            return;
+        }
+        let id = self.next_defer;
+        self.next_defer += 1;
+        self.deferred.insert(id, msg);
+        ctx.set_timer(self.cfg.serve_delay, tags::DEFER | id);
+    }
+
+    fn start_access(&mut self, ctx: &mut NodeCtx<'_>, target: ObjId) {
+        let req = self.next_req;
+        self.next_req += 1;
+        let issued = ctx.now;
+        match self.cfg.mode {
+            DiscoveryMode::Controller => {
+                self.pending.insert(
+                    req,
+                    Pending { target, issued, state: PendingState::Reading, broadcasts: 0, nacks: 0 },
+                );
+                let msg = Msg::new(
+                    target,
+                    self.inbox,
+                    MsgBody::ReadReq { req, target, offset: 8, len: self.cfg.read_len },
+                );
+                self.transmit(ctx, msg);
+            }
+            DiscoveryMode::E2E => match self.dest_cache.lookup(target) {
+                Some(holder) => {
+                    self.pending.insert(
+                        req,
+                        Pending {
+                            target,
+                            issued,
+                            state: PendingState::Reading,
+                            broadcasts: 0,
+                            nacks: 0,
+                        },
+                    );
+                    let msg = Msg::new(
+                        holder,
+                        self.inbox,
+                        MsgBody::ReadReq { req, target, offset: 8, len: self.cfg.read_len },
+                    );
+                    self.transmit(ctx, msg);
+                }
+                None => {
+                    self.pending.insert(
+                        req,
+                        Pending {
+                            target,
+                            issued,
+                            state: PendingState::Discovering,
+                            broadcasts: 1,
+                            nacks: 0,
+                        },
+                    );
+                    self.counters.inc("broadcasts");
+                    let msg = Msg::new(target, self.inbox, MsgBody::DiscoverReq { req });
+                    self.transmit(ctx, msg);
+                }
+            },
+        }
+    }
+
+    fn serve(&mut self, ctx: &mut NodeCtx<'_>, msg: Msg) {
+        let reply_to = msg.header.src;
+        match msg.body {
+            MsgBody::ReadReq { req, target, offset, len } => {
+                // A flooded request may reach hosts it was not meant for:
+                // only the holder serves it, and only the host the packet
+                // was *addressed to* (inbox-routed stale unicast) NACKs it.
+                let reply = match self.store.get(target) {
+                    Ok(obj) => {
+                        let end = (offset + len).min(obj.heap_len());
+                        let data = if offset < end {
+                            obj.read(offset, end - offset).map(<[u8]>::to_vec)
+                        } else {
+                            Ok(Vec::new())
+                        };
+                        match data {
+                            Ok(data) => MsgBody::ReadResp {
+                                req,
+                                offset,
+                                version: obj.version(),
+                                data,
+                            },
+                            Err(_) => MsgBody::Nack { req, code: NackCode::BadRange },
+                        }
+                    }
+                    Err(_) if msg.header.dst == self.inbox => {
+                        MsgBody::Nack { req, code: NackCode::NotHere }
+                    }
+                    Err(_) => return,
+                };
+                self.counters.inc("serves");
+                self.transmit_deferred(ctx, Msg::new(reply_to, self.inbox, reply));
+            }
+            MsgBody::ObjImageReq { req, target } => {
+                let reply = match self.store.get(target) {
+                    Ok(obj) => MsgBody::ObjImageResp {
+                        req,
+                        version: obj.version(),
+                        image: obj.to_image(),
+                    },
+                    Err(_) if msg.header.dst == self.inbox => {
+                        MsgBody::Nack { req, code: NackCode::NotHere }
+                    }
+                    Err(_) => return,
+                };
+                self.counters.inc("serves");
+                self.transmit_deferred(ctx, Msg::new(reply_to, self.inbox, reply));
+            }
+            MsgBody::DiscoverReq { req }
+                // Routed (flooded) on the target object: dst names it.
+                if self.store.contains(msg.header.dst) => {
+                    let reply = MsgBody::DiscoverResp { req, holder_inbox: self.inbox };
+                    self.transmit_deferred(ctx, Msg::new(reply_to, self.inbox, reply));
+                }
+            _ => {}
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut NodeCtx<'_>, req: u64, body: MsgBody) {
+        let Some(mut p) = self.pending.remove(&req) else { return };
+        match body {
+            MsgBody::ReadResp { .. } => {
+                self.records.push(AccessRecord {
+                    target: p.target,
+                    issued: p.issued,
+                    completed: ctx.now,
+                    broadcasts: p.broadcasts,
+                    nacks: p.nacks,
+                });
+            }
+            MsgBody::DiscoverResp { holder_inbox, .. } => {
+                debug_assert_eq!(p.state, PendingState::Discovering);
+                self.dest_cache.insert(p.target, holder_inbox);
+                p.state = PendingState::Reading;
+                let msg = Msg::new(
+                    holder_inbox,
+                    self.inbox,
+                    MsgBody::ReadReq {
+                        req,
+                        target: p.target,
+                        offset: 8,
+                        len: self.cfg.read_len,
+                    },
+                );
+                self.pending.insert(req, p);
+                self.transmit(ctx, msg);
+            }
+            MsgBody::Nack { code: NackCode::NotHere, .. } => {
+                self.counters.inc("nacks_received");
+                p.nacks += 1;
+                match self.cfg.mode {
+                    DiscoveryMode::E2E => {
+                        // Stale destination: forget it and rediscover.
+                        self.dest_cache.invalidate(p.target);
+                        p.broadcasts += 1;
+                        p.state = PendingState::Discovering;
+                        self.counters.inc("broadcasts");
+                        let msg = Msg::new(p.target, self.inbox, MsgBody::DiscoverReq { req });
+                        self.pending.insert(req, p);
+                        self.transmit(ctx, msg);
+                    }
+                    DiscoveryMode::Controller => {
+                        // The object moved and the controller has not yet
+                        // repointed the switches: back off and retry (give
+                        // up after a bound so misrouted accesses surface).
+                        if p.nacks > 10 {
+                            self.counters.inc("accesses_abandoned");
+                            return;
+                        }
+                        self.pending.insert(req, p);
+                        ctx.set_timer(SimTime::from_micros(100), tags::RETRY | req);
+                    }
+                }
+            }
+            _ => {
+                // Unhandled completion: put the request back.
+                self.pending.insert(req, p);
+            }
+        }
+    }
+
+    fn migrate(&mut self, ctx: &mut NodeCtx<'_>, index: usize) {
+        let Some(&(obj, dest_inbox)) = self.migrations.get(index) else { return };
+        let Ok(object) = self.store.remove(obj) else { return };
+        self.counters.inc("migrations_done");
+        let image = object.to_image();
+        let version = object.version();
+        // Push the image to the new holder (req 0 marks an unsolicited push).
+        let push = Msg::new(
+            dest_inbox,
+            self.inbox,
+            MsgBody::ObjImageResp { req: 0, version, image },
+        );
+        self.transmit(ctx, push);
+        if self.cfg.mode == DiscoveryMode::E2E
+            && self.cfg.staleness == StalenessMode::InvalidateOnMove
+        {
+            // Tell the fabric: cached locations for this object are stale.
+            self.counters.inc("invalidates_sent");
+            let inv = Msg::new(obj, self.inbox, MsgBody::Invalidate { version });
+            self.transmit(ctx, inv);
+        }
+    }
+
+    fn on_push(&mut self, ctx: &mut NodeCtx<'_>, image: Vec<u8>) {
+        let Ok(object) = Object::from_image(&image) else {
+            self.counters.inc("corrupt_pushes");
+            return;
+        };
+        let obj = object.id();
+        self.store.upsert(object);
+        if self.cfg.mode == DiscoveryMode::Controller {
+            // Re-advertise so the controller repoints switch routes.
+            self.counters.inc("advertises_sent");
+            let adv = Msg::new(CONTROLLER_INBOX, self.inbox, MsgBody::Advertise { obj });
+            self.transmit(ctx, adv);
+        }
+    }
+
+    /// Advertise every locally stored object to the controller (called via
+    /// `on_start` in controller mode).
+    fn advertise_all(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.cfg.mode != DiscoveryMode::Controller {
+            return;
+        }
+        let mut ids = self.store.ids();
+        ids.sort(); // deterministic advertisement order
+        for obj in ids {
+            self.counters.inc("advertises_sent");
+            let adv = Msg::new(CONTROLLER_INBOX, self.inbox, MsgBody::Advertise { obj });
+            self.transmit(ctx, adv);
+        }
+    }
+}
+
+impl Node for HostNode {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.advertise_all(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
+        let Ok(msg) = Msg::decode(&packet.payload) else {
+            self.counters.inc("decode_errors");
+            return;
+        };
+        match &msg.body {
+            MsgBody::ReadReq { .. } | MsgBody::ObjImageReq { .. } | MsgBody::DiscoverReq { .. } => {
+                self.serve(ctx, msg);
+            }
+            MsgBody::ReadResp { req, .. }
+            | MsgBody::DiscoverResp { req, .. }
+            | MsgBody::Nack { req, .. } => {
+                let req = *req;
+                // Request IDs are per-host: only completions addressed to
+                // our inbox are ours (flooded copies may reach others).
+                if req == 0 || msg.header.dst != self.inbox {
+                    return;
+                }
+                self.complete(ctx, req, msg.body);
+            }
+            MsgBody::ObjImageResp { req: 0, image, .. } => {
+                self.on_push(ctx, image.clone());
+            }
+            MsgBody::Invalidate { .. } => {
+                // dst names the moved object.
+                self.dest_cache.invalidate(msg.header.dst);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        if tag & tags::DEFER != 0 {
+            if let Some(msg) = self.deferred.remove(&(tag & !tags::DEFER)) {
+                self.transmit(ctx, msg);
+            }
+        } else if tag & tags::RETRY != 0 {
+            let req = tag & !tags::RETRY;
+            if let Some(p) = self.pending.get(&req) {
+                let msg = Msg::new(
+                    p.target,
+                    self.inbox,
+                    MsgBody::ReadReq {
+                        req,
+                        target: p.target,
+                        offset: 8,
+                        len: self.cfg.read_len,
+                    },
+                );
+                self.transmit(ctx, msg);
+            }
+        } else if tag & tags::MIGRATE != 0 {
+            self.migrate(ctx, (tag & !tags::MIGRATE) as usize);
+        } else if (tag as usize) < self.plan.len() {
+            let target = self.plan[tag as usize];
+            self.start_access(ctx, target);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdv_netsim::{LinkSpec, Sim, SimConfig};
+    use rdv_objspace::ObjectKind;
+
+    /// Two hosts on one wire (no switch): driver directly asks responder.
+    #[test]
+    fn direct_read_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sim = Sim::new(SimConfig::default());
+        let mut responder = HostNode::new("resp", ObjId(0xB), HostConfig::default());
+        let obj = responder.store.create(&mut rng, ObjectKind::Data);
+        let off = responder.store.get_mut(obj).unwrap().alloc(64).unwrap();
+        responder.store.get_mut(obj).unwrap().write_u64(off, 7).unwrap();
+
+        let mut driver = HostNode::new("drv", ObjId(0xA), HostConfig::default());
+        driver.plan = vec![obj];
+        // Pre-seed the cache so no discovery is needed on a switchless wire.
+        driver.dest_cache.insert(obj, ObjId(0xB));
+
+        let d = sim.add_node(Box::new(driver));
+        let r = sim.add_node(Box::new(responder));
+        sim.connect(d, r, LinkSpec::rack());
+        sim.schedule(SimTime::from_micros(10), d, 0);
+        sim.run_until_idle();
+
+        let drv = sim.node_as::<HostNode>(d).unwrap();
+        assert_eq!(drv.records.len(), 1);
+        let rec = drv.records[0];
+        assert_eq!(rec.target, obj);
+        assert_eq!(rec.broadcasts, 0);
+        assert!(rec.latency() > SimTime::ZERO);
+        let resp = sim.node_as::<HostNode>(r).unwrap();
+        assert_eq!(resp.counters.get("serves"), 1);
+    }
+
+    #[test]
+    fn read_of_missing_object_nacks_and_rediscovers_forever_without_holder() {
+        // Driver asks responder for an object it does not have: NACK → the
+        // driver rediscovers (broadcast), nobody answers, access never
+        // completes — but nothing crashes or loops hot.
+        let mut sim = Sim::new(SimConfig::default());
+        let mut driver = HostNode::new("drv", ObjId(0xA), HostConfig::default());
+        let ghost = ObjId(0xDEAD);
+        driver.plan = vec![ghost];
+        driver.dest_cache.insert(ghost, ObjId(0xB));
+        let responder = HostNode::new("resp", ObjId(0xB), HostConfig::default());
+        let d = sim.add_node(Box::new(driver));
+        let r = sim.add_node(Box::new(responder));
+        sim.connect(d, r, LinkSpec::rack());
+        sim.schedule(SimTime::from_micros(10), d, 0);
+        sim.run_until_idle();
+        let drv = sim.node_as::<HostNode>(d).unwrap();
+        assert!(drv.records.is_empty());
+        assert_eq!(drv.counters.get("nacks_received"), 1);
+        assert_eq!(drv.outstanding(), 1, "request parked in Discovering");
+        assert_eq!(drv.dest_cache.peek(ghost), None, "stale entry dropped");
+    }
+
+    #[test]
+    fn migration_moves_object_and_invalidates() {
+        // h0 —wire— h1; h0 migrates obj to h1 (knows its inbox).
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sim = Sim::new(SimConfig::default());
+        let mut h0 = HostNode::new("h0", ObjId(0xA), HostConfig::default());
+        let obj = h0.store.create(&mut rng, ObjectKind::Data);
+        h0.store.get_mut(obj).unwrap().alloc(32).unwrap();
+        h0.migrations = vec![(obj, ObjId(0xB))];
+        let h1 = HostNode::new("h1", ObjId(0xB), HostConfig::default());
+        let a = sim.add_node(Box::new(h0));
+        let b = sim.add_node(Box::new(h1));
+        sim.connect(a, b, LinkSpec::rack());
+        sim.schedule(SimTime::from_micros(5), a, tags::MIGRATE);
+        sim.run_until_idle();
+        assert!(!sim.node_as::<HostNode>(a).unwrap().store.contains(obj));
+        assert!(sim.node_as::<HostNode>(b).unwrap().store.contains(obj));
+        assert_eq!(sim.node_as::<HostNode>(a).unwrap().counters.get("invalidates_sent"), 1);
+    }
+}

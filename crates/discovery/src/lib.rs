@@ -1,0 +1,41 @@
+//! # rdv-discovery — how the network learns where objects live
+//!
+//! §4 of the paper: *"Our experiments model discovery: i.e., how the
+//! network learns the location of objects. We considered two approaches:
+//! end-to-end (E2E) and controller based, which can be thought of as a
+//! decentralized scheme analogous to ARP and a more centralized scheme
+//! using SDN controllers."*
+//!
+//! - **E2E** ([`host::HostNode`] in [`host::DiscoveryMode::E2E`]): each
+//!   host keeps a [`destcache::DestCache`] mapping object IDs to holder
+//!   inboxes. A miss broadcasts a `DiscoverReq` (switches flood with
+//!   dedup and learn source routes, the ARP/L2-learning analogue); the
+//!   holder answers; the access proceeds unicast. Worst case 2 RTTs.
+//! - **Controller** ([`controller::ControllerNode`]): hosts advertise
+//!   objects; the controller installs exact-match object routes on every
+//!   switch, so every access is 1 unicast RTT.
+//! - **Hierarchical overlay** ([`hier`]): the future-work scheme the paper
+//!   sketches for when switch SRAM is exhausted — aggregate object IDs by
+//!   prefix into regions, route on LPM entries, and punt only the tail.
+//!
+//! [`scenario`] assembles the paper's 3-hosts/4-switches testbed and runs
+//! the Figure 2 / Figure 3 sweeps.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod controller;
+pub mod destcache;
+pub mod hier;
+pub mod host;
+pub mod scenario;
+
+pub use controller::ControllerNode;
+pub use destcache::DestCache;
+pub use host::{AccessRecord, DiscoveryMode, HostConfig, HostNode, StalenessMode};
+pub use scenario::{DiscoveryOutcome, ScenarioConfig, ScenarioKind};
+
+/// The controller's well-known inbox object ID (analogous to a well-known
+/// anycast address; must never collide with a random ID, so it sits in the
+/// tiny reserved low range).
+pub const CONTROLLER_INBOX: rdv_objspace::ObjId = rdv_objspace::ObjId(0xC0);

@@ -1,0 +1,513 @@
+//! The paper-testbed scenarios: Figure 2 and Figure 3.
+//!
+//! §4: *"we … used Mininet to connect three Twizzler VMs to four
+//! interconnected switches … where one VM drove accesses to objects and the
+//! other two responded."* [`run_discovery`] rebuilds exactly that on
+//! `rdv-netsim`: h0 drives, h1/h2 respond, four switches in a full mesh
+//! (see `rdv_netsim::topo::wire_paper_testbed`), with an SDN controller
+//! attached in controller mode.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use rdv_netsim::topo::wire_paper_testbed;
+use rdv_netsim::{Histogram, LinkSpec, NodeId, Sim, SimConfig, SimTime};
+use rdv_objspace::{ObjId, ObjectKind};
+use rdv_p4rt::capacity::SramBudget;
+use rdv_p4rt::header::{objnet_format, OBJNET_DST_OBJ};
+use rdv_p4rt::pipeline::{Pipeline, SwitchConfig, SwitchNode};
+use rdv_p4rt::table::{Action, MatchKind, Table};
+
+use crate::controller::{ControllerNode, SwitchInfo};
+use crate::host::{tags, DiscoveryMode, HostConfig, HostNode, StalenessMode};
+
+
+/// Which figure's sweep point to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Figure 2: a fraction of accesses go to never-before-seen objects.
+    Fig2NewObjects {
+        /// Percent of accesses targeting new objects (0–100).
+        pct_new: u8,
+    },
+    /// Figure 3: a fraction of the object population has moved since the
+    /// driver's destination cache was warmed.
+    Fig3Staleness {
+        /// Percent of objects migrated (0–100).
+        pct_moved: u8,
+    },
+}
+
+/// Full scenario configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// The sweep point.
+    pub kind: ScenarioKind,
+    /// E2E or Controller discovery.
+    pub mode: DiscoveryMode,
+    /// Staleness handling (E2E; Figure 3).
+    pub staleness: StalenessMode,
+    /// Measured accesses.
+    pub accesses: usize,
+    /// Size of the pre-existing ("old") object pool.
+    pub num_objects: usize,
+    /// Gap between consecutive accesses.
+    pub access_gap: SimTime,
+    /// RNG seed (same seed ⇒ identical outcome).
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            kind: ScenarioKind::Fig2NewObjects { pct_new: 0 },
+            mode: DiscoveryMode::E2E,
+            staleness: StalenessMode::InvalidateOnMove,
+            accesses: 1000,
+            num_objects: 128,
+            access_gap: SimTime::from_micros(100),
+            seed: 7,
+        }
+    }
+}
+
+/// Results of one scenario run.
+#[derive(Debug)]
+pub struct DiscoveryOutcome {
+    /// Per-access latency samples, nanoseconds.
+    pub rtt: Histogram,
+    /// Broadcast discovery messages emitted per 100 measured accesses.
+    pub broadcasts_per_100: f64,
+    /// Measured accesses that completed.
+    pub completed: usize,
+    /// Measured accesses that did not complete (should be zero).
+    pub incomplete: usize,
+    /// NACKs hit by measured accesses.
+    pub nacks: u64,
+    /// Total simulated events processed.
+    pub events: u64,
+}
+
+impl DiscoveryOutcome {
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.rtt.mean() / 1000.0
+    }
+
+    /// Latency standard deviation in microseconds.
+    pub fn stddev_us(&self) -> f64 {
+        self.rtt.stddev() / 1000.0
+    }
+}
+
+struct Testbed {
+    sim: Sim,
+    driver: NodeId,
+    responders: [NodeId; 2],
+    #[allow(dead_code)] // future scenarios address hosts directly
+    inboxes: [ObjId; 3],
+}
+
+/// Well-known inbox IDs for the testbed hosts (reserved low range, like
+/// [`CONTROLLER_INBOX`]).
+const H0_INBOX: ObjId = ObjId(0xA0);
+const H1_INBOX: ObjId = ObjId(0xA1);
+const H2_INBOX: ObjId = ObjId(0xA2);
+
+fn objroute_pipeline(default: Action) -> Pipeline {
+    let mut pl = Pipeline::new(objnet_format(), default);
+    pl.add_table(Table::new(
+        "objroute",
+        vec![OBJNET_DST_OBJ],
+        MatchKind::Exact,
+        128,
+        SramBudget::tofino(),
+    ));
+    pl
+}
+
+/// Build the 3-host/4-switch testbed (plus controller when asked).
+fn build_testbed(cfg: &ScenarioConfig, hosts: [HostNode; 3]) -> Testbed {
+    let mut sim = Sim::new(SimConfig { seed: cfg.seed, ..Default::default() });
+    let [h0, h1, h2] = hosts;
+    let d = sim.add_node(Box::new(h0));
+    let r1 = sim.add_node(Box::new(h1));
+    let r2 = sim.add_node(Box::new(h2));
+
+    // Switch wiring order fixes port numbers: trunks are ports 0–2 on every
+    // switch; host links are port 3 on s0–s2; control links (controller
+    // mode) are port 4 on s0–s2 and port 3 on s3.
+    let (default, switch_cfg_for) = match cfg.mode {
+        DiscoveryMode::E2E => (
+            Action::Flood,
+            Box::new(|_i: usize| SwitchConfig {
+                learn_src_routes: true,
+                dedup_floods: true,
+                ..Default::default()
+            }) as Box<dyn Fn(usize) -> SwitchConfig>,
+        ),
+        DiscoveryMode::Controller => (
+            Action::Punt,
+            Box::new(|i: usize| SwitchConfig {
+                controller_port: Some(rdv_netsim::PortId(if i < 3 { 4 } else { 3 })),
+                ..Default::default()
+            }) as Box<dyn Fn(usize) -> SwitchConfig>,
+        ),
+    };
+    let switches: Vec<NodeId> = (0..4)
+        .map(|i| {
+            sim.add_node(Box::new(SwitchNode::new(
+                format!("s{i}"),
+                objroute_pipeline(default),
+                switch_cfg_for(i),
+            )))
+        })
+        .collect();
+    let tb = wire_paper_testbed(
+        &mut sim,
+        [d, r1, r2],
+        [switches[0], switches[1], switches[2], switches[3]],
+        LinkSpec::rack(),
+        LinkSpec::rack(),
+    );
+
+    if cfg.mode == DiscoveryMode::Controller {
+        // The controller gets one direct link to each switch; its ports are
+        // 0..4 in switch order.
+        let mut infos = Vec::new();
+        for (i, &sw) in switches.iter().enumerate() {
+            let mut host_egress = HashMap::new();
+            for (inbox, node) in [(H0_INBOX, d), (H1_INBOX, r1), (H2_INBOX, r2)] {
+                if let Some(port) = tb.fabric.next_hop(sw, node) {
+                    host_egress.insert(inbox, port.0 as u16);
+                }
+            }
+            infos.push(SwitchInfo {
+                control_port: rdv_netsim::PortId(i),
+                host_egress,
+            });
+        }
+        let ctl = sim.add_node(Box::new(ControllerNode::new("ctl", infos)));
+        for &sw in &switches {
+            sim.connect(ctl, sw, LinkSpec::rack());
+        }
+    }
+
+    Testbed { sim, driver: d, responders: [r1, r2], inboxes: [H0_INBOX, H1_INBOX, H2_INBOX] }
+}
+
+/// Run one scenario point. Deterministic in `cfg.seed`.
+pub fn run_discovery(cfg: &ScenarioConfig) -> DiscoveryOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let host_cfg = HostConfig { mode: cfg.mode, staleness: cfg.staleness, ..Default::default() };
+
+    let mut h0 = HostNode::new("h0", H0_INBOX, host_cfg);
+    let mut h1 = HostNode::new("h1", H1_INBOX, host_cfg);
+    let mut h2 = HostNode::new("h2", H2_INBOX, host_cfg);
+
+    // Figure 3 pools one object per measured access on h1 (the x-axis is
+    // "percentage of *accesses* to moved objects": each access touches a
+    // distinct object, so the stale fraction equals the moved fraction).
+    let fig3 = matches!(cfg.kind, ScenarioKind::Fig3Staleness { .. });
+    let pool_size = if fig3 { cfg.accesses } else { cfg.num_objects };
+
+    // Old object pool, split across the responders (all on h1 for Fig 3).
+    let mut old_pool: Vec<(ObjId, ObjId)> = Vec::with_capacity(pool_size); // (obj, holder inbox)
+    for i in 0..pool_size {
+        let i = if fig3 { 0 } else { i };
+        let (host, inbox) = if i % 2 == 0 { (&mut h1, H1_INBOX) } else { (&mut h2, H2_INBOX) };
+        let id = host.store.create(&mut rng, ObjectKind::Data);
+        host.store.get_mut(id).unwrap().alloc(64).unwrap();
+        old_pool.push((id, inbox));
+    }
+
+    // Plans depend on the figure.
+    let mut plan: Vec<ObjId> = Vec::new();
+    let mut warmup = 0usize;
+    match cfg.kind {
+        ScenarioKind::Fig2NewObjects { pct_new } => {
+            // New objects: created on the responders, never cached/seen.
+            let n_new = cfg.accesses * usize::from(pct_new) / 100;
+            let mut new_objs = Vec::with_capacity(n_new);
+            for i in 0..n_new {
+                let host = if i % 2 == 0 { &mut h1 } else { &mut h2 };
+                let id = host.store.create(&mut rng, ObjectKind::Data);
+                host.store.get_mut(id).unwrap().alloc(64).unwrap();
+                new_objs.push(id);
+            }
+            if cfg.mode == DiscoveryMode::E2E {
+                // The old pool is "already discovered": seed the cache (the
+                // warmup accesses below train the switches' inbox routes).
+                for &(obj, holder) in &old_pool {
+                    h0.dest_cache.insert(obj, holder);
+                }
+                warmup = 4;
+                for w in 0..warmup {
+                    plan.push(old_pool[w % old_pool.len()].0);
+                }
+            }
+            // Measured accesses: exactly pct_new% target a fresh object.
+            let mut kinds: Vec<bool> = (0..cfg.accesses).map(|i| i < n_new).collect();
+            kinds.shuffle(&mut rng);
+            let mut next_new = 0;
+            for is_new in kinds {
+                if is_new {
+                    plan.push(new_objs[next_new]);
+                    next_new += 1;
+                } else {
+                    plan.push(old_pool[rng.gen_range(0..old_pool.len())].0);
+                }
+            }
+        }
+        ScenarioKind::Fig3Staleness { pct_moved } => {
+            // Everything starts on h1; warm the cache by accessing each
+            // object once, then migrate a fraction to h2, then access each
+            // object exactly once in random order.
+            // (Figure 3 is an E2E experiment; `cfg.mode` should be E2E.)
+            warmup = pool_size;
+            let mut warm_order: Vec<usize> = (0..pool_size).collect();
+            warm_order.shuffle(&mut rng);
+            for &i in &warm_order {
+                plan.push(old_pool[i].0);
+            }
+            let n_moved = pool_size * usize::from(pct_moved) / 100;
+            let mut move_order: Vec<usize> = (0..pool_size).collect();
+            move_order.shuffle(&mut rng);
+            h1.migrations =
+                move_order[..n_moved].iter().map(|&i| (old_pool[i].0, H2_INBOX)).collect();
+            let mut access_order: Vec<usize> = (0..pool_size).collect();
+            access_order.shuffle(&mut rng);
+            for &i in &access_order {
+                plan.push(old_pool[i].0);
+            }
+        }
+    }
+
+    let n_migrations = h1.migrations.len();
+    h0.plan = plan.clone();
+    let mut tb = build_testbed(cfg, [h0, h1, h2]);
+
+    // Schedule: warmups first, then (Fig3) migrations, then measurement.
+    let mut t = SimTime::from_micros(1000);
+    for i in 0..warmup {
+        tb.sim.schedule(t, tb.driver, i as u64);
+        t += cfg.access_gap;
+    }
+    if n_migrations > 0 {
+        t += SimTime::from_millis(1);
+        for m in 0..n_migrations {
+            tb.sim.schedule(t, tb.responders[0], tags::MIGRATE | m as u64);
+            t += SimTime::from_micros(10);
+        }
+        t += SimTime::from_millis(1);
+    }
+    for i in warmup..plan.len() {
+        tb.sim.schedule(t, tb.driver, i as u64);
+        t += cfg.access_gap;
+    }
+    tb.sim.run_until_idle();
+
+    let driver = tb.sim.node_as::<HostNode>(tb.driver).expect("driver type");
+    let mut rtt = Histogram::new();
+    let mut broadcasts = 0u64;
+    let mut nacks = 0u64;
+    // Warmup accesses complete before the first measured access is issued,
+    // so the first `warmup` records are exactly the warmups.
+    let measured = &driver.records[warmup.min(driver.records.len())..];
+    for rec in measured {
+        rtt.record(rec.latency().as_nanos());
+        broadcasts += rec.broadcasts;
+        nacks += rec.nacks;
+    }
+    let completed = measured.len();
+    DiscoveryOutcome {
+        broadcasts_per_100: if completed == 0 {
+            0.0
+        } else {
+            broadcasts as f64 * 100.0 / completed as f64
+        },
+        completed,
+        incomplete: plan.len() - warmup - completed,
+        nacks,
+        events: tb.sim.counters.get("sim.events"),
+        rtt,
+    }
+    // `tb.inboxes` kept for future scenarios.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: ScenarioKind, mode: DiscoveryMode, staleness: StalenessMode) -> DiscoveryOutcome {
+        run_discovery(&ScenarioConfig {
+            kind,
+            mode,
+            staleness,
+            accesses: 100,
+            num_objects: 40,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn e2e_all_old_objects_is_one_rtt_no_broadcasts() {
+        let out = quick(
+            ScenarioKind::Fig2NewObjects { pct_new: 0 },
+            DiscoveryMode::E2E,
+            StalenessMode::InvalidateOnMove,
+        );
+        assert_eq!(out.completed, 100);
+        assert_eq!(out.incomplete, 0);
+        assert_eq!(out.broadcasts_per_100, 0.0);
+        assert!(out.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn e2e_new_objects_cost_broadcasts_and_latency() {
+        let base = quick(
+            ScenarioKind::Fig2NewObjects { pct_new: 0 },
+            DiscoveryMode::E2E,
+            StalenessMode::InvalidateOnMove,
+        );
+        let hot = quick(
+            ScenarioKind::Fig2NewObjects { pct_new: 60 },
+            DiscoveryMode::E2E,
+            StalenessMode::InvalidateOnMove,
+        );
+        assert_eq!(hot.completed, 100);
+        assert!((hot.broadcasts_per_100 - 60.0).abs() < 1.0, "{}", hot.broadcasts_per_100);
+        assert!(
+            hot.mean_us() > base.mean_us() * 1.2,
+            "new-object discovery must raise mean RTT: {} vs {}",
+            hot.mean_us(),
+            base.mean_us()
+        );
+    }
+
+    #[test]
+    fn controller_latency_is_flat_in_new_fraction() {
+        let a = quick(
+            ScenarioKind::Fig2NewObjects { pct_new: 0 },
+            DiscoveryMode::Controller,
+            StalenessMode::InvalidateOnMove,
+        );
+        let b = quick(
+            ScenarioKind::Fig2NewObjects { pct_new: 80 },
+            DiscoveryMode::Controller,
+            StalenessMode::InvalidateOnMove,
+        );
+        assert_eq!(a.completed, 100);
+        assert_eq!(b.completed, 100);
+        assert_eq!(a.broadcasts_per_100, 0.0);
+        assert_eq!(b.broadcasts_per_100, 0.0);
+        let ratio = b.mean_us() / a.mean_us();
+        assert!((0.8..1.2).contains(&ratio), "controller RTT should be flat, ratio {ratio}");
+    }
+
+    #[test]
+    fn fig3_staleness_raises_rtt_towards_two_legs() {
+        let fresh = quick(
+            ScenarioKind::Fig3Staleness { pct_moved: 0 },
+            DiscoveryMode::E2E,
+            StalenessMode::InvalidateOnMove,
+        );
+        let stale = quick(
+            ScenarioKind::Fig3Staleness { pct_moved: 90 },
+            DiscoveryMode::E2E,
+            StalenessMode::InvalidateOnMove,
+        );
+        assert_eq!(fresh.completed, 100);
+        assert_eq!(stale.completed, 100);
+        let ratio = stale.mean_us() / fresh.mean_us();
+        assert!(
+            (1.5..2.6).contains(&ratio),
+            "90% staleness should roughly double access time, ratio {ratio}"
+        );
+        assert!(stale.broadcasts_per_100 > 50.0);
+    }
+
+    #[test]
+    fn fig3_variance_peaks_mid_sweep() {
+        let lo = quick(
+            ScenarioKind::Fig3Staleness { pct_moved: 0 },
+            DiscoveryMode::E2E,
+            StalenessMode::InvalidateOnMove,
+        );
+        let mid = quick(
+            ScenarioKind::Fig3Staleness { pct_moved: 50 },
+            DiscoveryMode::E2E,
+            StalenessMode::InvalidateOnMove,
+        );
+        let hi = quick(
+            ScenarioKind::Fig3Staleness { pct_moved: 100 },
+            DiscoveryMode::E2E,
+            StalenessMode::InvalidateOnMove,
+        );
+        assert!(mid.stddev_us() > lo.stddev_us());
+        assert!(mid.stddev_us() > hi.stddev_us(), "variance falls once all accesses are stale");
+    }
+
+    #[test]
+    fn controller_mode_recovers_from_migration_via_readvertise() {
+        // Fig3-style staleness under the CONTROLLER scheme: migrations make
+        // switch routes stale until the new holder re-advertises; accesses
+        // hitting the window NACK, back off, and retry successfully.
+        let out = quick(
+            ScenarioKind::Fig3Staleness { pct_moved: 50 },
+            DiscoveryMode::Controller,
+            StalenessMode::InvalidateOnMove,
+        );
+        assert_eq!(out.completed, 100, "all accesses must complete: {out:?}");
+        assert_eq!(out.incomplete, 0);
+        assert_eq!(out.broadcasts_per_100, 0.0, "controller mode never broadcasts");
+        // Migrations finish before measurement starts, so steady-state
+        // accesses are 1-RTT unicast again.
+        let fresh = quick(
+            ScenarioKind::Fig3Staleness { pct_moved: 0 },
+            DiscoveryMode::Controller,
+            StalenessMode::InvalidateOnMove,
+        );
+        let ratio = out.mean_us() / fresh.mean_us();
+        assert!((0.9..1.3).contains(&ratio), "post-readvertise RTT flat, ratio {ratio}");
+    }
+
+    #[test]
+    fn nack_rediscover_mode_is_costlier_than_invalidate() {
+        let inv = quick(
+            ScenarioKind::Fig3Staleness { pct_moved: 60 },
+            DiscoveryMode::E2E,
+            StalenessMode::InvalidateOnMove,
+        );
+        let nack = quick(
+            ScenarioKind::Fig3Staleness { pct_moved: 60 },
+            DiscoveryMode::E2E,
+            StalenessMode::NackRediscover,
+        );
+        assert_eq!(nack.completed, 100);
+        assert!(nack.nacks > 0, "stale unicasts must hit NACKs");
+        assert!(
+            nack.mean_us() > inv.mean_us(),
+            "3-leg NACK path should cost more: {} vs {}",
+            nack.mean_us(),
+            inv.mean_us()
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_numbers() {
+        let cfg = ScenarioConfig {
+            kind: ScenarioKind::Fig2NewObjects { pct_new: 30 },
+            accesses: 50,
+            num_objects: 20,
+            ..Default::default()
+        };
+        let a = run_discovery(&cfg);
+        let b = run_discovery(&cfg);
+        assert_eq!(a.rtt.samples(), b.rtt.samples());
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -1,0 +1,305 @@
+//! Directory-based coherence (MESI-lite).
+//!
+//! §3.2 notes that cache coherence needs extra message types (invalidate,
+//! upgrade) and cites TileLink as a minimal modern protocol; §5 proposes
+//! *"offloading some synchronization and arbitration concerns to the
+//! programmable network (which now functions somewhat as a memory bus)"*.
+//!
+//! [`Directory`] is the sans-io kernel of that protocol, run at each
+//! object's **home** (the host holding the authoritative copy — or, per
+//! §5, potentially a switch): it tracks sharers and the exclusive owner,
+//! and answers requests with explicit [`DirAction`]s the host (or switch)
+//! turns into [`crate::msg::MsgBody`] messages. Keeping it pure makes the
+//! single-writer invariant directly property-testable.
+//!
+//! Protocol (write-through-to-home flavour):
+//!
+//! - `request_shared` — grant a read copy; recalls an exclusive owner first.
+//! - `request_exclusive` — invalidate every other copy, then grant.
+//! - `write_at_home` — a home-side write invalidates all remote copies.
+//! - `writeback` / `evict` — owners/sharers drop out.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rdv_objspace::ObjId;
+
+/// What the home must do in response to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirAction {
+    /// Send an invalidation for `obj` to host `to`.
+    Invalidate {
+        /// The host whose copy must be dropped.
+        to: ObjId,
+        /// The object.
+        obj: ObjId,
+    },
+    /// Grant host `to` a shared (read) copy of `obj`.
+    GrantShared {
+        /// The requester.
+        to: ObjId,
+    },
+    /// Grant host `to` the exclusive (write) copy of `obj`.
+    GrantExclusive {
+        /// The requester.
+        to: ObjId,
+    },
+}
+
+#[derive(Debug, Default, Clone)]
+struct DirEntry {
+    sharers: BTreeSet<ObjId>,
+    exclusive: Option<ObjId>,
+}
+
+/// The per-home coherence directory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<ObjId, DirEntry>,
+    /// Invalidations issued (experiment accounting).
+    pub invalidations: u64,
+}
+
+impl Directory {
+    /// Empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Hosts currently holding a shared copy of `obj`.
+    pub fn sharers(&self, obj: ObjId) -> Vec<ObjId> {
+        self.entries.get(&obj).map(|e| e.sharers.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// The exclusive owner of `obj`, if any.
+    pub fn exclusive(&self, obj: ObjId) -> Option<ObjId> {
+        self.entries.get(&obj).and_then(|e| e.exclusive)
+    }
+
+    /// Internal invariant: an exclusive owner excludes all other copies.
+    pub fn invariant_holds(&self) -> bool {
+        self.entries.values().all(|e| match e.exclusive {
+            Some(owner) => e.sharers.iter().all(|s| *s == owner),
+            None => true,
+        })
+    }
+
+    fn entry(&mut self, obj: ObjId) -> &mut DirEntry {
+        self.entries.entry(obj).or_default()
+    }
+
+    /// Host `who` asks for a read copy of `obj`.
+    pub fn request_shared(&mut self, obj: ObjId, who: ObjId) -> Vec<DirAction> {
+        let mut actions = Vec::new();
+        let e = self.entry(obj);
+        if let Some(owner) = e.exclusive {
+            if owner != who {
+                // Recall the writer: its copy becomes stale once others read
+                // through the home again.
+                e.exclusive = None;
+                e.sharers.remove(&owner);
+                self.invalidations += 1;
+                actions.push(DirAction::Invalidate { to: owner, obj });
+            } else {
+                // Downgrade in place.
+                e.exclusive = None;
+            }
+        }
+        let e = self.entry(obj);
+        e.sharers.insert(who);
+        actions.push(DirAction::GrantShared { to: who });
+        debug_assert!(self.invariant_holds());
+        actions
+    }
+
+    /// Host `who` asks for the write copy of `obj`.
+    pub fn request_exclusive(&mut self, obj: ObjId, who: ObjId) -> Vec<DirAction> {
+        let mut actions = Vec::new();
+        let e = self.entry(obj);
+        let victims: Vec<ObjId> = e
+            .sharers
+            .iter()
+            .copied()
+            .chain(e.exclusive)
+            .filter(|h| *h != who)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for v in victims {
+            self.invalidations += 1;
+            actions.push(DirAction::Invalidate { to: v, obj });
+        }
+        let e = self.entry(obj);
+        e.sharers.clear();
+        e.sharers.insert(who);
+        e.exclusive = Some(who);
+        actions.push(DirAction::GrantExclusive { to: who });
+        debug_assert!(self.invariant_holds());
+        actions
+    }
+
+    /// The home itself writes `obj`: every remote copy is stale.
+    pub fn write_at_home(&mut self, obj: ObjId) -> Vec<DirAction> {
+        let e = self.entry(obj);
+        let victims: Vec<ObjId> =
+            e.sharers.iter().copied().chain(e.exclusive).collect::<BTreeSet<_>>().into_iter().collect();
+        e.sharers.clear();
+        e.exclusive = None;
+        self.invalidations += victims.len() as u64;
+        let actions =
+            victims.into_iter().map(|to| DirAction::Invalidate { to, obj }).collect();
+        debug_assert!(self.invariant_holds());
+        actions
+    }
+
+    /// The exclusive owner pushes its dirty copy home and drops ownership.
+    pub fn writeback(&mut self, obj: ObjId, who: ObjId) -> bool {
+        let e = self.entry(obj);
+        if e.exclusive == Some(who) {
+            e.exclusive = None;
+            e.sharers.remove(&who);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A sharer silently evicted its copy.
+    pub fn evict(&mut self, obj: ObjId, who: ObjId) {
+        let e = self.entry(obj);
+        e.sharers.remove(&who);
+        if e.exclusive == Some(who) {
+            e.exclusive = None;
+        }
+        debug_assert!(self.invariant_holds());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const OBJ: ObjId = ObjId(0xDA7A);
+    const H1: ObjId = ObjId(0xA1);
+    const H2: ObjId = ObjId(0xA2);
+    const H3: ObjId = ObjId(0xA3);
+
+    #[test]
+    fn readers_share_peacefully() {
+        let mut d = Directory::new();
+        assert_eq!(d.request_shared(OBJ, H1), vec![DirAction::GrantShared { to: H1 }]);
+        assert_eq!(d.request_shared(OBJ, H2), vec![DirAction::GrantShared { to: H2 }]);
+        assert_eq!(d.sharers(OBJ), vec![H1, H2]);
+        assert_eq!(d.invalidations, 0);
+    }
+
+    #[test]
+    fn writer_invalidates_readers() {
+        let mut d = Directory::new();
+        d.request_shared(OBJ, H1);
+        d.request_shared(OBJ, H2);
+        let actions = d.request_exclusive(OBJ, H3);
+        assert_eq!(
+            actions,
+            vec![
+                DirAction::Invalidate { to: H1, obj: OBJ },
+                DirAction::Invalidate { to: H2, obj: OBJ },
+                DirAction::GrantExclusive { to: H3 },
+            ]
+        );
+        assert_eq!(d.exclusive(OBJ), Some(H3));
+        assert_eq!(d.sharers(OBJ), vec![H3]);
+    }
+
+    #[test]
+    fn upgrading_sharer_keeps_its_copy() {
+        let mut d = Directory::new();
+        d.request_shared(OBJ, H1);
+        d.request_shared(OBJ, H2);
+        let actions = d.request_exclusive(OBJ, H1);
+        // Only H2 is invalidated; H1 upgrades in place.
+        assert_eq!(
+            actions,
+            vec![
+                DirAction::Invalidate { to: H2, obj: OBJ },
+                DirAction::GrantExclusive { to: H1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn reader_recalls_writer() {
+        let mut d = Directory::new();
+        d.request_exclusive(OBJ, H1);
+        let actions = d.request_shared(OBJ, H2);
+        assert_eq!(
+            actions,
+            vec![
+                DirAction::Invalidate { to: H1, obj: OBJ },
+                DirAction::GrantShared { to: H2 },
+            ]
+        );
+        assert_eq!(d.exclusive(OBJ), None);
+    }
+
+    #[test]
+    fn home_write_clears_the_world() {
+        let mut d = Directory::new();
+        d.request_shared(OBJ, H1);
+        d.request_exclusive(OBJ, H2);
+        let actions = d.write_at_home(OBJ);
+        assert_eq!(actions, vec![DirAction::Invalidate { to: H2, obj: OBJ }]);
+        assert_eq!(d.sharers(OBJ), Vec::<ObjId>::new());
+        assert_eq!(d.exclusive(OBJ), None);
+    }
+
+    #[test]
+    fn writeback_and_evict() {
+        let mut d = Directory::new();
+        d.request_exclusive(OBJ, H1);
+        assert!(d.writeback(OBJ, H1));
+        assert!(!d.writeback(OBJ, H1), "second writeback is stale");
+        assert_eq!(d.exclusive(OBJ), None);
+        d.request_shared(OBJ, H2);
+        d.evict(OBJ, H2);
+        assert!(d.sharers(OBJ).is_empty());
+    }
+
+    #[test]
+    fn write_ping_pong_costs_two_invalidations_per_round() {
+        let mut d = Directory::new();
+        d.request_exclusive(OBJ, H1);
+        let before = d.invalidations;
+        for _ in 0..5 {
+            d.request_exclusive(OBJ, H2);
+            d.request_exclusive(OBJ, H1);
+        }
+        assert_eq!(d.invalidations - before, 10);
+    }
+
+    proptest! {
+        /// The single-writer invariant survives arbitrary op interleavings,
+        /// and every transfer of ownership invalidates the previous owner.
+        #[test]
+        fn prop_single_writer_invariant(ops in proptest::collection::vec((0u8..5, 0u8..4, 0u8..3), 0..64)) {
+            let hosts = [H1, H2, H3];
+            let objs = [ObjId(1), ObjId(2), ObjId(3), ObjId(4)];
+            let mut d = Directory::new();
+            for (op, host, obj) in ops {
+                let (h, o) = (hosts[host as usize % 3], objs[obj as usize % 4]);
+                match op {
+                    0 => { d.request_shared(o, h); }
+                    1 => { d.request_exclusive(o, h); }
+                    2 => { d.write_at_home(o); }
+                    3 => { d.writeback(o, h); }
+                    _ => { d.evict(o, h); }
+                }
+                prop_assert!(d.invariant_holds());
+                // Exclusive implies sole membership.
+                if let Some(owner) = d.exclusive(o) {
+                    prop_assert_eq!(d.sharers(o), vec![owner]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Fragmentation and reassembly.
+//!
+//! Whole-object images routinely exceed the fabric MTU. A large bare
+//! message is split into [`Fragment`]s, each of which fits one packet; the
+//! receiver's [`Reassembler`] accepts fragments in any order, tolerates
+//! duplicates, and yields the original bytes when complete.
+
+use std::collections::HashMap;
+
+use rdv_wire::{WireError, WireReader, WireResult, WireWriter};
+
+/// Default fabric MTU in bytes (payload budget per fragment). The fabric is
+/// not Ethernet (§3.2 argues even Ethernet is too much overhead), so we use
+/// a 4 KiB datagram typical of memory-fabric cells rather than 1500.
+pub const DEFAULT_MTU: usize = 4096;
+
+/// One fragment of a larger message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Identifies the original message within the (src → dst) flow.
+    pub msg_id: u64,
+    /// This fragment's index, 0-based.
+    pub index: u32,
+    /// Total fragments in the message.
+    pub count: u32,
+    /// The bytes.
+    pub data: Vec<u8>,
+}
+
+impl Fragment {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(self.data.len() + 16);
+        w.put_uvarint(self.msg_id);
+        w.put_u32(self.index);
+        w.put_u32(self.count);
+        w.put_len_prefixed(&self.data);
+        w.into_vec()
+    }
+
+    /// Parse.
+    pub fn decode(data: &[u8]) -> WireResult<Fragment> {
+        let mut r = WireReader::new(data);
+        let msg_id = r.get_uvarint()?;
+        let index = r.get_u32()?;
+        let count = r.get_u32()?;
+        let data = r.get_len_prefixed(1 << 30)?.to_vec();
+        if count == 0 || index >= count {
+            return Err(WireError::InvalidTag { tag: index, ty: "Fragment index/count" });
+        }
+        Ok(Fragment { msg_id, index, count, data })
+    }
+}
+
+/// Split `payload` into fragments of at most `mtu` data bytes each.
+pub fn fragment(msg_id: u64, payload: &[u8], mtu: usize) -> Vec<Fragment> {
+    assert!(mtu > 0, "mtu must be positive");
+    let count = payload.len().div_ceil(mtu).max(1) as u32;
+    (0..count)
+        .map(|i| {
+            let start = i as usize * mtu;
+            let end = (start + mtu).min(payload.len());
+            Fragment { msg_id, index: i, count, data: payload[start..end].to_vec() }
+        })
+        .collect()
+}
+
+/// Reassembles fragments into complete messages, per `msg_id`.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    partial: HashMap<u64, PartialMsg>,
+}
+
+#[derive(Debug)]
+struct PartialMsg {
+    count: u32,
+    received: Vec<Option<Vec<u8>>>,
+    have: u32,
+}
+
+impl Reassembler {
+    /// New, empty reassembler.
+    pub fn new() -> Reassembler {
+        Reassembler::default()
+    }
+
+    /// Number of messages currently in flight.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Accept one fragment. Returns the full payload when the message
+    /// completes; duplicates and stragglers after completion are ignored.
+    pub fn accept(&mut self, frag: Fragment) -> WireResult<Option<Vec<u8>>> {
+        let entry = self.partial.entry(frag.msg_id).or_insert_with(|| PartialMsg {
+            count: frag.count,
+            received: vec![None; frag.count as usize],
+            have: 0,
+        });
+        if entry.count != frag.count || frag.index >= entry.count {
+            return Err(WireError::InvalidTag { tag: frag.index, ty: "Fragment (inconsistent)" });
+        }
+        let slot = &mut entry.received[frag.index as usize];
+        if slot.is_none() {
+            *slot = Some(frag.data);
+            entry.have += 1;
+        }
+        if entry.have == entry.count {
+            let entry = self.partial.remove(&frag.msg_id).expect("present");
+            let mut out = Vec::new();
+            for piece in entry.received {
+                out.extend(piece.expect("all pieces present"));
+            }
+            return Ok(Some(out));
+        }
+        Ok(None)
+    }
+
+    /// Drop the in-flight state for `msg_id` (e.g. on flow reset).
+    pub fn forget(&mut self, msg_id: u64) {
+        self.partial.remove(&msg_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_fragment_for_small_payloads() {
+        let frags = fragment(1, b"hello", DEFAULT_MTU);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].count, 1);
+        let mut r = Reassembler::new();
+        assert_eq!(r.accept(frags[0].clone()).unwrap(), Some(b"hello".to_vec()));
+    }
+
+    #[test]
+    fn empty_payload_still_one_fragment() {
+        let frags = fragment(1, b"", 100);
+        assert_eq!(frags.len(), 1);
+        let mut r = Reassembler::new();
+        assert_eq!(r.accept(frags[0].clone()).unwrap(), Some(vec![]));
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut frags = fragment(7, &payload, 1000);
+        assert_eq!(frags.len(), 10);
+        frags.reverse();
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in frags {
+            if let Some(out) = r.accept(f).unwrap() {
+                done = Some(out);
+            }
+        }
+        assert_eq!(done.unwrap(), payload);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let payload = vec![9u8; 2500];
+        let frags = fragment(3, &payload, 1000);
+        let mut r = Reassembler::new();
+        assert!(r.accept(frags[0].clone()).unwrap().is_none());
+        assert!(r.accept(frags[0].clone()).unwrap().is_none(), "duplicate");
+        assert!(r.accept(frags[1].clone()).unwrap().is_none());
+        assert_eq!(r.accept(frags[2].clone()).unwrap(), Some(payload));
+    }
+
+    #[test]
+    fn interleaved_messages() {
+        let a = vec![1u8; 3000];
+        let b = vec![2u8; 3000];
+        let fa = fragment(1, &a, 1000);
+        let fb = fragment(2, &b, 1000);
+        let mut r = Reassembler::new();
+        r.accept(fa[0].clone()).unwrap();
+        r.accept(fb[0].clone()).unwrap();
+        r.accept(fa[1].clone()).unwrap();
+        r.accept(fb[1].clone()).unwrap();
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.accept(fa[2].clone()).unwrap(), Some(a));
+        assert_eq!(r.accept(fb[2].clone()).unwrap(), Some(b));
+    }
+
+    #[test]
+    fn inconsistent_count_rejected() {
+        let mut r = Reassembler::new();
+        r.accept(Fragment { msg_id: 1, index: 0, count: 3, data: vec![] }).unwrap();
+        assert!(r
+            .accept(Fragment { msg_id: 1, index: 1, count: 4, data: vec![] })
+            .is_err());
+    }
+
+    #[test]
+    fn fragment_wire_roundtrip() {
+        let f = Fragment { msg_id: 99, index: 2, count: 5, data: vec![1, 2, 3] };
+        assert_eq!(Fragment::decode(&f.encode()).unwrap(), f);
+        // Invalid index >= count rejected on decode.
+        let bad = Fragment { msg_id: 1, index: 5, count: 5, data: vec![] };
+        assert!(Fragment::decode(&bad.encode()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fragment_reassemble_any_order(
+            payload in proptest::collection::vec(any::<u8>(), 0..20_000),
+            mtu in 1usize..5000,
+            seed in any::<u64>(),
+        ) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut frags = fragment(42, &payload, mtu);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            frags.shuffle(&mut rng);
+            let mut r = Reassembler::new();
+            let mut done = None;
+            for f in frags {
+                if let Some(out) = r.accept(f).unwrap() {
+                    prop_assert!(done.is_none());
+                    done = Some(out);
+                }
+            }
+            prop_assert_eq!(done.unwrap(), payload);
+        }
+    }
+}

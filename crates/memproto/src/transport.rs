@@ -1,0 +1,331 @@
+//! The lightweight reliable transport.
+//!
+//! §3.2: *"there will need to be a new, light-weight form of reliable
+//! transmission, separated from the other features provided by TCP (e.g.,
+//! slow start)."* This is that layer, sans-io style (the caller owns all
+//! timers and packet movement, which keeps it usable inside `rdv-netsim`
+//! nodes and trivially testable):
+//!
+//! - flows are keyed by **peer inbox object** — once discovery has resolved
+//!   an object to its holder, bulk traffic runs host-to-host on inbox IDs;
+//! - per-flow sequence numbers with cumulative acks and in-order delivery;
+//! - fixed retransmission timeout, bounded retries, duplicate suppression;
+//! - **no** handshakes, windows, or congestion machinery.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rdv_netsim::SimTime;
+use rdv_objspace::ObjId;
+
+use crate::msg::{Msg, MsgBody};
+
+/// Transport tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportConfig {
+    /// Retransmission timeout.
+    pub rto: SimTime,
+    /// Give up after this many retransmissions of one segment.
+    pub max_retries: u32,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        // Rack-scale RTTs are tens of µs; 200 µs is a comfortable RTO.
+        TransportConfig { rto: SimTime::from_micros(200), max_retries: 8 }
+    }
+}
+
+#[derive(Debug)]
+struct Unacked {
+    inner: Vec<u8>,
+    sent_at: SimTime,
+    retries: u32,
+}
+
+#[derive(Debug)]
+struct Flow {
+    /// Send side: next sequence number to assign (first is 1).
+    next_seq: u64,
+    /// Send side: segments awaiting ack.
+    unacked: BTreeMap<u64, Unacked>,
+    /// Receive side: next in-order sequence expected.
+    recv_next: u64,
+    /// Receive side: out-of-order stash.
+    stash: BTreeMap<u64, Vec<u8>>,
+}
+
+impl Default for Flow {
+    /// Sequence numbers start at 1 (0 is "nothing received" in acks), so
+    /// the default is NOT all-zeroes.
+    fn default() -> Flow {
+        Flow { next_seq: 1, recv_next: 1, unacked: BTreeMap::new(), stash: BTreeMap::new() }
+    }
+}
+
+impl Flow {
+    /// Highest cumulatively received seq (the ack we advertise).
+    fn cum_ack(&self) -> u64 {
+        self.recv_next - 1
+    }
+}
+
+/// One host's reliable-transport state across all peers.
+///
+/// ```
+/// use rdv_memproto::{ReliableEndpoint, TransportConfig};
+/// use rdv_memproto::msg::MsgBody;
+/// use rdv_netsim::SimTime;
+/// use rdv_objspace::ObjId;
+///
+/// let mut a = ReliableEndpoint::new(ObjId(0xA), TransportConfig::default());
+/// let mut b = ReliableEndpoint::new(ObjId(0xB), TransportConfig::default());
+/// let payload = MsgBody::ObjImageReq { req: 1, target: ObjId(9) }.encode_bare();
+///
+/// let pkt = a.send(SimTime::ZERO, ObjId(0xB), payload.clone());
+/// let (delivered, ack) = b.on_receive(&pkt);
+/// assert_eq!(delivered, vec![payload]);
+/// a.on_receive(&ack.unwrap());
+/// assert_eq!(a.in_flight(), 0);
+/// ```
+#[derive(Debug)]
+pub struct ReliableEndpoint {
+    local: ObjId,
+    cfg: TransportConfig,
+    flows: HashMap<ObjId, Flow>,
+    /// Segments that exhausted retries: `(peer, seq)`.
+    pub failed: Vec<(ObjId, u64)>,
+    /// Total retransmissions performed (for experiment accounting).
+    pub retransmits: u64,
+}
+
+impl ReliableEndpoint {
+    /// Create an endpoint whose reply address is `local` (the host inbox).
+    pub fn new(local: ObjId, cfg: TransportConfig) -> ReliableEndpoint {
+        ReliableEndpoint { local, cfg, flows: HashMap::new(), failed: Vec::new(), retransmits: 0 }
+    }
+
+    /// This endpoint's inbox object.
+    pub fn local(&self) -> ObjId {
+        self.local
+    }
+
+    /// Segments currently awaiting ack (all peers).
+    pub fn in_flight(&self) -> usize {
+        self.flows.values().map(|f| f.unacked.len()).sum()
+    }
+
+    /// Queue `inner` (a bare message, see [`MsgBody::encode_bare`]) to
+    /// `peer`; returns the packet to transmit now.
+    pub fn send(&mut self, now: SimTime, peer: ObjId, inner: Vec<u8>) -> Msg {
+        let flow = self.flows.entry(peer).or_default();
+        let seq = flow.next_seq;
+        flow.next_seq += 1;
+        flow.unacked.insert(seq, Unacked { inner: inner.clone(), sent_at: now, retries: 0 });
+        let ack = flow.cum_ack();
+        Msg::new(peer, self.local, MsgBody::RelData { seq, ack, inner })
+    }
+
+    /// Process a received transport message from `msg.header.src`.
+    ///
+    /// Returns the bare messages now deliverable in order, plus an optional
+    /// ack packet to transmit.
+    pub fn on_receive(&mut self, msg: &Msg) -> (Vec<Vec<u8>>, Option<Msg>) {
+        let peer = msg.header.src;
+        match &msg.body {
+            MsgBody::RelData { seq, ack, inner } => {
+                let flow = self.flows.entry(peer).or_default();
+                // Piggybacked ack for our send direction.
+                Self::apply_ack(flow, *ack);
+                let mut delivered = Vec::new();
+                if *seq >= flow.recv_next && !flow.stash.contains_key(seq) {
+                    flow.stash.insert(*seq, inner.clone());
+                }
+                while let Some(data) = flow.stash.remove(&flow.recv_next) {
+                    delivered.push(data);
+                    flow.recv_next += 1;
+                }
+                let ack_msg =
+                    Msg::new(peer, self.local, MsgBody::RelAck { ack: flow.cum_ack() });
+                (delivered, Some(ack_msg))
+            }
+            MsgBody::RelAck { ack } => {
+                if let Some(flow) = self.flows.get_mut(&peer) {
+                    Self::apply_ack(flow, *ack);
+                }
+                (Vec::new(), None)
+            }
+            _ => (Vec::new(), None),
+        }
+    }
+
+    fn apply_ack(flow: &mut Flow, ack: u64) {
+        flow.unacked.retain(|&seq, _| seq > ack);
+    }
+
+    /// Collect segments due for retransmission at `now`. Segments that
+    /// exhaust their retry budget are moved to [`ReliableEndpoint::failed`].
+    pub fn poll_retransmits(&mut self, now: SimTime) -> Vec<Msg> {
+        let mut out = Vec::new();
+        let rto = self.cfg.rto;
+        let max = self.cfg.max_retries;
+        for (&peer, flow) in &mut self.flows {
+            let ack = flow.cum_ack();
+            let mut dead = Vec::new();
+            for (&seq, u) in &mut flow.unacked {
+                if now.saturating_sub(u.sent_at) < rto {
+                    continue;
+                }
+                if u.retries >= max {
+                    dead.push(seq);
+                    continue;
+                }
+                u.retries += 1;
+                u.sent_at = now;
+                self.retransmits += 1;
+                out.push(Msg::new(
+                    peer,
+                    self.local,
+                    MsgBody::RelData { seq, ack, inner: u.inner.clone() },
+                ));
+            }
+            for seq in dead {
+                flow.unacked.remove(&seq);
+                self.failed.push((peer, seq));
+            }
+        }
+        out
+    }
+
+    /// Earliest deadline at which [`ReliableEndpoint::poll_retransmits`]
+    /// could have work, if anything is in flight.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.flows
+            .values()
+            .flat_map(|f| f.unacked.values())
+            .map(|u| u.sent_at + self.cfg.rto)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (ReliableEndpoint, ReliableEndpoint) {
+        (
+            ReliableEndpoint::new(ObjId(0xA), TransportConfig::default()),
+            ReliableEndpoint::new(ObjId(0xB), TransportConfig::default()),
+        )
+    }
+
+    fn bare(n: u64) -> Vec<u8> {
+        MsgBody::ObjImageReq { req: n, target: ObjId(5) }.encode_bare()
+    }
+
+    #[test]
+    fn in_order_delivery_and_ack() {
+        let (mut a, mut b) = pair();
+        let m1 = a.send(SimTime::ZERO, ObjId(0xB), bare(1));
+        let m2 = a.send(SimTime::ZERO, ObjId(0xB), bare(2));
+        let (d1, ack1) = b.on_receive(&m1);
+        assert_eq!(d1, vec![bare(1)]);
+        let (d2, _ack2) = b.on_receive(&m2);
+        assert_eq!(d2, vec![bare(2)]);
+        // Ack clears a's in-flight.
+        assert_eq!(a.in_flight(), 2);
+        a.on_receive(&ack1.unwrap());
+        assert_eq!(a.in_flight(), 1);
+    }
+
+    #[test]
+    fn out_of_order_is_buffered_then_released_in_order() {
+        let (mut a, mut b) = pair();
+        let m1 = a.send(SimTime::ZERO, ObjId(0xB), bare(1));
+        let m2 = a.send(SimTime::ZERO, ObjId(0xB), bare(2));
+        let m3 = a.send(SimTime::ZERO, ObjId(0xB), bare(3));
+        let (d, _) = b.on_receive(&m3);
+        assert!(d.is_empty());
+        let (d, _) = b.on_receive(&m2);
+        assert!(d.is_empty());
+        let (d, ack) = b.on_receive(&m1);
+        assert_eq!(d, vec![bare(1), bare(2), bare(3)]);
+        // Cumulative ack covers all three.
+        match ack.unwrap().body {
+            MsgBody::RelAck { ack } => assert_eq!(ack, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let (mut a, mut b) = pair();
+        let m1 = a.send(SimTime::ZERO, ObjId(0xB), bare(1));
+        let (d, _) = b.on_receive(&m1);
+        assert_eq!(d.len(), 1);
+        let (d, ack) = b.on_receive(&m1);
+        assert!(d.is_empty(), "duplicate must not re-deliver");
+        // But we still re-ack so the sender can clear state.
+        assert!(ack.is_some());
+    }
+
+    #[test]
+    fn retransmit_after_rto_then_give_up() {
+        let cfg = TransportConfig { rto: SimTime::from_micros(100), max_retries: 2 };
+        let mut a = ReliableEndpoint::new(ObjId(0xA), cfg);
+        let _lost = a.send(SimTime::ZERO, ObjId(0xB), bare(1));
+        // Before RTO: nothing.
+        assert!(a.poll_retransmits(SimTime::from_micros(50)).is_empty());
+        // After RTO: one retransmit.
+        let r1 = a.poll_retransmits(SimTime::from_micros(100));
+        assert_eq!(r1.len(), 1);
+        assert_eq!(a.retransmits, 1);
+        // Second retransmit.
+        let r2 = a.poll_retransmits(SimTime::from_micros(200));
+        assert_eq!(r2.len(), 1);
+        // Third poll: retries exhausted → failure surfaced, nothing sent.
+        let r3 = a.poll_retransmits(SimTime::from_micros(300));
+        assert!(r3.is_empty());
+        assert_eq!(a.failed, vec![(ObjId(0xB), 1)]);
+        assert_eq!(a.in_flight(), 0);
+    }
+
+    #[test]
+    fn retransmitted_segment_still_delivers_once() {
+        let cfg = TransportConfig { rto: SimTime::from_micros(10), max_retries: 8 };
+        let mut a = ReliableEndpoint::new(ObjId(0xA), cfg);
+        let mut b = ReliableEndpoint::new(ObjId(0xB), cfg);
+        let m1 = a.send(SimTime::ZERO, ObjId(0xB), bare(9));
+        // Original is lost; retransmit arrives.
+        let rts = a.poll_retransmits(SimTime::from_micros(10));
+        let (d, ack) = b.on_receive(&rts[0]);
+        assert_eq!(d, vec![bare(9)]);
+        a.on_receive(&ack.unwrap());
+        assert_eq!(a.in_flight(), 0);
+        // Late-arriving original is a duplicate.
+        let (d, _) = b.on_receive(&m1);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn flows_are_independent_per_peer() {
+        let mut a = ReliableEndpoint::new(ObjId(0xA), TransportConfig::default());
+        let to_b = a.send(SimTime::ZERO, ObjId(0xB), bare(1));
+        let to_c = a.send(SimTime::ZERO, ObjId(0xC), bare(2));
+        match (&to_b.body, &to_c.body) {
+            (MsgBody::RelData { seq: s1, .. }, MsgBody::RelData { seq: s2, .. }) => {
+                assert_eq!(*s1, 1);
+                assert_eq!(*s2, 1, "each flow numbers independently");
+            }
+            _ => panic!("expected RelData"),
+        }
+    }
+
+    #[test]
+    fn next_deadline_tracks_oldest_segment() {
+        let cfg = TransportConfig { rto: SimTime::from_micros(100), max_retries: 1 };
+        let mut a = ReliableEndpoint::new(ObjId(0xA), cfg);
+        assert_eq!(a.next_deadline(), None);
+        a.send(SimTime::from_micros(5), ObjId(0xB), bare(1));
+        assert_eq!(a.next_deadline(), Some(SimTime::from_micros(105)));
+    }
+}

@@ -1,0 +1,39 @@
+//! # rdv-netsim — deterministic discrete-event network simulator
+//!
+//! The paper's evaluation (§4) ran on Mininet with emulated VMs and noted
+//! that *"emulation affected timings"*. This crate replaces that substrate
+//! with a deterministic discrete-event simulator: same seed, same topology,
+//! same workload ⇒ bit-identical results, on any machine. Every figure in
+//! EXPERIMENTS.md is regenerated on top of it.
+//!
+//! ## Model
+//!
+//! - [`time::SimTime`] — nanosecond-resolution virtual clock.
+//! - [`node::Node`] — behaviour attached to a network element (host NIC,
+//!   switch dataplane, SDN controller). Implemented by `rdv-p4rt`,
+//!   `rdv-discovery`, `rdv-rpc`, and `rdv-core`.
+//! - [`link::LinkSpec`] — full-duplex point-to-point links with propagation
+//!   latency, serialization bandwidth, and a bounded FIFO queue (tail drop).
+//! - [`engine::Sim`] — the event loop: packet deliveries and timers ordered
+//!   by `(time, sequence)` for strict determinism.
+//! - [`topo`] — topology builders, including the paper's testbed (three
+//!   hosts behind four interconnected switches) and generic shapes.
+//! - [`stats`] — counters and latency histograms shared by experiments.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod link;
+pub mod node;
+pub mod packet;
+pub mod stats;
+pub mod time;
+pub mod topo;
+
+pub use engine::{Sim, SimConfig};
+pub use link::LinkSpec;
+pub use node::{Node, NodeCtx, NodeId, PortId};
+pub use packet::Packet;
+pub use stats::{Counters, Histogram};
+pub use time::SimTime;

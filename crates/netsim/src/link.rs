@@ -1,0 +1,179 @@
+//! Point-to-point links.
+//!
+//! A link is full duplex: each direction has independent serialization
+//! (bandwidth), propagation (latency), and a bounded FIFO queue with tail
+//! drop. The queueing model is the standard fluid one: a direction keeps a
+//! `next_free` time; a packet of `S` bytes arriving at `t` begins
+//! serializing at `max(t, next_free)`, occupies the transmitter for
+//! `S/bandwidth`, and arrives `latency` after serialization completes.
+//! Backlog in bytes is `(next_free − t) · bandwidth`; if admitting the
+//! packet would push the backlog past the queue capacity, it is dropped.
+
+use crate::node::{NodeId, PortId};
+use crate::time::SimTime;
+
+/// Identifies a link within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// Physical parameters of a link (applied to both directions).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// One-way propagation delay.
+    pub latency: SimTime,
+    /// Serialization rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// Queue capacity in bytes (per direction). Packets that would overflow
+    /// it are tail-dropped.
+    pub queue_bytes: u64,
+    /// Random loss rate in packets per mille (0 = lossless). Losses are
+    /// drawn from the simulation RNG, so runs stay deterministic per seed.
+    pub loss_permille: u16,
+}
+
+impl LinkSpec {
+    /// A rack-class link: 5 µs propagation, 100 Gb/s, 512 KiB buffer —
+    /// the defaults used by the paper-testbed topology.
+    pub fn rack() -> LinkSpec {
+        LinkSpec {
+            latency: SimTime::from_micros(5),
+            bandwidth_bps: 100_000_000_000,
+            queue_bytes: 512 * 1024,
+            loss_permille: 0,
+        }
+    }
+
+    /// A slower edge/WAN-ish link: 200 µs, 1 Gb/s, 256 KiB buffer.
+    pub fn edge() -> LinkSpec {
+        LinkSpec {
+            latency: SimTime::from_micros(200),
+            bandwidth_bps: 1_000_000_000,
+            queue_bytes: 256 * 1024,
+            loss_permille: 0,
+        }
+    }
+
+    /// This link with a random-loss rate (for failure-injection tests).
+    pub fn with_loss(self, loss_permille: u16) -> LinkSpec {
+        LinkSpec { loss_permille, ..self }
+    }
+
+    /// Serialization time for `bytes` on this link.
+    pub fn tx_time(&self, bytes: usize) -> SimTime {
+        // ns = bytes * 8 * 1e9 / bps, computed without overflow for any
+        // realistic packet (u128 intermediate).
+        let ns = (bytes as u128 * 8 * 1_000_000_000) / self.bandwidth_bps as u128;
+        SimTime::from_nanos(ns as u64)
+    }
+}
+
+/// One direction of a link's runtime state.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Direction {
+    /// Time the transmitter becomes free.
+    pub next_free: SimTime,
+}
+
+impl Direction {
+    /// Try to admit a packet of `bytes` at time `now`. Returns the arrival
+    /// time at the far end, or `None` if the queue is full (tail drop).
+    pub fn admit(&mut self, spec: &LinkSpec, now: SimTime, bytes: usize) -> Option<SimTime> {
+        let backlog_ns = self.next_free.saturating_sub(now).as_nanos();
+        let backlog_bytes = (backlog_ns as u128 * spec.bandwidth_bps as u128) / (8 * 1_000_000_000);
+        if backlog_bytes + bytes as u128 > spec.queue_bytes as u128 {
+            return None;
+        }
+        let start = self.next_free.max(now);
+        let done = start + spec.tx_time(bytes);
+        self.next_free = done;
+        Some(done + spec.latency)
+    }
+}
+
+/// A link instance: the two endpoints and per-direction state.
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub spec: LinkSpec,
+    /// (node, port) pairs for the two ends: `ends[0]` ↔ `ends[1]`.
+    pub ends: [(NodeId, PortId); 2],
+    pub dirs: [Direction; 2],
+}
+
+impl Link {
+    /// Index of the direction whose *source* is `from`, and the far end.
+    pub fn direction_from(&self, from: NodeId, from_port: PortId) -> Option<(usize, NodeId, PortId)> {
+        if self.ends[0] == (from, from_port) {
+            Some((0, self.ends[1].0, self.ends[1].1))
+        } else if self.ends[1] == (from, from_port) {
+            Some((1, self.ends[0].0, self.ends[0].1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LinkSpec {
+        LinkSpec {
+            latency: SimTime::from_micros(10),
+            bandwidth_bps: 8_000_000_000, // 1 byte/ns
+            queue_bytes: 3_000,
+            loss_permille: 0,
+        }
+    }
+
+    #[test]
+    fn tx_time_is_size_over_bandwidth() {
+        let s = spec();
+        assert_eq!(s.tx_time(1000), SimTime::from_nanos(1000));
+        assert_eq!(s.tx_time(0), SimTime::ZERO);
+        // 100 Gb/s: 1500 B ≈ 120 ns.
+        assert_eq!(LinkSpec::rack().tx_time(1500), SimTime::from_nanos(120));
+    }
+
+    #[test]
+    fn idle_link_arrival_is_tx_plus_latency() {
+        let s = spec();
+        let mut d = Direction::default();
+        let arrival = d.admit(&s, SimTime::from_nanos(100), 1000).unwrap();
+        // start 100, tx 1000, latency 10000.
+        assert_eq!(arrival, SimTime::from_nanos(100 + 1000 + 10_000));
+        assert_eq!(d.next_free, SimTime::from_nanos(1100));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_fifo() {
+        let s = spec();
+        let mut d = Direction::default();
+        let a1 = d.admit(&s, SimTime::ZERO, 1000).unwrap();
+        let a2 = d.admit(&s, SimTime::ZERO, 1000).unwrap();
+        assert_eq!(a2 - a1, SimTime::from_nanos(1000), "second waits for first's tx");
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let s = spec(); // 3000-byte queue
+        let mut d = Direction::default();
+        assert!(d.admit(&s, SimTime::ZERO, 1500).is_some());
+        assert!(d.admit(&s, SimTime::ZERO, 1500).is_some());
+        // Backlog is now 3000 bytes: the third packet overflows.
+        assert!(d.admit(&s, SimTime::ZERO, 1500).is_none());
+        // After the first drains, admission works again.
+        assert!(d.admit(&s, SimTime::from_nanos(1600), 1500).is_some());
+    }
+
+    #[test]
+    fn direction_lookup() {
+        let link = Link {
+            spec: spec(),
+            ends: [(NodeId(1), PortId(0)), (NodeId(2), PortId(3))],
+            dirs: [Direction::default(); 2],
+        };
+        assert_eq!(link.direction_from(NodeId(1), PortId(0)), Some((0, NodeId(2), PortId(3))));
+        assert_eq!(link.direction_from(NodeId(2), PortId(3)), Some((1, NodeId(1), PortId(0))));
+        assert_eq!(link.direction_from(NodeId(3), PortId(0)), None);
+    }
+}

@@ -1,0 +1,121 @@
+//! The node behaviour trait and its interaction context.
+//!
+//! A [`Node`] is the software attached to one network element. The engine
+//! calls it when a packet arrives on one of its ports or a timer it set
+//! fires; the node responds by queuing sends and timers on the
+//! [`NodeCtx`] — it never touches the engine directly, which keeps the event
+//! loop single-owner and the simulation deterministic.
+
+use rand::rngs::StdRng;
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// Identifies a node within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Identifies one of a node's ports (dense, 0-based, assigned as links are
+/// attached).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub usize);
+
+/// Behaviour attached to a network element.
+///
+/// The `Any` supertrait lets experiments downcast a node back to its
+/// concrete type after a run (see [`crate::engine::Sim::node_as`]).
+pub trait Node: std::any::Any {
+    /// A packet arrived on `port`.
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, packet: Packet);
+
+    /// A timer set via [`NodeCtx::set_timer`] fired with its `tag`.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+
+    /// Called once when the simulation starts, before any packet flows.
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Human-readable name for traces.
+    fn name(&self) -> &str {
+        "node"
+    }
+}
+
+/// Buffered actions a node may take during a callback; drained by the
+/// engine afterwards.
+pub struct NodeCtx<'a> {
+    /// This node's ID.
+    pub id: NodeId,
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Number of ports attached to this node.
+    pub port_count: usize,
+    /// Deterministic per-simulation RNG (shared, seeded by [`crate::engine::SimConfig`]).
+    pub rng: &'a mut StdRng,
+    pub(crate) sends: Vec<(PortId, Packet)>,
+    pub(crate) timers: Vec<(SimTime, u64)>,
+}
+
+impl<'a> NodeCtx<'a> {
+    pub(crate) fn new(id: NodeId, now: SimTime, port_count: usize, rng: &'a mut StdRng) -> Self {
+        NodeCtx { id, now, port_count, rng, sends: Vec::new(), timers: Vec::new() }
+    }
+
+    /// Transmit `packet` out of `port`.
+    pub fn send(&mut self, port: PortId, packet: Packet) {
+        debug_assert!(port.0 < self.port_count, "send on unattached port");
+        self.sends.push((port, packet));
+    }
+
+    /// Transmit a copy of `packet` out of every port except `except`
+    /// (pass `None` to flood all ports) — the broadcast primitive used by
+    /// E2E discovery.
+    pub fn flood(&mut self, packet: &Packet, except: Option<PortId>) {
+        for p in 0..self.port_count {
+            if Some(PortId(p)) != except {
+                self.sends.push((PortId(p), packet.clone()));
+            }
+        }
+    }
+
+    /// Arrange for [`Node::on_timer`] to fire `delay` from now with `tag`.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        self.timers.push((self.now + delay, tag));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ctx_buffers_actions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx = NodeCtx::new(NodeId(0), SimTime::from_micros(5), 3, &mut rng);
+        ctx.send(PortId(1), Packet::new(vec![1], 0));
+        ctx.set_timer(SimTime::from_micros(10), 77);
+        assert_eq!(ctx.sends.len(), 1);
+        assert_eq!(ctx.timers, vec![(SimTime::from_micros(15), 77)]);
+    }
+
+    #[test]
+    fn flood_skips_ingress() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx = NodeCtx::new(NodeId(0), SimTime::ZERO, 4, &mut rng);
+        ctx.flood(&Packet::new(vec![9], 1), Some(PortId(2)));
+        let ports: Vec<usize> = ctx.sends.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(ports, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn flood_all_when_no_ingress() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx = NodeCtx::new(NodeId(0), SimTime::ZERO, 2, &mut rng);
+        ctx.flood(&Packet::new(vec![9], 1), None);
+        assert_eq!(ctx.sends.len(), 2);
+    }
+}

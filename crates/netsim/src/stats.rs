@@ -1,0 +1,212 @@
+//! Counters and histograms used by the simulator and every experiment.
+
+use std::collections::BTreeMap;
+
+/// Named monotonic counters.
+///
+/// Backed by a `BTreeMap` so iteration (and therefore report output) is
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    inner: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.inner.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Increment counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.inner.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+/// An exact latency histogram (stores every sample; experiments record at
+/// most a few hundred thousand points, so exactness is affordable and keeps
+/// percentile math trivially correct).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Population standard deviation (0.0 when empty).
+    pub fn stddev(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (0.0–100.0), nearest-rank. Returns 0 if empty.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&mut self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        self.samples[0]
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&mut self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        *self.samples.last().unwrap()
+    }
+
+    /// All samples (unordered unless a percentile call sorted them).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = Counters::new();
+        a.inc("x");
+        a.add("x", 4);
+        a.inc("y");
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("missing"), 0);
+        let mut b = Counters::new();
+        b.add("x", 10);
+        b.add("z", 1);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 15);
+        assert_eq!(a.get("z"), 1);
+        let names: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["x", "y", "z"], "deterministic order");
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean(), 25.0);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 40);
+        assert!((h.stddev() - 11.18).abs() < 0.01);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(99.0), 99);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.percentile(1.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.stddev(), 0.0);
+    }
+
+    #[test]
+    fn recording_after_sort_keeps_correctness() {
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.percentile(50.0), 5);
+        h.record(1);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5);
+    }
+}

@@ -1,0 +1,76 @@
+//! Object-space error type.
+
+use crate::id::ObjId;
+use std::fmt;
+
+/// Errors arising from object-space operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjError {
+    /// The object is not present in this store.
+    NotFound(ObjId),
+    /// An object with this ID already exists in the store.
+    AlreadyExists(ObjId),
+    /// An access touched bytes beyond the object's size.
+    OutOfBounds {
+        /// Offset of the access.
+        offset: u64,
+        /// Length of the access.
+        len: u64,
+        /// Size of the object.
+        size: u64,
+    },
+    /// The FOT has no entry at this index.
+    BadFotIndex(u32),
+    /// The FOT is full (index width exhausted).
+    FotFull,
+    /// The intra-object allocator cannot satisfy the request.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Contiguous bytes available.
+        available: u64,
+    },
+    /// A pointer was null where a value was required.
+    NullPointer,
+    /// Byte-image parsing failed (corrupt header or truncated image).
+    CorruptImage(&'static str),
+    /// The operation requires write access but the FOT entry is read-only.
+    ReadOnly(ObjId),
+}
+
+impl fmt::Display for ObjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjError::NotFound(id) => write!(f, "object {id} not found"),
+            ObjError::AlreadyExists(id) => write!(f, "object {id} already exists"),
+            ObjError::OutOfBounds { offset, len, size } => {
+                write!(f, "access [{offset}, {offset}+{len}) out of bounds for object of size {size}")
+            }
+            ObjError::BadFotIndex(i) => write!(f, "no FOT entry at index {i}"),
+            ObjError::FotFull => write!(f, "foreign object table is full"),
+            ObjError::OutOfMemory { requested, available } => {
+                write!(f, "object allocator exhausted: requested {requested}, available {available}")
+            }
+            ObjError::NullPointer => write!(f, "null invariant pointer dereferenced"),
+            ObjError::CorruptImage(what) => write!(f, "corrupt object image: {what}"),
+            ObjError::ReadOnly(id) => write!(f, "FOT entry for {id} is read-only"),
+        }
+    }
+}
+
+impl std::error::Error for ObjError {}
+
+/// Convenience alias.
+pub type ObjResult<T> = Result<T, ObjError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = ObjError::OutOfBounds { offset: 10, len: 4, size: 12 };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains("12"));
+    }
+}

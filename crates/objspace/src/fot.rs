@@ -1,0 +1,236 @@
+//! The foreign-object table (FOT).
+//!
+//! Each object carries a table of the external objects it references.
+//! Invariant pointers name entries in this table by index, so the 64-bit
+//! pointer word reaches a 128-bit ID space. The FOT also gives the system
+//! its "translucent view into application semantics" (§3.1): the set of FOT
+//! entries *is* the object's outgoing reachability edge set.
+
+use crate::error::{ObjError, ObjResult};
+use crate::id::ObjId;
+use crate::ptr::MAX_FOT_INDEX;
+use rdv_wire::{Decode, Encode, WireReader, WireResult, WireWriter};
+
+/// Access flags recorded on a FOT entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FotFlags {
+    /// Referenced data may be read.
+    pub read: bool,
+    /// Referenced data may be written.
+    pub write: bool,
+}
+
+impl FotFlags {
+    /// Read-only reference.
+    pub const RO: FotFlags = FotFlags { read: true, write: false };
+    /// Read-write reference.
+    pub const RW: FotFlags = FotFlags { read: true, write: true };
+
+    fn to_byte(self) -> u8 {
+        u8::from(self.read) | (u8::from(self.write) << 1)
+    }
+
+    fn from_byte(b: u8) -> FotFlags {
+        FotFlags { read: b & 1 != 0, write: b & 2 != 0 }
+    }
+}
+
+/// One FOT entry: a referenced object and the access granted through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FotEntry {
+    /// The referenced object.
+    pub id: ObjId,
+    /// Access flags.
+    pub flags: FotFlags,
+}
+
+/// The foreign-object table.
+///
+/// Entry 0 is implicit and always means "this object" — external entries
+/// begin at index 1, matching [`crate::ptr::InvPtr::SELF_INDEX`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Fot {
+    entries: Vec<FotEntry>,
+}
+
+impl Fot {
+    /// Empty table.
+    pub fn new() -> Fot {
+        Fot { entries: Vec::new() }
+    }
+
+    /// Number of external entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no external entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Add (or find) an entry for `id` with at least `flags`, returning its
+    /// pointer index (≥ 1).
+    ///
+    /// Entries are deduplicated by ID; requesting write on an existing
+    /// read-only entry upgrades it (flags are a lattice, join = OR).
+    pub fn intern(&mut self, id: ObjId, flags: FotFlags) -> ObjResult<u32> {
+        if let Some(pos) = self.entries.iter().position(|e| e.id == id) {
+            let e = &mut self.entries[pos];
+            e.flags = FotFlags { read: e.flags.read || flags.read, write: e.flags.write || flags.write };
+            return Ok(pos as u32 + 1);
+        }
+        if self.entries.len() as u32 >= MAX_FOT_INDEX {
+            return Err(ObjError::FotFull);
+        }
+        self.entries.push(FotEntry { id, flags });
+        Ok(self.entries.len() as u32)
+    }
+
+    /// Resolve pointer index `index` (≥ 1) to its entry.
+    pub fn get(&self, index: u32) -> ObjResult<FotEntry> {
+        if index == 0 || index as usize > self.entries.len() {
+            return Err(ObjError::BadFotIndex(index));
+        }
+        Ok(self.entries[index as usize - 1])
+    }
+
+    /// Look up the pointer index for `id`, if present.
+    pub fn index_of(&self, id: ObjId) -> Option<u32> {
+        self.entries.iter().position(|e| e.id == id).map(|p| p as u32 + 1)
+    }
+
+    /// Iterate over entries with their pointer indices.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &FotEntry)> {
+        self.entries.iter().enumerate().map(|(i, e)| (i as u32 + 1, e))
+    }
+
+    /// The outgoing edge set: every distinct object this object references.
+    pub fn referenced_ids(&self) -> Vec<ObjId> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+
+    /// Serialized byte size of this table in an object image.
+    pub fn image_len(&self) -> usize {
+        // count (u32) + entries × (16-byte ID + 1-byte flags)
+        4 + self.entries.len() * 17
+    }
+}
+
+impl Encode for Fot {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.put_u128(e.id.as_u128());
+            w.put_u8(e.flags.to_byte());
+        }
+    }
+    fn encoded_len_hint(&self) -> usize {
+        self.image_len()
+    }
+}
+
+impl Decode for Fot {
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        let count = r.get_u32()?;
+        let mut entries = Vec::with_capacity((count as usize).min(4096));
+        for _ in 0..count {
+            let id = ObjId(r.get_u128()?);
+            let flags = FotFlags::from_byte(r.get_u8()?);
+            entries.push(FotEntry { id, flags });
+        }
+        Ok(Fot { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn id(n: u128) -> ObjId {
+        ObjId(n)
+    }
+
+    #[test]
+    fn intern_assigns_one_based_indices() {
+        let mut fot = Fot::new();
+        assert_eq!(fot.intern(id(10), FotFlags::RO).unwrap(), 1);
+        assert_eq!(fot.intern(id(20), FotFlags::RO).unwrap(), 2);
+        assert_eq!(fot.len(), 2);
+    }
+
+    #[test]
+    fn intern_deduplicates_and_upgrades_flags() {
+        let mut fot = Fot::new();
+        let a = fot.intern(id(10), FotFlags::RO).unwrap();
+        let b = fot.intern(id(10), FotFlags::RW).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fot.len(), 1);
+        assert_eq!(fot.get(a).unwrap().flags, FotFlags::RW);
+        // Re-interning with weaker flags must not downgrade.
+        fot.intern(id(10), FotFlags::RO).unwrap();
+        assert_eq!(fot.get(a).unwrap().flags, FotFlags::RW);
+    }
+
+    #[test]
+    fn get_rejects_index_zero_and_out_of_range() {
+        let mut fot = Fot::new();
+        fot.intern(id(1), FotFlags::RO).unwrap();
+        assert!(matches!(fot.get(0), Err(ObjError::BadFotIndex(0))));
+        assert!(matches!(fot.get(2), Err(ObjError::BadFotIndex(2))));
+        assert!(fot.get(1).is_ok());
+    }
+
+    #[test]
+    fn index_of_finds_entries() {
+        let mut fot = Fot::new();
+        fot.intern(id(5), FotFlags::RO).unwrap();
+        fot.intern(id(6), FotFlags::RO).unwrap();
+        assert_eq!(fot.index_of(id(6)), Some(2));
+        assert_eq!(fot.index_of(id(7)), None);
+    }
+
+    #[test]
+    fn referenced_ids_is_edge_set() {
+        let mut fot = Fot::new();
+        fot.intern(id(5), FotFlags::RO).unwrap();
+        fot.intern(id(6), FotFlags::RW).unwrap();
+        fot.intern(id(5), FotFlags::RO).unwrap();
+        assert_eq!(fot.referenced_ids(), vec![id(5), id(6)]);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut fot = Fot::new();
+        fot.intern(id(500), FotFlags::RO).unwrap();
+        fot.intern(id(900), FotFlags::RW).unwrap();
+        let bytes = rdv_wire::encode_to_vec(&fot);
+        assert_eq!(bytes.len(), fot.image_len());
+        let back: Fot = rdv_wire::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, fot);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intern_is_idempotent(ids in proptest::collection::vec(1u128..1000, 1..50)) {
+            let mut fot = Fot::new();
+            let first: Vec<u32> = ids.iter().map(|&i| fot.intern(id(i), FotFlags::RO).unwrap()).collect();
+            let second: Vec<u32> = ids.iter().map(|&i| fot.intern(id(i), FotFlags::RO).unwrap()).collect();
+            prop_assert_eq!(first, second);
+            let distinct: std::collections::HashSet<_> = ids.iter().collect();
+            prop_assert_eq!(fot.len(), distinct.len());
+        }
+
+        #[test]
+        fn prop_wire_roundtrip(ids in proptest::collection::vec(1u128..10_000, 0..64)) {
+            let mut fot = Fot::new();
+            for i in ids {
+                fot.intern(id(i), if i % 2 == 0 { FotFlags::RO } else { FotFlags::RW }).unwrap();
+            }
+            let bytes = rdv_wire::encode_to_vec(&fot);
+            let back: Fot = rdv_wire::decode_from_slice(&bytes).unwrap();
+            prop_assert_eq!(back, fot);
+        }
+    }
+}

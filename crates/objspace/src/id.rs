@@ -1,0 +1,162 @@
+//! 128-bit object identifiers.
+//!
+//! The paper (§3.1): *"we will expose a 128 bit object identifier space …
+//! A space of 128 bits does not require a centralized arbiter to hand out
+//! new IDs … Twizzler allocates object IDs in a flat namespace using secure
+//! random numbers"*. [`ObjId`] reproduces exactly that: flat, random,
+//! coordination-free.
+
+use rand::Rng;
+use rdv_wire::{Decode, Encode, WireReader, WireResult, WireWriter};
+use std::fmt;
+
+/// A 128-bit object identifier in the flat global namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u128);
+
+impl ObjId {
+    /// The nil ID: never names a real object.
+    pub const NIL: ObjId = ObjId(0);
+
+    /// Allocate a fresh random ID from `rng`.
+    ///
+    /// Coordination-free: with a 128-bit space, the probability that `n`
+    /// allocations collide is ≈ n²/2¹²⁹ (see [`ObjId::collision_probability`]),
+    /// which for a trillion objects is ~10⁻¹⁵.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> ObjId {
+        loop {
+            let id = ObjId(rng.gen::<u128>());
+            if id != ObjId::NIL {
+                return id;
+            }
+        }
+    }
+
+    /// True if this is the nil ID.
+    pub fn is_nil(self) -> bool {
+        self == ObjId::NIL
+    }
+
+    /// Raw value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// The high 64 bits — used by hierarchical overlay schemes as a prefix.
+    pub fn hi(self) -> u64 {
+        (self.0 >> 64) as u64
+    }
+
+    /// The low 64 bits.
+    pub fn lo(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// The top `bits` bits of the ID, right-aligned — the "region prefix"
+    /// used by hierarchical identifier overlays (DESIGN.md A3).
+    pub fn prefix(self, bits: u32) -> u128 {
+        if bits == 0 {
+            0
+        } else if bits >= 128 {
+            self.0
+        } else {
+            self.0 >> (128 - bits)
+        }
+    }
+
+    /// Birthday-bound estimate of the probability that `n` random IDs
+    /// contain a collision: ≈ n(n−1)/2 ÷ 2¹²⁸.
+    pub fn collision_probability(n: u64) -> f64 {
+        let pairs = (n as f64) * (n as f64 - 1.0) / 2.0;
+        pairs / 2f64.powi(128)
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Grouped hex, e.g. "0123abcd:...:89ef0123" — full 32 nibbles.
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl From<u128> for ObjId {
+    fn from(v: u128) -> Self {
+        ObjId(v)
+    }
+}
+
+impl Encode for ObjId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u128(self.0);
+    }
+    fn encoded_len_hint(&self) -> usize {
+        16
+    }
+}
+
+impl Decode for ObjId {
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(ObjId(r.get_u128()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_ids_are_distinct_and_nonnil() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = ObjId::random(&mut rng);
+            assert!(!id.is_nil());
+            assert!(seen.insert(id), "collision in 10k draws would be astronomical");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(ObjId::random(&mut a), ObjId::random(&mut b));
+    }
+
+    #[test]
+    fn collision_probability_is_tiny_and_monotone() {
+        let p1 = ObjId::collision_probability(1_000_000);
+        let p2 = ObjId::collision_probability(1_000_000_000);
+        assert!(p1 < p2);
+        assert!(p2 < 1e-15, "p2 = {p2}");
+        assert_eq!(ObjId::collision_probability(0), 0.0);
+        assert_eq!(ObjId::collision_probability(1), 0.0);
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        let id = ObjId(0xABCD_0000_0000_0000_0000_0000_0000_0001);
+        assert_eq!(id.prefix(16), 0xABCD);
+        assert_eq!(id.prefix(0), 0);
+        assert_eq!(id.prefix(128), id.0);
+        assert_eq!(id.prefix(200), id.0);
+        assert_eq!(id.hi(), 0xABCD_0000_0000_0000);
+        assert_eq!(id.lo(), 1);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let id = ObjId(0x1234_5678_9abc_def0_0fed_cba9_8765_4321);
+        let bytes = rdv_wire::encode_to_vec(&id);
+        assert_eq!(bytes.len(), 16);
+        let back: ObjId = rdv_wire::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn display_is_full_width_hex() {
+        assert_eq!(ObjId(1).to_string().len(), 32);
+        assert!(ObjId(0xff).to_string().ends_with("ff"));
+    }
+}

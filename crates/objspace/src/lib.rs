@@ -1,0 +1,47 @@
+//! # rdv-objspace — the global object space
+//!
+//! A library implementation of the Twizzler-style object model the paper
+//! builds on (§3.1):
+//!
+//! - **128-bit object IDs** ([`id::ObjId`]) allocated from secure random
+//!   numbers — no central arbiter, collision probability vanishingly small.
+//! - **Objects** ([`object::Object`]) are flat pools of memory with a
+//!   header, a **foreign-object table** ([`fot::Fot`]) at a known location,
+//!   and a data heap managed by an intra-object allocator
+//!   ([`alloc::ObjAllocator`]).
+//! - **Invariant pointers** ([`ptr::InvPtr`]) are 64 bits — an index into
+//!   the FOT plus an offset — and remain valid on *any* host: moving an
+//!   object is a plain byte copy with zero pointer fix-ups. This is the
+//!   mechanism behind the paper's claim of "alleviating 100% of the loading
+//!   overhead".
+//! - **Reachability graphs** ([`reach`]) — the FOT gives the system a
+//!   translucent view of which objects an object references, enabling
+//!   identity-based prefetching (vs. today's adjacency heuristics).
+//! - **Object stores** ([`store::ObjectStore`]) hold a host's local objects
+//!   and persist orthogonally ([`store::ObjectStore::to_snapshot`]);
+//!   [`structures`] builds pointer-rich multi-object data structures used by
+//!   the experiments, and [`naming`] layers hierarchical names over the flat
+//!   ID space — namespaces are themselves objects.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alloc;
+pub mod error;
+pub mod fot;
+pub mod id;
+pub mod naming;
+pub mod object;
+pub mod ptr;
+pub mod reach;
+pub mod store;
+pub mod structures;
+
+pub use error::{ObjError, ObjResult};
+pub use naming::Namespace;
+pub use fot::{Fot, FotEntry, FotFlags};
+pub use id::ObjId;
+pub use object::{Object, ObjectKind, ObjectMeta};
+pub use ptr::InvPtr;
+pub use reach::ReachGraph;
+pub use store::ObjectStore;

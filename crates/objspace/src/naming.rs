@@ -1,0 +1,220 @@
+//! Namespaces: human names over the flat ID space.
+//!
+//! §3.1: *"Twizzler allocates object IDs in a flat namespace using secure
+//! random numbers."* Naming is layered on top — and, in the spirit of the
+//! paper, a namespace is itself just data in an ordinary object: it moves
+//! with a byte copy, persists orthogonally, and can be referenced from
+//! anywhere. A [`Namespace`] binds strings to object IDs; binding a name to
+//! another namespace object yields hierarchical paths, resolved by
+//! [`resolve_path`] with plain object reads.
+
+use std::collections::BTreeMap;
+
+use crate::error::{ObjError, ObjResult};
+use crate::id::ObjId;
+use crate::object::{Object, ObjectKind};
+use crate::store::ObjectStore;
+
+const LEN_OFFSET: u64 = 8;
+const TABLE_OFFSET: u64 = 16;
+
+/// A typed view of a namespace object.
+#[derive(Debug)]
+pub struct Namespace {
+    object: Object,
+}
+
+impl Namespace {
+    /// Create an empty namespace object with identity `id`.
+    pub fn create(id: ObjId) -> ObjResult<Namespace> {
+        let mut object = Object::new(id, ObjectKind::Data);
+        let len_cell = object.alloc(8)?;
+        debug_assert_eq!(len_cell, LEN_OFFSET);
+        let mut ns = Namespace { object };
+        ns.write_table(&BTreeMap::new())?;
+        Ok(ns)
+    }
+
+    /// Interpret an existing object (e.g. one fetched from another host)
+    /// as a namespace.
+    pub fn from_object(object: Object) -> Namespace {
+        Namespace { object }
+    }
+
+    /// The underlying object (for movement or insertion into a store).
+    pub fn object(&self) -> &Object {
+        &self.object
+    }
+
+    /// Consume into the underlying object.
+    pub fn into_object(self) -> Object {
+        self.object
+    }
+
+    fn read_table(&self) -> ObjResult<BTreeMap<String, ObjId>> {
+        let len = self.object.read_u64(LEN_OFFSET)?;
+        if len == 0 {
+            return Ok(BTreeMap::new());
+        }
+        let bytes = self.object.read(TABLE_OFFSET, len)?;
+        rdv_wire::decode_from_slice(bytes).map_err(|_| ObjError::CorruptImage("name table"))
+    }
+
+    fn write_table(&mut self, table: &BTreeMap<String, ObjId>) -> ObjResult<()> {
+        let bytes = rdv_wire::encode_to_vec(table);
+        let needed = bytes.len() as u64;
+        let cap = self.object.heap_len().saturating_sub(TABLE_OFFSET);
+        if needed > cap {
+            self.object.alloc(needed - cap)?;
+        }
+        self.object.write_u64(LEN_OFFSET, needed)?;
+        self.object.write(TABLE_OFFSET, &bytes)?;
+        Ok(())
+    }
+
+    /// Bind `name` to `target` (replacing any existing binding).
+    ///
+    /// Names may not contain `/` (reserved as the path separator).
+    pub fn bind(&mut self, name: &str, target: ObjId) -> ObjResult<()> {
+        if name.is_empty() || name.contains('/') {
+            return Err(ObjError::CorruptImage("invalid name"));
+        }
+        let mut table = self.read_table()?;
+        table.insert(name.to_string(), target);
+        self.write_table(&table)
+    }
+
+    /// Remove a binding. Returns whether it existed.
+    pub fn unbind(&mut self, name: &str) -> ObjResult<bool> {
+        let mut table = self.read_table()?;
+        let existed = table.remove(name).is_some();
+        if existed {
+            self.write_table(&table)?;
+        }
+        Ok(existed)
+    }
+
+    /// Look up one name.
+    pub fn lookup(&self, name: &str) -> ObjResult<Option<ObjId>> {
+        Ok(self.read_table()?.get(name).copied())
+    }
+
+    /// All bindings, in name order.
+    pub fn entries(&self) -> ObjResult<Vec<(String, ObjId)>> {
+        Ok(self.read_table()?.into_iter().collect())
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> ObjResult<usize> {
+        Ok(self.read_table()?.len())
+    }
+
+    /// True when no names are bound.
+    pub fn is_empty(&self) -> ObjResult<bool> {
+        Ok(self.read_table()?.is_empty())
+    }
+}
+
+/// Resolve a `/`-separated path starting from the namespace object `root`,
+/// reading namespace objects out of `store`. Every intermediate component
+/// must name another namespace object in the store; the final component's
+/// target is returned.
+pub fn resolve_path(store: &ObjectStore, root: ObjId, path: &str) -> ObjResult<ObjId> {
+    let mut cur = root;
+    let components: Vec<&str> =
+        path.split('/').filter(|c| !c.is_empty()).collect();
+    if components.is_empty() {
+        return Ok(root);
+    }
+    for (i, comp) in components.iter().enumerate() {
+        let obj = store.get(cur)?;
+        let ns = Namespace::from_object(obj.clone());
+        let Some(next) = ns.lookup(comp)? else {
+            return Err(ObjError::NotFound(cur));
+        };
+        if i + 1 == components.len() {
+            return Ok(next);
+        }
+        cur = next;
+    }
+    unreachable!("loop returns on the last component")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_lookup_unbind() {
+        let mut ns = Namespace::create(ObjId(1)).unwrap();
+        assert!(ns.is_empty().unwrap());
+        ns.bind("model", ObjId(42)).unwrap();
+        ns.bind("config", ObjId(43)).unwrap();
+        assert_eq!(ns.lookup("model").unwrap(), Some(ObjId(42)));
+        assert_eq!(ns.lookup("missing").unwrap(), None);
+        assert_eq!(ns.len().unwrap(), 2);
+        assert!(ns.unbind("model").unwrap());
+        assert!(!ns.unbind("model").unwrap());
+        assert_eq!(ns.lookup("model").unwrap(), None);
+    }
+
+    #[test]
+    fn rebinding_replaces() {
+        let mut ns = Namespace::create(ObjId(1)).unwrap();
+        ns.bind("x", ObjId(10)).unwrap();
+        ns.bind("x", ObjId(20)).unwrap();
+        assert_eq!(ns.lookup("x").unwrap(), Some(ObjId(20)));
+        assert_eq!(ns.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let mut ns = Namespace::create(ObjId(1)).unwrap();
+        assert!(ns.bind("", ObjId(1)).is_err());
+        assert!(ns.bind("a/b", ObjId(1)).is_err());
+    }
+
+    #[test]
+    fn namespace_survives_movement() {
+        let mut ns = Namespace::create(ObjId(9)).unwrap();
+        for i in 0..50u64 {
+            ns.bind(&format!("entry_{i}"), ObjId(u128::from(i) + 100)).unwrap();
+        }
+        let moved =
+            Namespace::from_object(Object::from_image(&ns.object().to_image()).unwrap());
+        assert_eq!(moved.len().unwrap(), 50);
+        assert_eq!(moved.lookup("entry_7").unwrap(), Some(ObjId(107)));
+    }
+
+    #[test]
+    fn hierarchical_resolution() {
+        let mut store = ObjectStore::new();
+        // /models/vision/classifier  and  /models/nlp
+        let root = ObjId(0xE001);
+        let models = ObjId(0xE002);
+        let vision = ObjId(0xE003);
+        let classifier = ObjId(0xF001);
+        let nlp = ObjId(0xF002);
+
+        let mut root_ns = Namespace::create(root).unwrap();
+        root_ns.bind("models", models).unwrap();
+        store.insert(root_ns.into_object()).unwrap();
+
+        let mut models_ns = Namespace::create(models).unwrap();
+        models_ns.bind("vision", vision).unwrap();
+        models_ns.bind("nlp", nlp).unwrap();
+        store.insert(models_ns.into_object()).unwrap();
+
+        let mut vision_ns = Namespace::create(vision).unwrap();
+        vision_ns.bind("classifier", classifier).unwrap();
+        store.insert(vision_ns.into_object()).unwrap();
+
+        assert_eq!(resolve_path(&store, root, "models/vision/classifier").unwrap(), classifier);
+        assert_eq!(resolve_path(&store, root, "models/nlp").unwrap(), nlp);
+        assert_eq!(resolve_path(&store, root, "/models//vision/").unwrap(), vision);
+        assert_eq!(resolve_path(&store, root, "").unwrap(), root);
+        assert!(resolve_path(&store, root, "models/audio").is_err());
+        // Missing intermediate namespace object.
+        assert!(resolve_path(&store, root, "models/nlp/tokenizer").is_err());
+    }
+}

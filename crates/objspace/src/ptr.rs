@@ -1,0 +1,208 @@
+//! 64-bit invariant pointers.
+//!
+//! The paper (§3.1): *"Pointers in Twizzler are encoded efficiently, such
+//! that the pointer itself takes up only 64 bits … a separate table in each
+//! object … contain\[s\] a list of external object IDs that the object has
+//! references to. A pointer encodes an index into this table along with an
+//! offset into the object, forming a 64 bit pointer that nonetheless
+//! references data in a 128 bit address space."*
+//!
+//! Layout chosen here: the top [`FOT_INDEX_BITS`] bits hold the FOT index,
+//! the bottom [`OFFSET_BITS`] bits hold the byte offset. Index 0 means
+//! "this object" (an *internal* pointer); the all-zero word is the null
+//! pointer. Because neither field refers to a host, process, or virtual
+//! address, the pointer is valid wherever the object's bytes land — the
+//! basis for serialization-free data movement.
+
+use rdv_wire::{Decode, Encode, WireReader, WireResult, WireWriter};
+use std::fmt;
+
+/// Bits of the FOT index field (top of the word).
+pub const FOT_INDEX_BITS: u32 = 20;
+/// Bits of the offset field (bottom of the word).
+pub const OFFSET_BITS: u32 = 44;
+/// Maximum representable FOT index (2^20 − 1 ≈ 1M external references).
+pub const MAX_FOT_INDEX: u32 = (1 << FOT_INDEX_BITS) - 1;
+/// Maximum representable offset (16 TiB − 1).
+pub const MAX_OFFSET: u64 = (1 << OFFSET_BITS) - 1;
+
+/// A 64-bit invariant pointer: `[ fot_index : 20 | offset : 44 ]`.
+///
+/// ```
+/// use rdv_objspace::InvPtr;
+///
+/// let p = InvPtr::new(3, 0x40).unwrap();     // FOT slot 3, offset 0x40
+/// assert_eq!(p.fot_index(), 3);
+/// assert_eq!(p.offset(), 0x40);
+/// // The raw word is what lives in object memory — moving the object
+/// // copies it verbatim and it stays valid:
+/// assert_eq!(InvPtr::from_raw(p.to_raw()), p);
+/// assert!(InvPtr::NULL.is_null());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InvPtr(u64);
+
+impl InvPtr {
+    /// The null pointer (FOT index 0, offset 0).
+    pub const NULL: InvPtr = InvPtr(0);
+
+    /// FOT index value meaning "the containing object itself".
+    pub const SELF_INDEX: u32 = 0;
+
+    /// Construct from parts.
+    ///
+    /// Returns `None` if either field exceeds its width, or if the pair is
+    /// `(0, 0)` — that bit pattern is reserved for null (use
+    /// [`InvPtr::NULL`] directly; offset 0 of self is the object header and
+    /// is never a valid data target).
+    pub fn new(fot_index: u32, offset: u64) -> Option<InvPtr> {
+        if fot_index > MAX_FOT_INDEX || offset > MAX_OFFSET {
+            return None;
+        }
+        if fot_index == 0 && offset == 0 {
+            return None;
+        }
+        Some(InvPtr((u64::from(fot_index) << OFFSET_BITS) | offset))
+    }
+
+    /// Construct an internal (same-object) pointer to `offset`.
+    pub fn internal(offset: u64) -> Option<InvPtr> {
+        InvPtr::new(Self::SELF_INDEX, offset)
+    }
+
+    /// True if this is the null pointer.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if this pointer stays within its containing object.
+    pub fn is_internal(self) -> bool {
+        !self.is_null() && self.fot_index() == Self::SELF_INDEX
+    }
+
+    /// The FOT index field.
+    pub fn fot_index(self) -> u32 {
+        (self.0 >> OFFSET_BITS) as u32
+    }
+
+    /// The offset field.
+    pub fn offset(self) -> u64 {
+        self.0 & MAX_OFFSET
+    }
+
+    /// Raw 64-bit representation — this is exactly what is stored in object
+    /// memory, so a byte copy of the object preserves all pointers.
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstruct from the raw representation (always succeeds: every bit
+    /// pattern is a structurally valid pointer; validity against a concrete
+    /// FOT is checked at dereference time).
+    pub fn from_raw(raw: u64) -> InvPtr {
+        InvPtr(raw)
+    }
+}
+
+impl fmt::Display for InvPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "<null>")
+        } else if self.is_internal() {
+            write!(f, "<self+{:#x}>", self.offset())
+        } else {
+            write!(f, "<fot[{}]+{:#x}>", self.fot_index(), self.offset())
+        }
+    }
+}
+
+impl Encode for InvPtr {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.0);
+    }
+    fn encoded_len_hint(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for InvPtr {
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(InvPtr(r.get_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn field_packing_roundtrips() {
+        let p = InvPtr::new(5, 0x1234).unwrap();
+        assert_eq!(p.fot_index(), 5);
+        assert_eq!(p.offset(), 0x1234);
+        assert!(!p.is_null());
+        assert!(!p.is_internal());
+    }
+
+    #[test]
+    fn internal_pointers() {
+        let p = InvPtr::internal(64).unwrap();
+        assert!(p.is_internal());
+        assert_eq!(p.offset(), 64);
+        assert_eq!(p.fot_index(), InvPtr::SELF_INDEX);
+    }
+
+    #[test]
+    fn null_is_all_zero_and_reserved() {
+        assert!(InvPtr::NULL.is_null());
+        assert_eq!(InvPtr::NULL.to_raw(), 0);
+        assert_eq!(InvPtr::new(0, 0), None);
+        assert_eq!(InvPtr::internal(0), None);
+    }
+
+    #[test]
+    fn width_limits_enforced() {
+        assert!(InvPtr::new(MAX_FOT_INDEX, MAX_OFFSET).is_some());
+        assert_eq!(InvPtr::new(MAX_FOT_INDEX + 1, 0), None);
+        assert_eq!(InvPtr::new(1, MAX_OFFSET + 1), None);
+    }
+
+    #[test]
+    fn pointer_is_exactly_64_bits() {
+        assert_eq!(std::mem::size_of::<InvPtr>(), 8);
+        assert_eq!(FOT_INDEX_BITS + OFFSET_BITS, 64);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(InvPtr::NULL.to_string(), "<null>");
+        assert_eq!(InvPtr::internal(16).unwrap().to_string(), "<self+0x10>");
+        assert_eq!(InvPtr::new(3, 32).unwrap().to_string(), "<fot[3]+0x20>");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_raw_roundtrip(raw in any::<u64>()) {
+            let p = InvPtr::from_raw(raw);
+            prop_assert_eq!(p.to_raw(), raw);
+        }
+
+        #[test]
+        fn prop_pack_unpack(idx in 0u32..=MAX_FOT_INDEX, off in 0u64..=MAX_OFFSET) {
+            prop_assume!(!(idx == 0 && off == 0));
+            let p = InvPtr::new(idx, off).unwrap();
+            prop_assert_eq!(p.fot_index(), idx);
+            prop_assert_eq!(p.offset(), off);
+        }
+
+        #[test]
+        fn prop_wire_roundtrip(idx in 0u32..=MAX_FOT_INDEX, off in 0u64..=MAX_OFFSET) {
+            prop_assume!(!(idx == 0 && off == 0));
+            let p = InvPtr::new(idx, off).unwrap();
+            let bytes = rdv_wire::encode_to_vec(&p);
+            let back: InvPtr = rdv_wire::decode_from_slice(&bytes).unwrap();
+            prop_assert_eq!(back, p);
+        }
+    }
+}

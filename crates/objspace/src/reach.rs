@@ -1,0 +1,181 @@
+//! Reachability graphs over FOT edges.
+//!
+//! §3.1: *"this table offers a translucent view into application semantics
+//! by way of a reachability graph for each object. This graph can be used by
+//! the system to perform prefetching based on data identity and actual
+//! reachability instead of some proxy for identity (e.g., adjacency, as is
+//! used today)."*
+//!
+//! [`ReachGraph::build`] BFS-walks FOT edges from a root through the local
+//! store. Objects referenced but not locally present become **frontier**
+//! nodes — exactly the set a prefetcher should request from the network.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::id::ObjId;
+use crate::store::ObjectStore;
+
+/// A directed reachability graph rooted at one object.
+#[derive(Debug, Clone)]
+pub struct ReachGraph {
+    root: ObjId,
+    /// node → distinct FOT successors, in FOT order.
+    edges: HashMap<ObjId, Vec<ObjId>>,
+    /// BFS discovery order of locally-present nodes (root first).
+    order: Vec<ObjId>,
+    /// Referenced objects that were not locally present.
+    frontier: Vec<ObjId>,
+}
+
+impl ReachGraph {
+    /// Build the graph by BFS from `root` over `store`, visiting at most
+    /// `max_depth` hops (0 = just the root).
+    pub fn build(store: &ObjectStore, root: ObjId, max_depth: usize) -> ReachGraph {
+        let mut edges = HashMap::new();
+        let mut order = Vec::new();
+        let mut frontier = Vec::new();
+        let mut seen: HashSet<ObjId> = HashSet::new();
+        let mut queue: VecDeque<(ObjId, usize)> = VecDeque::new();
+        seen.insert(root);
+        queue.push_back((root, 0));
+        while let Some((id, depth)) = queue.pop_front() {
+            let Ok(obj) = store.get(id) else {
+                frontier.push(id);
+                continue;
+            };
+            order.push(id);
+            if depth >= max_depth {
+                continue;
+            }
+            let succs = obj.fot().referenced_ids();
+            for next in &succs {
+                if seen.insert(*next) {
+                    queue.push_back((*next, depth + 1));
+                }
+            }
+            edges.insert(id, succs);
+        }
+        ReachGraph { root, edges, order, frontier }
+    }
+
+    /// The root object.
+    pub fn root(&self) -> ObjId {
+        self.root
+    }
+
+    /// BFS order of locally present nodes.
+    pub fn order(&self) -> &[ObjId] {
+        &self.order
+    }
+
+    /// Successors of `id` recorded in the graph.
+    pub fn successors(&self, id: ObjId) -> &[ObjId] {
+        self.edges.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Referenced-but-absent objects: the prefetch set.
+    pub fn frontier(&self) -> &[ObjId] {
+        &self.frontier
+    }
+
+    /// Number of nodes visited locally.
+    pub fn node_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of directed edges recorded.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// True if `id` is reachable (locally visited) from the root.
+    pub fn reaches(&self, id: ObjId) -> bool {
+        self.order.contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fot::FotFlags;
+    use crate::object::ObjectKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Build a store holding a chain a → b → c and a stray object d.
+    fn chain_store() -> (ObjectStore, [ObjId; 4]) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ObjectStore::new();
+        let a = store.create(&mut rng, ObjectKind::Data);
+        let b = store.create(&mut rng, ObjectKind::Data);
+        let c = store.create(&mut rng, ObjectKind::Data);
+        let d = store.create(&mut rng, ObjectKind::Data);
+        store.get_mut(a).unwrap().ref_to(b, FotFlags::RO).unwrap();
+        store.get_mut(b).unwrap().ref_to(c, FotFlags::RO).unwrap();
+        (store, [a, b, c, d])
+    }
+
+    #[test]
+    fn bfs_visits_chain_in_order() {
+        let (store, [a, b, c, d]) = chain_store();
+        let g = ReachGraph::build(&store, a, 8);
+        assert_eq!(g.order(), &[a, b, c]);
+        assert!(g.reaches(c));
+        assert!(!g.reaches(d));
+        assert_eq!(g.successors(a), &[b]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.frontier().is_empty());
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (store, [a, b, c, _]) = chain_store();
+        let g = ReachGraph::build(&store, a, 1);
+        assert_eq!(g.order(), &[a, b]);
+        assert!(!g.reaches(c));
+        let g0 = ReachGraph::build(&store, a, 0);
+        assert_eq!(g0.order(), &[a]);
+    }
+
+    #[test]
+    fn missing_objects_become_frontier() {
+        let (mut store, [a, b, c, _]) = chain_store();
+        store.remove(b).unwrap();
+        let g = ReachGraph::build(&store, a, 8);
+        assert_eq!(g.order(), &[a]);
+        assert_eq!(g.frontier(), &[b]);
+        // c is unreachable because the walk stops at the missing b.
+        assert!(!g.reaches(c));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut store = ObjectStore::new();
+        let a = store.create(&mut rng, ObjectKind::Data);
+        let b = store.create(&mut rng, ObjectKind::Data);
+        store.get_mut(a).unwrap().ref_to(b, FotFlags::RO).unwrap();
+        store.get_mut(b).unwrap().ref_to(a, FotFlags::RO).unwrap();
+        let g = ReachGraph::build(&store, a, 100);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn diamond_visits_each_node_once() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut store = ObjectStore::new();
+        let root = store.create(&mut rng, ObjectKind::Data);
+        let l = store.create(&mut rng, ObjectKind::Data);
+        let r = store.create(&mut rng, ObjectKind::Data);
+        let sink = store.create(&mut rng, ObjectKind::Data);
+        for (from, to) in [(root, l), (root, r), (l, sink), (r, sink)] {
+            store.get_mut(from).unwrap().ref_to(to, FotFlags::RO).unwrap();
+        }
+        let g = ReachGraph::build(&store, root, 8);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.order()[0], root);
+        assert_eq!(*g.order().last().unwrap(), sink);
+    }
+}

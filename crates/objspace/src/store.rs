@@ -1,0 +1,268 @@
+//! Host-local object stores.
+//!
+//! An [`ObjectStore`] is what a single host contributes to the global
+//! address space: the set of objects whose authoritative copy lives here.
+//! Movement between hosts is `remove` + image copy + `insert` — the image
+//! needs no translation (see [`crate::object`]).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::error::{ObjError, ObjResult};
+use crate::id::ObjId;
+use crate::object::{Object, ObjectKind};
+
+/// A host-local collection of objects, keyed by global ID.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    objects: HashMap<ObjId, Object>,
+}
+
+impl ObjectStore {
+    /// Empty store.
+    pub fn new() -> ObjectStore {
+        ObjectStore { objects: HashMap::new() }
+    }
+
+    /// Create a new object with a random ID, insert it, and return the ID.
+    pub fn create<R: Rng + ?Sized>(&mut self, rng: &mut R, kind: ObjectKind) -> ObjId {
+        loop {
+            let id = ObjId::random(rng);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.objects.entry(id) {
+                e.insert(Object::new(id, kind));
+                return id;
+            }
+        }
+    }
+
+    /// Create a new object with a random ID and explicit heap capacity.
+    pub fn create_with_capacity<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        kind: ObjectKind,
+        capacity: u64,
+    ) -> ObjId {
+        loop {
+            let id = ObjId::random(rng);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.objects.entry(id) {
+                e.insert(Object::with_capacity(id, kind, capacity));
+                return id;
+            }
+        }
+    }
+
+    /// Insert a fully formed object (e.g. one that arrived as an image).
+    pub fn insert(&mut self, object: Object) -> ObjResult<()> {
+        let id = object.id();
+        if self.objects.contains_key(&id) {
+            return Err(ObjError::AlreadyExists(id));
+        }
+        self.objects.insert(id, object);
+        Ok(())
+    }
+
+    /// Insert or replace (used when a newer version arrives).
+    pub fn upsert(&mut self, object: Object) {
+        self.objects.insert(object.id(), object);
+    }
+
+    /// Borrow an object.
+    pub fn get(&self, id: ObjId) -> ObjResult<&Object> {
+        self.objects.get(&id).ok_or(ObjError::NotFound(id))
+    }
+
+    /// Mutably borrow an object.
+    pub fn get_mut(&mut self, id: ObjId) -> ObjResult<&mut Object> {
+        self.objects.get_mut(&id).ok_or(ObjError::NotFound(id))
+    }
+
+    /// Remove an object (the first half of a migration).
+    pub fn remove(&mut self, id: ObjId) -> ObjResult<Object> {
+        self.objects.remove(&id).ok_or(ObjError::NotFound(id))
+    }
+
+    /// Whether `id` is locally present.
+    pub fn contains(&self, id: ObjId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Number of local objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// All local IDs (unordered).
+    pub fn ids(&self) -> Vec<ObjId> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// Iterate over local objects.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjId, &Object)> {
+        self.objects.iter()
+    }
+
+    /// Sum of heap bytes across local objects.
+    pub fn total_heap_bytes(&self) -> u64 {
+        self.objects.values().map(Object::heap_len).sum()
+    }
+
+    /// Serialize the whole store to a snapshot — Twizzler-style
+    /// *orthogonal persistence*: because objects contain no process- or
+    /// host-relative state, persisting them is the same byte copy as
+    /// moving them, and everything (pointers included) survives verbatim.
+    ///
+    /// Objects are emitted in ID order, so equal stores produce equal
+    /// snapshots.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut ids: Vec<&ObjId> = self.objects.keys().collect();
+        ids.sort();
+        let mut w = rdv_wire::WireWriter::new();
+        w.put_bytes(b"RDVS");
+        w.put_uvarint(ids.len() as u64);
+        for id in ids {
+            let image = self.objects[id].to_image();
+            w.put_len_prefixed(&image);
+        }
+        w.into_vec()
+    }
+
+    /// Rebuild a store from a snapshot produced by [`ObjectStore::to_snapshot`].
+    pub fn from_snapshot(data: &[u8]) -> ObjResult<ObjectStore> {
+        let mut r = rdv_wire::WireReader::new(data);
+        let magic = r.get_bytes(4).map_err(|_| ObjError::CorruptImage("snapshot magic"))?;
+        if magic != b"RDVS" {
+            return Err(ObjError::CorruptImage("bad snapshot magic"));
+        }
+        let count = r.get_uvarint().map_err(|_| ObjError::CorruptImage("snapshot count"))?;
+        let mut store = ObjectStore::new();
+        for _ in 0..count {
+            let image = r
+                .get_len_prefixed(1 << 40)
+                .map_err(|_| ObjError::CorruptImage("snapshot entry"))?;
+            store.insert(Object::from_image(image)?)?;
+        }
+        if !r.is_exhausted() {
+            return Err(ObjError::CorruptImage("snapshot trailing bytes"));
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn create_get_mutate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ObjectStore::new();
+        let id = store.create(&mut rng, ObjectKind::Data);
+        assert!(store.contains(id));
+        let off = store.get_mut(id).unwrap().alloc(8).unwrap();
+        store.get_mut(id).unwrap().write_u64(off, 77).unwrap();
+        assert_eq!(store.get(id).unwrap().read_u64(off).unwrap(), 77);
+    }
+
+    #[test]
+    fn missing_objects_error() {
+        let store = ObjectStore::new();
+        assert!(matches!(store.get(ObjId(5)), Err(ObjError::NotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected_upsert_allowed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ObjectStore::new();
+        let id = store.create(&mut rng, ObjectKind::Data);
+        let dup = Object::new(id, ObjectKind::Data);
+        assert!(matches!(store.insert(dup.clone()), Err(ObjError::AlreadyExists(_))));
+        store.upsert(dup);
+        assert!(store.contains(id));
+    }
+
+    #[test]
+    fn migration_via_image() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut src = ObjectStore::new();
+        let mut dst = ObjectStore::new();
+        let id = src.create(&mut rng, ObjectKind::Data);
+        let off = src.get_mut(id).unwrap().alloc(8).unwrap();
+        src.get_mut(id).unwrap().write_u64(off, 123).unwrap();
+
+        let obj = src.remove(id).unwrap();
+        let image = obj.to_image();
+        dst.insert(Object::from_image(&image).unwrap()).unwrap();
+
+        assert!(!src.contains(id));
+        assert_eq!(dst.get(id).unwrap().read_u64(off).unwrap(), 123);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_orthogonal_persistence() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ObjectStore::new();
+        // Pointer-rich content: a ↦ b via an invariant pointer.
+        let a = store.create(&mut rng, ObjectKind::Data);
+        let b = store.create(&mut rng, ObjectKind::Code);
+        let cell = store.get_mut(a).unwrap().alloc(8).unwrap();
+        let ptr = store
+            .get_mut(a)
+            .unwrap()
+            .make_ptr(b, 64, crate::fot::FotFlags::RW)
+            .unwrap();
+        store.get_mut(a).unwrap().write_ptr(cell, ptr).unwrap();
+
+        let snap = store.to_snapshot();
+        let restored = ObjectStore::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.len(), 2);
+        let ra = restored.get(a).unwrap();
+        assert_eq!(ra.resolve_ptr(ra.read_ptr(cell).unwrap()).unwrap(), (b, 64));
+        assert_eq!(restored.get(b).unwrap().kind(), ObjectKind::Code);
+        // Snapshots are canonical: restore → snapshot is byte-identical.
+        assert_eq!(restored.to_snapshot(), snap);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut store = ObjectStore::new();
+        store.create(&mut rng, ObjectKind::Data);
+        let snap = store.to_snapshot();
+        // Bad magic.
+        let mut bad = snap.clone();
+        bad[0] = b'X';
+        assert!(ObjectStore::from_snapshot(&bad).is_err());
+        // Truncations never panic.
+        for cut in 0..snap.len() {
+            let _ = ObjectStore::from_snapshot(&snap[..cut]);
+        }
+        // Trailing garbage rejected.
+        let mut long = snap.clone();
+        long.push(0);
+        assert!(ObjectStore::from_snapshot(&long).is_err());
+    }
+
+    #[test]
+    fn accounting() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut store = ObjectStore::new();
+        assert!(store.is_empty());
+        let a = store.create(&mut rng, ObjectKind::Data);
+        let b = store.create(&mut rng, ObjectKind::Code);
+        store.get_mut(a).unwrap().alloc(100).unwrap();
+        store.get_mut(b).unwrap().alloc(50).unwrap();
+        assert_eq!(store.len(), 2);
+        // Heap sizes are rounded to the granule, plus the reserved first
+        // granule of each object (offset 0 is never allocatable).
+        assert_eq!(store.total_heap_bytes(), (8 + 104) + (8 + 56));
+        assert_eq!(store.ids().len(), 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! Pointer-rich multi-object data structures.
+//!
+//! The experiments need realistic structures whose traversal crosses object
+//! boundaries: a linked list with one node per object, a binary tree, and a
+//! ring. These are exactly the workloads where the paper says RPC forces
+//! "brittle, repetitive, complex code" and where invariant pointers plus
+//! reachability prefetching shine (A1 ablation).
+//!
+//! Node layout inside each node object (all offsets from the node block):
+//!
+//! ```text
+//! +0   u64    value
+//! +8   InvPtr next   (list/ring)  — or left child (tree)
+//! +16  InvPtr right  (tree only)
+//! ```
+
+use rand::Rng;
+
+use crate::error::ObjResult;
+use crate::fot::FotFlags;
+use crate::id::ObjId;
+use crate::object::ObjectKind;
+use crate::ptr::InvPtr;
+use crate::store::ObjectStore;
+
+/// Byte size of a list/ring node block.
+pub const LIST_NODE_SIZE: u64 = 16;
+/// Byte size of a tree node block.
+pub const TREE_NODE_SIZE: u64 = 24;
+
+/// A handle to a node: the object that holds it and the block offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef {
+    /// Object containing the node.
+    pub obj: ObjId,
+    /// Offset of the node block within that object.
+    pub offset: u64,
+}
+
+/// Build a singly linked list of `values`, one node object per element,
+/// optionally padding each node object with `payload` extra bytes (to give
+/// movement experiments realistic object sizes).
+///
+/// Returns the head node and the IDs of all node objects in list order.
+pub fn build_list<R: Rng + ?Sized>(
+    store: &mut ObjectStore,
+    rng: &mut R,
+    values: &[u64],
+    payload: u64,
+) -> ObjResult<(NodeRef, Vec<ObjId>)> {
+    assert!(!values.is_empty(), "build_list requires at least one value");
+    let ids: Vec<ObjId> = (0..values.len())
+        .map(|_| store.create_with_capacity(rng, ObjectKind::Data, (payload + 64).max(1 << 12)))
+        .collect();
+    let mut nodes = Vec::with_capacity(values.len());
+    for (i, (&id, &value)) in ids.iter().zip(values).enumerate() {
+        let obj = store.get_mut(id)?;
+        let block = obj.alloc(LIST_NODE_SIZE)?;
+        obj.write_u64(block, value)?;
+        if payload > 0 {
+            obj.alloc(payload)?;
+        }
+        nodes.push(NodeRef { obj: id, offset: block });
+        let _ = i;
+    }
+    // Link i → i+1.
+    for i in 0..nodes.len() - 1 {
+        let next = nodes[i + 1];
+        let obj = store.get_mut(nodes[i].obj)?;
+        let ptr = obj.make_ptr(next.obj, next.offset, FotFlags::RO)?;
+        obj.write_ptr(nodes[i].offset + 8, ptr)?;
+    }
+    // Terminate.
+    let last = nodes[nodes.len() - 1];
+    store.get_mut(last.obj)?.write_ptr(last.offset + 8, InvPtr::NULL)?;
+    Ok((nodes[0], ids))
+}
+
+/// Turn the list built by [`build_list`] into a ring by linking tail → head.
+pub fn close_ring(store: &mut ObjectStore, head: NodeRef, tail: NodeRef) -> ObjResult<()> {
+    let obj = store.get_mut(tail.obj)?;
+    let ptr = obj.make_ptr(head.obj, head.offset, FotFlags::RO)?;
+    obj.write_ptr(tail.offset + 8, ptr)
+}
+
+/// Walk a list from `head`, returning the values in order.
+///
+/// `visit` is called with each node-object ID before it is read — the hook
+/// the prefetch experiments use to count demand fetches.
+pub fn traverse_list(
+    store: &ObjectStore,
+    head: NodeRef,
+    mut visit: impl FnMut(ObjId),
+    max_steps: usize,
+) -> ObjResult<Vec<u64>> {
+    let mut out = Vec::new();
+    let mut cur = head;
+    for _ in 0..max_steps {
+        visit(cur.obj);
+        let obj = store.get(cur.obj)?;
+        out.push(obj.read_u64(cur.offset)?);
+        let next = obj.read_ptr(cur.offset + 8)?;
+        if next.is_null() {
+            return Ok(out);
+        }
+        let (next_obj, next_off) = obj.resolve_ptr(next)?;
+        cur = NodeRef { obj: next_obj, offset: next_off };
+    }
+    Ok(out)
+}
+
+/// Build a balanced binary search tree over `values` (sorted internally),
+/// one node object per element. Returns the root.
+pub fn build_tree<R: Rng + ?Sized>(
+    store: &mut ObjectStore,
+    rng: &mut R,
+    values: &[u64],
+) -> ObjResult<(NodeRef, Vec<ObjId>)> {
+    assert!(!values.is_empty(), "build_tree requires at least one value");
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let mut all = Vec::new();
+    let root = build_subtree(store, rng, &sorted, &mut all)?;
+    Ok((root, all))
+}
+
+fn build_subtree<R: Rng + ?Sized>(
+    store: &mut ObjectStore,
+    rng: &mut R,
+    sorted: &[u64],
+    all: &mut Vec<ObjId>,
+) -> ObjResult<NodeRef> {
+    let mid = sorted.len() / 2;
+    let id = store.create_with_capacity(rng, ObjectKind::Data, 1 << 12);
+    all.push(id);
+    let block = {
+        let obj = store.get_mut(id)?;
+        let block = obj.alloc(TREE_NODE_SIZE)?;
+        obj.write_u64(block, sorted[mid])?;
+        obj.write_ptr(block + 8, InvPtr::NULL)?;
+        obj.write_ptr(block + 16, InvPtr::NULL)?;
+        block
+    };
+    let node = NodeRef { obj: id, offset: block };
+    if mid > 0 {
+        let left = build_subtree(store, rng, &sorted[..mid], all)?;
+        let obj = store.get_mut(id)?;
+        let ptr = obj.make_ptr(left.obj, left.offset, FotFlags::RO)?;
+        obj.write_ptr(block + 8, ptr)?;
+    }
+    if mid + 1 < sorted.len() {
+        let right = build_subtree(store, rng, &sorted[mid + 1..], all)?;
+        let obj = store.get_mut(id)?;
+        let ptr = obj.make_ptr(right.obj, right.offset, FotFlags::RO)?;
+        obj.write_ptr(block + 16, ptr)?;
+    }
+    Ok(node)
+}
+
+/// Search the tree rooted at `root` for `key`, calling `visit` per node
+/// object touched. Returns whether the key was found.
+pub fn tree_search(
+    store: &ObjectStore,
+    root: NodeRef,
+    key: u64,
+    mut visit: impl FnMut(ObjId),
+) -> ObjResult<bool> {
+    let mut cur = root;
+    loop {
+        visit(cur.obj);
+        let obj = store.get(cur.obj)?;
+        let value = obj.read_u64(cur.offset)?;
+        let next = if key == value {
+            return Ok(true);
+        } else if key < value {
+            obj.read_ptr(cur.offset + 8)?
+        } else {
+            obj.read_ptr(cur.offset + 16)?
+        };
+        if next.is_null() {
+            return Ok(false);
+        }
+        let (next_obj, next_off) = obj.resolve_ptr(next)?;
+        cur = NodeRef { obj: next_obj, offset: next_off };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Object;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn list_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut store = ObjectStore::new();
+        let values = [10u64, 20, 30, 40, 50];
+        let (head, ids) = build_list(&mut store, &mut rng, &values, 0).unwrap();
+        assert_eq!(ids.len(), 5);
+        let mut visited = Vec::new();
+        let out = traverse_list(&store, head, |id| visited.push(id), 100).unwrap();
+        assert_eq!(out, values);
+        assert_eq!(visited, ids);
+    }
+
+    #[test]
+    fn ring_traversal_hits_step_limit() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut store = ObjectStore::new();
+        let values = [1u64, 2, 3];
+        let (head, ids) = build_list(&mut store, &mut rng, &values, 0).unwrap();
+        let tail = NodeRef { obj: ids[2], offset: crate::alloc::ALLOC_ALIGN };
+        close_ring(&mut store, head, tail).unwrap();
+        let out = traverse_list(&store, head, |_| {}, 7).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn list_survives_node_migration() {
+        // Move every node object to a "different host" (image roundtrip);
+        // traversal still works with zero pointer fix-ups.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut store = ObjectStore::new();
+        let values = [7u64, 8, 9];
+        let (head, ids) = build_list(&mut store, &mut rng, &values, 64).unwrap();
+        let mut other = ObjectStore::new();
+        for id in &ids {
+            let obj = store.remove(*id).unwrap();
+            other.insert(Object::from_image(&obj.to_image()).unwrap()).unwrap();
+        }
+        let out = traverse_list(&other, head, |_| {}, 100).unwrap();
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn tree_search_finds_all_and_only_members() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut store = ObjectStore::new();
+        let values: Vec<u64> = (0..31).map(|i| i * 2).collect();
+        let (root, ids) = build_tree(&mut store, &mut rng, &values).unwrap();
+        assert_eq!(ids.len(), 31);
+        for v in &values {
+            assert!(tree_search(&store, root, *v, |_| {}).unwrap(), "missing {v}");
+        }
+        for v in [1u64, 3, 61, 1000] {
+            assert!(!tree_search(&store, root, v, |_| {}).unwrap(), "phantom {v}");
+        }
+    }
+
+    #[test]
+    fn tree_search_is_logarithmic_in_touches() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let mut store = ObjectStore::new();
+        let values: Vec<u64> = (0..127).collect();
+        let (root, _) = build_tree(&mut store, &mut rng, &values).unwrap();
+        let mut touches = 0usize;
+        tree_search(&store, root, 126, |_| touches += 1).unwrap();
+        assert!(touches <= 8, "balanced tree of 127 should touch ≤ 8, got {touches}");
+    }
+
+    #[test]
+    fn reachability_matches_list_structure() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let mut store = ObjectStore::new();
+        let values: Vec<u64> = (0..10).collect();
+        let (head, ids) = build_list(&mut store, &mut rng, &values, 0).unwrap();
+        let g = crate::reach::ReachGraph::build(&store, head.obj, 100);
+        // Every node object is reachable from the head, in order.
+        assert_eq!(g.order(), &ids[..]);
+    }
+}

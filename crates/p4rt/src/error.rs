@@ -1,0 +1,70 @@
+//! Dataplane error type.
+
+use std::fmt;
+
+/// Errors from table programming and packet parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum P4Error {
+    /// The packet is too short for the configured header format.
+    ShortPacket {
+        /// Bytes required by the format.
+        needed: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// A rule referenced a field index the format does not define.
+    BadField(usize),
+    /// Installing the entry would exceed the table's SRAM allocation.
+    TableFull {
+        /// Table name.
+        table: String,
+        /// Entries currently installed.
+        entries: usize,
+    },
+    /// No table with this name exists in the pipeline.
+    NoSuchTable(String),
+    /// An LPM prefix length exceeded the field width.
+    BadPrefixLen {
+        /// Requested prefix length.
+        len: u32,
+        /// Field width in bits.
+        width: u32,
+    },
+    /// A subscription used a predicate the compiler cannot express.
+    Uncompilable(&'static str),
+}
+
+impl fmt::Display for P4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            P4Error::ShortPacket { needed, got } => {
+                write!(f, "packet too short: format needs {needed} bytes, got {got}")
+            }
+            P4Error::BadField(i) => write!(f, "field index {i} not in header format"),
+            P4Error::TableFull { table, entries } => {
+                write!(f, "table '{table}' full at {entries} entries (SRAM exhausted)")
+            }
+            P4Error::NoSuchTable(name) => write!(f, "no table named '{name}'"),
+            P4Error::BadPrefixLen { len, width } => {
+                write!(f, "prefix length {len} exceeds field width {width}")
+            }
+            P4Error::Uncompilable(why) => write!(f, "subscription not compilable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for P4Error {}
+
+/// Convenience alias.
+pub type P4Result<T> = Result<T, P4Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = P4Error::TableFull { table: "objroute".into(), entries: 850_000 };
+        assert!(e.to_string().contains("objroute"));
+    }
+}

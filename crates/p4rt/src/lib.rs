@@ -1,0 +1,36 @@
+//! # rdv-p4rt — programmable switch dataplane
+//!
+//! A software model of the P4/Tofino-class switches the paper proposes to
+//! route on object identity (§3.2): *"we plan to leverage high-speed
+//! programmable network devices (e.g., Intel's Tofino) to directly route on
+//! explicit identifiers"*.
+//!
+//! - [`header`] — user-defined packet header formats and a fixed-offset
+//!   field parser (the P4 parser stage).
+//! - [`table`] — match-action tables: exact, LPM (prefix), and ternary
+//!   matches, with priorities and default actions.
+//! - [`capacity`] — the SRAM budget model calibrated to the paper's
+//!   numbers: *"With 64-bit ID fields, we could store ∼1.8M exact entries
+//!   and with 128-bit IDs, we could fit ∼850K"*.
+//! - [`pipeline`] — the multi-table pipeline and [`pipeline::SwitchNode`],
+//!   a `rdv-netsim` node with configurable pipeline latency and a
+//!   punt-to-controller path.
+//! - [`subscriptions`] — the Packet-Subscriptions-style compiler from
+//!   field predicates to table rules (Jepsen et al., CoNEXT '20 — the
+//!   system the authors prototyped with).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capacity;
+pub mod error;
+pub mod header;
+pub mod pipeline;
+pub mod subscriptions;
+pub mod table;
+
+pub use capacity::SramBudget;
+pub use error::{P4Error, P4Result};
+pub use header::{FieldSpec, HeaderFormat};
+pub use pipeline::{Pipeline, SwitchConfig, SwitchNode};
+pub use table::{Action, MatchKind, Table, TableEntry};

@@ -1,0 +1,401 @@
+//! Packet-Subscriptions-style rule compilation.
+//!
+//! Jepsen et al. (CoNEXT '20) — the system the paper's authors prototyped
+//! with — lets endpoints register *subscriptions*: predicates over fields of
+//! user-defined packet formats, compiled into switch forwarding rules. This
+//! module implements the subset the paper's use case needs, plus enough
+//! generality to be useful on its own:
+//!
+//! - predicates are conjunctions of per-field comparisons
+//!   (`==`, `!=`, `<`, `<=`, `>`, `>=`);
+//! - equality-only subscriptions compile to **exact** entries (cheap SRAM);
+//! - anything else compiles to prioritized **ternary** entries via
+//!   bit-prefix range expansion.
+
+use crate::error::{P4Error, P4Result};
+use crate::header::HeaderFormat;
+use crate::table::{Action, MatchKind, Table, TableEntry};
+
+/// A comparison against one field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Field equals value.
+    Eq,
+    /// Field differs from value.
+    Ne,
+    /// Field is strictly less than value.
+    Lt,
+    /// Field is at most value.
+    Le,
+    /// Field is strictly greater than value.
+    Gt,
+    /// Field is at least value.
+    Ge,
+}
+
+/// One predicate: `field <cmp> value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Predicate {
+    /// Field index within the header format.
+    pub field: usize,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Comparison constant.
+    pub value: u128,
+}
+
+/// A subscription: a conjunction of predicates and the port its subscriber
+/// sits behind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subscription {
+    /// All predicates must hold.
+    pub predicates: Vec<Predicate>,
+    /// Egress port to forward matching packets to.
+    pub port: usize,
+}
+
+impl Subscription {
+    /// Evaluate the subscription against parsed fields (reference
+    /// semantics; the compiled rules must agree with this).
+    pub fn matches(&self, fields: &[u128]) -> bool {
+        self.predicates.iter().all(|p| {
+            let Some(&v) = fields.get(p.field) else { return false };
+            match p.cmp {
+                Cmp::Eq => v == p.value,
+                Cmp::Ne => v != p.value,
+                Cmp::Lt => v < p.value,
+                Cmp::Le => v <= p.value,
+                Cmp::Gt => v > p.value,
+                Cmp::Ge => v >= p.value,
+            }
+        })
+    }
+}
+
+/// Expand the inclusive range `[lo, hi]` over a `width`-bit field into
+/// minimal (value, mask) prefix pairs — the classic range-to-TCAM
+/// expansion. Produces at most `2·width` pairs.
+pub fn range_to_masks(lo: u128, hi: u128, width: u32) -> Vec<(u128, u128)> {
+    assert!(lo <= hi);
+    let full: u128 = if width == 128 { u128::MAX } else { (1 << width) - 1 };
+    let mut out = Vec::new();
+    let mut lo = lo;
+    loop {
+        // Largest prefix block starting at `lo` that stays within [lo, hi]:
+        // block size is the largest power of two dividing lo (alignment)
+        // and not exceeding hi - lo + 1.
+        let align_block: u128 = if lo == 0 { u128::MAX } else { lo & lo.wrapping_neg() };
+        let span = hi - lo + 1;
+        let mut block = align_block.min(span);
+        // Round block down to a power of two (span may not be one).
+        while block & (block - 1) != 0 {
+            block &= block - 1;
+        }
+        let mask = full & !(block - 1);
+        out.push((lo & full, mask));
+        if hi - lo + 1 == block {
+            break;
+        }
+        lo += block;
+    }
+    out
+}
+
+/// Compile `subscriptions` into `table`.
+///
+/// The table must be `Exact` if every predicate of every subscription is an
+/// equality on the table's single key field; otherwise it must be
+/// `Ternary` over the format's fields. [`compile_into`] checks this and
+/// returns [`P4Error::Uncompilable`] on mismatch.
+pub fn compile_into(
+    format: &HeaderFormat,
+    table: &mut Table,
+    subscriptions: &[Subscription],
+) -> P4Result<usize> {
+    let mut installed = 0;
+    match table.kind() {
+        MatchKind::Exact => {
+            for sub in subscriptions {
+                // Exact compilation: need exactly one Eq predicate per key field.
+                let mut key = Vec::with_capacity(table.key_fields.len());
+                for &kf in &table.key_fields.clone() {
+                    let p = sub
+                        .predicates
+                        .iter()
+                        .find(|p| p.field == kf && p.cmp == Cmp::Eq)
+                        .ok_or(P4Error::Uncompilable(
+                            "exact table requires an Eq predicate on every key field",
+                        ))?;
+                    key.push(p.value);
+                }
+                if sub.predicates.len() != table.key_fields.len() {
+                    return Err(P4Error::Uncompilable(
+                        "exact table cannot express extra predicates",
+                    ));
+                }
+                table.insert(TableEntry::Exact { key }, Action::Forward(sub.port))?;
+                installed += 1;
+            }
+            Ok(installed)
+        }
+        MatchKind::Ternary => {
+            // Ternary compilation: per subscription, intersect all
+            // predicates on each field into one inclusive interval, expand
+            // each interval to prefix masks, then emit the cross product.
+            // (Intersecting first is what makes conjunctions like
+            // `x >= 7 && x <= 9` compile correctly.)
+            for (si, sub) in subscriptions.iter().enumerate() {
+                let nfields = format.field_count();
+                let mut intervals: Vec<Option<(u128, u128)>> = vec![None; nfields];
+                let mut empty = false;
+                for p in &sub.predicates {
+                    let width = format.field_bits(p.field)?;
+                    let full: u128 =
+                        if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+                    let (lo, hi) = intervals[p.field].unwrap_or((0, full));
+                    let next = match p.cmp {
+                        Cmp::Eq => {
+                            let v = p.value & full;
+                            (lo.max(v), hi.min(v))
+                        }
+                        Cmp::Ne => {
+                            return Err(P4Error::Uncompilable(
+                                "Ne requires a negation stage; not supported",
+                            ))
+                        }
+                        Cmp::Lt => {
+                            if p.value == 0 {
+                                empty = true;
+                                (1, 0)
+                            } else {
+                                (lo, hi.min((p.value - 1) & full))
+                            }
+                        }
+                        Cmp::Le => (lo, hi.min(p.value & full)),
+                        Cmp::Gt => {
+                            if p.value >= full {
+                                empty = true;
+                                (1, 0)
+                            } else {
+                                (lo.max(p.value + 1), hi)
+                            }
+                        }
+                        Cmp::Ge => (lo.max(p.value & full), hi),
+                    };
+                    if next.0 > next.1 {
+                        empty = true;
+                    }
+                    intervals[p.field] = Some(next);
+                }
+                if empty {
+                    // The conjunction matches nothing: install no rules.
+                    continue;
+                }
+                let mut rows: Vec<(Vec<u128>, Vec<u128>)> =
+                    vec![(vec![0; nfields], vec![0; nfields])];
+                for (field, interval) in intervals.iter().enumerate() {
+                    let Some((lo, hi)) = interval else { continue };
+                    let width = format.field_bits(field)?;
+                    let full: u128 =
+                        if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+                    if (*lo, *hi) == (0, full) {
+                        continue; // unconstrained: stay wildcard
+                    }
+                    let alts = range_to_masks(*lo, *hi, width);
+                    let mut next = Vec::with_capacity(rows.len() * alts.len());
+                    for (values, masks) in &rows {
+                        for (av, am) in &alts {
+                            let mut v = values.clone();
+                            let mut m = masks.clone();
+                            v[field] = *av;
+                            m[field] = *am;
+                            next.push((v, m));
+                        }
+                    }
+                    rows = next;
+                }
+                for (values, masks) in rows {
+                    table.insert(
+                        TableEntry::Ternary {
+                            values,
+                            masks,
+                            // Earlier subscriptions win ties deterministically.
+                            priority: -(si as i32),
+                        },
+                        Action::Forward(sub.port),
+                    )?;
+                    installed += 1;
+                }
+            }
+            Ok(installed)
+        }
+        MatchKind::Lpm => Err(P4Error::Uncompilable("subscriptions target exact/ternary tables")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::SramBudget;
+    use crate::header::{objnet_format, FieldSpec, OBJNET_DST_OBJ};
+    use proptest::prelude::*;
+
+    #[test]
+    fn eq_subscription_compiles_to_exact() {
+        let fmt = objnet_format();
+        let mut table = Table::new(
+            "objroute",
+            vec![OBJNET_DST_OBJ],
+            MatchKind::Exact,
+            128,
+            SramBudget::tofino(),
+        );
+        let subs = vec![
+            Subscription {
+                predicates: vec![Predicate { field: OBJNET_DST_OBJ, cmp: Cmp::Eq, value: 42 }],
+                port: 1,
+            },
+            Subscription {
+                predicates: vec![Predicate { field: OBJNET_DST_OBJ, cmp: Cmp::Eq, value: 77 }],
+                port: 2,
+            },
+        ];
+        assert_eq!(compile_into(&fmt, &mut table, &subs).unwrap(), 2);
+        assert_eq!(table.lookup(&[0, 42, 0]).unwrap(), Some(Action::Forward(1)));
+        assert_eq!(table.lookup(&[0, 77, 0]).unwrap(), Some(Action::Forward(2)));
+        assert_eq!(table.lookup(&[0, 1, 0]).unwrap(), None);
+    }
+
+    #[test]
+    fn range_subscription_rejected_for_exact_table() {
+        let fmt = objnet_format();
+        let mut table =
+            Table::new("t", vec![OBJNET_DST_OBJ], MatchKind::Exact, 128, SramBudget::tofino());
+        let subs = vec![Subscription {
+            predicates: vec![Predicate { field: OBJNET_DST_OBJ, cmp: Cmp::Lt, value: 100 }],
+            port: 0,
+        }];
+        assert!(matches!(compile_into(&fmt, &mut table, &subs), Err(P4Error::Uncompilable(_))));
+    }
+
+    fn small_format() -> HeaderFormat {
+        HeaderFormat::new(
+            "small",
+            vec![
+                FieldSpec { name: "t".into(), offset: 0, width: 1 },
+                FieldSpec { name: "x".into(), offset: 1, width: 2 },
+            ],
+        )
+    }
+
+    fn compile_one(sub: Subscription) -> Table {
+        let fmt = small_format();
+        let mut table = Table::new("tern", vec![0, 1], MatchKind::Ternary, 24, SramBudget::tofino());
+        compile_into(&fmt, &mut table, &[sub]).unwrap();
+        table
+    }
+
+    #[test]
+    fn range_compiles_to_ternary_and_agrees_with_reference() {
+        let sub = Subscription {
+            predicates: vec![
+                Predicate { field: 0, cmp: Cmp::Eq, value: 3 },
+                Predicate { field: 1, cmp: Cmp::Lt, value: 1000 },
+            ],
+            port: 5,
+        };
+        let table = compile_one(sub.clone());
+        for x in [0u128, 1, 999, 1000, 1001, 65535] {
+            for t in [2u128, 3] {
+                let fields = [t, x];
+                let expected = sub.matches(&fields);
+                let got = table.lookup(&fields).unwrap() == Some(Action::Forward(5));
+                assert_eq!(got, expected, "t={t} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn conjunction_on_one_field_intersects() {
+        // Regression: `t >= 7 && t <= 9` must compile to the interval
+        // [7, 9], not to whichever predicate came last.
+        let sub = Subscription {
+            predicates: vec![
+                Predicate { field: 0, cmp: Cmp::Ge, value: 7 },
+                Predicate { field: 0, cmp: Cmp::Le, value: 9 },
+            ],
+            port: 4,
+        };
+        let table = compile_one(sub.clone());
+        for t in 0u128..=20 {
+            let fields = [t, 0u128];
+            let expected = sub.matches(&fields);
+            let got = table.lookup(&fields).unwrap() == Some(Action::Forward(4));
+            assert_eq!(got, expected, "t={t}");
+        }
+    }
+
+    #[test]
+    fn contradictory_conjunction_installs_nothing() {
+        let fmt = small_format();
+        let mut table =
+            Table::new("tern", vec![0, 1], MatchKind::Ternary, 24, SramBudget::tofino());
+        let sub = Subscription {
+            predicates: vec![
+                Predicate { field: 0, cmp: Cmp::Ge, value: 9 },
+                Predicate { field: 0, cmp: Cmp::Le, value: 7 },
+            ],
+            port: 4,
+        };
+        assert_eq!(compile_into(&fmt, &mut table, &[sub]).unwrap(), 0);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn range_to_masks_known_cases() {
+        // [0, 7] over 8 bits is one /5-style block.
+        assert_eq!(range_to_masks(0, 7, 8), vec![(0, 0xF8)]);
+        // Full range is one all-wildcard row.
+        assert_eq!(range_to_masks(0, 255, 8), vec![(0, 0)]);
+        // Single value is fully masked.
+        assert_eq!(range_to_masks(9, 9, 8), vec![(9, 0xFF)]);
+        // Worst-ish case stays bounded.
+        assert!(range_to_masks(1, 254, 8).len() <= 16);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_range_masks_cover_exactly(lo in 0u128..256, span in 0u128..256) {
+            let hi = (lo + span).min(255);
+            let masks = range_to_masks(lo, hi, 8);
+            for v in 0u128..256 {
+                let inside = v >= lo && v <= hi;
+                let matched = masks.iter().any(|(val, m)| (v & m) == (val & m));
+                prop_assert_eq!(matched, inside, "v={} lo={} hi={}", v, lo, hi);
+            }
+        }
+
+        #[test]
+        fn prop_compiled_ternary_agrees_with_reference(
+            cmp_sel in 0usize..5,
+            value in 0u128..65536,
+            probe in proptest::collection::vec(0u128..65536, 32),
+        ) {
+            let cmp = [Cmp::Eq, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge][cmp_sel];
+            // Skip degenerate matches-nothing cases.
+            prop_assume!(!(cmp == Cmp::Lt && value == 0));
+            prop_assume!(!(cmp == Cmp::Gt && value >= 65535));
+            let sub = Subscription {
+                predicates: vec![Predicate { field: 1, cmp, value }],
+                port: 9,
+            };
+            let table = compile_one(sub.clone());
+            for x in probe {
+                let fields = [0u128, x];
+                let expected = sub.matches(&fields);
+                let got = table.lookup(&fields).unwrap() == Some(Action::Forward(9));
+                prop_assert_eq!(got, expected, "cmp={:?} value={} x={}", cmp, value, x);
+            }
+        }
+    }
+}

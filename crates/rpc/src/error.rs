@@ -1,0 +1,81 @@
+//! RPC error codes.
+
+use std::fmt;
+
+/// Errors surfaced to RPC callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// No service with the requested ID at this server.
+    NoSuchService(u32),
+    /// The service does not implement the requested method.
+    NoSuchMethod(u32),
+    /// Arguments failed to decode.
+    BadArgs,
+    /// Transport-level failure.
+    Transport,
+    /// The callee refused (overload, shutdown).
+    Unavailable,
+    /// No response within the caller's deadline.
+    Timeout,
+}
+
+impl RpcError {
+    /// Stable wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            RpcError::NoSuchService(_) => 1,
+            RpcError::NoSuchMethod(_) => 2,
+            RpcError::BadArgs => 3,
+            RpcError::Transport => 4,
+            RpcError::Unavailable => 5,
+            RpcError::Timeout => 6,
+        }
+    }
+
+    /// Reconstruct from a wire code (detail fields are lost).
+    pub fn from_code(code: u8) -> RpcError {
+        match code {
+            1 => RpcError::NoSuchService(0),
+            2 => RpcError::NoSuchMethod(0),
+            3 => RpcError::BadArgs,
+            5 => RpcError::Unavailable,
+            6 => RpcError::Timeout,
+            _ => RpcError::Transport,
+        }
+    }
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::NoSuchService(s) => write!(f, "no such service {s}"),
+            RpcError::NoSuchMethod(m) => write!(f, "no such method {m}"),
+            RpcError::BadArgs => write!(f, "arguments failed to decode"),
+            RpcError::Transport => write!(f, "transport failure"),
+            RpcError::Unavailable => write!(f, "service unavailable"),
+            RpcError::Timeout => write!(f, "call timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_modulo_detail() {
+        for e in [
+            RpcError::NoSuchService(7),
+            RpcError::NoSuchMethod(9),
+            RpcError::BadArgs,
+            RpcError::Transport,
+            RpcError::Unavailable,
+            RpcError::Timeout,
+        ] {
+            let back = RpcError::from_code(e.code());
+            assert_eq!(back.code(), e.code());
+        }
+    }
+}

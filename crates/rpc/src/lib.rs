@@ -1,0 +1,38 @@
+//! # rdv-rpc — the call-by-value RPC baseline
+//!
+//! The paper's §1–2 indict RPC as *"fundamentally location- and
+//! compute-centric"*: the invoker names the executor, arguments and returns
+//! are serialized in their entirety, and operators bolt on *"discovery
+//! services, load balancers, or other forms of middleware"* to soften the
+//! location-coupling — at the cost of extra hops and complexity.
+//!
+//! To measure any of that, the baseline has to exist. This crate is a
+//! complete, from-scratch RPC framework over the same simulated fabric the
+//! rendezvous system uses:
+//!
+//! - [`proto`] — the RPC wire protocol (riding the same 33-byte objnet
+//!   header, addressed to *host inboxes* — location! — not objects).
+//! - [`service`] — server-side service/dispatch abstraction. Service
+//!   handlers return a *compute cost* that the server node converts into
+//!   simulated time, so serialization and deserialization costs show up in
+//!   measured latencies exactly as they would on a real server.
+//! - [`server`] / [`client`] — `rdv-netsim` nodes for both ends.
+//! - [`middleware`] — the indirection layers the paper calls out: a
+//!   round-robin load balancer and a name-lookup discovery service
+//!   (experiment A2 measures what each hop costs).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod error;
+pub mod middleware;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use client::{CallRecord, ClientNode, PlannedCall};
+pub use error::RpcError;
+pub use proto::{RpcBody, RpcMsg};
+pub use server::ServerNode;
+pub use service::{Service, ServiceReply};

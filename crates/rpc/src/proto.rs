@@ -1,0 +1,213 @@
+//! The RPC wire protocol.
+//!
+//! Rides the same 33-byte objnet header as every other packet in the
+//! repository (so the same switches carry it), but — this is the point of
+//! the baseline — the destination is a **host inbox**, a location, never a
+//! data object. Message types live in the 0x60 range, disjoint from
+//! `rdv-memproto` (0x01–0x41) and p4rt control (0xF0+).
+
+use rdv_objspace::ObjId;
+use rdv_wire::{WireError, WireReader, WireResult, WireWriter};
+
+/// RPC message bodies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcBody {
+    /// Invoke `service.method(args)` — args serialized in their entirety,
+    /// the "call-by-small-value" the paper criticizes.
+    Request {
+        /// Request correlation ID.
+        req: u64,
+        /// Service ID.
+        service: u32,
+        /// Method ID within the service.
+        method: u32,
+        /// Serialized arguments.
+        args: Vec<u8>,
+    },
+    /// Successful reply.
+    Response {
+        /// Correlates with the request.
+        req: u64,
+        /// Serialized return value.
+        payload: Vec<u8>,
+    },
+    /// Failed reply.
+    Error {
+        /// Correlates with the request.
+        req: u64,
+        /// [`crate::error::RpcError`] wire code.
+        code: u8,
+    },
+    /// Ask a discovery service where `name` is served.
+    Lookup {
+        /// Request correlation ID.
+        req: u64,
+        /// Service name.
+        name: String,
+    },
+    /// Discovery reply.
+    LookupResp {
+        /// Correlates with the request.
+        req: u64,
+        /// Inbox of a server for the service (nil if unknown).
+        server: ObjId,
+    },
+}
+
+impl RpcBody {
+    fn msg_type(&self) -> u8 {
+        match self {
+            RpcBody::Request { .. } => 0x60,
+            RpcBody::Response { .. } => 0x61,
+            RpcBody::Error { .. } => 0x62,
+            RpcBody::Lookup { .. } => 0x63,
+            RpcBody::LookupResp { .. } => 0x64,
+        }
+    }
+}
+
+/// A full RPC message (header + body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcMsg {
+    /// Destination host inbox.
+    pub dst: ObjId,
+    /// Source host inbox (reply address).
+    pub src: ObjId,
+    /// The body.
+    pub body: RpcBody,
+}
+
+impl RpcMsg {
+    /// Build a message.
+    pub fn new(dst: ObjId, src: ObjId, body: RpcBody) -> RpcMsg {
+        RpcMsg { dst, src, body }
+    }
+
+    /// Serialize to packet bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(64);
+        w.put_u8(self.body.msg_type());
+        w.put_u128(self.dst.as_u128());
+        w.put_u128(self.src.as_u128());
+        match &self.body {
+            RpcBody::Request { req, service, method, args } => {
+                w.put_uvarint(*req);
+                w.put_u32(*service);
+                w.put_u32(*method);
+                w.put_len_prefixed(args);
+            }
+            RpcBody::Response { req, payload } => {
+                w.put_uvarint(*req);
+                w.put_len_prefixed(payload);
+            }
+            RpcBody::Error { req, code } => {
+                w.put_uvarint(*req);
+                w.put_u8(*code);
+            }
+            RpcBody::Lookup { req, name } => {
+                w.put_uvarint(*req);
+                w.put_len_prefixed(name.as_bytes());
+            }
+            RpcBody::LookupResp { req, server } => {
+                w.put_uvarint(*req);
+                w.put_u128(server.as_u128());
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Parse packet bytes; returns `None` for non-RPC message types (so a
+    /// node can share a port with other protocols).
+    pub fn decode(data: &[u8]) -> WireResult<Option<RpcMsg>> {
+        let mut r = WireReader::new(data);
+        let t = r.get_u8()?;
+        if !(0x60..=0x64).contains(&t) {
+            return Ok(None);
+        }
+        let dst = ObjId(r.get_u128()?);
+        let src = ObjId(r.get_u128()?);
+        const MAX: u64 = 1 << 30;
+        let body = match t {
+            0x60 => RpcBody::Request {
+                req: r.get_uvarint()?,
+                service: r.get_u32()?,
+                method: r.get_u32()?,
+                args: r.get_len_prefixed(MAX)?.to_vec(),
+            },
+            0x61 => RpcBody::Response {
+                req: r.get_uvarint()?,
+                payload: r.get_len_prefixed(MAX)?.to_vec(),
+            },
+            0x62 => RpcBody::Error { req: r.get_uvarint()?, code: r.get_u8()? },
+            0x63 => {
+                let req = r.get_uvarint()?;
+                let bytes = r.get_len_prefixed(1 << 16)?;
+                let name =
+                    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)?;
+                RpcBody::Lookup { req, name }
+            }
+            0x64 => RpcBody::LookupResp { req: r.get_uvarint()?, server: ObjId(r.get_u128()?) },
+            _ => unreachable!("range-checked above"),
+        };
+        if !r.is_exhausted() {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        Ok(Some(RpcMsg { dst, src, body }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bodies_roundtrip() {
+        let bodies = vec![
+            RpcBody::Request { req: 1, service: 2, method: 3, args: vec![1, 2, 3] },
+            RpcBody::Response { req: 1, payload: vec![9; 100] },
+            RpcBody::Error { req: 1, code: 4 },
+            RpcBody::Lookup { req: 2, name: "model_serving".into() },
+            RpcBody::LookupResp { req: 2, server: ObjId(0xFEED) },
+        ];
+        for body in bodies {
+            let msg = RpcMsg::new(ObjId(1), ObjId(2), body);
+            let back = RpcMsg::decode(&msg.encode()).unwrap().unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn foreign_types_yield_none() {
+        // A memproto-style packet (type 0x01) is not RPC.
+        let mut bytes = vec![0x01];
+        bytes.extend(1u128.to_le_bytes());
+        bytes.extend(2u128.to_le_bytes());
+        assert_eq!(RpcMsg::decode(&bytes).unwrap(), None);
+    }
+
+    #[test]
+    fn header_is_switch_parsable() {
+        let msg = RpcMsg::new(
+            ObjId(0xAB),
+            ObjId(0xCD),
+            RpcBody::Request { req: 1, service: 0, method: 0, args: vec![] },
+        );
+        let bytes = msg.encode();
+        assert_eq!(bytes[0], 0x60);
+        assert_eq!(u128::from_le_bytes(bytes[1..17].try_into().unwrap()), 0xAB);
+        assert_eq!(u128::from_le_bytes(bytes[17..33].try_into().unwrap()), 0xCD);
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let msg = RpcMsg::new(
+            ObjId(1),
+            ObjId(2),
+            RpcBody::Request { req: 1, service: 2, method: 3, args: vec![5; 50] },
+        );
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            let _ = RpcMsg::decode(&bytes[..cut]);
+        }
+    }
+}

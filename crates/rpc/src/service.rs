@@ -1,0 +1,272 @@
+//! Server-side service abstraction.
+//!
+//! A [`Service`] dispatches method calls and reports the **compute cost**
+//! of each call in model-nanoseconds; the server node turns that into
+//! simulated time before the response leaves. This is how request-time
+//! deserialization/loading (the §2 "70%" cost) becomes visible in measured
+//! RPC latencies.
+
+use crate::error::RpcError;
+use rdv_wire::cost::{CostMeter, Phase};
+use rdv_wire::sparsemodel::{self, SparseModel};
+use rdv_wire::{WireReader, WireWriter};
+
+/// A successful dispatch: the reply bytes plus the simulated compute time
+/// the server must spend before sending them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceReply {
+    /// Serialized return value.
+    pub payload: Vec<u8>,
+    /// Simulated server-side processing time, nanoseconds.
+    pub compute_ns: u64,
+}
+
+/// A dispatchable service.
+pub trait Service: std::any::Any {
+    /// Handle `method(args)`.
+    fn dispatch(&mut self, method: u32, args: &[u8]) -> Result<ServiceReply, RpcError>;
+
+    /// Service name (for discovery-service registration).
+    fn name(&self) -> &str;
+}
+
+/// Method IDs of [`EchoService`].
+pub mod echo_methods {
+    /// Return the arguments unchanged.
+    pub const ECHO: u32 = 0;
+    /// Return the byte length of the arguments.
+    pub const LEN: u32 = 1;
+}
+
+/// A trivial echo service (latency-floor measurements).
+#[derive(Debug, Default)]
+pub struct EchoService {
+    /// Calls served.
+    pub calls: u64,
+}
+
+impl Service for EchoService {
+    fn dispatch(&mut self, method: u32, args: &[u8]) -> Result<ServiceReply, RpcError> {
+        self.calls += 1;
+        match method {
+            echo_methods::ECHO => {
+                Ok(ServiceReply { payload: args.to_vec(), compute_ns: 100 })
+            }
+            echo_methods::LEN => {
+                let mut w = WireWriter::new();
+                w.put_uvarint(args.len() as u64);
+                Ok(ServiceReply { payload: w.into_vec(), compute_ns: 100 })
+            }
+            m => Err(RpcError::NoSuchMethod(m)),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "echo"
+    }
+}
+
+/// Method IDs of [`ModelServingService`].
+pub mod model_methods {
+    /// args = serialized model ‖ activation; returns the output vector.
+    /// The call-by-value path: the model travels with every request.
+    pub const INFER_WITH_MODEL: u32 = 0;
+    /// args = model name ‖ activation; the server holds the *serialized*
+    /// personalized model and must deserialize + load it at request time —
+    /// the TrIMS-style scenario behind the paper's "70%" claim.
+    pub const INFER_BY_NAME: u32 = 1;
+}
+
+/// The paper's §2 model-serving workload, RPC style: every request carries
+/// the serialized personalized model, which the server must deserialize and
+/// load before inference — at request time, on the critical path.
+#[derive(Debug, Default)]
+pub struct ModelServingService {
+    /// Requests served.
+    pub calls: u64,
+    /// Phase accounting across all calls (for S1 reporting).
+    pub meter: CostMeter,
+    /// Serialized models stored server-side, by name (`INFER_BY_NAME`).
+    pub stored: std::collections::HashMap<String, Vec<u8>>,
+}
+
+impl ModelServingService {
+    /// Store a serialized model under `name` for `INFER_BY_NAME`.
+    pub fn store_model(&mut self, name: impl Into<String>, bytes: Vec<u8>) {
+        self.stored.insert(name.into(), bytes);
+    }
+
+    /// Encode arguments for `INFER_BY_NAME`.
+    pub fn encode_name_args(name: &str, activation: &[f32]) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(name.len() + activation.len() * 4 + 16);
+        w.put_len_prefixed(name.as_bytes());
+        w.put_uvarint(activation.len() as u64);
+        for a in activation {
+            w.put_f32(*a);
+        }
+        w.into_vec()
+    }
+
+    fn decode_name_args(args: &[u8]) -> Result<(String, Vec<f32>), RpcError> {
+        let mut r = WireReader::new(args);
+        let name = String::from_utf8(
+            r.get_len_prefixed(1 << 16).map_err(|_| RpcError::BadArgs)?.to_vec(),
+        )
+        .map_err(|_| RpcError::BadArgs)?;
+        let n = r.get_uvarint().map_err(|_| RpcError::BadArgs)? as usize;
+        let mut activation = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            activation.push(r.get_f32().map_err(|_| RpcError::BadArgs)?);
+        }
+        Ok((name, activation))
+    }
+
+    fn infer_from_bytes(
+        &mut self,
+        model_bytes: &[u8],
+        activation: &[f32],
+    ) -> Result<ServiceReply, RpcError> {
+        // Per-request meter so compute_ns reflects THIS call; also folded
+        // into the service-lifetime meter for S1 reporting.
+        let mut meter = CostMeter::new();
+        let model: SparseModel = sparsemodel::deserialize_model(model_bytes, &mut meter)
+            .map_err(|_| RpcError::BadArgs)?;
+        let loaded = sparsemodel::load_model(model, &mut meter);
+        let output = loaded.infer(activation, &mut meter);
+        let compute_ns = meter.phase_ns(Phase::Deserialize)
+            + meter.phase_ns(Phase::Load)
+            + meter.phase_ns(Phase::Compute);
+        for phase in [Phase::Deserialize, Phase::Load, Phase::Compute] {
+            self.meter.charge_direct_ns(phase, meter.phase_ns(phase));
+        }
+        let mut w = WireWriter::with_capacity(output.len() * 4 + 8);
+        w.put_uvarint(output.len() as u64);
+        for v in &output {
+            w.put_f32(*v);
+        }
+        Ok(ServiceReply { payload: w.into_vec(), compute_ns })
+    }
+
+    /// Encode arguments for `INFER_WITH_MODEL`.
+    pub fn encode_args(model_bytes: &[u8], activation: &[f32]) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(model_bytes.len() + activation.len() * 4 + 16);
+        w.put_len_prefixed(model_bytes);
+        w.put_uvarint(activation.len() as u64);
+        for a in activation {
+            w.put_f32(*a);
+        }
+        w.into_vec()
+    }
+
+    fn decode_args(args: &[u8]) -> Result<(Vec<u8>, Vec<f32>), RpcError> {
+        let mut r = WireReader::new(args);
+        let model = r.get_len_prefixed(1 << 30).map_err(|_| RpcError::BadArgs)?.to_vec();
+        let n = r.get_uvarint().map_err(|_| RpcError::BadArgs)? as usize;
+        let mut activation = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            activation.push(r.get_f32().map_err(|_| RpcError::BadArgs)?);
+        }
+        Ok((model, activation))
+    }
+}
+
+impl Service for ModelServingService {
+    fn dispatch(&mut self, method: u32, args: &[u8]) -> Result<ServiceReply, RpcError> {
+        self.calls += 1;
+        match method {
+            model_methods::INFER_WITH_MODEL => {
+                let (model_bytes, activation) = Self::decode_args(args)?;
+                self.infer_from_bytes(&model_bytes, &activation)
+            }
+            model_methods::INFER_BY_NAME => {
+                let (name, activation) = Self::decode_name_args(args)?;
+                let bytes = self.stored.remove(&name).ok_or(RpcError::BadArgs)?;
+                let out = self.infer_from_bytes(&bytes, &activation);
+                self.stored.insert(name, bytes);
+                out
+            }
+            m => Err(RpcError::NoSuchMethod(m)),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "model_serving"
+    }
+}
+
+/// Decode the output vector returned by `INFER_WITH_MODEL`.
+pub fn decode_infer_output(payload: &[u8]) -> Result<Vec<f32>, RpcError> {
+    let mut r = WireReader::new(payload);
+    let n = r.get_uvarint().map_err(|_| RpcError::BadArgs)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(r.get_f32().map_err(|_| RpcError::BadArgs)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdv_wire::sparsemodel::SparseModelSpec;
+
+    #[test]
+    fn echo_roundtrip() {
+        let mut s = EchoService::default();
+        let reply = s.dispatch(echo_methods::ECHO, b"hello").unwrap();
+        assert_eq!(reply.payload, b"hello");
+        assert!(reply.compute_ns > 0);
+        assert_eq!(s.calls, 1);
+        assert!(matches!(s.dispatch(99, b""), Err(RpcError::NoSuchMethod(99))));
+    }
+
+    #[test]
+    fn model_serving_call_by_value() {
+        let spec = SparseModelSpec { layers: 2, rows: 64, cols: 64, nnz_per_row: 4, vocab: 32, seed: 5 };
+        let model = SparseModel::generate(&spec);
+        let mut meter = CostMeter::new();
+        let model_bytes = sparsemodel::serialize_model(&model, &mut meter);
+        let activation = vec![1.0f32; 64];
+        let args = ModelServingService::encode_args(&model_bytes, &activation);
+
+        let mut svc = ModelServingService::default();
+        let reply = svc.dispatch(model_methods::INFER_WITH_MODEL, &args).unwrap();
+        let out = decode_infer_output(&reply.payload).unwrap();
+        assert_eq!(out.len(), 64);
+        // The server paid deserialization + loading at request time.
+        assert!(svc.meter.phase_ns(Phase::Deserialize) > 0);
+        assert!(svc.meter.phase_ns(Phase::Load) > 0);
+        assert!(reply.compute_ns >= svc.meter.phase_ns(Phase::Deserialize));
+    }
+
+    #[test]
+    fn corrupt_args_rejected() {
+        let mut svc = ModelServingService::default();
+        assert!(matches!(
+            svc.dispatch(model_methods::INFER_WITH_MODEL, &[1, 2, 3]),
+            Err(RpcError::BadArgs)
+        ));
+    }
+
+    #[test]
+    fn deser_load_dominates_compute_for_sparse_models() {
+        // The S1 claim at service granularity: request-time deserialize +
+        // load is the majority of server processing for sparse models.
+        let spec =
+            SparseModelSpec { layers: 4, rows: 512, cols: 512, nnz_per_row: 8, vocab: 512, seed: 6 };
+        let model = SparseModel::generate(&spec);
+        let mut meter = CostMeter::new();
+        let model_bytes = sparsemodel::serialize_model(&model, &mut meter);
+        let activation = vec![0.5f32; 512];
+        let args = ModelServingService::encode_args(&model_bytes, &activation);
+        let mut svc = ModelServingService::default();
+        svc.dispatch(model_methods::INFER_WITH_MODEL, &args).unwrap();
+        let deser_load =
+            svc.meter.phase_ns(Phase::Deserialize) + svc.meter.phase_ns(Phase::Load);
+        let compute = svc.meter.phase_ns(Phase::Compute);
+        assert!(
+            deser_load as f64 > 0.5 * (deser_load + compute) as f64,
+            "deser+load {deser_load} vs compute {compute}"
+        );
+    }
+}

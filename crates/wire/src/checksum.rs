@@ -1,0 +1,144 @@
+//! Checksums implemented from scratch: CRC-32 (IEEE 802.3) and FNV-1a.
+//!
+//! CRC-32 guards frame payloads ([`crate::frame`]); FNV-1a is used where a
+//! cheap, stable, non-cryptographic hash is wanted (e.g. table bucketing in
+//! `rdv-p4rt`).
+
+/// CRC-32 polynomial (IEEE, reflected form).
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built 256-entry CRC table.
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ CRC32_POLY } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// Compute the CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xff) as usize;
+        crc = (crc >> 8) ^ table[idx];
+    }
+    !crc
+}
+
+/// Incremental CRC-32 state for streaming use.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh CRC computation.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = crc32_table();
+        for &byte in data {
+            let idx = ((self.state ^ u32::from(byte)) & 0xff) as usize;
+            self.state = (self.state >> 8) ^ table[idx];
+        }
+    }
+
+    /// Finish and return the checksum.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Compute the 64-bit FNV-1a hash of `data`.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a over a `u128`, little-endian — handy for hashing object IDs.
+pub fn fnv1a_u128(value: u128) -> u64 {
+    fnv1a(&value.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+        // Published FNV-1a test vector.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn fnv_u128_differs_by_input() {
+        assert_ne!(fnv1a_u128(1), fnv1a_u128(2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_crc_detects_single_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..256), idx in any::<usize>(), bit in 0u8..8) {
+            let mut flipped = data.clone();
+            let i = idx % flipped.len();
+            flipped[i] ^= 1 << bit;
+            prop_assert_ne!(crc32(&data), crc32(&flipped));
+        }
+
+        #[test]
+        fn prop_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in any::<usize>()) {
+            let s = if data.is_empty() { 0 } else { split % data.len() };
+            let mut c = Crc32::new();
+            c.update(&data[..s]);
+            c.update(&data[s..]);
+            prop_assert_eq!(c.finalize(), crc32(&data));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared by every wire-format operation.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The reader ran out of bytes before the value was complete.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were actually available.
+        available: usize,
+    },
+    /// A varint ran past its maximum permitted width.
+    VarintOverflow,
+    /// A length prefix exceeded the configured maximum.
+    LengthOverflow {
+        /// The decoded length.
+        len: u64,
+        /// The maximum this decoder accepts.
+        max: u64,
+    },
+    /// A discriminant byte did not correspond to any known variant.
+    InvalidTag {
+        /// The unknown tag value.
+        tag: u32,
+        /// Human-readable name of the type being decoded.
+        ty: &'static str,
+    },
+    /// Bytes that should have been UTF-8 were not.
+    InvalidUtf8,
+    /// A frame checksum did not match its payload.
+    ChecksumMismatch {
+        /// Checksum carried in the frame header.
+        expected: u32,
+        /// Checksum recomputed over the payload.
+        actual: u32,
+    },
+    /// A frame began with the wrong magic bytes.
+    BadMagic,
+    /// A boolean byte held a value other than 0 or 1.
+    InvalidBool(u8),
+    /// Trailing bytes remained after a complete top-level decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, available } => {
+                write!(f, "unexpected EOF: needed {needed} bytes, had {available}")
+            }
+            WireError::VarintOverflow => write!(f, "varint exceeded maximum width"),
+            WireError::LengthOverflow { len, max } => {
+                write!(f, "length {len} exceeds maximum {max}")
+            }
+            WireError::InvalidTag { tag, ty } => {
+                write!(f, "invalid tag {tag} while decoding {ty}")
+            }
+            WireError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            WireError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: header {expected:#010x}, payload {actual:#010x}")
+            }
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::InvalidBool(b) => write!(f, "invalid boolean byte {b}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias used throughout the crate.
+pub type WireResult<T> = Result<T, WireError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::UnexpectedEof { needed: 8, available: 3 };
+        assert!(e.to_string().contains("needed 8"));
+        let e = WireError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&WireError::VarintOverflow);
+    }
+}

@@ -1,0 +1,194 @@
+//! Length-prefixed, checksummed message framing.
+//!
+//! A frame is: 4-byte magic, varint payload length, 4-byte CRC-32 of the
+//! payload, payload bytes. Frames are what actually traverse the simulated
+//! links when a protocol needs self-delimiting messages over a byte stream
+//! (the RPC baseline's session transport uses this; the rendezvous fabric's
+//! datagrams do not need it).
+
+use crate::buf::{WireReader, WireWriter};
+use crate::checksum::crc32;
+use crate::error::{WireError, WireResult};
+
+/// Frame magic: "RDVW".
+pub const FRAME_MAGIC: [u8; 4] = *b"RDVW";
+
+/// Largest payload a frame may carry (16 MiB).
+pub const MAX_FRAME_PAYLOAD: u64 = 16 << 20;
+
+/// A decoded frame: just the payload (header fields are validated and
+/// discarded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The framed payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Stateless encoder/decoder for [`Frame`]s over a byte stream.
+#[derive(Debug, Default, Clone)]
+pub struct FrameCodec;
+
+impl FrameCodec {
+    /// Encode `payload` as a complete frame.
+    pub fn encode(payload: &[u8]) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(payload.len() + 16);
+        w.put_bytes(&FRAME_MAGIC);
+        w.put_uvarint(payload.len() as u64);
+        w.put_u32(crc32(payload));
+        w.put_bytes(payload);
+        w.into_vec()
+    }
+
+    /// Try to decode one frame from the front of `input`.
+    ///
+    /// Returns `Ok(Some((frame, consumed)))` on success, `Ok(None)` when the
+    /// input holds an incomplete (but so far valid) frame, and `Err` on
+    /// corruption.
+    pub fn decode(input: &[u8]) -> WireResult<Option<(Frame, usize)>> {
+        let mut r = WireReader::new(input);
+        let magic = match r.get_bytes(4) {
+            Ok(m) => m,
+            Err(WireError::UnexpectedEof { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if magic != FRAME_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let len = match r.get_uvarint() {
+            Ok(l) => l,
+            Err(WireError::UnexpectedEof { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(WireError::LengthOverflow { len, max: MAX_FRAME_PAYLOAD });
+        }
+        let expected = match r.get_u32() {
+            Ok(c) => c,
+            Err(WireError::UnexpectedEof { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let payload = match r.get_bytes(len as usize) {
+            Ok(p) => p,
+            Err(WireError::UnexpectedEof { .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let actual = crc32(payload);
+        if actual != expected {
+            return Err(WireError::ChecksumMismatch { expected, actual });
+        }
+        Ok(Some((Frame { payload: payload.to_vec() }, r.position())))
+    }
+
+    /// Decode every complete frame in `input`, returning the frames and the
+    /// number of bytes consumed (a trailing partial frame is left unread).
+    pub fn decode_all(input: &[u8]) -> WireResult<(Vec<Frame>, usize)> {
+        let mut frames = Vec::new();
+        let mut consumed = 0;
+        while let Some((frame, n)) = Self::decode(&input[consumed..])? {
+            frames.push(frame);
+            consumed += n;
+        }
+        Ok((frames, consumed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_single() {
+        let encoded = FrameCodec::encode(b"payload bytes");
+        let (frame, n) = FrameCodec::decode(&encoded).unwrap().unwrap();
+        assert_eq!(frame.payload, b"payload bytes");
+        assert_eq!(n, encoded.len());
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let encoded = FrameCodec::encode(b"");
+        let (frame, _) = FrameCodec::decode(&encoded).unwrap().unwrap();
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn partial_frame_returns_none() {
+        let encoded = FrameCodec::encode(b"hello");
+        for cut in 0..encoded.len() {
+            assert_eq!(
+                FrameCodec::decode(&encoded[..cut]).unwrap(),
+                None,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut encoded = FrameCodec::encode(b"hello");
+        let last = encoded.len() - 1;
+        encoded[last] ^= 0xff;
+        assert!(matches!(
+            FrameCodec::decode(&encoded),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut encoded = FrameCodec::encode(b"hello");
+        encoded[0] = b'X';
+        assert!(matches!(FrameCodec::decode(&encoded), Err(WireError::BadMagic)));
+    }
+
+    #[test]
+    fn oversize_length_rejected() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&FRAME_MAGIC);
+        w.put_uvarint(MAX_FRAME_PAYLOAD + 1);
+        w.put_u32(0);
+        assert!(matches!(
+            FrameCodec::decode(w.as_slice()),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_all_stream() {
+        let mut stream = Vec::new();
+        stream.extend(FrameCodec::encode(b"one"));
+        stream.extend(FrameCodec::encode(b"two"));
+        let partial = FrameCodec::encode(b"three");
+        stream.extend(&partial[..partial.len() - 2]);
+        let (frames, consumed) = FrameCodec::decode_all(&stream).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].payload, b"one");
+        assert_eq!(frames[1].payload, b"two");
+        assert_eq!(consumed, stream.len() - (partial.len() - 2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            let encoded = FrameCodec::encode(&payload);
+            let (frame, n) = FrameCodec::decode(&encoded).unwrap().unwrap();
+            prop_assert_eq!(frame.payload, payload);
+            prop_assert_eq!(n, encoded.len());
+        }
+
+        #[test]
+        fn prop_concatenated_frames_all_decode(payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8)) {
+            let mut stream = Vec::new();
+            for p in &payloads {
+                stream.extend(FrameCodec::encode(p));
+            }
+            let (frames, consumed) = FrameCodec::decode_all(&stream).unwrap();
+            prop_assert_eq!(consumed, stream.len());
+            prop_assert_eq!(frames.len(), payloads.len());
+            for (f, p) in frames.iter().zip(&payloads) {
+                prop_assert_eq!(&f.payload, p);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # rdv-wire — serialization substrate
+//!
+//! A from-scratch binary serialization framework, built for two purposes:
+//!
+//! 1. It is the wire format for the **call-by-value RPC baseline**
+//!    (`rdv-rpc`) that the paper ("Don't Let RPCs Constrain Your API",
+//!    HotNets '21) argues against. The paper's §2 claims that *"as much as
+//!    70% of the processing time for these model-serving applications is
+//!    spent deserializing and loading the sparse personalized models"* —
+//!    reproducing that claim requires a real serializer with real costs,
+//!    not a mock.
+//! 2. It carries the control-plane and protocol messages of the rendezvous
+//!    system itself (`rdv-memproto`, `rdv-discovery`), where payloads are
+//!    small and serialization cost is negligible by design.
+//!
+//! ## Layout
+//!
+//! - [`varint`] — LEB128 variable-length integers and zig-zag signed coding.
+//! - [`buf`] — cursor-style [`buf::WireWriter`] / [`buf::WireReader`].
+//! - [`codec`] — [`codec::Encode`] / [`codec::Decode`] traits with impls for
+//!   primitives and standard containers.
+//! - [`frame`] — length-prefixed, checksummed message framing.
+//! - [`checksum`] — CRC-32 (IEEE) and FNV-1a, implemented from scratch.
+//! - [`cost`] — [`cost::CostMeter`], the accounting used by the S1
+//!   experiment to attribute request time to serialize / transfer /
+//!   deserialize / load phases.
+//! - [`sparsemodel`] — the synthetic sparse-model workload standing in for
+//!   the paper's "sparse personalized models" (see DESIGN.md substitutions).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod buf;
+pub mod checksum;
+pub mod codec;
+pub mod cost;
+pub mod error;
+pub mod frame;
+pub mod sparsemodel;
+pub mod varint;
+
+pub use buf::{WireReader, WireWriter};
+pub use codec::{decode_from_slice, encode_to_vec, Decode, Encode};
+pub use cost::{CostMeter, Phase, PhaseBreakdown};
+pub use error::{WireError, WireResult};
+pub use frame::{Frame, FrameCodec};

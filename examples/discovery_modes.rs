@@ -1,0 +1,63 @@
+//! The paper's §4 testbed: three hosts, four interconnected switches, two
+//! ways for the network to learn where objects live.
+//!
+//! ```text
+//! cargo run --release --example discovery_modes
+//! ```
+//!
+//! Reproduces miniature versions of Figures 2 and 3 in your terminal.
+
+use rendezvous::discovery::scenario::run_discovery;
+use rendezvous::discovery::{DiscoveryMode, ScenarioConfig, ScenarioKind, StalenessMode};
+
+fn bar(value: f64, scale: f64) -> String {
+    let n = ((value / scale) * 40.0).round() as usize;
+    "#".repeat(n.min(60))
+}
+
+fn main() {
+    let accesses = 300;
+    let num_objects = 96;
+
+    println!("Figure 2 — RTT vs % of accesses to NEW objects");
+    println!("{:>5} {:>10} {:>10}   e2e RTT", "new%", "ctl(µs)", "e2e(µs)");
+    for pct_new in (0..=90).step_by(15) {
+        let base = ScenarioConfig {
+            kind: ScenarioKind::Fig2NewObjects { pct_new },
+            accesses,
+            num_objects,
+            staleness: StalenessMode::InvalidateOnMove,
+            ..Default::default()
+        };
+        let ctl = run_discovery(&ScenarioConfig { mode: DiscoveryMode::Controller, ..base });
+        let e2e = run_discovery(&ScenarioConfig { mode: DiscoveryMode::E2E, ..base });
+        println!(
+            "{:>5} {:>10.1} {:>10.1}   {}",
+            pct_new,
+            ctl.mean_us(),
+            e2e.mean_us(),
+            bar(e2e.mean_us(), 80.0)
+        );
+    }
+
+    println!("\nFigure 3 — E2E access time as the destination cache goes stale");
+    println!("{:>6} {:>10} {:>10}   mean RTT", "moved%", "mean(µs)", "σ(µs)");
+    for pct_moved in (0..=90).step_by(15) {
+        let out = run_discovery(&ScenarioConfig {
+            kind: ScenarioKind::Fig3Staleness { pct_moved },
+            mode: DiscoveryMode::E2E,
+            staleness: StalenessMode::InvalidateOnMove,
+            accesses,
+            num_objects,
+            ..Default::default()
+        });
+        println!(
+            "{:>6} {:>10.1} {:>10.1}   {}",
+            pct_moved,
+            out.mean_us(),
+            out.stddev_us(),
+            bar(out.mean_us(), 80.0)
+        );
+    }
+    println!("\n(controller: flat unicast 1 RTT; E2E: broadcasts on miss, 2 RTT when stale)");
+}

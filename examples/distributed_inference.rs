@@ -1,0 +1,57 @@
+//! The paper's §2 motivating example, end to end: Alice (weak edge device,
+//! owns the activation), Bob (loaded cloud host, owns the sparse model),
+//! Carol (idle cloud host).
+//!
+//! ```text
+//! cargo run --release --example distributed_inference
+//! ```
+//!
+//! Runs all four Figure 1 strategies over the simulated fabric and prints
+//! what each one cost — then the "Dave" variant that no RPC flavour can
+//! get right.
+
+use rendezvous::core::scenarios::{run_fig1, run_fig1_dave, F1Config, F1Strategy};
+use rendezvous::wire::sparsemodel::SparseModelSpec;
+
+fn main() {
+    let model = SparseModelSpec {
+        layers: 2,
+        rows: 1024,
+        cols: 1024,
+        nnz_per_row: 16,
+        vocab: 64,
+        seed: 11,
+    };
+    println!("Alice (edge, weak) holds the activation; Bob (loaded) holds the");
+    println!("{}-row sparse model; Carol is idle. Alice wants an inference.\n", model.rows);
+    println!(
+        "{:<16} {:>12} {:>16} {:>12} {:>10}",
+        "strategy", "latency(ms)", "alice-link(KB)", "fabric(KB)", "executor"
+    );
+    for strategy in F1Strategy::ALL {
+        let out = run_fig1(&F1Config { strategy, model, seed: 3 });
+        println!(
+            "{:<16} {:>12.2} {:>16.1} {:>12.1} {:>10}",
+            strategy.label(),
+            out.latency.as_nanos() as f64 / 1e6,
+            out.alice_bytes as f64 / 1024.0,
+            out.fabric_bytes as f64 / 1024.0,
+            out.executor
+        );
+    }
+
+    println!("\nNow Dave: a strong edge device that already holds the model.");
+    println!("A fixed-executor call (any RPC) still ships everything to the cloud;");
+    println!("invoke-by-reference lets the system run it where the data is.\n");
+    for (label, automatic) in [("ref-rpc-fixed", false), ("automatic", true)] {
+        let out = run_fig1_dave(automatic, &model, 3);
+        println!(
+            "{:<16} {:>12.2} {:>16.1} {:>12.1} {:>10}",
+            label,
+            out.latency.as_nanos() as f64 / 1e6,
+            out.alice_bytes as f64 / 1024.0,
+            out.fabric_bytes as f64 / 1024.0,
+            out.executor
+        );
+    }
+}

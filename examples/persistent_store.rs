@@ -1,0 +1,76 @@
+//! Orthogonal persistence + naming: a host "reboots" and everything —
+//! objects, invariant pointers, namespaces — comes back exactly, because
+//! none of it ever depended on process or host context (§3.1's "machine-
+//! and process-independent format").
+//!
+//! ```text
+//! cargo run --example persistent_store
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rendezvous::objspace::{
+    naming::{resolve_path, Namespace},
+    FotFlags, ObjId, ObjectKind, ObjectStore,
+};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut store = ObjectStore::new();
+
+    // A tiny "filesystem": /models/translator plus a config the model
+    // points at through an invariant pointer.
+    let config = store.create(&mut rng, ObjectKind::Data);
+    let model = store.create(&mut rng, ObjectKind::Data);
+    {
+        let obj = store.get_mut(config).unwrap();
+        let off = obj.alloc(16).unwrap();
+        obj.write(off, b"lr=0.01;beam=4__").unwrap();
+    }
+    let ptr_cell = {
+        let obj = store.get_mut(model).unwrap();
+        let cell = obj.alloc(8).unwrap();
+        let ptr = obj.make_ptr(config, 8, FotFlags::RO).unwrap();
+        obj.write_ptr(cell, ptr).unwrap();
+        cell
+    };
+
+    let root = ObjId(0x0001); // well-known namespace root
+    let models_ns_id = ObjId(0x0002);
+    let mut root_ns = Namespace::create(root).unwrap();
+    root_ns.bind("models", models_ns_id).unwrap();
+    store.insert(root_ns.into_object()).unwrap();
+    let mut models_ns = Namespace::create(models_ns_id).unwrap();
+    models_ns.bind("translator", model).unwrap();
+    store.insert(models_ns.into_object()).unwrap();
+
+    println!("before 'reboot': {} objects, {} heap bytes", store.len(), store.total_heap_bytes());
+
+    // Persist. (In Twizzler this is what NVM gives you for free.)
+    let snapshot = store.to_snapshot();
+    println!("snapshot: {} bytes", snapshot.len());
+    drop(store); // the host dies
+
+    // Reboot: restore and use everything without any fix-up pass.
+    let restored = ObjectStore::from_snapshot(&snapshot).unwrap();
+    println!("after  'reboot': {} objects", restored.len());
+
+    let found = resolve_path(&restored, root, "models/translator").unwrap();
+    assert_eq!(found, model);
+    println!("resolve(/models/translator) = {found}");
+
+    let obj = restored.get(found).unwrap();
+    let ptr = obj.read_ptr(ptr_cell).unwrap();
+    let (cfg_obj, cfg_off) = obj.resolve_ptr(ptr).unwrap();
+    let text = restored.get(cfg_obj).unwrap().read(cfg_off, 16).unwrap();
+    println!(
+        "model's config pointer {} → {:?}",
+        ptr,
+        std::str::from_utf8(text).unwrap()
+    );
+    assert_eq!(cfg_obj, config);
+
+    // And the restored snapshot is canonical.
+    assert_eq!(restored.to_snapshot(), snapshot);
+    println!("restored snapshot is byte-identical — persistence is orthogonal");
+}

@@ -1,0 +1,20 @@
+//! # rendezvous — data-centric distributed computing
+//!
+//! Umbrella crate re-exporting every subsystem of the repository, which
+//! reproduces **"Don't Let RPCs Constrain Your API"** (Bittman et al.,
+//! HotNets '21): a global object space with invariant pointers, a network
+//! that routes on object identity, and a runtime that rendezvouses code with
+//! data instead of forcing call-by-value RPC.
+//!
+//! Start with [`core`] (the runtime and public API), or run
+//! `cargo run --example quickstart`.
+
+pub use rdv_core as core;
+pub use rdv_crdt as crdt;
+pub use rdv_discovery as discovery;
+pub use rdv_memproto as memproto;
+pub use rdv_netsim as netsim;
+pub use rdv_objspace as objspace;
+pub use rdv_p4rt as p4rt;
+pub use rdv_rpc as rpc;
+pub use rdv_wire as wire;

@@ -1,0 +1,91 @@
+//! End-to-end integration: the full stack from object creation through
+//! discovery, ID-routed access, migration, and invalidation — exercising
+//! objspace + p4rt + memproto + discovery + netsim together.
+
+use rendezvous::discovery::scenario::run_discovery;
+use rendezvous::discovery::{DiscoveryMode, ScenarioConfig, ScenarioKind, StalenessMode};
+
+fn base(kind: ScenarioKind, mode: DiscoveryMode) -> ScenarioConfig {
+    ScenarioConfig {
+        kind,
+        mode,
+        staleness: StalenessMode::InvalidateOnMove,
+        accesses: 120,
+        num_objects: 48,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn controller_scheme_serves_every_access_in_one_rtt() {
+    let out = run_discovery(&base(
+        ScenarioKind::Fig2NewObjects { pct_new: 50 },
+        DiscoveryMode::Controller,
+    ));
+    assert_eq!(out.incomplete, 0);
+    assert_eq!(out.completed, 120);
+    assert_eq!(out.broadcasts_per_100, 0.0, "controller mode never broadcasts");
+    // Uniform latency: p99 within 30% of mean.
+    let mut rtt = out.rtt;
+    let (mean, p99) = (rtt.mean(), rtt.percentile(99.0) as f64);
+    assert!(p99 < mean * 1.3, "controller latency must be uniform: mean {mean}, p99 {p99}");
+}
+
+#[test]
+fn e2e_scheme_pays_discovery_once_then_hits_cache() {
+    // 100% new objects: every access discovers (2 legs)…
+    let cold = run_discovery(&base(
+        ScenarioKind::Fig2NewObjects { pct_new: 90 },
+        DiscoveryMode::E2E,
+    ));
+    // …0% new: every access unicasts (1 leg).
+    let warm = run_discovery(&base(
+        ScenarioKind::Fig2NewObjects { pct_new: 0 },
+        DiscoveryMode::E2E,
+    ));
+    assert_eq!(cold.incomplete, 0);
+    assert_eq!(warm.incomplete, 0);
+    assert!(cold.rtt.mean() > warm.rtt.mean() * 1.5);
+    assert!(warm.broadcasts_per_100 < 1.0);
+    assert!((cold.broadcasts_per_100 - 90.0).abs() < 5.0);
+}
+
+#[test]
+fn migration_invalidation_and_rediscovery_work_together() {
+    let moved = run_discovery(&base(
+        ScenarioKind::Fig3Staleness { pct_moved: 50 },
+        DiscoveryMode::E2E,
+    ));
+    assert_eq!(moved.incomplete, 0, "every access must complete despite migrations");
+    // Half the accesses rediscover: broadcasts ≈ 50 per 100.
+    assert!((moved.broadcasts_per_100 - 50.0).abs() < 10.0, "{}", moved.broadcasts_per_100);
+    // No NACKs in invalidate-on-move mode: staleness is learned up front.
+    assert_eq!(moved.nacks, 0);
+}
+
+#[test]
+fn nack_path_recovers_without_invalidations() {
+    let out = run_discovery(&ScenarioConfig {
+        staleness: StalenessMode::NackRediscover,
+        ..base(ScenarioKind::Fig3Staleness { pct_moved: 50 }, DiscoveryMode::E2E)
+    });
+    assert_eq!(out.incomplete, 0, "NACK → rediscover → access must converge");
+    assert!(out.nacks > 20, "half the accesses should hit stale routes: {}", out.nacks);
+}
+
+#[test]
+fn seeds_change_numbers_but_not_shape() {
+    let a = run_discovery(&ScenarioConfig {
+        seed: 1,
+        ..base(ScenarioKind::Fig2NewObjects { pct_new: 50 }, DiscoveryMode::E2E)
+    });
+    let b = run_discovery(&ScenarioConfig {
+        seed: 2,
+        ..base(ScenarioKind::Fig2NewObjects { pct_new: 50 }, DiscoveryMode::E2E)
+    });
+    // Different seeds draw different access orders…
+    assert_ne!(a.rtt.samples(), b.rtt.samples());
+    // …but the aggregate shape is stable.
+    assert!((a.broadcasts_per_100 - b.broadcasts_per_100).abs() < 10.0);
+    assert!((a.rtt.mean() - b.rtt.mean()).abs() / a.rtt.mean() < 0.15);
+}

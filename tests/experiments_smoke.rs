@@ -1,0 +1,36 @@
+//! Smoke test: the analytic/fast experiment harnesses keep producing
+//! well-formed tables (the simulation-heavy ones are covered by their own
+//! module tests in `rdv-bench`).
+
+use rendezvous::objspace::ObjId;
+
+#[test]
+fn fast_experiment_tables_are_well_formed() {
+    for series in [
+        rdv_bench_t1(),
+        rdv_bench_t2(),
+        rdv_bench_a3(),
+        rdv_bench_a4(),
+    ] {
+        assert!(!series.rows.is_empty(), "{}", series.id);
+        for row in &series.rows {
+            assert_eq!(row.len(), series.columns.len(), "{}", series.id);
+        }
+        let json = series.to_json();
+        assert!(json.contains(&format!("\"id\":\"{}\"", series.id)));
+    }
+    let _ = ObjId(0); // anchor the umbrella crate import
+}
+
+fn rdv_bench_t1() -> rdv_bench::Series {
+    rdv_bench::experiments::t1::run(true)
+}
+fn rdv_bench_t2() -> rdv_bench::Series {
+    rdv_bench::experiments::t2::run(true)
+}
+fn rdv_bench_a3() -> rdv_bench::Series {
+    rdv_bench::experiments::a3::run(true)
+}
+fn rdv_bench_a4() -> rdv_bench::Series {
+    rdv_bench::experiments::a4::run(true)
+}

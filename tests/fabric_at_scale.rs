@@ -1,0 +1,87 @@
+//! Scale test: E2E discovery across a 12-host leaf–spine fabric — well
+//! beyond the paper's 3-host testbed — exercising flooding with dedup,
+//! source-route learning, and unicast convergence on a multipath topology.
+
+use rendezvous::discovery::host::{DiscoveryMode, HostConfig, HostNode, StalenessMode};
+use rendezvous::netsim::topo::wire_leaf_spine;
+use rendezvous::netsim::{LinkSpec, NodeId, Sim, SimConfig, SimTime};
+use rendezvous::objspace::{ObjId, ObjectKind};
+use rendezvous::p4rt::capacity::SramBudget;
+use rendezvous::p4rt::header::{objnet_format, OBJNET_DST_OBJ};
+use rendezvous::p4rt::pipeline::{Pipeline, SwitchConfig, SwitchNode};
+use rendezvous::p4rt::table::{Action, MatchKind, Table};
+
+fn e2e_switch(label: String) -> SwitchNode {
+    let mut pl = Pipeline::new(objnet_format(), Action::Flood);
+    pl.add_table(Table::new(
+        "objroute",
+        vec![OBJNET_DST_OBJ],
+        MatchKind::Exact,
+        128,
+        SramBudget::tofino(),
+    ));
+    SwitchNode::new(
+        label,
+        pl,
+        SwitchConfig { learn_src_routes: true, dedup_floods: true, ..Default::default() },
+    )
+}
+
+#[test]
+fn e2e_discovery_works_on_a_twelve_host_leaf_spine() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(77);
+    let host_cfg = HostConfig {
+        mode: DiscoveryMode::E2E,
+        staleness: StalenessMode::InvalidateOnMove,
+        ..Default::default()
+    };
+
+    let mut sim = Sim::new(SimConfig::default());
+    // 12 hosts: host 0 drives; 1..12 each hold 4 objects.
+    let mut host_nodes: Vec<HostNode> = (0..12)
+        .map(|i| HostNode::new(format!("h{i}"), ObjId(0xA0 + i as u128), host_cfg))
+        .collect();
+    let mut targets = Vec::new();
+    for h in host_nodes.iter_mut().skip(1) {
+        for _ in 0..4 {
+            let id = h.store.create(&mut rng, ObjectKind::Data);
+            h.store.get_mut(id).unwrap().alloc(64).unwrap();
+            targets.push(id);
+        }
+    }
+    // Driver accesses every object once (all discoveries), then everything
+    // again (all cache hits).
+    let mut plan = targets.clone();
+    plan.extend(targets.iter().copied());
+    host_nodes[0].plan = plan.clone();
+
+    let host_ids: Vec<NodeId> =
+        host_nodes.into_iter().map(|h| sim.add_node(Box::new(h))).collect();
+    let spines: Vec<NodeId> =
+        (0..2).map(|i| sim.add_node(Box::new(e2e_switch(format!("spine{i}"))))).collect();
+    let leaves: Vec<NodeId> =
+        (0..4).map(|i| sim.add_node(Box::new(e2e_switch(format!("leaf{i}"))))).collect();
+    let host_groups: Vec<Vec<NodeId>> =
+        host_ids.chunks(3).map(<[NodeId]>::to_vec).collect();
+    wire_leaf_spine(&mut sim, &spines, &leaves, &host_groups, LinkSpec::rack(), LinkSpec::rack());
+
+    let mut t = SimTime::from_millis(1);
+    for i in 0..plan.len() as u64 {
+        sim.schedule(t, host_ids[0], i);
+        t += SimTime::from_micros(150);
+    }
+    sim.run_until_idle();
+
+    let driver = sim.node_as::<HostNode>(host_ids[0]).unwrap();
+    assert_eq!(driver.records.len(), plan.len(), "every access must complete");
+    let (first, second) = driver.records.split_at(targets.len());
+    let first_bcasts: u64 = first.iter().map(|r| r.broadcasts).sum();
+    let second_bcasts: u64 = second.iter().map(|r| r.broadcasts).sum();
+    assert_eq!(first_bcasts, targets.len() as u64, "one discovery per new object");
+    assert_eq!(second_bcasts, 0, "warm accesses are pure unicast");
+    // Warm accesses must be strictly faster on average.
+    let mean = |rs: &[rendezvous::discovery::AccessRecord]| {
+        rs.iter().map(|r| r.latency().as_nanos()).sum::<u64>() / rs.len() as u64
+    };
+    assert!(mean(second) < mean(first), "{} vs {}", mean(second), mean(first));
+}

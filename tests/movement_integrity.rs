@@ -1,0 +1,104 @@
+//! Cross-crate movement integrity: pointer-rich structures, in-object
+//! sparse models, code objects, and CRDT state must all survive arbitrary
+//! chains of byte-copy moves bit-exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rendezvous::core::code::{make_code_object, read_code_desc, CodeDesc};
+use rendezvous::core::modelobj::{infer_in_place, model_to_object};
+use rendezvous::crdt::{GCounter, ProgressiveObject};
+use rendezvous::objspace::{structures, ObjId, Object, ObjectStore};
+use rendezvous::wire::sparsemodel::{SparseModel, SparseModelSpec};
+
+/// Move an object through `hops` stores, byte-copy each time.
+fn bounce(obj: Object, hops: usize) -> Object {
+    let mut cur = obj;
+    for _ in 0..hops {
+        cur = Object::from_image(&cur.to_image()).expect("image roundtrip");
+    }
+    cur
+}
+
+#[test]
+fn tree_survives_scattering_across_stores() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut origin = ObjectStore::new();
+    let values: Vec<u64> = (0..63).map(|i| i * 3).collect();
+    let (root, ids) = structures::build_tree(&mut origin, &mut rng, &values).unwrap();
+
+    // Scatter: every node object bounces through a different number of
+    // hosts, then all land in one destination store.
+    let mut dest = ObjectStore::new();
+    for (i, id) in ids.iter().enumerate() {
+        let obj = origin.remove(*id).unwrap();
+        dest.insert(bounce(obj, i % 5 + 1)).unwrap();
+    }
+    for v in &values {
+        assert!(structures::tree_search(&dest, root, *v, |_| {}).unwrap(), "lost {v}");
+    }
+    assert!(!structures::tree_search(&dest, root, 1, |_| {}).unwrap());
+}
+
+#[test]
+fn model_inference_is_bit_identical_after_moves() {
+    let spec = SparseModelSpec { layers: 3, rows: 96, cols: 96, nnz_per_row: 6, vocab: 32, seed: 2 };
+    let model = SparseModel::generate(&spec);
+    let obj = model_to_object(ObjId(0x77), &model).unwrap();
+    let activation: Vec<f32> = (0..96).map(|i| (i as f32).sin()).collect();
+    let (before, flops_before) = infer_in_place(&obj, &activation).unwrap();
+    let moved = bounce(obj, 7);
+    let (after, flops_after) = infer_in_place(&moved, &activation).unwrap();
+    assert_eq!(before, after, "f32 outputs must be bit-identical");
+    assert_eq!(flops_before, flops_after);
+}
+
+#[test]
+fn code_objects_carry_their_descriptors_anywhere() {
+    let desc = CodeDesc { fn_id: 0xFEED, base_ns: 12_345, ps_per_byte: 678 };
+    let obj = make_code_object(ObjId(0xC0DE), desc);
+    let moved = bounce(obj, 10);
+    assert_eq!(read_code_desc(&moved).unwrap(), desc);
+}
+
+#[test]
+fn crdt_replicas_merge_after_independent_journeys() {
+    let id = ObjId(0x5EED);
+    let mut a = ProgressiveObject::create(id, &GCounter::new()).unwrap();
+    // Replica B forks from A's image and travels.
+    let mut b = ProgressiveObject::<GCounter>::from_object(bounce(
+        Object::from_image(&a.object().to_image()).unwrap(),
+        3,
+    ));
+    a.update(|c| c.add(1, 100)).unwrap();
+    b.update(|c| c.add(2, 200)).unwrap();
+    // B travels some more before coming home.
+    let b_obj = bounce(b.into_object(), 4);
+    let merged = a.absorb(&b_obj.to_image()).unwrap();
+    assert_eq!(merged.value(), 300);
+}
+
+#[test]
+fn fot_indices_stay_stable_across_moves() {
+    // Interning order defines pointer encodings; movement must not
+    // renumber them (that would silently retarget pointers).
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ObjectStore::new();
+    let hub = store.create(&mut rng, rendezvous::objspace::ObjectKind::Data);
+    let targets: Vec<ObjId> =
+        (0..20).map(|_| store.create(&mut rng, rendezvous::objspace::ObjectKind::Data)).collect();
+    let mut cells = Vec::new();
+    for t in &targets {
+        let obj = store.get_mut(hub).unwrap();
+        let cell = obj.alloc(8).unwrap();
+        let ptr = obj.make_ptr(*t, 8, rendezvous::objspace::FotFlags::RO).unwrap();
+        obj.write_ptr(cell, ptr).unwrap();
+        cells.push(cell);
+    }
+    let moved = bounce(store.remove(hub).unwrap(), 6);
+    for (cell, expect) in cells.iter().zip(&targets) {
+        let ptr = moved.read_ptr(*cell).unwrap();
+        let (resolved, off) = moved.resolve_ptr(ptr).unwrap();
+        assert_eq!(resolved, *expect);
+        assert_eq!(off, 8);
+    }
+}

@@ -1,0 +1,82 @@
+//! Integration tests of the rendezvous runtime: invoke-by-reference across
+//! the fabric, placement adaptivity, prefetch-driven traversal, and the
+//! serialization comparison — the paper's contribution exercised through
+//! the public umbrella API.
+
+use rendezvous::core::runtime::PrefetchPolicy;
+use rendezvous::core::scenarios::{
+    run_a1, run_fig1, run_s1, A1Config, F1Config, F1Strategy, S1Path,
+};
+use rendezvous::wire::sparsemodel::SparseModelSpec;
+
+fn model(rows: usize) -> SparseModelSpec {
+    SparseModelSpec { layers: 2, rows, cols: rows, nnz_per_row: 16, vocab: 32, seed: 13 }
+}
+
+#[test]
+fn figure1_hierarchy_holds_across_model_sizes() {
+    for rows in [256usize, 1024] {
+        let copy = run_fig1(&F1Config { strategy: F1Strategy::ManualCopy, model: model(rows), seed: 1 });
+        let pull = run_fig1(&F1Config { strategy: F1Strategy::ManualPull, model: model(rows), seed: 1 });
+        let auto = run_fig1(&F1Config { strategy: F1Strategy::Automatic, model: model(rows), seed: 1 });
+        assert!(copy.latency > pull.latency, "rows={rows}");
+        assert!(copy.alice_bytes > pull.alice_bytes * 5, "rows={rows}");
+        // Automatic must find the same rendezvous as the hand-written pull.
+        assert_eq!(auto.executor, "carol", "rows={rows}");
+        assert_eq!(auto.fabric_bytes, pull.fabric_bytes, "identical data paths, rows={rows}");
+    }
+}
+
+#[test]
+fn manual_copy_grows_linearly_with_model_size_on_the_edge_link() {
+    let small = run_fig1(&F1Config { strategy: F1Strategy::ManualCopy, model: model(256), seed: 1 });
+    let big = run_fig1(&F1Config { strategy: F1Strategy::ManualCopy, model: model(1024), seed: 1 });
+    let byte_ratio = big.alice_bytes as f64 / small.alice_bytes as f64;
+    // Model bytes scale ~4x (rows and nnz rows both 4×): expect ~4x.
+    assert!((3.0..5.5).contains(&byte_ratio), "{byte_ratio}");
+}
+
+#[test]
+fn s1_gas_latency_is_flat_while_rpc_grows_with_model() {
+    let spec_small = SparseModelSpec { layers: 4, rows: 128, cols: 128, nnz_per_row: 8, vocab: 128, seed: 3 };
+    let spec_big = SparseModelSpec { layers: 4, rows: 1024, cols: 1024, nnz_per_row: 8, vocab: 1024, seed: 3 };
+    let rpc_small = run_s1(S1Path::RpcName, &spec_small, 1);
+    let rpc_big = run_s1(S1Path::RpcName, &spec_big, 1);
+    let gas_small = run_s1(S1Path::Gas, &spec_small, 1);
+    let gas_big = run_s1(S1Path::Gas, &spec_big, 1);
+    let rpc_growth = rpc_big.latency.as_nanos() as f64 / rpc_small.latency.as_nanos() as f64;
+    let gas_growth = gas_big.latency.as_nanos() as f64 / gas_small.latency.as_nanos() as f64;
+    assert!(
+        rpc_growth > gas_growth * 1.5,
+        "request-time loading makes RPC scale worse: rpc {rpc_growth:.2}x vs gas {gas_growth:.2}x"
+    );
+    // The 70% claim at the big end.
+    assert!(rpc_big.deser_load_fraction > 0.7, "{}", rpc_big.deser_load_fraction);
+}
+
+#[test]
+fn prefetch_policies_agree_on_traversal_results() {
+    let base = A1Config { nodes: 32, decoys: 96, ..Default::default() };
+    let none = run_a1(&base);
+    let adj = run_a1(&A1Config { policy: PrefetchPolicy::Adjacency { window: 3 }, ..base });
+    let reach = run_a1(&A1Config { policy: PrefetchPolicy::Reachability, ..base });
+    assert_eq!(none.values, adj.values);
+    assert_eq!(none.values, reach.values);
+    assert_eq!(none.values, (0..32).collect::<Vec<u64>>());
+    // And the performance hierarchy from the paper's argument.
+    assert!(reach.latency < none.latency);
+    assert!(reach.demand_fetches < none.demand_fetches);
+}
+
+#[test]
+fn everything_is_deterministic_per_seed() {
+    let cfg = F1Config { strategy: F1Strategy::Automatic, model: model(256), seed: 9 };
+    let (a, b) = (run_fig1(&cfg), run_fig1(&cfg));
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.alice_bytes, b.alice_bytes);
+
+    let a1 = A1Config { nodes: 24, decoys: 48, policy: PrefetchPolicy::Reachability, ..Default::default() };
+    let (x, y) = (run_a1(&a1), run_a1(&a1));
+    assert_eq!(x.latency, y.latency);
+    assert_eq!(x.values, y.values);
+}
