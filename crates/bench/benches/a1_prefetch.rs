@@ -14,7 +14,13 @@ fn bench(c: &mut Criterion) {
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
             b.iter(|| {
-                run_a1(&A1Config { nodes: 48, decoys: 144, policy, scattered: true, ..Default::default() })
+                run_a1(&A1Config {
+                    nodes: 48,
+                    decoys: 144,
+                    policy,
+                    scattered: true,
+                    ..Default::default()
+                })
             })
         });
     }

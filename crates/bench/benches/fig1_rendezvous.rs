@@ -7,7 +7,8 @@ use rdv_wire::sparsemodel::SparseModelSpec;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_rendezvous");
     group.sample_size(10);
-    let model = SparseModelSpec { layers: 2, rows: 512, cols: 512, nnz_per_row: 16, vocab: 64, seed: 11 };
+    let model =
+        SparseModelSpec { layers: 2, rows: 512, cols: 512, nnz_per_row: 16, vocab: 64, seed: 11 };
     for strategy in F1Strategy::ALL {
         group.bench_with_input(
             BenchmarkId::from_parameter(strategy.label()),

@@ -11,22 +11,18 @@ fn bench(c: &mut Criterion) {
         for (mode, label) in
             [(DiscoveryMode::Controller, "controller"), (DiscoveryMode::E2E, "e2e")]
         {
-            group.bench_with_input(
-                BenchmarkId::new(label, pct_new),
-                &pct_new,
-                |b, &pct_new| {
-                    b.iter(|| {
-                        run_discovery(&ScenarioConfig {
-                            kind: ScenarioKind::Fig2NewObjects { pct_new },
-                            mode,
-                            staleness: StalenessMode::InvalidateOnMove,
-                            accesses: 200,
-                            num_objects: 64,
-                            ..Default::default()
-                        })
+            group.bench_with_input(BenchmarkId::new(label, pct_new), &pct_new, |b, &pct_new| {
+                b.iter(|| {
+                    run_discovery(&ScenarioConfig {
+                        kind: ScenarioKind::Fig2NewObjects { pct_new },
+                        mode,
+                        staleness: StalenessMode::InvalidateOnMove,
+                        accesses: 200,
+                        num_objects: 64,
+                        ..Default::default()
                     })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();

@@ -55,9 +55,8 @@ fn bench(c: &mut Criterion) {
     let snap = store.to_snapshot();
     group.throughput(Throughput::Bytes(snap.len() as u64));
     group.bench_function("persist_64x4k", |b| b.iter(|| store.to_snapshot()));
-    group.bench_function("restore_64x4k", |b| {
-        b.iter(|| ObjectStore::from_snapshot(&snap).unwrap())
-    });
+    group
+        .bench_function("restore_64x4k", |b| b.iter(|| ObjectStore::from_snapshot(&snap).unwrap()));
     group.finish();
 }
 

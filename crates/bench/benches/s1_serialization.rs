@@ -5,12 +5,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rdv_core::modelobj::{infer_in_place, model_to_object};
 use rdv_objspace::{ObjId, Object};
 use rdv_wire::cost::CostMeter;
-use rdv_wire::sparsemodel::{deserialize_model, load_model, serialize_model, SparseModel, SparseModelSpec};
+use rdv_wire::sparsemodel::{
+    deserialize_model, load_model, serialize_model, SparseModel, SparseModelSpec,
+};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("s1_serialization");
     for rows in [128usize, 512] {
-        let spec = SparseModelSpec { layers: 4, rows, cols: rows, nnz_per_row: 8, vocab: rows, seed: 21 };
+        let spec =
+            SparseModelSpec { layers: 4, rows, cols: rows, nnz_per_row: 8, vocab: rows, seed: 21 };
         let model = SparseModel::generate(&spec);
         let mut meter = CostMeter::new();
         let bytes = serialize_model(&model, &mut meter);

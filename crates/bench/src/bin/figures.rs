@@ -1,25 +1,63 @@
 //! `figures` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! cargo run -p rdv-bench --bin figures --release -- [--quick] [IDS…]
+//! cargo run -p rdv-bench --bin figures --release -- [--quick] [--jobs N] [IDS…]
 //! ```
 //!
 //! With no IDs, runs everything (F1 F2 F3 T1 S1 A1–A5). Text tables
 //! go to stdout; JSON goes to `results/<id>.json`.
+//!
+//! `--jobs N` caps the worker threads used to fan independent sweep
+//! points out (default: available parallelism; `--jobs 1` is serial).
+//! Every point carries its own derived seed and rows are collected in
+//! point order, so the output bytes are identical for every jobs value.
 
 use std::io::Write;
 
 use rdv_bench::experiments;
 use rdv_bench::Series;
 
+const IDS: [&str; 11] = ["F1", "F2", "F3", "T1", "T2", "S1", "A1", "A2", "A3", "A4", "A5"];
+
+fn usage_exit() -> ! {
+    eprintln!("usage: figures [--quick] [--jobs N] [F1 F2 F3 T1 T2 S1 A1 A2 A3 A4 A5]");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.trim_start_matches('-').to_uppercase())
-        .collect();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--quick" {
+            // consumed above
+        } else if a == "--jobs" {
+            i += 1;
+            let Some(n) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
+                eprintln!("[figures] --jobs needs a positive integer");
+                usage_exit();
+            };
+            rdv_bench::par::set_jobs(n);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            let Ok(n) = v.parse::<usize>() else {
+                eprintln!("[figures] --jobs needs a positive integer");
+                usage_exit();
+            };
+            rdv_bench::par::set_jobs(n);
+        } else if a.starts_with("--") {
+            eprintln!("[figures] warning: ignoring unknown flag {a}");
+        } else {
+            wanted.push(a.trim_start_matches('-').to_uppercase());
+        }
+        i += 1;
+    }
+    for w in &wanted {
+        if !IDS.contains(&w.as_str()) {
+            eprintln!("[figures] warning: unknown experiment id {w} (known: {})", IDS.join(" "));
+        }
+    }
     let run_one = |id: &str| -> Option<Series> {
         if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
             return None;
@@ -40,10 +78,9 @@ fn main() {
             _ => unreachable!(),
         })
     };
-    let ids = ["F1", "F2", "F3", "T1", "T2", "S1", "A1", "A2", "A3", "A4", "A5"];
     let _ = std::fs::create_dir_all("results");
     let mut ran = 0;
-    for id in ids {
+    for id in IDS {
         let Some(series) = run_one(id) else { continue };
         ran += 1;
         println!("{}", series.to_text());
@@ -57,7 +94,6 @@ fn main() {
         }
     }
     if ran == 0 {
-        eprintln!("usage: figures [--quick] [F1 F2 F3 T1 T2 S1 A1 A2 A3 A4 A5]");
-        std::process::exit(2);
+        usage_exit();
     }
 }

@@ -5,6 +5,7 @@
 use rdv_core::runtime::PrefetchPolicy;
 use rdv_core::scenarios::{run_a1, A1Config};
 
+use crate::par::par_map;
 use crate::report::{f2, Series};
 
 /// Chain walks under three policies × two layouts.
@@ -15,28 +16,30 @@ pub fn run(quick: bool) -> Series {
         "prefetching on reachability vs adjacency (paper §3.1)",
         &["layout", "policy", "latency_ms", "demand_fetches", "prefetch_fetches"],
     );
-    for (layout, scattered) in [("contiguous", false), ("scattered", true)] {
-        for (policy, label) in [
-            (PrefetchPolicy::None, "none"),
-            (PrefetchPolicy::Adjacency { window: 3 }, "adjacency"),
-            (PrefetchPolicy::Reachability, "reachability"),
-        ] {
-            let out = run_a1(&A1Config {
-                nodes,
-                decoys: nodes * 3,
-                policy,
-                scattered,
-                ..Default::default()
-            });
-            assert_eq!(out.values.len(), nodes, "traversal must cover the chain");
-            series.push_row(vec![
-                layout.to_string(),
-                label.to_string(),
-                f2(out.latency.as_nanos() as f64 / 1e6),
-                out.demand_fetches.to_string(),
-                out.prefetch_fetches.to_string(),
-            ]);
-        }
+    // layout × policy grid: independent walks, fanned out.
+    let policies = [
+        (PrefetchPolicy::None, "none"),
+        (PrefetchPolicy::Adjacency { window: 3 }, "adjacency"),
+        (PrefetchPolicy::Reachability, "reachability"),
+    ];
+    let grid: Vec<_> = [("contiguous", false), ("scattered", true)]
+        .into_iter()
+        .flat_map(|l| policies.into_iter().map(move |p| (l, p)))
+        .collect();
+    let rows = par_map(grid, |((layout, scattered), (policy, label))| {
+        let out =
+            run_a1(&A1Config { nodes, decoys: nodes * 3, policy, scattered, ..Default::default() });
+        assert_eq!(out.values.len(), nodes, "traversal must cover the chain");
+        vec![
+            layout.to_string(),
+            label.to_string(),
+            f2(out.latency.as_nanos() as f64 / 1e6),
+            out.demand_fetches.to_string(),
+            out.prefetch_fetches.to_string(),
+        ]
+    });
+    for row in rows {
+        series.push_row(row);
     }
     series.note("shape: reachability ≈ adjacency on adjacency's best-case layout, and keeps winning on scattered layouts where adjacency chases decoys");
     series
@@ -55,6 +58,9 @@ mod tests {
         assert!(lat(5) < lat(3), "reach beats none (scattered)");
         assert!(lat(5) < lat(4), "reach beats adjacency on scattered layout");
         let reach_ratio = lat(5) / lat(2);
-        assert!((0.8..1.2).contains(&reach_ratio), "reachability layout-independent: {reach_ratio}");
+        assert!(
+            (0.8..1.2).contains(&reach_ratio),
+            "reachability layout-independent: {reach_ratio}"
+        );
     }
 }

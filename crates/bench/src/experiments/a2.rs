@@ -5,11 +5,9 @@
 //! Measures the same logical call through 0–2 indirection layers, against
 //! the object-routed invocation that needs none.
 
-use rdv_core::scenarios::{
-    build_star_fabric, host_link_rack, standard_registry, FN_NOOP,
-};
 use rdv_core::code::{make_code_object, CodeDesc};
 use rdv_core::runtime::{GasHostConfig, GasHostNode, ScriptStep};
+use rdv_core::scenarios::{build_star_fabric, host_link_rack, standard_registry, FN_NOOP};
 use rdv_netsim::SimTime;
 use rdv_objspace::ObjId;
 use rdv_rpc::client::{ClientNode, PlannedCall};
@@ -17,6 +15,7 @@ use rdv_rpc::middleware::{DiscoveryServiceNode, LoadBalancerNode};
 use rdv_rpc::server::ServerNode;
 use rdv_rpc::service::{echo_methods, EchoService};
 
+use crate::par::par_map;
 use crate::report::{f1, Series};
 
 const CLIENT: ObjId = ObjId(0xAC1);
@@ -98,8 +97,7 @@ fn gas_latency_us(calls: usize, seed: u64) -> f64 {
     sim.run_until_idle();
     let client = sim.node_as::<GasHostNode>(ids[0]).expect("client");
     assert_eq!(client.records.len(), calls, "all invokes must complete");
-    let total: u64 =
-        client.records.iter().map(|r| (r.completed - r.started).as_nanos()).sum();
+    let total: u64 = client.records.iter().map(|r| (r.completed - r.started).as_nanos()).sum();
     total as f64 / calls as f64 / 1000.0
 }
 
@@ -111,11 +109,15 @@ pub fn run(quick: bool) -> Series {
         "middleware indirection cost (paper §1)",
         &["path", "hops_added", "mean_latency_us"],
     );
-    let direct = rpc_latency_us(false, false, calls, 1);
-    let lb = rpc_latency_us(true, false, calls, 1);
-    let lookup = rpc_latency_us(false, true, calls, 1);
-    let lookup_lb = rpc_latency_us(true, true, calls, 1);
-    let gas = gas_latency_us(calls, 1);
+    // Five independent fabrics; fan out and keep the fixed row order.
+    let lats = par_map((0..5).collect(), |point| match point {
+        0 => rpc_latency_us(false, false, calls, 1),
+        1 => rpc_latency_us(true, false, calls, 1),
+        2 => rpc_latency_us(false, true, calls, 1),
+        3 => rpc_latency_us(true, true, calls, 1),
+        _ => gas_latency_us(calls, 1),
+    });
+    let (direct, lb, lookup, lookup_lb, gas) = (lats[0], lats[1], lats[2], lats[3], lats[4]);
     series.push_row(vec!["rpc-direct".into(), "0".into(), f1(direct)]);
     series.push_row(vec!["rpc+load-balancer".into(), "1".into(), f1(lb)]);
     series.push_row(vec!["rpc+discovery-lookup".into(), "1".into(), f1(lookup)]);

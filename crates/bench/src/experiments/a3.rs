@@ -13,6 +13,7 @@ use rdv_objspace::ObjId;
 use rdv_p4rt::capacity::SramBudget;
 use rdv_p4rt::table::{Action, MatchKind, Table, TableEntry};
 
+use crate::par::par_map;
 use crate::report::{f2, Series};
 
 /// Estimated mean access RTTs given how many objects are routed in the
@@ -32,14 +33,25 @@ pub fn run(quick: bool) -> Series {
     let cap = budget.max_entries(128);
     let regions = 16u64;
     let alloc = RegionAllocator::new(16);
-    let sizes: &[u64] = if quick { &[1000, 4000, 16_000] } else { &[1000, 4000, 16_000, 64_000, 256_000] };
+    let sizes: &[u64] =
+        if quick { &[1000, 4000, 16_000] } else { &[1000, 4000, 16_000, 64_000, 256_000] };
     let mut series = Series::new(
         "A3",
         "hierarchical ID overlay vs flat exact routing under SRAM pressure (paper §3.2)",
-        &["objects", "flat_routed", "flat_punted", "flat_mean_rtts", "ovl_entries", "ovl_punted", "ovl_mean_rtts"],
+        &[
+            "objects",
+            "flat_routed",
+            "flat_punted",
+            "flat_mean_rtts",
+            "ovl_entries",
+            "ovl_punted",
+            "ovl_mean_rtts",
+        ],
     );
-    let mut rng = StdRng::seed_from_u64(17);
-    for &n in sizes {
+    // Each size is an independent point with its own derived RNG stream
+    // (seeded by size, not threaded through the sweep), so points fan out.
+    let rows = par_map(sizes.to_vec(), |n| {
+        let mut rng = StdRng::seed_from_u64(17 ^ n);
         // Objects spread over `regions` single-homed regions (each region
         // is one rack/port).
         let objects: Vec<(ObjId, u16)> = (0..n)
@@ -53,7 +65,10 @@ pub fn run(quick: bool) -> Series {
         let mut flat_routed = 0u64;
         for (id, port) in &objects {
             if flat
-                .insert(TableEntry::Exact { key: vec![id.as_u128()] }, Action::Forward(*port as usize))
+                .insert(
+                    TableEntry::Exact { key: vec![id.as_u128()] },
+                    Action::Forward(*port as usize),
+                )
                 .is_ok()
             {
                 flat_routed += 1;
@@ -65,7 +80,7 @@ pub fn run(quick: bool) -> Series {
         let mut lpm = Table::new("lpm", vec![1], MatchKind::Lpm, 128, budget);
         let plan = plan_overlay(&alloc, &budget, &objects, &mut exact, &mut lpm);
         let ovl_entries = plan.exact_entries + plan.region_entries;
-        series.push_row(vec![
+        vec![
             n.to_string(),
             flat_routed.to_string(),
             flat_punted.to_string(),
@@ -73,10 +88,15 @@ pub fn run(quick: bool) -> Series {
             ovl_entries.to_string(),
             plan.punted_objects.to_string(),
             f2(mean_rtts(n - plan.punted_objects, plan.punted_objects)),
-        ]);
-        let _ = cap;
+        ]
+    });
+    for row in rows {
+        series.push_row(row);
     }
-    series.note(format!("switch budget: {cap} exact 128-bit entries; {regions} single-homed regions"));
+    let _ = cap;
+    series.note(format!(
+        "switch budget: {cap} exact 128-bit entries; {regions} single-homed regions"
+    ));
     series.note("shape: flat routing degrades towards 2 RTTs past SRAM capacity; the overlay stays at 1 RTT with a constant handful of LPM entries");
     series
 }

@@ -15,6 +15,7 @@ use rdv_core::scenarios::{build_star_fabric, host_link_rack};
 use rdv_netsim::SimTime;
 use rdv_objspace::{ObjId, Object, ObjectKind};
 
+use crate::par::par_map;
 use crate::report::{f1, Series};
 
 const HOME: ObjId = ObjId(0x5001);
@@ -58,8 +59,7 @@ pub fn run_point(readers: usize, seed: u64) -> A5Outcome {
     nodes.push((Box::new(writer), WRITER, host_link_rack()));
 
     // Readers: fetch (script 0), refetch (script 1).
-    let reader_inboxes: Vec<ObjId> =
-        (0..readers).map(|i| ObjId(0x6000 + i as u128)).collect();
+    let reader_inboxes: Vec<ObjId> = (0..readers).map(|i| ObjId(0x6000 + i as u128)).collect();
     for &inbox in &reader_inboxes {
         let mut r = GasHostNode::new(format!("r{inbox}"), inbox, GasHostConfig::default());
         r.scripts = vec![vec![ScriptStep::Fetch(OBJ)], vec![ScriptStep::Fetch(OBJ)]];
@@ -115,17 +115,21 @@ pub fn run(quick: bool) -> Series {
         "coherence write cost vs sharer count (paper §5)",
         &["readers", "invalidations", "write_us", "warm_fetch_us", "refetch_us", "fresh"],
     );
-    for &readers in sweep {
+    // Independent simulations per sharer count: fan out, keep sweep order.
+    let rows = par_map(sweep.to_vec(), |readers| {
         let out = run_point(readers, 41);
         assert_eq!(out.fresh_readers, readers, "every reader must see the write");
-        series.push_row(vec![
+        vec![
             readers.to_string(),
             out.invalidations.to_string(),
             f1(out.write_latency.as_nanos() as f64 / 1000.0),
             f1(out.warm_fetch_us),
             f1(out.refetch_us),
             format!("{}/{}", out.fresh_readers, readers),
-        ]);
+        ]
+    });
+    for row in rows {
+        series.push_row(row);
     }
     series.note("one write through the home invalidates every sharer (fan-out = reader count) and forces cold refetches — the cost §5 proposes to attack by moving arbitration into the network");
     series

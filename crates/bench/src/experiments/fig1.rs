@@ -5,6 +5,7 @@
 use rdv_core::scenarios::{run_fig1, run_fig1_dave, F1Config, F1Strategy};
 use rdv_wire::sparsemodel::SparseModelSpec;
 
+use crate::par::par_map;
 use crate::report::{f2, Series};
 
 fn spec_for(rows: usize) -> SparseModelSpec {
@@ -20,22 +21,29 @@ pub fn run(quick: bool) -> Series {
         "rendezvous of data and compute (paper Fig. 1 strategies)",
         &["model_rows", "strategy", "latency_ms", "alice_link_KB", "fabric_KB", "executor"],
     );
-    for &rows in sizes {
-        for strategy in F1Strategy::ALL {
-            let out = run_fig1(&F1Config { strategy, model: spec_for(rows), seed: 3 });
-            series.push_row(vec![
-                rows.to_string(),
-                strategy.label().to_string(),
-                f2(out.latency.as_nanos() as f64 / 1e6),
-                f2(out.alice_bytes as f64 / 1024.0),
-                f2(out.fabric_bytes as f64 / 1024.0),
-                out.executor.to_string(),
-            ]);
-        }
+    // size × strategy grid: every cell is an independent simulation.
+    let grid: Vec<(usize, F1Strategy)> = sizes
+        .iter()
+        .flat_map(|&rows| F1Strategy::ALL.into_iter().map(move |s| (rows, s)))
+        .collect();
+    let grid_rows = par_map(grid, |(rows, strategy)| {
+        let out = run_fig1(&F1Config { strategy, model: spec_for(rows), seed: 3 });
+        vec![
+            rows.to_string(),
+            strategy.label().to_string(),
+            f2(out.latency.as_nanos() as f64 / 1e6),
+            f2(out.alice_bytes as f64 / 1024.0),
+            f2(out.fabric_bytes as f64 / 1024.0),
+            out.executor.to_string(),
+        ]
+    });
+    for row in grid_rows {
+        series.push_row(row);
     }
     // The Dave case: strong edge device with local data.
-    let fixed = run_fig1_dave(false, &spec_for(1024), 3);
-    let auto = run_fig1_dave(true, &spec_for(1024), 3);
+    let mut dave = par_map(vec![false, true], |auto| run_fig1_dave(auto, &spec_for(1024), 3));
+    let auto = dave.pop().expect("two dave runs");
+    let fixed = dave.pop().expect("two dave runs");
     series.push_row(vec![
         "1024(dave)".into(),
         "ref-rpc-fixed".into(),
@@ -66,8 +74,7 @@ mod tests {
         // Rows come in blocks of 4 per size.
         for block in 0..2 {
             let base = block * 4;
-            let lat =
-                |i: usize| s.rows[base + i][2].parse::<f64>().unwrap();
+            let lat = |i: usize| s.rows[base + i][2].parse::<f64>().unwrap();
             let alice_kb = |i: usize| s.rows[base + i][3].parse::<f64>().unwrap();
             // manual-copy strictly worst.
             assert!(lat(0) > lat(1), "copy {} vs pull {}", lat(0), lat(1));

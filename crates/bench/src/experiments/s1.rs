@@ -10,6 +10,7 @@
 use rdv_core::scenarios::{run_s1, S1Path};
 use rdv_wire::sparsemodel::SparseModelSpec;
 
+use crate::par::par_map;
 use crate::report::{f2, pct, Series};
 
 fn spec_for(rows: usize) -> SparseModelSpec {
@@ -24,22 +25,27 @@ pub fn run(quick: bool) -> Series {
         "request-time (de)serialization and loading (paper §2 '70%')",
         &["model_rows", "path", "latency_ms", "deser+load_us", "compute_us", "deser+load_frac"],
     );
-    for &rows in sizes {
-        for (path, label) in [
-            (S1Path::RpcValue, "rpc-by-value"),
-            (S1Path::RpcName, "rpc-stored-model"),
-            (S1Path::Gas, "object-space"),
-        ] {
-            let out = run_s1(path, &spec_for(rows), 7);
-            series.push_row(vec![
-                rows.to_string(),
-                label.to_string(),
-                f2(out.latency.as_nanos() as f64 / 1e6),
-                f2((out.deser_ns + out.load_ns) as f64 / 1e3),
-                f2(out.compute_ns as f64 / 1e3),
-                pct(out.deser_load_fraction),
-            ]);
-        }
+    // size × path grid: independent fabric runs, fanned out.
+    let paths = [
+        (S1Path::RpcValue, "rpc-by-value"),
+        (S1Path::RpcName, "rpc-stored-model"),
+        (S1Path::Gas, "object-space"),
+    ];
+    let grid: Vec<(usize, (S1Path, &str))> =
+        sizes.iter().flat_map(|&rows| paths.into_iter().map(move |p| (rows, p))).collect();
+    let rows = par_map(grid, |(rows, (path, label))| {
+        let out = run_s1(path, &spec_for(rows), 7);
+        vec![
+            rows.to_string(),
+            label.to_string(),
+            f2(out.latency.as_nanos() as f64 / 1e6),
+            f2((out.deser_ns + out.load_ns) as f64 / 1e3),
+            f2(out.compute_ns as f64 / 1e3),
+            pct(out.deser_load_fraction),
+        ]
+    });
+    for row in rows {
+        series.push_row(row);
     }
     series.note("paper shape: RPC paths spend the majority (≥70% at scale) of processing in deserialize+load; the object path spends none");
     series

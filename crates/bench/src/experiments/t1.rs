@@ -37,15 +37,18 @@ pub fn run(quick: bool) -> Series {
         let model = tofino.max_entries(bits);
         let fill = fill_to_rejection(scaled, bits) * scale;
         let vs_paper = match paper {
-            Some(p) => format!("paper ~{}K ({:+.1}%)", p / 1000, (model as f64 / p as f64 - 1.0) * 100.0),
+            Some(p) => {
+                format!("paper ~{}K ({:+.1}%)", p / 1000, (model as f64 / p as f64 - 1.0) * 100.0)
+            }
             None => "-".to_string(),
         };
         series.push_row(vec![bits.to_string(), model.to_string(), fill.to_string(), vs_paper]);
     }
-    let ratio =
-        tofino.max_entries(64) as f64 / tofino.max_entries(128) as f64;
+    let ratio = tofino.max_entries(64) as f64 / tofino.max_entries(128) as f64;
     series.note(format!("64-bit/128-bit ratio: {} (paper: ~2.1×)", f2(ratio)));
-    series.note("residual +5.9% at 128-bit vs the paper's ~850K: unmodeled Tofino per-entry metadata");
+    series.note(
+        "residual +5.9% at 128-bit vs the paper's ~850K: unmodeled Tofino per-entry metadata",
+    );
     series
 }
 

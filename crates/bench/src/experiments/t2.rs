@@ -25,15 +25,12 @@ pub fn fot_bytes_per_ref(refs: usize, targets: usize, seed: u64) -> f64 {
     assert!(targets >= 1 && refs >= targets);
     let mut rng = StdRng::seed_from_u64(seed);
     use rand::Rng;
-    let target_ids: Vec<ObjId> =
-        (0..targets).map(|_| ObjId(rng.gen::<u128>() | 1)).collect();
+    let target_ids: Vec<ObjId> = (0..targets).map(|_| ObjId(rng.gen::<u128>() | 1)).collect();
     let mut obj = Object::with_capacity(ObjId(0x72), ObjectKind::Data, 1 << 24);
     let empty_image = obj.image_len();
     let base = obj.alloc(refs as u64 * 8).expect("capacity");
     for i in 0..refs {
-        let ptr = obj
-            .make_ptr(target_ids[i % targets], 64, FotFlags::RO)
-            .expect("fot capacity");
+        let ptr = obj.make_ptr(target_ids[i % targets], 64, FotFlags::RO).expect("fot capacity");
         obj.write_ptr(base + i as u64 * 8, ptr).expect("in bounds");
     }
     // Metadata = everything the references added to the image (pointer
@@ -60,7 +57,9 @@ pub fn run(quick: bool) -> Series {
             format!("{}%", f1(saving * 100.0)),
         ]);
     }
-    series.note("measured on real object images; direct = hypothetical 16 B ID + 8 B offset per pointer");
+    series.note(
+        "measured on real object images; direct = hypothetical 16 B ID + 8 B offset per pointer",
+    );
     series.note("FOT entries amortize across pointers to the same target: break-even just above 1 ref/target, 3× smaller at high locality — and the FOT doubles as the reachability graph (A1)");
     series
 }

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod par;
 pub mod report;
 
 pub use report::Series;

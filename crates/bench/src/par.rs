@@ -1,0 +1,122 @@
+//! Deterministic fan-out of independent experiment points over threads.
+//!
+//! Every sweep point in the harness is an independent simulation with its
+//! own seed, so points can run concurrently as long as results are
+//! reassembled in point order. [`par_map`] does exactly that: a shared
+//! work queue feeds `jobs()` scoped threads (`std::thread::scope`, no
+//! runtime dependency — DESIGN §5 rules out tokio here), and each result
+//! lands in the slot of its input index. Output is therefore byte-identical
+//! to a serial run regardless of thread count or scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// 0 means "auto": use available parallelism.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the worker-thread count for subsequent [`par_map`] calls.
+/// `1` forces serial execution in the calling thread; `0` restores auto.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The worker-thread count [`par_map`] will use: the last [`set_jobs`]
+/// value, or available parallelism when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Map `f` over `items` on up to [`jobs`] threads, returning results in
+/// input order.
+///
+/// Each item must be an independent unit of work (the harness guarantees
+/// this by deriving a fixed seed per point). A panic in any worker —
+/// e.g. an experiment's internal assertion — propagates to the caller once
+/// all threads have stopped.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = jobs().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Queue is popped from the back; reverse so index 0 is claimed first
+    // (helps similar-cost points finish in roughly input order).
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let item = queue.lock().unwrap().pop();
+                    let Some((idx, item)) = item else { break };
+                    let out = f(item);
+                    *slots[idx].lock().unwrap() = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload (e.g. an experiment
+        // assertion message) reaches the caller intact instead of the
+        // scope's generic "a scoped thread panicked".
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every slot filled by a worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        set_jobs(4);
+        let out = par_map((0..64u64).collect(), |i| i * i);
+        set_jobs(0);
+        assert_eq!(out, (0..64u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        set_jobs(1);
+        let serial = par_map((0..33u64).collect(), |i| format!("p{i}"));
+        set_jobs(3);
+        let parallel = par_map((0..33u64).collect(), |i| format!("p{i}"));
+        set_jobs(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        set_jobs(4);
+        let empty: Vec<u8> = par_map(Vec::new(), |x: u8| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(vec![7u8], |x| x + 1), vec![8]);
+        set_jobs(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        set_jobs(2);
+        let _ = par_map(vec![0u8, 1], |x| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -99,11 +99,7 @@ impl Series {
             format!("[{}]", inner.join(","))
         }
         let columns = arr(self.columns.iter().map(|c| format!("\"{}\"", esc(c))));
-        let rows = arr(
-            self.rows
-                .iter()
-                .map(|r| arr(r.iter().map(|c| format!("\"{}\"", esc(c))))),
-        );
+        let rows = arr(self.rows.iter().map(|r| arr(r.iter().map(|c| format!("\"{}\"", esc(c))))));
         let notes = arr(self.notes.iter().map(|n| format!("\"{}\"", esc(n))));
         format!(
             "{{\"id\":\"{}\",\"title\":\"{}\",\"columns\":{},\"rows\":{},\"notes\":{}}}",

@@ -1,0 +1,18 @@
+//! Regression test for the parallel harness: fanning sweep points over
+//! threads must not change a single output byte. Every point derives its
+//! own seed and rows are reassembled in point order, so a serial run and
+//! a 4-way run of the same experiment must serialize identically.
+
+use rdv_bench::experiments::fig2;
+use rdv_bench::par::set_jobs;
+
+#[test]
+fn quick_f2_is_byte_identical_serial_vs_parallel() {
+    set_jobs(1);
+    let serial = fig2::run(true);
+    set_jobs(4);
+    let parallel = fig2::run(true);
+    set_jobs(0);
+    assert_eq!(serial.to_json(), parallel.to_json(), "results/f2.json must not depend on --jobs");
+    assert_eq!(serial.to_text(), parallel.to_text());
+}

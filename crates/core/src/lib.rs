@@ -43,7 +43,7 @@ pub mod runtime;
 pub mod scenarios;
 
 pub use code::{CodeDesc, ExecCtx, FnRegistry};
-pub use local::{LocalInvoke, LocalSpace};
 pub use error::{CoreError, CoreResult};
+pub use local::{LocalInvoke, LocalSpace};
 pub use placement::{HostProfile, LinkCost, PlacementEngine};
 pub use runtime::{GasHostNode, PrefetchPolicy, ScriptStep};

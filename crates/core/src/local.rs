@@ -93,10 +93,7 @@ impl LocalSpace {
 
     /// Place a fully built object on `host`.
     pub fn insert_object(&mut self, host: ObjId, object: Object) -> CoreResult<()> {
-        self.host_mut(host)?
-            .store
-            .insert(object)
-            .map_err(|_| CoreError::InvokeRefused)
+        self.host_mut(host)?.store.insert(object).map_err(|_| CoreError::InvokeRefused)
     }
 
     /// Mutate an authoritative object in place.
@@ -149,11 +146,15 @@ impl LocalSpace {
             }
         }
         let holder = self.location(id).ok_or(CoreError::ObjectUnavailable(id))?;
-        let image = self.host(holder)?.store.get(id).map(Object::to_image).map_err(|_| {
-            CoreError::ObjectUnavailable(id)
-        })?;
+        let image = self
+            .host(holder)?
+            .store
+            .get(id)
+            .map(Object::to_image)
+            .map_err(|_| CoreError::ObjectUnavailable(id))?;
         let bytes = image.len() as u64;
-        let obj = Object::from_image(&image).map_err(|_| CoreError::MalformedObject(id, "image"))?;
+        let obj =
+            Object::from_image(&image).map_err(|_| CoreError::MalformedObject(id, "image"))?;
         self.host_mut(host)?.cache.insert(obj, CacheState::Shared);
         Ok(bytes)
     }
@@ -200,11 +201,8 @@ impl LocalSpace {
 
     fn read_code(&self, code: ObjId) -> CoreResult<CodeDesc> {
         let holder = self.location(code).ok_or(CoreError::ObjectUnavailable(code))?;
-        let obj = self
-            .host(holder)?
-            .store
-            .get(code)
-            .map_err(|_| CoreError::ObjectUnavailable(code))?;
+        let obj =
+            self.host(holder)?.store.get(code).map_err(|_| CoreError::ObjectUnavailable(code))?;
         read_code_desc(obj)
     }
 
@@ -232,9 +230,7 @@ mod tests {
     use super::*;
     use crate::code::make_code_object;
     use crate::modelobj::model_to_object;
-    use crate::scenarios::{
-        activation_object, infer_code_desc, standard_registry, ACT_OFFSET,
-    };
+    use crate::scenarios::{activation_object, infer_code_desc, standard_registry, ACT_OFFSET};
     use rdv_wire::sparsemodel::{SparseModel, SparseModelSpec};
 
     const EDGE: ObjId = ObjId(0xED);
@@ -341,9 +337,7 @@ mod tests {
         space.add_host(HostProfile { inbox: CLOUD, speed: 1.0, load: 1.0 });
         let model = SparseModel::generate(&spec);
         space.insert_object(CLOUD, model_to_object(ObjId(0x40), &model).unwrap()).unwrap();
-        space
-            .insert_object(CLOUD, make_code_object(ObjId(0x41), infer_code_desc()))
-            .unwrap();
+        space.insert_object(CLOUD, make_code_object(ObjId(0x41), infer_code_desc())).unwrap();
         let activation: Vec<f32> = (0..64).map(|i| (i % 7) as f32 / 7.0).collect();
         let mut s = ObjectStore::new();
         activation_object(&mut s, ObjId(0x42), &activation);

@@ -164,10 +164,8 @@ impl PlacementEngine {
         // experiments exercise.
         let mut per_source: HashMap<ObjId, u64> = HashMap::new();
         for &obj in args.iter().chain(std::iter::once(&code_obj)) {
-            let &(holder, size) = self
-                .objects
-                .get(&obj)
-                .ok_or(CoreError::ObjectUnavailable(obj))?;
+            let &(holder, size) =
+                self.objects.get(&obj).ok_or(CoreError::ObjectUnavailable(obj))?;
             if obj != code_obj {
                 touched += size;
             }
@@ -201,8 +199,7 @@ impl PlacementEngine {
             let better = match &best {
                 None => true,
                 Some(b) => {
-                    est.total_ns < b.total_ns
-                        || (est.total_ns == b.total_ns && est.host < b.host)
+                    est.total_ns < b.total_ns || (est.total_ns == b.total_ns && est.host < b.host)
                 }
             };
             if better {
@@ -281,8 +278,7 @@ mod tests {
         let (eng_small, code) = paper_engine(1 << 20);
         let (eng_big, _) = paper_engine(64 << 20);
         let host = eng_small.hosts()[2]; // Carol
-        let small =
-            eng_small.estimate(&host, ALICE, &code, CODE, &[MODEL, ACT], 1024).unwrap();
+        let small = eng_small.estimate(&host, ALICE, &code, CODE, &[MODEL, ACT], 1024).unwrap();
         let big = eng_big.estimate(&host, ALICE, &code, CODE, &[MODEL, ACT], 1024).unwrap();
         assert!(big.total_ns > small.total_ns);
         assert!(big.bytes_moved > small.bytes_moved);

@@ -19,16 +19,84 @@
 //! holder. Replies are addressed to the requester's inbox object.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 use rdv_memproto::cache::{CacheState, ObjectCache};
 use rdv_memproto::coherence::{DirAction, Directory};
 use rdv_memproto::frag::{fragment, Fragment, Reassembler, DEFAULT_MTU};
 use rdv_memproto::msg::{Msg, MsgBody, NackCode};
-use rdv_netsim::{Node, NodeCtx, Packet, PortId, SimTime};
+use rdv_netsim::{CounterId, Node, NodeCtx, Packet, PortId, SimTime};
 use rdv_objspace::{ObjId, Object, ObjectStore};
 
 use crate::code::{execution_ns, read_code_desc, ExecCtx, FnRegistry};
 use crate::placement::PlacementEngine;
+
+/// Interned ids for the runtime's counters, resolved once per process so
+/// the message/exec hot paths never intern (or hash) a counter name.
+struct GasCtr {
+    bad_code_objects: CounterId,
+    corrupt_fragments: CounterId,
+    corrupt_images: CounterId,
+    dangling_pointers: CounterId,
+    dir_invalidates_applied: CounterId,
+    dir_invalidates_sent: CounterId,
+    exec_errors: CounterId,
+    fetch_completed: CounterId,
+    fetch_demand: CounterId,
+    fetch_prefetch: CounterId,
+    invokes_executed: CounterId,
+    nacks: CounterId,
+    no_placement_engine: CounterId,
+    placement_failures: CounterId,
+    pushes: CounterId,
+    pushes_received: CounterId,
+    retries_fetch: CounterId,
+    retries_invoke: CounterId,
+    retries_push: CounterId,
+    retries_write: CounterId,
+    rx_bytes: CounterId,
+    scripts_failed: CounterId,
+    serve_misses: CounterId,
+    serves: CounterId,
+    tasks_abandoned: CounterId,
+    tx_bytes: CounterId,
+    unknown_functions: CounterId,
+    writes_served: CounterId,
+}
+
+fn ctr() -> &'static GasCtr {
+    static IDS: OnceLock<GasCtr> = OnceLock::new();
+    IDS.get_or_init(|| GasCtr {
+        bad_code_objects: CounterId::intern("bad_code_objects"),
+        corrupt_fragments: CounterId::intern("corrupt_fragments"),
+        corrupt_images: CounterId::intern("corrupt_images"),
+        dangling_pointers: CounterId::intern("dangling_pointers"),
+        dir_invalidates_applied: CounterId::intern("dir_invalidates_applied"),
+        dir_invalidates_sent: CounterId::intern("dir_invalidates_sent"),
+        exec_errors: CounterId::intern("exec_errors"),
+        fetch_completed: CounterId::intern("fetch.completed"),
+        fetch_demand: CounterId::intern("fetch.demand"),
+        fetch_prefetch: CounterId::intern("fetch.prefetch"),
+        invokes_executed: CounterId::intern("invokes_executed"),
+        nacks: CounterId::intern("nacks"),
+        no_placement_engine: CounterId::intern("no_placement_engine"),
+        placement_failures: CounterId::intern("placement_failures"),
+        pushes: CounterId::intern("pushes"),
+        pushes_received: CounterId::intern("pushes_received"),
+        retries_fetch: CounterId::intern("retries.fetch"),
+        retries_invoke: CounterId::intern("retries.invoke"),
+        retries_push: CounterId::intern("retries.push"),
+        retries_write: CounterId::intern("retries.write"),
+        rx_bytes: CounterId::intern("rx_bytes"),
+        scripts_failed: CounterId::intern("scripts_failed"),
+        serve_misses: CounterId::intern("serve_misses"),
+        serves: CounterId::intern("serves"),
+        tasks_abandoned: CounterId::intern("tasks_abandoned"),
+        tx_bytes: CounterId::intern("tx_bytes"),
+        unknown_functions: CounterId::intern("unknown_functions"),
+        writes_served: CounterId::intern("writes_served"),
+    })
+}
 
 /// Prefetch policies for the A1 ablation (§3.1: identity/reachability
 /// prefetching vs today's adjacency proxies).
@@ -293,7 +361,7 @@ impl GasHostNode {
 
     fn transmit(&mut self, ctx: &mut NodeCtx<'_>, msg: Msg) {
         let bytes = msg.encode();
-        self.counters.add("tx_bytes", bytes.len() as u64);
+        self.counters.add_id(ctr().tx_bytes, bytes.len() as u64);
         let trace = (self.inbox.lo() << 20) ^ self.next_trace;
         self.next_trace += 1;
         ctx.send(PortId(0), Packet::new(bytes, trace));
@@ -328,14 +396,14 @@ impl GasHostNode {
         self.inflight.insert(target);
         self.fetches.insert(req, FetchState { target, demand, issued: ctx.now, script });
         if demand {
-            self.counters.inc("fetch.demand");
+            self.counters.inc_id(ctr().fetch_demand);
             if let Some(s) = script {
                 if let Some(p) = self.progress.get_mut(&s) {
                     p.demand_fetches += 1;
                 }
             }
         } else {
-            self.counters.inc("fetch.prefetch");
+            self.counters.inc_id(ctr().fetch_prefetch);
         }
         // Route on the object itself: the packet is addressed to `target`.
         let msg = Msg::new(target, self.inbox, MsgBody::ObjImageReq { req, target });
@@ -355,15 +423,17 @@ impl GasHostNode {
     /// Re-send the in-flight fetch for `target`, if one exists (same req,
     /// so partially reassembled fragments still count).
     fn retry_fetch(&mut self, ctx: &mut NodeCtx<'_>, target: ObjId) {
-        let req = self.fetches.iter().find_map(|(req, f)| {
-            if f.target == target {
-                Some(*req)
-            } else {
-                None
-            }
-        });
+        let req = self.fetches.iter().find_map(
+            |(req, f)| {
+                if f.target == target {
+                    Some(*req)
+                } else {
+                    None
+                }
+            },
+        );
         if let Some(req) = req {
-            self.counters.inc("retries.fetch");
+            self.counters.inc_id(ctr().retries_fetch);
             let msg = Msg::new(target, self.inbox, MsgBody::ObjImageReq { req, target });
             self.transmit(ctx, msg);
         }
@@ -377,7 +447,7 @@ impl GasHostNode {
             self.cache.get(obj).map(Object::to_image)
         };
         let Some(image) = image else { return };
-        self.counters.inc("retries.push");
+        self.counters.inc_id(ctr().retries_push);
         for f in fragment(req, &image, self.cfg.mtu) {
             let msg = Msg::new(
                 dest,
@@ -395,13 +465,16 @@ impl GasHostNode {
         p.watchdog_armed = false;
         let blocked = p.waiting_push.is_some()
             || p.waiting_invoke.is_some()
-            || matches!(self.scripts.get(idx).and_then(|s| s.get(p.step)), Some(ScriptStep::Fetch(_)));
+            || matches!(
+                self.scripts.get(idx).and_then(|s| s.get(p.step)),
+                Some(ScriptStep::Fetch(_))
+            );
         if !blocked {
             return;
         }
         if p.retries >= self.cfg.max_retries {
             let p = self.progress.remove(&idx).expect("present");
-            self.counters.inc("scripts_failed");
+            self.counters.inc_id(ctr().scripts_failed);
             self.traversals.retain(|t| t.script != idx);
             self.records.push(ScriptRecord {
                 script: idx,
@@ -428,7 +501,7 @@ impl GasHostNode {
             }
             Some(ScriptStep::Write { target, offset, data }) => {
                 if let Some(req) = waiting_push {
-                    self.counters.inc("retries.write");
+                    self.counters.inc_id(ctr().retries_write);
                     let msg = Msg::new(
                         target,
                         self.inbox,
@@ -450,7 +523,7 @@ impl GasHostNode {
                 }
                 Some(req) if req != u64::MAX => {
                     if let Some(executor) = executor {
-                        self.counters.inc("retries.invoke");
+                        self.counters.inc_id(ctr().retries_invoke);
                         let msg =
                             Msg::new(executor, self.inbox, MsgBody::Invoke { req, code, args });
                         self.transmit(ctx, msg);
@@ -460,11 +533,7 @@ impl GasHostNode {
             },
             Some(ScriptStep::Traverse { .. }) => {
                 // Blocked on the current node object.
-                let cur = self
-                    .traversals
-                    .iter()
-                    .find(|t| t.script == idx)
-                    .map(|t| t.cur.0);
+                let cur = self.traversals.iter().find(|t| t.script == idx).map(|t| t.cur.0);
                 if let Some(obj) = cur {
                     self.retry_fetch(ctx, obj);
                 }
@@ -476,12 +545,13 @@ impl GasHostNode {
 
     fn serve_image(&mut self, ctx: &mut NodeCtx<'_>, reply_to: ObjId, req: u64, target: ObjId) {
         let Ok(obj) = self.store.get(target) else {
-            self.counters.inc("serve_misses");
-            let nack = Msg::new(reply_to, self.inbox, MsgBody::Nack { req, code: NackCode::NotHere });
+            self.counters.inc_id(ctr().serve_misses);
+            let nack =
+                Msg::new(reply_to, self.inbox, MsgBody::Nack { req, code: NackCode::NotHere });
             self.transmit_after(ctx, self.cfg.serve_delay, nack);
             return;
         };
-        self.counters.inc("serves");
+        self.counters.inc_id(ctr().serves);
         let version = obj.version();
         let image = obj.to_image();
         // Home-side coherence: the requester becomes a sharer; a previous
@@ -512,7 +582,7 @@ impl GasHostNode {
         for a in actions {
             if let DirAction::Invalidate { to, obj: o } = a {
                 debug_assert_eq!(o, obj);
-                self.counters.inc("dir_invalidates_sent");
+                self.counters.inc_id(ctr().dir_invalidates_sent);
                 let msg = Msg::new(to, self.inbox, MsgBody::DirInvalidate { obj, version });
                 self.transmit_after(ctx, self.cfg.serve_delay, msg);
             }
@@ -521,20 +591,20 @@ impl GasHostNode {
 
     fn on_image_complete(&mut self, ctx: &mut NodeCtx<'_>, src: ObjId, req: u64, image: Vec<u8>) {
         let Ok(object) = Object::from_image(&image) else {
-            self.counters.inc("corrupt_images");
+            self.counters.inc_id(ctr().corrupt_images);
             return;
         };
         let obj_id = object.id();
         self.inflight.remove(&obj_id);
         self.cache.insert(object, CacheState::Shared);
-        self.counters.add("rx_bytes", image.len() as u64);
+        self.counters.add_id(ctr().rx_bytes, image.len() as u64);
         match self.fetches.remove(&req) {
             Some(_fetch) => {
-                self.counters.inc("fetch.completed");
+                self.counters.inc_id(ctr().fetch_completed);
             }
             None => {
                 // Unsolicited push: acknowledge it.
-                self.counters.inc("pushes_received");
+                self.counters.inc_id(ctr().pushes_received);
                 let ack = Msg::new(src, self.inbox, MsgBody::WriteAck { req, version: 0 });
                 self.transmit_after(ctx, self.cfg.serve_delay, ack);
             }
@@ -652,7 +722,7 @@ impl GasHostNode {
                     };
                     let req = self.next_req;
                     self.next_req += 1;
-                    self.counters.inc("pushes");
+                    self.counters.inc_id(ctr().pushes);
                     let frags = fragment(req, &image, self.cfg.mtu);
                     for f in frags {
                         let msg = Msg::new(
@@ -680,13 +750,13 @@ impl GasHostNode {
                                 return;
                             };
                             let Some(engine) = &self.placement else {
-                                self.counters.inc("no_placement_engine");
+                                self.counters.inc_id(ctr().no_placement_engine);
                                 return;
                             };
                             match engine.choose(self.inbox, &desc, code, &args, result_bytes) {
                                 Ok(est) => est.host,
                                 Err(_) => {
-                                    self.counters.inc("placement_failures");
+                                    self.counters.inc_id(ctr().placement_failures);
                                     return;
                                 }
                             }
@@ -716,7 +786,8 @@ impl GasHostNode {
                             p.waiting_invoke = Some(req);
                             p.invoke_executor = Some(executor);
                         }
-                        let msg = Msg::new(executor, self.inbox, MsgBody::Invoke { req, code, args });
+                        let msg =
+                            Msg::new(executor, self.inbox, MsgBody::Invoke { req, code, args });
                         self.transmit(ctx, msg);
                         self.arm_watchdog(ctx, idx);
                     }
@@ -801,7 +872,7 @@ impl GasHostNode {
     }
 
     fn execute_task(&mut self, ctx: &mut NodeCtx<'_>, task: TaskState) {
-        self.counters.inc("invokes_executed");
+        self.counters.inc_id(ctr().invokes_executed);
         let desc = {
             let obj = if let Ok(o) = self.store.get(task.code) {
                 o
@@ -811,7 +882,7 @@ impl GasHostNode {
             match read_code_desc(obj) {
                 Ok(d) => d,
                 Err(_) => {
-                    self.counters.inc("bad_code_objects");
+                    self.counters.inc_id(ctr().bad_code_objects);
                     return;
                 }
             }
@@ -819,7 +890,7 @@ impl GasHostNode {
         let body = match self.registry.get(desc.fn_id) {
             Ok(f) => f,
             Err(_) => {
-                self.counters.inc("unknown_functions");
+                self.counters.inc_id(ctr().unknown_functions);
                 return;
             }
         };
@@ -830,7 +901,7 @@ impl GasHostNode {
         let outcome = match outcome {
             Ok(o) => o,
             Err(_) => {
-                self.counters.inc("exec_errors");
+                self.counters.inc_id(ctr().exec_errors);
                 return;
             }
         };
@@ -857,7 +928,7 @@ impl GasHostNode {
     fn handle_task_watch(&mut self, ctx: &mut NodeCtx<'_>, task_id: usize) {
         let Some(Some(task)) = self.tasks.get_mut(task_id) else { return };
         if task.retries >= self.cfg.max_retries {
-            self.counters.inc("tasks_abandoned");
+            self.counters.inc_id(ctr().tasks_abandoned);
             self.tasks[task_id] = None;
             return;
         }
@@ -900,11 +971,8 @@ impl GasHostNode {
                             let next = o.read_ptr(cur_off + 8).ok();
                             match (value, next) {
                                 (Some(v), Some(n)) => {
-                                    let resolved = if n.is_null() {
-                                        None
-                                    } else {
-                                        o.resolve_ptr(n).ok()
-                                    };
+                                    let resolved =
+                                        if n.is_null() { None } else { o.resolve_ptr(n).ok() };
                                     Some((v, n.is_null(), resolved))
                                 }
                                 _ => None,
@@ -930,7 +998,7 @@ impl GasHostNode {
                                 self.traversals[t_idx].cur = (next_obj, next_off);
                             }
                             None => {
-                                self.counters.inc("dangling_pointers");
+                                self.counters.inc_id(ctr().dangling_pointers);
                                 self.traversals[t_idx].done = true;
                                 finished.push(t_idx);
                                 break;
@@ -1001,14 +1069,14 @@ impl Node for GasHostNode {
                 }
             MsgBody::ObjImageFrag { req, frag, .. } => {
                 let Ok(frag) = Fragment::decode(&frag) else {
-                    self.counters.inc("corrupt_fragments");
+                    self.counters.inc_id(ctr().corrupt_fragments);
                     return;
                 };
                 let reasm = self.reasm.entry(src).or_default();
                 match reasm.accept(frag) {
                     Ok(Some(image)) => self.on_image_complete(ctx, src, req, image),
                     Ok(None) => {}
-                    Err(_) => self.counters.inc("corrupt_fragments"),
+                    Err(_) => self.counters.inc_id(ctr().corrupt_fragments),
                 }
             }
             MsgBody::ObjImageResp { req, image, .. } => {
@@ -1096,7 +1164,7 @@ impl Node for GasHostNode {
                             // Invalidate all cached readers of the object.
                             let actions = self.directory.write_at_home(target);
                             self.apply_dir_actions(ctx, target, version, actions);
-                            self.counters.inc("writes_served");
+                            self.counters.inc_id(ctr().writes_served);
                             MsgBody::WriteAck { req, version }
                         }
                         Err(_) => MsgBody::Nack { req, code: NackCode::BadRange },
@@ -1110,14 +1178,14 @@ impl Node for GasHostNode {
                 self.transmit_after(ctx, self.cfg.serve_delay, out);
             }
             MsgBody::Nack { .. } => {
-                self.counters.inc("nacks");
+                self.counters.inc_id(ctr().nacks);
             }
             MsgBody::Invalidate { version } => {
                 self.cache.invalidate(msg.header.dst, version);
             }
             MsgBody::DirInvalidate { obj, version }
                 if self.cache.invalidate(obj, version) => {
-                    self.counters.inc("dir_invalidates_applied");
+                    self.counters.inc_id(ctr().dir_invalidates_applied);
                 }
             _ => {}
         }
@@ -1221,11 +1289,8 @@ mod tests {
     #[test]
     fn write_to_missing_object_nacks() {
         let mut b = GasHostNode::new("b", CLIENT_B, GasHostConfig::default());
-        b.scripts = vec![vec![ScriptStep::Write {
-            target: ObjId(0xDEAD),
-            offset: 8,
-            data: vec![1],
-        }]];
+        b.scripts =
+            vec![vec![ScriptStep::Write { target: ObjId(0xDEAD), offset: 8, data: vec![1] }]];
         let home = home_with_obj();
         let (mut sim, ids) = build_star_fabric(
             1,

@@ -65,9 +65,7 @@ pub fn standard_registry() -> FnRegistry {
         // and pair it with a ps-per-flop CodeDesc.
         Ok(ExecOutcome { result: w.into_vec(), bytes_touched: flops })
     });
-    reg.register(FN_NOOP, |_ctx, _args| {
-        Ok(ExecOutcome { result: vec![1], bytes_touched: 0 })
-    });
+    reg.register(FN_NOOP, |_ctx, _args| Ok(ExecOutcome { result: vec![1], bytes_touched: 0 }));
     reg
 }
 
@@ -163,8 +161,12 @@ pub enum F1Strategy {
 
 impl F1Strategy {
     /// All strategies in figure order.
-    pub const ALL: [F1Strategy; 4] =
-        [F1Strategy::ManualCopy, F1Strategy::ManualPull, F1Strategy::RefRpcFixed, F1Strategy::Automatic];
+    pub const ALL: [F1Strategy; 4] = [
+        F1Strategy::ManualCopy,
+        F1Strategy::ManualPull,
+        F1Strategy::RefRpcFixed,
+        F1Strategy::Automatic,
+    ];
 
     /// Label used in reports.
     pub fn label(self) -> &'static str {
@@ -221,21 +223,15 @@ pub fn run_fig1(cfg: &F1Config) -> F1Outcome {
     let cols = cfg.model.cols;
 
     // Alice: weak edge device holding the activation.
-    let mut alice = GasHostNode::new(
-        "alice",
-        ALICE,
-        GasHostConfig { speed: 0.1, ..Default::default() },
-    );
+    let mut alice =
+        GasHostNode::new("alice", ALICE, GasHostConfig { speed: 0.1, ..Default::default() });
     alice.registry = registry.clone();
     let activation: Vec<f32> = (0..cols).map(|i| (i % 7) as f32 / 7.0).collect();
     activation_object(&mut alice.store, ACT_OBJ, &activation);
 
     // Bob: loaded cloud host holding the model and the code object.
-    let mut bob = GasHostNode::new(
-        "bob",
-        BOB,
-        GasHostConfig { speed: 1.0, load: 8.0, ..Default::default() },
-    );
+    let mut bob =
+        GasHostNode::new("bob", BOB, GasHostConfig { speed: 1.0, load: 8.0, ..Default::default() });
     bob.registry = registry.clone();
     let model_obj = model_to_object(MODEL_OBJ, &model).expect("model fits");
     let model_size = model_obj.image_len() as u64;
@@ -248,9 +244,10 @@ pub fn run_fig1(cfg: &F1Config) -> F1Outcome {
 
     // Code objects are tiny and cached everywhere (like program binaries);
     // pre-warm Alice's cache so placement can read the descriptor locally.
-    alice
-        .cache
-        .insert(make_code_object(CODE_OBJ, infer_code_desc()), rdv_memproto::cache::CacheState::Shared);
+    alice.cache.insert(
+        make_code_object(CODE_OBJ, infer_code_desc()),
+        rdv_memproto::cache::CacheState::Shared,
+    );
 
     // Alice's script per strategy.
     let invoke = |executor: Option<ObjId>| ScriptStep::Invoke {
@@ -330,11 +327,8 @@ pub fn run_fig1_dave(automatic: bool, model: &SparseModelSpec, seed: u64) -> F1O
     let cols = model.cols;
     let dave_inbox = ObjId(0xDA7E);
 
-    let mut dave = GasHostNode::new(
-        "dave",
-        dave_inbox,
-        GasHostConfig { speed: 2.0, ..Default::default() },
-    );
+    let mut dave =
+        GasHostNode::new("dave", dave_inbox, GasHostConfig { speed: 2.0, ..Default::default() });
     dave.registry = registry.clone();
     let model_obj = model_to_object(MODEL_OBJ, &m).expect("model fits");
     let model_size = model_obj.image_len() as u64;
@@ -522,10 +516,7 @@ pub fn run_s1(path: S1Path, spec: &SparseModelSpec, seed: u64) -> S1Outcome {
             let mut server = GasHostNode::new("server", SERVER_INBOX, GasHostConfig::default());
             server.registry = registry.clone();
             server.store.insert(model_to_object(MODEL_OBJ, &model).expect("fits")).expect("fresh");
-            server
-                .store
-                .insert(make_code_object(CODE_OBJ, infer_code_desc()))
-                .expect("fresh");
+            server.store.insert(make_code_object(CODE_OBJ, infer_code_desc())).expect("fresh");
             let (mut sim, ids) = build_star_fabric(
                 seed,
                 vec![
@@ -695,18 +686,12 @@ pub fn run_a1(cfg: &A1Config) -> A1Outcome {
         GasHostConfig { prefetch: cfg.policy, ..Default::default() },
     );
     walker.adjacency = alloc_order.clone();
-    walker.scripts = vec![vec![ScriptStep::Traverse {
-        obj: head.0,
-        offset: head.1,
-        max_steps: cfg.nodes + 8,
-    }]];
+    walker.scripts =
+        vec![vec![ScriptStep::Traverse { obj: head.0, offset: head.1, max_steps: cfg.nodes + 8 }]];
 
     let obj_routes: Vec<(ObjId, usize)> = alloc_order.iter().map(|&o| (o, 1)).collect();
-    let holder_link = LinkSpec {
-        bandwidth_bps: cfg.holder_bw_bps,
-        queue_bytes: 1 << 32,
-        ..LinkSpec::rack()
-    };
+    let holder_link =
+        LinkSpec { bandwidth_bps: cfg.holder_bw_bps, queue_bytes: 1 << 32, ..LinkSpec::rack() };
     let (mut sim, ids) = build_star_fabric(
         cfg.seed,
         vec![
@@ -778,8 +763,14 @@ pub struct LossyOutcome {
 /// `loss_permille`‰ of packets. The runtime's watchdogs must recover.
 pub fn run_lossy_invoke(cfg: &LossyConfig) -> LossyOutcome {
     let registry = standard_registry();
-    let spec =
-        SparseModelSpec { layers: 2, rows: 64, cols: 64, nnz_per_row: 4, vocab: 16, seed: cfg.seed };
+    let spec = SparseModelSpec {
+        layers: 2,
+        rows: 64,
+        cols: 64,
+        nnz_per_row: 4,
+        vocab: 16,
+        seed: cfg.seed,
+    };
     let model = SparseModel::generate(&spec);
     let activation: Vec<f32> = (0..64).map(|i| i as f32 / 64.0).collect();
 
@@ -803,10 +794,7 @@ pub fn run_lossy_invoke(cfg: &LossyConfig) -> LossyOutcome {
     let link = host_link_rack().with_loss(cfg.loss_permille);
     let (mut sim, ids) = build_star_fabric(
         cfg.seed,
-        vec![
-            (Box::new(client), ObjId(0x1C11), link),
-            (Box::new(server), ObjId(0x15E8), link),
-        ],
+        vec![(Box::new(client), ObjId(0x1C11), link), (Box::new(server), ObjId(0x15E8), link)],
         &[(MODEL_OBJ, 1), (CODE_OBJ, 1), (ACT_OBJ, 0)],
     );
     for i in 0..cfg.invokes as u64 {

@@ -63,10 +63,7 @@ impl<T: Encode> Encode for LwwRegister<T> {
 
 impl<T: Decode> Decode for LwwRegister<T> {
     fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
-        Ok(LwwRegister {
-            value: T::decode(r)?,
-            stamp: (r.get_uvarint()?, r.get_uvarint()?),
-        })
+        Ok(LwwRegister { value: T::decode(r)?, stamp: (r.get_uvarint()?, r.get_uvarint()?) })
     }
 }
 

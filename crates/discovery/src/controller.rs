@@ -62,7 +62,8 @@ impl ControllerNode {
         let mut out = Vec::new();
         for sw in &self.switches {
             if let Some(&egress) = sw.host_egress.get(&holder) {
-                let m = ControlMsg::InstallExact { table: 0, key: vec![obj.as_u128()], port: egress };
+                let m =
+                    ControlMsg::InstallExact { table: 0, key: vec![obj.as_u128()], port: egress };
                 out.push((sw.control_port, m.encode()));
                 self.installs += 1;
             }
@@ -76,11 +77,8 @@ impl Node for ControllerNode {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         // Bootstrap: install routes for every host inbox on every switch.
         let inboxes: Vec<ObjId> = {
-            let mut v: Vec<ObjId> = self
-                .switches
-                .iter()
-                .flat_map(|s| s.host_egress.keys().copied())
-                .collect();
+            let mut v: Vec<ObjId> =
+                self.switches.iter().flat_map(|s| s.host_egress.keys().copied()).collect();
             v.sort();
             v.dedup();
             v

@@ -13,9 +13,9 @@ use rand::Rng;
 
 use rdv_objspace::ObjId;
 use rdv_p4rt::capacity::SramBudget;
-use rdv_p4rt::table::{Action, Table, TableEntry};
 #[cfg(test)]
 use rdv_p4rt::table::MatchKind;
+use rdv_p4rt::table::{Action, Table, TableEntry};
 
 /// Allocates object IDs whose top `prefix_bits` identify a region.
 #[derive(Debug, Clone)]
@@ -88,7 +88,10 @@ pub fn plan_overlay(
     if (objects.len() as u64) <= budget.max_entries(128) {
         for (id, port) in objects {
             if exact_table
-                .insert(TableEntry::Exact { key: vec![id.as_u128()] }, Action::Forward(*port as usize))
+                .insert(
+                    TableEntry::Exact { key: vec![id.as_u128()] },
+                    Action::Forward(*port as usize),
+                )
                 .is_ok()
             {
                 plan.exact_entries += 1;
@@ -113,7 +116,10 @@ pub fn plan_overlay(
         if members.iter().all(|(_, p)| *p == first_port) {
             let (value, len) = alloc.region_rule(r);
             if lpm_table
-                .insert(TableEntry::Lpm { value, prefix_len: len }, Action::Forward(first_port as usize))
+                .insert(
+                    TableEntry::Lpm { value, prefix_len: len },
+                    Action::Forward(first_port as usize),
+                )
                 .is_ok()
             {
                 plan.region_entries += 1;

@@ -7,13 +7,43 @@
 //! single uplink port (port 0).
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use rdv_memproto::msg::{Msg, MsgBody, NackCode};
-use rdv_netsim::{Node, NodeCtx, Packet, PortId, SimTime};
+use rdv_netsim::{CounterId, Node, NodeCtx, Packet, PortId, SimTime};
 use rdv_objspace::{ObjId, Object, ObjectStore};
 
 use crate::destcache::DestCache;
 use crate::CONTROLLER_INBOX;
+
+/// Interned ids for the host's counters, resolved once per process so the
+/// packet path never interns (or hashes) a counter name.
+struct HostCtr {
+    broadcasts: CounterId,
+    serves: CounterId,
+    nacks_received: CounterId,
+    accesses_abandoned: CounterId,
+    migrations_done: CounterId,
+    invalidates_sent: CounterId,
+    corrupt_pushes: CounterId,
+    advertises_sent: CounterId,
+    decode_errors: CounterId,
+}
+
+fn ctr() -> &'static HostCtr {
+    static IDS: OnceLock<HostCtr> = OnceLock::new();
+    IDS.get_or_init(|| HostCtr {
+        broadcasts: CounterId::intern("broadcasts"),
+        serves: CounterId::intern("serves"),
+        nacks_received: CounterId::intern("nacks_received"),
+        accesses_abandoned: CounterId::intern("accesses_abandoned"),
+        migrations_done: CounterId::intern("migrations_done"),
+        invalidates_sent: CounterId::intern("invalidates_sent"),
+        corrupt_pushes: CounterId::intern("corrupt_pushes"),
+        advertises_sent: CounterId::intern("advertises_sent"),
+        decode_errors: CounterId::intern("decode_errors"),
+    })
+}
 
 /// Which discovery scheme the host runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,7 +230,13 @@ impl HostNode {
             DiscoveryMode::Controller => {
                 self.pending.insert(
                     req,
-                    Pending { target, issued, state: PendingState::Reading, broadcasts: 0, nacks: 0 },
+                    Pending {
+                        target,
+                        issued,
+                        state: PendingState::Reading,
+                        broadcasts: 0,
+                        nacks: 0,
+                    },
                 );
                 let msg = Msg::new(
                     target,
@@ -239,7 +275,7 @@ impl HostNode {
                             nacks: 0,
                         },
                     );
-                    self.counters.inc("broadcasts");
+                    self.counters.inc_id(ctr().broadcasts);
                     let msg = Msg::new(target, self.inbox, MsgBody::DiscoverReq { req });
                     self.transmit(ctx, msg);
                 }
@@ -277,7 +313,7 @@ impl HostNode {
                     }
                     Err(_) => return,
                 };
-                self.counters.inc("serves");
+                self.counters.inc_id(ctr().serves);
                 self.transmit_deferred(ctx, Msg::new(reply_to, self.inbox, reply));
             }
             MsgBody::ObjImageReq { req, target } => {
@@ -292,7 +328,7 @@ impl HostNode {
                     }
                     Err(_) => return,
                 };
-                self.counters.inc("serves");
+                self.counters.inc_id(ctr().serves);
                 self.transmit_deferred(ctx, Msg::new(reply_to, self.inbox, reply));
             }
             MsgBody::DiscoverReq { req }
@@ -324,18 +360,13 @@ impl HostNode {
                 let msg = Msg::new(
                     holder_inbox,
                     self.inbox,
-                    MsgBody::ReadReq {
-                        req,
-                        target: p.target,
-                        offset: 8,
-                        len: self.cfg.read_len,
-                    },
+                    MsgBody::ReadReq { req, target: p.target, offset: 8, len: self.cfg.read_len },
                 );
                 self.pending.insert(req, p);
                 self.transmit(ctx, msg);
             }
             MsgBody::Nack { code: NackCode::NotHere, .. } => {
-                self.counters.inc("nacks_received");
+                self.counters.inc_id(ctr().nacks_received);
                 p.nacks += 1;
                 match self.cfg.mode {
                     DiscoveryMode::E2E => {
@@ -343,7 +374,7 @@ impl HostNode {
                         self.dest_cache.invalidate(p.target);
                         p.broadcasts += 1;
                         p.state = PendingState::Discovering;
-                        self.counters.inc("broadcasts");
+                        self.counters.inc_id(ctr().broadcasts);
                         let msg = Msg::new(p.target, self.inbox, MsgBody::DiscoverReq { req });
                         self.pending.insert(req, p);
                         self.transmit(ctx, msg);
@@ -353,7 +384,7 @@ impl HostNode {
                         // repointed the switches: back off and retry (give
                         // up after a bound so misrouted accesses surface).
                         if p.nacks > 10 {
-                            self.counters.inc("accesses_abandoned");
+                            self.counters.inc_id(ctr().accesses_abandoned);
                             return;
                         }
                         self.pending.insert(req, p);
@@ -371,21 +402,18 @@ impl HostNode {
     fn migrate(&mut self, ctx: &mut NodeCtx<'_>, index: usize) {
         let Some(&(obj, dest_inbox)) = self.migrations.get(index) else { return };
         let Ok(object) = self.store.remove(obj) else { return };
-        self.counters.inc("migrations_done");
+        self.counters.inc_id(ctr().migrations_done);
         let image = object.to_image();
         let version = object.version();
         // Push the image to the new holder (req 0 marks an unsolicited push).
-        let push = Msg::new(
-            dest_inbox,
-            self.inbox,
-            MsgBody::ObjImageResp { req: 0, version, image },
-        );
+        let push =
+            Msg::new(dest_inbox, self.inbox, MsgBody::ObjImageResp { req: 0, version, image });
         self.transmit(ctx, push);
         if self.cfg.mode == DiscoveryMode::E2E
             && self.cfg.staleness == StalenessMode::InvalidateOnMove
         {
             // Tell the fabric: cached locations for this object are stale.
-            self.counters.inc("invalidates_sent");
+            self.counters.inc_id(ctr().invalidates_sent);
             let inv = Msg::new(obj, self.inbox, MsgBody::Invalidate { version });
             self.transmit(ctx, inv);
         }
@@ -393,14 +421,14 @@ impl HostNode {
 
     fn on_push(&mut self, ctx: &mut NodeCtx<'_>, image: Vec<u8>) {
         let Ok(object) = Object::from_image(&image) else {
-            self.counters.inc("corrupt_pushes");
+            self.counters.inc_id(ctr().corrupt_pushes);
             return;
         };
         let obj = object.id();
         self.store.upsert(object);
         if self.cfg.mode == DiscoveryMode::Controller {
             // Re-advertise so the controller repoints switch routes.
-            self.counters.inc("advertises_sent");
+            self.counters.inc_id(ctr().advertises_sent);
             let adv = Msg::new(CONTROLLER_INBOX, self.inbox, MsgBody::Advertise { obj });
             self.transmit(ctx, adv);
         }
@@ -415,7 +443,7 @@ impl HostNode {
         let mut ids = self.store.ids();
         ids.sort(); // deterministic advertisement order
         for obj in ids {
-            self.counters.inc("advertises_sent");
+            self.counters.inc_id(ctr().advertises_sent);
             let adv = Msg::new(CONTROLLER_INBOX, self.inbox, MsgBody::Advertise { obj });
             self.transmit(ctx, adv);
         }
@@ -429,7 +457,7 @@ impl Node for HostNode {
 
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
         let Ok(msg) = Msg::decode(&packet.payload) else {
-            self.counters.inc("decode_errors");
+            self.counters.inc_id(ctr().decode_errors);
             return;
         };
         match &msg.body {
@@ -469,12 +497,7 @@ impl Node for HostNode {
                 let msg = Msg::new(
                     p.target,
                     self.inbox,
-                    MsgBody::ReadReq {
-                        req,
-                        target: p.target,
-                        offset: 8,
-                        len: self.cfg.read_len,
-                    },
+                    MsgBody::ReadReq { req, target: p.target, offset: 8, len: self.cfg.read_len },
                 );
                 self.transmit(ctx, msg);
             }

@@ -24,7 +24,6 @@ use rdv_p4rt::table::{Action, MatchKind, Table};
 use crate::controller::{ControllerNode, SwitchInfo};
 use crate::host::{tags, DiscoveryMode, HostConfig, HostNode, StalenessMode};
 
-
 /// Which figure's sweep point to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScenarioKind {
@@ -185,10 +184,7 @@ fn build_testbed(cfg: &ScenarioConfig, hosts: [HostNode; 3]) -> Testbed {
                     host_egress.insert(inbox, port.0 as u16);
                 }
             }
-            infos.push(SwitchInfo {
-                control_port: rdv_netsim::PortId(i),
-                host_egress,
-            });
+            infos.push(SwitchInfo { control_port: rdv_netsim::PortId(i), host_egress });
         }
         let ctl = sim.add_node(Box::new(ControllerNode::new("ctl", infos)));
         for &sw in &switches {
@@ -342,7 +338,11 @@ pub fn run_discovery(cfg: &ScenarioConfig) -> DiscoveryOutcome {
 mod tests {
     use super::*;
 
-    fn quick(kind: ScenarioKind, mode: DiscoveryMode, staleness: StalenessMode) -> DiscoveryOutcome {
+    fn quick(
+        kind: ScenarioKind,
+        mode: DiscoveryMode,
+        staleness: StalenessMode,
+    ) -> DiscoveryOutcome {
         run_discovery(&ScenarioConfig {
             kind,
             mode,

@@ -140,13 +140,18 @@ impl Directory {
     /// The home itself writes `obj`: every remote copy is stale.
     pub fn write_at_home(&mut self, obj: ObjId) -> Vec<DirAction> {
         let e = self.entry(obj);
-        let victims: Vec<ObjId> =
-            e.sharers.iter().copied().chain(e.exclusive).collect::<BTreeSet<_>>().into_iter().collect();
+        let victims: Vec<ObjId> = e
+            .sharers
+            .iter()
+            .copied()
+            .chain(e.exclusive)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
         e.sharers.clear();
         e.exclusive = None;
         self.invalidations += victims.len() as u64;
-        let actions =
-            victims.into_iter().map(|to| DirAction::Invalidate { to, obj }).collect();
+        let actions = victims.into_iter().map(|to| DirAction::Invalidate { to, obj }).collect();
         debug_assert!(self.invariant_holds());
         actions
     }
@@ -220,10 +225,7 @@ mod tests {
         // Only H2 is invalidated; H1 upgrades in place.
         assert_eq!(
             actions,
-            vec![
-                DirAction::Invalidate { to: H2, obj: OBJ },
-                DirAction::GrantExclusive { to: H1 },
-            ]
+            vec![DirAction::Invalidate { to: H2, obj: OBJ }, DirAction::GrantExclusive { to: H1 },]
         );
     }
 
@@ -234,10 +236,7 @@ mod tests {
         let actions = d.request_shared(OBJ, H2);
         assert_eq!(
             actions,
-            vec![
-                DirAction::Invalidate { to: H1, obj: OBJ },
-                DirAction::GrantShared { to: H2 },
-            ]
+            vec![DirAction::Invalidate { to: H1, obj: OBJ }, DirAction::GrantShared { to: H2 },]
         );
         assert_eq!(d.exclusive(OBJ), None);
     }

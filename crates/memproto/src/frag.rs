@@ -192,9 +192,7 @@ mod tests {
     fn inconsistent_count_rejected() {
         let mut r = Reassembler::new();
         r.accept(Fragment { msg_id: 1, index: 0, count: 3, data: vec![] }).unwrap();
-        assert!(r
-            .accept(Fragment { msg_id: 1, index: 1, count: 4, data: vec![] })
-            .is_err());
+        assert!(r.accept(Fragment { msg_id: 1, index: 1, count: 4, data: vec![] }).is_err());
     }
 
     #[test]

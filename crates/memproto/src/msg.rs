@@ -366,15 +366,13 @@ impl MsgBody {
             0x0C => MsgBody::DirInvalidate { obj: ObjId::decode(r)?, version: r.get_uvarint()? },
             0x08 => MsgBody::UpgradeReq { req: r.get_uvarint()? },
             0x09 => MsgBody::UpgradeAck { req: r.get_uvarint()?, version: r.get_uvarint()? },
-            0x0A => MsgBody::Nack {
-                req: r.get_uvarint()?,
-                code: NackCode::from_byte(r.get_u8()?)?,
-            },
+            0x0A => {
+                MsgBody::Nack { req: r.get_uvarint()?, code: NackCode::from_byte(r.get_u8()?)? }
+            }
             0x10 => MsgBody::DiscoverReq { req: r.get_uvarint()? },
-            0x11 => MsgBody::DiscoverResp {
-                req: r.get_uvarint()?,
-                holder_inbox: ObjId::decode(r)?,
-            },
+            0x11 => {
+                MsgBody::DiscoverResp { req: r.get_uvarint()?, holder_inbox: ObjId::decode(r)? }
+            }
             0x12 => MsgBody::Advertise { obj: ObjId::decode(r)? },
             0x20 => MsgBody::Invoke {
                 req: r.get_uvarint()?,
@@ -495,7 +493,11 @@ mod tests {
             assert_eq!(u128::from_le_bytes(bytes[1..17].try_into().unwrap()), dst);
             assert_eq!(u128::from_le_bytes(bytes[17..33].try_into().unwrap()), src);
         }
-        let msg = Msg::new(ObjId(4242), ObjId(7), MsgBody::ReadReq { req: 1, target: ObjId(4242), offset: 0, len: 8 });
+        let msg = Msg::new(
+            ObjId(4242),
+            ObjId(7),
+            MsgBody::ReadReq { req: 1, target: ObjId(4242), offset: 0, len: 8 },
+        );
         check(&msg.encode(), 4242, 7, 0x01);
     }
 

@@ -144,8 +144,7 @@ impl ReliableEndpoint {
                     delivered.push(data);
                     flow.recv_next += 1;
                 }
-                let ack_msg =
-                    Msg::new(peer, self.local, MsgBody::RelAck { ack: flow.cum_ack() });
+                let ack_msg = Msg::new(peer, self.local, MsgBody::RelAck { ack: flow.cum_ack() });
                 (delivered, Some(ack_msg))
             }
             MsgBody::RelAck { ack } => {
@@ -199,11 +198,7 @@ impl ReliableEndpoint {
     /// Earliest deadline at which [`ReliableEndpoint::poll_retransmits`]
     /// could have work, if anything is in flight.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.flows
-            .values()
-            .flat_map(|f| f.unacked.values())
-            .map(|u| u.sent_at + self.cfg.rto)
-            .min()
+        self.flows.values().flat_map(|f| f.unacked.values()).map(|u| u.sent_at + self.cfg.rto).min()
     }
 }
 

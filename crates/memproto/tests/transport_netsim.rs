@@ -93,11 +93,7 @@ fn run_tunnel(loss_permille: u16, messages: u64, seed: u64) -> (Vec<Vec<u8>>, u6
     sim.run_until_idle();
     let receiver = sim.node_as::<TunnelNode>(b).unwrap();
     let sender = sim.node_as::<TunnelNode>(a).unwrap();
-    (
-        receiver.delivered.clone(),
-        sender.ep.retransmits,
-        sim.counters.get("sim.packets_lost"),
-    )
+    (receiver.delivered.clone(), sender.ep.retransmits, sim.counters.get("sim.packets_lost"))
 }
 
 #[test]

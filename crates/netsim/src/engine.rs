@@ -12,10 +12,13 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::link::{Link, LinkId, LinkSpec};
+use crate::link::{Link, LinkId, LinkRate, LinkSpec};
 use crate::node::{Node, NodeCtx, NodeId, PortId};
 use crate::packet::Packet;
-use crate::stats::Counters;
+use crate::stats::{
+    Counters, SIM_EVENTS, SIM_PACKETS_DELIVERED, SIM_PACKETS_DROPPED, SIM_PACKETS_DROPPED_BAD_PORT,
+    SIM_PACKETS_LOST, SIM_PACKETS_SENT, SIM_TIMERS,
+};
 use crate::time::SimTime;
 
 /// Engine configuration.
@@ -33,9 +36,6 @@ impl Default for SimConfig {
         SimConfig { seed: 0, max_events: 200_000_000 }
     }
 }
-
-/// Buffered node actions drained after each callback.
-type NodeActions = (Vec<(PortId, Packet)>, Vec<(SimTime, u64)>);
 
 #[derive(Debug)]
 enum EventKind {
@@ -81,6 +81,13 @@ pub struct Sim {
     /// `sim.packets_delivered`, `sim.packets_dropped`, `sim.timers`.
     pub counters: Counters,
     started: bool,
+    /// Events processed so far — a plain field so the per-event budget
+    /// check doesn't round-trip through the counter table.
+    events: u64,
+    /// Scratch buffers lent to [`NodeCtx`] for each callback, so the event
+    /// loop allocates nothing in steady state.
+    scratch_sends: Vec<(PortId, Packet)>,
+    scratch_timers: Vec<(SimTime, u64)>,
 }
 
 impl Sim {
@@ -97,6 +104,9 @@ impl Sim {
             heap: BinaryHeap::new(),
             counters: Counters::new(),
             started: false,
+            events: 0,
+            scratch_sends: Vec::new(),
+            scratch_timers: Vec::new(),
         }
     }
 
@@ -127,6 +137,7 @@ impl Sim {
         let id = LinkId(self.links.len());
         self.links.push(Link {
             spec,
+            rate: LinkRate::from_spec(&spec),
             ends: [(a, pa), (b, pb)],
             dirs: [Default::default(); 2],
         });
@@ -159,45 +170,58 @@ impl Sim {
         (self.nodes[id.0].as_mut() as &mut dyn Any).downcast_mut::<T>()
     }
 
-    fn run_callback(
-        nodes: &mut [Box<dyn Node>],
-        ports: &[Vec<LinkId>],
-        rng: &mut StdRng,
-        clock: SimTime,
-        node: NodeId,
-        f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>),
-    ) -> NodeActions {
-        let mut ctx = NodeCtx::new(node, clock, ports[node.0].len(), rng);
-        f(nodes[node.0].as_mut(), &mut ctx);
-        (ctx.sends, ctx.timers)
+    /// Run one node callback against the engine-owned scratch buffers and
+    /// apply whatever it queued. The buffers are `mem::take`n around the
+    /// callback so their capacity is reused event after event — the loop's
+    /// steady state performs no heap allocation.
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>)) {
+        let mut sends = std::mem::take(&mut self.scratch_sends);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        sends.clear();
+        timers.clear();
+        {
+            let mut ctx = NodeCtx::new(
+                node,
+                self.clock,
+                self.ports[node.0].len(),
+                &mut self.rng,
+                &mut sends,
+                &mut timers,
+            );
+            f(self.nodes[node.0].as_mut(), &mut ctx);
+        }
+        self.apply_actions(node, &mut sends, &mut timers);
+        self.scratch_sends = sends;
+        self.scratch_timers = timers;
     }
 
     fn apply_actions(
         &mut self,
         node: NodeId,
-        sends: Vec<(PortId, Packet)>,
-        timers: Vec<(SimTime, u64)>,
+        sends: &mut Vec<(PortId, Packet)>,
+        timers: &mut Vec<(SimTime, u64)>,
     ) {
-        for (port, packet) in sends {
-            self.counters.inc("sim.packets_sent");
+        for (port, packet) in sends.drain(..) {
+            self.counters.inc_id(SIM_PACKETS_SENT);
             let Some(&link_id) = self.ports[node.0].get(port.0) else {
-                self.counters.inc("sim.packets_dropped.bad_port");
+                self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
                 continue;
             };
             let link = &mut self.links[link_id.0];
             let Some((dir, dst, dst_port)) = link.direction_from(node, port) else {
-                self.counters.inc("sim.packets_dropped.bad_port");
+                self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
                 continue;
             };
             let spec = link.spec;
+            let rate = link.rate;
             if spec.loss_permille > 0 {
                 use rand::Rng;
-                if self.rng.gen_range(0..1000) < u32::from(spec.loss_permille) {
-                    self.counters.inc("sim.packets_lost");
+                if self.rng.gen_range(0..1000u32) < u32::from(spec.loss_permille) {
+                    self.counters.inc_id(SIM_PACKETS_LOST);
                     continue;
                 }
             }
-            match link.dirs[dir].admit(&spec, self.clock, packet.wire_len()) {
+            match link.dirs[dir].admit(&rate, spec.latency, self.clock, packet.wire_len()) {
                 Some(arrival) => {
                     let seq = self.seq;
                     self.seq += 1;
@@ -208,11 +232,11 @@ impl Sim {
                     }));
                 }
                 None => {
-                    self.counters.inc("sim.packets_dropped");
+                    self.counters.inc_id(SIM_PACKETS_DROPPED);
                 }
             }
         }
-        for (at, tag) in timers {
+        for (at, tag) in timers.drain(..) {
             let seq = self.seq;
             self.seq += 1;
             self.heap.push(Reverse(Event { at, seq, kind: EventKind::Timer { node, tag } }));
@@ -225,16 +249,7 @@ impl Sim {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            let node = NodeId(i);
-            let (sends, timers) = Self::run_callback(
-                &mut self.nodes,
-                &self.ports,
-                &mut self.rng,
-                self.clock,
-                node,
-                |n, ctx| n.on_start(ctx),
-            );
-            self.apply_actions(node, sends, timers);
+            self.dispatch(NodeId(i), |n, ctx| n.on_start(ctx));
         }
     }
 
@@ -252,7 +267,7 @@ impl Sim {
             if ev.at > deadline {
                 break;
             }
-            if self.counters.get("sim.events") >= self.cfg.max_events {
+            if self.events >= self.cfg.max_events {
                 panic!(
                     "simulation exceeded max_events={} — likely an event storm",
                     self.cfg.max_events
@@ -261,37 +276,19 @@ impl Sim {
             let Reverse(ev) = self.heap.pop().unwrap();
             debug_assert!(ev.at >= self.clock, "time must not run backwards");
             self.clock = ev.at;
-            self.counters.inc("sim.events");
+            self.events += 1;
+            self.counters.inc_id(SIM_EVENTS);
             processed += 1;
-            let node = match &ev.kind {
-                EventKind::Deliver { node, .. } => *node,
-                EventKind::Timer { node, .. } => *node,
-            };
-            let (sends, timers) = match ev.kind {
+            match ev.kind {
                 EventKind::Deliver { node, port, packet } => {
-                    self.counters.inc("sim.packets_delivered");
-                    Self::run_callback(
-                        &mut self.nodes,
-                        &self.ports,
-                        &mut self.rng,
-                        self.clock,
-                        node,
-                        |n, ctx| n.on_packet(ctx, port, packet),
-                    )
+                    self.counters.inc_id(SIM_PACKETS_DELIVERED);
+                    self.dispatch(node, |n, ctx| n.on_packet(ctx, port, packet));
                 }
                 EventKind::Timer { node, tag } => {
-                    self.counters.inc("sim.timers");
-                    Self::run_callback(
-                        &mut self.nodes,
-                        &self.ports,
-                        &mut self.rng,
-                        self.clock,
-                        node,
-                        |n, ctx| n.on_timer(ctx, tag),
-                    )
+                    self.counters.inc_id(SIM_TIMERS);
+                    self.dispatch(node, |n, ctx| n.on_timer(ctx, tag));
                 }
-            };
-            self.apply_actions(node, sends, timers);
+            }
         }
         processed
     }

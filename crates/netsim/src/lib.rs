@@ -35,5 +35,5 @@ pub use engine::{Sim, SimConfig};
 pub use link::LinkSpec;
 pub use node::{Node, NodeCtx, NodeId, PortId};
 pub use packet::Packet;
-pub use stats::{Counters, Histogram};
+pub use stats::{CounterId, Counters, Histogram};
 pub use time::SimTime;

@@ -67,6 +67,40 @@ impl LinkSpec {
     }
 }
 
+/// Rate constants derived from a [`LinkSpec`] once, when the link is
+/// attached — so per-packet admission control needs no runtime division
+/// (a `u128` divide by the bandwidth was the single most expensive
+/// arithmetic on the event loop's packet path).
+///
+/// The queue bound is restated in the time domain: a backlog of `B` bytes
+/// equals `B · ps_per_byte / 1000` ns of serialization, so
+/// `backlog_bytes + bytes > queue_bytes` becomes
+/// `backlog_ns + tx_ns > queue_ns` — the identical comparison scaled by a
+/// constant, and exact for every bandwidth that divides 8·10¹² bits/s.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinkRate {
+    /// Picoseconds to serialize one byte.
+    pub ps_per_byte: u64,
+    /// Queue capacity expressed as serialization time (ns).
+    pub queue_ns: u64,
+}
+
+impl LinkRate {
+    /// Precompute the constants for `spec`.
+    pub fn from_spec(spec: &LinkSpec) -> LinkRate {
+        let ps_per_byte = 8_000_000_000_000u64 / spec.bandwidth_bps.max(1);
+        let queue_ns = ((spec.queue_bytes as u128 * ps_per_byte as u128) / 1000) as u64;
+        LinkRate { ps_per_byte, queue_ns }
+    }
+
+    /// Serialization time for `bytes` (division only by the constant 1000,
+    /// which compiles to a multiply).
+    #[inline]
+    pub fn tx_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_nanos(((bytes as u128 * self.ps_per_byte as u128) / 1000) as u64)
+    }
+}
+
 /// One direction of a link's runtime state.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct Direction {
@@ -77,16 +111,22 @@ pub(crate) struct Direction {
 impl Direction {
     /// Try to admit a packet of `bytes` at time `now`. Returns the arrival
     /// time at the far end, or `None` if the queue is full (tail drop).
-    pub fn admit(&mut self, spec: &LinkSpec, now: SimTime, bytes: usize) -> Option<SimTime> {
+    #[inline]
+    pub fn admit(
+        &mut self,
+        rate: &LinkRate,
+        latency: SimTime,
+        now: SimTime,
+        bytes: usize,
+    ) -> Option<SimTime> {
         let backlog_ns = self.next_free.saturating_sub(now).as_nanos();
-        let backlog_bytes = (backlog_ns as u128 * spec.bandwidth_bps as u128) / (8 * 1_000_000_000);
-        if backlog_bytes + bytes as u128 > spec.queue_bytes as u128 {
+        let tx = rate.tx_time(bytes);
+        if backlog_ns + tx.as_nanos() > rate.queue_ns {
             return None;
         }
-        let start = self.next_free.max(now);
-        let done = start + spec.tx_time(bytes);
+        let done = self.next_free.max(now) + tx;
         self.next_free = done;
-        Some(done + spec.latency)
+        Some(done + latency)
     }
 }
 
@@ -94,6 +134,8 @@ impl Direction {
 #[derive(Debug)]
 pub(crate) struct Link {
     pub spec: LinkSpec,
+    /// Admission constants precomputed from `spec`.
+    pub rate: LinkRate,
     /// (node, port) pairs for the two ends: `ends[0]` ↔ `ends[1]`.
     pub ends: [(NodeId, PortId); 2],
     pub dirs: [Direction; 2],
@@ -101,7 +143,11 @@ pub(crate) struct Link {
 
 impl Link {
     /// Index of the direction whose *source* is `from`, and the far end.
-    pub fn direction_from(&self, from: NodeId, from_port: PortId) -> Option<(usize, NodeId, PortId)> {
+    pub fn direction_from(
+        &self,
+        from: NodeId,
+        from_port: PortId,
+    ) -> Option<(usize, NodeId, PortId)> {
         if self.ends[0] == (from, from_port) {
             Some((0, self.ends[1].0, self.ends[1].1))
         } else if self.ends[1] == (from, from_port) {
@@ -135,10 +181,24 @@ mod tests {
     }
 
     #[test]
+    fn rate_matches_spec_math() {
+        // The precomputed constants must reproduce LinkSpec::tx_time for
+        // every bandwidth the repo's scenarios use.
+        for bps in [1_000_000_000u64, 8_000_000_000, 100_000_000_000] {
+            let s = LinkSpec { bandwidth_bps: bps, ..spec() };
+            let r = LinkRate::from_spec(&s);
+            for bytes in [0usize, 1, 64, 1000, 1500, 65536] {
+                assert_eq!(r.tx_time(bytes), s.tx_time(bytes), "{bps} bps / {bytes} B");
+            }
+        }
+    }
+
+    #[test]
     fn idle_link_arrival_is_tx_plus_latency() {
         let s = spec();
+        let r = LinkRate::from_spec(&s);
         let mut d = Direction::default();
-        let arrival = d.admit(&s, SimTime::from_nanos(100), 1000).unwrap();
+        let arrival = d.admit(&r, s.latency, SimTime::from_nanos(100), 1000).unwrap();
         // start 100, tx 1000, latency 10000.
         assert_eq!(arrival, SimTime::from_nanos(100 + 1000 + 10_000));
         assert_eq!(d.next_free, SimTime::from_nanos(1100));
@@ -147,28 +207,31 @@ mod tests {
     #[test]
     fn back_to_back_packets_queue_fifo() {
         let s = spec();
+        let r = LinkRate::from_spec(&s);
         let mut d = Direction::default();
-        let a1 = d.admit(&s, SimTime::ZERO, 1000).unwrap();
-        let a2 = d.admit(&s, SimTime::ZERO, 1000).unwrap();
+        let a1 = d.admit(&r, s.latency, SimTime::ZERO, 1000).unwrap();
+        let a2 = d.admit(&r, s.latency, SimTime::ZERO, 1000).unwrap();
         assert_eq!(a2 - a1, SimTime::from_nanos(1000), "second waits for first's tx");
     }
 
     #[test]
     fn queue_overflow_drops() {
         let s = spec(); // 3000-byte queue
+        let r = LinkRate::from_spec(&s);
         let mut d = Direction::default();
-        assert!(d.admit(&s, SimTime::ZERO, 1500).is_some());
-        assert!(d.admit(&s, SimTime::ZERO, 1500).is_some());
+        assert!(d.admit(&r, s.latency, SimTime::ZERO, 1500).is_some());
+        assert!(d.admit(&r, s.latency, SimTime::ZERO, 1500).is_some());
         // Backlog is now 3000 bytes: the third packet overflows.
-        assert!(d.admit(&s, SimTime::ZERO, 1500).is_none());
+        assert!(d.admit(&r, s.latency, SimTime::ZERO, 1500).is_none());
         // After the first drains, admission works again.
-        assert!(d.admit(&s, SimTime::from_nanos(1600), 1500).is_some());
+        assert!(d.admit(&r, s.latency, SimTime::from_nanos(1600), 1500).is_some());
     }
 
     #[test]
     fn direction_lookup() {
         let link = Link {
             spec: spec(),
+            rate: LinkRate::from_spec(&spec()),
             ends: [(NodeId(1), PortId(0)), (NodeId(2), PortId(3))],
             dirs: [Direction::default(); 2],
         };

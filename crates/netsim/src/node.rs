@@ -46,6 +46,10 @@ pub trait Node: std::any::Any {
 
 /// Buffered actions a node may take during a callback; drained by the
 /// engine afterwards.
+///
+/// The send/timer buffers are scratch vectors owned by the engine and
+/// lent to the context for the duration of one callback, so steady-state
+/// event processing allocates nothing.
 pub struct NodeCtx<'a> {
     /// This node's ID.
     pub id: NodeId,
@@ -55,13 +59,20 @@ pub struct NodeCtx<'a> {
     pub port_count: usize,
     /// Deterministic per-simulation RNG (shared, seeded by [`crate::engine::SimConfig`]).
     pub rng: &'a mut StdRng,
-    pub(crate) sends: Vec<(PortId, Packet)>,
-    pub(crate) timers: Vec<(SimTime, u64)>,
+    pub(crate) sends: &'a mut Vec<(PortId, Packet)>,
+    pub(crate) timers: &'a mut Vec<(SimTime, u64)>,
 }
 
 impl<'a> NodeCtx<'a> {
-    pub(crate) fn new(id: NodeId, now: SimTime, port_count: usize, rng: &'a mut StdRng) -> Self {
-        NodeCtx { id, now, port_count, rng, sends: Vec::new(), timers: Vec::new() }
+    pub(crate) fn new(
+        id: NodeId,
+        now: SimTime,
+        port_count: usize,
+        rng: &'a mut StdRng,
+        sends: &'a mut Vec<(PortId, Packet)>,
+        timers: &'a mut Vec<(SimTime, u64)>,
+    ) -> Self {
+        NodeCtx { id, now, port_count, rng, sends, timers }
     }
 
     /// Transmit `packet` out of `port`.
@@ -95,27 +106,31 @@ mod tests {
     #[test]
     fn ctx_buffers_actions() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut ctx = NodeCtx::new(NodeId(0), SimTime::from_micros(5), 3, &mut rng);
+        let (mut sends, mut timers) = (Vec::new(), Vec::new());
+        let mut ctx =
+            NodeCtx::new(NodeId(0), SimTime::from_micros(5), 3, &mut rng, &mut sends, &mut timers);
         ctx.send(PortId(1), Packet::new(vec![1], 0));
         ctx.set_timer(SimTime::from_micros(10), 77);
-        assert_eq!(ctx.sends.len(), 1);
-        assert_eq!(ctx.timers, vec![(SimTime::from_micros(15), 77)]);
+        assert_eq!(sends.len(), 1);
+        assert_eq!(timers, vec![(SimTime::from_micros(15), 77)]);
     }
 
     #[test]
     fn flood_skips_ingress() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut ctx = NodeCtx::new(NodeId(0), SimTime::ZERO, 4, &mut rng);
+        let (mut sends, mut timers) = (Vec::new(), Vec::new());
+        let mut ctx = NodeCtx::new(NodeId(0), SimTime::ZERO, 4, &mut rng, &mut sends, &mut timers);
         ctx.flood(&Packet::new(vec![9], 1), Some(PortId(2)));
-        let ports: Vec<usize> = ctx.sends.iter().map(|(p, _)| p.0).collect();
+        let ports: Vec<usize> = sends.iter().map(|(p, _)| p.0).collect();
         assert_eq!(ports, vec![0, 1, 3]);
     }
 
     #[test]
     fn flood_all_when_no_ingress() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut ctx = NodeCtx::new(NodeId(0), SimTime::ZERO, 2, &mut rng);
+        let (mut sends, mut timers) = (Vec::new(), Vec::new());
+        let mut ctx = NodeCtx::new(NodeId(0), SimTime::ZERO, 2, &mut rng, &mut sends, &mut timers);
         ctx.flood(&Packet::new(vec![9], 1), None);
-        assert_eq!(ctx.sends.len(), 2);
+        assert_eq!(sends.len(), 2);
     }
 }

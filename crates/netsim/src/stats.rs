@@ -1,14 +1,113 @@
 //! Counters and histograms used by the simulator and every experiment.
+//!
+//! Counter names are interned once into a process-wide registry; the hot
+//! path (`add_id`/`inc_id`) is a plain `Vec<u64>` index with no hashing,
+//! no string comparison, and no allocation. The string-keyed API (`add`,
+//! `inc`, `get`) survives as a thin shim that interns on each call — fine
+//! for cold paths and tests, wrong for per-event code.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Handle to an interned counter name: a dense index into the process-wide
+/// name registry. `Copy`, comparable, and valid for the process lifetime.
+///
+/// Obtain one with [`CounterId::intern`] (once, outside the hot loop) or
+/// use the pre-interned `SIM_*` engine constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+/// `sim.events` — events processed by the engine.
+pub const SIM_EVENTS: CounterId = CounterId(0);
+/// `sim.packets_sent` — packets handed to a link by a node callback.
+pub const SIM_PACKETS_SENT: CounterId = CounterId(1);
+/// `sim.packets_delivered` — packets that reached their destination port.
+pub const SIM_PACKETS_DELIVERED: CounterId = CounterId(2);
+/// `sim.packets_dropped` — tail drops at a full link queue.
+pub const SIM_PACKETS_DROPPED: CounterId = CounterId(3);
+/// `sim.packets_dropped.bad_port` — sends on a port with no link attached.
+pub const SIM_PACKETS_DROPPED_BAD_PORT: CounterId = CounterId(4);
+/// `sim.packets_lost` — random loss injected by a lossy link.
+pub const SIM_PACKETS_LOST: CounterId = CounterId(5);
+/// `sim.timers` — timer events fired.
+pub const SIM_TIMERS: CounterId = CounterId(6);
+
+/// Names behind the fixed engine slots above, in slot order.
+const ENGINE_SLOTS: [&str; 7] = [
+    "sim.events",
+    "sim.packets_sent",
+    "sim.packets_delivered",
+    "sim.packets_dropped",
+    "sim.packets_dropped.bad_port",
+    "sim.packets_lost",
+    "sim.timers",
+];
+
+struct Registry {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut reg =
+            Registry { by_name: HashMap::with_capacity(64), names: Vec::with_capacity(64) };
+        for name in ENGINE_SLOTS {
+            let idx = reg.names.len() as u32;
+            reg.names.push(name);
+            reg.by_name.insert(name, idx);
+        }
+        Mutex::new(reg)
+    })
+}
+
+impl CounterId {
+    /// Intern `name`, returning its stable dense id. The first call for a
+    /// given name leaks one copy of the string (names are a small, fixed
+    /// vocabulary); subsequent calls are a hash lookup. Takes a global
+    /// lock — call once at setup, not per event.
+    pub fn intern(name: &str) -> CounterId {
+        let mut reg = registry().lock().unwrap();
+        if let Some(&idx) = reg.by_name.get(name) {
+            return CounterId(idx);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let idx = reg.names.len() as u32;
+        reg.names.push(leaked);
+        reg.by_name.insert(leaked, idx);
+        CounterId(idx)
+    }
+
+    /// The name this id was interned under.
+    pub fn name(self) -> &'static str {
+        registry().lock().unwrap().names[self.0 as usize]
+    }
+
+    /// The dense registry index (exposed for dense per-id storage).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One counter's storage: its value plus a touched bit that preserves the
+/// old `BTreeMap` semantics where only counters that were ever added to
+/// (even with delta 0) appear in [`Counters::iter`]. Value and bit share a
+/// slot so the hot-path increment touches one vector and one cache line.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    value: u64,
+    touched: bool,
+}
 
 /// Named monotonic counters.
 ///
-/// Backed by a `BTreeMap` so iteration (and therefore report output) is
-/// deterministic.
+/// Storage is a dense slot vector indexed by [`CounterId`] — no hashing,
+/// no string comparisons. Iteration sorts by name, so report output is
+/// byte-identical to the map-backed implementation.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
-    inner: BTreeMap<String, u64>,
+    slots: Vec<Slot>,
 }
 
 impl Counters {
@@ -17,30 +116,81 @@ impl Counters {
         Counters::default()
     }
 
-    /// Add `delta` to counter `name`.
-    pub fn add(&mut self, name: &str, delta: u64) {
-        *self.inner.entry(name.to_string()).or_insert(0) += delta;
+    /// Out-of-line growth so the hot path below stays a single
+    /// predictable branch over one slot vector.
+    #[cold]
+    fn grow_add(&mut self, idx: usize, delta: u64) {
+        self.slots.resize(idx + 1, Slot::default());
+        self.slots[idx] = Slot { value: delta, touched: true };
     }
 
-    /// Increment counter `name` by one.
+    /// Add `delta` to the counter behind `id`. Hot path: one bounds check,
+    /// no locks, no allocation (after the vector has grown to cover `id`).
+    #[inline]
+    pub fn add_id(&mut self, id: CounterId, delta: u64) {
+        let idx = id.0 as usize;
+        if let Some(slot) = self.slots.get_mut(idx) {
+            slot.value += delta;
+            slot.touched = true;
+        } else {
+            self.grow_add(idx, delta);
+        }
+    }
+
+    /// Increment the counter behind `id` by one.
+    #[inline]
+    pub fn inc_id(&mut self, id: CounterId) {
+        self.add_id(id, 1);
+    }
+
+    /// Current value behind `id` (zero if never touched).
+    #[inline]
+    pub fn get_id(&self, id: CounterId) -> u64 {
+        self.slots.get(id.0 as usize).map(|s| s.value).unwrap_or(0)
+    }
+
+    /// Add `delta` to counter `name`. Interns on every call — use
+    /// [`Counters::add_id`] in per-event code.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        self.add_id(CounterId::intern(name), delta);
+    }
+
+    /// Increment counter `name` by one (interning shim, see [`Counters::add`]).
     pub fn inc(&mut self, name: &str) {
         self.add(name, 1);
     }
 
     /// Current value of `name` (zero if never touched).
     pub fn get(&self, name: &str) -> u64 {
-        self.inner.get(name).copied().unwrap_or(0)
+        self.get_id(CounterId::intern(name))
     }
 
     /// Iterate over `(name, value)` in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.inner.iter().map(|(k, v)| (k.as_str(), *v))
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        let reg = registry().lock().unwrap();
+        let mut out: Vec<(&'static str, u64)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.touched)
+            .map(|(i, s)| (reg.names[i], s.value))
+            .collect();
+        out.sort_unstable_by_key(|&(name, _)| name);
+        out.into_iter()
     }
 
     /// Fold another counter set into this one.
+    ///
+    /// Ids are global, so this is a straight elementwise add.
     pub fn merge(&mut self, other: &Counters) {
-        for (k, v) in other.iter() {
-            self.add(k, v);
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), Slot::default());
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            if theirs.touched {
+                mine.value += theirs.value;
+                mine.touched = true;
+            }
         }
     }
 }
@@ -48,10 +198,16 @@ impl Counters {
 /// An exact latency histogram (stores every sample; experiments record at
 /// most a few hundred thousand points, so exactness is affordable and keeps
 /// percentile math trivially correct).
+///
+/// A running sum and sum-of-squares are maintained on `record`, so
+/// [`Histogram::mean`] and [`Histogram::stddev`] are O(1) instead of
+/// re-summing the sample vector on every call.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<u64>,
     sorted: bool,
+    sum: u128,
+    sum_sq: u128,
 }
 
 impl Histogram {
@@ -64,6 +220,8 @@ impl Histogram {
     pub fn record(&mut self, value: u64) {
         self.samples.push(value);
         self.sorted = false;
+        self.sum += u128::from(value);
+        self.sum_sq += u128::from(value) * u128::from(value);
     }
 
     /// Number of samples.
@@ -76,29 +234,23 @@ impl Histogram {
         self.samples.is_empty()
     }
 
-    /// Arithmetic mean (0.0 when empty).
+    /// Arithmetic mean (0.0 when empty). O(1): served from the running sum.
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+        self.sum as f64 / self.samples.len() as f64
     }
 
-    /// Population standard deviation (0.0 when empty).
+    /// Population standard deviation (0.0 when empty). O(1): computed as
+    /// `sqrt(E[x²] − mean²)` from the running sums.
     pub fn stddev(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mean = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|&s| {
-                let d = s as f64 - mean;
-                d * d
-            })
-            .sum::<f64>()
-            / self.samples.len() as f64;
+        let n = self.samples.len() as f64;
+        let mean = self.sum as f64 / n;
+        let var = (self.sum_sq as f64 / n - mean * mean).max(0.0);
         var.sqrt()
     }
 
@@ -166,6 +318,58 @@ mod tests {
     }
 
     #[test]
+    fn interned_ids_are_stable_and_alias_names() {
+        let id1 = CounterId::intern("stats.test.alpha");
+        let id2 = CounterId::intern("stats.test.alpha");
+        assert_eq!(id1, id2);
+        assert_eq!(id1.name(), "stats.test.alpha");
+        let mut c = Counters::new();
+        c.inc_id(id1);
+        c.add_id(id1, 2);
+        // The string API reads the same slot.
+        assert_eq!(c.get("stats.test.alpha"), 3);
+        c.add("stats.test.alpha", 1);
+        assert_eq!(c.get_id(id1), 4);
+    }
+
+    #[test]
+    fn engine_slots_match_their_names() {
+        for (slot, name) in [
+            (SIM_EVENTS, "sim.events"),
+            (SIM_PACKETS_SENT, "sim.packets_sent"),
+            (SIM_PACKETS_DELIVERED, "sim.packets_delivered"),
+            (SIM_PACKETS_DROPPED, "sim.packets_dropped"),
+            (SIM_PACKETS_DROPPED_BAD_PORT, "sim.packets_dropped.bad_port"),
+            (SIM_PACKETS_LOST, "sim.packets_lost"),
+            (SIM_TIMERS, "sim.timers"),
+        ] {
+            assert_eq!(slot, CounterId::intern(name), "fixed slot for {name}");
+            assert_eq!(slot.name(), name);
+        }
+    }
+
+    #[test]
+    fn merge_via_ids_matches_string_merge() {
+        let ix = CounterId::intern("stats.test.m1");
+        let iy = CounterId::intern("stats.test.m2");
+        let mut a = Counters::new();
+        a.add_id(ix, 7);
+        let mut b = Counters::new();
+        b.add_id(ix, 3);
+        b.add_id(iy, 5);
+        a.merge(&b);
+        assert_eq!(a.get_id(ix), 10);
+        assert_eq!(a.get_id(iy), 5);
+    }
+
+    #[test]
+    fn zero_delta_counters_still_appear_in_iter() {
+        let mut c = Counters::new();
+        c.add("stats.test.zero", 0);
+        assert!(c.iter().any(|(name, v)| name == "stats.test.zero" && v == 0));
+    }
+
+    #[test]
     fn histogram_basic_stats() {
         let mut h = Histogram::new();
         for v in [10u64, 20, 30, 40] {
@@ -208,5 +412,18 @@ mod tests {
         h.record(1);
         assert_eq!(h.min(), 1);
         assert_eq!(h.max(), 5);
+    }
+
+    #[test]
+    fn cached_moments_survive_interleaved_reads() {
+        // mean/stddev must stay correct when reads interleave with records.
+        let mut h = Histogram::new();
+        h.record(10);
+        assert_eq!(h.mean(), 10.0);
+        h.record(30);
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.stddev(), 10.0);
+        h.record(20);
+        assert_eq!(h.mean(), 20.0);
     }
 }

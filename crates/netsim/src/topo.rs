@@ -26,7 +26,13 @@ impl Fabric {
     }
 
     /// Wire `a`—`b` in `sim` and record it.
-    pub fn connect(&mut self, sim: &mut Sim, a: NodeId, b: NodeId, spec: LinkSpec) -> (PortId, PortId) {
+    pub fn connect(
+        &mut self,
+        sim: &mut Sim,
+        a: NodeId,
+        b: NodeId,
+        spec: LinkSpec,
+    ) -> (PortId, PortId) {
         let (pa, pb) = sim.connect(a, b, spec);
         self.links.push((a, pa, b, pb));
         (pa, pb)

@@ -70,12 +70,13 @@ impl ObjAllocator {
             }
         }
         let off = self.bump;
-        let end = off.checked_add(size).ok_or(ObjError::OutOfMemory {
-            requested: size,
-            available: 0,
-        })?;
+        let end =
+            off.checked_add(size).ok_or(ObjError::OutOfMemory { requested: size, available: 0 })?;
         if end > self.limit {
-            return Err(ObjError::OutOfMemory { requested: size, available: self.limit - self.bump });
+            return Err(ObjError::OutOfMemory {
+                requested: size,
+                available: self.limit - self.bump,
+            });
         }
         self.bump = end;
         Ok(off)

@@ -44,12 +44,18 @@ impl fmt::Display for ObjError {
             ObjError::NotFound(id) => write!(f, "object {id} not found"),
             ObjError::AlreadyExists(id) => write!(f, "object {id} already exists"),
             ObjError::OutOfBounds { offset, len, size } => {
-                write!(f, "access [{offset}, {offset}+{len}) out of bounds for object of size {size}")
+                write!(
+                    f,
+                    "access [{offset}, {offset}+{len}) out of bounds for object of size {size}"
+                )
             }
             ObjError::BadFotIndex(i) => write!(f, "no FOT entry at index {i}"),
             ObjError::FotFull => write!(f, "foreign object table is full"),
             ObjError::OutOfMemory { requested, available } => {
-                write!(f, "object allocator exhausted: requested {requested}, available {available}")
+                write!(
+                    f,
+                    "object allocator exhausted: requested {requested}, available {available}"
+                )
             }
             ObjError::NullPointer => write!(f, "null invariant pointer dereferenced"),
             ObjError::CorruptImage(what) => write!(f, "corrupt object image: {what}"),

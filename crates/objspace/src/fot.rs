@@ -77,7 +77,8 @@ impl Fot {
     pub fn intern(&mut self, id: ObjId, flags: FotFlags) -> ObjResult<u32> {
         if let Some(pos) = self.entries.iter().position(|e| e.id == id) {
             let e = &mut self.entries[pos];
-            e.flags = FotFlags { read: e.flags.read || flags.read, write: e.flags.write || flags.write };
+            e.flags =
+                FotFlags { read: e.flags.read || flags.read, write: e.flags.write || flags.write };
             return Ok(pos as u32 + 1);
         }
         if self.entries.len() as u32 >= MAX_FOT_INDEX {

@@ -38,9 +38,9 @@ pub mod store;
 pub mod structures;
 
 pub use error::{ObjError, ObjResult};
-pub use naming::Namespace;
 pub use fot::{Fot, FotEntry, FotFlags};
 pub use id::ObjId;
+pub use naming::Namespace;
 pub use object::{Object, ObjectKind, ObjectMeta};
 pub use ptr::InvPtr;
 pub use reach::ReachGraph;

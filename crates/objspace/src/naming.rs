@@ -121,8 +121,7 @@ impl Namespace {
 /// target is returned.
 pub fn resolve_path(store: &ObjectStore, root: ObjId, path: &str) -> ObjResult<ObjId> {
     let mut cur = root;
-    let components: Vec<&str> =
-        path.split('/').filter(|c| !c.is_empty()).collect();
+    let components: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
     if components.is_empty() {
         return Ok(root);
     }
@@ -180,8 +179,7 @@ mod tests {
         for i in 0..50u64 {
             ns.bind(&format!("entry_{i}"), ObjId(u128::from(i) + 100)).unwrap();
         }
-        let moved =
-            Namespace::from_object(Object::from_image(&ns.object().to_image()).unwrap());
+        let moved = Namespace::from_object(Object::from_image(&ns.object().to_image()).unwrap());
         assert_eq!(moved.len().unwrap(), 50);
         assert_eq!(moved.lookup("entry_7").unwrap(), Some(ObjId(107)));
     }

@@ -131,7 +131,14 @@ impl Object {
     /// Total image size if serialized now.
     pub fn image_len(&self) -> usize {
         // magic + kind + id + version + fot + allocator + heap-len prefix + heap
-        4 + 1 + 16 + 8 + self.fot.image_len() + 28 + self.allocator_extra_len() + 8 + self.heap.len()
+        4 + 1
+            + 16
+            + 8
+            + self.fot.image_len()
+            + 28
+            + self.allocator_extra_len()
+            + 8
+            + self.heap.len()
     }
 
     fn allocator_extra_len(&self) -> usize {
@@ -212,9 +219,7 @@ impl Object {
     /// Read `count` little-endian `f32`s at `offset`.
     pub fn read_f32s(&self, offset: u64, count: usize) -> ObjResult<Vec<f32>> {
         let b = self.read(offset, count as u64 * 4)?;
-        Ok(b.chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+        Ok(b.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
     }
 
     /// Write a slice of `f32`s at `offset`.
@@ -241,11 +246,7 @@ impl Object {
     /// FOT entry as needed).
     pub fn make_ptr(&mut self, target: ObjId, offset: u64, flags: FotFlags) -> ObjResult<InvPtr> {
         let idx = self.ref_to(target, flags)?;
-        InvPtr::new(idx, offset).ok_or(ObjError::OutOfBounds {
-            offset,
-            len: 0,
-            size: MAX_OFFSET,
-        })
+        InvPtr::new(idx, offset).ok_or(ObjError::OutOfBounds { offset, len: 0, size: MAX_OFFSET })
     }
 
     /// Resolve a pointer read from this object to `(object id, offset)`.

@@ -213,11 +213,7 @@ mod tests {
         let a = store.create(&mut rng, ObjectKind::Data);
         let b = store.create(&mut rng, ObjectKind::Code);
         let cell = store.get_mut(a).unwrap().alloc(8).unwrap();
-        let ptr = store
-            .get_mut(a)
-            .unwrap()
-            .make_ptr(b, 64, crate::fot::FotFlags::RW)
-            .unwrap();
+        let ptr = store.get_mut(a).unwrap().make_ptr(b, 64, crate::fot::FotFlags::RW).unwrap();
         store.get_mut(a).unwrap().write_ptr(cell, ptr).unwrap();
 
         let snap = store.to_snapshot();

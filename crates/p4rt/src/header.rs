@@ -141,10 +141,7 @@ mod tests {
     fn short_packet_rejected() {
         let fmt = objnet_format();
         assert_eq!(fmt.min_len(), 33);
-        assert!(matches!(
-            fmt.parse(&[0u8; 32]),
-            Err(P4Error::ShortPacket { needed: 33, got: 32 })
-        ));
+        assert!(matches!(fmt.parse(&[0u8; 32]), Err(P4Error::ShortPacket { needed: 33, got: 32 })));
         assert!(fmt.parse(&[0u8; 33]).is_ok());
     }
 

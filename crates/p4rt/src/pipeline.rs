@@ -11,12 +11,42 @@
 //! program tables remotely.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
-use rdv_netsim::{Node, NodeCtx, Packet, PortId, SimTime};
+use rdv_netsim::{CounterId, Node, NodeCtx, Packet, PortId, SimTime};
 
 use crate::error::{P4Error, P4Result};
 use crate::header::HeaderFormat;
 use crate::table::{Action, Table, TableEntry};
+
+/// Interned ids for the switch's counters, resolved once per process so the
+/// per-packet pipeline never interns (or hashes) a counter name.
+struct SwitchCtr {
+    control: CounterId,
+    control_install_failed: CounterId,
+    learned: CounterId,
+    hit: CounterId,
+    flood_suppressed: CounterId,
+    flood: CounterId,
+    punt: CounterId,
+    drop: CounterId,
+    parse_error: CounterId,
+}
+
+fn ctr() -> &'static SwitchCtr {
+    static IDS: OnceLock<SwitchCtr> = OnceLock::new();
+    IDS.get_or_init(|| SwitchCtr {
+        control: CounterId::intern("control"),
+        control_install_failed: CounterId::intern("control.install_failed"),
+        learned: CounterId::intern("learned"),
+        hit: CounterId::intern("hit"),
+        flood_suppressed: CounterId::intern("flood_suppressed"),
+        flood: CounterId::intern("flood"),
+        punt: CounterId::intern("punt"),
+        drop: CounterId::intern("drop"),
+        parse_error: CounterId::intern("parse_error"),
+    })
+}
 
 /// Message-type values at or above this are control-plane traffic handled
 /// by the switch itself (never forwarded).
@@ -269,14 +299,14 @@ impl Node for SwitchNode {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, packet: Packet) {
         // In-band control?
         if let Some(msg) = ControlMsg::decode(&packet.payload) {
-            self.counters.inc("control");
+            self.counters.inc_id(ctr().control);
             match msg {
                 ControlMsg::InstallExact { table, key, port } => {
                     if let Ok(t) = self.pipeline.table_mut(table as usize) {
                         if t.insert(TableEntry::Exact { key }, Action::Forward(port as usize))
                             .is_err()
                         {
-                            self.counters.inc("control.install_failed");
+                            self.counters.inc_id(ctr().control_install_failed);
                         }
                     }
                 }
@@ -299,7 +329,7 @@ impl Node for SwitchNode {
                         let key = vec![src];
                         if t.lookup(&[0, src, 0]).ok().flatten().is_none() {
                             let _ = t.insert(TableEntry::Exact { key }, Action::Forward(port.0));
-                            self.counters.inc("learned");
+                            self.counters.inc_id(ctr().learned);
                         }
                     }
                 }
@@ -307,7 +337,7 @@ impl Node for SwitchNode {
         }
         match self.pipeline.apply(&packet.payload) {
             Ok(Action::Forward(out)) => {
-                self.counters.inc("hit");
+                self.counters.inc_id(ctr().hit);
                 self.defer_send(ctx, Some(PortId(out)), packet, false);
             }
             Ok(Action::Flood) => {
@@ -319,27 +349,27 @@ impl Node for SwitchNode {
                         .map(|f| f[crate::header::OBJNET_SRC_OBJ])
                         .unwrap_or(0);
                     if !self.seen_floods.insert((src, packet.trace)) {
-                        self.counters.inc("flood_suppressed");
+                        self.counters.inc_id(ctr().flood_suppressed);
                         return;
                     }
                 }
-                self.counters.inc("flood");
+                self.counters.inc_id(ctr().flood);
                 // Record ingress in the packet slot; flood at timer time.
                 self.defer_send(ctx, Some(port), packet, true);
             }
             Ok(Action::Punt) => {
-                self.counters.inc("punt");
+                self.counters.inc_id(ctr().punt);
                 if let Some(cport) = self.cfg.controller_port {
                     self.defer_send(ctx, Some(cport), packet, false);
                 } else {
-                    self.counters.inc("drop");
+                    self.counters.inc_id(ctr().drop);
                 }
             }
             Ok(Action::Drop) => {
-                self.counters.inc("drop");
+                self.counters.inc_id(ctr().drop);
             }
             Err(_) => {
-                self.counters.inc("parse_error");
+                self.counters.inc_id(ctr().parse_error);
             }
         }
     }
@@ -537,8 +567,8 @@ mod tests {
         let s = sim.add_node(Box::new(SwitchNode::new("s0", pl, cfg)));
         sim.connect(a, s, LinkSpec::rack()); // switch port 0 → a
         sim.connect(b, s, LinkSpec::rack()); // switch port 1 → b
-        // a's start packet has src_obj 0 (TestHost uses src 0), so craft a
-        // packet with a real src via b instead: b sends src=0xBB.
+                                             // a's start packet has src_obj 0 (TestHost uses src 0), so craft a
+                                             // packet with a real src via b instead: b sends src=0xBB.
         sim.run_until_idle();
         let sw = sim.node_as_mut::<SwitchNode>(s).unwrap();
         // Manually feed the learning path: simulate a packet from port 1
@@ -580,7 +610,8 @@ mod tests {
             fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: Packet) {}
         }
         let mut sim = Sim::new(SimConfig::default());
-        let a = sim.add_node(Box::new(TestHost { dst: 77, send_at_start: false, received: vec![] }));
+        let a =
+            sim.add_node(Box::new(TestHost { dst: 77, send_at_start: false, received: vec![] }));
         let b = sim.add_node(Box::new(TestHost { dst: 0, send_at_start: false, received: vec![] }));
         let pl = routing_pipeline(Action::Drop);
         let s = sim.add_node(Box::new(SwitchNode::new("s0", pl, SwitchConfig::default())));

@@ -119,13 +119,12 @@ pub fn compile_into(
                 // Exact compilation: need exactly one Eq predicate per key field.
                 let mut key = Vec::with_capacity(table.key_fields.len());
                 for &kf in &table.key_fields.clone() {
-                    let p = sub
-                        .predicates
-                        .iter()
-                        .find(|p| p.field == kf && p.cmp == Cmp::Eq)
-                        .ok_or(P4Error::Uncompilable(
-                            "exact table requires an Eq predicate on every key field",
-                        ))?;
+                    let p =
+                        sub.predicates.iter().find(|p| p.field == kf && p.cmp == Cmp::Eq).ok_or(
+                            P4Error::Uncompilable(
+                                "exact table requires an Eq predicate on every key field",
+                            ),
+                        )?;
                     key.push(p.value);
                 }
                 if sub.predicates.len() != table.key_fields.len() {
@@ -150,8 +149,7 @@ pub fn compile_into(
                 let mut empty = false;
                 for p in &sub.predicates {
                     let width = format.field_bits(p.field)?;
-                    let full: u128 =
-                        if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+                    let full: u128 = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
                     let (lo, hi) = intervals[p.field].unwrap_or((0, full));
                     let next = match p.cmp {
                         Cmp::Eq => {
@@ -196,8 +194,7 @@ pub fn compile_into(
                 for (field, interval) in intervals.iter().enumerate() {
                     let Some((lo, hi)) = interval else { continue };
                     let width = format.field_bits(field)?;
-                    let full: u128 =
-                        if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+                    let full: u128 = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
                     if (*lo, *hi) == (0, full) {
                         continue; // unconstrained: stay wildcard
                     }
@@ -290,7 +287,8 @@ mod tests {
 
     fn compile_one(sub: Subscription) -> Table {
         let fmt = small_format();
-        let mut table = Table::new("tern", vec![0, 1], MatchKind::Ternary, 24, SramBudget::tofino());
+        let mut table =
+            Table::new("tern", vec![0, 1], MatchKind::Ternary, 24, SramBudget::tofino());
         compile_into(&fmt, &mut table, &[sub]).unwrap();
         table
     }

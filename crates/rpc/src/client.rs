@@ -284,13 +284,7 @@ mod tests {
         // Client wired to a sink that swallows requests.
         struct Blackhole;
         impl rdv_netsim::Node for Blackhole {
-            fn on_packet(
-                &mut self,
-                _: &mut NodeCtx<'_>,
-                _: PortId,
-                _: rdv_netsim::Packet,
-            ) {
-            }
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: rdv_netsim::Packet) {}
         }
         let mut sim = rdv_netsim::Sim::new(rdv_netsim::SimConfig::default());
         let mut client = ClientNode::new("cli", ObjId(0xC));

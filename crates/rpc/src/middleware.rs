@@ -233,12 +233,7 @@ mod tests {
                 timeout_ns: 0,
             });
         }
-        let (mut sim, ids) = star(vec![
-            Box::new(client),
-            Box::new(s1),
-            Box::new(s2),
-            Box::new(lb),
-        ]);
+        let (mut sim, ids) = star(vec![Box::new(client), Box::new(s1), Box::new(s2), Box::new(lb)]);
         for i in 0..4u64 {
             sim.schedule(SimTime::from_micros(100 + 200 * i), ids[0], i);
         }

@@ -142,8 +142,7 @@ impl RpcMsg {
             0x63 => {
                 let req = r.get_uvarint()?;
                 let bytes = r.get_len_prefixed(1 << 16)?;
-                let name =
-                    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)?;
+                let name = String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidUtf8)?;
                 RpcBody::Lookup { req, name }
             }
             0x64 => RpcBody::LookupResp { req: r.get_uvarint()?, server: ObjId(r.get_u128()?) },

@@ -71,10 +71,12 @@ impl Node for ServerNode {
             let reply_body = match self.services.get_mut(&service) {
                 Some(svc) => match svc.dispatch(method, &args) {
                     Ok(reply) => {
-                        let delay =
-                            self.base_delay + SimTime::from_nanos(reply.compute_ns);
-                        let out =
-                            RpcMsg::new(msg.src, self.inbox, RpcBody::Response { req, payload: reply.payload });
+                        let delay = self.base_delay + SimTime::from_nanos(reply.compute_ns);
+                        let out = RpcMsg::new(
+                            msg.src,
+                            self.inbox,
+                            RpcBody::Response { req, payload: reply.payload },
+                        );
                         self.reply_later(ctx, delay, out);
                         return;
                     }

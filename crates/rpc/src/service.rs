@@ -49,9 +49,7 @@ impl Service for EchoService {
     fn dispatch(&mut self, method: u32, args: &[u8]) -> Result<ServiceReply, RpcError> {
         self.calls += 1;
         match method {
-            echo_methods::ECHO => {
-                Ok(ServiceReply { payload: args.to_vec(), compute_ns: 100 })
-            }
+            echo_methods::ECHO => Ok(ServiceReply { payload: args.to_vec(), compute_ns: 100 }),
             echo_methods::LEN => {
                 let mut w = WireWriter::new();
                 w.put_uvarint(args.len() as u64);
@@ -109,10 +107,9 @@ impl ModelServingService {
 
     fn decode_name_args(args: &[u8]) -> Result<(String, Vec<f32>), RpcError> {
         let mut r = WireReader::new(args);
-        let name = String::from_utf8(
-            r.get_len_prefixed(1 << 16).map_err(|_| RpcError::BadArgs)?.to_vec(),
-        )
-        .map_err(|_| RpcError::BadArgs)?;
+        let name =
+            String::from_utf8(r.get_len_prefixed(1 << 16).map_err(|_| RpcError::BadArgs)?.to_vec())
+                .map_err(|_| RpcError::BadArgs)?;
         let n = r.get_uvarint().map_err(|_| RpcError::BadArgs)? as usize;
         let mut activation = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
@@ -222,7 +219,8 @@ mod tests {
 
     #[test]
     fn model_serving_call_by_value() {
-        let spec = SparseModelSpec { layers: 2, rows: 64, cols: 64, nnz_per_row: 4, vocab: 32, seed: 5 };
+        let spec =
+            SparseModelSpec { layers: 2, rows: 64, cols: 64, nnz_per_row: 4, vocab: 32, seed: 5 };
         let model = SparseModel::generate(&spec);
         let mut meter = CostMeter::new();
         let model_bytes = sparsemodel::serialize_model(&model, &mut meter);
@@ -252,8 +250,14 @@ mod tests {
     fn deser_load_dominates_compute_for_sparse_models() {
         // The S1 claim at service granularity: request-time deserialize +
         // load is the majority of server processing for sparse models.
-        let spec =
-            SparseModelSpec { layers: 4, rows: 512, cols: 512, nnz_per_row: 8, vocab: 512, seed: 6 };
+        let spec = SparseModelSpec {
+            layers: 4,
+            rows: 512,
+            cols: 512,
+            nnz_per_row: 8,
+            vocab: 512,
+            seed: 6,
+        };
         let model = SparseModel::generate(&spec);
         let mut meter = CostMeter::new();
         let model_bytes = sparsemodel::serialize_model(&model, &mut meter);
@@ -261,8 +265,7 @@ mod tests {
         let args = ModelServingService::encode_args(&model_bytes, &activation);
         let mut svc = ModelServingService::default();
         svc.dispatch(model_methods::INFER_WITH_MODEL, &args).unwrap();
-        let deser_load =
-            svc.meter.phase_ns(Phase::Deserialize) + svc.meter.phase_ns(Phase::Load);
+        let deser_load = svc.meter.phase_ns(Phase::Deserialize) + svc.meter.phase_ns(Phase::Load);
         let compute = svc.meter.phase_ns(Phase::Compute);
         assert!(
             deser_load as f64 > 0.5 * (deser_load + compute) as f64,

@@ -253,10 +253,7 @@ mod tests {
     #[test]
     fn eof_reports_needs() {
         let mut r = WireReader::new(&[1, 2]);
-        assert!(matches!(
-            r.get_u32(),
-            Err(WireError::UnexpectedEof { needed: 4, available: 2 })
-        ));
+        assert!(matches!(r.get_u32(), Err(WireError::UnexpectedEof { needed: 4, available: 2 })));
         // Position unchanged after failed read.
         assert_eq!(r.position(), 0);
     }

@@ -114,10 +114,8 @@ impl Encode for i32 {
 impl Decode for i32 {
     fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
         let v = r.get_ivarint()?;
-        i32::try_from(v).map_err(|_| WireError::LengthOverflow {
-            len: v.unsigned_abs(),
-            max: i32::MAX as u64,
-        })
+        i32::try_from(v)
+            .map_err(|_| WireError::LengthOverflow { len: v.unsigned_abs(), max: i32::MAX as u64 })
     }
 }
 
@@ -320,10 +318,7 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = encode_to_vec(&7u64);
         bytes.push(0);
-        assert!(matches!(
-            decode_from_slice::<u64>(&bytes),
-            Err(WireError::TrailingBytes(1))
-        ));
+        assert!(matches!(decode_from_slice::<u64>(&bytes), Err(WireError::TrailingBytes(1))));
     }
 
     #[test]

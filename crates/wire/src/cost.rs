@@ -34,6 +34,19 @@ impl Phase {
     pub const ALL: [Phase; 5] =
         [Phase::Serialize, Phase::Transfer, Phase::Deserialize, Phase::Load, Phase::Compute];
 
+    /// This phase's index in [`Phase::ALL`] — a const match, so per-charge
+    /// accounting compiles to an array index instead of a linear scan.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Phase::Serialize => 0,
+            Phase::Transfer => 1,
+            Phase::Deserialize => 2,
+            Phase::Load => 3,
+            Phase::Compute => 4,
+        }
+    }
+
     /// Short label for reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -69,11 +82,11 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
-            ps_per_byte: 50,        // ~20 GB/s codec throughput
-            ps_per_alloc: 25_000,   // ~25 ns per allocation
-            ps_per_fixup: 15_000,   // ~15 ns per pointer swizzle
-            ps_per_elem: 2_000,     // ~2 ns per element visited
-            ps_per_wire_byte: 80,   // 100 Gb/s line rate
+            ps_per_byte: 50,      // ~20 GB/s codec throughput
+            ps_per_alloc: 25_000, // ~25 ns per allocation
+            ps_per_fixup: 15_000, // ~15 ns per pointer swizzle
+            ps_per_elem: 2_000,   // ~2 ns per element visited
+            ps_per_wire_byte: 80, // 100 Gb/s line rate
         }
     }
 }
@@ -121,7 +134,7 @@ impl CostMeter {
     }
 
     fn idx(phase: Phase) -> usize {
-        Phase::ALL.iter().position(|&p| p == phase).expect("phase in ALL")
+        phase.index()
     }
 
     /// Charge work counters to `phase`.
@@ -286,6 +299,13 @@ mod tests {
         m.charge_direct_ns(Phase::Compute, 300);
         let b = m.breakdown();
         assert!((b.deser_load_fraction() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_index_matches_canonical_order() {
+        for (i, &p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{}", p.label());
+        }
     }
 
     #[test]

@@ -116,11 +116,7 @@ mod tests {
     fn partial_frame_returns_none() {
         let encoded = FrameCodec::encode(b"hello");
         for cut in 0..encoded.len() {
-            assert_eq!(
-                FrameCodec::decode(&encoded[..cut]).unwrap(),
-                None,
-                "cut at {cut}"
-            );
+            assert_eq!(FrameCodec::decode(&encoded[..cut]).unwrap(), None, "cut at {cut}");
         }
     }
 
@@ -129,10 +125,7 @@ mod tests {
         let mut encoded = FrameCodec::encode(b"hello");
         let last = encoded.len() - 1;
         encoded[last] ^= 0xff;
-        assert!(matches!(
-            FrameCodec::decode(&encoded),
-            Err(WireError::ChecksumMismatch { .. })
-        ));
+        assert!(matches!(FrameCodec::decode(&encoded), Err(WireError::ChecksumMismatch { .. })));
     }
 
     #[test]
@@ -148,10 +141,7 @@ mod tests {
         w.put_bytes(&FRAME_MAGIC);
         w.put_uvarint(MAX_FRAME_PAYLOAD + 1);
         w.put_u32(0);
-        assert!(matches!(
-            FrameCodec::decode(w.as_slice()),
-            Err(WireError::LengthOverflow { .. })
-        ));
+        assert!(matches!(FrameCodec::decode(w.as_slice()), Err(WireError::LengthOverflow { .. })));
     }
 
     #[test]

@@ -141,9 +141,7 @@ impl SparseModel {
     /// Deterministically generate a model from `spec`.
     pub fn generate(spec: &SparseModelSpec) -> SparseModel {
         let mut rng = StdRng::seed_from_u64(spec.seed);
-        let vocab = (0..spec.vocab)
-            .map(|i| format!("feat_{i}_{:08x}", rng.gen::<u32>()))
-            .collect();
+        let vocab = (0..spec.vocab).map(|i| format!("feat_{i}_{:08x}", rng.gen::<u32>())).collect();
         let layers = (0..spec.layers)
             .map(|l| {
                 let mut row_ptr = Vec::with_capacity(spec.rows + 1);
@@ -312,10 +310,7 @@ pub fn serialize_model(model: &SparseModel, meter: &mut CostMeter) -> Vec<u8> {
     let bytes = crate::codec::encode_to_vec(model);
     meter.charge_bytes(Phase::Serialize, bytes.len() as u64);
     // Struct walk: one element visit per nonzero + per vocab entry.
-    meter.charge_elems(
-        Phase::Serialize,
-        model.total_nnz() as u64 + model.vocab.len() as u64,
-    );
+    meter.charge_elems(Phase::Serialize, model.total_nnz() as u64 + model.vocab.len() as u64);
     bytes
 }
 
@@ -342,10 +337,7 @@ pub fn load_model(model: SparseModel, meter: &mut CostMeter) -> LoadedModel {
     }
     // Loading = one fix-up per interned entry (hash insert ≈ pointer
     // swizzle) + per-row index verification touch.
-    meter.charge_fixups(
-        Phase::Load,
-        model.vocab.len() as u64 + model.layers.len() as u64,
-    );
+    meter.charge_fixups(Phase::Load, model.vocab.len() as u64 + model.layers.len() as u64);
     meter.charge_allocs(Phase::Load, model.vocab.len() as u64 + model.layers.len() as u64 + 2);
     let row_touches: u64 = model.layers.iter().map(|l| l.weights.rows as u64).sum();
     meter.charge_elems(Phase::Load, row_touches);
@@ -474,7 +466,14 @@ mod tests {
     fn rpc_path_deser_load_dominates_at_scale() {
         // The S1 shape: for request-time model loading, deserialize+load is
         // the majority of non-transfer processing time.
-        let spec = SparseModelSpec { layers: 4, rows: 512, cols: 512, nnz_per_row: 8, vocab: 512, seed: 1 };
+        let spec = SparseModelSpec {
+            layers: 4,
+            rows: 512,
+            cols: 512,
+            nnz_per_row: 8,
+            vocab: 512,
+            seed: 1,
+        };
         let m = SparseModel::generate(&spec);
         let mut meter = CostMeter::new();
         let bytes = serialize_model(&m, &mut meter);

@@ -116,10 +116,7 @@ mod tests {
     fn truncated_input_is_eof() {
         let mut buf = Vec::new();
         write_uvarint(&mut buf, 300);
-        assert!(matches!(
-            read_uvarint(&buf[..1]),
-            Err(WireError::UnexpectedEof { .. })
-        ));
+        assert!(matches!(read_uvarint(&buf[..1]), Err(WireError::UnexpectedEof { .. })));
     }
 
     #[test]

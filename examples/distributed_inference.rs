@@ -14,14 +14,8 @@ use rendezvous::core::scenarios::{run_fig1, run_fig1_dave, F1Config, F1Strategy}
 use rendezvous::wire::sparsemodel::SparseModelSpec;
 
 fn main() {
-    let model = SparseModelSpec {
-        layers: 2,
-        rows: 1024,
-        cols: 1024,
-        nnz_per_row: 16,
-        vocab: 64,
-        seed: 11,
-    };
+    let model =
+        SparseModelSpec { layers: 2, rows: 1024, cols: 1024, nnz_per_row: 16, vocab: 64, seed: 11 };
     println!("Alice (edge, weak) holds the activation; Bob (loaded) holds the");
     println!("{}-row sparse model; Carol is idle. Alice wants an inference.\n", model.rows);
     println!(

@@ -19,14 +19,8 @@ fn main() {
         "rows", "path", "latency(µs)", "deser+load(µs)", "compute(µs)", "d+l share"
     );
     for rows in [256usize, 1024, 4096] {
-        let spec = SparseModelSpec {
-            layers: 4,
-            rows,
-            cols: rows,
-            nnz_per_row: 8,
-            vocab: rows,
-            seed: 99,
-        };
+        let spec =
+            SparseModelSpec { layers: 4, rows, cols: rows, nnz_per_row: 8, vocab: rows, seed: 99 };
         for (path, label) in [
             (S1Path::RpcValue, "rpc-by-value"),
             (S1Path::RpcName, "rpc-stored-model"),

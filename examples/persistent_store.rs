@@ -63,11 +63,7 @@ fn main() {
     let ptr = obj.read_ptr(ptr_cell).unwrap();
     let (cfg_obj, cfg_off) = obj.resolve_ptr(ptr).unwrap();
     let text = restored.get(cfg_obj).unwrap().read(cfg_off, 16).unwrap();
-    println!(
-        "model's config pointer {} → {:?}",
-        ptr,
-        std::str::from_utf8(text).unwrap()
-    );
+    println!("model's config pointer {} → {:?}", ptr, std::str::from_utf8(text).unwrap());
     assert_eq!(cfg_obj, config);
 
     // And the restored snapshot is canonical.

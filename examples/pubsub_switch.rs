@@ -13,7 +13,12 @@ use rendezvous::p4rt::table::{Action, MatchKind, Table};
 
 fn main() {
     let fmt = objnet_format();
-    println!("header format '{}' ({} fields, {} byte header)", fmt.name, fmt.field_count(), fmt.min_len());
+    println!(
+        "header format '{}' ({} fields, {} byte header)",
+        fmt.name,
+        fmt.field_count(),
+        fmt.min_len()
+    );
 
     // Subscriber on port 1 wants every packet for object 0xAB; subscriber
     // on port 2 wants coherence traffic (msg_type 0x07..=0x09) for any

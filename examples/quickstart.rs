@@ -10,9 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rendezvous::objspace::{
-    structures, FotFlags, Object, ObjectKind, ObjectStore, ReachGraph,
-};
+use rendezvous::objspace::{structures, FotFlags, Object, ObjectKind, ObjectStore, ReachGraph};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
@@ -29,8 +27,7 @@ fn main() {
     let text_off = {
         let obj = host_a.get_mut(doc).unwrap();
         let off = obj.alloc(64).unwrap();
-        obj.write(off, b"hello, global address space!___________________________________")
-            .unwrap();
+        obj.write(off, b"hello, global address space!___________________________________").unwrap();
         off
     };
     let ptr_cell = {

@@ -34,15 +34,11 @@ fn controller_scheme_serves_every_access_in_one_rtt() {
 #[test]
 fn e2e_scheme_pays_discovery_once_then_hits_cache() {
     // 100% new objects: every access discovers (2 legs)…
-    let cold = run_discovery(&base(
-        ScenarioKind::Fig2NewObjects { pct_new: 90 },
-        DiscoveryMode::E2E,
-    ));
+    let cold =
+        run_discovery(&base(ScenarioKind::Fig2NewObjects { pct_new: 90 }, DiscoveryMode::E2E));
     // …0% new: every access unicasts (1 leg).
-    let warm = run_discovery(&base(
-        ScenarioKind::Fig2NewObjects { pct_new: 0 },
-        DiscoveryMode::E2E,
-    ));
+    let warm =
+        run_discovery(&base(ScenarioKind::Fig2NewObjects { pct_new: 0 }, DiscoveryMode::E2E));
     assert_eq!(cold.incomplete, 0);
     assert_eq!(warm.incomplete, 0);
     assert!(cold.rtt.mean() > warm.rtt.mean() * 1.5);
@@ -52,10 +48,8 @@ fn e2e_scheme_pays_discovery_once_then_hits_cache() {
 
 #[test]
 fn migration_invalidation_and_rediscovery_work_together() {
-    let moved = run_discovery(&base(
-        ScenarioKind::Fig3Staleness { pct_moved: 50 },
-        DiscoveryMode::E2E,
-    ));
+    let moved =
+        run_discovery(&base(ScenarioKind::Fig3Staleness { pct_moved: 50 }, DiscoveryMode::E2E));
     assert_eq!(moved.incomplete, 0, "every access must complete despite migrations");
     // Half the accesses rediscover: broadcasts ≈ 50 per 100.
     assert!((moved.broadcasts_per_100 - 50.0).abs() < 10.0, "{}", moved.broadcasts_per_100);

@@ -6,12 +6,7 @@ use rendezvous::objspace::ObjId;
 
 #[test]
 fn fast_experiment_tables_are_well_formed() {
-    for series in [
-        rdv_bench_t1(),
-        rdv_bench_t2(),
-        rdv_bench_a3(),
-        rdv_bench_a4(),
-    ] {
+    for series in [rdv_bench_t1(), rdv_bench_t2(), rdv_bench_a3(), rdv_bench_a4()] {
         assert!(!series.rows.is_empty(), "{}", series.id);
         for row in &series.rows {
             assert_eq!(row.len(), series.columns.len(), "{}", series.id);

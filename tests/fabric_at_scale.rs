@@ -55,14 +55,12 @@ fn e2e_discovery_works_on_a_twelve_host_leaf_spine() {
     plan.extend(targets.iter().copied());
     host_nodes[0].plan = plan.clone();
 
-    let host_ids: Vec<NodeId> =
-        host_nodes.into_iter().map(|h| sim.add_node(Box::new(h))).collect();
+    let host_ids: Vec<NodeId> = host_nodes.into_iter().map(|h| sim.add_node(Box::new(h))).collect();
     let spines: Vec<NodeId> =
         (0..2).map(|i| sim.add_node(Box::new(e2e_switch(format!("spine{i}"))))).collect();
     let leaves: Vec<NodeId> =
         (0..4).map(|i| sim.add_node(Box::new(e2e_switch(format!("leaf{i}"))))).collect();
-    let host_groups: Vec<Vec<NodeId>> =
-        host_ids.chunks(3).map(<[NodeId]>::to_vec).collect();
+    let host_groups: Vec<Vec<NodeId>> = host_ids.chunks(3).map(<[NodeId]>::to_vec).collect();
     wire_leaf_spine(&mut sim, &spines, &leaves, &host_groups, LinkSpec::rack(), LinkSpec::rack());
 
     let mut t = SimTime::from_millis(1);

@@ -41,7 +41,8 @@ fn tree_survives_scattering_across_stores() {
 
 #[test]
 fn model_inference_is_bit_identical_after_moves() {
-    let spec = SparseModelSpec { layers: 3, rows: 96, cols: 96, nnz_per_row: 6, vocab: 32, seed: 2 };
+    let spec =
+        SparseModelSpec { layers: 3, rows: 96, cols: 96, nnz_per_row: 6, vocab: 32, seed: 2 };
     let model = SparseModel::generate(&spec);
     let obj = model_to_object(ObjId(0x77), &model).unwrap();
     let activation: Vec<f32> = (0..96).map(|i| (i as f32).sin()).collect();

@@ -16,9 +16,12 @@ fn model(rows: usize) -> SparseModelSpec {
 #[test]
 fn figure1_hierarchy_holds_across_model_sizes() {
     for rows in [256usize, 1024] {
-        let copy = run_fig1(&F1Config { strategy: F1Strategy::ManualCopy, model: model(rows), seed: 1 });
-        let pull = run_fig1(&F1Config { strategy: F1Strategy::ManualPull, model: model(rows), seed: 1 });
-        let auto = run_fig1(&F1Config { strategy: F1Strategy::Automatic, model: model(rows), seed: 1 });
+        let copy =
+            run_fig1(&F1Config { strategy: F1Strategy::ManualCopy, model: model(rows), seed: 1 });
+        let pull =
+            run_fig1(&F1Config { strategy: F1Strategy::ManualPull, model: model(rows), seed: 1 });
+        let auto =
+            run_fig1(&F1Config { strategy: F1Strategy::Automatic, model: model(rows), seed: 1 });
         assert!(copy.latency > pull.latency, "rows={rows}");
         assert!(copy.alice_bytes > pull.alice_bytes * 5, "rows={rows}");
         // Automatic must find the same rendezvous as the hand-written pull.
@@ -29,7 +32,8 @@ fn figure1_hierarchy_holds_across_model_sizes() {
 
 #[test]
 fn manual_copy_grows_linearly_with_model_size_on_the_edge_link() {
-    let small = run_fig1(&F1Config { strategy: F1Strategy::ManualCopy, model: model(256), seed: 1 });
+    let small =
+        run_fig1(&F1Config { strategy: F1Strategy::ManualCopy, model: model(256), seed: 1 });
     let big = run_fig1(&F1Config { strategy: F1Strategy::ManualCopy, model: model(1024), seed: 1 });
     let byte_ratio = big.alice_bytes as f64 / small.alice_bytes as f64;
     // Model bytes scale ~4x (rows and nnz rows both 4×): expect ~4x.
@@ -38,8 +42,10 @@ fn manual_copy_grows_linearly_with_model_size_on_the_edge_link() {
 
 #[test]
 fn s1_gas_latency_is_flat_while_rpc_grows_with_model() {
-    let spec_small = SparseModelSpec { layers: 4, rows: 128, cols: 128, nnz_per_row: 8, vocab: 128, seed: 3 };
-    let spec_big = SparseModelSpec { layers: 4, rows: 1024, cols: 1024, nnz_per_row: 8, vocab: 1024, seed: 3 };
+    let spec_small =
+        SparseModelSpec { layers: 4, rows: 128, cols: 128, nnz_per_row: 8, vocab: 128, seed: 3 };
+    let spec_big =
+        SparseModelSpec { layers: 4, rows: 1024, cols: 1024, nnz_per_row: 8, vocab: 1024, seed: 3 };
     let rpc_small = run_s1(S1Path::RpcName, &spec_small, 1);
     let rpc_big = run_s1(S1Path::RpcName, &spec_big, 1);
     let gas_small = run_s1(S1Path::Gas, &spec_small, 1);
@@ -75,7 +81,12 @@ fn everything_is_deterministic_per_seed() {
     assert_eq!(a.latency, b.latency);
     assert_eq!(a.alice_bytes, b.alice_bytes);
 
-    let a1 = A1Config { nodes: 24, decoys: 48, policy: PrefetchPolicy::Reachability, ..Default::default() };
+    let a1 = A1Config {
+        nodes: 24,
+        decoys: 48,
+        policy: PrefetchPolicy::Reachability,
+        ..Default::default()
+    };
     let (x, y) = (run_a1(&a1), run_a1(&a1));
     assert_eq!(x.latency, y.latency);
     assert_eq!(x.values, y.values);

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the bench suite uses — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple but honest measurement loop: warm up, calibrate
+//! an iteration batch to a target duration, take `sample_size` samples, and
+//! report the median time per iteration (plus derived throughput).
+//!
+//! No HTML reports, no statistical regression testing; numbers print to
+//! stdout in a stable one-line-per-benchmark format.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Label from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher<'a> {
+    samples_ns: &'a mut Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`, called in calibrated batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until ~50 ms have elapsed (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= Duration::from_millis(50) {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Batch sized to ~20 ms so Instant overhead vanishes.
+        let batch = ((0.020 / per_iter).ceil() as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2} {unit}/s")
+    }
+}
+
+fn run_one(
+    full_label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher<'_>),
+) {
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    let mut b = Bencher { samples_ns: &mut samples, sample_size };
+    f(&mut b);
+    if samples.is_empty() {
+        println!("{full_label:<48} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    let mut line =
+        format!("{full_label:<48} time: [{} {} {}]", fmt_time(lo), fmt_time(median), fmt_time(hi));
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!("  thrpt: {}", fmt_rate(n as f64 / (median / 1e9), "B")));
+        }
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!("  thrpt: {}", fmt_rate(n as f64 / (median / 1e9), "elem")));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate following benchmarks with a work rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmark `f` under `id` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- {name} --");
+        BenchmarkGroup { _criterion: self, name, sample_size: 20, throughput: None }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&id.into().label, 20, None, &mut f);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(5).label, "5");
+    }
+}
