@@ -17,10 +17,10 @@ use std::io::Write;
 use rdv_bench::experiments;
 use rdv_bench::Series;
 
-const IDS: [&str; 11] = ["F1", "F2", "F3", "T1", "T2", "S1", "A1", "A2", "A3", "A4", "A5"];
+const IDS: [&str; 12] = ["F1", "F2", "F3", "F4", "T1", "T2", "S1", "A1", "A2", "A3", "A4", "A5"];
 
 fn usage_exit() -> ! {
-    eprintln!("usage: figures [--quick] [--jobs N] [F1 F2 F3 T1 T2 S1 A1 A2 A3 A4 A5]");
+    eprintln!("usage: figures [--quick] [--jobs N] [F1 F2 F3 F4 T1 T2 S1 A1 A2 A3 A4 A5]");
     std::process::exit(2);
 }
 
@@ -67,6 +67,7 @@ fn main() {
             "F1" => experiments::fig1::run(quick),
             "F2" => experiments::fig2::run(quick),
             "F3" => experiments::fig3::run(quick),
+            "F4" => experiments::f4::run(quick),
             "T1" => experiments::t1::run(quick),
             "T2" => experiments::t2::run(quick),
             "S1" => experiments::s1::run(quick),

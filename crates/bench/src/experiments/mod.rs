@@ -7,6 +7,7 @@ pub mod a2;
 pub mod a3;
 pub mod a4;
 pub mod a5;
+pub mod f4;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -22,6 +23,7 @@ pub fn run_all(quick: bool) -> Vec<Series> {
         fig1::run(quick),
         fig2::run(quick),
         fig3::run(quick),
+        f4::run(quick),
         t1::run(quick),
         t2::run(quick),
         s1::run(quick),

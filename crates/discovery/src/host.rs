@@ -22,6 +22,7 @@ struct HostCtr {
     broadcasts: CounterId,
     serves: CounterId,
     nacks_received: CounterId,
+    access_timeouts: CounterId,
     accesses_abandoned: CounterId,
     migrations_done: CounterId,
     invalidates_sent: CounterId,
@@ -36,6 +37,7 @@ fn ctr() -> &'static HostCtr {
         broadcasts: CounterId::intern("broadcasts"),
         serves: CounterId::intern("serves"),
         nacks_received: CounterId::intern("nacks_received"),
+        access_timeouts: CounterId::intern("access_timeouts"),
         accesses_abandoned: CounterId::intern("accesses_abandoned"),
         migrations_done: CounterId::intern("migrations_done"),
         invalidates_sent: CounterId::intern("invalidates_sent"),
@@ -79,6 +81,14 @@ pub struct HostConfig {
     pub read_len: u64,
     /// Fixed request-service delay at the responder (models host software).
     pub serve_delay: SimTime,
+    /// Re-send an in-flight access when no reply (data, discovery answer,
+    /// or NACK) arrives within this window — the defence against holders
+    /// that die silently. `ZERO` disables the watchdog; progress then
+    /// relies on NACKs alone and a dead holder wedges the access forever.
+    pub access_timeout: SimTime,
+    /// Timeout-driven re-sends before an access gives up and surfaces a
+    /// typed failure in [`HostNode::failed`].
+    pub max_access_retries: u32,
 }
 
 impl Default for HostConfig {
@@ -88,6 +98,8 @@ impl Default for HostConfig {
             staleness: StalenessMode::InvalidateOnMove,
             read_len: 64,
             serve_delay: SimTime::from_micros(2),
+            access_timeout: SimTime::ZERO,
+            max_access_retries: 5,
         }
     }
 }
@@ -127,6 +139,33 @@ struct Pending {
     state: PendingState,
     broadcasts: u64,
     nacks: u64,
+    retries: u64,
+}
+
+/// Why an access gave up, surfaced in [`HostNode::failed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessFailure {
+    /// No reply of any kind arrived within the retry budget — the holder
+    /// is presumed dead or unreachable.
+    TimedOut,
+    /// Every attempt was NACKed `NotHere`; the fabric never converged on
+    /// the object's location.
+    Nacked,
+}
+
+/// A typed record of an access that could not complete. The invariant the
+/// chaos harness checks is exactly this: every issued access either lands
+/// in [`HostNode::records`] or lands here — never in limbo.
+#[derive(Debug, Clone, Copy)]
+pub struct FailedAccess {
+    /// The object whose access failed.
+    pub target: ObjId,
+    /// When the access was issued.
+    pub issued: SimTime,
+    /// Re-sends (or NACK rounds) burned before giving up.
+    pub retries: u64,
+    /// Why it gave up.
+    pub reason: AccessFailure,
 }
 
 /// Timer-tag spaces (disjoint bit ranges so external schedulers can drive
@@ -141,6 +180,9 @@ pub mod tags {
     /// OR this bit: retry a NACKed controller-mode access (the req id is in
     /// the low bits); used while the controller repoints a moved object.
     pub const RETRY: u64 = 1 << 60;
+    /// OR this bit: the access watchdog — fires if the req in the low bits
+    /// has seen no reply within [`super::HostConfig::access_timeout`].
+    pub const ACCESS_TIMEOUT: u64 = 1 << 59;
 }
 
 /// A host in the object fabric.
@@ -164,6 +206,8 @@ pub struct HostNode {
     next_defer: u64,
     /// Completed accesses, in completion order.
     pub records: Vec<AccessRecord>,
+    /// Accesses that gave up, with typed reasons, in failure order.
+    pub failed: Vec<FailedAccess>,
     /// Host counters: `broadcasts`, `nacks_received`, `serves`,
     /// `invalidates_sent`, `migrations_done`, `advertises_sent`.
     pub counters: rdv_netsim::Counters,
@@ -186,6 +230,7 @@ impl HostNode {
             next_trace: 1,
             next_defer: 0,
             records: Vec::new(),
+            failed: Vec::new(),
             counters: rdv_netsim::Counters::new(),
         }
     }
@@ -236,6 +281,7 @@ impl HostNode {
                         state: PendingState::Reading,
                         broadcasts: 0,
                         nacks: 0,
+                        retries: 0,
                     },
                 );
                 let msg = Msg::new(
@@ -255,6 +301,7 @@ impl HostNode {
                             state: PendingState::Reading,
                             broadcasts: 0,
                             nacks: 0,
+                            retries: 0,
                         },
                     );
                     let msg = Msg::new(
@@ -273,6 +320,7 @@ impl HostNode {
                             state: PendingState::Discovering,
                             broadcasts: 1,
                             nacks: 0,
+                            retries: 0,
                         },
                     );
                     self.counters.inc_id(ctr().broadcasts);
@@ -281,6 +329,60 @@ impl HostNode {
                 }
             },
         }
+        self.arm_access_timeout(ctx, req);
+    }
+
+    fn arm_access_timeout(&mut self, ctx: &mut NodeCtx<'_>, req: u64) {
+        if self.cfg.access_timeout > SimTime::ZERO {
+            ctx.set_timer(self.cfg.access_timeout, tags::ACCESS_TIMEOUT | req);
+        }
+    }
+
+    /// The watchdog fired for `req`: if it is still in flight, re-send (in
+    /// E2E mode: distrust any cached location and rediscover); once the
+    /// retry budget is gone, abandon with a typed [`FailedAccess`].
+    fn handle_access_timeout(&mut self, ctx: &mut NodeCtx<'_>, req: u64) {
+        let Some(&Pending { target, retries, .. }) = self.pending.get(&req) else {
+            return; // Completed (or already failed) before the timer fired.
+        };
+        self.counters.inc_id(ctr().access_timeouts);
+        if retries >= u64::from(self.cfg.max_access_retries) {
+            let p = self.pending.remove(&req).expect("checked above");
+            self.counters.inc_id(ctr().accesses_abandoned);
+            self.failed.push(FailedAccess {
+                target: p.target,
+                issued: p.issued,
+                retries: p.retries,
+                reason: AccessFailure::TimedOut,
+            });
+            return;
+        }
+        match self.cfg.mode {
+            DiscoveryMode::Controller => {
+                self.pending.get_mut(&req).expect("checked above").retries += 1;
+                let msg = Msg::new(
+                    target,
+                    self.inbox,
+                    MsgBody::ReadReq { req, target, offset: 8, len: self.cfg.read_len },
+                );
+                self.transmit(ctx, msg);
+            }
+            DiscoveryMode::E2E => {
+                // The holder (or its reply) vanished mid-access; whatever
+                // location we believed is suspect. Rediscover from scratch.
+                self.dest_cache.invalidate(target);
+                {
+                    let p = self.pending.get_mut(&req).expect("checked above");
+                    p.retries += 1;
+                    p.state = PendingState::Discovering;
+                    p.broadcasts += 1;
+                }
+                self.counters.inc_id(ctr().broadcasts);
+                let msg = Msg::new(target, self.inbox, MsgBody::DiscoverReq { req });
+                self.transmit(ctx, msg);
+            }
+        }
+        self.arm_access_timeout(ctx, req);
     }
 
     fn serve(&mut self, ctx: &mut NodeCtx<'_>, msg: Msg) {
@@ -385,6 +487,12 @@ impl HostNode {
                         // up after a bound so misrouted accesses surface).
                         if p.nacks > 10 {
                             self.counters.inc_id(ctr().accesses_abandoned);
+                            self.failed.push(FailedAccess {
+                                target: p.target,
+                                issued: p.issued,
+                                retries: p.nacks,
+                                reason: AccessFailure::Nacked,
+                            });
                             return;
                         }
                         self.pending.insert(req, p);
@@ -491,6 +599,8 @@ impl Node for HostNode {
             if let Some(msg) = self.deferred.remove(&(tag & !tags::DEFER)) {
                 self.transmit(ctx, msg);
             }
+        } else if tag & tags::ACCESS_TIMEOUT != 0 {
+            self.handle_access_timeout(ctx, tag & !tags::ACCESS_TIMEOUT);
         } else if tag & tags::RETRY != 0 {
             let req = tag & !tags::RETRY;
             if let Some(p) = self.pending.get(&req) {
@@ -574,6 +684,108 @@ mod tests {
         assert_eq!(drv.counters.get("nacks_received"), 1);
         assert_eq!(drv.outstanding(), 1, "request parked in Discovering");
         assert_eq!(drv.dest_cache.peek(ghost), None, "stale entry dropped");
+    }
+
+    #[test]
+    fn silently_dead_holder_times_out_into_typed_failure() {
+        // Controller mode, holder crashed before the access and never
+        // recovers: no NACK will ever arrive, so only the watchdog can
+        // unwedge the request. It must retry its budget and then surface
+        // a typed TimedOut failure, leaving nothing outstanding.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sim = Sim::new(SimConfig::default());
+        let cfg = HostConfig {
+            mode: DiscoveryMode::Controller,
+            access_timeout: SimTime::from_micros(100),
+            max_access_retries: 3,
+            ..HostConfig::default()
+        };
+        let mut responder = HostNode::new("resp", ObjId(0xB), cfg);
+        let obj = responder.store.create(&mut rng, ObjectKind::Data);
+        responder.store.get_mut(obj).unwrap().alloc(64).unwrap();
+        let mut driver = HostNode::new("drv", ObjId(0xA), cfg);
+        driver.plan = vec![obj];
+        let d = sim.add_node(Box::new(driver));
+        let r = sim.add_node(Box::new(responder));
+        sim.connect(d, r, LinkSpec::rack());
+        sim.install_fault_plan(&rdv_netsim::FaultPlan::new().crash(SimTime::from_micros(1), r));
+        sim.schedule(SimTime::from_micros(10), d, 0);
+        sim.run_until_idle();
+        let drv = sim.node_as::<HostNode>(d).unwrap();
+        assert!(drv.records.is_empty());
+        assert_eq!(drv.outstanding(), 0, "the access must not wedge");
+        assert_eq!(drv.failed.len(), 1);
+        assert_eq!(drv.failed[0].reason, AccessFailure::TimedOut);
+        assert_eq!(drv.failed[0].retries, 3);
+        // 3 re-send firings + the final firing that abandons.
+        assert_eq!(drv.counters.get("access_timeouts"), 4);
+        assert_eq!(drv.counters.get("accesses_abandoned"), 1);
+    }
+
+    #[test]
+    fn timeout_retries_complete_after_holder_restart() {
+        // Same dead holder, but it restarts (memory intact) while the
+        // driver still has retry budget: a later re-send must land and the
+        // access completes normally — typed failure only when truly dead.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sim = Sim::new(SimConfig::default());
+        let cfg = HostConfig {
+            mode: DiscoveryMode::Controller,
+            access_timeout: SimTime::from_micros(100),
+            max_access_retries: 5,
+            ..HostConfig::default()
+        };
+        let mut responder = HostNode::new("resp", ObjId(0xB), cfg);
+        let obj = responder.store.create(&mut rng, ObjectKind::Data);
+        let off = responder.store.get_mut(obj).unwrap().alloc(64).unwrap();
+        responder.store.get_mut(obj).unwrap().write_u64(off, 7).unwrap();
+        let mut driver = HostNode::new("drv", ObjId(0xA), cfg);
+        driver.plan = vec![obj];
+        let d = sim.add_node(Box::new(driver));
+        let r = sim.add_node(Box::new(responder));
+        sim.connect(d, r, LinkSpec::rack());
+        let plan = rdv_netsim::FaultPlan::new()
+            .crash(SimTime::from_micros(1), r)
+            .restart(SimTime::from_micros(250), r);
+        sim.install_fault_plan(&plan);
+        sim.schedule(SimTime::from_micros(10), d, 0);
+        sim.run_until_idle();
+        let drv = sim.node_as::<HostNode>(d).unwrap();
+        assert_eq!(drv.records.len(), 1, "the access completes after restart");
+        assert!(drv.failed.is_empty());
+        assert_eq!(drv.outstanding(), 0);
+        assert!(drv.counters.get("access_timeouts") >= 1, "the watchdog did the work");
+    }
+
+    #[test]
+    fn e2e_timeout_rediscovers_then_fails_typed_when_nobody_answers() {
+        // E2E mode with a stale cache entry pointing at a permanently dead
+        // holder: each timeout must distrust the cache and fall back to
+        // broadcast rediscovery before giving up with a typed failure.
+        let mut sim = Sim::new(SimConfig::default());
+        let cfg = HostConfig {
+            mode: DiscoveryMode::E2E,
+            access_timeout: SimTime::from_micros(100),
+            max_access_retries: 2,
+            ..HostConfig::default()
+        };
+        let mut driver = HostNode::new("drv", ObjId(0xA), cfg);
+        let ghost = ObjId(0xDEAD);
+        driver.plan = vec![ghost];
+        driver.dest_cache.insert(ghost, ObjId(0xB));
+        let responder = HostNode::new("resp", ObjId(0xB), cfg);
+        let d = sim.add_node(Box::new(driver));
+        let r = sim.add_node(Box::new(responder));
+        sim.connect(d, r, LinkSpec::rack());
+        sim.install_fault_plan(&rdv_netsim::FaultPlan::new().crash(SimTime::from_micros(1), r));
+        sim.schedule(SimTime::from_micros(10), d, 0);
+        sim.run_until_idle();
+        let drv = sim.node_as::<HostNode>(d).unwrap();
+        assert_eq!(drv.outstanding(), 0);
+        assert_eq!(drv.failed.len(), 1);
+        assert_eq!(drv.failed[0].reason, AccessFailure::TimedOut);
+        assert_eq!(drv.dest_cache.peek(ghost), None, "stale entry distrusted");
+        assert_eq!(drv.counters.get("broadcasts"), 2, "each retry rediscovered");
     }
 
     #[test]

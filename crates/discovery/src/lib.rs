@@ -32,7 +32,9 @@ pub mod scenario;
 
 pub use controller::ControllerNode;
 pub use destcache::DestCache;
-pub use host::{AccessRecord, DiscoveryMode, HostConfig, HostNode, StalenessMode};
+pub use host::{
+    AccessFailure, AccessRecord, DiscoveryMode, FailedAccess, HostConfig, HostNode, StalenessMode,
+};
 pub use scenario::{DiscoveryOutcome, ScenarioConfig, ScenarioKind};
 
 /// The controller's well-known inbox object ID (analogous to a well-known

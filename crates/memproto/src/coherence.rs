@@ -177,6 +177,30 @@ impl Directory {
         }
         debug_assert!(self.invariant_holds());
     }
+
+    /// Host `host` crashed: purge it from every entry so the home never
+    /// wedges waiting to invalidate (or recall ownership from) a dead
+    /// peer. Returns the objects whose entries changed — ownership dropped
+    /// or a shared copy removed — so the home can grant waiting requests.
+    ///
+    /// No [`DirAction::Invalidate`] is produced: there is nobody to send
+    /// it to, and the dead host's copy died with it.
+    pub fn drop_host(&mut self, host: ObjId) -> Vec<ObjId> {
+        let mut affected = Vec::new();
+        for (&obj, e) in self.entries.iter_mut() {
+            let mut touched = e.sharers.remove(&host);
+            if e.exclusive == Some(host) {
+                e.exclusive = None;
+                touched = true;
+            }
+            if touched {
+                affected.push(obj);
+            }
+        }
+        affected.sort_unstable();
+        debug_assert!(self.invariant_holds());
+        affected
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +286,29 @@ mod tests {
         d.request_shared(OBJ, H2);
         d.evict(OBJ, H2);
         assert!(d.sharers(OBJ).is_empty());
+    }
+
+    #[test]
+    fn drop_host_purges_sharer_and_owner_without_invalidations() {
+        let mut d = Directory::new();
+        d.request_shared(OBJ, H1);
+        d.request_shared(ObjId(0xBEEF), H1);
+        d.request_exclusive(ObjId(0xCAFE), H1);
+        d.request_shared(OBJ, H2);
+        let before = d.invalidations;
+        let mut affected = d.drop_host(H1);
+        affected.sort_unstable();
+        assert_eq!(affected, vec![ObjId(0xBEEF), ObjId(0xCAFE), OBJ]);
+        assert_eq!(d.invalidations, before, "nobody to invalidate — the copy died");
+        assert_eq!(d.sharers(OBJ), vec![H2], "survivors keep their copies");
+        assert_eq!(d.exclusive(ObjId(0xCAFE)), None, "ownership is released");
+        assert!(d.invariant_holds());
+        // A second drop is a no-op.
+        assert!(d.drop_host(H1).is_empty());
+        // The freed object can be granted exclusively again at once —
+        // the home is not wedged on the dead owner.
+        let actions = d.request_exclusive(ObjId(0xCAFE), H2);
+        assert_eq!(actions, vec![DirAction::GrantExclusive { to: H2 }]);
     }
 
     #[test]

@@ -145,6 +145,50 @@ mod tests {
     }
 
     #[test]
+    fn exact_mtu_boundaries_never_produce_an_empty_tail() {
+        // len == mtu: one full fragment, not one full + one empty.
+        let frags = fragment(1, &[7u8; 100], 100);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].data.len(), 100);
+        // len == k * mtu: exactly k fragments, every one full.
+        let payload = vec![8u8; 400];
+        let frags = fragment(2, &payload, 100);
+        assert_eq!(frags.len(), 4);
+        assert!(frags.iter().all(|f| f.data.len() == 100));
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in frags {
+            done = r.accept(f).unwrap().or(done);
+        }
+        assert_eq!(done.unwrap(), payload);
+        // len == k * mtu + 1 tips into k + 1 with a 1-byte tail.
+        let frags = fragment(3, &[9u8; 401], 100);
+        assert_eq!(frags.len(), 5);
+        assert_eq!(frags.last().unwrap().data.len(), 1);
+    }
+
+    #[test]
+    fn max_fragment_count_reassembles() {
+        // A worst-case fan-out: MTU of 1 byte yields one fragment per byte.
+        // Completion must fire exactly on the final fragment, regardless of
+        // arrival order, and clear all in-flight state.
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let mut frags = fragment(11, &payload, 1);
+        assert_eq!(frags.len(), 256);
+        assert!(frags.iter().all(|f| f.count == 256 && f.data.len() == 1));
+        // Even-index fragments first, then odd, so the last to arrive is
+        // an interior fragment rather than the tail.
+        frags.sort_by_key(|f| (f.index % 2, f.index));
+        let mut r = Reassembler::new();
+        for f in &frags[..255] {
+            assert_eq!(r.accept(f.clone()).unwrap(), None);
+            assert_eq!(r.pending(), 1);
+        }
+        assert_eq!(r.accept(frags[255].clone()).unwrap(), Some(payload));
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
     fn out_of_order_reassembly() {
         let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
         let mut frags = fragment(7, &payload, 1000);

@@ -9,7 +9,11 @@
 //! - flows are keyed by **peer inbox object** — once discovery has resolved
 //!   an object to its holder, bulk traffic runs host-to-host on inbox IDs;
 //! - per-flow sequence numbers with cumulative acks and in-order delivery;
-//! - fixed retransmission timeout, bounded retries, duplicate suppression;
+//! - retransmission timeout with capped exponential backoff per flow,
+//!   bounded retries, duplicate suppression;
+//! - clean failure surfacing: exhausted segments land in
+//!   [`ReliableEndpoint::failed`], and a peer known to be dead can be
+//!   failed wholesale with [`ReliableEndpoint::fail_peer`];
 //! - **no** handshakes, windows, or congestion machinery.
 
 use std::collections::{BTreeMap, HashMap};
@@ -22,16 +26,22 @@ use crate::msg::{Msg, MsgBody};
 /// Transport tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct TransportConfig {
-    /// Retransmission timeout.
+    /// Base retransmission timeout.
     pub rto: SimTime,
     /// Give up after this many retransmissions of one segment.
     pub max_retries: u32,
+    /// Cap on the per-flow exponential backoff: the effective RTO is
+    /// `rto << min(consecutive_timeouts, backoff_cap)`. 0 disables backoff.
+    pub backoff_cap: u32,
 }
 
 impl Default for TransportConfig {
     fn default() -> Self {
         // Rack-scale RTTs are tens of µs; 200 µs is a comfortable RTO.
-        TransportConfig { rto: SimTime::from_micros(200), max_retries: 8 }
+        // A cap of 6 bounds the backed-off RTO at 12.8 ms — long enough to
+        // ride out a partition window without hammering it, short enough
+        // that recovery after a heal is prompt.
+        TransportConfig { rto: SimTime::from_micros(200), max_retries: 8, backoff_cap: 6 }
     }
 }
 
@@ -52,13 +62,22 @@ struct Flow {
     recv_next: u64,
     /// Receive side: out-of-order stash.
     stash: BTreeMap<u64, Vec<u8>>,
+    /// Consecutive RTO expiries without ack progress; scales the
+    /// effective RTO exponentially (capped by the config).
+    backoff: u32,
 }
 
 impl Default for Flow {
     /// Sequence numbers start at 1 (0 is "nothing received" in acks), so
     /// the default is NOT all-zeroes.
     fn default() -> Flow {
-        Flow { next_seq: 1, recv_next: 1, unacked: BTreeMap::new(), stash: BTreeMap::new() }
+        Flow {
+            next_seq: 1,
+            recv_next: 1,
+            unacked: BTreeMap::new(),
+            stash: BTreeMap::new(),
+            backoff: 0,
+        }
     }
 }
 
@@ -66,6 +85,12 @@ impl Flow {
     /// Highest cumulatively received seq (the ack we advertise).
     fn cum_ack(&self) -> u64 {
         self.recv_next - 1
+    }
+
+    /// The RTO this flow currently operates under: the base RTO scaled by
+    /// the capped exponential backoff.
+    fn effective_rto(&self, cfg: &TransportConfig) -> SimTime {
+        SimTime::from_nanos(cfg.rto.as_nanos() << self.backoff.min(cfg.backoff_cap).min(32))
     }
 }
 
@@ -158,23 +183,32 @@ impl ReliableEndpoint {
     }
 
     fn apply_ack(flow: &mut Flow, ack: u64) {
+        let before = flow.unacked.len();
         flow.unacked.retain(|&seq, _| seq > ack);
+        if flow.unacked.len() < before {
+            // Ack progress: the peer is reachable again.
+            flow.backoff = 0;
+        }
     }
 
-    /// Collect segments due for retransmission at `now`. Segments that
-    /// exhaust their retry budget are moved to [`ReliableEndpoint::failed`].
+    /// Collect segments due for retransmission at `now`, honouring each
+    /// flow's backed-off RTO. Segments that exhaust their retry budget are
+    /// moved to [`ReliableEndpoint::failed`]. A poll in which any of a
+    /// flow's segments time out deepens that flow's backoff one step.
     pub fn poll_retransmits(&mut self, now: SimTime) -> Vec<Msg> {
         let mut out = Vec::new();
-        let rto = self.cfg.rto;
-        let max = self.cfg.max_retries;
+        let cfg = self.cfg;
         for (&peer, flow) in &mut self.flows {
+            let rto = flow.effective_rto(&cfg);
             let ack = flow.cum_ack();
             let mut dead = Vec::new();
+            let mut timed_out = false;
             for (&seq, u) in &mut flow.unacked {
                 if now.saturating_sub(u.sent_at) < rto {
                     continue;
                 }
-                if u.retries >= max {
+                timed_out = true;
+                if u.retries >= cfg.max_retries {
                     dead.push(seq);
                     continue;
                 }
@@ -187,6 +221,9 @@ impl ReliableEndpoint {
                     MsgBody::RelData { seq, ack, inner: u.inner.clone() },
                 ));
             }
+            if timed_out {
+                flow.backoff = (flow.backoff + 1).min(cfg.backoff_cap);
+            }
             for seq in dead {
                 flow.unacked.remove(&seq);
                 self.failed.push((peer, seq));
@@ -195,10 +232,39 @@ impl ReliableEndpoint {
         out
     }
 
+    /// Declare `peer` dead: every segment still awaiting ack on that flow
+    /// is surfaced through [`ReliableEndpoint::failed`] immediately, without
+    /// burning through the retry budget. Returns the failed `(peer, seq)`
+    /// pairs (also appended to `failed`).
+    ///
+    /// Sequence numbering and receive state are preserved — the fault
+    /// model's crash-stop keeps node memory intact, so a restarted peer
+    /// resumes the same flow.
+    pub fn fail_peer(&mut self, peer: ObjId) -> Vec<(ObjId, u64)> {
+        let mut out = Vec::new();
+        if let Some(flow) = self.flows.get_mut(&peer) {
+            let seqs: Vec<u64> = flow.unacked.keys().copied().collect();
+            flow.unacked.clear();
+            flow.backoff = 0;
+            for seq in seqs {
+                out.push((peer, seq));
+                self.failed.push((peer, seq));
+            }
+        }
+        out
+    }
+
     /// Earliest deadline at which [`ReliableEndpoint::poll_retransmits`]
-    /// could have work, if anything is in flight.
+    /// could have work, if anything is in flight. Consistent with the
+    /// poll: each segment's deadline uses its flow's backed-off RTO.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        self.flows.values().flat_map(|f| f.unacked.values()).map(|u| u.sent_at + self.cfg.rto).min()
+        self.flows
+            .values()
+            .flat_map(|f| {
+                let rto = f.effective_rto(&self.cfg);
+                f.unacked.values().map(move |u| u.sent_at + rto)
+            })
+            .min()
     }
 }
 
@@ -265,7 +331,9 @@ mod tests {
 
     #[test]
     fn retransmit_after_rto_then_give_up() {
-        let cfg = TransportConfig { rto: SimTime::from_micros(100), max_retries: 2 };
+        // Backoff disabled: this test pins the bounded-retry schedule.
+        let cfg =
+            TransportConfig { rto: SimTime::from_micros(100), max_retries: 2, backoff_cap: 0 };
         let mut a = ReliableEndpoint::new(ObjId(0xA), cfg);
         let _lost = a.send(SimTime::ZERO, ObjId(0xB), bare(1));
         // Before RTO: nothing.
@@ -286,7 +354,7 @@ mod tests {
 
     #[test]
     fn retransmitted_segment_still_delivers_once() {
-        let cfg = TransportConfig { rto: SimTime::from_micros(10), max_retries: 8 };
+        let cfg = TransportConfig { rto: SimTime::from_micros(10), max_retries: 8, backoff_cap: 0 };
         let mut a = ReliableEndpoint::new(ObjId(0xA), cfg);
         let mut b = ReliableEndpoint::new(ObjId(0xB), cfg);
         let m1 = a.send(SimTime::ZERO, ObjId(0xB), bare(9));
@@ -317,10 +385,97 @@ mod tests {
 
     #[test]
     fn next_deadline_tracks_oldest_segment() {
-        let cfg = TransportConfig { rto: SimTime::from_micros(100), max_retries: 1 };
+        let cfg =
+            TransportConfig { rto: SimTime::from_micros(100), max_retries: 1, backoff_cap: 0 };
         let mut a = ReliableEndpoint::new(ObjId(0xA), cfg);
         assert_eq!(a.next_deadline(), None);
         a.send(SimTime::from_micros(5), ObjId(0xB), bare(1));
         assert_eq!(a.next_deadline(), Some(SimTime::from_micros(105)));
+    }
+
+    #[test]
+    fn backoff_doubles_rto_and_caps() {
+        let cfg =
+            TransportConfig { rto: SimTime::from_micros(100), max_retries: 20, backoff_cap: 2 };
+        let mut a = ReliableEndpoint::new(ObjId(0xA), cfg);
+        a.send(SimTime::ZERO, ObjId(0xB), bare(1));
+        // First expiry at 100 µs: retransmit, backoff → 1 (RTO 200 µs).
+        assert_eq!(a.poll_retransmits(SimTime::from_micros(100)).len(), 1);
+        // 150 µs after the retransmit: under the backed-off RTO, silent.
+        assert!(a.poll_retransmits(SimTime::from_micros(250)).is_empty());
+        // 200 µs after: due again, backoff → 2 (RTO 400 µs).
+        assert_eq!(a.poll_retransmits(SimTime::from_micros(300)).len(), 1);
+        assert!(a.poll_retransmits(SimTime::from_micros(600)).is_empty());
+        // Cap is 2: RTO never exceeds 400 µs no matter how many expiries.
+        assert_eq!(a.poll_retransmits(SimTime::from_micros(700)).len(), 1);
+        assert_eq!(a.poll_retransmits(SimTime::from_micros(1100)).len(), 1);
+        assert_eq!(a.retransmits, 4);
+    }
+
+    #[test]
+    fn ack_progress_resets_backoff() {
+        let cfg =
+            TransportConfig { rto: SimTime::from_micros(100), max_retries: 20, backoff_cap: 4 };
+        let mut a = ReliableEndpoint::new(ObjId(0xA), cfg);
+        let mut b = ReliableEndpoint::new(ObjId(0xB), cfg);
+        a.send(SimTime::ZERO, ObjId(0xB), bare(1));
+        // Two expiries deepen the backoff to an effective 400 µs RTO.
+        assert_eq!(a.poll_retransmits(SimTime::from_micros(100)).len(), 1);
+        let rt = a.poll_retransmits(SimTime::from_micros(300));
+        assert_eq!(rt.len(), 1);
+        // The retransmit finally lands; the ack resets the flow's backoff.
+        let (_, ack) = b.on_receive(&rt[0]);
+        a.on_receive(&ack.unwrap());
+        assert_eq!(a.in_flight(), 0);
+        // A fresh segment times out on the base RTO again.
+        a.send(SimTime::from_micros(400), ObjId(0xB), bare(2));
+        assert_eq!(a.next_deadline(), Some(SimTime::from_micros(500)));
+        assert_eq!(a.poll_retransmits(SimTime::from_micros(500)).len(), 1);
+    }
+
+    #[test]
+    fn fail_peer_surfaces_all_unacked_immediately() {
+        let mut a = ReliableEndpoint::new(ObjId(0xA), TransportConfig::default());
+        a.send(SimTime::ZERO, ObjId(0xB), bare(1));
+        a.send(SimTime::ZERO, ObjId(0xB), bare(2));
+        a.send(SimTime::ZERO, ObjId(0xC), bare(3));
+        let dead = a.fail_peer(ObjId(0xB));
+        assert_eq!(dead, vec![(ObjId(0xB), 1), (ObjId(0xB), 2)]);
+        assert_eq!(a.failed, vec![(ObjId(0xB), 1), (ObjId(0xB), 2)]);
+        assert_eq!(a.in_flight(), 1, "the flow to 0xC is untouched");
+        // Unknown peers are a no-op.
+        assert!(a.fail_peer(ObjId(0xD)).is_empty());
+        // Numbering continues where it left off (peer memory survives).
+        match a.send(SimTime::ZERO, ObjId(0xB), bare(4)).body {
+            MsgBody::RelData { seq, .. } => assert_eq!(seq, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn next_deadline_is_consistent_with_poll_under_backoff() {
+        // Invariant: polling strictly before next_deadline() does nothing;
+        // polling at it always finds work. Must hold at every backoff depth.
+        let cfg =
+            TransportConfig { rto: SimTime::from_micros(100), max_retries: 6, backoff_cap: 3 };
+        let mut a = ReliableEndpoint::new(ObjId(0xA), cfg);
+        a.send(SimTime::ZERO, ObjId(0xB), bare(1));
+        for _ in 0..6 {
+            let deadline = a.next_deadline().expect("segment in flight");
+            assert!(
+                a.poll_retransmits(SimTime::from_nanos(deadline.as_nanos() - 1)).is_empty(),
+                "a poll before the advertised deadline must be idle"
+            );
+            assert_eq!(
+                a.poll_retransmits(deadline).len(),
+                1,
+                "a poll at the advertised deadline must retransmit"
+            );
+        }
+        // Seventh expiry exhausts the retry budget.
+        let deadline = a.next_deadline().expect("still in flight");
+        assert!(a.poll_retransmits(deadline).is_empty());
+        assert_eq!(a.failed, vec![(ObjId(0xB), 1)]);
+        assert_eq!(a.next_deadline(), None);
     }
 }

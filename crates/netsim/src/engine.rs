@@ -12,12 +12,15 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::link::{Link, LinkId, LinkRate, LinkSpec};
 use crate::node::{Node, NodeCtx, NodeId, PortId};
 use crate::packet::Packet;
 use crate::stats::{
-    Counters, SIM_EVENTS, SIM_PACKETS_DELIVERED, SIM_PACKETS_DROPPED, SIM_PACKETS_DROPPED_BAD_PORT,
-    SIM_PACKETS_LOST, SIM_PACKETS_SENT, SIM_TIMERS,
+    Counters, SIM_DELIVERIES_DROPPED_CRASH, SIM_EVENTS, SIM_FAULTS_APPLIED, SIM_PACKETS_DELIVERED,
+    SIM_PACKETS_DROPPED, SIM_PACKETS_DROPPED_BAD_PORT, SIM_PACKETS_DROPPED_DEAD_NODE,
+    SIM_PACKETS_DROPPED_LINK_DOWN, SIM_PACKETS_DROPPED_PARTITION, SIM_PACKETS_LOST,
+    SIM_PACKETS_SENT, SIM_TIMERS, SIM_TIMERS_DROPPED_CRASH,
 };
 use crate::time::SimTime;
 
@@ -39,8 +42,49 @@ impl Default for SimConfig {
 
 #[derive(Debug)]
 enum EventKind {
-    Deliver { node: NodeId, port: PortId, packet: Packet },
-    Timer { node: NodeId, tag: u64 },
+    /// `epoch` is the destination node's crash epoch at scheduling time;
+    /// the event is discarded if the node crashed in the interim.
+    Deliver {
+        node: NodeId,
+        port: PortId,
+        packet: Packet,
+        epoch: u64,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+        epoch: u64,
+    },
+    Fault(FaultAction),
+}
+
+/// A fault event with link endpoints already resolved to a [`LinkId`] and
+/// partitions registered, so applying one is a constant-time state flip.
+#[derive(Debug)]
+enum FaultAction {
+    LinkState { link: LinkId, down: bool },
+    LossOverride { link: LinkId, loss: Option<u16> },
+    PartitionOn { id: usize },
+    PartitionOff { id: usize },
+    Crash { node: NodeId },
+    Restart { node: NodeId },
+}
+
+/// A registered partition: two node groups whose cross traffic is blocked
+/// while `active`.
+#[derive(Debug)]
+struct Partition {
+    left: Vec<NodeId>,
+    right: Vec<NodeId>,
+    active: bool,
+}
+
+impl Partition {
+    /// True when `a` and `b` fall on opposite sides of this cut.
+    fn separates(&self, a: NodeId, b: NodeId) -> bool {
+        (self.left.contains(&a) && self.right.contains(&b))
+            || (self.left.contains(&b) && self.right.contains(&a))
+    }
 }
 
 struct Event {
@@ -84,6 +128,16 @@ pub struct Sim {
     /// Events processed so far — a plain field so the per-event budget
     /// check doesn't round-trip through the counter table.
     events: u64,
+    /// Per node: is the network stack up? Crashed nodes receive nothing.
+    alive: Vec<bool>,
+    /// Per node: crash epoch. Bumped on every crash so events scheduled
+    /// before the crash can be recognized and discarded on pop.
+    epochs: Vec<u64>,
+    /// Registered partitions (from installed fault plans).
+    partitions: Vec<Partition>,
+    /// Number of currently active partitions — lets the per-send check
+    /// stay a single integer compare when no partition is live.
+    active_partitions: usize,
     /// Scratch buffers lent to [`NodeCtx`] for each callback, so the event
     /// loop allocates nothing in steady state.
     scratch_sends: Vec<(PortId, Packet)>,
@@ -105,6 +159,10 @@ impl Sim {
             counters: Counters::new(),
             started: false,
             events: 0,
+            alive: Vec::new(),
+            epochs: Vec::new(),
+            partitions: Vec::new(),
+            active_partitions: 0,
             scratch_sends: Vec::new(),
             scratch_timers: Vec::new(),
         }
@@ -120,7 +178,15 @@ impl Sim {
         let id = NodeId(self.nodes.len());
         self.nodes.push(node);
         self.ports.push(Vec::new());
+        self.alive.push(true);
+        self.epochs.push(0);
         id
+    }
+
+    /// True when `node`'s network stack is up (not crashed by fault
+    /// injection, or restarted since).
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.alive[node.0]
     }
 
     /// Number of nodes.
@@ -140,6 +206,8 @@ impl Sim {
             rate: LinkRate::from_spec(&spec),
             ends: [(a, pa), (b, pb)],
             dirs: [Default::default(); 2],
+            down: false,
+            loss_override: None,
         });
         self.ports[a.0].push(id);
         self.ports[b.0].push(id);
@@ -155,9 +223,115 @@ impl Sim {
     ///
     /// This is how workload drivers kick protocols into motion from outside.
     pub fn schedule(&mut self, at: SimTime, node: NodeId, tag: u64) {
+        let epoch = self.epochs[node.0];
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Event { at, seq, kind: EventKind::Timer { node, tag } }));
+        self.heap.push(Reverse(Event { at, seq, kind: EventKind::Timer { node, tag, epoch } }));
+    }
+
+    /// Install a [`FaultPlan`]: resolve its link references against the
+    /// current topology and schedule every fault as a heap event at its
+    /// exact simulated time.
+    ///
+    /// Call after all links are connected. Plans compose: installing
+    /// several plans merges their schedules.
+    ///
+    /// # Panics
+    /// Panics if a plan event names a node pair with no link between them.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            match ev {
+                FaultEvent::LinkDown { at, a, b } => {
+                    let link = self.resolve_link(*a, *b);
+                    self.push_fault(*at, FaultAction::LinkState { link, down: true });
+                }
+                FaultEvent::LinkUp { at, a, b } => {
+                    let link = self.resolve_link(*a, *b);
+                    self.push_fault(*at, FaultAction::LinkState { link, down: false });
+                }
+                FaultEvent::LossBurst { at, until, a, b, loss_permille } => {
+                    let link = self.resolve_link(*a, *b);
+                    self.push_fault(
+                        *at,
+                        FaultAction::LossOverride { link, loss: Some(*loss_permille) },
+                    );
+                    self.push_fault(*until, FaultAction::LossOverride { link, loss: None });
+                }
+                FaultEvent::Partition { at, until, left, right } => {
+                    let id = self.partitions.len();
+                    self.partitions.push(Partition {
+                        left: left.clone(),
+                        right: right.clone(),
+                        active: false,
+                    });
+                    self.push_fault(*at, FaultAction::PartitionOn { id });
+                    self.push_fault(*until, FaultAction::PartitionOff { id });
+                }
+                FaultEvent::Crash { at, node } => {
+                    self.push_fault(*at, FaultAction::Crash { node: *node });
+                }
+                FaultEvent::Restart { at, node } => {
+                    self.push_fault(*at, FaultAction::Restart { node: *node });
+                }
+            }
+        }
+    }
+
+    /// The link directly connecting `a` and `b` (either orientation).
+    fn resolve_link(&self, a: NodeId, b: NodeId) -> LinkId {
+        for (i, link) in self.links.iter().enumerate() {
+            let ends = [link.ends[0].0, link.ends[1].0];
+            if ends == [a, b] || ends == [b, a] {
+                return LinkId(i);
+            }
+        }
+        panic!("fault plan references a non-existent link between node {} and node {}", a.0, b.0);
+    }
+
+    fn push_fault(&mut self, at: SimTime, action: FaultAction) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { at, seq, kind: EventKind::Fault(action) }));
+    }
+
+    /// Flip the engine state a fault action describes. Restarts re-enter
+    /// the node via [`Node::on_restart`] so it can re-arm its timers.
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::LinkState { link, down } => self.links[link.0].down = down,
+            FaultAction::LossOverride { link, loss } => self.links[link.0].loss_override = loss,
+            FaultAction::PartitionOn { id } => {
+                if !self.partitions[id].active {
+                    self.partitions[id].active = true;
+                    self.active_partitions += 1;
+                }
+            }
+            FaultAction::PartitionOff { id } => {
+                if self.partitions[id].active {
+                    self.partitions[id].active = false;
+                    self.active_partitions -= 1;
+                }
+            }
+            FaultAction::Crash { node } => {
+                if self.alive[node.0] {
+                    self.alive[node.0] = false;
+                    // Every event scheduled for the old incarnation is now
+                    // stale; bumping the epoch invalidates them lazily.
+                    self.epochs[node.0] += 1;
+                }
+            }
+            FaultAction::Restart { node } => {
+                if !self.alive[node.0] {
+                    self.alive[node.0] = true;
+                    self.dispatch(node, |n, ctx| n.on_restart(ctx));
+                }
+            }
+        }
+    }
+
+    /// True when an active partition separates `a` from `b`.
+    fn partition_blocks(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitions.iter().any(|p| p.active && p.separates(a, b))
     }
 
     /// Borrow a node's behaviour, downcast to its concrete type.
@@ -207,28 +381,49 @@ impl Sim {
                 self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
                 continue;
             };
-            let link = &mut self.links[link_id.0];
+            let link = &self.links[link_id.0];
             let Some((dir, dst, dst_port)) = link.direction_from(node, port) else {
                 self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
                 continue;
             };
             let spec = link.spec;
             let rate = link.rate;
-            if spec.loss_permille > 0 {
+            // Fault gates, checked before the loss roll so injected faults
+            // never perturb the RNG stream of surviving traffic paths.
+            if link.down {
+                self.counters.inc_id(SIM_PACKETS_DROPPED_LINK_DOWN);
+                continue;
+            }
+            let loss = link.loss_override.unwrap_or(spec.loss_permille);
+            if !self.alive[dst.0] {
+                self.counters.inc_id(SIM_PACKETS_DROPPED_DEAD_NODE);
+                continue;
+            }
+            if self.active_partitions > 0 && self.partition_blocks(node, dst) {
+                self.counters.inc_id(SIM_PACKETS_DROPPED_PARTITION);
+                continue;
+            }
+            if loss > 0 {
                 use rand::Rng;
-                if self.rng.gen_range(0..1000u32) < u32::from(spec.loss_permille) {
+                if self.rng.gen_range(0..1000u32) < u32::from(loss) {
                     self.counters.inc_id(SIM_PACKETS_LOST);
                     continue;
                 }
             }
-            match link.dirs[dir].admit(&rate, spec.latency, self.clock, packet.wire_len()) {
+            match self.links[link_id.0].dirs[dir].admit(
+                &rate,
+                spec.latency,
+                self.clock,
+                packet.wire_len(),
+            ) {
                 Some(arrival) => {
                     let seq = self.seq;
                     self.seq += 1;
+                    let epoch = self.epochs[dst.0];
                     self.heap.push(Reverse(Event {
                         at: arrival,
                         seq,
-                        kind: EventKind::Deliver { node: dst, port: dst_port, packet },
+                        kind: EventKind::Deliver { node: dst, port: dst_port, packet, epoch },
                     }));
                 }
                 None => {
@@ -236,10 +431,11 @@ impl Sim {
                 }
             }
         }
+        let epoch = self.epochs[node.0];
         for (at, tag) in timers.drain(..) {
             let seq = self.seq;
             self.seq += 1;
-            self.heap.push(Reverse(Event { at, seq, kind: EventKind::Timer { node, tag } }));
+            self.heap.push(Reverse(Event { at, seq, kind: EventKind::Timer { node, tag, epoch } }));
         }
     }
 
@@ -280,13 +476,27 @@ impl Sim {
             self.counters.inc_id(SIM_EVENTS);
             processed += 1;
             match ev.kind {
-                EventKind::Deliver { node, port, packet } => {
-                    self.counters.inc_id(SIM_PACKETS_DELIVERED);
-                    self.dispatch(node, |n, ctx| n.on_packet(ctx, port, packet));
+                EventKind::Deliver { node, port, packet, epoch } => {
+                    if !self.alive[node.0] || epoch != self.epochs[node.0] {
+                        // Destination crashed after admission: the packet
+                        // evaporates with the incarnation it targeted.
+                        self.counters.inc_id(SIM_DELIVERIES_DROPPED_CRASH);
+                    } else {
+                        self.counters.inc_id(SIM_PACKETS_DELIVERED);
+                        self.dispatch(node, |n, ctx| n.on_packet(ctx, port, packet));
+                    }
                 }
-                EventKind::Timer { node, tag } => {
-                    self.counters.inc_id(SIM_TIMERS);
-                    self.dispatch(node, |n, ctx| n.on_timer(ctx, tag));
+                EventKind::Timer { node, tag, epoch } => {
+                    if !self.alive[node.0] || epoch != self.epochs[node.0] {
+                        self.counters.inc_id(SIM_TIMERS_DROPPED_CRASH);
+                    } else {
+                        self.counters.inc_id(SIM_TIMERS);
+                        self.dispatch(node, |n, ctx| n.on_timer(ctx, tag));
+                    }
+                }
+                EventKind::Fault(action) => {
+                    self.counters.inc_id(SIM_FAULTS_APPLIED);
+                    self.apply_fault(action);
                 }
             }
         }
@@ -464,6 +674,191 @@ mod tests {
         // Determinism: identical per seed, different across seeds.
         assert_eq!(run(7), (lost, delivered));
         assert_ne!(run(8).0, 0);
+    }
+
+    /// Sends one packet every 10 µs forever (until `n` are out); counts
+    /// what comes back. Re-arms its pacing timer from `on_restart`.
+    struct Pacer {
+        sent: usize,
+        n: usize,
+        received: usize,
+        restarts: usize,
+    }
+    impl Pacer {
+        fn new(n: usize) -> Pacer {
+            Pacer { sent: 0, n, received: 0, restarts: 0 }
+        }
+        fn pump(&mut self, ctx: &mut NodeCtx<'_>) {
+            if self.sent < self.n {
+                self.sent += 1;
+                ctx.send(PortId(0), Packet::new(vec![0u8; 100], self.sent as u64));
+                ctx.set_timer(SimTime::from_micros(10), 0);
+            }
+        }
+    }
+    impl Node for Pacer {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            self.pump(ctx);
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _tag: u64) {
+            self.pump(ctx);
+        }
+        fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: Packet) {
+            self.received += 1;
+        }
+        fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+            self.restarts += 1;
+            self.pump(ctx);
+        }
+    }
+
+    #[test]
+    fn link_down_window_blocks_admissions() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pacer::new(10)));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        // Down for the middle of the run: sends during [25µs, 55µs) die.
+        let plan = FaultPlan::new().link_down(SimTime::from_micros(25), p, e).link_up(
+            SimTime::from_micros(55),
+            p,
+            e,
+        );
+        sim.install_fault_plan(&plan);
+        sim.run_until_idle();
+        let down_drops = sim.counters.get("sim.packets_dropped.link_down");
+        assert!(down_drops > 0, "expected drops while the link was down");
+        let pacer = sim.node_as::<Pacer>(p).unwrap();
+        assert_eq!(pacer.sent, 10);
+        // Each drop (original or echo) costs exactly one reception.
+        assert_eq!(pacer.received as u64, 10 - down_drops);
+        assert_eq!(sim.counters.get("sim.faults_applied"), 2);
+    }
+
+    #[test]
+    fn loss_burst_overrides_and_restores_spec_rate() {
+        use crate::fault::FaultPlan;
+        fn run(burst: bool) -> u64 {
+            let mut sim = Sim::new(SimConfig { seed: 11, ..Default::default() });
+            let p = sim.add_node(Box::new(Pacer::new(200)));
+            let e = sim.add_node(Box::new(Echo));
+            sim.connect(p, e, spec_1b_per_ns());
+            if burst {
+                let plan = FaultPlan::new().loss_burst(
+                    SimTime::ZERO,
+                    SimTime::from_micros(1000),
+                    p,
+                    e,
+                    500,
+                );
+                sim.install_fault_plan(&plan);
+            }
+            sim.run_until_idle();
+            sim.counters.get("sim.packets_lost")
+        }
+        assert_eq!(run(false), 0, "spec link is lossless");
+        let lost = run(true);
+        // 200 paced sends, ~50% loss while the burst covers the first
+        // 1000 µs (the whole send window): expect substantial loss.
+        assert!(lost > 50, "burst should lose many packets, lost {lost}");
+    }
+
+    #[test]
+    fn partition_blocks_cross_traffic_both_ways() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pacer::new(10)));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        let plan = FaultPlan::new().partition(SimTime::ZERO, SimTime::from_micros(45), &[p], &[e]);
+        sim.install_fault_plan(&plan);
+        sim.run_until_idle();
+        let part_drops = sim.counters.get("sim.packets_dropped.partition");
+        assert!(part_drops >= 4, "partition must block cross traffic, dropped {part_drops}");
+        let pacer = sim.node_as::<Pacer>(p).unwrap();
+        assert_eq!(pacer.received as u64, 10 - part_drops, "each drop costs one echo");
+    }
+
+    #[test]
+    fn crash_drops_inflight_and_timers_restart_revives() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pacer::new(10)));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        // Crash the pacer at 31 µs: the echo of its 30 µs send is in
+        // flight (lands at 31.2 µs) and its pacing timer is armed — both
+        // must die with the crash; without a restart nothing more happens.
+        let plan = FaultPlan::new()
+            .crash(SimTime::from_micros(31), p)
+            .restart(SimTime::from_micros(60), p);
+        sim.install_fault_plan(&plan);
+        sim.run_until_idle();
+        let pacer = sim.node_as::<Pacer>(p).unwrap();
+        assert_eq!(pacer.restarts, 1, "on_restart must run exactly once");
+        assert_eq!(pacer.sent, 10, "restart re-armed the pacing timer");
+        assert!(
+            sim.counters.get("sim.timers_dropped.crash") >= 1,
+            "the armed pacing timer must die with the crash"
+        );
+        assert!(
+            sim.counters.get("sim.deliveries_dropped.crash") >= 1,
+            "the in-flight echo must die with the crash"
+        );
+        assert!(pacer.received < 10, "echoes in flight at the crash are lost");
+        assert!(sim.node_alive(p));
+    }
+
+    #[test]
+    fn sends_to_dead_node_drop_at_admission() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pacer::new(10)));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        let plan = FaultPlan::new().crash(SimTime::from_micros(5), e);
+        sim.install_fault_plan(&plan);
+        sim.run_until_idle();
+        assert!(!sim.node_alive(e));
+        assert!(
+            sim.counters.get("sim.packets_dropped.dead_node") >= 8,
+            "sends to the dead echo must drop at the sender's link"
+        );
+        assert_eq!(sim.node_as::<Pacer>(p).unwrap().received, 1, "only the pre-crash echo");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        use crate::fault::FaultPlan;
+        fn run(seed: u64) -> Vec<(&'static str, u64)> {
+            let mut sim = Sim::new(SimConfig { seed, ..Default::default() });
+            let p = sim.add_node(Box::new(Pacer::new(50)));
+            let e = sim.add_node(Box::new(Echo));
+            sim.connect(p, e, spec_1b_per_ns().with_loss(100));
+            let plan = FaultPlan::new()
+                .loss_burst(SimTime::from_micros(40), SimTime::from_micros(120), p, e, 700)
+                .crash(SimTime::from_micros(200), e)
+                .restart(SimTime::from_micros(260), e)
+                .partition(SimTime::from_micros(300), SimTime::from_micros(350), &[p], &[e]);
+            sim.install_fault_plan(&plan);
+            sim.run_until_idle();
+            sim.counters.iter().collect()
+        }
+        assert_eq!(run(3), run(3), "identical seed must give identical counters");
+        assert_ne!(run(3), run(4), "loss should differ across seeds");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent link")]
+    fn fault_plan_with_unknown_link_panics() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node(Box::new(Echo));
+        let b = sim.add_node(Box::new(Echo));
+        let _ = (a, b);
+        let plan = FaultPlan::new().link_down(SimTime::ZERO, a, b);
+        sim.install_fault_plan(&plan);
     }
 
     #[test]

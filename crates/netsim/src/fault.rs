@@ -1,0 +1,217 @@
+//! Scheduled, seed-reproducible fault injection.
+//!
+//! A [`FaultPlan`] is a declarative list of fault events — link down/up,
+//! loss bursts, bidirectional partitions, node crash/restart — each pinned
+//! to an exact simulated time. The engine turns an installed plan into
+//! ordinary heap events, so faults interleave with deliveries and timers in
+//! the same `(time, sequence)` order as everything else: two runs with the
+//! same seed, topology, workload, and plan are bit-identical.
+//!
+//! Fault semantics (enforced by [`crate::engine::Sim`]):
+//!
+//! - **Link down** blocks new admissions on both directions of the link;
+//!   packets already serialized onto the wire still arrive (the failure is
+//!   at the transmitter, not a backhoe teleporting in-flight photons away).
+//! - **Loss burst** temporarily overrides a link's random-loss rate and
+//!   restores the spec rate when the burst window closes.
+//! - **Partition** blocks admissions between two node groups in both
+//!   directions for a window; traffic within a group is unaffected.
+//! - **Crash** marks a node dead: in-flight deliveries and armed timers for
+//!   it are discarded, and new sends addressed to it are dropped at the
+//!   sender's link. Crash-stop applies to the *network stack* — the node's
+//!   in-memory state object survives, which models a process that keeps its
+//!   store but loses every connection and pending timer.
+//! - **Restart** revives a crashed node and invokes
+//!   [`crate::node::Node::on_restart`] so it can re-arm timers. Events from
+//!   before the crash stay dead (each crash bumps the node's epoch).
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One scheduled fault event within a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub enum FaultEvent {
+    /// Administratively disable the link between `a` and `b` at `at`.
+    LinkDown {
+        /// When the link goes down.
+        at: SimTime,
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Re-enable the link between `a` and `b` at `at`.
+    LinkUp {
+        /// When the link comes back.
+        at: SimTime,
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Override the link's random-loss rate during `[at, until)`.
+    LossBurst {
+        /// Burst start.
+        at: SimTime,
+        /// Burst end (the spec loss rate is restored here).
+        until: SimTime,
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Loss rate during the burst, in packets per mille.
+        loss_permille: u16,
+    },
+    /// Block all traffic between `left` and `right` during `[at, until)`.
+    Partition {
+        /// Partition start.
+        at: SimTime,
+        /// Partition heal time.
+        until: SimTime,
+        /// Nodes on one side of the cut.
+        left: Vec<NodeId>,
+        /// Nodes on the other side.
+        right: Vec<NodeId>,
+    },
+    /// Crash-stop `node`'s network stack at `at`.
+    Crash {
+        /// When the node dies.
+        at: SimTime,
+        /// The node to crash.
+        node: NodeId,
+    },
+    /// Revive a crashed `node` at `at`.
+    Restart {
+        /// When the node comes back.
+        at: SimTime,
+        /// The node to restart.
+        node: NodeId,
+    },
+}
+
+/// A schedule of fault events, built up fluently and installed into a
+/// simulation with [`crate::engine::Sim::install_fault_plan`].
+///
+/// Plans are plain data: they can be generated from a seeded RNG by a
+/// chaos harness, cloned, and re-installed into a fresh simulation to
+/// reproduce a run exactly.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule the link between `a` and `b` to go down at `at`.
+    pub fn link_down(mut self, at: SimTime, a: NodeId, b: NodeId) -> Self {
+        self.events.push(FaultEvent::LinkDown { at, a, b });
+        self
+    }
+
+    /// Schedule the link between `a` and `b` to come back up at `at`.
+    pub fn link_up(mut self, at: SimTime, a: NodeId, b: NodeId) -> Self {
+        self.events.push(FaultEvent::LinkUp { at, a, b });
+        self
+    }
+
+    /// Schedule a loss burst of `loss_permille` on the `a`–`b` link during
+    /// `[at, until)`.
+    pub fn loss_burst(
+        mut self,
+        at: SimTime,
+        until: SimTime,
+        a: NodeId,
+        b: NodeId,
+        loss_permille: u16,
+    ) -> Self {
+        self.events.push(FaultEvent::LossBurst { at, until, a, b, loss_permille });
+        self
+    }
+
+    /// Schedule a bidirectional partition between `left` and `right` during
+    /// `[at, until)`.
+    pub fn partition(
+        mut self,
+        at: SimTime,
+        until: SimTime,
+        left: &[NodeId],
+        right: &[NodeId],
+    ) -> Self {
+        self.events.push(FaultEvent::Partition {
+            at,
+            until,
+            left: left.to_vec(),
+            right: right.to_vec(),
+        });
+        self
+    }
+
+    /// Schedule `node` to crash at `at`.
+    pub fn crash(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push(FaultEvent::Crash { at, node });
+        self
+    }
+
+    /// Schedule a crashed `node` to restart at `at`.
+    pub fn restart(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push(FaultEvent::Restart { at, node });
+        self
+    }
+
+    /// Number of scheduled fault events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_events() {
+        let plan = FaultPlan::new()
+            .link_down(SimTime::from_micros(10), NodeId(0), NodeId(1))
+            .link_up(SimTime::from_micros(20), NodeId(0), NodeId(1))
+            .loss_burst(
+                SimTime::from_micros(5),
+                SimTime::from_micros(15),
+                NodeId(0),
+                NodeId(1),
+                500,
+            )
+            .partition(
+                SimTime::from_micros(1),
+                SimTime::from_micros(2),
+                &[NodeId(0)],
+                &[NodeId(1), NodeId(2)],
+            )
+            .crash(SimTime::from_micros(3), NodeId(2))
+            .restart(SimTime::from_micros(4), NodeId(2));
+        assert_eq!(plan.len(), 6);
+        assert!(!plan.is_empty());
+        assert!(matches!(plan.events()[5], FaultEvent::Restart { node: NodeId(2), .. }));
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert!(plan.events().is_empty());
+    }
+}

@@ -19,11 +19,14 @@
 //! - [`topo`] — topology builders, including the paper's testbed (three
 //!   hosts behind four interconnected switches) and generic shapes.
 //! - [`stats`] — counters and latency histograms shared by experiments.
+//! - [`fault`] — scheduled fault injection: link down/up, loss bursts,
+//!   partitions, and node crash/restart, all seed-reproducible.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod packet;
@@ -32,6 +35,7 @@ pub mod time;
 pub mod topo;
 
 pub use engine::{Sim, SimConfig};
+pub use fault::{FaultEvent, FaultPlan};
 pub use link::LinkSpec;
 pub use node::{Node, NodeCtx, NodeId, PortId};
 pub use packet::Packet;

@@ -139,6 +139,10 @@ pub(crate) struct Link {
     /// (node, port) pairs for the two ends: `ends[0]` ↔ `ends[1]`.
     pub ends: [(NodeId, PortId); 2],
     pub dirs: [Direction; 2],
+    /// Administratively down (fault injection): admissions are refused.
+    pub down: bool,
+    /// Fault-injected loss rate overriding `spec.loss_permille` while set.
+    pub loss_override: Option<u16>,
 }
 
 impl Link {
@@ -234,6 +238,8 @@ mod tests {
             rate: LinkRate::from_spec(&spec()),
             ends: [(NodeId(1), PortId(0)), (NodeId(2), PortId(3))],
             dirs: [Direction::default(); 2],
+            down: false,
+            loss_override: None,
         };
         assert_eq!(link.direction_from(NodeId(1), PortId(0)), Some((0, NodeId(2), PortId(3))));
         assert_eq!(link.direction_from(NodeId(2), PortId(3)), Some((1, NodeId(1), PortId(0))));

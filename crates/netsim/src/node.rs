@@ -38,6 +38,15 @@ pub trait Node: std::any::Any {
         let _ = ctx;
     }
 
+    /// Called when fault injection restarts this node after a crash.
+    ///
+    /// The crash discarded every pending delivery and timer for the node,
+    /// so protocols that pace themselves with timers must re-arm here.
+    /// In-memory state survives (crash-stop of the network stack only).
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        let _ = ctx;
+    }
+
     /// Human-readable name for traces.
     fn name(&self) -> &str {
         "node"

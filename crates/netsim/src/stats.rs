@@ -31,9 +31,25 @@ pub const SIM_PACKETS_DROPPED_BAD_PORT: CounterId = CounterId(4);
 pub const SIM_PACKETS_LOST: CounterId = CounterId(5);
 /// `sim.timers` — timer events fired.
 pub const SIM_TIMERS: CounterId = CounterId(6);
+/// `sim.faults_applied` — fault-plan events executed by the engine.
+pub const SIM_FAULTS_APPLIED: CounterId = CounterId(7);
+/// `sim.packets_dropped.link_down` — sends refused because the link was
+/// administratively down.
+pub const SIM_PACKETS_DROPPED_LINK_DOWN: CounterId = CounterId(8);
+/// `sim.packets_dropped.partition` — sends refused because the endpoints
+/// were on opposite sides of an active partition.
+pub const SIM_PACKETS_DROPPED_PARTITION: CounterId = CounterId(9);
+/// `sim.packets_dropped.dead_node` — sends addressed to a crashed node.
+pub const SIM_PACKETS_DROPPED_DEAD_NODE: CounterId = CounterId(10);
+/// `sim.deliveries_dropped.crash` — in-flight deliveries discarded because
+/// the destination crashed after they were admitted.
+pub const SIM_DELIVERIES_DROPPED_CRASH: CounterId = CounterId(11);
+/// `sim.timers_dropped.crash` — timers discarded because their node crashed
+/// after arming them.
+pub const SIM_TIMERS_DROPPED_CRASH: CounterId = CounterId(12);
 
 /// Names behind the fixed engine slots above, in slot order.
-const ENGINE_SLOTS: [&str; 7] = [
+const ENGINE_SLOTS: [&str; 13] = [
     "sim.events",
     "sim.packets_sent",
     "sim.packets_delivered",
@@ -41,6 +57,12 @@ const ENGINE_SLOTS: [&str; 7] = [
     "sim.packets_dropped.bad_port",
     "sim.packets_lost",
     "sim.timers",
+    "sim.faults_applied",
+    "sim.packets_dropped.link_down",
+    "sim.packets_dropped.partition",
+    "sim.packets_dropped.dead_node",
+    "sim.deliveries_dropped.crash",
+    "sim.timers_dropped.crash",
 ];
 
 struct Registry {
@@ -342,6 +364,12 @@ mod tests {
             (SIM_PACKETS_DROPPED_BAD_PORT, "sim.packets_dropped.bad_port"),
             (SIM_PACKETS_LOST, "sim.packets_lost"),
             (SIM_TIMERS, "sim.timers"),
+            (SIM_FAULTS_APPLIED, "sim.faults_applied"),
+            (SIM_PACKETS_DROPPED_LINK_DOWN, "sim.packets_dropped.link_down"),
+            (SIM_PACKETS_DROPPED_PARTITION, "sim.packets_dropped.partition"),
+            (SIM_PACKETS_DROPPED_DEAD_NODE, "sim.packets_dropped.dead_node"),
+            (SIM_DELIVERIES_DROPPED_CRASH, "sim.deliveries_dropped.crash"),
+            (SIM_TIMERS_DROPPED_CRASH, "sim.timers_dropped.crash"),
         ] {
             assert_eq!(slot, CounterId::intern(name), "fixed slot for {name}");
             assert_eq!(slot.name(), name);

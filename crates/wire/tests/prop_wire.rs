@@ -1,0 +1,148 @@
+//! Property tests for the wire layer: round-trips on arbitrary inputs and
+//! corruption detection on arbitrary byte strings.
+//!
+//! The framing layer is what stands between the fault-injected fabric and
+//! silent data corruption, so the properties here are the negative space of
+//! the chaos soak: flipped bits are *detected*, truncation is *incomplete*
+//! (never an error, never a bogus frame), and garbage never panics.
+
+use proptest::prelude::*;
+use rdv_wire::frame::{FrameCodec, FRAME_MAGIC};
+use rdv_wire::varint::{
+    read_ivarint, read_uvarint, uvarint_len, write_ivarint, write_uvarint, zigzag_decode,
+    zigzag_encode,
+};
+use rdv_wire::{decode_from_slice, encode_to_vec, WireError};
+
+proptest! {
+    #[test]
+    fn prop_uvarint_roundtrip(value in any::<u64>()) {
+        let mut buf = Vec::new();
+        let written = write_uvarint(&mut buf, value);
+        prop_assert_eq!(written, buf.len());
+        prop_assert_eq!(written, uvarint_len(value));
+        let (back, read) = read_uvarint(&buf).unwrap();
+        prop_assert_eq!(back, value);
+        prop_assert_eq!(read, written);
+    }
+
+    #[test]
+    fn prop_ivarint_roundtrip(value in any::<i64>()) {
+        let mut buf = Vec::new();
+        write_ivarint(&mut buf, value);
+        let (back, _) = read_ivarint(&buf).unwrap();
+        prop_assert_eq!(back, value);
+        prop_assert_eq!(zigzag_decode(zigzag_encode(value)), value);
+    }
+
+    #[test]
+    fn prop_uvarint_garbage_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..16)) {
+        // Any outcome is fine — value, EOF, or overflow — as long as it is
+        // a returned Result, not a panic.
+        let _ = read_uvarint(&junk);
+        let _ = read_ivarint(&junk);
+    }
+
+    #[test]
+    fn prop_codec_roundtrip(
+        a in any::<u64>(),
+        b in proptest::collection::vec(any::<i64>(), 0..32),
+        c in any::<bool>(),
+    ) {
+        let value = (a, b, c);
+        let bytes = encode_to_vec(&value);
+        let back: (u64, Vec<i64>, bool) = decode_from_slice(&bytes).unwrap();
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn prop_codec_rejects_trailing_bytes(a in any::<u64>(), extra in 1usize..8) {
+        let mut bytes = encode_to_vec(&a);
+        bytes.resize(bytes.len() + extra, 0);
+        prop_assert!(matches!(
+            decode_from_slice::<u64>(&bytes),
+            Err(WireError::TrailingBytes(_))
+        ));
+    }
+
+    #[test]
+    fn prop_frame_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = FrameCodec::encode(&payload);
+        let (frame, consumed) = FrameCodec::decode(&encoded).unwrap().unwrap();
+        prop_assert_eq!(frame.payload, payload);
+        prop_assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn prop_checksum_detects_any_bit_flip_past_the_header(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        flip in any::<u64>(),
+    ) {
+        // Flip one bit anywhere in the CRC field or the payload: the
+        // decoder must report corruption, never hand back a frame.
+        let mut encoded = FrameCodec::encode(&payload);
+        let crc_start = FRAME_MAGIC.len() + uvarint_len(payload.len() as u64);
+        let body_bits = (encoded.len() - crc_start) * 8;
+        let bit = crc_start * 8 + (flip % body_bits as u64) as usize;
+        encoded[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(matches!(
+            FrameCodec::decode(&encoded),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn prop_magic_bit_flip_detected(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        bit in 0usize..32,
+    ) {
+        let mut encoded = FrameCodec::encode(&payload);
+        encoded[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(matches!(FrameCodec::decode(&encoded), Err(WireError::BadMagic)));
+    }
+
+    #[test]
+    fn prop_truncation_is_incomplete_not_corrupt(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        cut in any::<u64>(),
+    ) {
+        // Any strict prefix of a valid frame decodes as "incomplete":
+        // a stream reassembling fragments must wait, not fail.
+        let encoded = FrameCodec::encode(&payload);
+        let cut = (cut % encoded.len() as u64) as usize;
+        prop_assert_eq!(FrameCodec::decode(&encoded[..cut]).unwrap(), None);
+    }
+
+    #[test]
+    fn prop_frame_decode_never_panics_on_garbage(
+        junk in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Arbitrary bytes: decode may fail or see an incomplete frame, but
+        // it must return, and a decoded frame must fit inside the input.
+        if let Ok(Some((frame, consumed))) = FrameCodec::decode(&junk) {
+            prop_assert!(consumed <= junk.len());
+            prop_assert!(frame.payload.len() <= consumed);
+        }
+        let _ = FrameCodec::decode_all(&junk);
+    }
+
+    #[test]
+    fn prop_one_corrupt_frame_does_not_take_down_the_stream(
+        first in proptest::collection::vec(any::<u8>(), 1..64),
+        second in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // decode_all surfaces the error at the corrupt frame; the caller
+        // still gets every frame decoded before it.
+        let mut stream = FrameCodec::encode(&first);
+        let mut bad = FrameCodec::encode(&second);
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let good_len = stream.len();
+        stream.extend(bad);
+        prop_assert!(FrameCodec::decode_all(&stream).is_err());
+        let (frames, consumed) = FrameCodec::decode_all(&stream[..good_len]).unwrap();
+        prop_assert_eq!(frames.len(), 1);
+        prop_assert_eq!(consumed, good_len);
+        prop_assert_eq!(&frames[0].payload, &first);
+    }
+}

@@ -1,0 +1,511 @@
+//! Chaos soak: seeded random scenarios (topology × workload × fault plan)
+//! run to quiescence, checking the fabric's end-to-end invariants.
+//!
+//! The invariants (see DESIGN.md, "Fault model"):
+//!
+//! 1. **No committed write lost** — a message the reliable transport acked
+//!    is present at the receiver, across crashes and outages.
+//! 2. **No stale-after-invalidate reads** — a copy the coherence directory
+//!    still registers always holds the current value; invalidated copies
+//!    are gone.
+//! 3. **Completion or typed error** — every issued rendezvous/access ends
+//!    in a completion record or a typed failure; nothing wedges in flight.
+//! 4. **Determinism** — identical seeds produce byte-identical stats.
+//!
+//! Every scenario is derived from a single `u64` seed, so any failure
+//! reproduces exactly by re-running the named seed.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdv_core::scenarios::{build_star_fabric, host_link_rack};
+use rdv_discovery::{AccessFailure, DiscoveryMode, HostConfig, HostNode};
+use rdv_memproto::coherence::{DirAction, Directory};
+use rdv_memproto::msg::Msg;
+use rdv_memproto::transport::{ReliableEndpoint, TransportConfig};
+use rdv_netsim::{
+    FaultPlan, LinkSpec, Node, NodeCtx, NodeId, Packet, PortId, Sim, SimConfig, SimTime,
+};
+use rdv_objspace::{ObjId, ObjectKind};
+
+// ---------------------------------------------------------------------------
+// Shared: stats fingerprinting (invariant 4)
+// ---------------------------------------------------------------------------
+
+/// Render engine counters to a canonical string: `Counters::iter` is
+/// name-sorted, so equal fabrics render byte-identically.
+fn render_counters(c: &rdv_netsim::Counters) -> String {
+    let mut out = String::new();
+    for (name, value) in c.iter() {
+        out.push_str(&format!("{name}={value};"));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Family 1: reliable transport over a faulty wire
+// ---------------------------------------------------------------------------
+
+/// Minimal host pushing `messages` reliably to a peer over port 0.
+struct PipeNode {
+    ep: ReliableEndpoint,
+    peer: ObjId,
+    to_send: u64,
+    delivered: Vec<Vec<u8>>,
+    trace: u64,
+}
+
+impl PipeNode {
+    fn new(local: ObjId, peer: ObjId, to_send: u64, cfg: TransportConfig) -> PipeNode {
+        PipeNode {
+            ep: ReliableEndpoint::new(local, cfg),
+            peer,
+            to_send,
+            delivered: Vec::new(),
+            trace: 0,
+        }
+    }
+
+    fn push(&mut self, ctx: &mut NodeCtx<'_>, msg: Msg) {
+        self.trace += 1;
+        ctx.send(PortId(0), Packet::new(msg.encode(), self.trace));
+    }
+
+    fn pump(&mut self, ctx: &mut NodeCtx<'_>) {
+        for msg in self.ep.poll_retransmits(ctx.now) {
+            self.push(ctx, msg);
+        }
+        if self.ep.in_flight() > 0 {
+            ctx.set_timer(SimTime::from_micros(100), 1);
+        }
+    }
+}
+
+impl Node for PipeNode {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        for i in 0..self.to_send {
+            let msg = self.ep.send(ctx.now, self.peer, i.to_le_bytes().to_vec());
+            self.push(ctx, msg);
+        }
+        if self.ep.in_flight() > 0 {
+            ctx.set_timer(SimTime::from_micros(100), 1);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
+        let Ok(msg) = Msg::decode(&packet.payload) else { return };
+        let (delivered, ack) = self.ep.on_receive(&msg);
+        self.delivered.extend(delivered);
+        if let Some(ack) = ack {
+            self.push(ctx, ack);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _tag: u64) {
+        self.pump(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.pump(ctx);
+    }
+}
+
+struct TransportScenario {
+    loss_permille: u16,
+    messages: u64,
+    plan: FaultPlan,
+    receiver_stays_dead: bool,
+}
+
+/// Derive one transport scenario from a seed: random loss rate, message
+/// count, and a fault plan that may include a link-down window and a
+/// receiver crash (with or without restart).
+fn gen_transport_scenario(seed: u64) -> TransportScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a05);
+    let loss_permille = rng.gen_range(0..250) as u16;
+    let messages = rng.gen_range(20..50);
+    let mut plan = FaultPlan::new();
+    if rng.gen_bool(0.5) {
+        let at = rng.gen_range(1..100);
+        let dur = rng.gen_range(100..1500);
+        plan = plan.link_down(SimTime::from_micros(at), NodeId(0), NodeId(1)).link_up(
+            SimTime::from_micros(at + dur),
+            NodeId(0),
+            NodeId(1),
+        );
+    }
+    let mut receiver_stays_dead = false;
+    if rng.gen_bool(0.6) {
+        let at = rng.gen_range(1..200);
+        plan = plan.crash(SimTime::from_micros(at), NodeId(1));
+        if rng.gen_bool(0.66) {
+            let back = at + rng.gen_range(100..2000);
+            plan = plan.restart(SimTime::from_micros(back), NodeId(1));
+        } else {
+            receiver_stays_dead = true;
+        }
+    }
+    TransportScenario { loss_permille, messages, plan, receiver_stays_dead }
+}
+
+/// Run a transport scenario to quiescence and check invariants 1 and 3.
+/// Returns the stats fingerprint for invariant 4.
+fn run_transport_scenario(seed: u64, sc: &TransportScenario) -> String {
+    let cfg = TransportConfig { rto: SimTime::from_micros(200), max_retries: 12, backoff_cap: 3 };
+    let mut sim = Sim::new(SimConfig { seed, ..Default::default() });
+    let a = sim.add_node(Box::new(PipeNode::new(ObjId(0xA), ObjId(0xB), sc.messages, cfg)));
+    let b = sim.add_node(Box::new(PipeNode::new(ObjId(0xB), ObjId(0xA), 0, cfg)));
+    sim.connect(a, b, LinkSpec::rack().with_loss(sc.loss_permille));
+    sim.install_fault_plan(&sc.plan);
+    sim.run_until_idle();
+
+    let receiver = sim.node_as::<PipeNode>(b).unwrap();
+    let delivered: Vec<u64> = receiver
+        .delivered
+        .iter()
+        .map(|d| u64::from_le_bytes(d.as_slice().try_into().expect("8-byte payload")))
+        .collect();
+    let sender = sim.node_as::<PipeNode>(a).unwrap();
+
+    // Invariant 3: nothing wedges — every segment is acked or typed-failed.
+    assert_eq!(sender.ep.in_flight(), 0, "seed {seed}: segments left in limbo");
+
+    // In-order exactly-once delivery means the receiver saw exactly the
+    // prefix 0..len of the message stream, each message once.
+    let prefix: Vec<u64> = (0..delivered.len() as u64).collect();
+    assert_eq!(delivered, prefix, "seed {seed}: delivery must be the exact in-order prefix");
+
+    // Invariant 1: a committed (acked, i.e. not typed-failed) write is
+    // never lost. Message i is transport seq i+1.
+    for i in 0..sc.messages {
+        let failed = sender.ep.failed.iter().any(|&(peer, seq)| peer == ObjId(0xB) && seq == i + 1);
+        if !failed {
+            assert!(
+                (i as usize) < delivered.len(),
+                "seed {seed}: message {i} was acked but never delivered"
+            );
+        }
+    }
+    if !sc.receiver_stays_dead {
+        assert!(
+            sender.ep.failed.is_empty(),
+            "seed {seed}: every outage heals, so nothing may fail (failed: {:?})",
+            sender.ep.failed
+        );
+        assert_eq!(delivered.len() as u64, sc.messages, "seed {seed}");
+    }
+
+    format!(
+        "{}|delivered={}|failed={:?}|retx={}",
+        render_counters(&sim.counters),
+        delivered.len(),
+        sender.ep.failed,
+        sender.ep.retransmits,
+    )
+}
+
+#[test]
+fn transport_soak_under_loss_crash_and_outage() {
+    let mut fingerprints = Vec::new();
+    for seed in 0..12u64 {
+        let sc = gen_transport_scenario(seed);
+        let fp = run_transport_scenario(seed, &sc);
+        // Invariant 4: same seed, byte-identical stats.
+        let again = run_transport_scenario(seed, &sc);
+        assert_eq!(fp, again, "seed {seed}: rerun diverged");
+        fingerprints.push(fp);
+    }
+    fingerprints.dedup();
+    assert!(fingerprints.len() > 1, "distinct seeds must explore distinct behaviour");
+}
+
+// ---------------------------------------------------------------------------
+// Family 2: rendezvous fabric under combined loss + partition + crash
+// ---------------------------------------------------------------------------
+
+struct FabricScenario {
+    holders: usize,
+    accesses: usize,
+    link_loss: u16,
+    burst: (u64, u64, u16),
+    partition_window: (u64, u64),
+    partition_victim: usize,
+    crash_at: u64,
+    restart_at: Option<u64>,
+    crash_victim: usize,
+}
+
+/// Derive one fabric scenario: every scenario combines all three fault
+/// categories — a loss burst on the driver's uplink, a partition cutting
+/// one holder off the switch, and a holder crash (sometimes permanent).
+fn gen_fabric_scenario(seed: u64) -> FabricScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFAB);
+    let holders = rng.gen_range(2..4);
+    let crash_victim = rng.gen_range(0..holders);
+    // Partition a holder the crash does not target, so the two faults
+    // compose rather than shadow each other.
+    let partition_victim = (crash_victim + 1) % holders;
+    FabricScenario {
+        holders,
+        accesses: rng.gen_range(12..20),
+        link_loss: rng.gen_range(0..50) as u16,
+        burst: (rng.gen_range(1..400), rng.gen_range(50..150), rng.gen_range(300..700) as u16),
+        partition_window: (rng.gen_range(1..500), rng.gen_range(50..300)),
+        partition_victim,
+        crash_at: rng.gen_range(1..500),
+        restart_at: if rng.gen_bool(0.75) { Some(rng.gen_range(100..500)) } else { None },
+        crash_victim,
+    }
+}
+
+struct FabricOutcome {
+    failed: Vec<(ObjId, AccessFailure)>,
+    fingerprint: String,
+}
+
+fn run_fabric_scenario(seed: u64, sc: &FabricScenario) -> FabricOutcome {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0B7);
+    let host_cfg = HostConfig {
+        mode: DiscoveryMode::Controller,
+        access_timeout: SimTime::from_micros(200),
+        max_access_retries: 6,
+        ..HostConfig::default()
+    };
+
+    // Topology: driver + `holders` responders behind one object-routed
+    // switch. Each holder owns two objects.
+    let mut nodes: Vec<(Box<dyn Node>, ObjId, LinkSpec)> = Vec::new();
+    let link = host_link_rack().with_loss(sc.link_loss);
+    let driver_inbox = ObjId(0xD0);
+    let mut obj_routes = Vec::new();
+    let mut objects_of: Vec<Vec<ObjId>> = Vec::new();
+    let mut driver = HostNode::new("driver", driver_inbox, host_cfg);
+    for h in 0..sc.holders {
+        let inbox = ObjId(0xB0 + h as u128);
+        let mut holder = HostNode::new(format!("h{h}"), inbox, host_cfg);
+        let mut owned = Vec::new();
+        for _ in 0..2 {
+            let obj = holder.store.create(&mut rng, ObjectKind::Data);
+            let off = holder.store.get_mut(obj).unwrap().alloc(128).unwrap();
+            holder.store.get_mut(obj).unwrap().write_u64(off, obj.as_u128() as u64).unwrap();
+            // Star-fabric port numbering: driver is host 0, holder h is 1+h.
+            obj_routes.push((obj, 1 + h));
+            owned.push(obj);
+        }
+        objects_of.push(owned);
+        nodes.push((Box::new(holder), inbox, link));
+    }
+    // The driver's access plan mixes all holders' objects.
+    for _ in 0..sc.accesses {
+        let h = rng.gen_range(0..sc.holders);
+        let i = rng.gen_range(0..2);
+        driver.plan.push(objects_of[h][i]);
+    }
+    let plan_len = driver.plan.len();
+    nodes.insert(0, (Box::new(driver), driver_inbox, link));
+
+    let (mut sim, ids) = build_star_fabric(seed, nodes, &obj_routes);
+    let switch = NodeId(ids.len());
+
+    // Faults: loss burst on the driver's uplink, partition around one
+    // holder, crash (± restart) of another.
+    let (burst_at, burst_dur, burst_loss) = sc.burst;
+    let (part_at, part_dur) = sc.partition_window;
+    let crash_node = ids[1 + sc.crash_victim];
+    let mut fault_plan = FaultPlan::new()
+        .loss_burst(
+            SimTime::from_micros(burst_at),
+            SimTime::from_micros(burst_at + burst_dur),
+            ids[0],
+            switch,
+            burst_loss,
+        )
+        .partition(
+            SimTime::from_micros(part_at),
+            SimTime::from_micros(part_at + part_dur),
+            &[switch],
+            &[ids[1 + sc.partition_victim]],
+        )
+        .crash(SimTime::from_micros(sc.crash_at), crash_node);
+    if let Some(back) = sc.restart_at {
+        fault_plan = fault_plan.restart(SimTime::from_micros(sc.crash_at + back), crash_node);
+    }
+    sim.install_fault_plan(&fault_plan);
+
+    for i in 0..plan_len as u64 {
+        sim.schedule(SimTime::from_micros(10 + 50 * i), ids[0], i);
+    }
+    sim.run_until_idle();
+
+    let drv = sim.node_as::<HostNode>(ids[0]).unwrap();
+    // Invariant 3: every access either completed or failed with a type.
+    assert_eq!(drv.outstanding(), 0, "seed {seed}: accesses wedged in flight");
+    assert_eq!(
+        drv.records.len() + drv.failed.len(),
+        plan_len,
+        "seed {seed}: every access must be accounted for"
+    );
+    for rec in &drv.records {
+        assert!(rec.latency() > SimTime::ZERO, "seed {seed}");
+    }
+    // Healed faults must not cost completions: with the crash victim
+    // restarted, the retry budget covers every outage window, so all
+    // accesses complete. With a permanent crash, only accesses to the dead
+    // holder's objects may fail — and then only as TimedOut.
+    if sc.restart_at.is_some() {
+        assert_eq!(
+            drv.records.len(),
+            plan_len,
+            "seed {seed}: healed faults may not lose accesses ({:?})",
+            drv.failed
+        );
+    } else {
+        for f in &drv.failed {
+            assert_eq!(f.reason, AccessFailure::TimedOut, "seed {seed}");
+            assert!(
+                objects_of[sc.crash_victim].contains(&f.target),
+                "seed {seed}: only the dead holder's objects may fail"
+            );
+        }
+    }
+
+    let mut fingerprint = render_counters(&sim.counters);
+    fingerprint.push('#');
+    fingerprint.push_str(&render_counters(&drv.counters));
+    for r in &drv.records {
+        fingerprint.push_str(&format!(
+            "r:{:x}:{}:{}:{}:{};",
+            r.target.as_u128(),
+            r.issued.as_nanos(),
+            r.completed.as_nanos(),
+            r.broadcasts,
+            r.nacks
+        ));
+    }
+    for f in &drv.failed {
+        fingerprint.push_str(&format!("f:{:x}:{}:{:?};", f.target.as_u128(), f.retries, f.reason));
+    }
+    FabricOutcome { failed: drv.failed.iter().map(|f| (f.target, f.reason)).collect(), fingerprint }
+}
+
+#[test]
+fn fabric_soak_combines_loss_partition_and_crash() {
+    let mut fingerprints = Vec::new();
+    let mut total_failed = 0usize;
+    for seed in 0..25u64 {
+        let sc = gen_fabric_scenario(seed);
+        let out = run_fabric_scenario(seed, &sc);
+        if sc.restart_at.is_none() {
+            total_failed += out.failed.len();
+        }
+
+        // Invariant 4: byte-identical stats on an identical re-run.
+        let again = run_fabric_scenario(seed, &sc);
+        assert_eq!(out.fingerprint, again.fingerprint, "seed {seed}: rerun diverged");
+        fingerprints.push(out.fingerprint);
+    }
+    fingerprints.dedup();
+    assert!(fingerprints.len() > 1, "distinct seeds must explore distinct behaviour");
+    assert!(total_failed > 0, "some permanent-crash scenario must exercise typed failure");
+}
+
+// ---------------------------------------------------------------------------
+// Family 3: coherence directory under random traffic and crashes
+// ---------------------------------------------------------------------------
+
+/// Replay directory actions against a model of per-host cached copies.
+/// A copy exists iff the directory granted it and has not invalidated it
+/// since; its value is the home value at grant time.
+fn apply_actions(
+    copies: &mut HashMap<(u128, u128), u64>,
+    home_val: &HashMap<u128, u64>,
+    obj: ObjId,
+    actions: &[DirAction],
+) {
+    for a in actions {
+        match a {
+            DirAction::Invalidate { to, obj } => {
+                copies.remove(&(to.as_u128(), obj.as_u128()));
+            }
+            DirAction::GrantShared { to } | DirAction::GrantExclusive { to } => {
+                copies.insert((to.as_u128(), obj.as_u128()), home_val[&obj.as_u128()]);
+            }
+        }
+    }
+}
+
+#[test]
+fn directory_soak_never_leaves_a_stale_copy_registered() {
+    let hosts: Vec<ObjId> = (0..4).map(|i| ObjId(0x100 + i)).collect();
+    let objs: Vec<ObjId> = (0..3).map(|i| ObjId(0x200 + i)).collect();
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1);
+        let mut d = Directory::new();
+        let mut copies: HashMap<(u128, u128), u64> = HashMap::new();
+        let mut home_val: HashMap<u128, u64> = objs.iter().map(|o| (o.as_u128(), 0u64)).collect();
+        for step in 0..300 {
+            let obj = objs[rng.gen_range(0..objs.len())];
+            let host = hosts[rng.gen_range(0..hosts.len())];
+            match rng.gen_range(0..10) {
+                0..=3 => {
+                    let actions = d.request_shared(obj, host);
+                    apply_actions(&mut copies, &home_val, obj, &actions);
+                }
+                4..=5 => {
+                    let actions = d.request_exclusive(obj, host);
+                    apply_actions(&mut copies, &home_val, obj, &actions);
+                }
+                6..=7 => {
+                    // A write at the home invalidates every cached copy,
+                    // then bumps the authoritative value.
+                    let actions = d.write_at_home(obj);
+                    apply_actions(&mut copies, &home_val, obj, &actions);
+                    *home_val.get_mut(&obj.as_u128()).unwrap() += 1;
+                }
+                8 => {
+                    d.evict(obj, host);
+                    copies.remove(&(host.as_u128(), obj.as_u128()));
+                }
+                _ => {
+                    // Crash: the host's copies die with it; the directory
+                    // must forget it everywhere, or later writes would
+                    // wait forever on invalidating a dead host.
+                    let affected = d.drop_host(host);
+                    copies.retain(|&(h, _), _| h != host.as_u128());
+                    for obj in affected {
+                        assert!(
+                            !d.sharers(obj).contains(&host) && d.exclusive(obj) != Some(host),
+                            "seed {seed} step {step}: dead host still registered"
+                        );
+                    }
+                }
+            }
+            assert!(d.invariant_holds(), "seed {seed} step {step}");
+            // Invariant 2, both directions: every copy the directory
+            // registers exists and holds the *current* home value (no
+            // stale-after-invalidate survivor); every modelled copy is
+            // still registered (no silently forgotten grant).
+            for &obj in &objs {
+                let mut registered: Vec<ObjId> = d.sharers(obj);
+                registered.extend(d.exclusive(obj));
+                for h in &registered {
+                    let val = copies.get(&(h.as_u128(), obj.as_u128())).unwrap_or_else(|| {
+                        panic!("seed {seed} step {step}: registered copy missing")
+                    });
+                    assert_eq!(
+                        *val,
+                        home_val[&obj.as_u128()],
+                        "seed {seed} step {step}: stale copy served"
+                    );
+                }
+                for &(h, _) in copies.keys().filter(|&&(_, o)| o == obj.as_u128()) {
+                    assert!(
+                        registered.iter().any(|r| r.as_u128() == h),
+                        "seed {seed} step {step}: live copy unregistered"
+                    );
+                }
+            }
+        }
+    }
+}
