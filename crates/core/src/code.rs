@@ -10,7 +10,7 @@
 //! invoking `code_ref` on `data_refs` works on any host that can fetch the
 //! code object.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 use std::rc::Rc;
 
 use rdv_memproto::cache::ObjectCache;
@@ -99,7 +99,7 @@ pub type FnBody = dyn Fn(&mut ExecCtx<'_>, &[ObjId]) -> CoreResult<ExecOutcome>;
 /// The function registry — identical on every host, like an ISA.
 #[derive(Clone, Default)]
 pub struct FnRegistry {
-    fns: HashMap<u64, Rc<FnBody>>,
+    fns: DetMap<u64, Rc<FnBody>>,
 }
 
 impl FnRegistry {

@@ -30,7 +30,7 @@
 //!   simulated runtime).
 //! - [`scenarios`] — builders for the F1, S1, A1, and failure-injection
 //!   experiments.
-
+#![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -15,7 +15,7 @@
 //! movement costs are *accounted* (bytes moved between hosts) even though
 //! nothing travels a wire.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,7 +49,7 @@ pub struct LocalInvoke {
 
 /// A single-process global address space over multiple logical hosts.
 pub struct LocalSpace {
-    hosts: HashMap<ObjId, LocalHost>,
+    hosts: DetMap<ObjId, LocalHost>,
     registry: FnRegistry,
     rng: StdRng,
 }
@@ -57,7 +57,7 @@ pub struct LocalSpace {
 impl LocalSpace {
     /// Create a space with the given function registry.
     pub fn new(registry: FnRegistry, seed: u64) -> LocalSpace {
-        LocalSpace { hosts: HashMap::new(), registry, rng: StdRng::seed_from_u64(seed) }
+        LocalSpace { hosts: DetMap::new(), registry, rng: StdRng::seed_from_u64(seed) }
     }
 
     /// Add a logical host. Its inbox ID doubles as its name.
@@ -356,5 +356,29 @@ mod tests {
         // same shape.
         let mut r = rdv_wire::WireReader::new(&local.result);
         assert_eq!(r.get_uvarint().unwrap(), 64);
+    }
+
+    #[test]
+    fn with_object_mut_targets_first_registered_holder() {
+        // Regression lock for the D1 migration: when an object image exists
+        // on several hosts, the mutation target used to be whichever host
+        // the hash order visited first. The contract is registration order.
+        let mut space = LocalSpace::new(standard_registry(), 1);
+        // Register 0xB before 0xA — key order must NOT win.
+        for inbox in [ObjId(0xB), ObjId(0xA)] {
+            space.add_host(HostProfile { inbox, speed: 1.0, load: 1.0 });
+        }
+        let id = ObjId(0x77);
+        for inbox in [ObjId(0xB), ObjId(0xA)] {
+            let mut obj = Object::new(id, ObjectKind::Data);
+            let off = obj.alloc(8).unwrap();
+            obj.write_u64(off, 0).unwrap();
+            space.insert_object(inbox, obj).unwrap();
+        }
+        space.with_object_mut(id, |o| o.write_u64(0, 42).unwrap()).unwrap();
+        let read =
+            |s: &LocalSpace, inbox| s.hosts.get(&inbox).unwrap().store.get(id).unwrap().read_u64(0);
+        assert_eq!(read(&space, ObjId(0xB)).unwrap(), 42, "first-registered host mutated");
+        assert_eq!(read(&space, ObjId(0xA)).unwrap(), 0, "later-registered copy untouched");
     }
 }

@@ -12,7 +12,7 @@
 //! serialize/load term, exactly the paper's point), executing under the
 //! host's load and speed, and returning the (small) result to the invoker.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rdv_objspace::ObjId;
 
@@ -78,9 +78,9 @@ impl LinkCost {
 pub struct PlacementEngine {
     hosts: Vec<HostProfile>,
     /// object → (holder inbox, size in bytes).
-    objects: HashMap<ObjId, (ObjId, u64)>,
+    objects: DetMap<ObjId, (ObjId, u64)>,
     /// unordered host pair → link cost.
-    links: HashMap<(ObjId, ObjId), LinkCost>,
+    links: DetMap<(ObjId, ObjId), LinkCost>,
     default_link: LinkCost,
 }
 
@@ -162,7 +162,7 @@ impl PlacementEngine {
         // same-source transfers — approximated here as the dominant source
         // sum, which is exact for the single-remote-source cases the
         // experiments exercise.
-        let mut per_source: HashMap<ObjId, u64> = HashMap::new();
+        let mut per_source: DetMap<ObjId, u64> = DetMap::new();
         for &obj in args.iter().chain(std::iter::once(&code_obj)) {
             let &(holder, size) =
                 self.objects.get(&obj).ok_or(CoreError::ObjectUnavailable(obj))?;

@@ -18,7 +18,7 @@
 //! to `X`; the switches (programmed by the controller) deliver it to the
 //! holder. Replies are addressed to the requester's inbox object.
 
-use std::collections::{HashMap, HashSet};
+use rdv_det::{DetMap, DetSet};
 use std::sync::OnceLock;
 
 use rdv_memproto::cache::{CacheState, ObjectCache};
@@ -297,19 +297,19 @@ pub struct GasHostNode {
     pub scripts: Vec<Vec<ScriptStep>>,
     /// Allocation-order adjacency used by [`PrefetchPolicy::Adjacency`].
     pub adjacency: Vec<ObjId>,
-    progress: HashMap<usize, ScriptProgress>,
+    progress: DetMap<usize, ScriptProgress>,
     /// Completed scripts.
     pub records: Vec<ScriptRecord>,
-    fetches: HashMap<u64, FetchState>,
-    inflight: HashSet<ObjId>,
-    reasm: HashMap<ObjId, Reassembler>,
+    fetches: DetMap<u64, FetchState>,
+    inflight: DetSet<ObjId>,
+    reasm: DetMap<ObjId, Reassembler>,
     /// Coherence directory for objects homed here.
     pub directory: Directory,
     tasks: Vec<Option<TaskState>>,
-    served_invokes: HashMap<(u128, u64), Vec<u8>>,
-    task_results: HashMap<u64, (usize, Vec<u8>)>,
+    served_invokes: DetMap<(u128, u64), Vec<u8>>,
+    task_results: DetMap<u64, (usize, Vec<u8>)>,
     traversals: Vec<TraversalState>,
-    deferred: HashMap<u64, Msg>,
+    deferred: DetMap<u64, Msg>,
     next_req: u64,
     next_defer: u64,
     next_trace: u64,
@@ -331,17 +331,17 @@ impl GasHostNode {
             placement: None,
             scripts: Vec::new(),
             adjacency: Vec::new(),
-            progress: HashMap::new(),
+            progress: DetMap::new(),
             records: Vec::new(),
-            fetches: HashMap::new(),
-            inflight: HashSet::new(),
-            reasm: HashMap::new(),
+            fetches: DetMap::new(),
+            inflight: DetSet::new(),
+            reasm: DetMap::new(),
             directory: Directory::new(),
             tasks: Vec::new(),
-            served_invokes: HashMap::new(),
-            task_results: HashMap::new(),
+            served_invokes: DetMap::new(),
+            task_results: DetMap::new(),
             traversals: Vec::new(),
-            deferred: HashMap::new(),
+            deferred: DetMap::new(),
             next_req: 1,
             next_defer: 0,
             next_trace: 1,

@@ -11,7 +11,7 @@
 //! are property-tested, plus [`progressive`]: packing a CRDT into a
 //! `rdv-objspace` object so replicas merge automatically when objects
 //! rendezvous on a host (experiment A4).
-
+#![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -1,0 +1,569 @@
+//! Deterministic hash collections.
+//!
+//! `std::collections::HashMap` iterates in an order derived from a
+//! per-process random hasher seed, so any code that walks a map — emitting
+//! packets, merging stats, picking "the first" matching entry — is a latent
+//! cross-process nondeterminism bug even when every run uses the same sim
+//! seed. [`DetMap`] and [`DetSet`] keep the O(1) hashed lookup but iterate
+//! in **first-insertion order**, which is a pure function of the operation
+//! sequence and therefore identical across processes, platforms, and runs.
+//!
+//! Ordering contract (also documented in DESIGN.md "Determinism rules"):
+//!
+//! * Iteration yields entries in the order their keys were first inserted.
+//! * Re-inserting a live key updates the value **in place** (position kept).
+//! * Removing a key shifts later entries down (order of survivors kept);
+//!   re-inserting a removed key appends at the end like a fresh key.
+//! * [`DetMap::retain`] preserves the order of surviving entries.
+//!
+//! The internal index map is never iterated, so its hasher seed cannot leak
+//! into observable behavior. Workspace code in the deterministic crates must
+//! use these types instead of the std hash collections; `rdv-lint` rule D1
+//! enforces that.
+
+// This crate is the one sanctioned home for std's hash containers: the
+// internal index is never iterated, so hasher-seed order cannot escape.
+#![allow(clippy::disallowed_types)]
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A hash map with deterministic (first-insertion-order) iteration.
+///
+/// Lookup, insert, and membership tests are O(1) expected, backed by an
+/// internal `HashMap<K, usize>` into a dense entry vector. Removal is O(n)
+/// (survivor order is preserved); all iteration is over the dense vector.
+#[derive(Clone)]
+pub struct DetMap<K, V> {
+    index: HashMap<K, usize>,
+    entries: Vec<(K, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
+    /// Empty map.
+    pub fn new() -> DetMap<K, V> {
+        DetMap { index: HashMap::new(), entries: Vec::new() }
+    }
+
+    /// Empty map with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> DetMap<K, V> {
+        DetMap { index: HashMap::with_capacity(cap), entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert `key → value`. Returns the previous value if the key was live
+    /// (the key keeps its original iteration position in that case).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.index.get(&key) {
+            Some(&pos) => Some(std::mem::replace(&mut self.entries[pos].1, value)),
+            None => {
+                self.index.insert(key.clone(), self.entries.len());
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Shared reference to the value for `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.index.get(key).map(|&pos| &self.entries[pos].1)
+    }
+
+    /// Mutable reference to the value for `key`.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        match self.index.get(key) {
+            Some(&pos) => Some(&mut self.entries[pos].1),
+            None => None,
+        }
+    }
+
+    /// True when `key` is live.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.index.contains_key(key)
+    }
+
+    /// Remove `key`, returning its value. Later entries shift down one slot,
+    /// so survivor iteration order is unchanged (O(n) worst case).
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let pos = self.index.remove(key)?;
+        let (_, value) = self.entries.remove(pos);
+        for idx in self.index.values_mut() {
+            if *idx > pos {
+                *idx -= 1;
+            }
+        }
+        Some(value)
+    }
+
+    /// Keep only entries for which `f` returns true, preserving order.
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &mut V) -> bool) {
+        self.entries.retain_mut(|(k, v)| f(k, v));
+        self.index.clear();
+        for (pos, (k, _)) in self.entries.iter().enumerate() {
+            self.index.insert(k.clone(), pos);
+        }
+    }
+
+    /// Drop every entry.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.entries.clear();
+    }
+
+    /// In-place access to the entry for `key` (insert-if-absent patterns).
+    pub fn entry(&mut self, key: K) -> Entry<'_, K, V> {
+        let pos = self.index.get(&key).copied();
+        Entry { map: self, key, pos }
+    }
+
+    /// Iterate `(key, value)` in first-insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate `(key, mutable value)` in first-insertion order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// Iterate keys in first-insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in first-insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Iterate mutable values in first-insertion order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.entries.iter_mut().map(|(_, v)| v)
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for DetMap<K, V> {
+    fn default() -> DetMap<K, V> {
+        DetMap::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone + fmt::Debug, V: fmt::Debug> fmt::Debug for DetMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// Content equality (order-insensitive, matching `std::collections::HashMap`).
+impl<K: Eq + Hash + Clone, V: PartialEq> PartialEq for DetMap<K, V> {
+    fn eq(&self, other: &DetMap<K, V>) -> bool {
+        self.len() == other.len() && self.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Eq> Eq for DetMap<K, V> {}
+
+impl<K, V, Q> std::ops::Index<&Q> for DetMap<K, V>
+where
+    K: Eq + Hash + Clone + Borrow<Q>,
+    Q: Hash + Eq + ?Sized,
+{
+    type Output = V;
+    fn index(&self, key: &Q) -> &V {
+        self.get(key).expect("key not present in DetMap")
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> DetMap<K, V> {
+        let mut map = DetMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Extend<(K, V)> for DetMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a, K: Eq + Hash + Clone, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+    fn into_iter(self) -> Iter<'a, K, V> {
+        Iter { inner: self.entries.iter() }
+    }
+}
+
+impl<'a, K: Eq + Hash + Clone, V> IntoIterator for &'a mut DetMap<K, V> {
+    type Item = (&'a K, &'a mut V);
+    type IntoIter = IterMut<'a, K, V>;
+    fn into_iter(self) -> IterMut<'a, K, V> {
+        IterMut { inner: self.entries.iter_mut() }
+    }
+}
+
+/// Borrowing iterator over a [`DetMap`] in first-insertion order.
+pub struct Iter<'a, K, V> {
+    inner: std::slice::Iter<'a, (K, V)>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+    fn next(&mut self) -> Option<(&'a K, &'a V)> {
+        self.inner.next().map(|(k, v)| (k, v))
+    }
+}
+
+/// Mutably borrowing iterator over a [`DetMap`] in first-insertion order.
+pub struct IterMut<'a, K, V> {
+    inner: std::slice::IterMut<'a, (K, V)>,
+}
+
+impl<'a, K, V> Iterator for IterMut<'a, K, V> {
+    type Item = (&'a K, &'a mut V);
+    fn next(&mut self) -> Option<(&'a K, &'a mut V)> {
+        self.inner.next().map(|(k, v)| (&*k, v))
+    }
+}
+
+/// View into a single [`DetMap`] slot, resolved once at [`DetMap::entry`].
+pub struct Entry<'a, K, V> {
+    map: &'a mut DetMap<K, V>,
+    key: K,
+    pos: Option<usize>,
+}
+
+impl<'a, K: Eq + Hash + Clone, V> Entry<'a, K, V> {
+    /// The value, inserting `default` when the key was absent.
+    pub fn or_insert(self, default: V) -> &'a mut V {
+        self.or_insert_with(|| default)
+    }
+
+    /// The value, inserting `default()` when the key was absent.
+    pub fn or_insert_with(self, default: impl FnOnce() -> V) -> &'a mut V {
+        let pos = match self.pos {
+            Some(pos) => pos,
+            None => {
+                let pos = self.map.entries.len();
+                self.map.index.insert(self.key.clone(), pos);
+                self.map.entries.push((self.key, default()));
+                pos
+            }
+        };
+        &mut self.map.entries[pos].1
+    }
+
+    /// The value, inserting `V::default()` when the key was absent.
+    pub fn or_default(self) -> &'a mut V
+    where
+        V: Default,
+    {
+        self.or_insert_with(V::default)
+    }
+
+    /// Mutate the value in place when present, then continue the builder.
+    pub fn and_modify(self, f: impl FnOnce(&mut V)) -> Entry<'a, K, V> {
+        if let Some(pos) = self.pos {
+            f(&mut self.map.entries[pos].1);
+        }
+        self
+    }
+}
+
+/// A hash set with deterministic (first-insertion-order) iteration.
+///
+/// Thin wrapper over [`DetMap<T, ()>`]; see the module docs for the
+/// ordering contract.
+#[derive(Clone)]
+pub struct DetSet<T> {
+    map: DetMap<T, ()>,
+}
+
+impl<T: Eq + Hash + Clone> DetSet<T> {
+    /// Empty set.
+    pub fn new() -> DetSet<T> {
+        DetSet { map: DetMap::new() }
+    }
+
+    /// Empty set with room for `cap` members.
+    pub fn with_capacity(cap: usize) -> DetSet<T> {
+        DetSet { map: DetMap::with_capacity(cap) }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Add `value`; returns true when it was not already a member.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.map.insert(value, ()).is_none()
+    }
+
+    /// True when `value` is a member.
+    pub fn contains<Q>(&self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.contains_key(value)
+    }
+
+    /// Remove `value`; returns true when it was a member.
+    pub fn remove<Q>(&mut self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.remove(value).is_some()
+    }
+
+    /// Keep only members for which `f` returns true, preserving order.
+    pub fn retain(&mut self, mut f: impl FnMut(&T) -> bool) {
+        self.map.retain(|t, ()| f(t));
+    }
+
+    /// Drop every member.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Iterate members in first-insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.map.keys()
+    }
+}
+
+impl<T: Eq + Hash + Clone> Default for DetSet<T> {
+    fn default() -> DetSet<T> {
+        DetSet::new()
+    }
+}
+
+impl<T: Eq + Hash + Clone + fmt::Debug> fmt::Debug for DetSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Content equality (order-insensitive, matching `std::collections::HashSet`).
+impl<T: Eq + Hash + Clone> PartialEq for DetSet<T> {
+    fn eq(&self, other: &DetSet<T>) -> bool {
+        self.len() == other.len() && self.iter().all(|t| other.contains(t))
+    }
+}
+
+impl<T: Eq + Hash + Clone> Eq for DetSet<T> {}
+
+impl<T: Eq + Hash + Clone> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> DetSet<T> {
+        let mut set = DetSet::new();
+        for t in iter {
+            set.insert(t);
+        }
+        set
+    }
+}
+
+impl<T: Eq + Hash + Clone> Extend<T> for DetSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl<'a, T: Eq + Hash + Clone> IntoIterator for &'a DetSet<T> {
+    type Item = &'a T;
+    type IntoIter = SetIter<'a, T>;
+    fn into_iter(self) -> SetIter<'a, T> {
+        SetIter { inner: self.map.entries.iter() }
+    }
+}
+
+impl<T: Eq + Hash + Clone> IntoIterator for DetSet<T> {
+    type Item = T;
+    type IntoIter = std::iter::Map<std::vec::IntoIter<(T, ())>, fn((T, ())) -> T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.map.entries.into_iter().map(|(t, ())| t)
+    }
+}
+
+/// Borrowing iterator over a [`DetSet`] in first-insertion order.
+pub struct SetIter<'a, T> {
+    inner: std::slice::Iter<'a, (T, ())>,
+}
+
+impl<'a, T> Iterator for SetIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        self.inner.next().map(|(t, ())| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_is_first_insertion_order() {
+        let mut m = DetMap::new();
+        for k in [30u32, 10, 20, 5] {
+            m.insert(k, k * 2);
+        }
+        let keys: Vec<u32> = m.keys().copied().collect();
+        assert_eq!(keys, vec![30, 10, 20, 5]);
+        // Re-insert keeps position; value updates.
+        assert_eq!(m.insert(10, 99), Some(20));
+        let pairs: Vec<(u32, u32)> = m.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(pairs, vec![(30, 60), (10, 99), (20, 40), (5, 10)]);
+    }
+
+    #[test]
+    fn remove_preserves_survivor_order() {
+        let mut m = DetMap::new();
+        for k in [1u8, 2, 3, 4, 5] {
+            m.insert(k, ());
+        }
+        assert_eq!(m.remove(&3), Some(()));
+        assert_eq!(m.remove(&3), None);
+        let keys: Vec<u8> = m.keys().copied().collect();
+        assert_eq!(keys, vec![1, 2, 4, 5]);
+        // Removed key re-enters at the end.
+        m.insert(3, ());
+        let keys: Vec<u8> = m.keys().copied().collect();
+        assert_eq!(keys, vec![1, 2, 4, 5, 3]);
+        // Lookups still work after index fixups.
+        for k in keys {
+            assert!(m.contains_key(&k));
+        }
+    }
+
+    #[test]
+    fn entry_api_matches_std_semantics() {
+        let mut m: DetMap<&str, u64> = DetMap::new();
+        *m.entry("a").or_insert(0) += 5;
+        *m.entry("a").or_insert(0) += 5;
+        *m.entry("b").or_default() += 1;
+        m.entry("a").and_modify(|v| *v *= 10).or_insert(0);
+        m.entry("c").and_modify(|v| *v *= 10).or_insert(7);
+        assert_eq!(m.get(&"a"), Some(&100));
+        assert_eq!(m.get(&"b"), Some(&1));
+        assert_eq!(m.get(&"c"), Some(&7));
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn retain_preserves_order_and_lookup() {
+        let mut m: DetMap<u32, u32> = (0..10u32).map(|k| (k, k)).collect();
+        m.retain(|&k, v| {
+            *v += 100;
+            k % 3 == 0
+        });
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+        assert_eq!(m.get(&6), Some(&106));
+        assert!(!m.contains_key(&5));
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let a: DetMap<u8, u8> = [(1, 10), (2, 20)].into_iter().collect();
+        let b: DetMap<u8, u8> = [(2, 20), (1, 10)].into_iter().collect();
+        assert_eq!(a, b);
+        let c: DetMap<u8, u8> = [(1, 10), (2, 21)].into_iter().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn index_and_iter_mut() {
+        let mut m: DetMap<u8, String> = DetMap::new();
+        m.insert(7, "seven".to_string());
+        assert_eq!(&m[&7], "seven");
+        for (_, v) in m.iter_mut() {
+            v.push('!');
+        }
+        assert_eq!(&m[&7], "seven!");
+    }
+
+    #[test]
+    fn set_order_and_membership() {
+        let mut s = DetSet::new();
+        assert!(s.insert("z"));
+        assert!(s.insert("a"));
+        assert!(!s.insert("z"));
+        assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec!["z", "a"]);
+        assert!(s.remove(&"z"));
+        assert!(!s.remove(&"z"));
+        assert!(!s.contains(&"z"));
+        assert_eq!(s.len(), 1);
+        let owned: Vec<&str> = s.into_iter().collect();
+        assert_eq!(owned, vec!["a"]);
+    }
+
+    #[test]
+    fn same_op_sequence_same_order_across_instances() {
+        // The determinism contract: order is a pure function of the op
+        // sequence, never of hasher state. Build two maps through an
+        // interleaved insert/remove history and require identical order.
+        let build = || {
+            let mut m = DetMap::new();
+            for k in 0..64u64 {
+                m.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32, k);
+            }
+            for k in (0..64u64).step_by(3) {
+                m.remove(&(k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32));
+            }
+            for k in 64..96u64 {
+                m.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32, k);
+            }
+            m.keys().copied().collect::<Vec<u64>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

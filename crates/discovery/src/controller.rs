@@ -9,7 +9,7 @@
 //! object route on every switch, pointing along the shortest path towards
 //! the advertising host.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rdv_memproto::msg::{Msg, MsgBody};
 use rdv_netsim::{Node, NodeCtx, Packet, PortId, SimTime};
@@ -22,7 +22,7 @@ pub struct SwitchInfo {
     /// The controller-side port of the control link to this switch.
     pub control_port: PortId,
     /// host inbox → egress port *on that switch* towards the host.
-    pub host_egress: HashMap<ObjId, u16>,
+    pub host_egress: DetMap<ObjId, u16>,
 }
 
 /// The controller node.
@@ -32,14 +32,14 @@ pub struct ControllerNode {
     /// Processing delay between receiving an advertisement and emitting
     /// rule installs.
     pub processing_delay: SimTime,
-    deferred: HashMap<u64, Vec<(PortId, Vec<u8>)>>,
+    deferred: DetMap<u64, Vec<(PortId, Vec<u8>)>>,
     next_defer: u64,
     /// Advertisements handled.
     pub advertisements: u64,
     /// Rules pushed to switches.
     pub installs: u64,
     /// Object → holder inbox, as the controller currently believes.
-    pub directory: HashMap<ObjId, ObjId>,
+    pub directory: DetMap<ObjId, ObjId>,
 }
 
 impl ControllerNode {
@@ -49,11 +49,11 @@ impl ControllerNode {
             label: label.into(),
             switches,
             processing_delay: SimTime::from_micros(10),
-            deferred: HashMap::new(),
+            deferred: DetMap::new(),
             next_defer: 0,
             advertisements: 0,
             installs: 0,
-            directory: HashMap::new(),
+            directory: DetMap::new(),
         }
     }
 
@@ -128,9 +128,9 @@ mod tests {
 
     #[test]
     fn program_object_targets_every_switch_with_a_path() {
-        let mut h0 = HashMap::new();
+        let mut h0 = DetMap::new();
         h0.insert(ObjId(0xA), 2u16);
-        let mut h1 = HashMap::new();
+        let mut h1 = DetMap::new();
         h1.insert(ObjId(0xA), 3u16);
         let mut c = ControllerNode::new(
             "ctl",
@@ -156,7 +156,7 @@ mod tests {
     fn unknown_holder_installs_nothing() {
         let mut c = ControllerNode::new(
             "ctl",
-            vec![SwitchInfo { control_port: PortId(0), host_egress: HashMap::new() }],
+            vec![SwitchInfo { control_port: PortId(0), host_egress: DetMap::new() }],
         );
         let sends = c.program_object(ObjId(42), ObjId(0x999));
         assert!(sends.is_empty());

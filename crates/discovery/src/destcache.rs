@@ -5,7 +5,7 @@
 //! go stale when objects move; [`DestCache`] tracks hit/miss/invalidation
 //! counts for the Figure 2/3 sweeps.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rdv_objspace::ObjId;
 
@@ -14,7 +14,7 @@ use rdv_objspace::ObjId;
 /// location state; hosts have the same problem as switches.
 #[derive(Debug, Default)]
 pub struct DestCache {
-    map: HashMap<ObjId, (ObjId, u64)>,
+    map: DetMap<ObjId, (ObjId, u64)>,
     capacity: Option<usize>,
     tick: u64,
     /// Lookups that found an entry.

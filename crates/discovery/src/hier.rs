@@ -102,8 +102,8 @@ pub fn plan_overlay(
         return plan;
     }
     // Group by region; a region is collapsible when single-homed.
-    use std::collections::HashMap;
-    let mut regions: HashMap<u64, Vec<(ObjId, u16)>> = HashMap::new();
+    use rdv_det::DetMap;
+    let mut regions: DetMap<u64, Vec<(ObjId, u16)>> = DetMap::new();
     for (id, port) in objects {
         regions.entry(alloc.region_of(*id)).or_default().push((*id, *port));
     }

@@ -6,7 +6,7 @@
 //! access plan and it drives; give it objects and it responds. Hosts have a
 //! single uplink port (port 0).
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 use std::sync::OnceLock;
 
 use rdv_memproto::msg::{Msg, MsgBody, NackCode};
@@ -199,8 +199,8 @@ pub struct HostNode {
     /// Migration plan: timer tag `MIGRATE | i` pushes `migrations[i].0` to
     /// the host whose inbox is `migrations[i].1`.
     pub migrations: Vec<(ObjId, ObjId)>,
-    pending: HashMap<u64, Pending>,
-    deferred: HashMap<u64, Msg>,
+    pending: DetMap<u64, Pending>,
+    deferred: DetMap<u64, Msg>,
     next_req: u64,
     next_trace: u64,
     next_defer: u64,
@@ -224,8 +224,8 @@ impl HostNode {
             dest_cache: DestCache::new(),
             plan: Vec::new(),
             migrations: Vec::new(),
-            pending: HashMap::new(),
-            deferred: HashMap::new(),
+            pending: DetMap::new(),
+            deferred: DetMap::new(),
             next_req: 1,
             next_trace: 1,
             next_defer: 0,

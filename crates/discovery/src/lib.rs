@@ -20,7 +20,7 @@
 //!
 //! [`scenario`] assembles the paper's 3-hosts/4-switches testbed and runs
 //! the Figure 2 / Figure 3 sweeps.
-
+#![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -7,7 +7,7 @@
 //! (see `rdv_netsim::topo::wire_paper_testbed`), with an SDN controller
 //! attached in controller mode.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -178,7 +178,7 @@ fn build_testbed(cfg: &ScenarioConfig, hosts: [HostNode; 3]) -> Testbed {
         // 0..4 in switch order.
         let mut infos = Vec::new();
         for (i, &sw) in switches.iter().enumerate() {
-            let mut host_egress = HashMap::new();
+            let mut host_egress = DetMap::new();
             for (inbox, node) in [(H0_INBOX, d), (H1_INBOX, r1), (H2_INBOX, r2)] {
                 if let Some(port) = tb.fabric.next_hop(sw, node) {
                     host_egress.insert(inbox, port.0 as u16);

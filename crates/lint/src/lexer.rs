@@ -1,0 +1,342 @@
+//! A small, self-contained Rust tokenizer.
+//!
+//! Produces just enough structure for the determinism rules: identifiers,
+//! string/char literals, comments (kept, with text — the allow-comment
+//! escape hatch lives in them), numbers, and single-character punctuation.
+//! It understands the lexical forms that defeat naive grepping: raw strings
+//! (`r#"…"#`), byte strings, nested block comments, lifetimes vs char
+//! literals, and escapes — so `"HashMap"` in a string or comment is never
+//! confused with the type.
+
+/// Token classes relevant to the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal (text is the *content*, quotes and prefixes stripped).
+    StrLit,
+    /// Character literal (text includes the content only).
+    CharLit,
+    /// Lifetime like `'a` (text excludes the quote).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// One punctuation character (`:`/`.`/`(`/…). Multi-char operators
+    /// arrive as consecutive tokens.
+    Punct,
+    /// `// …` comment (text excludes the slashes, includes doc `///`).
+    LineComment,
+    /// `/* … */` comment, possibly nested (text excludes delimiters).
+    BlockComment,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see per-kind notes on [`TokKind`]).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    fn take_while(&mut self, f: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if f(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Consume a `"…"` body (opening quote already consumed); returns content.
+    fn string_body(&mut self) -> String {
+        let mut out = String::new();
+        while let Some(b) = self.bump() {
+            match b {
+                b'"' => break,
+                b'\\' => {
+                    out.push('\\');
+                    if let Some(esc) = self.bump() {
+                        out.push(esc as char);
+                    }
+                }
+                _ => out.push(b as char),
+            }
+        }
+        out
+    }
+
+    /// Consume a raw string: `pos` is at the first `#` or `"` after `r`/`br`.
+    fn raw_string_body(&mut self) -> String {
+        let mut hashes = 0;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) == Some(b'"') {
+            self.bump();
+        }
+        let start = self.pos;
+        let closer: Vec<u8> =
+            std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+        while self.pos < self.src.len() {
+            if self.src[self.pos..].starts_with(&closer) {
+                let content = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                for _ in 0..closer.len() {
+                    self.bump();
+                }
+                return content;
+            }
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..]).into_owned()
+    }
+
+    /// Consume after a `'`: a char literal or a lifetime.
+    fn char_or_lifetime(&mut self) -> (TokKind, String) {
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: '\n', '\'', '\u{…}'.
+                let mut out = String::new();
+                out.push(self.bump().unwrap() as char);
+                while let Some(b) = self.bump() {
+                    if b == b'\'' {
+                        break;
+                    }
+                    out.push(b as char);
+                }
+                (TokKind::CharLit, out)
+            }
+            Some(b) if is_ident_start(b) => {
+                let ident = self.take_while(is_ident_continue);
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    (TokKind::CharLit, ident)
+                } else {
+                    (TokKind::Lifetime, ident)
+                }
+            }
+            Some(b) => {
+                // Plain one-char literal like ' ' or '('.
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                (TokKind::CharLit, (b as char).to_string())
+            }
+            None => (TokKind::CharLit, String::new()),
+        }
+    }
+
+    fn block_comment_body(&mut self) -> String {
+        let start = self.pos;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos..].starts_with(b"/*") {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.src[self.pos..].starts_with(b"*/") {
+                depth -= 1;
+                if depth == 0 {
+                    let content = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.bump();
+                    self.bump();
+                    return content;
+                }
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+/// Tokenize Rust source. Never fails: unknown bytes become punctuation and
+/// unterminated literals run to end of input, which is the right behavior
+/// for a linter that must keep scanning.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut out = Vec::new();
+    while let Some(b) = lx.peek(0) {
+        let line = lx.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                lx.bump();
+            }
+            b'/' if lx.peek(1) == Some(b'/') => {
+                lx.bump();
+                lx.bump();
+                let text = lx.take_while(|b| b != b'\n');
+                out.push(Token { kind: TokKind::LineComment, text, line });
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.bump();
+                lx.bump();
+                let text = lx.block_comment_body();
+                out.push(Token { kind: TokKind::BlockComment, text, line });
+            }
+            b'"' => {
+                lx.bump();
+                let text = lx.string_body();
+                out.push(Token { kind: TokKind::StrLit, text, line });
+            }
+            b'\'' => {
+                lx.bump();
+                let (kind, text) = lx.char_or_lifetime();
+                out.push(Token { kind, text, line });
+            }
+            b'r' | b'b' if raw_or_byte_string_ahead(lx.src, lx.pos) => {
+                // r"…", r#"…"#, b"…", br"…", br#"…"#
+                let mut raw = b == b'r';
+                lx.bump();
+                if !raw && lx.peek(0) == Some(b'r') {
+                    lx.bump();
+                    raw = true;
+                }
+                let text = if raw {
+                    lx.raw_string_body()
+                } else {
+                    lx.bump(); // opening quote
+                    lx.string_body()
+                };
+                out.push(Token { kind: TokKind::StrLit, text, line });
+            }
+            _ if is_ident_start(b) => {
+                let text = lx.take_while(is_ident_continue);
+                out.push(Token { kind: TokKind::Ident, text, line });
+            }
+            _ if b.is_ascii_digit() => {
+                let mut text = lx.take_while(is_ident_continue);
+                // Float part: consume `.5` but not the range operator `..`.
+                if lx.peek(0) == Some(b'.')
+                    && lx.peek(1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+                {
+                    lx.bump();
+                    text.push('.');
+                    text.push_str(&lx.take_while(is_ident_continue));
+                }
+                out.push(Token { kind: TokKind::Num, text, line });
+            }
+            _ => {
+                lx.bump();
+                out.push(Token { kind: TokKind::Punct, text: (b as char).to_string(), line });
+            }
+        }
+    }
+    out
+}
+
+/// True when the `r`/`b` at `pos` starts a raw/byte string rather than an
+/// identifier (`r"`, `r#"`, `b"`, `br"`, `br#"`).
+fn raw_or_byte_string_ahead(src: &[u8], pos: usize) -> bool {
+    let rest = &src[pos..];
+    match rest.first() {
+        Some(b'r') => match rest.get(1) {
+            Some(b'"') => true,
+            Some(b'#') => {
+                // r#"…"# vs raw identifier r#foo: a raw string has `"` after
+                // the hashes.
+                let mut i = 1;
+                while rest.get(i) == Some(&b'#') {
+                    i += 1;
+                }
+                rest.get(i) == Some(&b'"')
+            }
+            _ => false,
+        },
+        Some(b'b') => match rest.get(1) {
+            Some(b'"') => true,
+            Some(b'r') => matches!(rest.get(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_strings_comments() {
+        let toks = kinds("let x = \"HashMap\"; // HashMap here\nuse map;");
+        assert!(toks.contains(&(TokKind::StrLit, "HashMap".into())));
+        assert!(toks.contains(&(TokKind::LineComment, " HashMap here".into())));
+        assert!(toks.contains(&(TokKind::Ident, "use".into())));
+        // The string/comment HashMaps are NOT Ident tokens.
+        assert!(!toks.contains(&(TokKind::Ident, "HashMap".into())));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r####"let a = r#"raw "quoted" HashMap"#; let b = br"bytes";"####);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::StrLit && t.contains("raw")));
+        assert!(toks.contains(&(TokKind::StrLit, "bytes".into())));
+        assert!(!toks.contains(&(TokKind::Ident, "HashMap".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::CharLit).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let toks = tokenize("/* a /* nested */ b */ fn\nnext");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert_eq!(toks[1].text, "fn");
+        assert_eq!(toks[2].line, 2, "line numbers advance through newlines");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..10 { let f = 1.5; }");
+        assert!(toks.contains(&(TokKind::Num, "0".into())));
+        assert!(toks.contains(&(TokKind::Num, "10".into())));
+        assert!(toks.contains(&(TokKind::Num, "1.5".into())));
+    }
+}

@@ -1,0 +1,159 @@
+//! rdv-lint: the workspace determinism linter.
+//!
+//! "Same seed ⇒ byte-identical run" is the repo's core experimental claim
+//! (ROADMAP §determinism). The sim crates keep that promise only if nothing
+//! in them consults ambient state: hasher seeds, wall clocks, OS entropy,
+//! environment variables. This linter makes the discipline *static*:
+//!
+//! - **D1 `hash-order`** — `std::collections::{HashMap, HashSet}` are banned
+//!   in the deterministic crates; iteration order depends on the per-process
+//!   `RandomState` seed. Use `rdv_det::{DetMap, DetSet}` instead, or annotate
+//!   `// rdv-lint: allow(hash-order) -- <reason>` when order provably never
+//!   escapes.
+//! - **D2 `ambient-*`** — `Instant::now`, `SystemTime`, `thread_rng`,
+//!   `rand::random`, `env::var` are banned in the same crates.
+//! - **D3 `counter-name`** — string literals entering the stats counter API
+//!   must match the dotted lowercase scheme, and `sim.*` names must exist in
+//!   the pre-interned engine registry.
+//! - **D4 `wire-parity`** — every variant of the wire-message enums must be
+//!   handled by both the encode and decode functions.
+//!
+//! See DESIGN.md §"Determinism rules" for the full contract.
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{LintConfig, ParityTarget};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finding, printed as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id, e.g. `D1/hash-order` or `allow-syntax`.
+    pub rule: String,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Crates whose behavior must be bit-reproducible across processes. `rpc` and
+/// `bench` sit outside the sim boundary (they may time real wall-clock work);
+/// `det` wraps a `HashMap` internally by design (its index is never iterated).
+pub const DET_CRATES: &[&str] =
+    &["netsim", "memproto", "discovery", "objspace", "core", "wire", "p4rt", "crdt"];
+
+/// D4 targets: wire enums and the functions that must cover every variant.
+const PARITY_TARGETS: &[(&str, &[ParityTarget])] = &[
+    (
+        "crates/memproto/src/msg.rs",
+        &[
+            ParityTarget {
+                enum_name: "MsgBody",
+                fns: &["msg_type", "encode_fields", "decode_fields"],
+            },
+            ParityTarget { enum_name: "NackCode", fns: &["to_byte", "from_byte"] },
+        ],
+    ),
+    (
+        "crates/p4rt/src/pipeline.rs",
+        &[ParityTarget { enum_name: "ControlMsg", fns: &["encode", "decode"] }],
+    ),
+];
+
+/// Lint every deterministic crate under `root` (the workspace root).
+/// Returns diagnostics sorted by (file, line, rule).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let stats_path = root.join("crates/netsim/src/stats.rs");
+    let sim_registry = match fs::read_to_string(&stats_path) {
+        Ok(src) => rules::parse_engine_slots(&src),
+        Err(_) => Vec::new(),
+    };
+    let cfg = LintConfig { sim_registry };
+
+    let mut diags = Vec::new();
+    if cfg.sim_registry.is_empty() {
+        diags.push(Diagnostic {
+            file: "crates/netsim/src/stats.rs".to_string(),
+            line: 1,
+            rule: "D3/counter-name".to_string(),
+            message: "could not parse ENGINE_SLOTS registry; sim.* names are unverifiable"
+                .to_string(),
+        });
+    }
+
+    for krate in DET_CRATES {
+        for sub in ["src", "tests", "benches"] {
+            let dir = root.join("crates").join(krate).join(sub);
+            if dir.is_dir() {
+                lint_dir(root, &dir, &cfg, &mut diags)?;
+            }
+        }
+    }
+
+    for (rel, targets) in PARITY_TARGETS {
+        let path = root.join(rel);
+        match fs::read_to_string(&path) {
+            Ok(src) => diags.extend(rules::lint_enum_parity(rel, &src, targets)),
+            Err(_) => diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: 1,
+                rule: "D4/wire-parity".to_string(),
+                message: "wire-parity target file is missing".to_string(),
+            }),
+        }
+    }
+
+    rules::sort_diagnostics(&mut diags);
+    Ok(diags)
+}
+
+/// Recursively lint `.rs` files under `dir`, in sorted path order.
+fn lint_dir(
+    root: &Path,
+    dir: &Path,
+    cfg: &LintConfig,
+    diags: &mut Vec<Diagnostic>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            lint_dir(root, &path, cfg, diags)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            let src = fs::read_to_string(&path)?;
+            diags.extend(rules::lint_source(&rel, &src, cfg));
+        }
+    }
+    Ok(())
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`. This is how the binary finds the repo root regardless of
+/// the invocation directory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! CLI entry point: lint the workspace, print `file:line: [rule] message`
+//! lines, exit 1 on findings (2 on I/O failure) so CI can gate on it.
+
+use rdv_lint::{find_workspace_root, lint_workspace, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root_override: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root_override = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "rdv-lint: workspace determinism linter\n\n\
+                     USAGE: rdv-lint [--root <workspace-root>]\n\n\
+                     Checks the deterministic crates for hash-ordered collections (D1),\n\
+                     ambient time/randomness/env (D2), counter-name discipline (D3), and\n\
+                     wire-message encode/decode parity (D4). Exits nonzero on findings.\n\
+                     See DESIGN.md \u{a7}\"Determinism rules\"."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rdv-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_override {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("rdv-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "rdv-lint: no workspace root found above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("rdv-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if diags.is_empty() {
+        println!("rdv-lint: clean ({} deterministic crates checked)", rdv_lint::DET_CRATES.len());
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &diags {
+        println!("{d}");
+    }
+    println!();
+    for (rule, count) in rules::rule_counts(&diags) {
+        println!("  {count:>4}  {rule}");
+    }
+    println!("rdv-lint: {} finding(s)", diags.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,461 @@
+//! The determinism rules (D1–D4) and the allow-comment escape hatch.
+//!
+//! Rules operate on the token stream from [`crate::lexer`], so strings and
+//! comments never trigger false positives. Each finding carries the rule id,
+//! the suppression category (if suppressible), and a `file:line` location.
+
+use crate::lexer::{tokenize, TokKind, Token};
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Suppression categories accepted by `// rdv-lint: allow(<category>) -- <reason>`.
+pub const ALLOW_CATEGORIES: &[&str] =
+    &["hash-order", "ambient-time", "ambient-rand", "ambient-env", "counter-name"];
+
+/// Configuration shared across files.
+pub struct LintConfig {
+    /// Valid `sim.*` counter names, parsed from the netsim registry
+    /// (`ENGINE_SLOTS` in `crates/netsim/src/stats.rs`).
+    pub sim_registry: Vec<String>,
+}
+
+/// Parsed allow comments: line → categories allowed on that line and the next.
+struct AllowMap {
+    /// (line, category) pairs. An entry on line N covers findings on N and N+1,
+    /// so the annotation can sit on its own line above the code it excuses.
+    allows: Vec<(usize, String)>,
+}
+
+impl AllowMap {
+    fn covers(&self, line: usize, category: &str) -> bool {
+        self.allows.iter().any(|(l, c)| c == category && (*l == line || l + 1 == line))
+    }
+}
+
+/// Extract allow comments; malformed ones are themselves diagnostics — a
+/// suppression that silently fails to parse would be worse than no linter.
+fn collect_allows(file: &str, tokens: &[Token], diags: &mut Vec<Diagnostic>) -> AllowMap {
+    let mut allows = Vec::new();
+    for t in tokens {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let Some(idx) = t.text.find("rdv-lint:") else { continue };
+        let rest = t.text[idx + "rdv-lint:".len()..].trim();
+        let malformed = |msg: &str, diags: &mut Vec<Diagnostic>| {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: t.line,
+                rule: "allow-syntax".to_string(),
+                message: msg.to_string(),
+            });
+        };
+        let Some(args) = rest.strip_prefix("allow(") else {
+            malformed("rdv-lint comment must be `allow(<category>) -- <reason>`", diags);
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            malformed("unterminated `allow(`", diags);
+            continue;
+        };
+        let category = args[..close].trim().to_string();
+        if !ALLOW_CATEGORIES.contains(&category.as_str()) {
+            malformed(
+                &format!(
+                    "unknown allow category `{category}` (expected one of: {})",
+                    ALLOW_CATEGORIES.join(", ")
+                ),
+                diags,
+            );
+            continue;
+        }
+        let tail = args[close + 1..].trim();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            malformed(
+                &format!("allow({category}) needs a reason: `allow({category}) -- <why>`"),
+                diags,
+            );
+            continue;
+        }
+        allows.push((t.line, category));
+    }
+    AllowMap { allows }
+}
+
+fn push(
+    diags: &mut Vec<Diagnostic>,
+    allow: &AllowMap,
+    file: &str,
+    line: usize,
+    rule: &str,
+    category: &str,
+    message: String,
+) {
+    if allow.covers(line, category) {
+        return;
+    }
+    diags.push(Diagnostic { file: file.to_string(), line, rule: rule.to_string(), message });
+}
+
+/// Does `code[i..]` start with the ident/punct sequence `pat`?
+/// Punct entries match one punctuation char; idents match exactly.
+fn seq_at(code: &[&Token], i: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(j, p)| {
+        code.get(i + j).is_some_and(|t| match t.kind {
+            TokKind::Ident | TokKind::Punct => t.text == *p,
+            _ => false,
+        })
+    })
+}
+
+/// Valid counter name: dotted segments of `[a-z0-9_]+`.
+fn counter_name_ok(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        })
+}
+
+/// Run D1–D3 (plus allow-comment syntax checking) over one file.
+pub fn lint_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let tokens = tokenize(src);
+    let mut diags = Vec::new();
+    let allow = collect_allows(file, &tokens, &mut diags);
+
+    // Code-only view: comments dropped so sequences span commented lines.
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+
+    for i in 0..code.len() {
+        let t = code[i];
+        // D1: hash-ordered collections.
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            push(
+                &mut diags,
+                &allow,
+                file,
+                t.line,
+                "D1/hash-order",
+                "hash-order",
+                format!(
+                    "`{}` iterates in hasher-seed order, which differs across processes; \
+                     use `rdv_det::Det{}` (insertion-ordered) or annotate \
+                     `// rdv-lint: allow(hash-order) -- <reason>`",
+                    t.text,
+                    &t.text[4..]
+                ),
+            );
+        }
+
+        // D2: ambient nondeterminism.
+        if seq_at(&code, i, &["Instant", ":", ":", "now"]) {
+            push(
+                &mut diags,
+                &allow,
+                file,
+                t.line,
+                "D2/ambient-time",
+                "ambient-time",
+                "`Instant::now()` reads the wall clock; sim time must come from the \
+                 engine's virtual clock"
+                    .to_string(),
+            );
+        }
+        if t.kind == TokKind::Ident && t.text == "SystemTime" {
+            push(
+                &mut diags,
+                &allow,
+                file,
+                t.line,
+                "D2/ambient-time",
+                "ambient-time",
+                "`SystemTime` reads the wall clock; sim time must come from the \
+                 engine's virtual clock"
+                    .to_string(),
+            );
+        }
+        if t.kind == TokKind::Ident && t.text == "thread_rng" {
+            push(
+                &mut diags,
+                &allow,
+                file,
+                t.line,
+                "D2/ambient-rand",
+                "ambient-rand",
+                "`thread_rng()` is seeded from the OS; use the engine's seeded RNG".to_string(),
+            );
+        }
+        if seq_at(&code, i, &["rand", ":", ":", "random"]) {
+            push(
+                &mut diags,
+                &allow,
+                file,
+                t.line,
+                "D2/ambient-rand",
+                "ambient-rand",
+                "`rand::random()` is seeded from the OS; use the engine's seeded RNG".to_string(),
+            );
+        }
+        if seq_at(&code, i, &["env", ":", ":", "var"]) {
+            push(
+                &mut diags,
+                &allow,
+                file,
+                t.line,
+                "D2/ambient-env",
+                "ambient-env",
+                "`env::var` makes behavior depend on the process environment".to_string(),
+            );
+        }
+
+        // D3: counter-name discipline. Fires on string-literal names passed to
+        // the stats API: `.add("…")`, `.inc("…")`, `.get("…")`,
+        // `CounterId::intern("…")` / `.intern("…")`.
+        let lit = if t.kind == TokKind::Punct && t.text == "." {
+            match (code.get(i + 1), code.get(i + 2), code.get(i + 3)) {
+                (Some(name), Some(open), Some(arg))
+                    if name.kind == TokKind::Ident
+                        && matches!(name.text.as_str(), "add" | "inc" | "get" | "intern")
+                        && open.text == "("
+                        && arg.kind == TokKind::StrLit =>
+                {
+                    Some(arg)
+                }
+                _ => None,
+            }
+        } else if seq_at(&code, i, &["CounterId", ":", ":", "intern", "("]) {
+            code.get(i + 5).filter(|a| a.kind == TokKind::StrLit)
+        } else {
+            None
+        };
+        if let Some(arg) = lit {
+            if !counter_name_ok(&arg.text) {
+                push(
+                    &mut diags,
+                    &allow,
+                    file,
+                    arg.line,
+                    "D3/counter-name",
+                    "counter-name",
+                    format!(
+                        "counter name `{}` violates the dotted lowercase scheme \
+                         `[a-z0-9_]+(.[a-z0-9_]+)*`",
+                        arg.text
+                    ),
+                );
+            } else if arg.text.starts_with("sim.")
+                && !cfg.sim_registry.iter().any(|n| n == &arg.text)
+            {
+                push(
+                    &mut diags,
+                    &allow,
+                    file,
+                    arg.line,
+                    "D3/counter-name",
+                    "counter-name",
+                    format!(
+                        "`{}` is not a registered engine counter (see ENGINE_SLOTS in \
+                         crates/netsim/src/stats.rs); sim.* names must be pre-interned",
+                        arg.text
+                    ),
+                );
+            }
+        }
+    }
+    diags
+}
+
+/// One D4 check: every variant of `enum_name` must be mentioned
+/// (`Enum::Variant` or `Self::Variant`) inside each function in `fns`.
+pub struct ParityTarget {
+    /// Enum whose variants must stay in sync.
+    pub enum_name: &'static str,
+    /// Functions (encode/decode pairs) that must each cover every variant.
+    pub fns: &'static [&'static str],
+}
+
+/// D4: wire-message encode/decode parity.
+pub fn lint_enum_parity(file: &str, src: &str, targets: &[ParityTarget]) -> Vec<Diagnostic> {
+    let tokens = tokenize(src);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut diags = Vec::new();
+
+    for target in targets {
+        let Some(variants) = enum_variants(&code, target.enum_name) else {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: 1,
+                rule: "D4/wire-parity".to_string(),
+                message: format!("expected `enum {}` in this file; not found", target.enum_name),
+            });
+            continue;
+        };
+        for fn_name in target.fns {
+            let Some((fn_line, body)) = fn_body(&code, fn_name) else {
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line: 1,
+                    rule: "D4/wire-parity".to_string(),
+                    message: format!("expected `fn {fn_name}` in this file; not found"),
+                });
+                continue;
+            };
+            for variant in &variants {
+                let mentioned = (0..body.len()).any(|i| {
+                    seq_at(&body, i, &[target.enum_name, ":", ":", variant])
+                        || seq_at(&body, i, &["Self", ":", ":", variant])
+                });
+                if !mentioned {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line: fn_line,
+                        rule: "D4/wire-parity".to_string(),
+                        message: format!(
+                            "`fn {fn_name}` does not handle `{}::{variant}`; every wire \
+                             variant must appear in both encode and decode paths",
+                            target.enum_name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Find `enum <name> { … }` and return its variant identifiers.
+fn enum_variants(code: &[&Token], name: &str) -> Option<Vec<String>> {
+    let start = (0..code.len()).find(|&i| seq_at(code, i, &["enum", name]))?;
+    // Skip to the opening brace (generics would sit in between; none here,
+    // but handle them anyway).
+    let mut i = start + 2;
+    while i < code.len() && code[i].text != "{" {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    let mut variants = Vec::new();
+    let mut expect_variant = false;
+    while i < code.len() {
+        let t = code[i];
+        match t.text.as_str() {
+            "{" | "(" | "[" => {
+                if t.text == "{" && depth == 0 {
+                    expect_variant = true;
+                }
+                depth += 1;
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(variants);
+                }
+            }
+            "," if depth == 1 => expect_variant = true,
+            "#" => {} // attribute — the bracket tracking skips its body
+            _ if depth == 1 && expect_variant && t.kind == TokKind::Ident => {
+                variants.push(t.text.clone());
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some(variants)
+}
+
+/// Find `fn <name>` and return (line, body tokens between its braces).
+fn fn_body<'t>(code: &[&'t Token], name: &str) -> Option<(usize, Vec<&'t Token>)> {
+    let start = (0..code.len()).find(|&i| seq_at(code, i, &["fn", name]))?;
+    let fn_line = code[start].line;
+    let mut i = start + 2;
+    // Skip the signature: the body starts at the first `{` at paren-depth 0.
+    let mut paren = 0usize;
+    while i < code.len() {
+        match code[i].text.as_str() {
+            "(" | "[" | "<" => paren += 1,
+            ")" | "]" | ">" => paren = paren.saturating_sub(1),
+            "{" if paren == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    let body_start = i + 1;
+    let mut depth = 1usize;
+    i = body_start;
+    while i < code.len() && depth > 0 {
+        match code[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((fn_line, code[body_start..i.saturating_sub(1)].to_vec()))
+}
+
+/// Parse the engine counter registry out of `stats.rs` source: the string
+/// literals inside the `ENGINE_SLOTS` array.
+pub fn parse_engine_slots(stats_src: &str) -> Vec<String> {
+    let tokens = tokenize(stats_src);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let Some(start) = code.iter().position(|t| t.text == "ENGINE_SLOTS") else {
+        return Vec::new();
+    };
+    let mut names = Vec::new();
+    let mut i = start;
+    // Skip past the `=` first — the type annotation `[&str; N]` also contains
+    // brackets — then collect strings inside the array literal.
+    while i < code.len() && code[i].text != "=" {
+        i += 1;
+    }
+    while i < code.len() && code[i].text != "[" {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < code.len() {
+        match code[i].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ if code[i].kind == TokKind::StrLit => names.push(code[i].text.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Keep diagnostics deterministic and readable: sort by file, line, rule.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str(), a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule.as_str(),
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Group count per rule id, for the summary footer.
+pub fn rule_counts(diags: &[Diagnostic]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for d in diags {
+        *counts.entry(d.rule.clone()).or_insert(0) += 1;
+    }
+    counts
+}

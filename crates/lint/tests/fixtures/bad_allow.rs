@@ -1,0 +1,6 @@
+//! Fixture: malformed allow comments are diagnostics themselves.
+// rdv-lint: allow(hash-order)
+// rdv-lint: allow(made-up-category) -- why
+// rdv-lint: allowance(hash-order) -- why
+// rdv-lint: allow(hash-order -- why
+fn f() {}

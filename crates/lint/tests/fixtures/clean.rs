@@ -1,0 +1,10 @@
+//! Fixture: clean file — banned names in strings/comments are not findings.
+// A comment may say HashMap and Instant::now freely.
+const DOC: &str = "HashMap and SystemTime live in strings";
+const RAW: &str = r#"thread_rng "quoted" env::var"#;
+
+fn tidy(map: &mut rdv_det::DetMap<u32, u32>) {
+    map.insert(1, 2);
+    let _lifetime: &'static str = "ok";
+    let _ch = 'h';
+}

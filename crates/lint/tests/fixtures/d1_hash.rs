@@ -1,0 +1,13 @@
+//! Fixture: D1 hash-order violations.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn naughty() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+}
+
+// rdv-lint: allow(hash-order) -- fixture: order never observed
+fn excused() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new() // rdv-lint: allow(hash-order) -- same-line excuse
+}

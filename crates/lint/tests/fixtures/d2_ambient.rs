@@ -1,0 +1,15 @@
+//! Fixture: D2 ambient nondeterminism.
+use std::time::Instant;
+
+fn naughty() {
+    let t = Instant::now();
+    let s = std::time::SystemTime::now();
+    let r: u8 = rand::random();
+    let mut rng = rand::thread_rng();
+    let v = std::env::var("SEED");
+}
+
+fn excused() {
+    // rdv-lint: allow(ambient-time) -- fixture: wall-clock probe
+    let t = Instant::now();
+}

@@ -1,0 +1,12 @@
+//! Fixture: D3 counter-name discipline.
+fn naughty(c: &mut Counters) {
+    c.add("Bad.Name", 1);
+    c.inc("spaced name");
+    c.add("trailing.", 1);
+    let x = c.get("sim.unknown_counter");
+    let id = CounterId::intern("Kebab-case");
+    c.add("fine.name_2", 1);
+    c.inc("sim.events");
+    // rdv-lint: allow(counter-name) -- fixture: legacy dashboard name
+    c.add("Legacy.Name", 1);
+}

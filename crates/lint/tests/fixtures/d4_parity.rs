@@ -1,0 +1,24 @@
+//! Fixture: D4 wire parity — decode misses one variant.
+pub enum Frame {
+    Ping { seq: u64 },
+    Pong { seq: u64 },
+    Data(Vec<u8>),
+}
+
+impl Frame {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Frame::Ping { seq } => vec![1, *seq as u8],
+            Frame::Pong { seq } => vec![2, *seq as u8],
+            Frame::Data(d) => d.clone(),
+        }
+    }
+
+    pub fn decode(b: &[u8]) -> Option<Frame> {
+        match b.first()? {
+            1 => Some(Frame::Ping { seq: 0 }),
+            2 => Some(Frame::Pong { seq: 0 }),
+            _ => None,
+        }
+    }
+}

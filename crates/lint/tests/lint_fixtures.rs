@@ -1,0 +1,110 @@
+//! Fixture tests: each rule fires with exact `file:line` diagnostics, the
+//! allow-comment escape hatch suppresses, and the real workspace is clean.
+
+use rdv_lint::rules::{lint_enum_parity, lint_source, LintConfig, ParityTarget};
+use rdv_lint::{lint_workspace, Diagnostic};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn stub_cfg() -> LintConfig {
+    LintConfig { sim_registry: vec!["sim.events".to_string()] }
+}
+
+/// (line, rule) pairs, in output order.
+fn locs(diags: &[Diagnostic]) -> Vec<(usize, &str)> {
+    diags.iter().map(|d| (d.line, d.rule.as_str())).collect()
+}
+
+#[test]
+fn d1_flags_every_hash_collection_and_honors_allows() {
+    let diags = lint_source("d1_hash.rs", &fixture("d1_hash.rs"), &stub_cfg());
+    assert_eq!(
+        locs(&diags),
+        vec![
+            (2, "D1/hash-order"),
+            (3, "D1/hash-order"),
+            (6, "D1/hash-order"),
+            (6, "D1/hash-order"),
+            (7, "D1/hash-order"),
+            (7, "D1/hash-order"),
+        ],
+        "lines 11–12 are excused by allow comments; diagnostics were: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("DetMap"), "fix hint names the replacement");
+}
+
+#[test]
+fn d2_flags_ambient_time_rand_env_but_not_bare_imports() {
+    let diags = lint_source("d2_ambient.rs", &fixture("d2_ambient.rs"), &stub_cfg());
+    assert_eq!(
+        locs(&diags),
+        vec![
+            (5, "D2/ambient-time"),
+            (6, "D2/ambient-time"),
+            (7, "D2/ambient-rand"),
+            (8, "D2/ambient-rand"),
+            (9, "D2/ambient-env"),
+        ],
+        "line 2 `use Instant` and line 14 (allowed) must not fire; got: {diags:#?}"
+    );
+}
+
+#[test]
+fn d3_enforces_name_scheme_and_sim_registry() {
+    let diags = lint_source("d3_counters.rs", &fixture("d3_counters.rs"), &stub_cfg());
+    assert_eq!(
+        locs(&diags),
+        vec![
+            (3, "D3/counter-name"),
+            (4, "D3/counter-name"),
+            (5, "D3/counter-name"),
+            (6, "D3/counter-name"),
+            (7, "D3/counter-name"),
+        ],
+        "good names (lines 8–9) and the allowed legacy name (line 11) must pass; \
+         got: {diags:#?}"
+    );
+    assert!(diags[3].message.contains("not a registered engine counter"));
+}
+
+#[test]
+fn d4_reports_decode_missing_a_variant() {
+    let target = [ParityTarget { enum_name: "Frame", fns: &["encode", "decode"] }];
+    let diags = lint_enum_parity("d4_parity.rs", &fixture("d4_parity.rs"), &target);
+    assert_eq!(locs(&diags), vec![(17, "D4/wire-parity")], "got: {diags:#?}");
+    assert!(diags[0].message.contains("Frame::Data"));
+    assert!(diags[0].message.contains("fn decode"));
+}
+
+#[test]
+fn malformed_allow_comments_are_diagnostics() {
+    let diags = lint_source("bad_allow.rs", &fixture("bad_allow.rs"), &stub_cfg());
+    assert_eq!(
+        locs(&diags),
+        vec![(2, "allow-syntax"), (3, "allow-syntax"), (4, "allow-syntax"), (5, "allow-syntax")],
+        "got: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("reason"), "missing-reason case explains the grammar");
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    let diags = lint_source("clean.rs", &fixture("clean.rs"), &stub_cfg());
+    assert!(diags.is_empty(), "strings/comments must never fire: {diags:#?}");
+}
+
+/// The acceptance criterion: the migrated workspace itself lints clean.
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let diags = lint_workspace(root).expect("workspace walk");
+    assert!(
+        diags.is_empty(),
+        "the deterministic crates must lint clean:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

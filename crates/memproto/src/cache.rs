@@ -8,7 +8,7 @@
 //! when the object changes or moves, and receivers drop matching entries.
 //! Eviction is LRU by byte budget.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rdv_objspace::{ObjId, Object};
 
@@ -35,7 +35,7 @@ pub struct ObjectCache {
     capacity_bytes: u64,
     used_bytes: u64,
     tick: u64,
-    entries: HashMap<ObjId, Entry>,
+    entries: DetMap<ObjId, Entry>,
     /// Cache hits observed by [`ObjectCache::get`].
     pub hits: u64,
     /// Cache misses observed by [`ObjectCache::get`].
@@ -53,7 +53,7 @@ impl ObjectCache {
             capacity_bytes,
             used_bytes: 0,
             tick: 0,
-            entries: HashMap::new(),
+            entries: DetMap::new(),
             hits: 0,
             misses: 0,
             evictions: 0,

@@ -19,7 +19,9 @@
 //! - `write_at_home` — a home-side write invalidates all remote copies.
 //! - `writeback` / `evict` — owners/sharers drop out.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+use rdv_det::DetMap;
 
 use rdv_objspace::ObjId;
 
@@ -54,7 +56,7 @@ struct DirEntry {
 /// The per-home coherence directory.
 #[derive(Debug, Default)]
 pub struct Directory {
-    entries: HashMap<ObjId, DirEntry>,
+    entries: DetMap<ObjId, DirEntry>,
     /// Invalidations issued (experiment accounting).
     pub invalidations: u64,
 }
@@ -309,6 +311,24 @@ mod tests {
         // the home is not wedged on the dead owner.
         let actions = d.request_exclusive(ObjId(0xCAFE), H2);
         assert_eq!(actions, vec![DirAction::GrantExclusive { to: H2 }]);
+    }
+
+    #[test]
+    fn drop_host_reports_affected_objects_sorted() {
+        // Regression lock for the D1 migration: purge order used to follow
+        // the directory's hash order. The contract is sorted object IDs,
+        // independent of registration order.
+        let mut d = Directory::new();
+        for obj in [ObjId(30), ObjId(10), ObjId(20)] {
+            d.request_shared(obj, H1);
+            d.request_shared(obj, H2);
+        }
+        d.request_exclusive(ObjId(5), H1);
+        assert_eq!(d.drop_host(H1), vec![ObjId(5), ObjId(10), ObjId(20), ObjId(30)]);
+        assert_eq!(d.drop_host(H1), Vec::<ObjId>::new(), "second purge is a no-op");
+        for obj in [ObjId(10), ObjId(20), ObjId(30)] {
+            assert_eq!(d.sharers(obj), vec![H2], "surviving sharers keep their copies");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! receiver's [`Reassembler`] accepts fragments in any order, tolerates
 //! duplicates, and yields the original bytes when complete.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rdv_wire::{WireError, WireReader, WireResult, WireWriter};
 
@@ -68,7 +68,7 @@ pub fn fragment(msg_id: u64, payload: &[u8], mtu: usize) -> Vec<Fragment> {
 /// Reassembles fragments into complete messages, per `msg_id`.
 #[derive(Debug, Default)]
 pub struct Reassembler {
-    partial: HashMap<u64, PartialMsg>,
+    partial: DetMap<u64, PartialMsg>,
 }
 
 #[derive(Debug)]

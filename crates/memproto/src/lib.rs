@@ -25,7 +25,7 @@
 //! - [`coherence`] — the directory (home-node) half of the protocol:
 //!   sharer/owner tracking with explicit invalidate/grant actions, pure and
 //!   property-tested (§5's coherence exploration).
-
+#![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 

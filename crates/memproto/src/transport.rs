@@ -16,7 +16,9 @@
 //!   failed wholesale with [`ReliableEndpoint::fail_peer`];
 //! - **no** handshakes, windows, or congestion machinery.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use rdv_det::DetMap;
 
 use rdv_netsim::SimTime;
 use rdv_objspace::ObjId;
@@ -116,7 +118,7 @@ impl Flow {
 pub struct ReliableEndpoint {
     local: ObjId,
     cfg: TransportConfig,
-    flows: HashMap<ObjId, Flow>,
+    flows: DetMap<ObjId, Flow>,
     /// Segments that exhausted retries: `(peer, seq)`.
     pub failed: Vec<(ObjId, u64)>,
     /// Total retransmissions performed (for experiment accounting).
@@ -126,7 +128,7 @@ pub struct ReliableEndpoint {
 impl ReliableEndpoint {
     /// Create an endpoint whose reply address is `local` (the host inbox).
     pub fn new(local: ObjId, cfg: TransportConfig) -> ReliableEndpoint {
-        ReliableEndpoint { local, cfg, flows: HashMap::new(), failed: Vec::new(), retransmits: 0 }
+        ReliableEndpoint { local, cfg, flows: DetMap::new(), failed: Vec::new(), retransmits: 0 }
     }
 
     /// This endpoint's inbox object.
@@ -477,5 +479,38 @@ mod tests {
         assert!(a.poll_retransmits(deadline).is_empty());
         assert_eq!(a.failed, vec![(ObjId(0xB), 1)]);
         assert_eq!(a.next_deadline(), None);
+    }
+
+    #[test]
+    fn retransmit_order_is_flow_establishment_order() {
+        // Wire-visible regression lock for the D1 migration: with the flow
+        // table hash-ordered, a poll that retransmits across several peers
+        // emitted packets in hasher order — different across processes.
+        // DetMap pins it to flow-establishment order.
+        let drive = || {
+            let mut ep = ReliableEndpoint::new(ObjId(0x5E), TransportConfig::default());
+            // Deliberately not key order: establishment order must win.
+            for peer in [ObjId(0xC), ObjId(0xA), ObjId(0xB)] {
+                ep.send(SimTime::ZERO, peer, bare(7));
+            }
+            let out = ep.poll_retransmits(SimTime::from_micros(500));
+            out.iter().map(|m| m.header.dst).collect::<Vec<ObjId>>()
+        };
+        assert_eq!(drive(), vec![ObjId(0xC), ObjId(0xA), ObjId(0xB)]);
+        assert_eq!(drive(), drive(), "identical op sequences emit identical wire order");
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_in_flow_establishment_order() {
+        // Same property for the typed-failure surface: `failed` is consumed
+        // by the chaos invariants, so its order must be reproducible.
+        let cfg =
+            TransportConfig { rto: SimTime::from_micros(100), max_retries: 0, backoff_cap: 0 };
+        let mut ep = ReliableEndpoint::new(ObjId(0x5E), cfg);
+        for peer in [ObjId(0x9), ObjId(0x3), ObjId(0x6)] {
+            ep.send(SimTime::ZERO, peer, bare(1));
+        }
+        assert!(ep.poll_retransmits(SimTime::from_micros(200)).is_empty());
+        assert_eq!(ep.failed, vec![(ObjId(0x9), 1), (ObjId(0x3), 1), (ObjId(0x6), 1)]);
     }
 }

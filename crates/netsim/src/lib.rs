@@ -21,7 +21,7 @@
 //! - [`stats`] — counters and latency histograms shared by experiments.
 //! - [`fault`] — scheduled fault injection: link down/up, loss bursts,
 //!   partitions, and node crash/restart, all seed-reproducible.
-
+#![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -6,7 +6,7 @@
 //! `inc`, `get`) survives as a thin shim that interns on each call — fine
 //! for cold paths and tests, wrong for per-event code.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 use std::sync::{Mutex, OnceLock};
 
 /// Handle to an interned counter name: a dense index into the process-wide
@@ -66,7 +66,7 @@ const ENGINE_SLOTS: [&str; 13] = [
 ];
 
 struct Registry {
-    by_name: HashMap<&'static str, u32>,
+    by_name: DetMap<&'static str, u32>,
     names: Vec<&'static str>,
 }
 
@@ -74,7 +74,7 @@ fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
     REGISTRY.get_or_init(|| {
         let mut reg =
-            Registry { by_name: HashMap::with_capacity(64), names: Vec::with_capacity(64) };
+            Registry { by_name: DetMap::with_capacity(64), names: Vec::with_capacity(64) };
         for name in ENGINE_SLOTS {
             let idx = reg.names.len() as u32;
             reg.names.push(name);

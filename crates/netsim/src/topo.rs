@@ -7,7 +7,9 @@
 //! controller consults to compute forwarding entries (shortest path next
 //! hops), mirroring how a real controller knows its topology.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use rdv_det::DetMap;
 
 use crate::engine::Sim;
 use crate::link::LinkSpec;
@@ -70,10 +72,10 @@ impl Fabric {
             return None;
         }
         // BFS from `from`; track first-hop port used to reach each node.
-        let mut first_hop: HashMap<NodeId, PortId> = HashMap::new();
+        let mut first_hop: DetMap<NodeId, PortId> = DetMap::new();
         let mut queue = VecDeque::new();
         queue.push_back(from);
-        let mut visited: HashMap<NodeId, ()> = HashMap::new();
+        let mut visited: DetMap<NodeId, ()> = DetMap::new();
         visited.insert(from, ());
         while let Some(cur) = queue.pop_front() {
             for (port, peer) in self.neighbors(cur) {
@@ -97,15 +99,15 @@ impl Fabric {
         if from == to {
             return Some(0);
         }
-        let mut dist: HashMap<NodeId, usize> = HashMap::new();
+        let mut dist: DetMap<NodeId, usize> = DetMap::new();
         dist.insert(from, 0);
         let mut queue = VecDeque::new();
         queue.push_back(from);
         while let Some(cur) = queue.pop_front() {
             let d = dist[&cur];
             for (_, peer) in self.neighbors(cur) {
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(peer) {
-                    e.insert(d + 1);
+                if !dist.contains_key(&peer) {
+                    dist.insert(peer, d + 1);
                     if peer == to {
                         return Some(d + 1);
                     }

@@ -219,7 +219,7 @@ mod tests {
             let first: Vec<u32> = ids.iter().map(|&i| fot.intern(id(i), FotFlags::RO).unwrap()).collect();
             let second: Vec<u32> = ids.iter().map(|&i| fot.intern(id(i), FotFlags::RO).unwrap()).collect();
             prop_assert_eq!(first, second);
-            let distinct: std::collections::HashSet<_> = ids.iter().collect();
+            let distinct: rdv_det::DetSet<_> = ids.iter().collect();
             prop_assert_eq!(fot.len(), distinct.len());
         }
 

@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn random_ids_are_distinct_and_nonnil() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = rdv_det::DetSet::new();
         for _ in 0..10_000 {
             let id = ObjId::random(&mut rng);
             assert!(!id.is_nil());

@@ -22,7 +22,7 @@
 //!   [`structures`] builds pointer-rich multi-object data structures used by
 //!   the experiments, and [`naming`] layers hierarchical names over the flat
 //!   ID space — namespaces are themselves objects.
-
+#![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 

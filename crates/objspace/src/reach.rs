@@ -10,7 +10,9 @@
 //! store. Objects referenced but not locally present become **frontier**
 //! nodes — exactly the set a prefetcher should request from the network.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use rdv_det::{DetMap, DetSet};
 
 use crate::id::ObjId;
 use crate::store::ObjectStore;
@@ -20,7 +22,7 @@ use crate::store::ObjectStore;
 pub struct ReachGraph {
     root: ObjId,
     /// node → distinct FOT successors, in FOT order.
-    edges: HashMap<ObjId, Vec<ObjId>>,
+    edges: DetMap<ObjId, Vec<ObjId>>,
     /// BFS discovery order of locally-present nodes (root first).
     order: Vec<ObjId>,
     /// Referenced objects that were not locally present.
@@ -31,10 +33,10 @@ impl ReachGraph {
     /// Build the graph by BFS from `root` over `store`, visiting at most
     /// `max_depth` hops (0 = just the root).
     pub fn build(store: &ObjectStore, root: ObjId, max_depth: usize) -> ReachGraph {
-        let mut edges = HashMap::new();
+        let mut edges = DetMap::new();
         let mut order = Vec::new();
         let mut frontier = Vec::new();
-        let mut seen: HashSet<ObjId> = HashSet::new();
+        let mut seen: DetSet<ObjId> = DetSet::new();
         let mut queue: VecDeque<(ObjId, usize)> = VecDeque::new();
         seen.insert(root);
         queue.push_back((root, 0));

@@ -5,7 +5,7 @@
 //! Movement between hosts is `remove` + image copy + `insert` — the image
 //! needs no translation (see [`crate::object`]).
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rand::Rng;
 
@@ -16,21 +16,21 @@ use crate::object::{Object, ObjectKind};
 /// A host-local collection of objects, keyed by global ID.
 #[derive(Debug, Default)]
 pub struct ObjectStore {
-    objects: HashMap<ObjId, Object>,
+    objects: DetMap<ObjId, Object>,
 }
 
 impl ObjectStore {
     /// Empty store.
     pub fn new() -> ObjectStore {
-        ObjectStore { objects: HashMap::new() }
+        ObjectStore { objects: DetMap::new() }
     }
 
     /// Create a new object with a random ID, insert it, and return the ID.
     pub fn create<R: Rng + ?Sized>(&mut self, rng: &mut R, kind: ObjectKind) -> ObjId {
         loop {
             let id = ObjId::random(rng);
-            if let std::collections::hash_map::Entry::Vacant(e) = self.objects.entry(id) {
-                e.insert(Object::new(id, kind));
+            if !self.objects.contains_key(&id) {
+                self.objects.insert(id, Object::new(id, kind));
                 return id;
             }
         }
@@ -45,8 +45,8 @@ impl ObjectStore {
     ) -> ObjId {
         loop {
             let id = ObjId::random(rng);
-            if let std::collections::hash_map::Entry::Vacant(e) = self.objects.entry(id) {
-                e.insert(Object::with_capacity(id, kind, capacity));
+            if !self.objects.contains_key(&id) {
+                self.objects.insert(id, Object::with_capacity(id, kind, capacity));
                 return id;
             }
         }

@@ -18,7 +18,7 @@
 //! - [`subscriptions`] — the Packet-Subscriptions-style compiler from
 //!   field predicates to table rules (Jepsen et al., CoNEXT '20 — the
 //!   system the authors prototyped with).
-
+#![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -10,7 +10,7 @@
 //! repo's "P4Runtime"): controllers send [`ControlMsg`]-bearing packets to
 //! program tables remotely.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 use std::sync::OnceLock;
 
 use rdv_netsim::{CounterId, Node, NodeCtx, Packet, PortId, SimTime};
@@ -260,9 +260,9 @@ pub struct SwitchNode {
     pub pipeline: Pipeline,
     cfg: SwitchConfig,
     label: String,
-    pending: HashMap<u64, Vec<(Option<PortId>, Packet, bool)>>,
+    pending: DetMap<u64, Vec<(Option<PortId>, Packet, bool)>>,
     next_tag: u64,
-    seen_floods: std::collections::HashSet<(u128, u64)>,
+    seen_floods: rdv_det::DetSet<(u128, u64)>,
     /// Local counters: `hit`, `miss`, `flood`, `punt`, `drop`, `control`.
     pub counters: rdv_netsim::Counters,
 }
@@ -274,9 +274,9 @@ impl SwitchNode {
             pipeline,
             cfg,
             label: label.into(),
-            pending: HashMap::new(),
+            pending: DetMap::new(),
             next_tag: 0,
-            seen_floods: std::collections::HashSet::new(),
+            seen_floods: rdv_det::DetSet::new(),
             counters: rdv_netsim::Counters::new(),
         }
     }

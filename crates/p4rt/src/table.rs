@@ -13,7 +13,7 @@
 //! rejects the entry exactly as a real switch's driver would, which is what
 //! forces the overlay/punt strategies the paper alludes to.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use crate::capacity::SramBudget;
 use crate::error::{P4Error, P4Result};
@@ -79,7 +79,7 @@ pub struct Table {
     kind: MatchKind,
     budget: SramBudget,
     key_bits: u64,
-    exact: HashMap<Vec<u128>, Action>,
+    exact: DetMap<Vec<u128>, Action>,
     lpm: Vec<(u128, u32, Action)>,
     ternary: Vec<(Vec<u128>, Vec<u128>, i32, Action)>,
 }
@@ -103,7 +103,7 @@ impl Table {
             kind,
             budget,
             key_bits,
-            exact: HashMap::new(),
+            exact: DetMap::new(),
             lpm: Vec::new(),
             ternary: Vec::new(),
         }

@@ -6,7 +6,7 @@
 //! `serialize_ns`, which the client spends (as simulated time) before the
 //! request leaves — the producer half of the §2 cost story.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rdv_netsim::{Node, NodeCtx, Packet, PortId, SimTime};
 use rdv_objspace::ObjId;
@@ -72,8 +72,8 @@ pub struct ClientNode {
     inbox: ObjId,
     /// The call plan; timer tag `i` issues `plan[i]`.
     pub plan: Vec<PlannedCall>,
-    pending: HashMap<u64, Pending>,
-    deferred: HashMap<u64, (u64, RpcMsg)>, // defer id -> (req, msg)
+    pending: DetMap<u64, Pending>,
+    deferred: DetMap<u64, (u64, RpcMsg)>, // defer id -> (req, msg)
     next_req: u64,
     next_defer: u64,
     next_trace: u64,
@@ -93,8 +93,8 @@ impl ClientNode {
             label: label.into(),
             inbox,
             plan: Vec::new(),
-            pending: HashMap::new(),
-            deferred: HashMap::new(),
+            pending: DetMap::new(),
+            deferred: DetMap::new(),
             next_req: 1,
             next_defer: 0,
             next_trace: 1,

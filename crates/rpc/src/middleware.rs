@@ -7,7 +7,7 @@
 //! Experiment A2 measures exactly that cost by inserting these nodes
 //! between client and server.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rdv_netsim::{Node, NodeCtx, Packet, PortId, SimTime};
 use rdv_objspace::ObjId;
@@ -24,8 +24,8 @@ pub struct LoadBalancerNode {
     /// Per-request proxy processing time (per direction).
     pub proc_delay: SimTime,
     /// req → original caller inbox.
-    inflight: HashMap<u64, ObjId>,
-    deferred: HashMap<u64, RpcMsg>,
+    inflight: DetMap<u64, ObjId>,
+    deferred: DetMap<u64, RpcMsg>,
     next_defer: u64,
     next_trace: u64,
     /// Requests proxied.
@@ -42,8 +42,8 @@ impl LoadBalancerNode {
             backends,
             rr: 0,
             proc_delay: SimTime::from_micros(5),
-            inflight: HashMap::new(),
-            deferred: HashMap::new(),
+            inflight: DetMap::new(),
+            deferred: DetMap::new(),
             next_defer: 0,
             next_trace: 1,
             proxied: 0,
@@ -116,10 +116,10 @@ impl Node for LoadBalancerNode {
 pub struct DiscoveryServiceNode {
     label: String,
     inbox: ObjId,
-    directory: HashMap<String, ObjId>,
+    directory: DetMap<String, ObjId>,
     /// Lookup processing time.
     pub proc_delay: SimTime,
-    deferred: HashMap<u64, RpcMsg>,
+    deferred: DetMap<u64, RpcMsg>,
     next_defer: u64,
     next_trace: u64,
     /// Lookups served.
@@ -132,9 +132,9 @@ impl DiscoveryServiceNode {
         DiscoveryServiceNode {
             label: label.into(),
             inbox,
-            directory: HashMap::new(),
+            directory: DetMap::new(),
             proc_delay: SimTime::from_micros(5),
-            deferred: HashMap::new(),
+            deferred: DetMap::new(),
             next_defer: 0,
             next_trace: 1,
             lookups: 0,

@@ -1,6 +1,6 @@
 //! The RPC server node.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rdv_netsim::{Node, NodeCtx, Packet, PortId, SimTime};
 use rdv_objspace::ObjId;
@@ -12,10 +12,10 @@ use crate::service::Service;
 pub struct ServerNode {
     label: String,
     inbox: ObjId,
-    services: HashMap<u32, Box<dyn Service>>,
+    services: DetMap<u32, Box<dyn Service>>,
     /// Fixed per-request software overhead (request parse, scheduling).
     pub base_delay: SimTime,
-    deferred: HashMap<u64, RpcMsg>,
+    deferred: DetMap<u64, RpcMsg>,
     next_defer: u64,
     next_trace: u64,
     /// Requests served (including errors).
@@ -28,9 +28,9 @@ impl ServerNode {
         ServerNode {
             label: label.into(),
             inbox,
-            services: HashMap::new(),
+            services: DetMap::new(),
             base_delay: SimTime::from_micros(2),
-            deferred: HashMap::new(),
+            deferred: DetMap::new(),
             next_defer: 0,
             next_trace: 1,
             requests: 0,

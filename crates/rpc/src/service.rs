@@ -85,7 +85,7 @@ pub struct ModelServingService {
     /// Phase accounting across all calls (for S1 reporting).
     pub meter: CostMeter,
     /// Serialized models stored server-side, by name (`INFER_BY_NAME`).
-    pub stored: std::collections::HashMap<String, Vec<u8>>,
+    pub stored: rdv_det::DetMap<String, Vec<u8>>,
 }
 
 impl ModelServingService {

@@ -26,7 +26,7 @@
 //!   deserialize / load phases.
 //! - [`sparsemodel`] — the synthetic sparse-model workload standing in for
 //!   the paper's "sparse personalized models" (see DESIGN.md substitutions).
-
+#![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 

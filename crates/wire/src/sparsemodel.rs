@@ -17,7 +17,7 @@
 //! phase breakdown deterministically; criterion benches time the same code
 //! for a wall-clock cross-check.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -282,9 +282,9 @@ pub struct LoadedModel {
     /// The decoded model (owned).
     pub model: SparseModel,
     /// vocab string → index.
-    pub vocab_index: HashMap<String, u32>,
+    pub vocab_index: DetMap<String, u32>,
     /// layer name → index.
-    pub layer_index: HashMap<String, u32>,
+    pub layer_index: DetMap<String, u32>,
 }
 
 impl LoadedModel {
@@ -327,11 +327,11 @@ pub fn deserialize_model(bytes: &[u8], meter: &mut CostMeter) -> WireResult<Spar
 
 /// Build the working form, charging the Load phase of `meter`.
 pub fn load_model(model: SparseModel, meter: &mut CostMeter) -> LoadedModel {
-    let mut vocab_index = HashMap::with_capacity(model.vocab.len());
+    let mut vocab_index = DetMap::with_capacity(model.vocab.len());
     for (i, v) in model.vocab.iter().enumerate() {
         vocab_index.insert(v.clone(), i as u32);
     }
-    let mut layer_index = HashMap::with_capacity(model.layers.len());
+    let mut layer_index = DetMap::with_capacity(model.layers.len());
     for (i, l) in model.layers.iter().enumerate() {
         layer_index.insert(l.name.clone(), i as u32);
     }

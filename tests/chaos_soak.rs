@@ -15,7 +15,7 @@
 //! Every scenario is derived from a single `u64` seed, so any failure
 //! reproduces exactly by re-running the named seed.
 
-use std::collections::HashMap;
+use rdv_det::DetMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -418,8 +418,8 @@ fn fabric_soak_combines_loss_partition_and_crash() {
 /// A copy exists iff the directory granted it and has not invalidated it
 /// since; its value is the home value at grant time.
 fn apply_actions(
-    copies: &mut HashMap<(u128, u128), u64>,
-    home_val: &HashMap<u128, u64>,
+    copies: &mut DetMap<(u128, u128), u64>,
+    home_val: &DetMap<u128, u64>,
     obj: ObjId,
     actions: &[DirAction],
 ) {
@@ -442,8 +442,8 @@ fn directory_soak_never_leaves_a_stale_copy_registered() {
     for seed in 0..10u64 {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1);
         let mut d = Directory::new();
-        let mut copies: HashMap<(u128, u128), u64> = HashMap::new();
-        let mut home_val: HashMap<u128, u64> = objs.iter().map(|o| (o.as_u128(), 0u64)).collect();
+        let mut copies: DetMap<(u128, u128), u64> = DetMap::new();
+        let mut home_val: DetMap<u128, u64> = objs.iter().map(|o| (o.as_u128(), 0u64)).collect();
         for step in 0..300 {
             let obj = objs[rng.gen_range(0..objs.len())];
             let host = hosts[rng.gen_range(0..hosts.len())];

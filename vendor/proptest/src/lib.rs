@@ -212,6 +212,8 @@ pub mod test_runner {
     }
 
     /// Number of cases per property (default 64, `PROPTEST_CASES` overrides).
+    // Deliberate knob for local soak runs; case *content* stays seeded.
+    #[allow(clippy::disallowed_methods)]
     pub fn cases() -> u64 {
         std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
     }
