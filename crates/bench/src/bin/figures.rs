@@ -1,38 +1,61 @@
 //! `figures` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! cargo run -p rdv-bench --bin figures --release -- [--quick] [--jobs N] [IDS…]
+//! cargo run -p rdv-bench --bin figures --release -- \
+//!     [--quick] [--jobs N] [--list] [--trace EXP]… [IDS…]
 //! ```
 //!
 //! With no IDs, runs everything (F1 F2 F3 T1 S1 A1–A5). Text tables
 //! go to stdout; JSON goes to `results/<id>.json`.
 //!
+//! `--list` prints every experiment ID with its one-line description.
+//!
+//! `--trace EXP` re-runs one representative point of EXP with the causal
+//! tracer enabled, writes a Perfetto-loadable Chrome trace to
+//! `results/trace_<exp>.json`, and prints a critical-path summary. With
+//! only `--trace` flags (no positional IDs), the full sweeps are skipped.
+//!
 //! `--jobs N` caps the worker threads used to fan independent sweep
 //! points out (default: available parallelism; `--jobs 1` is serial).
 //! Every point carries its own derived seed and rows are collected in
-//! point order, so the output bytes are identical for every jobs value.
+//! point order, so the output bytes — including trace JSON — are
+//! identical for every jobs value.
 
 use std::io::Write;
 
 use rdv_bench::experiments;
+use rdv_bench::experiments::CATALOG;
 use rdv_bench::Series;
 
-const IDS: [&str; 12] = ["F1", "F2", "F3", "F4", "T1", "T2", "S1", "A1", "A2", "A3", "A4", "A5"];
-
 fn usage_exit() -> ! {
-    eprintln!("usage: figures [--quick] [--jobs N] [F1 F2 F3 F4 T1 T2 S1 A1 A2 A3 A4 A5]");
+    eprintln!(
+        "usage: figures [--quick] [--jobs N] [--list] [--trace EXP] \
+         [F1 F2 F3 F4 T1 T2 S1 A1 A2 A3 A4 A5]"
+    );
     std::process::exit(2);
+}
+
+fn list_exit() -> ! {
+    println!("experiments:");
+    for (id, desc) in CATALOG {
+        let traced = if experiments::trace::TRACEABLE.contains(id) { "  [--trace]" } else { "" };
+        println!("  {id:<4} {desc}{traced}");
+    }
+    std::process::exit(0);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let mut wanted: Vec<String> = Vec::new();
+    let mut traces: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
         if a == "--quick" {
             // consumed above
+        } else if a == "--list" {
+            list_exit();
         } else if a == "--jobs" {
             i += 1;
             let Some(n) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
@@ -46,6 +69,15 @@ fn main() {
                 usage_exit();
             };
             rdv_bench::par::set_jobs(n);
+        } else if a == "--trace" {
+            i += 1;
+            let Some(e) = args.get(i) else {
+                eprintln!("[figures] --trace needs an experiment id");
+                usage_exit();
+            };
+            traces.push(e.trim_start_matches('-').to_uppercase());
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            traces.push(v.to_uppercase());
         } else if a.starts_with("--") {
             eprintln!("[figures] warning: ignoring unknown flag {a}");
         } else {
@@ -54,8 +86,12 @@ fn main() {
         i += 1;
     }
     for w in &wanted {
-        if !IDS.contains(&w.as_str()) {
-            eprintln!("[figures] warning: unknown experiment id {w} (known: {})", IDS.join(" "));
+        if !CATALOG.iter().any(|(id, _)| id == w) {
+            eprintln!(
+                "[figures] warning: unknown experiment id {w} — run `figures --list` \
+                 for ids and descriptions (known: {})",
+                CATALOG.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(" ")
+            );
         }
     }
     let run_one = |id: &str| -> Option<Series> {
@@ -81,17 +117,40 @@ fn main() {
     };
     let _ = std::fs::create_dir_all("results");
     let mut ran = 0;
-    for id in IDS {
-        let Some(series) = run_one(id) else { continue };
-        ran += 1;
-        println!("{}", series.to_text());
-        let path = format!("results/{}.json", id.to_lowercase());
-        match std::fs::File::create(&path) {
-            Ok(mut f) => {
-                let _ = writeln!(f, "{}", series.to_json());
-                eprintln!("[figures] wrote {path}");
+    // With only --trace flags, skip the full sweeps.
+    if traces.is_empty() || !wanted.is_empty() {
+        for (id, _) in CATALOG {
+            let Some(series) = run_one(id) else { continue };
+            ran += 1;
+            println!("{}", series.to_text());
+            let path = format!("results/{}.json", id.to_lowercase());
+            match std::fs::File::create(&path) {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", series.to_json());
+                    eprintln!("[figures] wrote {path}");
+                }
+                Err(e) => eprintln!("[figures] could not write {path}: {e}"),
             }
-            Err(e) => eprintln!("[figures] could not write {path}: {e}"),
+        }
+    }
+    for exp in &traces {
+        match experiments::trace::run(exp, quick) {
+            Some(report) => {
+                ran += 1;
+                let path = format!("results/trace_{}.json", exp.to_lowercase());
+                match std::fs::write(&path, &report.json) {
+                    Ok(()) => {
+                        eprintln!("[figures] wrote {path} (open in Perfetto or chrome://tracing)")
+                    }
+                    Err(e) => eprintln!("[figures] could not write {path}: {e}"),
+                }
+                print!("{}", report.summary);
+            }
+            None => eprintln!(
+                "[figures] warning: no traced companion for {exp} (traceable: {}; run \
+                 `figures --list`)",
+                experiments::trace::TRACEABLE.join(" ")
+            ),
         }
     }
     if ran == 0 {

@@ -14,8 +14,26 @@ pub mod fig3;
 pub mod s1;
 pub mod t1;
 pub mod t2;
+pub mod trace;
 
 use crate::report::Series;
+
+/// Every experiment ID with its one-line description, in run order (the
+/// same descriptions each `run()` stamps on its [`Series`]).
+pub const CATALOG: &[(&str, &str)] = &[
+    ("F1", "rendezvous of data and compute (paper Fig. 1 strategies)"),
+    ("F2", "discovery RTT vs % accesses to new objects (paper Fig. 2)"),
+    ("F3", "E2E access time vs % accesses to moved objects (paper Fig. 3)"),
+    ("F4", "goodput and rendezvous completion vs fault severity (paper §3.2)"),
+    ("T1", "switch exact-match capacity vs ID width (paper §3.2)"),
+    ("T2", "pointer encoding cost: FOT (64-bit) vs direct 128-bit pointers (paper §3.1)"),
+    ("S1", "request-time (de)serialization and loading (paper §2 '70%')"),
+    ("A1", "prefetching on reachability vs adjacency (paper §3.1)"),
+    ("A2", "middleware indirection cost (paper §1)"),
+    ("A3", "hierarchical ID overlay vs flat exact routing under SRAM pressure (paper §3.2)"),
+    ("A4", "CRDT auto-merge during movement (paper §5)"),
+    ("A5", "coherence write cost vs sharer count (paper §5)"),
+];
 
 /// Run every experiment in DESIGN.md order.
 pub fn run_all(quick: bool) -> Vec<Series> {

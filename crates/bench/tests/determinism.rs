@@ -3,7 +3,7 @@
 //! own seed and rows are reassembled in point order, so a serial run and
 //! a 4-way run of the same experiment must serialize identically.
 
-use rdv_bench::experiments::fig2;
+use rdv_bench::experiments::{fig2, trace};
 use rdv_bench::par::set_jobs;
 
 #[test]
@@ -15,4 +15,18 @@ fn quick_f2_is_byte_identical_serial_vs_parallel() {
     set_jobs(0);
     assert_eq!(serial.to_json(), parallel.to_json(), "results/f2.json must not depend on --jobs");
     assert_eq!(serial.to_text(), parallel.to_text());
+}
+
+#[test]
+fn trace_json_is_byte_identical_across_runs_and_jobs() {
+    set_jobs(1);
+    let serial = trace::run("F3", true).expect("F3 is traceable");
+    set_jobs(4);
+    let parallel = trace::run("F3", true).expect("F3 is traceable");
+    set_jobs(0);
+    let again = trace::run("F3", true).expect("F3 is traceable");
+    assert_eq!(serial.json, parallel.json, "results/trace_f3.json must not depend on --jobs");
+    assert_eq!(serial.json, again.json, "repeat runs must be byte-identical");
+    assert_eq!(serial.summary, parallel.summary);
+    assert_eq!(serial.summary, again.summary);
 }

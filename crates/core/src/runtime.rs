@@ -25,6 +25,7 @@ use rdv_memproto::cache::{CacheState, ObjectCache};
 use rdv_memproto::coherence::{DirAction, Directory};
 use rdv_memproto::frag::{fragment, Fragment, Reassembler, DEFAULT_MTU};
 use rdv_memproto::msg::{Msg, MsgBody, NackCode};
+use rdv_netsim::trace::EventId;
 use rdv_netsim::{CounterId, Node, NodeCtx, Packet, PortId, SimTime};
 use rdv_objspace::{ObjId, Object, ObjectStore};
 
@@ -230,6 +231,8 @@ struct FetchState {
     demand: bool,
     issued: SimTime,
     script: Option<usize>,
+    /// The `core.fetch` span-begin, when tracing was enabled.
+    span: Option<EventId>,
 }
 
 #[derive(Debug)]
@@ -271,6 +274,11 @@ struct ScriptProgress {
     retries: u32,
     /// A watchdog timer is pending for this script.
     watchdog_armed: bool,
+    /// Open trace spans, when tracing was enabled: the whole script, the
+    /// in-flight invoke, and the in-flight coherent write.
+    script_span: Option<EventId>,
+    invoke_span: Option<EventId>,
+    write_span: Option<EventId>,
 }
 
 mod tags {
@@ -394,7 +402,8 @@ impl GasHostNode {
         let req = self.next_req;
         self.next_req += 1;
         self.inflight.insert(target);
-        self.fetches.insert(req, FetchState { target, demand, issued: ctx.now, script });
+        let span = ctx.trace.span_begin("core.fetch", target.lo());
+        self.fetches.insert(req, FetchState { target, demand, issued: ctx.now, script, span });
         if demand {
             self.counters.inc_id(ctr().fetch_demand);
             if let Some(s) = script {
@@ -423,17 +432,16 @@ impl GasHostNode {
     /// Re-send the in-flight fetch for `target`, if one exists (same req,
     /// so partially reassembled fragments still count).
     fn retry_fetch(&mut self, ctx: &mut NodeCtx<'_>, target: ObjId) {
-        let req = self.fetches.iter().find_map(
-            |(req, f)| {
-                if f.target == target {
-                    Some(*req)
-                } else {
-                    None
-                }
-            },
-        );
-        if let Some(req) = req {
+        let req = self.fetches.iter().find_map(|(req, f)| {
+            if f.target == target {
+                Some((*req, f.span))
+            } else {
+                None
+            }
+        });
+        if let Some((req, span)) = req {
             self.counters.inc_id(ctr().retries_fetch);
+            ctx.trace.mark_linked("core.retry.fetch", target.lo(), span);
             let msg = Msg::new(target, self.inbox, MsgBody::ObjImageReq { req, target });
             self.transmit(ctx, msg);
         }
@@ -475,6 +483,7 @@ impl GasHostNode {
         if p.retries >= self.cfg.max_retries {
             let p = self.progress.remove(&idx).expect("present");
             self.counters.inc_id(ctr().scripts_failed);
+            ctx.trace.span_end("core.script", p.script_span);
             self.traversals.retain(|t| t.script != idx);
             self.records.push(ScriptRecord {
                 script: idx,
@@ -599,8 +608,9 @@ impl GasHostNode {
         self.cache.insert(object, CacheState::Shared);
         self.counters.add_id(ctr().rx_bytes, image.len() as u64);
         match self.fetches.remove(&req) {
-            Some(_fetch) => {
+            Some(fetch) => {
                 self.counters.inc_id(ctr().fetch_completed);
+                ctx.trace.span_end("core.fetch", fetch.span);
             }
             None => {
                 // Unsolicited push: acknowledge it.
@@ -652,6 +662,7 @@ impl GasHostNode {
     }
 
     fn start_script(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
+        let script_span = ctx.trace.span_begin("core.script", idx as u64);
         self.progress.insert(
             idx,
             ScriptProgress {
@@ -665,6 +676,9 @@ impl GasHostNode {
                 invoke_executor: None,
                 retries: 0,
                 watchdog_armed: false,
+                script_span,
+                invoke_span: None,
+                write_span: None,
             },
         );
         self.advance_script(ctx, idx);
@@ -684,6 +698,7 @@ impl GasHostNode {
             if step_idx >= steps.len() {
                 // Script complete.
                 let p = self.progress.remove(&idx).expect("present");
+                ctx.trace.span_end("core.script", p.script_span);
                 self.records.push(ScriptRecord {
                     script: idx,
                     started: p.started,
@@ -772,7 +787,12 @@ impl GasHostNode {
                             retries: 0,
                         }));
                         let _ = task_id;
-                        self.progress.get_mut(&idx).expect("present").waiting_invoke = Some(0);
+                        let ispan = ctx.trace.span_begin("core.invoke", code.lo());
+                        {
+                            let p = self.progress.get_mut(&idx).expect("present");
+                            p.waiting_invoke = Some(0);
+                            p.invoke_span = ispan;
+                        }
                         for obj in std::iter::once(code).chain(args.iter().copied()) {
                             self.ensure_fetch(ctx, obj, true, Some(idx));
                         }
@@ -781,10 +801,12 @@ impl GasHostNode {
                     } else {
                         let req = self.next_req;
                         self.next_req += 1;
+                        let ispan = ctx.trace.span_begin("core.invoke", code.lo());
                         {
                             let p = self.progress.get_mut(&idx).expect("present");
                             p.waiting_invoke = Some(req);
                             p.invoke_executor = Some(executor);
+                            p.invoke_span = ispan;
                         }
                         let msg =
                             Msg::new(executor, self.inbox, MsgBody::Invoke { req, code, args });
@@ -797,7 +819,12 @@ impl GasHostNode {
                     let (target, offset, data) = (*target, *offset, data.clone());
                     let req = self.next_req;
                     self.next_req += 1;
-                    self.progress.get_mut(&idx).expect("present").waiting_push = Some(req);
+                    let wspan = ctx.trace.span_begin("core.write", target.lo());
+                    {
+                        let p = self.progress.get_mut(&idx).expect("present");
+                        p.waiting_push = Some(req);
+                        p.write_span = wspan;
+                    }
                     let msg = Msg::new(
                         target,
                         self.inbox,
@@ -1047,6 +1074,10 @@ impl GasHostNode {
             p.invoke_executor = None;
             p.step += 1;
             p.retries = 0;
+            let ispan = p.invoke_span.take();
+            if ispan.is_some() {
+                ctx.trace.span_end("core.invoke", ispan);
+            }
             self.advance_script(ctx, idx);
         }
     }
@@ -1095,6 +1126,11 @@ impl Node for GasHostNode {
                     p.waiting_push = None;
                     p.step += 1;
                     p.retries = 0;
+                    // PushTo shares `waiting_push` but opens no span.
+                    let wspan = p.write_span.take();
+                    if wspan.is_some() {
+                        ctx.trace.span_end("core.write", wspan);
+                    }
                     self.advance_script(ctx, idx);
                 }
             }
@@ -1207,6 +1243,10 @@ impl Node for GasHostNode {
                     p.waiting_invoke = None;
                     p.step += 1;
                     p.retries = 0;
+                    let ispan = p.invoke_span.take();
+                    if ispan.is_some() {
+                        ctx.trace.span_end("core.invoke", ispan);
+                    }
                 }
                 self.advance_script(ctx, script);
             }
@@ -1284,6 +1324,67 @@ mod tests {
         assert_eq!(home.counters.get("dir_invalidates_sent"), 1);
         let b = sim.node_as::<GasHostNode>(ids[1]).unwrap();
         assert!(!b.records[0].failed);
+    }
+
+    #[test]
+    fn trace_spans_bracket_fetch_write_and_script_lifecycles() {
+        // The coherent-write scenario again, traced: every protocol span
+        // opened by the runtime must be closed, and the write span must
+        // have crossed the fabric (its closing ack arrived in a packet).
+        let mut a = GasHostNode::new("a", CLIENT_A, GasHostConfig::default());
+        a.scripts = vec![vec![ScriptStep::Fetch(OBJ)], vec![ScriptStep::Fetch(OBJ)]];
+        let mut b = GasHostNode::new("b", CLIENT_B, GasHostConfig::default());
+        b.scripts = vec![vec![ScriptStep::Write {
+            target: OBJ,
+            offset: 8,
+            data: 99u64.to_le_bytes().to_vec(),
+        }]];
+        let home = home_with_obj();
+        let (mut sim, ids) = build_star_fabric(
+            1,
+            vec![
+                (Box::new(a), CLIENT_A, host_link_rack()),
+                (Box::new(b), CLIENT_B, host_link_rack()),
+                (Box::new(home), HOME, host_link_rack()),
+            ],
+            &[(OBJ, 2)],
+        );
+        sim.enable_trace(1 << 16);
+        sim.schedule(SimTime::from_millis(1), ids[0], 0);
+        sim.schedule(SimTime::from_millis(2), ids[1], 0);
+        sim.schedule(SimTime::from_millis(3), ids[0], 1);
+        sim.run_until_idle();
+        let tracer = sim.take_tracer();
+
+        let count = |structural: &str, label: &str| {
+            tracer
+                .iter()
+                .filter(|(_, e)| e.kind.name() == structural && e.kind.label() == Some(label))
+                .count()
+        };
+        // Three scripts (two fetches on A, one write on B), all completed.
+        assert_eq!(count("span.begin", "core.script"), 3);
+        assert_eq!(count("span.end", "core.script"), 3);
+        assert_eq!(count("span.begin", "core.fetch"), 2);
+        assert_eq!(count("span.end", "core.fetch"), 2);
+        assert_eq!(count("span.begin", "core.write"), 1);
+        assert_eq!(count("span.end", "core.write"), 1);
+
+        // The write span's end pairs with its begin (aux edge) and its
+        // ancestry includes a packet delivery: the WriteAck from the home.
+        let (end_id, end_ev) = tracer
+            .iter()
+            .find(|(_, e)| e.kind.name() == "span.end" && e.kind.label() == Some("core.write"))
+            .expect("write span closed");
+        let begin = end_ev.aux.expect("end links its begin");
+        assert_eq!(tracer.get(begin).unwrap().kind.label(), Some("core.write"));
+        assert!(
+            tracer
+                .ancestry(end_id)
+                .iter()
+                .any(|eid| tracer.get(*eid).unwrap().kind.name() == "packet.deliver"),
+            "write ack should have arrived over the fabric"
+        );
     }
 
     #[test]

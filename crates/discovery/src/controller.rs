@@ -94,8 +94,10 @@ impl Node for ControllerNode {
         let Ok(msg) = Msg::decode(&packet.payload) else { return };
         if let MsgBody::Advertise { obj } = msg.body {
             self.advertisements += 1;
+            ctx.trace.mark("controller.advertise", obj.lo());
             let holder = msg.header.src;
             let sends = self.program_object(obj, holder);
+            ctx.trace.mark("controller.install", sends.len() as u64);
             if self.processing_delay == SimTime::ZERO {
                 for (port, bytes) in sends {
                     ctx.send(port, Packet::new(bytes, 0));

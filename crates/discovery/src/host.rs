@@ -10,6 +10,7 @@ use rdv_det::DetMap;
 use std::sync::OnceLock;
 
 use rdv_memproto::msg::{Msg, MsgBody, NackCode};
+use rdv_netsim::trace::EventId;
 use rdv_netsim::{CounterId, Node, NodeCtx, Packet, PortId, SimTime};
 use rdv_objspace::{ObjId, Object, ObjectStore};
 
@@ -117,6 +118,9 @@ pub struct AccessRecord {
     pub broadcasts: u64,
     /// NACKs (stale unicasts) this access hit.
     pub nacks: u64,
+    /// The `discovery.access` span-end event, when tracing was enabled —
+    /// the anchor critical-path extraction walks back from.
+    pub trace_end: Option<EventId>,
 }
 
 impl AccessRecord {
@@ -140,6 +144,8 @@ struct Pending {
     broadcasts: u64,
     nacks: u64,
     retries: u64,
+    /// The `discovery.access` span-begin, when tracing was enabled.
+    span: Option<EventId>,
 }
 
 /// Why an access gave up, surfaced in [`HostNode::failed`].
@@ -271,6 +277,7 @@ impl HostNode {
         let req = self.next_req;
         self.next_req += 1;
         let issued = ctx.now;
+        let span = ctx.trace.span_begin("discovery.access", target.lo());
         match self.cfg.mode {
             DiscoveryMode::Controller => {
                 self.pending.insert(
@@ -282,6 +289,7 @@ impl HostNode {
                         broadcasts: 0,
                         nacks: 0,
                         retries: 0,
+                        span,
                     },
                 );
                 let msg = Msg::new(
@@ -302,6 +310,7 @@ impl HostNode {
                             broadcasts: 0,
                             nacks: 0,
                             retries: 0,
+                            span,
                         },
                     );
                     let msg = Msg::new(
@@ -321,9 +330,11 @@ impl HostNode {
                             broadcasts: 1,
                             nacks: 0,
                             retries: 0,
+                            span,
                         },
                     );
                     self.counters.inc_id(ctr().broadcasts);
+                    ctx.trace.mark("discovery.broadcast", target.lo());
                     let msg = Msg::new(target, self.inbox, MsgBody::DiscoverReq { req });
                     self.transmit(ctx, msg);
                 }
@@ -360,6 +371,7 @@ impl HostNode {
         match self.cfg.mode {
             DiscoveryMode::Controller => {
                 self.pending.get_mut(&req).expect("checked above").retries += 1;
+                ctx.trace.mark("discovery.retry", target.lo());
                 let msg = Msg::new(
                     target,
                     self.inbox,
@@ -378,6 +390,7 @@ impl HostNode {
                     p.broadcasts += 1;
                 }
                 self.counters.inc_id(ctr().broadcasts);
+                ctx.trace.mark("discovery.broadcast", target.lo());
                 let msg = Msg::new(target, self.inbox, MsgBody::DiscoverReq { req });
                 self.transmit(ctx, msg);
             }
@@ -447,16 +460,19 @@ impl HostNode {
         let Some(mut p) = self.pending.remove(&req) else { return };
         match body {
             MsgBody::ReadResp { .. } => {
+                let trace_end = ctx.trace.span_end("discovery.access", p.span);
                 self.records.push(AccessRecord {
                     target: p.target,
                     issued: p.issued,
                     completed: ctx.now,
                     broadcasts: p.broadcasts,
                     nacks: p.nacks,
+                    trace_end,
                 });
             }
             MsgBody::DiscoverResp { holder_inbox, .. } => {
                 debug_assert_eq!(p.state, PendingState::Discovering);
+                ctx.trace.mark("discovery.resolved", holder_inbox.lo());
                 self.dest_cache.insert(p.target, holder_inbox);
                 p.state = PendingState::Reading;
                 let msg = Msg::new(
@@ -470,6 +486,7 @@ impl HostNode {
             MsgBody::Nack { code: NackCode::NotHere, .. } => {
                 self.counters.inc_id(ctr().nacks_received);
                 p.nacks += 1;
+                ctx.trace.mark("discovery.stale_nack", p.target.lo());
                 match self.cfg.mode {
                     DiscoveryMode::E2E => {
                         // Stale destination: forget it and rediscover.
@@ -477,6 +494,7 @@ impl HostNode {
                         p.broadcasts += 1;
                         p.state = PendingState::Discovering;
                         self.counters.inc_id(ctr().broadcasts);
+                        ctx.trace.mark("discovery.broadcast", p.target.lo());
                         let msg = Msg::new(p.target, self.inbox, MsgBody::DiscoverReq { req });
                         self.pending.insert(req, p);
                         self.transmit(ctx, msg);
@@ -511,6 +529,7 @@ impl HostNode {
         let Some(&(obj, dest_inbox)) = self.migrations.get(index) else { return };
         let Ok(object) = self.store.remove(obj) else { return };
         self.counters.inc_id(ctr().migrations_done);
+        ctx.trace.mark("discovery.migrate", obj.lo());
         let image = object.to_image();
         let version = object.version();
         // Push the image to the new holder (req 0 marks an unsolicited push).

@@ -35,7 +35,7 @@ pub use destcache::DestCache;
 pub use host::{
     AccessFailure, AccessRecord, DiscoveryMode, FailedAccess, HostConfig, HostNode, StalenessMode,
 };
-pub use scenario::{DiscoveryOutcome, ScenarioConfig, ScenarioKind};
+pub use scenario::{DiscoveryOutcome, ScenarioConfig, ScenarioKind, ScenarioTrace};
 
 /// The controller's well-known inbox object ID (analogous to a well-known
 /// anycast address; must never collide with a random ID, so it sits in the

@@ -14,6 +14,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use rdv_netsim::topo::wire_paper_testbed;
+use rdv_netsim::trace::{Tracer, DEFAULT_CAPACITY};
 use rdv_netsim::{Histogram, LinkSpec, NodeId, Sim, SimConfig, SimTime};
 use rdv_objspace::{ObjId, ObjectKind};
 use rdv_p4rt::capacity::SramBudget;
@@ -22,7 +23,7 @@ use rdv_p4rt::pipeline::{Pipeline, SwitchConfig, SwitchNode};
 use rdv_p4rt::table::{Action, MatchKind, Table};
 
 use crate::controller::{ControllerNode, SwitchInfo};
-use crate::host::{tags, DiscoveryMode, HostConfig, HostNode, StalenessMode};
+use crate::host::{tags, AccessRecord, DiscoveryMode, HostConfig, HostNode, StalenessMode};
 
 /// Which figure's sweep point to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +58,8 @@ pub struct ScenarioConfig {
     pub access_gap: SimTime,
     /// RNG seed (same seed ⇒ identical outcome).
     pub seed: u64,
+    /// Record a causal trace of the run (see [`DiscoveryOutcome::trace`]).
+    pub trace: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -69,8 +72,24 @@ impl Default for ScenarioConfig {
             num_objects: 128,
             access_gap: SimTime::from_micros(100),
             seed: 7,
+            trace: false,
         }
     }
+}
+
+/// The causal trace of one scenario run ([`ScenarioConfig::trace`]),
+/// boxed to keep [`DiscoveryOutcome`] small when tracing is off.
+#[derive(Debug)]
+pub struct ScenarioTrace {
+    /// The recorded event stream.
+    pub tracer: Tracer,
+    /// Node names by node index, for exporter thread labels.
+    pub node_names: Vec<String>,
+    /// The driving host's node index (its events anchor causal chains).
+    pub driver: u32,
+    /// The driver's measured access records; each carries the
+    /// `discovery.access` span-end id critical paths walk back from.
+    pub records: Vec<AccessRecord>,
 }
 
 /// Results of one scenario run.
@@ -88,6 +107,8 @@ pub struct DiscoveryOutcome {
     pub nacks: u64,
     /// Total simulated events processed.
     pub events: u64,
+    /// The causal trace, when [`ScenarioConfig::trace`] was set.
+    pub trace: Option<Box<ScenarioTrace>>,
 }
 
 impl DiscoveryOutcome {
@@ -285,6 +306,9 @@ pub fn run_discovery(cfg: &ScenarioConfig) -> DiscoveryOutcome {
     let n_migrations = h1.migrations.len();
     h0.plan = plan.clone();
     let mut tb = build_testbed(cfg, [h0, h1, h2]);
+    if cfg.trace {
+        tb.sim.enable_trace(DEFAULT_CAPACITY);
+    }
 
     // Schedule: warmups first, then (Fig3) migrations, then measurement.
     let mut t = SimTime::from_micros(1000);
@@ -306,6 +330,7 @@ pub fn run_discovery(cfg: &ScenarioConfig) -> DiscoveryOutcome {
     }
     tb.sim.run_until_idle();
 
+    let trace_parts = cfg.trace.then(|| (tb.sim.node_names(), tb.sim.take_tracer()));
     let driver = tb.sim.node_as::<HostNode>(tb.driver).expect("driver type");
     let mut rtt = Histogram::new();
     let mut broadcasts = 0u64;
@@ -319,6 +344,14 @@ pub fn run_discovery(cfg: &ScenarioConfig) -> DiscoveryOutcome {
         nacks += rec.nacks;
     }
     let completed = measured.len();
+    let trace = trace_parts.map(|(node_names, tracer)| {
+        Box::new(ScenarioTrace {
+            tracer,
+            node_names,
+            driver: tb.driver.0 as u32,
+            records: measured.to_vec(),
+        })
+    });
     DiscoveryOutcome {
         broadcasts_per_100: if completed == 0 {
             0.0
@@ -330,6 +363,7 @@ pub fn run_discovery(cfg: &ScenarioConfig) -> DiscoveryOutcome {
         nacks,
         events: tb.sim.counters.get("sim.events"),
         rtt,
+        trace,
     }
     // `tb.inboxes` kept for future scenarios.
 }
@@ -495,6 +529,86 @@ mod tests {
             nack.mean_us(),
             inv.mean_us()
         );
+    }
+
+    #[test]
+    fn trace_asserts_stale_rediscovery_causal_chain() {
+        // The F3 mid-sweep story, replayed event-by-event: a stale cached
+        // location sends the unicast to the old holder, which NACKs; the
+        // driver broadcasts a rediscovery, the new holder answers, and the
+        // access finally reads — three full legs where a fresh access
+        // takes one.
+        let cfg = ScenarioConfig {
+            kind: ScenarioKind::Fig3Staleness { pct_moved: 60 },
+            mode: DiscoveryMode::E2E,
+            staleness: StalenessMode::NackRediscover,
+            accesses: 40,
+            num_objects: 40,
+            trace: true,
+            ..Default::default()
+        };
+        let out = run_discovery(&cfg);
+        let trace = out.trace.as_ref().expect("tracing was requested");
+        assert_eq!(out.completed, 40);
+        assert_eq!(trace.records.len(), 40);
+
+        let stale = trace
+            .records
+            .iter()
+            .find(|r| r.nacks == 1 && r.broadcasts == 1)
+            .expect("a stale access exists at 60% moved");
+        trace.tracer.assert_chain(
+            stale.trace_end.expect("span end recorded"),
+            trace.driver,
+            &[
+                "timer.set",      // the externally scheduled access
+                "timer.fire",     // ... dispatching on the driver
+                "packet.enqueue", // leg 1: stale unicast ReadReq
+                "packet.transmit",
+                "packet.deliver", // ... answered Nack { NotHere }
+                "packet.enqueue", // leg 2: broadcast DiscoverReq
+                "packet.transmit",
+                "packet.deliver", // ... answered DiscoverResp
+                "packet.enqueue", // leg 3: ReadReq to the new holder
+                "packet.transmit",
+                "packet.deliver", // ... answered ReadResp (the data)
+                "span.end",
+            ],
+        );
+
+        // A fresh access is the same bracket around a single leg.
+        let fresh = trace
+            .records
+            .iter()
+            .find(|r| r.nacks == 0 && r.broadcasts == 0)
+            .expect("a fresh access exists at 60% moved");
+        trace.tracer.assert_chain(
+            fresh.trace_end.expect("span end recorded"),
+            trace.driver,
+            &[
+                "timer.set",
+                "timer.fire",
+                "packet.enqueue",
+                "packet.transmit",
+                "packet.deliver",
+                "span.end",
+            ],
+        );
+
+        // Every measured NACK left a `discovery.stale_nack` mark.
+        let nack_marks = trace
+            .tracer
+            .iter()
+            .filter(|(_, ev)| ev.kind.label() == Some("discovery.stale_nack"))
+            .count() as u64;
+        assert_eq!(nack_marks, out.nacks);
+
+        // Tracing must observe, never perturb: the untraced run is
+        // numerically identical.
+        let base = run_discovery(&ScenarioConfig { trace: false, ..cfg });
+        assert!(base.trace.is_none());
+        assert_eq!(base.events, out.events);
+        assert_eq!(base.rtt.samples(), out.rtt.samples());
     }
 
     #[test]

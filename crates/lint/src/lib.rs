@@ -12,9 +12,11 @@
 //!   escapes.
 //! - **D2 `ambient-*`** — `Instant::now`, `SystemTime`, `thread_rng`,
 //!   `rand::random`, `env::var` are banned in the same crates.
-//! - **D3 `counter-name`** — string literals entering the stats counter API
-//!   must match the dotted lowercase scheme, and `sim.*` names must exist in
-//!   the pre-interned engine registry.
+//! - **D3 `counter-name` / `event-name`** — string literals entering the
+//!   stats counter API must match the dotted lowercase scheme, and `sim.*`
+//!   names must exist in the pre-interned engine registry. Trace span/mark
+//!   labels (`span_begin`, `span_end`, `mark`, `mark_linked`) follow the
+//!   same scheme, as does every entry of the rdv-trace `EVENT_NAMES` table.
 //! - **D4 `wire-parity`** — every variant of the wire-message enums must be
 //!   handled by both the encode and decode functions.
 //!
@@ -51,7 +53,7 @@ impl std::fmt::Display for Diagnostic {
 /// `bench` sit outside the sim boundary (they may time real wall-clock work);
 /// `det` wraps a `HashMap` internally by design (its index is never iterated).
 pub const DET_CRATES: &[&str] =
-    &["netsim", "memproto", "discovery", "objspace", "core", "wire", "p4rt", "crdt"];
+    &["netsim", "memproto", "discovery", "objspace", "core", "wire", "p4rt", "crdt", "trace"];
 
 /// D4 targets: wire enums and the functions that must cover every variant.
 const PARITY_TARGETS: &[(&str, &[ParityTarget])] = &[
@@ -99,6 +101,17 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
                 lint_dir(root, &dir, &cfg, &mut diags)?;
             }
         }
+    }
+
+    let event_rel = "crates/trace/src/event.rs";
+    match fs::read_to_string(root.join(event_rel)) {
+        Ok(src) => diags.extend(rules::lint_event_names(event_rel, &src)),
+        Err(_) => diags.push(Diagnostic {
+            file: event_rel.to_string(),
+            line: 1,
+            rule: "D3/event-name".to_string(),
+            message: "event-name table file is missing".to_string(),
+        }),
     }
 
     for (rel, targets) in PARITY_TARGETS {

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 /// Suppression categories accepted by `// rdv-lint: allow(<category>) -- <reason>`.
 pub const ALLOW_CATEGORIES: &[&str] =
-    &["hash-order", "ambient-time", "ambient-rand", "ambient-env", "counter-name"];
+    &["hash-order", "ambient-time", "ambient-rand", "ambient-env", "counter-name", "event-name"];
 
 /// Configuration shared across files.
 pub struct LintConfig {
@@ -265,6 +265,39 @@ pub fn lint_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
                 );
             }
         }
+
+        // D3: trace event-name discipline. Span and mark labels entering the
+        // rdv-trace API follow the same dotted lowercase scheme as counters:
+        // `.span_begin("…")`, `.span_end("…")`, `.mark("…")`, `.mark_linked("…")`.
+        if t.kind == TokKind::Punct && t.text == "." {
+            if let (Some(name), Some(open), Some(arg)) =
+                (code.get(i + 1), code.get(i + 2), code.get(i + 3))
+            {
+                if name.kind == TokKind::Ident
+                    && matches!(
+                        name.text.as_str(),
+                        "span_begin" | "span_end" | "mark" | "mark_linked"
+                    )
+                    && open.text == "("
+                    && arg.kind == TokKind::StrLit
+                    && !counter_name_ok(&arg.text)
+                {
+                    push(
+                        &mut diags,
+                        &allow,
+                        file,
+                        arg.line,
+                        "D3/event-name",
+                        "event-name",
+                        format!(
+                            "trace event name `{}` violates the dotted lowercase scheme \
+                             `[a-z0-9_]+(.[a-z0-9_]+)*`",
+                            arg.text
+                        ),
+                    );
+                }
+            }
+        }
     }
     diags
 }
@@ -403,12 +436,18 @@ fn fn_body<'t>(code: &[&'t Token], name: &str) -> Option<(usize, Vec<&'t Token>)
 /// Parse the engine counter registry out of `stats.rs` source: the string
 /// literals inside the `ENGINE_SLOTS` array.
 pub fn parse_engine_slots(stats_src: &str) -> Vec<String> {
-    let tokens = tokenize(stats_src);
+    parse_str_array(stats_src, "ENGINE_SLOTS").into_iter().map(|(name, _)| name).collect()
+}
+
+/// Collect the string literals (with their lines) inside the array literal
+/// assigned to `const_name`.
+fn parse_str_array(src: &str, const_name: &str) -> Vec<(String, usize)> {
+    let tokens = tokenize(src);
     let code: Vec<&Token> = tokens
         .iter()
         .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
         .collect();
-    let Some(start) = code.iter().position(|t| t.text == "ENGINE_SLOTS") else {
+    let Some(start) = code.iter().position(|t| t.text == const_name) else {
         return Vec::new();
     };
     let mut names = Vec::new();
@@ -431,12 +470,45 @@ pub fn parse_engine_slots(stats_src: &str) -> Vec<String> {
                     break;
                 }
             }
-            _ if code[i].kind == TokKind::StrLit => names.push(code[i].text.clone()),
+            _ if code[i].kind == TokKind::StrLit => {
+                names.push((code[i].text.clone(), code[i].line));
+            }
             _ => {}
         }
         i += 1;
     }
     names
+}
+
+/// D3 over the canonical trace event-name table: every entry of
+/// `EVENT_NAMES` in `crates/trace/src/event.rs` must satisfy the dotted
+/// lowercase scheme. An unparseable table is itself a finding — the
+/// exporters and the D3 trace-label check both lean on it.
+pub fn lint_event_names(file: &str, src: &str) -> Vec<Diagnostic> {
+    let names = parse_str_array(src, "EVENT_NAMES");
+    if names.is_empty() {
+        return vec![Diagnostic {
+            file: file.to_string(),
+            line: 1,
+            rule: "D3/event-name".to_string(),
+            message: "could not parse the EVENT_NAMES table; engine event names are \
+                      unverifiable"
+                .to_string(),
+        }];
+    }
+    names
+        .into_iter()
+        .filter(|(name, _)| !counter_name_ok(name))
+        .map(|(name, line)| Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: "D3/event-name".to_string(),
+            message: format!(
+                "event name `{name}` violates the dotted lowercase scheme \
+                 `[a-z0-9_]+(.[a-z0-9_]+)*`"
+            ),
+        })
+        .collect()
 }
 
 /// Keep diagnostics deterministic and readable: sort by file, line, rule.

@@ -1,0 +1,11 @@
+fn trace_names(ctx: &mut Ctx) {
+    let s = ctx.trace.span_begin("Discovery.Access", 1);
+    ctx.trace.span_end("discovery access", s);
+    ctx.trace.mark("discovery..broadcast", 2);
+    ctx.trace.mark_linked("CamelCase", 3, s);
+    let ok = ctx.trace.span_begin("discovery.access", 1);
+    ctx.trace.span_end("discovery.access", ok);
+    ctx.trace.mark("transport.retransmit_2", 4);
+    // rdv-lint: allow(event-name) -- legacy label kept for trace diffing
+    ctx.trace.mark("Legacy-Name", 5);
+}

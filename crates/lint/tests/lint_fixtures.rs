@@ -72,6 +72,34 @@ fn d3_enforces_name_scheme_and_sim_registry() {
 }
 
 #[test]
+fn d3_enforces_event_name_scheme_on_trace_labels() {
+    let diags = lint_source("d3_trace.rs", &fixture("d3_trace.rs"), &stub_cfg());
+    assert_eq!(
+        locs(&diags),
+        vec![
+            (2, "D3/event-name"),
+            (3, "D3/event-name"),
+            (4, "D3/event-name"),
+            (5, "D3/event-name"),
+        ],
+        "good labels (lines 6–8) and the allowed one (line 10) must pass; got: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("dotted lowercase"));
+}
+
+#[test]
+fn event_name_table_is_validated() {
+    use rdv_lint::rules::lint_event_names;
+    let bad =
+        "pub const EVENT_NAMES: &[&str] = &[\n    \"packet.enqueue\",\n    \"Bad.Name\",\n];\n";
+    let diags = lint_event_names("event.rs", bad);
+    assert_eq!(locs(&diags), vec![(3, "D3/event-name")], "got: {diags:#?}");
+    let missing = "pub const OTHER: &[&str] = &[\"x\"];\n";
+    let diags = lint_event_names("event.rs", missing);
+    assert_eq!(locs(&diags), vec![(1, "D3/event-name")], "unparseable table is a finding");
+}
+
+#[test]
 fn d4_reports_decode_missing_a_variant() {
     let target = [ParityTarget { enum_name: "Frame", fns: &["encode", "decode"] }];
     let diags = lint_enum_parity("d4_parity.rs", &fixture("d4_parity.rs"), &target);

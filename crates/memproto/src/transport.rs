@@ -52,6 +52,10 @@ struct Unacked {
     inner: Vec<u8>,
     sent_at: SimTime,
     retries: u32,
+    /// Opaque caller token carried from [`ReliableEndpoint::send_traced`]
+    /// to [`ReliableEndpoint::poll_retransmits_traced`] (e.g. a raw
+    /// rdv-trace event id, so a retransmit can cite its original send).
+    token: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -144,10 +148,26 @@ impl ReliableEndpoint {
     /// Queue `inner` (a bare message, see [`MsgBody::encode_bare`]) to
     /// `peer`; returns the packet to transmit now.
     pub fn send(&mut self, now: SimTime, peer: ObjId, inner: Vec<u8>) -> Msg {
+        self.send_traced(now, peer, inner, None)
+    }
+
+    /// Like [`ReliableEndpoint::send`], additionally attaching an opaque
+    /// `token` to the segment. The transport never interprets it; it comes
+    /// back from [`ReliableEndpoint::poll_retransmits_traced`] with every
+    /// retransmission of this segment, which lets a tracing caller link
+    /// retransmits to the original send without this sans-io layer
+    /// depending on the trace crate.
+    pub fn send_traced(
+        &mut self,
+        now: SimTime,
+        peer: ObjId,
+        inner: Vec<u8>,
+        token: Option<u64>,
+    ) -> Msg {
         let flow = self.flows.entry(peer).or_default();
         let seq = flow.next_seq;
         flow.next_seq += 1;
-        flow.unacked.insert(seq, Unacked { inner: inner.clone(), sent_at: now, retries: 0 });
+        flow.unacked.insert(seq, Unacked { inner: inner.clone(), sent_at: now, retries: 0, token });
         let ack = flow.cum_ack();
         Msg::new(peer, self.local, MsgBody::RelData { seq, ack, inner })
     }
@@ -198,6 +218,13 @@ impl ReliableEndpoint {
     /// moved to [`ReliableEndpoint::failed`]. A poll in which any of a
     /// flow's segments time out deepens that flow's backoff one step.
     pub fn poll_retransmits(&mut self, now: SimTime) -> Vec<Msg> {
+        self.poll_retransmits_traced(now).into_iter().map(|(msg, _)| msg).collect()
+    }
+
+    /// Like [`ReliableEndpoint::poll_retransmits`], pairing each
+    /// retransmitted packet with the opaque token its segment was sent
+    /// with ([`ReliableEndpoint::send_traced`]).
+    pub fn poll_retransmits_traced(&mut self, now: SimTime) -> Vec<(Msg, Option<u64>)> {
         let mut out = Vec::new();
         let cfg = self.cfg;
         for (&peer, flow) in &mut self.flows {
@@ -217,10 +244,13 @@ impl ReliableEndpoint {
                 u.retries += 1;
                 u.sent_at = now;
                 self.retransmits += 1;
-                out.push(Msg::new(
-                    peer,
-                    self.local,
-                    MsgBody::RelData { seq, ack, inner: u.inner.clone() },
+                out.push((
+                    Msg::new(
+                        peer,
+                        self.local,
+                        MsgBody::RelData { seq, ack, inner: u.inner.clone() },
+                    ),
+                    u.token,
                 ));
             }
             if timed_out {
@@ -479,6 +509,29 @@ mod tests {
         assert!(a.poll_retransmits(deadline).is_empty());
         assert_eq!(a.failed, vec![(ObjId(0xB), 1)]);
         assert_eq!(a.next_deadline(), None);
+    }
+
+    #[test]
+    fn trace_tokens_ride_every_retransmission_of_their_segment() {
+        let cfg =
+            TransportConfig { rto: SimTime::from_micros(100), max_retries: 5, backoff_cap: 0 };
+        let mut a = ReliableEndpoint::new(ObjId(0xA), cfg);
+        a.send_traced(SimTime::ZERO, ObjId(0xB), bare(1), Some(0xCAFE));
+        a.send(SimTime::ZERO, ObjId(0xB), bare(2)); // untraced neighbour
+        for round in 1..=2u64 {
+            let out = a.poll_retransmits(SimTime::from_micros(100 * round));
+            assert_eq!(out.len(), 2, "untokened poll still retransmits everything");
+            // (Interleave: the untraced poll and the traced poll agree.)
+            let traced = a.poll_retransmits_traced(SimTime::from_micros(100 * round + 50));
+            assert!(traced.is_empty(), "nothing due again yet");
+        }
+        let due = a.poll_retransmits_traced(SimTime::from_micros(300));
+        let tokens: Vec<Option<u64>> = due.iter().map(|(_, t)| *t).collect();
+        assert_eq!(tokens, vec![Some(0xCAFE), None]);
+        match &due[0].0.body {
+            MsgBody::RelData { seq, .. } => assert_eq!(*seq, 1, "token follows its segment"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

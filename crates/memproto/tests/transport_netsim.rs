@@ -4,6 +4,7 @@
 
 use rdv_memproto::msg::{Msg, MsgBody};
 use rdv_memproto::transport::{ReliableEndpoint, TransportConfig};
+use rdv_netsim::trace::EventId;
 use rdv_netsim::{FaultPlan, LinkSpec, Node, NodeCtx, Packet, PortId, Sim, SimConfig, SimTime};
 use rdv_objspace::ObjId;
 
@@ -49,7 +50,14 @@ impl TunnelNode {
     }
 
     fn pump_retransmits(&mut self, ctx: &mut NodeCtx<'_>) {
-        for msg in self.ep.poll_retransmits(ctx.now) {
+        for (msg, token) in self.ep.poll_retransmits_traced(ctx.now) {
+            let seq = match msg.body {
+                MsgBody::RelData { seq, .. } => seq,
+                _ => 0,
+            };
+            // The aux edge cites the original send's mark — the causal
+            // link the engine cannot infer on its own.
+            ctx.trace.mark_linked("transport.retransmit", seq, token.map(EventId::from_raw));
             self.push(ctx, msg);
         }
         if self.ep.in_flight() > 0 {
@@ -62,8 +70,9 @@ impl Node for TunnelNode {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         let outbox = std::mem::take(&mut self.outbox);
         let peer = self.peer;
-        for inner in outbox {
-            let msg = self.ep.send(ctx.now, peer, inner);
+        for (i, inner) in outbox.into_iter().enumerate() {
+            let token = ctx.trace.mark("transport.send", i as u64).map(EventId::as_raw);
+            let msg = self.ep.send_traced(ctx.now, peer, inner, token);
             self.push(ctx, msg);
         }
         if self.ep.in_flight() > 0 {
@@ -231,6 +240,43 @@ fn receiver_crash_and_restart_preserves_exactly_once_delivery() {
     assert_eq!(out.delivered, payloads(40), "delivery is exactly once, in order");
     assert!(out.retransmits > 0, "the dead window must force retransmission");
     assert!(out.sender_failed.is_empty());
+}
+
+#[test]
+fn retransmit_marks_cite_their_original_send() {
+    // Under loss, every `transport.retransmit` mark in the causal trace
+    // must carry an aux edge back to the `transport.send` mark of the
+    // segment's first transmission — the retransmit→original link the
+    // engine cannot infer from packet flow alone.
+    let mut sim = Sim::new(SimConfig { seed: 2, ..Default::default() });
+    sim.enable_trace(1 << 16);
+    let a =
+        sim.add_node(Box::new(TunnelNode::new(ObjId(0xA), ObjId(0xB), payloads(30), tunnel_cfg())));
+    let b =
+        sim.add_node(Box::new(TunnelNode::new(ObjId(0xB), ObjId(0xA), Vec::new(), tunnel_cfg())));
+    sim.connect(a, b, LinkSpec::rack().with_loss(200));
+    sim.run_until_idle();
+
+    let tracer = sim.take_tracer();
+    let retransmit_marks: Vec<_> = tracer
+        .iter()
+        .filter(|(_, ev)| ev.kind.label() == Some("transport.retransmit"))
+        .map(|(_, ev)| *ev)
+        .collect();
+    assert!(!retransmit_marks.is_empty(), "20% loss must force retransmission");
+    for mark in &retransmit_marks {
+        let orig = mark.aux.expect("every retransmit links its original send");
+        let orig_ev = tracer.get(orig).expect("original send retained");
+        assert_eq!(orig_ev.kind.label(), Some("transport.send"));
+        assert_eq!(orig_ev.node, mark.node, "endpoints retransmit their own segments");
+        assert!(orig_ev.at < mark.at, "the original strictly precedes the retransmit");
+    }
+    let sender = sim.node_as::<TunnelNode>(a).unwrap();
+    assert_eq!(
+        retransmit_marks.len() as u64,
+        sender.ep.retransmits,
+        "one mark per transport-level retransmission"
+    );
 }
 
 #[test]

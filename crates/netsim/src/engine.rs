@@ -11,6 +11,9 @@ use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rdv_trace::{
+    DropReason, EventId, EventKind as TraceKind, FaultKind, TraceCtx, Tracer, ENGINE_NODE,
+};
 
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::link::{Link, LinkId, LinkRate, LinkSpec};
@@ -91,6 +94,9 @@ struct Event {
     at: SimTime,
     seq: u64,
     kind: EventKind,
+    /// Trace provenance: the recorded event that put this one on the heap
+    /// (a packet's transmit, a timer's set). `None` when tracing is off.
+    trace: Option<EventId>,
 }
 
 impl PartialEq for Event {
@@ -142,6 +148,17 @@ pub struct Sim {
     /// loop allocates nothing in steady state.
     scratch_sends: Vec<(PortId, Packet)>,
     scratch_timers: Vec<(SimTime, u64)>,
+    /// Causal-trace recorder (see [`Sim::enable_trace`]). Disabled by
+    /// default: every emission site is a single branch and nothing
+    /// allocates.
+    pub tracer: Tracer,
+    /// Per node: trace id of the most recent crash fault, for the
+    /// fault→dropped-delivery aux edge.
+    crash_trace: Vec<Option<EventId>>,
+    /// Per link: trace id of the most recent link-state fault.
+    link_fault_trace: Vec<Option<EventId>>,
+    /// Per partition: trace id of the fault that activated it.
+    partition_fault_trace: Vec<Option<EventId>>,
 }
 
 impl Sim {
@@ -165,7 +182,30 @@ impl Sim {
             active_partitions: 0,
             scratch_sends: Vec::new(),
             scratch_timers: Vec::new(),
+            tracer: Tracer::disabled(),
+            crash_trace: Vec::new(),
+            link_fault_trace: Vec::new(),
+            partition_fault_trace: Vec::new(),
         }
+    }
+
+    /// Turn on causal tracing, retaining the most recent `capacity`
+    /// events. Call before running; the recorded stream (ids included) is
+    /// deterministic per seed.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.tracer = Tracer::enabled(capacity);
+    }
+
+    /// Extract the tracer, leaving a disabled one behind — how harnesses
+    /// keep the trace after the simulation is dropped.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::replace(&mut self.tracer, Tracer::disabled())
+    }
+
+    /// The nodes' [`Node::name`]s in id order — the track labels trace
+    /// exporters want.
+    pub fn node_names(&self) -> Vec<String> {
+        self.nodes.iter().map(|n| n.name().to_string()).collect()
     }
 
     /// Current simulated time.
@@ -180,6 +220,7 @@ impl Sim {
         self.ports.push(Vec::new());
         self.alive.push(true);
         self.epochs.push(0);
+        self.crash_trace.push(None);
         id
     }
 
@@ -211,6 +252,7 @@ impl Sim {
         });
         self.ports[a.0].push(id);
         self.ports[b.0].push(id);
+        self.link_fault_trace.push(None);
         (pa, pb)
     }
 
@@ -226,7 +268,19 @@ impl Sim {
         let epoch = self.epochs[node.0];
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Event { at, seq, kind: EventKind::Timer { node, tag, epoch } }));
+        let trace = self.tracer.record(
+            self.clock.as_nanos(),
+            node.0 as u32,
+            TraceKind::TimerSet { tag },
+            None,
+            None,
+        );
+        self.heap.push(Reverse(Event {
+            at,
+            seq,
+            kind: EventKind::Timer { node, tag, epoch },
+            trace,
+        }));
     }
 
     /// Install a [`FaultPlan`]: resolve its link references against the
@@ -264,6 +318,7 @@ impl Sim {
                         right: right.clone(),
                         active: false,
                     });
+                    self.partition_fault_trace.push(None);
                     self.push_fault(*at, FaultAction::PartitionOn { id });
                     self.push_fault(*until, FaultAction::PartitionOff { id });
                 }
@@ -291,12 +346,44 @@ impl Sim {
     fn push_fault(&mut self, at: SimTime, action: FaultAction) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Event { at, seq, kind: EventKind::Fault(action) }));
+        self.heap.push(Reverse(Event { at, seq, kind: EventKind::Fault(action), trace: None }));
+    }
+
+    /// Record the trace event for a fault action and remember its id where
+    /// later drops will need it for aux edges.
+    fn trace_fault(&mut self, action: &FaultAction) -> Option<EventId> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        let kind = match action {
+            FaultAction::LinkState { .. } => FaultKind::LinkState,
+            FaultAction::LossOverride { .. } => FaultKind::LossOverride,
+            FaultAction::PartitionOn { .. } => FaultKind::PartitionOn,
+            FaultAction::PartitionOff { .. } => FaultKind::PartitionOff,
+            FaultAction::Crash { .. } => FaultKind::Crash,
+            FaultAction::Restart { .. } => FaultKind::Restart,
+        };
+        let id = self.tracer.record(
+            self.clock.as_nanos(),
+            ENGINE_NODE,
+            TraceKind::Fault(kind),
+            None,
+            None,
+        );
+        match action {
+            FaultAction::LinkState { link, down: true } => self.link_fault_trace[link.0] = id,
+            FaultAction::PartitionOn { id: p } => self.partition_fault_trace[*p] = id,
+            FaultAction::Crash { node } => self.crash_trace[node.0] = id,
+            _ => {}
+        }
+        id
     }
 
     /// Flip the engine state a fault action describes. Restarts re-enter
-    /// the node via [`Node::on_restart`] so it can re-arm its timers.
-    fn apply_fault(&mut self, action: FaultAction) {
+    /// the node via [`Node::on_restart`] so it can re-arm its timers;
+    /// `trace` is the fault's own trace event, which becomes the causal
+    /// parent of whatever the restart handler does.
+    fn apply_fault(&mut self, action: FaultAction, trace: Option<EventId>) {
         match action {
             FaultAction::LinkState { link, down } => self.links[link.0].down = down,
             FaultAction::LossOverride { link, loss } => self.links[link.0].loss_override = loss,
@@ -323,15 +410,15 @@ impl Sim {
             FaultAction::Restart { node } => {
                 if !self.alive[node.0] {
                     self.alive[node.0] = true;
-                    self.dispatch(node, |n, ctx| n.on_restart(ctx));
+                    self.dispatch(node, trace, |n, ctx| n.on_restart(ctx));
                 }
             }
         }
     }
 
-    /// True when an active partition separates `a` from `b`.
-    fn partition_blocks(&self, a: NodeId, b: NodeId) -> bool {
-        self.partitions.iter().any(|p| p.active && p.separates(a, b))
+    /// The index of an active partition separating `a` from `b`, if any.
+    fn blocking_partition(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        self.partitions.iter().position(|p| p.active && p.separates(a, b))
     }
 
     /// Borrow a node's behaviour, downcast to its concrete type.
@@ -348,42 +435,93 @@ impl Sim {
     /// apply whatever it queued. The buffers are `mem::take`n around the
     /// callback so their capacity is reused event after event — the loop's
     /// steady state performs no heap allocation.
-    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>)) {
+    fn dispatch(
+        &mut self,
+        node: NodeId,
+        cause: Option<EventId>,
+        f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>),
+    ) {
         let mut sends = std::mem::take(&mut self.scratch_sends);
         let mut timers = std::mem::take(&mut self.scratch_timers);
         sends.clear();
         timers.clear();
         {
+            let trace = TraceCtx::new(
+                self.tracer.is_enabled().then_some(&mut self.tracer),
+                self.clock.as_nanos(),
+                node.0 as u32,
+                cause,
+            );
             let mut ctx = NodeCtx::new(
                 node,
                 self.clock,
                 self.ports[node.0].len(),
                 &mut self.rng,
+                trace,
                 &mut sends,
                 &mut timers,
             );
             f(self.nodes[node.0].as_mut(), &mut ctx);
         }
-        self.apply_actions(node, &mut sends, &mut timers);
+        self.apply_actions(node, cause, &mut sends, &mut timers);
         self.scratch_sends = sends;
         self.scratch_timers = timers;
+    }
+
+    /// Record a drop at the admission path (no-op when tracing is off).
+    fn trace_drop(
+        &mut self,
+        node: NodeId,
+        reason: DropReason,
+        enq: Option<EventId>,
+        aux: Option<EventId>,
+    ) {
+        if self.tracer.is_enabled() {
+            self.tracer.record(
+                self.clock.as_nanos(),
+                node.0 as u32,
+                TraceKind::PacketDrop(reason),
+                enq,
+                aux,
+            );
+        }
     }
 
     fn apply_actions(
         &mut self,
         node: NodeId,
+        cause: Option<EventId>,
         sends: &mut Vec<(PortId, Packet)>,
         timers: &mut Vec<(SimTime, u64)>,
     ) {
+        let tracing = self.tracer.is_enabled();
         for (port, packet) in sends.drain(..) {
             self.counters.inc_id(SIM_PACKETS_SENT);
+            // The enqueue event roots this packet's causal chain at the
+            // dispatch event the node was handling when it sent.
+            let enq = if tracing {
+                self.tracer.record(
+                    self.clock.as_nanos(),
+                    node.0 as u32,
+                    TraceKind::PacketEnqueue {
+                        port: port.0 as u32,
+                        bytes: packet.wire_len() as u32,
+                    },
+                    cause,
+                    None,
+                )
+            } else {
+                None
+            };
             let Some(&link_id) = self.ports[node.0].get(port.0) else {
                 self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
+                self.trace_drop(node, DropReason::BadPort, enq, None);
                 continue;
             };
             let link = &self.links[link_id.0];
             let Some((dir, dst, dst_port)) = link.direction_from(node, port) else {
                 self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
+                self.trace_drop(node, DropReason::BadPort, enq, None);
                 continue;
             };
             let spec = link.spec;
@@ -392,21 +530,30 @@ impl Sim {
             // never perturb the RNG stream of surviving traffic paths.
             if link.down {
                 self.counters.inc_id(SIM_PACKETS_DROPPED_LINK_DOWN);
+                let fault = self.link_fault_trace[link_id.0];
+                self.trace_drop(node, DropReason::LinkDown, enq, fault);
                 continue;
             }
             let loss = link.loss_override.unwrap_or(spec.loss_permille);
             if !self.alive[dst.0] {
                 self.counters.inc_id(SIM_PACKETS_DROPPED_DEAD_NODE);
+                let fault = self.crash_trace[dst.0];
+                self.trace_drop(node, DropReason::DeadNode, enq, fault);
                 continue;
             }
-            if self.active_partitions > 0 && self.partition_blocks(node, dst) {
-                self.counters.inc_id(SIM_PACKETS_DROPPED_PARTITION);
-                continue;
+            if self.active_partitions > 0 {
+                if let Some(p) = self.blocking_partition(node, dst) {
+                    self.counters.inc_id(SIM_PACKETS_DROPPED_PARTITION);
+                    let fault = self.partition_fault_trace[p];
+                    self.trace_drop(node, DropReason::Partition, enq, fault);
+                    continue;
+                }
             }
             if loss > 0 {
                 use rand::Rng;
                 if self.rng.gen_range(0..1000u32) < u32::from(loss) {
                     self.counters.inc_id(SIM_PACKETS_LOST);
+                    self.trace_drop(node, DropReason::Loss, enq, None);
                     continue;
                 }
             }
@@ -420,14 +567,30 @@ impl Sim {
                     let seq = self.seq;
                     self.seq += 1;
                     let epoch = self.epochs[dst.0];
+                    // Timestamp the transmit at serialization completion
+                    // (arrival minus propagation), so queue wait and wire
+                    // time separate cleanly on critical paths.
+                    let trace = if tracing {
+                        self.tracer.record(
+                            (arrival - spec.latency).as_nanos(),
+                            node.0 as u32,
+                            TraceKind::PacketTransmit,
+                            enq,
+                            None,
+                        )
+                    } else {
+                        None
+                    };
                     self.heap.push(Reverse(Event {
                         at: arrival,
                         seq,
                         kind: EventKind::Deliver { node: dst, port: dst_port, packet, epoch },
+                        trace,
                     }));
                 }
                 None => {
                     self.counters.inc_id(SIM_PACKETS_DROPPED);
+                    self.trace_drop(node, DropReason::QueueFull, enq, None);
                 }
             }
         }
@@ -435,7 +598,23 @@ impl Sim {
         for (at, tag) in timers.drain(..) {
             let seq = self.seq;
             self.seq += 1;
-            self.heap.push(Reverse(Event { at, seq, kind: EventKind::Timer { node, tag, epoch } }));
+            let trace = if tracing {
+                self.tracer.record(
+                    self.clock.as_nanos(),
+                    node.0 as u32,
+                    TraceKind::TimerSet { tag },
+                    cause,
+                    None,
+                )
+            } else {
+                None
+            };
+            self.heap.push(Reverse(Event {
+                at,
+                seq,
+                kind: EventKind::Timer { node, tag, epoch },
+                trace,
+            }));
         }
     }
 
@@ -445,7 +624,7 @@ impl Sim {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            self.dispatch(NodeId(i), |n, ctx| n.on_start(ctx));
+            self.dispatch(NodeId(i), None, |n, ctx| n.on_start(ctx));
         }
     }
 
@@ -481,22 +660,57 @@ impl Sim {
                         // Destination crashed after admission: the packet
                         // evaporates with the incarnation it targeted.
                         self.counters.inc_id(SIM_DELIVERIES_DROPPED_CRASH);
+                        let fault = self.crash_trace[node.0];
+                        self.trace_drop(node, DropReason::Crash, ev.trace, fault);
                     } else {
                         self.counters.inc_id(SIM_PACKETS_DELIVERED);
-                        self.dispatch(node, |n, ctx| n.on_packet(ctx, port, packet));
+                        let deliver = if self.tracer.is_enabled() {
+                            self.tracer.record(
+                                self.clock.as_nanos(),
+                                node.0 as u32,
+                                TraceKind::PacketDeliver { port: port.0 as u32 },
+                                ev.trace,
+                                None,
+                            )
+                        } else {
+                            None
+                        };
+                        self.dispatch(node, deliver, |n, ctx| n.on_packet(ctx, port, packet));
                     }
                 }
                 EventKind::Timer { node, tag, epoch } => {
                     if !self.alive[node.0] || epoch != self.epochs[node.0] {
                         self.counters.inc_id(SIM_TIMERS_DROPPED_CRASH);
+                        if self.tracer.is_enabled() {
+                            let fault = self.crash_trace[node.0];
+                            self.tracer.record(
+                                self.clock.as_nanos(),
+                                node.0 as u32,
+                                TraceKind::TimerDrop { tag },
+                                ev.trace,
+                                fault,
+                            );
+                        }
                     } else {
                         self.counters.inc_id(SIM_TIMERS);
-                        self.dispatch(node, |n, ctx| n.on_timer(ctx, tag));
+                        let fire = if self.tracer.is_enabled() {
+                            self.tracer.record(
+                                self.clock.as_nanos(),
+                                node.0 as u32,
+                                TraceKind::TimerFire { tag },
+                                ev.trace,
+                                None,
+                            )
+                        } else {
+                            None
+                        };
+                        self.dispatch(node, fire, |n, ctx| n.on_timer(ctx, tag));
                     }
                 }
                 EventKind::Fault(action) => {
                     self.counters.inc_id(SIM_FAULTS_APPLIED);
-                    self.apply_fault(action);
+                    let trace = self.trace_fault(&action);
+                    self.apply_fault(action, trace);
                 }
             }
         }
@@ -881,5 +1095,154 @@ mod tests {
         sim.run_until_idle();
         // 4 one-way traversals × 600 ns.
         assert_eq!(sim.node_as::<Pinger>(p).unwrap().rtt, Some(SimTime::from_nanos(2400)));
+    }
+
+    #[test]
+    fn tracing_disabled_by_default_records_nothing() {
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pinger { out: PortId(0), sent_at: None, rtt: None }));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        sim.run_until_idle();
+        assert!(!sim.tracer.is_enabled());
+        assert_eq!(sim.tracer.count(), 0);
+    }
+
+    #[test]
+    fn trace_packet_chain_links_enqueue_transmit_deliver() {
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pinger { out: PortId(0), sent_at: None, rtt: None }));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        sim.enable_trace(1 << 12);
+        sim.run_until_idle();
+
+        // The last deliver is the echo arriving back at the pinger; its
+        // ancestry must run all the way to the original send with the
+        // engine taxonomy in order.
+        let (last_deliver, _) = sim
+            .tracer
+            .iter()
+            .filter(|(_, ev)| ev.kind.name() == "packet.deliver")
+            .last()
+            .expect("a delivery was traced");
+        assert_eq!(
+            sim.tracer
+                .chain_names(last_deliver)
+                .into_iter()
+                .map(|(_, name)| name)
+                .collect::<Vec<_>>(),
+            vec![
+                "packet.enqueue",  // pinger sends (on_start, no cause)
+                "packet.transmit", // onto the wire
+                "packet.deliver",  // echo receives
+                "packet.enqueue",  // echo replies — caused by the delivery
+                "packet.transmit",
+                "packet.deliver", // back at the pinger
+            ]
+        );
+        // Timestamps along the chain: enqueue at 0, transmit at 100 (tx
+        // time of 100 B at 1 B/ns), deliver at 600 (500 ns latency).
+        let chain = sim.tracer.ancestry(last_deliver);
+        let times: Vec<u64> =
+            chain.iter().rev().map(|id| sim.tracer.get(*id).unwrap().at).collect();
+        assert_eq!(times, vec![0, 100, 600, 600, 700, 1200]);
+    }
+
+    #[test]
+    fn trace_timer_set_fire_edge() {
+        struct OneShot;
+        impl Node for OneShot {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.set_timer(SimTime::from_micros(3), 42);
+            }
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: Packet) {}
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let n = sim.add_node(Box::new(OneShot));
+        sim.enable_trace(64);
+        sim.run_until_idle();
+        let (fire, fire_ev) =
+            sim.tracer.iter().find(|(_, ev)| ev.kind.name() == "timer.fire").expect("fire traced");
+        let set_ev = sim.tracer.get(fire_ev.cause.expect("fire has a cause")).unwrap();
+        assert_eq!(set_ev.kind.name(), "timer.set");
+        assert_eq!(set_ev.at, 0);
+        assert_eq!(fire_ev.at, 3000);
+        sim.tracer.assert_chain(fire, n.0 as u32, &["timer.set", "timer.fire"]);
+    }
+
+    #[test]
+    fn trace_crash_drop_carries_fault_aux_edge() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pacer::new(10)));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        let plan = FaultPlan::new()
+            .crash(SimTime::from_micros(31), p)
+            .restart(SimTime::from_micros(60), p);
+        sim.install_fault_plan(&plan);
+        sim.enable_trace(1 << 12);
+        sim.run_until_idle();
+
+        let crash = sim
+            .tracer
+            .iter()
+            .find(|(_, ev)| ev.kind.name() == "fault.crash")
+            .map(|(id, _)| id)
+            .expect("crash fault traced");
+        let (_, drop_ev) = sim
+            .tracer
+            .iter()
+            .find(|(_, ev)| ev.kind.name() == "packet.drop.crash")
+            .expect("the in-flight echo drop is traced");
+        assert_eq!(drop_ev.aux, Some(crash), "drop links to the fault that caused it");
+        assert_eq!(
+            sim.tracer.get(drop_ev.cause.unwrap()).unwrap().kind.name(),
+            "packet.transmit",
+            "drop keeps its packet provenance too"
+        );
+        // The armed pacing timer died the same way.
+        let (_, tdrop) =
+            sim.tracer.iter().find(|(_, ev)| ev.kind.name() == "timer.drop").expect("timer drop");
+        assert_eq!(tdrop.aux, Some(crash));
+        // And the restart dispatch is caused by the restart fault.
+        let restart = sim
+            .tracer
+            .iter()
+            .find(|(_, ev)| ev.kind.name() == "fault.restart")
+            .map(|(id, _)| id)
+            .unwrap();
+        let resumed = sim
+            .tracer
+            .iter()
+            .any(|(_, ev)| ev.cause == Some(restart) && ev.kind.name() == "packet.enqueue");
+        assert!(resumed, "the pacer's post-restart send is rooted at the restart fault");
+    }
+
+    #[test]
+    fn trace_stream_is_deterministic_and_exports_identically() {
+        fn run() -> (rdv_trace::Tracer, Vec<String>) {
+            let mut sim = Sim::new(SimConfig { seed: 9, ..Default::default() });
+            let p = sim.add_node(Box::new(Pacer::new(25)));
+            let e = sim.add_node(Box::new(Echo));
+            sim.connect(p, e, spec_1b_per_ns().with_loss(100));
+            sim.enable_trace(1 << 12);
+            sim.run_until_idle();
+            let names = sim.node_names();
+            (sim.take_tracer(), names)
+        }
+        let (t1, n1) = run();
+        let (t2, n2) = run();
+        assert_eq!(t1.count(), t2.count());
+        assert_eq!(
+            rdv_trace::export::chrome_json(&t1, &n1),
+            rdv_trace::export::chrome_json(&t2, &n2),
+            "trace JSON must be byte-identical per seed"
+        );
+        assert_eq!(
+            rdv_trace::export::text_timeline(&t1, &n1),
+            rdv_trace::export::text_timeline(&t2, &n2)
+        );
     }
 }

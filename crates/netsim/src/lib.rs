@@ -21,6 +21,10 @@
 //! - [`stats`] — counters and latency histograms shared by experiments.
 //! - [`fault`] — scheduled fault injection: link down/up, loss bursts,
 //!   partitions, and node crash/restart, all seed-reproducible.
+//! - [`trace`] (re-exported `rdv-trace`) — causal tracing: when enabled via
+//!   [`engine::Sim::enable_trace`], every enqueue/transmit/deliver/drop,
+//!   timer, and fault is recorded with causal edges, and nodes annotate
+//!   protocol spans through [`node::NodeCtx::trace`].
 #![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,6 +37,8 @@ pub mod packet;
 pub mod stats;
 pub mod time;
 pub mod topo;
+
+pub use rdv_trace as trace;
 
 pub use engine::{Sim, SimConfig};
 pub use fault::{FaultEvent, FaultPlan};

@@ -7,6 +7,7 @@
 //! loop single-owner and the simulation deterministic.
 
 use rand::rngs::StdRng;
+use rdv_trace::TraceCtx;
 
 use crate::packet::Packet;
 use crate::time::SimTime;
@@ -68,6 +69,10 @@ pub struct NodeCtx<'a> {
     pub port_count: usize,
     /// Deterministic per-simulation RNG (shared, seeded by [`crate::engine::SimConfig`]).
     pub rng: &'a mut StdRng,
+    /// Causal-trace handle for this callback: protocol code opens spans and
+    /// drops marks here, pre-linked to the event being dispatched. Inert
+    /// (every call a no-op) unless tracing was enabled on the [`crate::Sim`].
+    pub trace: TraceCtx<'a>,
     pub(crate) sends: &'a mut Vec<(PortId, Packet)>,
     pub(crate) timers: &'a mut Vec<(SimTime, u64)>,
 }
@@ -78,10 +83,11 @@ impl<'a> NodeCtx<'a> {
         now: SimTime,
         port_count: usize,
         rng: &'a mut StdRng,
+        trace: TraceCtx<'a>,
         sends: &'a mut Vec<(PortId, Packet)>,
         timers: &'a mut Vec<(SimTime, u64)>,
     ) -> Self {
-        NodeCtx { id, now, port_count, rng, sends, timers }
+        NodeCtx { id, now, port_count, rng, trace, sends, timers }
     }
 
     /// Transmit `packet` out of `port`.
@@ -116,8 +122,15 @@ mod tests {
     fn ctx_buffers_actions() {
         let mut rng = StdRng::seed_from_u64(1);
         let (mut sends, mut timers) = (Vec::new(), Vec::new());
-        let mut ctx =
-            NodeCtx::new(NodeId(0), SimTime::from_micros(5), 3, &mut rng, &mut sends, &mut timers);
+        let mut ctx = NodeCtx::new(
+            NodeId(0),
+            SimTime::from_micros(5),
+            3,
+            &mut rng,
+            TraceCtx::inert(),
+            &mut sends,
+            &mut timers,
+        );
         ctx.send(PortId(1), Packet::new(vec![1], 0));
         ctx.set_timer(SimTime::from_micros(10), 77);
         assert_eq!(sends.len(), 1);
@@ -128,7 +141,15 @@ mod tests {
     fn flood_skips_ingress() {
         let mut rng = StdRng::seed_from_u64(1);
         let (mut sends, mut timers) = (Vec::new(), Vec::new());
-        let mut ctx = NodeCtx::new(NodeId(0), SimTime::ZERO, 4, &mut rng, &mut sends, &mut timers);
+        let mut ctx = NodeCtx::new(
+            NodeId(0),
+            SimTime::ZERO,
+            4,
+            &mut rng,
+            TraceCtx::inert(),
+            &mut sends,
+            &mut timers,
+        );
         ctx.flood(&Packet::new(vec![9], 1), Some(PortId(2)));
         let ports: Vec<usize> = sends.iter().map(|(p, _)| p.0).collect();
         assert_eq!(ports, vec![0, 1, 3]);
@@ -138,7 +159,15 @@ mod tests {
     fn flood_all_when_no_ingress() {
         let mut rng = StdRng::seed_from_u64(1);
         let (mut sends, mut timers) = (Vec::new(), Vec::new());
-        let mut ctx = NodeCtx::new(NodeId(0), SimTime::ZERO, 2, &mut rng, &mut sends, &mut timers);
+        let mut ctx = NodeCtx::new(
+            NodeId(0),
+            SimTime::ZERO,
+            2,
+            &mut rng,
+            TraceCtx::inert(),
+            &mut sends,
+            &mut timers,
+        );
         ctx.flood(&Packet::new(vec![9], 1), None);
         assert_eq!(sends.len(), 2);
     }

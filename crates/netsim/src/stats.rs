@@ -433,6 +433,41 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases_empty_single_all_equal() {
+        // Empty: every percentile is the 0 sentinel, and stays safe after
+        // repeated queries.
+        let mut empty = Histogram::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.percentile(50.0), 0);
+        assert_eq!(empty.percentile(99.0), 0);
+        assert_eq!(empty.percentile(0.0), 0);
+        assert_eq!(empty.percentile(100.0), 0);
+
+        // Single sample: every percentile — including the p=0 rank-clamp
+        // boundary — is that sample.
+        let mut single = Histogram::new();
+        single.record(42);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(single.percentile(p), 42, "p{p} of a single sample");
+        }
+        assert_eq!(single.min(), 42);
+        assert_eq!(single.max(), 42);
+        assert_eq!(single.stddev(), 0.0);
+
+        // All-equal: percentiles are flat and stddev is exactly zero, no
+        // matter how many samples.
+        let mut flat = Histogram::new();
+        for _ in 0..1000 {
+            flat.record(7);
+        }
+        assert_eq!(flat.percentile(50.0), 7);
+        assert_eq!(flat.percentile(99.0), 7);
+        assert_eq!(flat.percentile(100.0), 7);
+        assert_eq!(flat.mean(), 7.0);
+        assert_eq!(flat.stddev(), 0.0);
+    }
+
+    #[test]
     fn recording_after_sort_keeps_correctness() {
         let mut h = Histogram::new();
         h.record(5);

@@ -1,0 +1,237 @@
+//! Critical-path extraction: which links, queues, hosts, and timer waits
+//! account for an operation's end-to-end latency.
+//!
+//! The critical path of a completed operation is its primary-cause chain
+//! walked backwards from the completing event (typically a `span.end`).
+//! Because every `cause` edge points at the event that *enabled* this one,
+//! consecutive chain events bracket exactly one wait, and the sum of the
+//! segment durations is the operation's latency — nothing is counted
+//! twice, nothing off-path is counted at all.
+
+use crate::event::{EventId, EventKind};
+use crate::tracer::Tracer;
+
+/// Latency categories a segment can be attributed to. Order is the
+/// presentation order of every breakdown.
+pub const CATEGORIES: &[&str] = &["host", "queue", "link", "timer.wait"];
+
+/// One edge of a critical path: the wait between `from` (the enabling
+/// event) and `to` (the enabled one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The enabling (earlier) event.
+    pub from: EventId,
+    /// The enabled (later) event.
+    pub to: EventId,
+    /// Which [`CATEGORIES`] entry this wait belongs to.
+    pub category: &'static str,
+    /// Duration in nanoseconds.
+    pub ns: u64,
+}
+
+/// A fully extracted critical path, oldest segment first.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Per-edge waits, root → completion.
+    pub segments: Vec<Segment>,
+    /// Total latency (sum of segment durations).
+    pub total_ns: u64,
+    /// Number of network legs (link-propagation segments) on the path —
+    /// each request/response hop contributes one.
+    pub hops: u32,
+}
+
+impl CriticalPath {
+    /// Extract the critical path ending at `end` by walking its ancestry.
+    /// Segments whose events were evicted from the ring are simply absent
+    /// (the path is truncated at the eviction horizon).
+    pub fn from_end(tracer: &Tracer, end: EventId) -> CriticalPath {
+        Self::walk(tracer, end, None)
+    }
+
+    /// Extract the critical path of a completed span: like
+    /// [`CriticalPath::from_end`] on the span-end, but truncated at the
+    /// span's begin (the end's `aux` edge), so waits that predate the
+    /// operation — e.g. the externally scheduled timer that started it —
+    /// are not attributed to it. `total_ns` is then exactly the span's
+    /// own duration.
+    pub fn from_span(tracer: &Tracer, end: EventId) -> CriticalPath {
+        let begin_at =
+            tracer.get(end).and_then(|e| e.aux).and_then(|b| tracer.get(b)).map(|b| b.at);
+        Self::walk(tracer, end, begin_at)
+    }
+
+    fn walk(tracer: &Tracer, end: EventId, cutoff: Option<u64>) -> CriticalPath {
+        let chain = tracer.ancestry(end); // newest first
+        let mut path = CriticalPath::default();
+        for pair in chain.windows(2) {
+            let (to_id, from_id) = (pair[0], pair[1]);
+            let (Some(to), Some(from)) = (tracer.get(to_id), tracer.get(from_id)) else {
+                continue;
+            };
+            if let Some(cut) = cutoff {
+                // The segment ends at or before the span opened: it is
+                // part of whatever led up to the operation, not of it.
+                if to.at <= cut {
+                    continue;
+                }
+            }
+            let category = categorize(&to.kind);
+            let ns = to.at.saturating_sub(from.at);
+            if category == "link" {
+                path.hops += 1;
+            }
+            path.segments.push(Segment { from: from_id, to: to_id, category, ns });
+            path.total_ns += ns;
+        }
+        path.segments.reverse();
+        path
+    }
+
+    /// Total nanoseconds attributed to `category` on this path.
+    pub fn category_ns(&self, category: &str) -> u64 {
+        self.segments.iter().filter(|s| s.category == category).map(|s| s.ns).sum()
+    }
+}
+
+/// The category of the wait that *ended* with `kind`.
+fn categorize(kind: &EventKind) -> &'static str {
+    match kind {
+        // enqueue → transmit: queueing + serialization on the egress link.
+        EventKind::PacketTransmit => "queue",
+        // transmit → deliver: propagation.
+        EventKind::PacketDeliver { .. } | EventKind::PacketDrop(_) => "link",
+        // set → fire: deliberate delay (backoff, defer, pacing).
+        EventKind::TimerFire { .. } | EventKind::TimerDrop { .. } => "timer.wait",
+        // Everything else happens inside a node at dispatch time.
+        _ => "host",
+    }
+}
+
+/// Running totals over many critical paths — the aggregate the `figures`
+/// harness prints.
+#[derive(Debug, Clone, Default)]
+pub struct PathBreakdown {
+    /// Number of paths accumulated.
+    pub paths: u64,
+    /// Sum of `total_ns` over all paths.
+    pub total_ns: u64,
+    /// Sum of hops over all paths.
+    pub hops: u64,
+    /// Per-category nanosecond totals, indexed like [`CATEGORIES`].
+    pub by_category: [u64; 4],
+}
+
+impl PathBreakdown {
+    /// Fold one path into the totals.
+    pub fn add(&mut self, path: &CriticalPath) {
+        self.paths += 1;
+        self.total_ns += path.total_ns;
+        self.hops += path.hops as u64;
+        for (i, cat) in CATEGORIES.iter().enumerate() {
+            self.by_category[i] += path.category_ns(cat);
+        }
+    }
+
+    /// Mean path latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.paths).unwrap_or(0)
+    }
+
+    /// Mean hops per path, scaled by 100 (integer-exact for display).
+    pub fn mean_hops_x100(&self) -> u64 {
+        (self.hops * 100).checked_div(self.paths).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind as K;
+
+    /// Build the canonical request/response shape:
+    /// set(0) → fire(100) → enqueue(100) → transmit(150) → deliver(1150)
+    /// → enqueue(1200) → transmit(1210) → deliver(2210) → span.end(2210).
+    fn rpc_trace() -> (Tracer, EventId) {
+        let mut t = Tracer::enabled(64);
+        let set = t.record(0, 0, K::TimerSet { tag: 1 }, None, None).unwrap();
+        let fire = t.record(100, 0, K::TimerFire { tag: 1 }, Some(set), None).unwrap();
+        let e1 =
+            t.record(100, 0, K::PacketEnqueue { port: 0, bytes: 64 }, Some(fire), None).unwrap();
+        let t1 = t.record(150, 0, K::PacketTransmit, Some(e1), None).unwrap();
+        let d1 = t.record(1150, 1, K::PacketDeliver { port: 0 }, Some(t1), None).unwrap();
+        let e2 =
+            t.record(1200, 1, K::PacketEnqueue { port: 0, bytes: 64 }, Some(d1), None).unwrap();
+        let t2 = t.record(1210, 1, K::PacketTransmit, Some(e2), None).unwrap();
+        let d2 = t.record(2210, 0, K::PacketDeliver { port: 0 }, Some(t2), None).unwrap();
+        let end = t.record(2210, 0, K::SpanEnd { name: "x.y" }, Some(d2), None).unwrap();
+        (t, end)
+    }
+
+    #[test]
+    fn segments_cover_the_whole_latency_exactly_once() {
+        let (t, end) = rpc_trace();
+        let path = CriticalPath::from_end(&t, end);
+        assert_eq!(path.total_ns, 2210, "sum of segments == end-to-end latency");
+        assert_eq!(path.segments.len(), 8);
+        assert_eq!(path.hops, 2, "request leg + response leg");
+    }
+
+    #[test]
+    fn categories_attribute_correctly() {
+        let (t, end) = rpc_trace();
+        let path = CriticalPath::from_end(&t, end);
+        assert_eq!(path.category_ns("timer.wait"), 100);
+        assert_eq!(path.category_ns("queue"), 50 + 10);
+        assert_eq!(path.category_ns("link"), 1000 + 1000);
+        assert_eq!(path.category_ns("host"), 50, "fire and span.end are instant; dispatch is 50");
+        let total: u64 = CATEGORIES.iter().map(|c| path.category_ns(c)).sum();
+        assert_eq!(total, path.total_ns, "categories partition the path");
+    }
+
+    #[test]
+    fn breakdown_accumulates_means() {
+        let (t, end) = rpc_trace();
+        let path = CriticalPath::from_end(&t, end);
+        let mut agg = PathBreakdown::default();
+        agg.add(&path);
+        agg.add(&path);
+        assert_eq!(agg.paths, 2);
+        assert_eq!(agg.mean_ns(), 2210);
+        assert_eq!(agg.mean_hops_x100(), 200);
+        assert_eq!(agg.by_category[2], 4000, "link ns doubled");
+    }
+
+    #[test]
+    fn from_span_excludes_waits_that_predate_the_operation() {
+        // set(0) → fire(500) → [begin(500)] enqueue(500) → transmit(550)
+        // → deliver(1550) → end(1550): the 500 ns of external schedule
+        // wait belongs to the scenario driver, not the operation.
+        let mut t = Tracer::enabled(64);
+        let set = t.record(0, 0, K::TimerSet { tag: 1 }, None, None).unwrap();
+        let fire = t.record(500, 0, K::TimerFire { tag: 1 }, Some(set), None).unwrap();
+        let begin =
+            t.record(500, 0, K::SpanBegin { name: "x.y", detail: 0 }, Some(fire), None).unwrap();
+        let e1 =
+            t.record(500, 0, K::PacketEnqueue { port: 0, bytes: 64 }, Some(fire), None).unwrap();
+        let t1 = t.record(550, 0, K::PacketTransmit, Some(e1), None).unwrap();
+        let d1 = t.record(1550, 1, K::PacketDeliver { port: 0 }, Some(t1), None).unwrap();
+        let end = t.record(1550, 0, K::SpanEnd { name: "x.y" }, Some(d1), Some(begin)).unwrap();
+
+        let full = CriticalPath::from_end(&t, end);
+        assert_eq!(full.total_ns, 1550, "from_end charges the schedule wait");
+        let span = CriticalPath::from_span(&t, end);
+        assert_eq!(span.total_ns, 1050, "from_span is the span's own duration");
+        assert_eq!(span.category_ns("timer.wait"), 0);
+        assert_eq!(span.hops, 1);
+    }
+
+    #[test]
+    fn empty_path_from_rootless_event() {
+        let mut t = Tracer::enabled(8);
+        let lone = t.record(5, 0, K::Mark { name: "a.b", detail: 0 }, None, None).unwrap();
+        let path = CriticalPath::from_end(&t, lone);
+        assert_eq!(path.total_ns, 0);
+        assert!(path.segments.is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! `TraceCtx`: the per-dispatch handle protocol code records through.
+//!
+//! The sim engine builds one of these for every node callback, pre-loaded
+//! with the node id, the current sim time, and the id of the event being
+//! handled (the delivered packet or fired timer). Protocol layers then
+//! open spans and drop marks without knowing anything about the engine's
+//! bookkeeping — and everything they record is automatically stitched into
+//! the causal graph via that dispatch cause.
+
+use crate::event::{EventId, EventKind};
+use crate::tracer::Tracer;
+
+/// A borrowed recording handle scoped to one node callback.
+///
+/// When tracing is disabled the engine passes `None` for the tracer and
+/// every method is a branch-and-return — zero allocation, zero recording.
+#[derive(Debug)]
+pub struct TraceCtx<'a> {
+    tracer: Option<&'a mut Tracer>,
+    now: u64,
+    node: u32,
+    cause: Option<EventId>,
+}
+
+impl<'a> TraceCtx<'a> {
+    /// Build a handle for one dispatch. `cause` is the event id of the
+    /// delivery / timer-fire / fault being handled, if any.
+    pub fn new(
+        tracer: Option<&'a mut Tracer>,
+        now: u64,
+        node: u32,
+        cause: Option<EventId>,
+    ) -> TraceCtx<'a> {
+        TraceCtx { tracer, now, node, cause }
+    }
+
+    /// A permanently inert handle — for tests that build node contexts by
+    /// hand.
+    pub fn inert() -> TraceCtx<'static> {
+        TraceCtx { tracer: None, now: 0, node: 0, cause: None }
+    }
+
+    /// Whether anything recorded here is actually kept.
+    pub fn is_enabled(&self) -> bool {
+        self.tracer.as_ref().is_some_and(|t| t.is_enabled())
+    }
+
+    /// The event this dispatch is handling (the causal parent of anything
+    /// recorded through this handle).
+    pub fn cause(&self) -> Option<EventId> {
+        self.cause
+    }
+
+    fn record(&mut self, kind: EventKind, aux: Option<EventId>) -> Option<EventId> {
+        let cause = self.cause;
+        let (now, node) = (self.now, self.node);
+        self.tracer.as_mut().and_then(|t| t.record(now, node, kind, cause, aux))
+    }
+
+    /// Open a protocol span (e.g. `discovery.access`). Keep the returned
+    /// id in your pending-operation state and close it with
+    /// [`TraceCtx::span_end`].
+    pub fn span_begin(&mut self, name: &'static str, detail: u64) -> Option<EventId> {
+        self.record(EventKind::SpanBegin { name, detail }, None)
+    }
+
+    /// Close a span. `begin` pairs the end with its begin (the `aux`
+    /// edge); the primary cause is the event that completed the operation,
+    /// so critical-path walks start here.
+    pub fn span_end(&mut self, name: &'static str, begin: Option<EventId>) -> Option<EventId> {
+        self.record(EventKind::SpanEnd { name }, begin)
+    }
+
+    /// Drop a point annotation caused by the current dispatch event.
+    pub fn mark(&mut self, name: &'static str, detail: u64) -> Option<EventId> {
+        self.record(EventKind::Mark { name, detail }, None)
+    }
+
+    /// Drop a point annotation with an extra causal edge — e.g. a
+    /// retransmit mark linking back to the original send.
+    pub fn mark_linked(
+        &mut self,
+        name: &'static str,
+        detail: u64,
+        link: Option<EventId>,
+    ) -> Option<EventId> {
+        self.record(EventKind::Mark { name, detail }, link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_ctx_is_disabled_and_records_nothing() {
+        let mut ctx = TraceCtx::inert();
+        assert!(!ctx.is_enabled());
+        assert_eq!(ctx.span_begin("a.b", 1), None);
+        assert_eq!(ctx.mark("a.b", 1), None);
+    }
+
+    #[test]
+    fn spans_and_marks_inherit_the_dispatch_cause() {
+        let mut t = Tracer::enabled(16);
+        let dispatch = t.record(5, 1, EventKind::PacketDeliver { port: 0 }, None, None).unwrap();
+        let mut ctx = TraceCtx::new(Some(&mut t), 5, 1, Some(dispatch));
+        let begin = ctx.span_begin("proto.op", 42);
+        let mark = ctx.mark("proto.step", 7);
+        let end = ctx.span_end("proto.op", begin);
+
+        let begin_ev = t.get(begin.unwrap()).unwrap();
+        assert_eq!(begin_ev.cause, Some(dispatch));
+        assert_eq!(begin_ev.node, 1);
+        assert_eq!(begin_ev.at, 5);
+        assert_eq!(t.get(mark.unwrap()).unwrap().cause, Some(dispatch));
+        let end_ev = t.get(end.unwrap()).unwrap();
+        assert_eq!(end_ev.cause, Some(dispatch));
+        assert_eq!(end_ev.aux, begin, "span end pairs with its begin via aux");
+    }
+
+    #[test]
+    fn mark_linked_carries_the_explicit_edge() {
+        let mut t = Tracer::enabled(16);
+        let orig =
+            t.record(0, 0, EventKind::PacketEnqueue { port: 0, bytes: 32 }, None, None).unwrap();
+        let mut ctx = TraceCtx::new(Some(&mut t), 9, 0, None);
+        let m = ctx.mark_linked("transport.retransmit", 1, Some(orig)).unwrap();
+        assert_eq!(t.get(m).unwrap().aux, Some(orig));
+    }
+}

@@ -1,0 +1,249 @@
+//! The recorder: a bounded ring buffer of [`TraceEvent`]s plus the
+//! ancestry-query API.
+//!
+//! Ids are absolute sequence numbers; the ring retains the most recent
+//! `capacity` events. Looking up an evicted id returns `None`, and an
+//! ancestry walk stops at the eviction horizon — old history degrades
+//! gracefully instead of corrupting causality.
+//!
+//! Determinism contract: recording order is the simulation's event-
+//! processing order and timestamps are sim time, so for a fixed seed the
+//! full event sequence — ids included — is identical across processes,
+//! machines, and worker counts.
+
+use crate::event::{EventId, EventKind, TraceEvent};
+
+/// Default ring capacity used by integrations that enable tracing without
+/// an explicit size (2^20 events ≈ 48 MiB).
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A deterministic, sim-time-stamped event recorder.
+///
+/// A disabled tracer ([`Tracer::disabled`]) allocates nothing and turns
+/// every [`Tracer::record`] into a single branch, so the sim engine can
+/// thread one through unconditionally at zero cost.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    cap: usize,
+    /// Id of the next event to be recorded; ids `next - buf.len() .. next`
+    /// are retained.
+    next: u64,
+    /// Circular storage: absolute id `i` lives at `i % cap` once full.
+    buf: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// A recorder that drops everything. This is the engine default.
+    pub fn disabled() -> Tracer {
+        Tracer { enabled: false, cap: 0, next: 0, buf: Vec::new() }
+    }
+
+    /// An enabled recorder retaining the most recent `capacity` events
+    /// (minimum 1).
+    pub fn enabled(capacity: usize) -> Tracer {
+        Tracer { enabled: true, cap: capacity.max(1), next: 0, buf: Vec::new() }
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event; returns its id, or `None` when disabled.
+    pub fn record(
+        &mut self,
+        at: u64,
+        node: u32,
+        kind: EventKind,
+        cause: Option<EventId>,
+        aux: Option<EventId>,
+    ) -> Option<EventId> {
+        if !self.enabled {
+            return None;
+        }
+        let id = EventId(self.next);
+        self.next += 1;
+        let ev = TraceEvent { at, node, kind, cause, aux };
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            let idx = (id.0 % self.cap as u64) as usize;
+            self.buf[idx] = ev;
+        }
+        Some(id)
+    }
+
+    /// Total number of events ever recorded (ids run `0..count`).
+    pub fn count(&self) -> u64 {
+        self.next
+    }
+
+    /// The oldest id still retained by the ring.
+    pub fn first_retained(&self) -> u64 {
+        self.next - self.buf.len() as u64
+    }
+
+    /// Look up a retained event; `None` if it was evicted or never
+    /// recorded.
+    pub fn get(&self, id: EventId) -> Option<&TraceEvent> {
+        if id.0 >= self.next || id.0 < self.first_retained() {
+            return None;
+        }
+        Some(&self.buf[(id.0 % self.cap as u64) as usize])
+    }
+
+    /// Iterate retained events in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &TraceEvent)> {
+        (self.first_retained()..self.next).map(move |i| {
+            let id = EventId(i);
+            (id, self.get(id).expect("retained id"))
+        })
+    }
+
+    /// Walk the primary-cause chain from `id` back to a root (or the
+    /// eviction horizon). The result starts with `id` itself and ends at
+    /// the oldest reachable ancestor.
+    pub fn ancestry(&self, id: EventId) -> Vec<EventId> {
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let Some(ev) = self.get(c) else { break };
+            chain.push(c);
+            cur = ev.cause;
+        }
+        chain
+    }
+
+    /// The ancestry of `id` as `(node, kind name)` pairs, oldest first —
+    /// the shape causal-chain tests assert against.
+    pub fn chain_names(&self, id: EventId) -> Vec<(u32, &'static str)> {
+        let mut chain: Vec<(u32, &'static str)> = self
+            .ancestry(id)
+            .into_iter()
+            .filter_map(|eid| self.get(eid).map(|ev| (ev.node, ev.kind.name())))
+            .collect();
+        chain.reverse();
+        chain
+    }
+
+    /// Retained events caused (primarily) by `id`, in id order. Linear
+    /// scan — a debugging/test aid, not a hot path.
+    pub fn children(&self, id: EventId) -> Vec<EventId> {
+        self.iter().filter(|(_, ev)| ev.cause == Some(id)).map(|(eid, _)| eid).collect()
+    }
+
+    /// Assert that the ancestry of `id`, oldest first and restricted to
+    /// `node`, matches `expected` kind names exactly. Panics with a
+    /// readable diff otherwise — for use in causal-chain tests.
+    pub fn assert_chain(&self, id: EventId, node: u32, expected: &[&str]) {
+        let got: Vec<&'static str> = self
+            .chain_names(id)
+            .into_iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, name)| name)
+            .collect();
+        assert_eq!(
+            got, expected,
+            "causal chain on node {node} diverges (oldest first; walked from #{})",
+            id.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DropReason, ENGINE_NODE};
+
+    fn mark(name: &'static str) -> EventKind {
+        EventKind::Mark { name, detail: 0 }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert_eq!(t.record(1, 0, mark("a.b"), None, None), None);
+        assert_eq!(t.count(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ids_are_dense_and_lookup_works() {
+        let mut t = Tracer::enabled(8);
+        let a = t.record(10, 0, mark("a.a"), None, None).unwrap();
+        let b = t.record(20, 1, mark("a.b"), Some(a), None).unwrap();
+        assert_eq!((a.0, b.0), (0, 1));
+        assert_eq!(t.get(b).unwrap().cause, Some(a));
+        assert_eq!(t.get(EventId(99)), None);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_lookups_degrade() {
+        let mut t = Tracer::enabled(4);
+        let ids: Vec<EventId> =
+            (0..6).map(|i| t.record(i, 0, mark("a.a"), None, None).unwrap()).collect();
+        assert_eq!(t.count(), 6);
+        assert_eq!(t.first_retained(), 2);
+        assert_eq!(t.get(ids[0]), None, "evicted");
+        assert_eq!(t.get(ids[1]), None, "evicted");
+        assert_eq!(t.get(ids[2]).unwrap().at, 2);
+        assert_eq!(t.get(ids[5]).unwrap().at, 5);
+        assert_eq!(t.iter().count(), 4);
+    }
+
+    #[test]
+    fn ancestry_walks_to_root() {
+        let mut t = Tracer::enabled(16);
+        let root = t.record(0, 0, EventKind::TimerSet { tag: 1 }, None, None).unwrap();
+        let fire = t.record(5, 0, EventKind::TimerFire { tag: 1 }, Some(root), None).unwrap();
+        let enq = t
+            .record(5, 0, EventKind::PacketEnqueue { port: 0, bytes: 64 }, Some(fire), None)
+            .unwrap();
+        let tx = t.record(6, 0, EventKind::PacketTransmit, Some(enq), None).unwrap();
+        let dlv = t.record(11, 1, EventKind::PacketDeliver { port: 0 }, Some(tx), None).unwrap();
+        assert_eq!(t.ancestry(dlv), vec![dlv, tx, enq, fire, root]);
+        assert_eq!(
+            t.chain_names(dlv),
+            vec![
+                (0, "timer.set"),
+                (0, "timer.fire"),
+                (0, "packet.enqueue"),
+                (0, "packet.transmit"),
+                (1, "packet.deliver"),
+            ]
+        );
+        t.assert_chain(dlv, 0, &["timer.set", "timer.fire", "packet.enqueue", "packet.transmit"]);
+    }
+
+    #[test]
+    fn ancestry_stops_at_eviction_horizon() {
+        let mut t = Tracer::enabled(2);
+        let a = t.record(0, 0, mark("a.a"), None, None).unwrap();
+        let b = t.record(1, 0, mark("a.b"), Some(a), None).unwrap();
+        let c = t.record(2, 0, mark("a.c"), Some(b), None).unwrap();
+        // `a` has been evicted: the walk returns only the retained suffix.
+        assert_eq!(t.ancestry(c), vec![c, b]);
+    }
+
+    #[test]
+    fn children_finds_direct_successors() {
+        let mut t = Tracer::enabled(16);
+        let a = t.record(0, 0, mark("a.a"), None, None).unwrap();
+        let b = t.record(1, 0, mark("a.b"), Some(a), None).unwrap();
+        let c = t.record(2, 0, mark("a.c"), Some(a), None).unwrap();
+        let _d = t.record(3, 0, mark("a.d"), Some(b), None).unwrap();
+        assert_eq!(t.children(a), vec![b, c]);
+    }
+
+    #[test]
+    fn aux_edges_are_preserved() {
+        let mut t = Tracer::enabled(8);
+        let fault = t
+            .record(0, ENGINE_NODE, EventKind::Fault(crate::FaultKind::Crash), None, None)
+            .unwrap();
+        let drop =
+            t.record(5, 2, EventKind::PacketDrop(DropReason::Crash), None, Some(fault)).unwrap();
+        assert_eq!(t.get(drop).unwrap().aux, Some(fault));
+    }
+}
