@@ -15,6 +15,12 @@
 //! `results/trace_<exp>.json`, and prints a critical-path summary. With
 //! only `--trace` flags (no positional IDs), the full sweeps are skipped.
 //!
+//! `--metrics EXP` re-runs one representative point of EXP with the
+//! telemetry plane (gauge sampling + live invariant monitor) enabled,
+//! writes the deterministic time series to `results/metrics_<exp>.json`,
+//! and prints a sparkline summary attributing the figure's shape to the
+//! gauges. Like `--trace`, metrics-only invocations skip the full sweeps.
+//!
 //! `--jobs N` caps the worker threads used to fan independent sweep
 //! points out (default: available parallelism; `--jobs 1` is serial).
 //! Every point carries its own derived seed and rows are collected in
@@ -29,7 +35,7 @@ use rdv_bench::Series;
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: figures [--quick] [--jobs N] [--list] [--trace EXP] \
+        "usage: figures [--quick] [--jobs N] [--list] [--trace EXP] [--metrics EXP] \
          [F1 F2 F3 F4 T1 T2 S1 A1 A2 A3 A4 A5]"
     );
     std::process::exit(2);
@@ -39,7 +45,9 @@ fn list_exit() -> ! {
     println!("experiments:");
     for (id, desc) in CATALOG {
         let traced = if experiments::trace::TRACEABLE.contains(id) { "  [--trace]" } else { "" };
-        println!("  {id:<4} {desc}{traced}");
+        let metered =
+            if experiments::metrics::METRICABLE.contains(id) { "  [--metrics]" } else { "" };
+        println!("  {id:<4} {desc}{traced}{metered}");
     }
     std::process::exit(0);
 }
@@ -49,6 +57,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut wanted: Vec<String> = Vec::new();
     let mut traces: Vec<String> = Vec::new();
+    let mut metered: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -78,6 +87,15 @@ fn main() {
             traces.push(e.trim_start_matches('-').to_uppercase());
         } else if let Some(v) = a.strip_prefix("--trace=") {
             traces.push(v.to_uppercase());
+        } else if a == "--metrics" {
+            i += 1;
+            let Some(e) = args.get(i) else {
+                eprintln!("[figures] --metrics needs an experiment id");
+                usage_exit();
+            };
+            metered.push(e.trim_start_matches('-').to_uppercase());
+        } else if let Some(v) = a.strip_prefix("--metrics=") {
+            metered.push(v.to_uppercase());
         } else if a.starts_with("--") {
             eprintln!("[figures] warning: ignoring unknown flag {a}");
         } else {
@@ -117,8 +135,8 @@ fn main() {
     };
     let _ = std::fs::create_dir_all("results");
     let mut ran = 0;
-    // With only --trace flags, skip the full sweeps.
-    if traces.is_empty() || !wanted.is_empty() {
+    // With only --trace/--metrics flags, skip the full sweeps.
+    if (traces.is_empty() && metered.is_empty()) || !wanted.is_empty() {
         for (id, _) in CATALOG {
             let Some(series) = run_one(id) else { continue };
             ran += 1;
@@ -150,6 +168,24 @@ fn main() {
                 "[figures] warning: no traced companion for {exp} (traceable: {}; run \
                  `figures --list`)",
                 experiments::trace::TRACEABLE.join(" ")
+            ),
+        }
+    }
+    for exp in &metered {
+        match experiments::metrics::run(exp, quick) {
+            Some(report) => {
+                ran += 1;
+                let path = format!("results/metrics_{}.json", exp.to_lowercase());
+                match std::fs::write(&path, &report.json) {
+                    Ok(()) => eprintln!("[figures] wrote {path}"),
+                    Err(e) => eprintln!("[figures] could not write {path}: {e}"),
+                }
+                print!("{}", report.summary);
+            }
+            None => eprintln!(
+                "[figures] warning: no metrics companion for {exp} (metricable: {}; run \
+                 `figures --list`)",
+                experiments::metrics::METRICABLE.join(" ")
             ),
         }
     }

@@ -49,6 +49,27 @@ pub struct F4Outcome {
 /// partition of `outage_us` around one holder, and a crash/restart outage
 /// of `outage_us` on another.
 pub fn run_point(loss_permille: u16, outage_us: u64, seed: u64) -> F4Outcome {
+    run_point_inner(loss_permille, outage_us, seed, false).0
+}
+
+/// [`run_point`] with the telemetry plane and invariant monitor on;
+/// sampling observes without perturbing, so the outcome numbers are
+/// identical to the plain run at the same point.
+pub fn run_point_metrics(
+    loss_permille: u16,
+    outage_us: u64,
+    seed: u64,
+) -> (F4Outcome, rdv_netsim::metrics::MetricSet) {
+    let (out, set) = run_point_inner(loss_permille, outage_us, seed, true);
+    (out, set.expect("metrics were enabled"))
+}
+
+fn run_point_inner(
+    loss_permille: u16,
+    outage_us: u64,
+    seed: u64,
+    metrics: bool,
+) -> (F4Outcome, Option<rdv_netsim::metrics::MetricSet>) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF4);
     let host_cfg = HostConfig {
         mode: DiscoveryMode::Controller,
@@ -83,6 +104,9 @@ pub fn run_point(loss_permille: u16, outage_us: u64, seed: u64) -> F4Outcome {
 
     let (mut sim, ids) = build_star_fabric(seed, nodes, &obj_routes);
     let switch = NodeId(ids.len());
+    if metrics {
+        sim.enable_metrics(rdv_netsim::metrics::MetricsConfig::default());
+    }
 
     if outage_us > 0 {
         // Partition holder 1 off the switch, and crash-restart holder 2,
@@ -104,6 +128,10 @@ pub fn run_point(loss_permille: u16, outage_us: u64, seed: u64) -> F4Outcome {
     }
     sim.run_until_idle();
 
+    let set = metrics.then(|| {
+        sim.flush_metrics(sim.now());
+        sim.take_metrics()
+    });
     let drv = sim.node_as::<HostNode>(ids[0]).expect("driver");
     assert_eq!(
         drv.records.len() + drv.failed.len(),
@@ -133,14 +161,15 @@ pub fn run_point(loss_permille: u16, outage_us: u64, seed: u64) -> F4Outcome {
             .iter()
             .map(|k| sim.counters.get(k))
             .sum();
-    F4Outcome {
+    let out = F4Outcome {
         completed: drv.records.len(),
         failed: drv.failed.len(),
         timeouts: drv.counters.get("access_timeouts"),
         packets_dropped: dropped,
         mean_latency: mean,
         goodput_bytes_per_ms: goodput,
-    }
+    };
+    (out, set)
 }
 
 /// Sweep fault severity: loss rate and outage windows scale together.

@@ -11,6 +11,7 @@ pub mod f4;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
+pub mod metrics;
 pub mod s1;
 pub mod t1;
 pub mod t2;

@@ -25,6 +25,7 @@ use rdv_memproto::cache::{CacheState, ObjectCache};
 use rdv_memproto::coherence::{DirAction, Directory};
 use rdv_memproto::frag::{fragment, Fragment, Reassembler, DEFAULT_MTU};
 use rdv_memproto::msg::{Msg, MsgBody, NackCode};
+use rdv_netsim::metrics::{AuditScope, MetricSample};
 use rdv_netsim::trace::EventId;
 use rdv_netsim::{CounterId, Node, NodeCtx, Packet, PortId, SimTime};
 use rdv_objspace::{ObjId, Object, ObjectStore};
@@ -1252,6 +1253,25 @@ impl Node for GasHostNode {
             }
         } else if (tag as usize) < self.scripts.len() {
             self.start_script(ctx, tag as usize);
+        }
+    }
+
+    fn sample_metrics(&self, m: &mut MetricSample<'_>) {
+        m.gauge("memproto.cache_objects", self.cache.len() as u64);
+        m.gauge("memproto.cache_bytes", self.cache.used_bytes());
+        m.windowed_ratio_pct(
+            "memproto.cache_hit_pct",
+            self.cache.hits,
+            self.cache.hits + self.cache.misses,
+        );
+        m.gauge("core.placement_queue", (self.progress.len() + self.fetches.len()) as u64);
+        m.gauge("discovery.directory_size", self.directory.len() as u64);
+    }
+
+    fn audit(&self, a: &mut AuditScope<'_>) {
+        a.declare_inbox(self.inbox.as_u128());
+        for (obj, holder) in self.directory.all_holders() {
+            a.claim_holder(obj.as_u128(), holder.as_u128());
         }
     }
 

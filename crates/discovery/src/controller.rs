@@ -119,6 +119,17 @@ impl Node for ControllerNode {
         }
     }
 
+    fn sample_metrics(&self, m: &mut rdv_netsim::metrics::MetricSample<'_>) {
+        m.gauge("discovery.directory_size", self.directory.len() as u64);
+    }
+
+    fn audit(&self, a: &mut rdv_netsim::metrics::AuditScope<'_>) {
+        a.declare_inbox(crate::CONTROLLER_INBOX.as_u128());
+        for (obj, holder) in self.directory.iter() {
+            a.claim_holder(obj.as_u128(), holder.as_u128());
+        }
+    }
+
     fn name(&self) -> &str {
         &self.label
     }

@@ -10,6 +10,7 @@ use rdv_det::DetMap;
 use std::sync::OnceLock;
 
 use rdv_memproto::msg::{Msg, MsgBody, NackCode};
+use rdv_netsim::metrics::{AuditScope, MetricSample};
 use rdv_netsim::trace::EventId;
 use rdv_netsim::{CounterId, Node, NodeCtx, Packet, PortId, SimTime};
 use rdv_objspace::{ObjId, Object, ObjectStore};
@@ -636,6 +637,21 @@ impl Node for HostNode {
             let target = self.plan[tag as usize];
             self.start_access(ctx, target);
         }
+    }
+
+    fn sample_metrics(&self, m: &mut MetricSample<'_>) {
+        m.gauge("discovery.destcache_entries", self.dest_cache.len() as u64);
+        m.windowed_ratio_pct(
+            "discovery.destcache_hit_pct",
+            self.dest_cache.hits,
+            self.dest_cache.hits + self.dest_cache.misses,
+        );
+        m.gauge("discovery.pending_accesses", self.pending.len() as u64);
+        m.rate_per_s("discovery.broadcast_rate", self.counters.get_id(ctr().broadcasts));
+    }
+
+    fn audit(&self, a: &mut AuditScope<'_>) {
+        a.declare_inbox(self.inbox.as_u128());
     }
 
     fn name(&self) -> &str {

@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use rdv_netsim::metrics::{MetricSet, MetricsConfig};
 use rdv_netsim::topo::wire_paper_testbed;
 use rdv_netsim::trace::{Tracer, DEFAULT_CAPACITY};
 use rdv_netsim::{Histogram, LinkSpec, NodeId, Sim, SimConfig, SimTime};
@@ -60,6 +61,9 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// Record a causal trace of the run (see [`DiscoveryOutcome::trace`]).
     pub trace: bool,
+    /// Sample telemetry gauges on the default cadence and run the live
+    /// invariant monitor (see [`DiscoveryOutcome::metrics`]).
+    pub metrics: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -73,6 +77,7 @@ impl Default for ScenarioConfig {
             access_gap: SimTime::from_micros(100),
             seed: 7,
             trace: false,
+            metrics: false,
         }
     }
 }
@@ -109,6 +114,9 @@ pub struct DiscoveryOutcome {
     pub events: u64,
     /// The causal trace, when [`ScenarioConfig::trace`] was set.
     pub trace: Option<Box<ScenarioTrace>>,
+    /// The sampled telemetry series, when [`ScenarioConfig::metrics`] was
+    /// set (boxed to keep the outcome small when sampling is off).
+    pub metrics: Option<Box<MetricSet>>,
 }
 
 impl DiscoveryOutcome {
@@ -309,6 +317,9 @@ pub fn run_discovery(cfg: &ScenarioConfig) -> DiscoveryOutcome {
     if cfg.trace {
         tb.sim.enable_trace(DEFAULT_CAPACITY);
     }
+    if cfg.metrics {
+        tb.sim.enable_metrics(MetricsConfig::default());
+    }
 
     // Schedule: warmups first, then (Fig3) migrations, then measurement.
     let mut t = SimTime::from_micros(1000);
@@ -331,6 +342,10 @@ pub fn run_discovery(cfg: &ScenarioConfig) -> DiscoveryOutcome {
     tb.sim.run_until_idle();
 
     let trace_parts = cfg.trace.then(|| (tb.sim.node_names(), tb.sim.take_tracer()));
+    let metrics = cfg.metrics.then(|| {
+        tb.sim.flush_metrics(tb.sim.now());
+        Box::new(tb.sim.take_metrics())
+    });
     let driver = tb.sim.node_as::<HostNode>(tb.driver).expect("driver type");
     let mut rtt = Histogram::new();
     let mut broadcasts = 0u64;
@@ -364,6 +379,7 @@ pub fn run_discovery(cfg: &ScenarioConfig) -> DiscoveryOutcome {
         events: tb.sim.counters.get("sim.events"),
         rtt,
         trace,
+        metrics,
     }
     // `tb.inboxes` kept for future scenarios.
 }
@@ -609,6 +625,63 @@ mod tests {
         assert!(base.trace.is_none());
         assert_eq!(base.events, out.events);
         assert_eq!(base.rtt.samples(), out.rtt.samples());
+    }
+
+    #[test]
+    fn metrics_sample_discovery_gauges_without_perturbing() {
+        let cfg = ScenarioConfig {
+            kind: ScenarioKind::Fig3Staleness { pct_moved: 50 },
+            mode: DiscoveryMode::E2E,
+            staleness: StalenessMode::NackRediscover,
+            accesses: 60,
+            num_objects: 60,
+            metrics: true,
+            ..Default::default()
+        };
+        let out = run_discovery(&cfg);
+        let set = out.metrics.as_ref().expect("metrics were requested");
+        assert!(set.ticks() > 0, "sampler must have fired");
+        assert!(
+            set.violations().is_empty(),
+            "invariant monitor stays green: {:?}",
+            set.violations()
+        );
+
+        // The driver's destination cache and broadcast gauges exist and saw
+        // real traffic: entries were cached, and the staleness sweep forced
+        // rediscovery broadcasts.
+        let entries = set.series_by_name("discovery.destcache_entries.h0").expect("gauge");
+        assert!(entries.last().map_or(0, |(_, v)| v) > 0, "h0 cached holders");
+        let rate = set.series_by_name("discovery.broadcast_rate.h0").expect("gauge");
+        assert!(rate.points().any(|(_, v)| v > 0), "rediscovery broadcasts show in the rate");
+        // The controller gauge is absent in E2E mode.
+        assert!(set.series_by_name("discovery.directory_size.ctl").is_none());
+
+        // Observation never perturbs the run.
+        let base = run_discovery(&ScenarioConfig { metrics: false, ..cfg });
+        assert!(base.metrics.is_none());
+        assert_eq!(base.events, out.events);
+        assert_eq!(base.rtt.samples(), out.rtt.samples());
+    }
+
+    #[test]
+    fn metrics_audit_controller_directory_against_declared_inboxes() {
+        let out = run_discovery(&ScenarioConfig {
+            kind: ScenarioKind::Fig3Staleness { pct_moved: 50 },
+            mode: DiscoveryMode::Controller,
+            accesses: 40,
+            num_objects: 40,
+            metrics: true,
+            ..Default::default()
+        });
+        let set = out.metrics.as_ref().expect("metrics were requested");
+        assert!(
+            set.violations().is_empty(),
+            "directory holders ⊆ declared inboxes: {:?}",
+            set.violations()
+        );
+        let dir = set.series_by_name("discovery.directory_size.ctl").expect("controller gauge");
+        assert!(dir.last().map_or(0, |(_, v)| v) > 0, "controller learned holders");
     }
 
     #[test]

@@ -52,8 +52,18 @@ impl std::fmt::Display for Diagnostic {
 /// Crates whose behavior must be bit-reproducible across processes. `rpc` and
 /// `bench` sit outside the sim boundary (they may time real wall-clock work);
 /// `det` wraps a `HashMap` internally by design (its index is never iterated).
-pub const DET_CRATES: &[&str] =
-    &["netsim", "memproto", "discovery", "objspace", "core", "wire", "p4rt", "crdt", "trace"];
+pub const DET_CRATES: &[&str] = &[
+    "netsim",
+    "memproto",
+    "discovery",
+    "objspace",
+    "core",
+    "wire",
+    "p4rt",
+    "crdt",
+    "trace",
+    "metrics",
+];
 
 /// D4 targets: wire enums and the functions that must cover every variant.
 const PARITY_TARGETS: &[(&str, &[ParityTarget])] = &[
@@ -81,7 +91,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         Ok(src) => rules::parse_engine_slots(&src),
         Err(_) => Vec::new(),
     };
-    let cfg = LintConfig { sim_registry };
+    let metrics_path = root.join("crates/metrics/src/lib.rs");
+    let gauge_registry = match fs::read_to_string(&metrics_path) {
+        Ok(src) => rules::parse_gauge_names(&src),
+        Err(_) => Vec::new(),
+    };
+    let cfg = LintConfig { sim_registry, gauge_registry };
 
     let mut diags = Vec::new();
     if cfg.sim_registry.is_empty() {
@@ -90,6 +105,15 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             line: 1,
             rule: "D3/counter-name".to_string(),
             message: "could not parse ENGINE_SLOTS registry; sim.* names are unverifiable"
+                .to_string(),
+        });
+    }
+    if cfg.gauge_registry.is_empty() {
+        diags.push(Diagnostic {
+            file: "crates/metrics/src/lib.rs".to_string(),
+            line: 1,
+            rule: "D3/gauge-name".to_string(),
+            message: "could not parse GAUGE_NAMES registry; gauge names are unverifiable"
                 .to_string(),
         });
     }
@@ -111,6 +135,17 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             line: 1,
             rule: "D3/event-name".to_string(),
             message: "event-name table file is missing".to_string(),
+        }),
+    }
+
+    let gauge_rel = "crates/metrics/src/lib.rs";
+    match fs::read_to_string(root.join(gauge_rel)) {
+        Ok(src) => diags.extend(rules::lint_gauge_names(gauge_rel, &src)),
+        Err(_) => diags.push(Diagnostic {
+            file: gauge_rel.to_string(),
+            line: 1,
+            rule: "D3/gauge-name".to_string(),
+            message: "gauge-name table file is missing".to_string(),
         }),
     }
 

@@ -9,14 +9,26 @@ use crate::Diagnostic;
 use std::collections::BTreeMap;
 
 /// Suppression categories accepted by `// rdv-lint: allow(<category>) -- <reason>`.
-pub const ALLOW_CATEGORIES: &[&str] =
-    &["hash-order", "ambient-time", "ambient-rand", "ambient-env", "counter-name", "event-name"];
+pub const ALLOW_CATEGORIES: &[&str] = &[
+    "hash-order",
+    "ambient-time",
+    "ambient-rand",
+    "ambient-env",
+    "counter-name",
+    "event-name",
+    "gauge-name",
+];
 
 /// Configuration shared across files.
 pub struct LintConfig {
     /// Valid `sim.*` counter names, parsed from the netsim registry
     /// (`ENGINE_SLOTS` in `crates/netsim/src/stats.rs`).
     pub sim_registry: Vec<String>,
+    /// Valid gauge base names, parsed from the metrics registry
+    /// (`GAUGE_NAMES` in `crates/metrics/src/lib.rs`). Empty when the
+    /// table could not be read; membership checks are skipped then (the
+    /// workspace linter reports the missing table separately).
+    pub gauge_registry: Vec<String>,
 }
 
 /// Parsed allow comments: line → categories allowed on that line and the next.
@@ -266,6 +278,60 @@ pub fn lint_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
             }
         }
 
+        // D3: gauge-name discipline. String-literal base names entering the
+        // rdv-metrics sampling API — `.gauge("…")`, `.rate_per_s("…")`,
+        // `.windowed_pct("…")`, `.windowed_ratio_pct("…")` — follow the same
+        // dotted lowercase scheme and must be registered in `GAUGE_NAMES`.
+        // Dynamically built names (e.g. the engine's derived `rate.*`
+        // series) are not literals and are exempt by construction.
+        if t.kind == TokKind::Punct && t.text == "." {
+            if let (Some(name), Some(open), Some(arg)) =
+                (code.get(i + 1), code.get(i + 2), code.get(i + 3))
+            {
+                if name.kind == TokKind::Ident
+                    && matches!(
+                        name.text.as_str(),
+                        "gauge" | "rate_per_s" | "windowed_pct" | "windowed_ratio_pct"
+                    )
+                    && open.text == "("
+                    && arg.kind == TokKind::StrLit
+                {
+                    if !counter_name_ok(&arg.text) {
+                        push(
+                            &mut diags,
+                            &allow,
+                            file,
+                            arg.line,
+                            "D3/gauge-name",
+                            "gauge-name",
+                            format!(
+                                "gauge name `{}` violates the dotted lowercase scheme \
+                                 `[a-z0-9_]+(.[a-z0-9_]+)*`",
+                                arg.text
+                            ),
+                        );
+                    } else if !cfg.gauge_registry.is_empty()
+                        && !cfg.gauge_registry.iter().any(|n| n == &arg.text)
+                    {
+                        push(
+                            &mut diags,
+                            &allow,
+                            file,
+                            arg.line,
+                            "D3/gauge-name",
+                            "gauge-name",
+                            format!(
+                                "`{}` is not a registered gauge (see GAUGE_NAMES in \
+                                 crates/metrics/src/lib.rs); gauge base names must be \
+                                 table-registered",
+                                arg.text
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
         // D3: trace event-name discipline. Span and mark labels entering the
         // rdv-trace API follow the same dotted lowercase scheme as counters:
         // `.span_begin("…")`, `.span_end("…")`, `.mark("…")`, `.mark_linked("…")`.
@@ -437,6 +503,42 @@ fn fn_body<'t>(code: &[&'t Token], name: &str) -> Option<(usize, Vec<&'t Token>)
 /// literals inside the `ENGINE_SLOTS` array.
 pub fn parse_engine_slots(stats_src: &str) -> Vec<String> {
     parse_str_array(stats_src, "ENGINE_SLOTS").into_iter().map(|(name, _)| name).collect()
+}
+
+/// Parse the gauge registry out of the rdv-metrics source: the string
+/// literals inside the `GAUGE_NAMES` array.
+pub fn parse_gauge_names(metrics_src: &str) -> Vec<String> {
+    parse_str_array(metrics_src, "GAUGE_NAMES").into_iter().map(|(name, _)| name).collect()
+}
+
+/// D3 over the canonical gauge-name table: every entry of `GAUGE_NAMES`
+/// in `crates/metrics/src/lib.rs` must satisfy the dotted lowercase
+/// scheme. An unparseable table is itself a finding — the D3 gauge-name
+/// membership check leans on it.
+pub fn lint_gauge_names(file: &str, src: &str) -> Vec<Diagnostic> {
+    let names = parse_str_array(src, "GAUGE_NAMES");
+    if names.is_empty() {
+        return vec![Diagnostic {
+            file: file.to_string(),
+            line: 1,
+            rule: "D3/gauge-name".to_string(),
+            message: "could not parse the GAUGE_NAMES table; gauge names are unverifiable"
+                .to_string(),
+        }];
+    }
+    names
+        .into_iter()
+        .filter(|(name, _)| !counter_name_ok(name))
+        .map(|(name, line)| Diagnostic {
+            file: file.to_string(),
+            line,
+            rule: "D3/gauge-name".to_string(),
+            message: format!(
+                "gauge name `{name}` violates the dotted lowercase scheme \
+                 `[a-z0-9_]+(.[a-z0-9_]+)*`"
+            ),
+        })
+        .collect()
 }
 
 /// Collect the string literals (with their lines) inside the array literal

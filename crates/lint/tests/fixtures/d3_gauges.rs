@@ -1,0 +1,13 @@
+//! Fixture: D3 gauge-name discipline.
+fn naughty(m: &mut MetricSample<'_>) {
+    m.gauge("Link.QueueBytes", 1);
+    m.rate_per_s("spaced gauge", 2);
+    m.windowed_pct("trailing.", 3, 4);
+    m.windowed_ratio_pct("fine.but_unregistered", 5, 6);
+    m.gauge("link.queue_bytes", 7);
+    m.rate_per_s("transport.inflight", 8);
+    m.windowed_pct("link.queue_bytes", 9, 10);
+    m.gauge(&format!("rate.{name}"), 11);
+    // rdv-lint: allow(gauge-name) -- fixture: legacy dashboard gauge
+    m.gauge("Legacy.Gauge", 12);
+}

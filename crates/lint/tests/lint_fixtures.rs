@@ -11,7 +11,10 @@ fn fixture(name: &str) -> String {
 }
 
 fn stub_cfg() -> LintConfig {
-    LintConfig { sim_registry: vec!["sim.events".to_string()] }
+    LintConfig {
+        sim_registry: vec!["sim.events".to_string()],
+        gauge_registry: vec!["link.queue_bytes".to_string(), "transport.inflight".to_string()],
+    }
 }
 
 /// (line, rule) pairs, in output order.
@@ -85,6 +88,36 @@ fn d3_enforces_event_name_scheme_on_trace_labels() {
         "good labels (lines 6–8) and the allowed one (line 10) must pass; got: {diags:#?}"
     );
     assert!(diags[0].message.contains("dotted lowercase"));
+}
+
+#[test]
+fn d3_enforces_gauge_name_scheme_and_registry() {
+    let diags = lint_source("d3_gauges.rs", &fixture("d3_gauges.rs"), &stub_cfg());
+    assert_eq!(
+        locs(&diags),
+        vec![
+            (3, "D3/gauge-name"),
+            (4, "D3/gauge-name"),
+            (5, "D3/gauge-name"),
+            (6, "D3/gauge-name"),
+        ],
+        "registered names (lines 7–9), dynamic names (line 10), and the allowed one \
+         (line 12) must pass; got: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("dotted lowercase"));
+    assert!(diags[3].message.contains("not a registered gauge"));
+}
+
+#[test]
+fn gauge_name_table_is_validated() {
+    use rdv_lint::rules::lint_gauge_names;
+    let bad =
+        "pub const GAUGE_NAMES: [&str; 2] = [\n    \"link.queue_bytes\",\n    \"Bad.Gauge\",\n];\n";
+    let diags = lint_gauge_names("lib.rs", bad);
+    assert_eq!(locs(&diags), vec![(3, "D3/gauge-name")], "got: {diags:#?}");
+    let missing = "pub const OTHER: &[&str] = &[\"x\"];\n";
+    let diags = lint_gauge_names("lib.rs", missing);
+    assert_eq!(locs(&diags), vec![(1, "D3/gauge-name")], "unparseable table is a finding");
 }
 
 #[test]

@@ -77,6 +77,35 @@ impl Directory {
         self.entries.get(&obj).and_then(|e| e.exclusive)
     }
 
+    /// Number of tracked objects (the `discovery.directory_size` gauge).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no object is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Every `(object, holder)` pair the directory currently lists —
+    /// sharers and exclusive owners — in deterministic order. The
+    /// invariant monitor cross-checks each holder against the sim's
+    /// declared inboxes.
+    pub fn all_holders(&self) -> Vec<(ObjId, ObjId)> {
+        let mut out = Vec::new();
+        for (&obj, e) in &self.entries {
+            for &s in &e.sharers {
+                out.push((obj, s));
+            }
+            if let Some(x) = e.exclusive {
+                if !e.sharers.contains(&x) {
+                    out.push((obj, x));
+                }
+            }
+        }
+        out
+    }
+
     /// Internal invariant: an exclusive owner excludes all other copies.
     pub fn invariant_holds(&self) -> bool {
         self.entries.values().all(|e| match e.exclusive {

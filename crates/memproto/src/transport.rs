@@ -66,6 +66,9 @@ struct Flow {
     unacked: BTreeMap<u64, Unacked>,
     /// Receive side: next in-order sequence expected.
     recv_next: u64,
+    /// Send side: highest cumulative ack heard from the peer — the
+    /// acked-⇒-delivered high-water mark the invariant monitor audits.
+    acked: u64,
     /// Receive side: out-of-order stash.
     stash: BTreeMap<u64, Vec<u8>>,
     /// Consecutive RTO expiries without ack progress; scales the
@@ -80,6 +83,7 @@ impl Default for Flow {
         Flow {
             next_seq: 1,
             recv_next: 1,
+            acked: 0,
             unacked: BTreeMap::new(),
             stash: BTreeMap::new(),
             backoff: 0,
@@ -205,12 +209,35 @@ impl ReliableEndpoint {
     }
 
     fn apply_ack(flow: &mut Flow, ack: u64) {
+        flow.acked = flow.acked.max(ack);
         let before = flow.unacked.len();
         flow.unacked.retain(|&seq, _| seq > ack);
         if flow.unacked.len() < before {
             // Ack progress: the peer is reachable again.
             flow.backoff = 0;
         }
+    }
+
+    /// Peers with established flows, in flow-establishment order.
+    pub fn peers(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.flows.keys().copied()
+    }
+
+    /// Number of established flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Send side: highest cumulative ack heard from `peer` (0 if the flow
+    /// doesn't exist or nothing was acked).
+    pub fn acked_hi(&self, peer: ObjId) -> u64 {
+        self.flows.get(&peer).map(|f| f.acked).unwrap_or(0)
+    }
+
+    /// Receive side: highest sequence delivered in order from `peer` (0 if
+    /// nothing was delivered).
+    pub fn delivered_hi(&self, peer: ObjId) -> u64 {
+        self.flows.get(&peer).map(|f| f.cum_ack()).unwrap_or(0)
     }
 
     /// Collect segments due for retransmission at `now`, honouring each
@@ -532,6 +559,27 @@ mod tests {
             MsgBody::RelData { seq, .. } => assert_eq!(*seq, 1, "token follows its segment"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn high_water_marks_track_acked_and_delivered() {
+        let (mut a, mut b) = pair();
+        assert_eq!(a.acked_hi(ObjId(0xB)), 0);
+        assert_eq!(b.delivered_hi(ObjId(0xA)), 0);
+        let m1 = a.send(SimTime::ZERO, ObjId(0xB), bare(1));
+        let m2 = a.send(SimTime::ZERO, ObjId(0xB), bare(2));
+        let (_, ack1) = b.on_receive(&m1);
+        assert_eq!(b.delivered_hi(ObjId(0xA)), 1);
+        a.on_receive(&ack1.unwrap());
+        assert_eq!(a.acked_hi(ObjId(0xB)), 1);
+        // The invariant the monitor audits: acked ≤ peer's delivered.
+        let (_, ack2) = b.on_receive(&m2);
+        a.on_receive(&ack2.unwrap());
+        assert_eq!(a.acked_hi(ObjId(0xB)), 2);
+        assert_eq!(b.delivered_hi(ObjId(0xA)), 2);
+        assert!(a.acked_hi(ObjId(0xB)) <= b.delivered_hi(ObjId(0xA)));
+        assert_eq!(a.peers().collect::<Vec<_>>(), vec![ObjId(0xB)]);
+        assert_eq!(a.flow_count(), 1);
     }
 
     #[test]

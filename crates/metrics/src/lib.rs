@@ -1,0 +1,72 @@
+//! rdv-metrics: deterministic time-series telemetry for the rendezvous
+//! sim stack.
+//!
+//! Counters and histograms answer *how much* over a whole run; rdv-trace
+//! answers *why* for one operation. This crate answers *when*: a
+//! [`MetricSet`] is a sim-time-cadenced sampling plane owned by the
+//! simulation engine that records registered gauges (link queue depth,
+//! utilization, cache occupancy, directory size, …) every
+//! `sample_interval` nanoseconds of simulated time into bounded,
+//! first-registration-ordered series, plus windowed rates derived from
+//! the existing cumulative counters (e.g. `sim.packets_dropped.*`/s).
+//!
+//! On top of the series:
+//!
+//! - a **live invariant monitor** — each sample tick can run in-sim
+//!   audits (packet conservation, directory-holder membership,
+//!   acked ⇒ delivered, counter monotonicity) that fail fast with the
+//!   sim time, a gauge snapshot, and — when tracing is on — the
+//!   [`rdv_trace::EventId`] of the violating step;
+//! - **byte-deterministic exporters** — [`export::json`] and
+//!   [`export::text_table`] (aligned columns with unicode sparklines),
+//!   formatted with integer arithmetic only, so the same seed yields
+//!   byte-identical artifacts across processes and worker counts.
+//!
+//! Determinism contract: sampling reads simulation state, never mutates
+//! it — no events are scheduled, no RNG is drawn — so enabling metrics
+//! cannot perturb a run. A disabled set ([`MetricSet::disabled`], the
+//! engine default) allocates nothing and costs one branch per event-loop
+//! iteration.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(clippy::disallowed_types, clippy::disallowed_methods)]
+
+mod monitor;
+mod set;
+
+pub mod export;
+
+pub use monitor::{AuditScope, Violation};
+pub use set::{MetricSample, MetricSet, MetricsConfig, Series};
+
+/// Canonical gauge base names. Every string literal passed to
+/// [`MetricSample::gauge`] / [`MetricSample::rate_per_s`] /
+/// [`MetricSample::windowed_pct`] / [`MetricSample::windowed_ratio_pct`]
+/// must appear here — rdv-lint parses this table from source and
+/// cross-checks call sites, exactly as it does for `ENGINE_SLOTS`
+/// counters. Full gauge names are `<base>.<instance>` (e.g.
+/// `link.queue_bytes.l0`); derived counter rates are named
+/// `rate.<counter>` and are registered dynamically by the engine.
+pub const GAUGE_NAMES: [&str; 15] = [
+    "link.queue_bytes",
+    "link.util_pct",
+    "node.pending_timers",
+    "engine.inflight_packets",
+    "transport.inflight",
+    "transport.flows",
+    "memproto.cache_objects",
+    "memproto.cache_bytes",
+    "memproto.cache_hit_pct",
+    "discovery.directory_size",
+    "discovery.destcache_entries",
+    "discovery.destcache_hit_pct",
+    "discovery.pending_accesses",
+    "discovery.broadcast_rate",
+    "core.placement_queue",
+];
+
+/// Whether `base` is one of the canonical [`GAUGE_NAMES`].
+pub fn is_registered_base(base: &str) -> bool {
+    GAUGE_NAMES.contains(&base)
+}

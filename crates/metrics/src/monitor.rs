@@ -1,0 +1,319 @@
+//! The live invariant monitor: per-tick in-sim audits that fail fast.
+//!
+//! Each sample tick the engine (a) checks packet conservation and
+//! counter monotonicity itself, and (b) walks every node's `audit`
+//! callback, which declares the node's inbox and makes *claims* —
+//! "this directory lists inbox X as holder of object O", "I have acks
+//! from peer P up to sequence N". Claims are cross-checked after the
+//! walk: a directory holder must be an inbox some node in the sim
+//! declared (stale entries pointing at departed nodes are violations;
+//! crash-stop windows are tolerated because a crashed node's in-memory
+//! state — and membership — survives to its restart), and an acked
+//! high-water mark must not exceed the peer's delivered high-water mark.
+//!
+//! A violation carries the sim time, the invariant name, a detail
+//! string, a gauge snapshot, and — when tracing is on — the
+//! [`EventId`] of the last engine step before the audit.
+
+use rdv_det::DetMap;
+use rdv_trace::EventId;
+
+/// One invariant violation, captured at the failing tick.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Sim time of the audit that caught it, in nanoseconds.
+    pub at_ns: u64,
+    /// Invariant name (`packet_conservation`, `directory_holders`,
+    /// `acked_implies_delivered`, `counter_monotonic`).
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+    /// The last trace event recorded before the audit — the violating
+    /// step, when tracing is enabled.
+    pub event_id: Option<EventId>,
+    /// Every gauge's last sampled value at the time of the violation.
+    pub gauges: Vec<(String, u64)>,
+}
+
+impl Violation {
+    fn render(&self) -> String {
+        let ev = match self.event_id {
+            Some(id) => format!(" (trace event #{})", id.0),
+            None => String::new(),
+        };
+        let mut s = format!(
+            "invariant `{}` violated at t={} ns{ev}: {}",
+            self.invariant, self.at_ns, self.detail
+        );
+        if !self.gauges.is_empty() {
+            s.push_str("\n  gauge snapshot:");
+            for (name, v) in &self.gauges {
+                s.push_str(&format!("\n    {name} = {v}"));
+            }
+        }
+        s
+    }
+}
+
+/// Claim storage for one audit tick plus the cross-tick monotonicity
+/// snapshot and the violation log.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    /// inbox → (node index, alive at audit time).
+    inboxes: DetMap<u128, (u32, bool)>,
+    /// (object, holder inbox, claiming node).
+    holders: Vec<(u128, u128, u32)>,
+    /// (source inbox, destination inbox, acked high-water).
+    acked: Vec<(u128, u128, u64)>,
+    /// (source inbox, destination inbox) → delivered high-water.
+    delivered: DetMap<(u128, u128), u64>,
+    /// Counter values at the previous tick, for monotonicity.
+    prev_counters: Vec<u64>,
+    violations: Vec<Violation>,
+}
+
+impl Monitor {
+    /// Clear the per-tick claims (monotonicity state persists).
+    pub fn begin(&mut self) {
+        self.inboxes.clear();
+        self.holders.clear();
+        self.acked.clear();
+        self.delivered.clear();
+    }
+
+    /// A claims handle scoped to one node.
+    pub fn scope(&mut self, node: u32, alive: bool) -> AuditScope<'_> {
+        AuditScope { mon: self, node, alive }
+    }
+
+    /// Recorded violations.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Record (or panic on) a violation.
+    pub fn report(
+        &mut self,
+        at: u64,
+        invariant: &'static str,
+        detail: String,
+        event_id: Option<EventId>,
+        gauges: Vec<(String, u64)>,
+        panic_on_violation: bool,
+    ) {
+        let v = Violation { at_ns: at, invariant, detail, event_id, gauges };
+        if panic_on_violation {
+            panic!("{}", v.render());
+        }
+        self.violations.push(v);
+    }
+
+    /// Cross-check the tick's claims after every node was audited.
+    pub fn check_claims(
+        &mut self,
+        at: u64,
+        event_id: Option<EventId>,
+        gauges: &[(String, u64)],
+        panic_on_violation: bool,
+    ) {
+        let mut found: Vec<(&'static str, String)> = Vec::new();
+        for &(obj, holder, node) in &self.holders {
+            // Membership, not instantaneous liveness: a crashed node's
+            // declaration survives (crash-stop of the network stack
+            // only), so only holders no node in the sim ever declared —
+            // truly stale directory entries — are violations.
+            if self.inboxes.get(&holder).is_none() {
+                found.push((
+                    "directory_holders",
+                    format!(
+                        "node {node} lists inbox {holder:#x} as holder of object {obj:#x}, \
+                         but no node in the sim declares that inbox"
+                    ),
+                ));
+            }
+        }
+        for &(src, dst, acked) in &self.acked {
+            if let Some(&delivered) = self.delivered.get(&(src, dst)) {
+                if acked > delivered {
+                    found.push((
+                        "acked_implies_delivered",
+                        format!(
+                            "flow {src:#x} → {dst:#x}: sender has acks through seq {acked} \
+                             but the receiver only delivered through seq {delivered}"
+                        ),
+                    ));
+                }
+            }
+        }
+        for (invariant, detail) in found {
+            self.report(at, invariant, detail, event_id, gauges.to_vec(), panic_on_violation);
+        }
+    }
+
+    /// Check that each counter is ≥ its previous-tick value.
+    pub fn check_monotonic(
+        &mut self,
+        at: u64,
+        counters: &[(&'static str, u64)],
+        event_id: Option<EventId>,
+        gauges: &[(String, u64)],
+        panic_on_violation: bool,
+    ) {
+        let mut found: Vec<(&'static str, String)> = Vec::new();
+        if self.prev_counters.len() == counters.len() {
+            for (&(name, now), &before) in counters.iter().zip(self.prev_counters.iter()) {
+                if now < before {
+                    found.push((
+                        "counter_monotonic",
+                        format!("counter `{name}` went backwards: {before} → {now}"),
+                    ));
+                }
+            }
+        }
+        self.prev_counters.clear();
+        self.prev_counters.extend(counters.iter().map(|&(_, v)| v));
+        for (invariant, detail) in found {
+            self.report(at, invariant, detail, event_id, gauges.to_vec(), panic_on_violation);
+        }
+    }
+}
+
+/// The claims handle passed to each node's `audit` callback.
+#[derive(Debug)]
+pub struct AuditScope<'a> {
+    mon: &'a mut Monitor,
+    node: u32,
+    alive: bool,
+}
+
+impl AuditScope<'_> {
+    /// This node's index in the simulation.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Whether the node's network stack is up at audit time.
+    pub fn alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Declare an inbox this node owns. Directory-holder claims are
+    /// checked against the set of declared inboxes.
+    pub fn declare_inbox(&mut self, inbox: u128) {
+        self.mon.inboxes.insert(inbox, (self.node, self.alive));
+    }
+
+    /// Claim that a directory this node maintains lists `holder_inbox`
+    /// as a holder of `obj`.
+    pub fn claim_holder(&mut self, obj: u128, holder_inbox: u128) {
+        self.mon.holders.push((obj, holder_inbox, self.node));
+    }
+
+    /// Claim the sender-side acked high-water mark for the flow
+    /// `self_inbox → peer_inbox`.
+    pub fn claim_acked(&mut self, self_inbox: u128, peer_inbox: u128, acked_hi: u64) {
+        self.mon.acked.push((self_inbox, peer_inbox, acked_hi));
+    }
+
+    /// Claim the receiver-side delivered high-water mark for the flow
+    /// `src_inbox → self_inbox`.
+    pub fn claim_delivered(&mut self, src_inbox: u128, self_inbox: u128, delivered_hi: u64) {
+        self.mon.delivered.insert((src_inbox, self_inbox), delivered_hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_holders_pass_even_when_crashed() {
+        let mut m = Monitor::default();
+        m.begin();
+        m.scope(0, false).declare_inbox(0xA0); // crashed but a member
+        m.scope(1, true).claim_holder(0x1, 0xA0);
+        m.check_claims(100, None, &[], false);
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn unknown_holder_inbox_is_a_violation_with_context() {
+        let mut m = Monitor::default();
+        m.begin();
+        m.scope(0, true).declare_inbox(0xA0);
+        m.scope(1, true).claim_holder(0x7, 0xDEAD);
+        let gauges = vec![("link.queue_bytes.l0".to_string(), 42u64)];
+        m.check_claims(500, Some(EventId(9)), &gauges, false);
+        let v = &m.violations()[0];
+        assert_eq!(v.invariant, "directory_holders");
+        assert_eq!(v.at_ns, 500);
+        assert_eq!(v.event_id, Some(EventId(9)));
+        assert!(v.detail.contains("0xdead"));
+        assert_eq!(v.gauges, gauges);
+    }
+
+    #[test]
+    fn acked_beyond_delivered_fires() {
+        let mut m = Monitor::default();
+        m.begin();
+        m.scope(0, true).claim_acked(0xA, 0xB, 10);
+        m.scope(1, true).claim_delivered(0xA, 0xB, 7);
+        m.check_claims(1, None, &[], false);
+        assert_eq!(m.violations()[0].invariant, "acked_implies_delivered");
+
+        // And the consistent case stays green.
+        let mut ok = Monitor::default();
+        ok.begin();
+        ok.scope(0, true).claim_acked(0xA, 0xB, 7);
+        ok.scope(1, true).claim_delivered(0xA, 0xB, 7);
+        ok.check_claims(1, None, &[], false);
+        assert!(ok.violations().is_empty());
+    }
+
+    #[test]
+    fn acked_without_matching_delivered_claim_is_unchecked() {
+        let mut m = Monitor::default();
+        m.begin();
+        m.scope(0, true).claim_acked(0xA, 0xB, 10);
+        m.check_claims(1, None, &[], false);
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn monotonicity_catches_backwards_counters() {
+        let mut m = Monitor::default();
+        m.check_monotonic(10, &[("sim.events", 5)], None, &[], false);
+        m.check_monotonic(20, &[("sim.events", 9)], None, &[], false);
+        assert!(m.violations().is_empty());
+        m.check_monotonic(30, &[("sim.events", 4)], None, &[], false);
+        assert_eq!(m.violations()[0].invariant, "counter_monotonic");
+        assert!(m.violations()[0].detail.contains("9 → 4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant `packet_conservation` violated at t=77 ns")]
+    fn panic_on_violation_fails_fast_with_context() {
+        let mut m = Monitor::default();
+        m.report(
+            77,
+            "packet_conservation",
+            "sent 5 != accounted 4".to_string(),
+            None,
+            vec![],
+            true,
+        );
+    }
+
+    #[test]
+    fn begin_clears_claims_but_keeps_monotonic_state() {
+        let mut m = Monitor::default();
+        m.check_monotonic(10, &[("sim.events", 5)], None, &[], false);
+        m.begin();
+        m.scope(0, true).claim_holder(0x1, 0xBAD);
+        m.begin(); // claims dropped before checking
+        m.check_claims(20, None, &[], false);
+        m.check_monotonic(20, &[("sim.events", 3)], None, &[], false);
+        assert_eq!(m.violations().len(), 1, "monotonic state survived begin()");
+        assert_eq!(m.violations()[0].invariant, "counter_monotonic");
+    }
+}

@@ -1,0 +1,487 @@
+//! The gauge registry, bounded series storage, and the per-tick sampling
+//! handle.
+//!
+//! Gauges are registered lazily on first use and keep their
+//! first-registration order forever — node and link iteration order in
+//! the engine is deterministic, so gauge ids (and therefore exporter
+//! output) are identical across processes and worker counts.
+
+use rdv_det::DetMap;
+use rdv_trace::EventId;
+
+use crate::monitor::{AuditScope, Monitor, Violation};
+
+/// Configuration for an enabled [`MetricSet`].
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsConfig {
+    /// Sim-time cadence between samples, in nanoseconds.
+    pub sample_interval_ns: u64,
+    /// Per-series retention bound: each series keeps the most recent this
+    /// many points (older points are evicted and counted, not silently
+    /// forgotten).
+    pub max_samples: usize,
+    /// Run the invariant monitor's audits at every sample tick.
+    pub audit: bool,
+    /// Panic on the first invariant violation (fail fast, the default).
+    /// Tests that deliberately seed violations set this to `false` and
+    /// assert on [`MetricSet::violations`] instead.
+    pub panic_on_violation: bool,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            sample_interval_ns: 10_000,
+            max_samples: 4096,
+            audit: true,
+            panic_on_violation: true,
+        }
+    }
+}
+
+/// One gauge's bounded time series: `(sim time ns, value)` points in a
+/// ring that retains the most recent `cap` samples.
+#[derive(Debug, Default, Clone)]
+pub struct Series {
+    cap: usize,
+    /// Total points ever recorded; retained points are the trailing
+    /// `min(total, cap)` of them.
+    total: u64,
+    points: Vec<(u64, u64)>,
+}
+
+impl Series {
+    fn new(cap: usize) -> Series {
+        Series { cap: cap.max(1), total: 0, points: Vec::new() }
+    }
+
+    fn push(&mut self, at: u64, value: u64) {
+        if self.points.len() < self.cap {
+            self.points.push((at, value));
+        } else {
+            let idx = (self.total % self.cap as u64) as usize;
+            self.points[idx] = (at, value);
+        }
+        self.total += 1;
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points evicted by the retention bound.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.points.len() as u64
+    }
+
+    /// Retained `(at_ns, value)` points, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let start = self.total as usize % self.cap;
+        let wrapped = self.points.len() == self.cap && self.total > self.cap as u64;
+        let (head, tail) = if wrapped {
+            (&self.points[start..], &self.points[..start])
+        } else {
+            (&self.points[..], &self.points[..0])
+        };
+        head.iter().chain(tail.iter()).copied()
+    }
+
+    /// The most recent value, if any.
+    pub fn last(&self) -> Option<(u64, u64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        if self.points.len() < self.cap {
+            self.points.last().copied()
+        } else {
+            let idx = ((self.total + self.cap as u64 - 1) % self.cap as u64) as usize;
+            Some(self.points[idx])
+        }
+    }
+}
+
+/// The telemetry plane: gauge registry, per-gauge series, windowed-rate
+/// state, and the invariant monitor. Owned by the simulation engine;
+/// disabled (and allocation-free) by default.
+#[derive(Debug, Default)]
+pub struct MetricSet {
+    enabled: bool,
+    cfg: MetricsConfig,
+    /// Next sample boundary (ns). Samples are stamped at exact multiples
+    /// of the interval regardless of event times.
+    next_sample: u64,
+    /// Sample ticks taken so far.
+    ticks: u64,
+    names: Vec<String>,
+    by_name: DetMap<String, u32>,
+    series: Vec<Series>,
+    /// Per-gauge previous cumulative values for windowed derivations.
+    prev: Vec<(u64, u64)>,
+    monitor: Monitor,
+}
+
+impl MetricSet {
+    /// The engine default: records nothing, allocates nothing.
+    pub fn disabled() -> MetricSet {
+        MetricSet { enabled: false, ..MetricSet::default() }
+    }
+
+    /// An enabled set sampling on `cfg`'s cadence. The first sample is
+    /// taken at `sample_interval_ns`, covering the window since time 0.
+    pub fn enabled(cfg: MetricsConfig) -> MetricSet {
+        assert!(cfg.sample_interval_ns > 0, "sample_interval_ns must be positive");
+        MetricSet {
+            enabled: true,
+            cfg,
+            next_sample: cfg.sample_interval_ns,
+            ..MetricSet::default()
+        }
+    }
+
+    /// Whether sampling is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether the invariant monitor runs at each tick.
+    pub fn audit_enabled(&self) -> bool {
+        self.enabled && self.cfg.audit
+    }
+
+    /// The sampling cadence (0 when disabled).
+    pub fn sample_interval_ns(&self) -> u64 {
+        self.cfg.sample_interval_ns
+    }
+
+    /// The next sample boundary if it falls strictly before `t` — the
+    /// engine calls this with the next event's timestamp, so a sample at
+    /// boundary `b` reflects the state after every event with time ≤ `b`.
+    pub fn due_before(&self, t: u64) -> Option<u64> {
+        (self.enabled && self.next_sample < t).then_some(self.next_sample)
+    }
+
+    /// Advance past the current boundary after a tick is recorded.
+    pub fn advance(&mut self) {
+        self.next_sample += self.cfg.sample_interval_ns;
+        self.ticks += 1;
+    }
+
+    /// Sample ticks taken.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Borrow a recording handle for the tick at `at` ns.
+    pub fn sampler(&mut self, at: u64) -> MetricSample<'_> {
+        MetricSample { set: self, at, instance: String::new(), key: String::new() }
+    }
+
+    /// Gauge full names in first-registration order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The series behind gauge index `i` (indices follow [`MetricSet::names`]).
+    pub fn series(&self, i: usize) -> &Series {
+        &self.series[i]
+    }
+
+    /// Look up a gauge's series by full name.
+    pub fn series_by_name(&self, name: &str) -> Option<&Series> {
+        self.by_name.get(name).map(|&i| &self.series[i as usize])
+    }
+
+    /// Violations recorded by the monitor (empty unless
+    /// `panic_on_violation` was disabled — with it on, the first
+    /// violation panics instead).
+    pub fn violations(&self) -> &[Violation] {
+        self.monitor.violations()
+    }
+
+    /// The last recorded value of every gauge, in registration order —
+    /// the snapshot attached to violations.
+    pub fn last_values(&self) -> Vec<(String, u64)> {
+        self.names
+            .iter()
+            .zip(self.series.iter())
+            .map(|(n, s)| (n.clone(), s.last().map(|(_, v)| v).unwrap_or(0)))
+            .collect()
+    }
+
+    fn register(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        self.series.push(Series::new(self.cfg.max_samples));
+        self.prev.push((0, 0));
+        id
+    }
+
+    // ---- invariant-monitor plumbing (engine-facing) ----
+
+    /// Clear per-tick audit claims before walking the nodes.
+    pub fn begin_audit(&mut self) {
+        self.monitor.begin();
+    }
+
+    /// Borrow the claims handle for one node's [`audit`] callback.
+    ///
+    /// [`audit`]: AuditScope
+    pub fn auditor(&mut self, node: u32, alive: bool) -> AuditScope<'_> {
+        self.monitor.scope(node, alive)
+    }
+
+    /// Check every cross-node claim gathered this tick (directory-holder
+    /// membership, acked ⇒ delivered).
+    pub fn check_claims(&mut self, at: u64, event_id: Option<EventId>) {
+        let snapshot = self.last_values();
+        self.monitor.check_claims(at, event_id, &snapshot, self.cfg.panic_on_violation);
+    }
+
+    /// Check that every named counter is monotonically non-decreasing
+    /// against the previous tick's snapshot.
+    pub fn check_monotonic(
+        &mut self,
+        at: u64,
+        counters: &[(&'static str, u64)],
+        event_id: Option<EventId>,
+    ) {
+        let snapshot = self.last_values();
+        self.monitor.check_monotonic(
+            at,
+            counters,
+            event_id,
+            &snapshot,
+            self.cfg.panic_on_violation,
+        );
+    }
+
+    /// Record an engine-detected violation (e.g. packet conservation).
+    pub fn report_violation(
+        &mut self,
+        at: u64,
+        invariant: &'static str,
+        detail: String,
+        event_id: Option<EventId>,
+    ) {
+        let snapshot = self.last_values();
+        self.monitor.report(at, invariant, detail, event_id, snapshot, self.cfg.panic_on_violation);
+    }
+}
+
+/// The per-tick recording handle handed to the engine and to every
+/// node's `sample_metrics` callback. Full gauge names are
+/// `<base>.<instance>`; the engine sets the instance label (`l0`, `h1`,
+/// …) before each scope.
+#[derive(Debug)]
+pub struct MetricSample<'a> {
+    set: &'a mut MetricSet,
+    at: u64,
+    instance: String,
+    /// Scratch key buffer so steady-state sampling allocates only on
+    /// first registration.
+    key: String,
+}
+
+impl MetricSample<'_> {
+    /// The tick's sim time in nanoseconds.
+    pub fn at(&self) -> u64 {
+        self.at
+    }
+
+    /// Set the instance label appended to every base name. Labels are
+    /// normalized to the gauge grammar (`[a-z0-9_]`): uppercase is
+    /// lowered, anything else becomes `_`.
+    pub fn set_instance(&mut self, label: &str) {
+        self.instance.clear();
+        for b in label.bytes() {
+            let c = match b {
+                b'a'..=b'z' | b'0'..=b'9' | b'_' => b as char,
+                b'A'..=b'Z' => (b + 32) as char,
+                _ => '_',
+            };
+            self.instance.push(c);
+        }
+    }
+
+    /// Clear the instance label (for engine-global gauges).
+    pub fn clear_instance(&mut self) {
+        self.instance.clear();
+    }
+
+    fn id(&mut self, base: &str) -> usize {
+        self.key.clear();
+        self.key.push_str(base);
+        if !self.instance.is_empty() {
+            self.key.push('.');
+            self.key.push_str(&self.instance);
+        }
+        if let Some(&id) = self.set.by_name.get(self.key.as_str()) {
+            return id as usize;
+        }
+        let key = self.key.clone();
+        self.set.register(&key) as usize
+    }
+
+    /// Record an instantaneous value for `<base>.<instance>`.
+    pub fn gauge(&mut self, base: &str, value: u64) {
+        let id = self.id(base);
+        let at = self.at;
+        self.set.series[id].push(at, value);
+    }
+
+    /// Record a windowed rate: the change in a cumulative counter since
+    /// the previous tick, scaled to events per second of sim time.
+    pub fn rate_per_s(&mut self, base: &str, cumulative: u64) {
+        let id = self.id(base);
+        let delta = cumulative.saturating_sub(self.set.prev[id].0);
+        self.set.prev[id].0 = cumulative;
+        let interval = self.set.cfg.sample_interval_ns.max(1);
+        let rate = (delta as u128 * 1_000_000_000 / interval as u128) as u64;
+        let at = self.at;
+        self.set.series[id].push(at, rate);
+    }
+
+    /// Record a windowed duty-cycle percentage: the change in a
+    /// cumulative nanosecond accumulator since the previous tick, as a
+    /// share of the interval, capped at 100.
+    pub fn windowed_pct(&mut self, base: &str, cumulative_ns: u64) {
+        let id = self.id(base);
+        let delta = cumulative_ns.saturating_sub(self.set.prev[id].0);
+        self.set.prev[id].0 = cumulative_ns;
+        let interval = self.set.cfg.sample_interval_ns.max(1);
+        let pct = (delta as u128 * 100 / interval as u128).min(100) as u64;
+        let at = self.at;
+        self.set.series[id].push(at, pct);
+    }
+
+    /// Record a windowed ratio percentage from two cumulative counters
+    /// (e.g. cache hits over hits+misses). A window with no denominator
+    /// movement carries the previous value forward.
+    pub fn windowed_ratio_pct(&mut self, base: &str, num_cumulative: u64, den_cumulative: u64) {
+        let id = self.id(base);
+        let dn = num_cumulative.saturating_sub(self.set.prev[id].0);
+        let dd = den_cumulative.saturating_sub(self.set.prev[id].1);
+        self.set.prev[id] = (num_cumulative, den_cumulative);
+        let pct = if dd == 0 {
+            self.set.series[id].last().map(|(_, v)| v).unwrap_or(0)
+        } else {
+            (dn as u128 * 100 / dd as u128).min(100) as u64
+        };
+        let at = self.at;
+        self.set.series[id].push(at, pct);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(interval: u64) -> MetricsConfig {
+        MetricsConfig { sample_interval_ns: interval, ..Default::default() }
+    }
+
+    #[test]
+    fn disabled_set_is_inert_and_allocation_free() {
+        let set = MetricSet::disabled();
+        assert!(!set.is_enabled());
+        assert!(!set.audit_enabled());
+        assert_eq!(set.due_before(u64::MAX), None);
+        assert!(set.names().is_empty());
+    }
+
+    #[test]
+    fn due_before_walks_interval_boundaries() {
+        let mut set = MetricSet::enabled(cfg(100));
+        assert_eq!(set.due_before(50), None, "no boundary before the first event");
+        assert_eq!(set.due_before(100), None, "boundary == event time waits for the event");
+        assert_eq!(set.due_before(101), Some(100));
+        set.advance();
+        assert_eq!(set.due_before(101), None);
+        assert_eq!(set.due_before(250), Some(200));
+    }
+
+    #[test]
+    fn gauges_keep_first_registration_order() {
+        let mut set = MetricSet::enabled(cfg(10));
+        let mut m = set.sampler(10);
+        m.set_instance("l0");
+        m.gauge("link.queue_bytes", 5);
+        m.set_instance("h1");
+        m.gauge("discovery.destcache_entries", 2);
+        m.set_instance("l0");
+        m.gauge("link.queue_bytes", 7);
+        assert_eq!(set.names(), &["link.queue_bytes.l0", "discovery.destcache_entries.h1"]);
+        let pts: Vec<_> = set.series(0).points().collect();
+        assert_eq!(pts, vec![(10, 5), (10, 7)]);
+    }
+
+    #[test]
+    fn instance_labels_are_normalized() {
+        let mut set = MetricSet::enabled(cfg(10));
+        let mut m = set.sampler(10);
+        m.set_instance("Host-0/A");
+        m.gauge("node.pending_timers", 1);
+        assert_eq!(set.names(), &["node.pending_timers.host_0_a"]);
+    }
+
+    #[test]
+    fn rate_per_s_windows_cumulative_counters() {
+        let mut set = MetricSet::enabled(cfg(1000)); // 1 µs interval
+        for (at, cum) in [(1000u64, 5u64), (2000, 5), (3000, 25)] {
+            let mut m = set.sampler(at);
+            m.rate_per_s("discovery.broadcast_rate", cum);
+            set.advance();
+        }
+        let vals: Vec<u64> = set.series(0).points().map(|(_, v)| v).collect();
+        // 5 events in the first µs = 5e6/s; 0; then 20 = 2e7/s.
+        assert_eq!(vals, vec![5_000_000, 0, 20_000_000]);
+    }
+
+    #[test]
+    fn windowed_pct_caps_at_100() {
+        let mut set = MetricSet::enabled(cfg(1000));
+        let mut m = set.sampler(1000);
+        m.windowed_pct("link.util_pct", 700);
+        set.advance();
+        let mut m = set.sampler(2000);
+        m.windowed_pct("link.util_pct", 5000); // 4300 ns busy in a 1000 ns window
+        let vals: Vec<u64> = set.series(0).points().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![70, 100]);
+    }
+
+    #[test]
+    fn ratio_pct_carries_forward_on_empty_windows() {
+        let mut set = MetricSet::enabled(cfg(1000));
+        for (at, hits, total) in [(1000u64, 3u64, 4u64), (2000, 3, 4), (3000, 3, 8)] {
+            let mut m = set.sampler(at);
+            m.windowed_ratio_pct("memproto.cache_hit_pct", hits, total);
+            set.advance();
+        }
+        let vals: Vec<u64> = set.series(0).points().map(|(_, v)| v).collect();
+        // 3/4 = 75%; empty window carries 75; then 0/4 = 0%.
+        assert_eq!(vals, vec![75, 75, 0]);
+    }
+
+    #[test]
+    fn series_ring_retains_most_recent_and_counts_drops() {
+        let mut s = Series::new(3);
+        for i in 0..5u64 {
+            s.push(i * 10, i);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts, vec![(20, 2), (30, 3), (40, 4)]);
+        assert_eq!(s.last(), Some((40, 4)));
+    }
+}

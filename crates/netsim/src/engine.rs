@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rdv_metrics::{MetricSet, MetricsConfig};
 use rdv_trace::{
     DropReason, EventId, EventKind as TraceKind, FaultKind, TraceCtx, Tracer, ENGINE_NODE,
 };
@@ -20,10 +21,10 @@ use crate::link::{Link, LinkId, LinkRate, LinkSpec};
 use crate::node::{Node, NodeCtx, NodeId, PortId};
 use crate::packet::Packet;
 use crate::stats::{
-    Counters, SIM_DELIVERIES_DROPPED_CRASH, SIM_EVENTS, SIM_FAULTS_APPLIED, SIM_PACKETS_DELIVERED,
-    SIM_PACKETS_DROPPED, SIM_PACKETS_DROPPED_BAD_PORT, SIM_PACKETS_DROPPED_DEAD_NODE,
-    SIM_PACKETS_DROPPED_LINK_DOWN, SIM_PACKETS_DROPPED_PARTITION, SIM_PACKETS_LOST,
-    SIM_PACKETS_SENT, SIM_TIMERS, SIM_TIMERS_DROPPED_CRASH,
+    Counters, ENGINE_SLOTS, ENGINE_SLOT_IDS, SIM_DELIVERIES_DROPPED_CRASH, SIM_EVENTS,
+    SIM_FAULTS_APPLIED, SIM_PACKETS_DELIVERED, SIM_PACKETS_DROPPED, SIM_PACKETS_DROPPED_BAD_PORT,
+    SIM_PACKETS_DROPPED_DEAD_NODE, SIM_PACKETS_DROPPED_LINK_DOWN, SIM_PACKETS_DROPPED_PARTITION,
+    SIM_PACKETS_LOST, SIM_PACKETS_SENT, SIM_TIMERS, SIM_TIMERS_DROPPED_CRASH,
 };
 use crate::time::SimTime;
 
@@ -152,6 +153,17 @@ pub struct Sim {
     /// default: every emission site is a single branch and nothing
     /// allocates.
     pub tracer: Tracer,
+    /// Time-series telemetry plane (see [`Sim::enable_metrics`]).
+    /// Disabled by default: the event loop pays one branch per iteration
+    /// and nothing allocates.
+    pub metrics: MetricSet,
+    /// Packets admitted to a link and not yet delivered or dropped — the
+    /// in-flight term of the packet-conservation invariant and the
+    /// `engine.inflight_packets` gauge.
+    inflight_pkts: u64,
+    /// Per node: timers armed and not yet fired or discarded, for the
+    /// `node.pending_timers` gauge.
+    pending_timers: Vec<u64>,
     /// Per node: trace id of the most recent crash fault, for the
     /// fault→dropped-delivery aux edge.
     crash_trace: Vec<Option<EventId>>,
@@ -183,6 +195,9 @@ impl Sim {
             scratch_sends: Vec::new(),
             scratch_timers: Vec::new(),
             tracer: Tracer::disabled(),
+            metrics: MetricSet::disabled(),
+            inflight_pkts: 0,
+            pending_timers: Vec::new(),
             crash_trace: Vec::new(),
             link_fault_trace: Vec::new(),
             partition_fault_trace: Vec::new(),
@@ -200,6 +215,37 @@ impl Sim {
     /// keep the trace after the simulation is dropped.
     pub fn take_tracer(&mut self) -> Tracer {
         std::mem::replace(&mut self.tracer, Tracer::disabled())
+    }
+
+    /// Turn on metrics sampling (and, per `cfg`, the invariant monitor).
+    /// Call before running. Sampling reads state only — no events are
+    /// scheduled and no RNG is drawn — so enabling metrics never perturbs
+    /// the simulation.
+    pub fn enable_metrics(&mut self, cfg: MetricsConfig) {
+        self.metrics = MetricSet::enabled(cfg);
+    }
+
+    /// Extract the metric set, leaving a disabled one behind — how
+    /// harnesses keep the series after the simulation is dropped.
+    pub fn take_metrics(&mut self) -> MetricSet {
+        std::mem::replace(&mut self.metrics, MetricSet::disabled())
+    }
+
+    /// Take any samples still due up to and including `until` — for
+    /// harnesses that want the tail of a run (after the last event)
+    /// covered before exporting.
+    pub fn flush_metrics(&mut self, until: SimTime) {
+        if self.metrics.is_enabled() {
+            self.pump_metrics(until.as_nanos().saturating_add(1));
+        }
+    }
+
+    /// Deliberately unbalance the in-flight packet account — the
+    /// test-only hook seeded-violation tests use to prove the
+    /// packet-conservation audit fires. Not part of the public API.
+    #[doc(hidden)]
+    pub fn debug_leak_inflight(&mut self) {
+        self.inflight_pkts += 1;
     }
 
     /// The nodes' [`Node::name`]s in id order — the track labels trace
@@ -220,6 +266,7 @@ impl Sim {
         self.ports.push(Vec::new());
         self.alive.push(true);
         self.epochs.push(0);
+        self.pending_timers.push(0);
         self.crash_trace.push(None);
         id
     }
@@ -268,6 +315,7 @@ impl Sim {
         let epoch = self.epochs[node.0];
         let seq = self.seq;
         self.seq += 1;
+        self.pending_timers[node.0] += 1;
         let trace = self.tracer.record(
             self.clock.as_nanos(),
             node.0 as u32,
@@ -566,6 +614,7 @@ impl Sim {
                 Some(arrival) => {
                     let seq = self.seq;
                     self.seq += 1;
+                    self.inflight_pkts += 1;
                     let epoch = self.epochs[dst.0];
                     // Timestamp the transmit at serialization completion
                     // (arrival minus propagation), so queue wait and wire
@@ -598,6 +647,7 @@ impl Sim {
         for (at, tag) in timers.drain(..) {
             let seq = self.seq;
             self.seq += 1;
+            self.pending_timers[node.0] += 1;
             let trace = if tracing {
                 self.tracer.record(
                     self.clock.as_nanos(),
@@ -638,9 +688,16 @@ impl Sim {
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.start_if_needed();
         let mut processed = 0u64;
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.at > deadline {
+        while let Some(next_at) = self.heap.peek().map(|Reverse(ev)| ev.at) {
+            if next_at > deadline {
                 break;
+            }
+            // Take any samples due strictly before the next event, so a
+            // sample at boundary `b` reflects the state after every event
+            // with time ≤ `b`. Sampling reads state only: no events, no
+            // RNG — disabled metrics cost exactly this one branch.
+            if self.metrics.is_enabled() {
+                self.pump_metrics(next_at.as_nanos());
             }
             if self.events >= self.cfg.max_events {
                 panic!(
@@ -656,6 +713,7 @@ impl Sim {
             processed += 1;
             match ev.kind {
                 EventKind::Deliver { node, port, packet, epoch } => {
+                    self.inflight_pkts -= 1;
                     if !self.alive[node.0] || epoch != self.epochs[node.0] {
                         // Destination crashed after admission: the packet
                         // evaporates with the incarnation it targeted.
@@ -679,6 +737,7 @@ impl Sim {
                     }
                 }
                 EventKind::Timer { node, tag, epoch } => {
+                    self.pending_timers[node.0] -= 1;
                     if !self.alive[node.0] || epoch != self.epochs[node.0] {
                         self.counters.inc_id(SIM_TIMERS_DROPPED_CRASH);
                         if self.tracer.is_enabled() {
@@ -715,6 +774,135 @@ impl Sim {
             }
         }
         processed
+    }
+
+    // ---- metrics plumbing (called only when metrics are enabled) ----
+
+    /// Take every sample due strictly before `next_event_ns`, one tick per
+    /// interval boundary — so a sample stamped at boundary `b` reflects
+    /// the state after every event with time ≤ `b`.
+    fn pump_metrics(&mut self, next_event_ns: u64) {
+        while let Some(at) = self.metrics.due_before(next_event_ns) {
+            self.take_sample(at);
+            self.metrics.advance();
+        }
+    }
+
+    /// Instance labels for per-node gauges: the node's [`Node::name`] when
+    /// unique within the sim, else `n<id>` (the sampler normalizes labels
+    /// to the gauge grammar).
+    fn metric_instances(&self) -> Vec<String> {
+        let names: Vec<&str> = self.nodes.iter().map(|n| n.name()).collect();
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                if names.iter().filter(|m| *m == name).count() == 1 {
+                    (*name).to_string()
+                } else {
+                    format!("n{i}")
+                }
+            })
+            .collect()
+    }
+
+    /// Record one metrics tick at sim time `at` (ns): link and engine
+    /// gauges, every node's [`Node::sample_metrics`], derived counter
+    /// rates, then (when configured) the invariant audits. The set is
+    /// `mem::take`n around the walk so nodes can be borrowed while
+    /// recording.
+    fn take_sample(&mut self, at: u64) {
+        use std::fmt::Write as _;
+        let mut set = std::mem::take(&mut self.metrics);
+        {
+            let mut m = set.sampler(at);
+            let mut label = String::new();
+            for (i, link) in self.links.iter().enumerate() {
+                // Queue depth in bytes, both directions: the backlog is
+                // kept in the time domain, so scale back by the link rate.
+                let mut queue_bytes = 0u64;
+                for dir in &link.dirs {
+                    let backlog_ns = dir.next_free.saturating_sub(self.clock).as_nanos();
+                    queue_bytes +=
+                        ((backlog_ns as u128 * 1000) / link.rate.ps_per_byte.max(1) as u128) as u64;
+                }
+                label.clear();
+                let _ = write!(label, "l{i}");
+                m.set_instance(&label);
+                m.gauge("link.queue_bytes", queue_bytes);
+                for (d, dir) in link.dirs.iter().enumerate() {
+                    label.clear();
+                    let _ = write!(label, "l{i}_d{d}");
+                    m.set_instance(&label);
+                    m.windowed_pct("link.util_pct", dir.busy_ns);
+                }
+            }
+            let instances = self.metric_instances();
+            for (i, node) in self.nodes.iter().enumerate() {
+                m.set_instance(&instances[i]);
+                m.gauge("node.pending_timers", self.pending_timers[i]);
+                node.sample_metrics(&mut m);
+            }
+            m.clear_instance();
+            m.gauge("engine.inflight_packets", self.inflight_pkts);
+            // Windowed rates over the engine counters: `rate.<counter>`.
+            let mut rate_name = String::new();
+            for (name, id) in ENGINE_SLOTS.iter().zip(ENGINE_SLOT_IDS.iter()) {
+                rate_name.clear();
+                rate_name.push_str("rate.");
+                rate_name.push_str(name);
+                m.rate_per_s(&rate_name, self.counters.get_id(*id));
+            }
+        }
+        if set.audit_enabled() {
+            self.run_audit(&mut set, at);
+        }
+        self.metrics = set;
+    }
+
+    /// One invariant-monitor pass at sim time `at`: the engine-level
+    /// checks (packet conservation, counter monotonicity), then every
+    /// node's [`Node::audit`] claims, cross-checked at the end.
+    fn run_audit(&mut self, set: &mut MetricSet, at: u64) {
+        // With tracing on, pin any violation to the most recent recorded
+        // event — audits run between events, so the last thing that
+        // happened is the right anchor.
+        let ev = (self.tracer.is_enabled() && self.tracer.count() > 0)
+            .then(|| EventId(self.tracer.count() - 1));
+        let sent = self.counters.get_id(SIM_PACKETS_SENT);
+        let accounted = self.counters.get_id(SIM_PACKETS_DELIVERED)
+            + self.counters.get_id(SIM_PACKETS_DROPPED)
+            + self.counters.get_id(SIM_PACKETS_DROPPED_BAD_PORT)
+            + self.counters.get_id(SIM_PACKETS_LOST)
+            + self.counters.get_id(SIM_PACKETS_DROPPED_LINK_DOWN)
+            + self.counters.get_id(SIM_PACKETS_DROPPED_PARTITION)
+            + self.counters.get_id(SIM_PACKETS_DROPPED_DEAD_NODE)
+            + self.counters.get_id(SIM_DELIVERIES_DROPPED_CRASH)
+            + self.inflight_pkts;
+        if sent != accounted {
+            set.report_violation(
+                at,
+                "packet_conservation",
+                format!(
+                    "sent={sent} but delivered+dropped+lost+in-flight={accounted} \
+                     (in-flight={})",
+                    self.inflight_pkts
+                ),
+                ev,
+            );
+        }
+        let snapshot: Vec<(&'static str, u64)> = ENGINE_SLOTS
+            .iter()
+            .zip(ENGINE_SLOT_IDS.iter())
+            .map(|(name, id)| (*name, self.counters.get_id(*id)))
+            .collect();
+        set.check_monotonic(at, &snapshot, ev);
+        set.begin_audit();
+        for i in 0..self.nodes.len() {
+            let mut scope = set.auditor(i as u32, self.alive[i]);
+            self.nodes[i].audit(&mut scope);
+        }
+        set.check_claims(at, ev);
     }
 }
 
@@ -1218,6 +1406,157 @@ mod tests {
             .iter()
             .any(|(_, ev)| ev.cause == Some(restart) && ev.kind.name() == "packet.enqueue");
         assert!(resumed, "the pacer's post-restart send is rooted at the restart fault");
+    }
+
+    fn metrics_cfg(interval_ns: u64) -> MetricsConfig {
+        MetricsConfig { sample_interval_ns: interval_ns, ..Default::default() }
+    }
+
+    #[test]
+    fn metrics_disabled_by_default_record_nothing() {
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pinger { out: PortId(0), sent_at: None, rtt: None }));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        sim.run_until_idle();
+        assert!(!sim.metrics.is_enabled());
+        assert!(sim.metrics.names().is_empty());
+        assert_eq!(sim.metrics.ticks(), 0);
+    }
+
+    #[test]
+    fn metrics_sample_gauges_and_rates_on_cadence() {
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pacer::new(20)));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        sim.enable_metrics(metrics_cfg(10_000)); // one tick per pacing period
+        sim.run_until_idle();
+        sim.flush_metrics(sim.now());
+        let set = sim.take_metrics();
+        assert!(set.ticks() > 0, "samples were taken");
+        let names = set.names();
+        for expected in [
+            "link.queue_bytes.l0",
+            "link.util_pct.l0_d0",
+            "link.util_pct.l0_d1",
+            "node.pending_timers.node",
+            "node.pending_timers.echo",
+            "engine.inflight_packets",
+            "rate.sim.events",
+            "rate.sim.packets_delivered",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing gauge {expected}: {names:?}");
+        }
+        // Every tick delivered a pacer send and its echo: the delivery
+        // rate series must be nonzero somewhere.
+        let rate = set.series_by_name("rate.sim.packets_delivered").unwrap();
+        assert!(rate.points().any(|(_, v)| v > 0));
+        // The invariant monitor ran green the whole way.
+        assert!(set.violations().is_empty());
+    }
+
+    #[test]
+    fn metrics_observation_never_perturbs_the_run() {
+        fn run(metrics: bool) -> (u64, u64, Vec<(&'static str, u64)>) {
+            use crate::fault::FaultPlan;
+            let mut sim = Sim::new(SimConfig { seed: 5, ..Default::default() });
+            let p = sim.add_node(Box::new(Pacer::new(50)));
+            let e = sim.add_node(Box::new(Echo));
+            sim.connect(p, e, spec_1b_per_ns().with_loss(100));
+            let plan = FaultPlan::new()
+                .crash(SimTime::from_micros(120), e)
+                .restart(SimTime::from_micros(180), e);
+            sim.install_fault_plan(&plan);
+            if metrics {
+                sim.enable_metrics(metrics_cfg(7_000));
+            }
+            let events = sim.run_until_idle();
+            (events, sim.now().as_nanos(), sim.counters.iter().collect())
+        }
+        assert_eq!(run(false), run(true), "sampling must not change the simulation");
+    }
+
+    #[test]
+    fn metrics_are_deterministic_per_seed() {
+        fn run() -> String {
+            let mut sim = Sim::new(SimConfig { seed: 9, ..Default::default() });
+            let p = sim.add_node(Box::new(Pacer::new(25)));
+            let e = sim.add_node(Box::new(Echo));
+            sim.connect(p, e, spec_1b_per_ns().with_loss(100));
+            sim.enable_metrics(metrics_cfg(5_000));
+            sim.run_until_idle();
+            sim.flush_metrics(sim.now());
+            rdv_metrics::export::json(&sim.take_metrics(), "T", 9)
+        }
+        assert_eq!(run(), run(), "metrics JSON must be byte-identical per seed");
+    }
+
+    #[test]
+    fn seeded_inflight_leak_trips_packet_conservation_at_first_audit() {
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pacer::new(5)));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        sim.enable_metrics(MetricsConfig {
+            sample_interval_ns: 10_000,
+            panic_on_violation: false,
+            ..Default::default()
+        });
+        sim.debug_leak_inflight();
+        sim.run_until_idle();
+        let set = sim.take_metrics();
+        let v = set.violations().first().expect("the leak must be caught");
+        assert_eq!(v.invariant, "packet_conservation");
+        assert_eq!(v.at_ns, 10_000, "caught at the first audit tick after the leak");
+        assert!(v.detail.contains("sent="), "detail names the failing account: {}", v.detail);
+        assert!(!v.gauges.is_empty(), "violation carries the gauge snapshot");
+    }
+
+    #[test]
+    fn seeded_stale_holder_trips_directory_holders_with_event_id() {
+        use rdv_metrics::AuditScope;
+        /// A directory owner whose table lists an inbox nobody declares.
+        struct StaleDir;
+        impl Node for StaleDir {
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: Packet) {}
+            fn audit(&self, a: &mut AuditScope<'_>) {
+                a.declare_inbox(0xA0);
+                a.claim_holder(0x7, 0xDEAD);
+            }
+            fn name(&self) -> &str {
+                "staledir"
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let d = sim.add_node(Box::new(StaleDir));
+        let p = sim.add_node(Box::new(Pacer::new(3)));
+        sim.connect(p, d, spec_1b_per_ns());
+        sim.enable_trace(1 << 10);
+        sim.enable_metrics(MetricsConfig {
+            sample_interval_ns: 10_000,
+            panic_on_violation: false,
+            ..Default::default()
+        });
+        sim.run_until_idle();
+        let set = sim.take_metrics();
+        let v = set.violations().first().expect("the stale holder must be caught");
+        assert_eq!(v.invariant, "directory_holders");
+        assert_eq!(v.at_ns, 10_000);
+        assert!(v.detail.contains("0xdead"));
+        assert!(v.event_id.is_some(), "tracing was on, so the violation pins an EventId");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant `packet_conservation` violated")]
+    fn violations_panic_by_default() {
+        let mut sim = Sim::new(SimConfig::default());
+        let p = sim.add_node(Box::new(Pacer::new(5)));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        sim.enable_metrics(metrics_cfg(10_000));
+        sim.debug_leak_inflight();
+        sim.run_until_idle();
     }
 
     #[test]

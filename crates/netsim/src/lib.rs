@@ -25,6 +25,11 @@
 //!   [`engine::Sim::enable_trace`], every enqueue/transmit/deliver/drop,
 //!   timer, and fault is recorded with causal edges, and nodes annotate
 //!   protocol spans through [`node::NodeCtx::trace`].
+//! - [`metrics`] (re-exported `rdv-metrics`) — time-series telemetry: when
+//!   enabled via [`engine::Sim::enable_metrics`], the engine samples
+//!   registered gauges (link queues, utilization, per-node state exposed
+//!   through [`node::Node::sample_metrics`]) on a fixed sim-time cadence
+//!   and runs the live invariant monitor ([`node::Node::audit`]).
 #![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +43,7 @@ pub mod stats;
 pub mod time;
 pub mod topo;
 
+pub use rdv_metrics as metrics;
 pub use rdv_trace as trace;
 
 pub use engine::{Sim, SimConfig};
@@ -45,5 +51,6 @@ pub use fault::{FaultEvent, FaultPlan};
 pub use link::LinkSpec;
 pub use node::{Node, NodeCtx, NodeId, PortId};
 pub use packet::Packet;
+pub use rdv_metrics::MetricsConfig;
 pub use stats::{CounterId, Counters, Histogram};
 pub use time::SimTime;

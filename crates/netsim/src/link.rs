@@ -106,6 +106,9 @@ impl LinkRate {
 pub(crate) struct Direction {
     /// Time the transmitter becomes free.
     pub next_free: SimTime,
+    /// Cumulative serialization time admitted (ns) — the metrics plane
+    /// differences this per sample window for the utilization gauge.
+    pub busy_ns: u64,
 }
 
 impl Direction {
@@ -126,6 +129,7 @@ impl Direction {
         }
         let done = self.next_free.max(now) + tx;
         self.next_free = done;
+        self.busy_ns += tx.as_nanos();
         Some(done + latency)
     }
 }

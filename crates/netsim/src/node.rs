@@ -7,6 +7,7 @@
 //! loop single-owner and the simulation deterministic.
 
 use rand::rngs::StdRng;
+use rdv_metrics::{AuditScope, MetricSample};
 use rdv_trace::TraceCtx;
 
 use crate::packet::Packet;
@@ -51,6 +52,23 @@ pub trait Node: std::any::Any {
     /// Human-readable name for traces.
     fn name(&self) -> &str {
         "node"
+    }
+
+    /// Record this node's gauges for one metrics tick (see
+    /// [`crate::Sim::enable_metrics`]). The engine pre-sets the instance
+    /// label, so implementations just call `m.gauge("<base>", value)`
+    /// with base names from `rdv_metrics::GAUGE_NAMES`. Must read state
+    /// only — sampling may never perturb the simulation.
+    fn sample_metrics(&self, m: &mut MetricSample<'_>) {
+        let _ = m;
+    }
+
+    /// Make invariant-monitor claims for one audit tick: declare owned
+    /// inboxes and claim directory holders / transport high-water marks.
+    /// Runs on crashed nodes too (crash-stop kills the network stack,
+    /// not in-memory state). Must read state only.
+    fn audit(&self, a: &mut AuditScope<'_>) {
+        let _ = a;
     }
 }
 

@@ -49,7 +49,7 @@ pub const SIM_DELIVERIES_DROPPED_CRASH: CounterId = CounterId(11);
 pub const SIM_TIMERS_DROPPED_CRASH: CounterId = CounterId(12);
 
 /// Names behind the fixed engine slots above, in slot order.
-const ENGINE_SLOTS: [&str; 13] = [
+pub(crate) const ENGINE_SLOTS: [&str; 13] = [
     "sim.events",
     "sim.packets_sent",
     "sim.packets_delivered",
@@ -63,6 +63,25 @@ const ENGINE_SLOTS: [&str; 13] = [
     "sim.packets_dropped.dead_node",
     "sim.deliveries_dropped.crash",
     "sim.timers_dropped.crash",
+];
+
+/// The fixed engine slots above as ids, in slot order — the metrics
+/// plane zips this with [`ENGINE_SLOTS`] to derive `rate.<counter>`
+/// series and the monotonicity snapshot.
+pub(crate) const ENGINE_SLOT_IDS: [CounterId; 13] = [
+    SIM_EVENTS,
+    SIM_PACKETS_SENT,
+    SIM_PACKETS_DELIVERED,
+    SIM_PACKETS_DROPPED,
+    SIM_PACKETS_DROPPED_BAD_PORT,
+    SIM_PACKETS_LOST,
+    SIM_TIMERS,
+    SIM_FAULTS_APPLIED,
+    SIM_PACKETS_DROPPED_LINK_DOWN,
+    SIM_PACKETS_DROPPED_PARTITION,
+    SIM_PACKETS_DROPPED_DEAD_NODE,
+    SIM_DELIVERIES_DROPPED_CRASH,
+    SIM_TIMERS_DROPPED_CRASH,
 ];
 
 struct Registry {

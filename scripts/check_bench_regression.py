@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Record or check the engine_hotpath throughput baseline.
+
+The vendored criterion stub prints one stable line per benchmark:
+
+    engine_hotpath/packet_storm_interned  time: [lo med hi]  thrpt: 9.17 Melem/s
+
+This script runs the bench, parses those lines, and either
+
+    --record   writes results/bench_baseline.json (median ns + events/s), or
+    (default)  compares the fresh run against the recorded baseline and
+               *warns* -- never fails -- when events/s dropped by more than
+               25%. Bench boxes in CI are noisy; the warning is a nudge to
+               look, not a gate.
+
+Exit code is 0 in check mode unless the bench itself failed to run.
+"""
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "results" / "bench_baseline.json"
+BENCH_CMD = ["cargo", "bench", "-p", "rdv-bench", "--bench", "engine_hotpath"]
+REGRESSION_PCT = 25
+
+LINE = re.compile(
+    r"^(?P<name>\S+)\s+time: \[(?P<lo>[\d.]+) (?P<lou>\S+) "
+    r"(?P<med>[\d.]+) (?P<medu>\S+) (?P<hi>[\d.]+) (?P<hiu>\S+)\]"
+    r"(?:\s+thrpt: (?P<rate>[\d.]+) (?P<ratepfx>[KMG]?)elem/s)?"
+)
+NS_PER = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+RATE_MUL = {"": 1.0, "K": 1e3, "M": 1e6, "G": 1e9}
+
+
+def run_bench() -> list[dict]:
+    proc = subprocess.run(BENCH_CMD, cwd=ROOT, capture_output=True, text=True)
+    sys.stderr.write(proc.stderr)
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        sys.exit(f"bench run failed with exit code {proc.returncode}")
+    results = []
+    for line in proc.stdout.splitlines():
+        m = LINE.match(line.strip())
+        if not m or m["rate"] is None:
+            continue
+        results.append(
+            {
+                "name": m["name"],
+                "median_ns": float(m["med"]) * NS_PER[m["medu"]],
+                "events_per_s": float(m["rate"]) * RATE_MUL[m["ratepfx"]],
+            }
+        )
+    if not results:
+        sys.exit("no benchmark lines parsed from bench output")
+    return results
+
+
+def record(results: list[dict]) -> None:
+    BASELINE.parent.mkdir(exist_ok=True)
+    doc = {
+        "bench": "engine_hotpath",
+        "command": " ".join(BENCH_CMD),
+        "note": f"warn-only baseline; CI flags >{REGRESSION_PCT}% events/s regressions",
+        "results": results,
+    }
+    BASELINE.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"recorded {len(results)} benchmark(s) to {BASELINE.relative_to(ROOT)}")
+
+
+def check(results: list[dict]) -> None:
+    if not BASELINE.exists():
+        print(f"::warning::no {BASELINE.relative_to(ROOT)}; run with --record first")
+        return
+    baseline = {r["name"]: r for r in json.loads(BASELINE.read_text())["results"]}
+    fresh = {r["name"]: r for r in results}
+    for name, base in sorted(baseline.items()):
+        if name not in fresh:
+            print(f"::warning::benchmark {name} is in the baseline but did not run")
+            continue
+        was, now = base["events_per_s"], fresh[name]["events_per_s"]
+        delta_pct = (now - was) * 100.0 / was
+        verdict = "ok"
+        if delta_pct < -REGRESSION_PCT:
+            verdict = "REGRESSION (warn-only)"
+            print(
+                f"::warning::{name}: {now / 1e6:.2f} Melem/s is "
+                f"{-delta_pct:.0f}% below the recorded {was / 1e6:.2f} Melem/s"
+            )
+        print(f"{name}: {was / 1e6:.2f} -> {now / 1e6:.2f} Melem/s ({delta_pct:+.0f}%) {verdict}")
+
+
+def main() -> None:
+    mode = sys.argv[1] if len(sys.argv) > 1 else ""
+    if mode not in ("", "--record"):
+        sys.exit(__doc__)
+    results = run_bench()
+    if mode == "--record":
+        record(results)
+    else:
+        check(results)
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ use rdv_discovery::{AccessFailure, DiscoveryMode, HostConfig, HostNode};
 use rdv_memproto::coherence::{DirAction, Directory};
 use rdv_memproto::msg::Msg;
 use rdv_memproto::transport::{ReliableEndpoint, TransportConfig};
+use rdv_netsim::metrics::{AuditScope, MetricSample, MetricsConfig};
 use rdv_netsim::{
     FaultPlan, LinkSpec, Node, NodeCtx, NodeId, Packet, PortId, Sim, SimConfig, SimTime,
 };
@@ -109,6 +110,20 @@ impl Node for PipeNode {
     fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
         self.pump(ctx);
     }
+
+    fn sample_metrics(&self, m: &mut MetricSample<'_>) {
+        m.gauge("transport.inflight", self.ep.in_flight() as u64);
+        m.gauge("transport.flows", self.ep.flow_count() as u64);
+    }
+
+    fn audit(&self, a: &mut AuditScope<'_>) {
+        let local = self.ep.local().as_u128();
+        a.declare_inbox(local);
+        for peer in self.ep.peers() {
+            a.claim_acked(local, peer.as_u128(), self.ep.acked_hi(peer));
+            a.claim_delivered(peer.as_u128(), local, self.ep.delivered_hi(peer));
+        }
+    }
 }
 
 struct TransportScenario {
@@ -157,6 +172,9 @@ fn run_transport_scenario(seed: u64, sc: &TransportScenario) -> String {
     let a = sim.add_node(Box::new(PipeNode::new(ObjId(0xA), ObjId(0xB), sc.messages, cfg)));
     let b = sim.add_node(Box::new(PipeNode::new(ObjId(0xB), ObjId(0xA), 0, cfg)));
     sim.connect(a, b, LinkSpec::rack().with_loss(sc.loss_permille));
+    // The live invariant monitor audits every tick and panics on any
+    // violation, so the soak doubles as its acceptance run.
+    sim.enable_metrics(MetricsConfig::default());
     sim.install_fault_plan(&sc.plan);
     sim.run_until_idle();
 
@@ -307,6 +325,7 @@ fn run_fabric_scenario(seed: u64, sc: &FabricScenario) -> FabricOutcome {
 
     let (mut sim, ids) = build_star_fabric(seed, nodes, &obj_routes);
     let switch = NodeId(ids.len());
+    sim.enable_metrics(MetricsConfig::default());
 
     // Faults: loss burst on the driver's uplink, partition around one
     // holder, crash (± restart) of another.
