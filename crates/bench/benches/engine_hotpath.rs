@@ -420,6 +420,63 @@ fn run_string_keyed() -> u64 {
     sim.run_until_idle()
 }
 
+/// The event-queue workload a sharded 100k-host fabric generates: a deep
+/// standing queue (one in-flight event per simulated flow) where each pop
+/// schedules a successor at one of the fabric's natural delay scales —
+/// host-link RTTs, trunk RTTs, pacing timers — plus a rare far-future
+/// scenario deadline that lands beyond the calendar horizon. Delays are
+/// chosen by a cycling deterministic pattern, not an RNG, so both queues
+/// replay the identical schedule.
+const QUEUE_OPS: u64 = 100_000;
+const QUEUE_DEPTH: u64 = 8_192;
+const FAR_EVERY: u64 = 512;
+
+/// 600 ns / 1.2 µs host RTT traffic, 24 µs trunk hops, 100 µs pacing.
+const DELAYS: [u64; 8] = [600, 1_200, 1_200, 2_400, 24_000, 24_000, 100_000, 1_200];
+
+fn queue_delay(processed: u64) -> u64 {
+    if processed.is_multiple_of(FAR_EVERY) {
+        50_000_000
+    } else {
+        DELAYS[(processed % DELAYS.len() as u64) as usize]
+    }
+}
+
+fn queue_storm_calendar() -> u64 {
+    use rdv_netsim::queue::{CalendarQueue, EventKey};
+    // The engine's own parameters: 4 µs buckets, 512-slot ring.
+    let mut q: CalendarQueue<u64> = CalendarQueue::new(1 << 12, 512);
+    for i in 0..QUEUE_DEPTH {
+        q.push(EventKey { at: queue_delay(i), src: 1, seq: i }, i);
+    }
+    let mut processed = 0u64;
+    while processed < QUEUE_OPS {
+        let (key, _) = q.pop().expect("storm never drains");
+        processed += 1;
+        let seq = QUEUE_DEPTH + processed;
+        q.push(EventKey { at: key.at + queue_delay(processed), src: 1, seq }, seq);
+    }
+    processed
+}
+
+fn queue_storm_heap() -> u64 {
+    use rdv_netsim::queue::EventKey;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut q: BinaryHeap<Reverse<(EventKey, u64)>> = BinaryHeap::new();
+    for i in 0..QUEUE_DEPTH {
+        q.push(Reverse((EventKey { at: queue_delay(i), src: 1, seq: i }, i)));
+    }
+    let mut processed = 0u64;
+    while processed < QUEUE_OPS {
+        let Reverse((key, _)) = q.pop().expect("storm never drains");
+        processed += 1;
+        let seq = QUEUE_DEPTH + processed;
+        q.push(Reverse((EventKey { at: key.at + queue_delay(processed), src: 1, seq }, seq)));
+    }
+    processed
+}
+
 fn bench(c: &mut Criterion) {
     let events = run_interned();
     let baseline_events = run_string_keyed();
@@ -432,6 +489,11 @@ fn bench(c: &mut Criterion) {
     group.bench_function("packet_storm_string_keyed_baseline", |b| {
         b.iter(|| black_box(run_string_keyed()))
     });
+
+    assert_eq!(queue_storm_calendar(), queue_storm_heap(), "same op count on both queues");
+    group.throughput(Throughput::Elements(QUEUE_OPS));
+    group.bench_function("queue_storm_calendar", |b| b.iter(|| black_box(queue_storm_calendar())));
+    group.bench_function("queue_storm_heap_baseline", |b| b.iter(|| black_box(queue_storm_heap())));
     group.finish();
 }
 

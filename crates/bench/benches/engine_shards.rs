@@ -1,0 +1,44 @@
+//! `engine_shards` — parallel engine throughput (events/sec) on a
+//! rack-ring fabric at 1, 4, and 8 shards.
+//!
+//! The workload is [`rdv_bench::fabric`]'s rack-ring storm: intra-rack
+//! bounces that parallelize freely plus trunk relays that cross shard
+//! boundaries and exercise the barrier merge. All three shard counts
+//! process byte-identical simulations (the engine guarantees it; the
+//! harness asserts equal event counts and final clocks), so the
+//! throughput ratio isolates the parallel speedup. On a single-core box
+//! the 4- and 8-shard numbers measure scheduling overhead instead — see
+//! EXPERIMENTS.md §F5.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rdv_bench::fabric::{run_fabric, FabricSpec};
+
+const SPEC: FabricSpec = FabricSpec {
+    racks: 8,
+    hosts_per_rack: 4,
+    burst: 8,
+    bounces: 400,
+    ring_packets: 64,
+    ring_hops: 24,
+};
+
+fn bench(c: &mut Criterion) {
+    let flat = run_fabric(&SPEC, 42, 1);
+    assert!(flat.0 > 0, "the storm must generate events");
+
+    let mut group = c.benchmark_group("engine_shards");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(flat.0));
+    for shards in [1usize, 4, 8] {
+        // Identical simulation at every shard count — the bench is only
+        // valid if the parallel runs do the same work.
+        assert_eq!(run_fabric(&SPEC, 42, shards), flat, "shards={shards} diverged from flat");
+        group.bench_function(format!("rack_ring_shards{shards}"), |b| {
+            b.iter(|| black_box(run_fabric(&SPEC, 42, shards)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -26,6 +26,11 @@
 //! Every point carries its own derived seed and rows are collected in
 //! point order, so the output bytes — including trace JSON — are
 //! identical for every jobs value.
+//!
+//! `--shards N` sets the engine's default shard count: every simulation
+//! in the run executes on N parallel shards under conservative lookahead
+//! (see DESIGN.md §9). Output bytes are identical for every N, including
+//! 1 — CI cmp-checks this.
 
 use std::io::Write;
 
@@ -35,8 +40,8 @@ use rdv_bench::Series;
 
 fn usage_exit() -> ! {
     eprintln!(
-        "usage: figures [--quick] [--jobs N] [--list] [--trace EXP] [--metrics EXP] \
-         [F1 F2 F3 F4 T1 T2 S1 A1 A2 A3 A4 A5]"
+        "usage: figures [--quick] [--jobs N] [--shards N] [--list] [--trace EXP] \
+         [--metrics EXP] [F1 F2 F3 F4 F5 T1 T2 S1 A1 A2 A3 A4 A5]"
     );
     std::process::exit(2);
 }
@@ -78,6 +83,19 @@ fn main() {
                 usage_exit();
             };
             rdv_bench::par::set_jobs(n);
+        } else if a == "--shards" {
+            i += 1;
+            let Some(n) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
+                eprintln!("[figures] --shards needs a positive integer");
+                usage_exit();
+            };
+            rdv_netsim::set_default_shards(n);
+        } else if let Some(v) = a.strip_prefix("--shards=") {
+            let Ok(n) = v.parse::<usize>() else {
+                eprintln!("[figures] --shards needs a positive integer");
+                usage_exit();
+            };
+            rdv_netsim::set_default_shards(n);
         } else if a == "--trace" {
             i += 1;
             let Some(e) = args.get(i) else {
@@ -122,6 +140,7 @@ fn main() {
             "F2" => experiments::fig2::run(quick),
             "F3" => experiments::fig3::run(quick),
             "F4" => experiments::f4::run(quick),
+            "F5" => experiments::f5::run(quick),
             "T1" => experiments::t1::run(quick),
             "T2" => experiments::t2::run(quick),
             "S1" => experiments::s1::run(quick),

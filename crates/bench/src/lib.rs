@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod fabric;
 pub mod par;
 pub mod report;
 

@@ -11,7 +11,7 @@
 //! code object.
 
 use rdv_det::DetMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdv_memproto::cache::ObjectCache;
 use rdv_objspace::{ObjId, Object, ObjectKind, ObjectStore};
@@ -93,13 +93,16 @@ pub struct ExecOutcome {
     pub bytes_touched: u64,
 }
 
-/// A registered function body.
-pub type FnBody = dyn Fn(&mut ExecCtx<'_>, &[ObjId]) -> CoreResult<ExecOutcome>;
+/// A registered function body. `Send + Sync` so registries (and the host
+/// nodes that hold them) can move across the sharded engine's worker
+/// threads; bodies are pure functions of their arguments, so this costs
+/// nothing in practice.
+pub type FnBody = dyn Fn(&mut ExecCtx<'_>, &[ObjId]) -> CoreResult<ExecOutcome> + Send + Sync;
 
 /// The function registry — identical on every host, like an ISA.
 #[derive(Clone, Default)]
 pub struct FnRegistry {
-    fns: DetMap<u64, Rc<FnBody>>,
+    fns: DetMap<u64, Arc<FnBody>>,
 }
 
 impl FnRegistry {
@@ -112,13 +115,13 @@ impl FnRegistry {
     pub fn register(
         &mut self,
         fn_id: u64,
-        body: impl Fn(&mut ExecCtx<'_>, &[ObjId]) -> CoreResult<ExecOutcome> + 'static,
+        body: impl Fn(&mut ExecCtx<'_>, &[ObjId]) -> CoreResult<ExecOutcome> + Send + Sync + 'static,
     ) {
-        self.fns.insert(fn_id, Rc::new(body));
+        self.fns.insert(fn_id, Arc::new(body));
     }
 
     /// Look up a function.
-    pub fn get(&self, fn_id: u64) -> CoreResult<Rc<FnBody>> {
+    pub fn get(&self, fn_id: u64) -> CoreResult<Arc<FnBody>> {
         self.fns.get(&fn_id).cloned().ok_or(CoreError::UnknownFunction(fn_id))
     }
 

@@ -82,7 +82,19 @@ pub fn build_star_fabric(
     nodes: Vec<(Box<dyn Node>, ObjId, LinkSpec)>,
     obj_routes: &[(ObjId, usize)],
 ) -> (Sim, Vec<NodeId>) {
-    let mut sim = Sim::new(SimConfig { seed, ..Default::default() });
+    build_star_fabric_sharded(seed, 0, nodes, obj_routes)
+}
+
+/// [`build_star_fabric`] with an explicit engine shard count (0 inherits
+/// the process default; the chaos soak uses this to replay scenarios at
+/// several shard counts and assert byte-identical outcomes).
+pub fn build_star_fabric_sharded(
+    seed: u64,
+    shards: usize,
+    nodes: Vec<(Box<dyn Node>, ObjId, LinkSpec)>,
+    obj_routes: &[(ObjId, usize)],
+) -> (Sim, Vec<NodeId>) {
+    let mut sim = Sim::new(SimConfig { seed, shards, ..Default::default() });
     let mut pl = Pipeline::new(objnet_format(), Action::Drop);
     pl.add_table(Table::new(
         "objroute",

@@ -109,6 +109,51 @@ fn d3_enforces_gauge_name_scheme_and_registry() {
 }
 
 #[test]
+fn d3_covers_the_sharded_engine_names() {
+    // Same D3 rules, registries extended the way the real workspace's are:
+    // the shard counters live in ENGINE_SLOTS, the shard gauges in
+    // GAUGE_NAMES. Unregistered `sim.shard.*` / `shard.*` names must fire.
+    let cfg = LintConfig {
+        sim_registry: [
+            "sim.events",
+            "sim.shard.windows",
+            "sim.shard.xshard_packets",
+            "sim.shard.worker_spawns",
+        ]
+        .map(String::from)
+        .to_vec(),
+        gauge_registry: ["shard.queue_events", "shard.clock_ns"].map(String::from).to_vec(),
+    };
+    let diags = lint_source("d3_shards.rs", &fixture("d3_shards.rs"), &cfg);
+    assert_eq!(
+        locs(&diags),
+        vec![(3, "D3/counter-name"), (4, "D3/gauge-name")],
+        "registered shard names (lines 5–9) must pass; got: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("not a registered engine counter"));
+    assert!(diags[1].message.contains("not a registered gauge"));
+}
+
+/// The shard names the engine actually emits are present in the real
+/// registries the workspace lint parses — if someone renames a slot, this
+/// pins the D3 contract to the sharded engine's telemetry.
+#[test]
+fn real_registries_carry_the_shard_names() {
+    use rdv_lint::rules::{parse_engine_slots, parse_gauge_names};
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let stats = std::fs::read_to_string(root.join("crates/netsim/src/stats.rs")).unwrap();
+    let slots = parse_engine_slots(&stats);
+    for name in ["sim.shard.windows", "sim.shard.xshard_packets", "sim.shard.worker_spawns"] {
+        assert!(slots.iter().any(|s| s == name), "{name} missing from ENGINE_SLOTS");
+    }
+    let metrics = std::fs::read_to_string(root.join("crates/metrics/src/lib.rs")).unwrap();
+    let gauges = parse_gauge_names(&metrics);
+    for name in ["shard.queue_events", "shard.clock_ns"] {
+        assert!(gauges.iter().any(|g| g == name), "{name} missing from GAUGE_NAMES");
+    }
+}
+
+#[test]
 fn gauge_name_table_is_validated() {
     use rdv_lint::rules::lint_gauge_names;
     let bad =

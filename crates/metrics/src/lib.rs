@@ -48,7 +48,7 @@ pub use set::{MetricSample, MetricSet, MetricsConfig, Series};
 /// counters. Full gauge names are `<base>.<instance>` (e.g.
 /// `link.queue_bytes.l0`); derived counter rates are named
 /// `rate.<counter>` and are registered dynamically by the engine.
-pub const GAUGE_NAMES: [&str; 15] = [
+pub const GAUGE_NAMES: [&str; 17] = [
     "link.queue_bytes",
     "link.util_pct",
     "node.pending_timers",
@@ -64,6 +64,8 @@ pub const GAUGE_NAMES: [&str; 15] = [
     "discovery.pending_accesses",
     "discovery.broadcast_rate",
     "core.placement_queue",
+    "shard.queue_events",
+    "shard.clock_ns",
 ];
 
 /// Whether `base` is one of the canonical [`GAUGE_NAMES`].

@@ -1,13 +1,33 @@
 //! The discrete-event engine.
 //!
-//! [`Sim`] owns the nodes, links, clock, and event heap. Events are ordered
-//! by `(time, sequence)`, where the sequence number is a global insertion
-//! counter — two events at the same instant are processed in the order they
-//! were scheduled, so runs are exactly reproducible.
+//! [`Sim`] partitions its nodes into **shards**. Each shard owns its nodes'
+//! behaviour, RNG streams, timers, outgoing link directions, and a local
+//! calendar event queue. Events are ordered by a canonical key
+//! `(time, source, sequence)` ([`crate::queue::EventKey`]) where the
+//! sequence number is per *source* (node or external scheduler), never a
+//! global insertion counter — so the total order over events is a pure
+//! function of the workload and does not depend on how many shards execute
+//! it. That is the invariant that makes `--shards N` byte-identical to
+//! `--shards 1` for every exported artifact.
+//!
+//! Execution modes:
+//!
+//! - **Serial** (one shard, tracing enabled, or a zero-latency cross-shard
+//!   link): pop the globally smallest key, one event at a time — the
+//!   classic loop.
+//! - **Parallel** (conservative lookahead): shards advance together
+//!   through windows `[N, E)` where `E − N` is bounded by the minimum
+//!   cross-shard link latency. A packet sent during a window arrives no
+//!   earlier than its link's latency after the send, i.e. at or after `E`,
+//!   so shards cannot affect each other *within* a window; cross-shard
+//!   deliveries ride an outbox and merge into the destination queues at
+//!   the barrier. Faults and metrics samples are applied only at barriers,
+//!   which the window bound also respects.
 
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,49 +37,96 @@ use rdv_trace::{
 };
 
 use crate::fault::{FaultEvent, FaultPlan};
-use crate::link::{Link, LinkId, LinkRate, LinkSpec};
+use crate::link::{Direction, Link, LinkId, LinkRate, LinkSpec};
 use crate::node::{Node, NodeCtx, NodeId, PortId};
 use crate::packet::Packet;
+use crate::queue::{CalendarQueue, EventKey};
 use crate::stats::{
-    Counters, ENGINE_SLOTS, ENGINE_SLOT_IDS, SIM_DELIVERIES_DROPPED_CRASH, SIM_EVENTS,
-    SIM_FAULTS_APPLIED, SIM_PACKETS_DELIVERED, SIM_PACKETS_DROPPED, SIM_PACKETS_DROPPED_BAD_PORT,
-    SIM_PACKETS_DROPPED_DEAD_NODE, SIM_PACKETS_DROPPED_LINK_DOWN, SIM_PACKETS_DROPPED_PARTITION,
-    SIM_PACKETS_LOST, SIM_PACKETS_SENT, SIM_TIMERS, SIM_TIMERS_DROPPED_CRASH,
+    Counters, ENGINE_OUTPUT_SLOTS, ENGINE_SLOTS, ENGINE_SLOT_IDS, SIM_DELIVERIES_DROPPED_CRASH,
+    SIM_EVENTS, SIM_FAULTS_APPLIED, SIM_PACKETS_DELIVERED, SIM_PACKETS_DROPPED,
+    SIM_PACKETS_DROPPED_BAD_PORT, SIM_PACKETS_DROPPED_DEAD_NODE, SIM_PACKETS_DROPPED_LINK_DOWN,
+    SIM_PACKETS_DROPPED_PARTITION, SIM_PACKETS_LOST, SIM_PACKETS_SENT, SIM_SHARD_WINDOWS,
+    SIM_SHARD_WORKER_SPAWNS, SIM_SHARD_XSHARD_PACKETS, SIM_TIMERS, SIM_TIMERS_DROPPED_CRASH,
 };
 use crate::time::SimTime;
+
+/// Process-wide default shard count, used when [`SimConfig::shards`] is 0.
+/// Harnesses (e.g. `figures --shards N`) set this once at startup so every
+/// scenario they build inherits the setting without plumbing a parameter
+/// through each constructor.
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the process-wide default shard count (clamped to ≥ 1). Only affects
+/// simulations created afterwards with [`SimConfig::shards`] = 0.
+pub fn set_default_shards(n: usize) {
+    DEFAULT_SHARDS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current process-wide default shard count.
+pub fn default_shards() -> usize {
+    DEFAULT_SHARDS.load(Ordering::Relaxed).max(1)
+}
+
+/// Per-node RNG stream seed: the root seed xored with a golden-ratio
+/// multiple of the node id. `StdRng::seed_from_u64` runs SplitMix64 over
+/// this, so consecutive node ids get well-separated streams. Per-node
+/// streams (rather than one engine-wide RNG) are what keep draws
+/// byte-identical for any shard count.
+fn node_stream_seed(root: u64, gid: u64) -> u64 {
+    root ^ 0x9E3779B97F4A7C15u64.wrapping_mul(gid + 1)
+}
+
+/// Calendar-queue geometry for shard event queues: 4096 ns buckets, 512
+/// buckets ≈ 2 ms of ring horizon — comfortably covering rack/edge
+/// latencies and protocol timers; anything farther parks in the overflow
+/// heap.
+const QUEUE_BUCKET_WIDTH_NS: u64 = 1 << 12;
+const QUEUE_BUCKETS: usize = 512;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
-    /// Seed for the simulation-wide RNG handed to nodes.
+    /// Seed for the per-node RNG streams handed to nodes.
     pub seed: u64,
     /// Safety valve: abort after this many events (guards against event
     /// storms in buggy protocols). Generous default.
     pub max_events: u64,
+    /// Number of shards to partition nodes across. 0 (the default) means
+    /// "inherit the process-wide default" (see [`set_default_shards`]);
+    /// any other value is used as-is. Results are byte-identical for
+    /// every value.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0, max_events: 200_000_000 }
+        SimConfig { seed: 0, max_events: 200_000_000, shards: 0 }
     }
 }
 
 #[derive(Debug)]
-enum EventKind {
+enum EvKind {
     /// `epoch` is the destination node's crash epoch at scheduling time;
     /// the event is discarded if the node crashed in the interim.
     Deliver {
-        node: NodeId,
-        port: PortId,
+        node: u32,
+        port: u32,
         packet: Packet,
         epoch: u64,
     },
     Timer {
-        node: NodeId,
+        node: u32,
         tag: u64,
         epoch: u64,
     },
-    Fault(FaultAction),
+}
+
+/// Queue payload: the event plus its trace provenance (the recorded event
+/// that scheduled it — a packet's transmit, a timer's set).
+#[derive(Debug)]
+struct EvData {
+    kind: EvKind,
+    trace: Option<EventId>,
 }
 
 /// A fault event with link endpoints already resolved to a [`LinkId`] and
@@ -91,50 +158,39 @@ impl Partition {
     }
 }
 
-struct Event {
+/// Faults live on a coordinator-level heap, not in shard queues: they
+/// mutate global state (link flags, liveness, partitions), so the engine
+/// applies them only at window barriers, before any event at an equal or
+/// later time.
+struct FaultEntry {
     at: SimTime,
     seq: u64,
-    kind: EventKind,
-    /// Trace provenance: the recorded event that put this one on the heap
-    /// (a packet's transmit, a timer's set). `None` when tracing is off.
-    trace: Option<EventId>,
+    action: FaultAction,
 }
 
-impl PartialEq for Event {
+impl PartialEq for FaultEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
+impl Eq for FaultEntry {}
+impl PartialOrd for FaultEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Event {
+impl Ord for FaultEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
-/// The simulator.
-pub struct Sim {
-    cfg: SimConfig,
-    clock: SimTime,
-    seq: u64,
-    nodes: Vec<Box<dyn Node>>,
+/// Topology and fault state shared read-only by all shards during a
+/// window. Mutated only between windows (faults, wiring).
+struct Globals {
+    links: Vec<Link>,
     /// Per node: port index → link.
     ports: Vec<Vec<LinkId>>,
-    links: Vec<Link>,
-    heap: BinaryHeap<Reverse<Event>>,
-    rng: StdRng,
-    /// Engine-level counters: `sim.events`, `sim.packets_sent`,
-    /// `sim.packets_delivered`, `sim.packets_dropped`, `sim.timers`.
-    pub counters: Counters,
-    started: bool,
-    /// Events processed so far — a plain field so the per-event budget
-    /// check doesn't round-trip through the counter table.
-    events: u64,
     /// Per node: is the network stack up? Crashed nodes receive nothing.
     alive: Vec<bool>,
     /// Per node: crash epoch. Bumped on every crash so events scheduled
@@ -145,25 +201,448 @@ pub struct Sim {
     /// Number of currently active partitions — lets the per-send check
     /// stay a single integer compare when no partition is live.
     active_partitions: usize,
+    /// Per node: (owning shard, local index within it).
+    node_loc: Vec<(u32, u32)>,
+    /// Per link: each direction's slot in its owner shard's `dirs` arena.
+    /// Direction `d` is owned by the shard of `links[l].ends[d].0` — only
+    /// the *source* node of a direction ever writes it, so ownership
+    /// follows the sender.
+    dir_slot: Vec<[u32; 2]>,
+}
+
+impl Globals {
+    /// The index of an active partition separating `a` from `b`, if any.
+    fn blocking_partition(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        self.partitions.iter().position(|p| p.active && p.separates(a, b))
+    }
+}
+
+/// Trace plumbing handed to the serial path (tracing forces serial
+/// execution, so the parallel path always passes `None`).
+struct TraceHooks<'a> {
+    tracer: &'a mut Tracer,
+    /// Per node: trace id of the most recent crash fault, for the
+    /// fault→dropped-delivery aux edge.
+    crash: &'a [Option<EventId>],
+    /// Per link: trace id of the most recent link-state fault.
+    link_fault: &'a [Option<EventId>],
+    /// Per partition: trace id of the fault that activated it.
+    partition_fault: &'a [Option<EventId>],
+}
+
+/// Record a trace event through the hooks (no-op when tracing is off).
+fn rec(
+    hooks: &mut Option<TraceHooks<'_>>,
+    at: u64,
+    node: u32,
+    kind: TraceKind,
+    cause: Option<EventId>,
+    aux: Option<EventId>,
+) -> Option<EventId> {
+    match hooks {
+        Some(h) => h.tracer.record(at, node, kind, cause, aux),
+        None => None,
+    }
+}
+
+/// One spatial partition of the simulation: the nodes it owns, their RNG
+/// streams and timers, the link directions they transmit on, and a local
+/// event queue. During a parallel window a worker thread owns the shard
+/// exclusively and reads [`Globals`] immutably.
+struct Shard {
+    idx: usize,
+    /// Local index → global node id.
+    gids: Vec<u32>,
+    nodes: Vec<Box<dyn Node>>,
+    rngs: Vec<StdRng>,
+    /// Per local node: events scheduled so far — the per-source sequence
+    /// component of [`EventKey`], independent of shard layout.
+    node_seq: Vec<u64>,
+    /// Per local node: timers armed and not yet fired or discarded, for
+    /// the `node.pending_timers` gauge.
+    pending_timers: Vec<u64>,
+    /// Direction arena for links whose source node lives here.
+    dirs: Vec<Direction>,
+    queue: CalendarQueue<EvData>,
+    /// This shard's slice of the engine counters; folded into
+    /// [`Sim::counters`] at barriers.
+    counters: Counters,
+    /// Packets admitted here minus packets delivered/dropped here. Signed:
+    /// a receiver decrements what a cross-shard sender incremented, so
+    /// only the sum over shards is meaningful.
+    inflight: i64,
+    /// Time of the last event this shard processed (ns).
+    clock_ns: u64,
+    /// Events processed in the current window (collected at the barrier).
+    window_done: u64,
+    /// Cross-shard sends buffered during a window: (destination shard,
+    /// key, event), merged into destination queues at the barrier.
+    outbox: Vec<(u32, EventKey, EvData)>,
     /// Scratch buffers lent to [`NodeCtx`] for each callback, so the event
     /// loop allocates nothing in steady state.
     scratch_sends: Vec<(PortId, Packet)>,
     scratch_timers: Vec<(SimTime, u64)>,
+}
+
+impl Shard {
+    fn new(idx: usize) -> Shard {
+        Shard {
+            idx,
+            gids: Vec::new(),
+            nodes: Vec::new(),
+            rngs: Vec::new(),
+            node_seq: Vec::new(),
+            pending_timers: Vec::new(),
+            dirs: Vec::new(),
+            queue: CalendarQueue::new(QUEUE_BUCKET_WIDTH_NS, QUEUE_BUCKETS),
+            counters: Counters::new(),
+            inflight: 0,
+            clock_ns: 0,
+            window_done: 0,
+            outbox: Vec::new(),
+            scratch_sends: Vec::new(),
+            scratch_timers: Vec::new(),
+        }
+    }
+
+    /// Next event key for an event sourced by local node `local` (global
+    /// id `gid`). Source 0 is reserved for the external scheduler.
+    fn next_key(&mut self, at: u64, gid: u32, local: usize) -> EventKey {
+        let seq = self.node_seq[local];
+        self.node_seq[local] += 1;
+        EventKey { at, src: gid + 1, seq }
+    }
+
+    /// Process queued events with `at < end_ns`, up to `cap` of them.
+    fn process_window(&mut self, g: &Globals, end_ns: u64, cap: u64) {
+        let mut done = 0u64;
+        while done < cap {
+            match self.queue.peek() {
+                Some(k) if k.at < end_ns => {}
+                _ => break,
+            }
+            self.process_one(g, &mut None);
+            done += 1;
+        }
+        self.window_done = done;
+    }
+
+    /// Pop and execute the shard's smallest event. The caller must have
+    /// peeked a key.
+    fn process_one(&mut self, g: &Globals, hooks: &mut Option<TraceHooks<'_>>) {
+        let (key, ev) = self.queue.pop().expect("caller peeked an event");
+        debug_assert!(key.at >= self.clock_ns, "time must not run backwards");
+        self.clock_ns = key.at;
+        self.counters.inc_id(SIM_EVENTS);
+        match ev.kind {
+            EvKind::Deliver { node, port, packet, epoch } => {
+                self.inflight -= 1;
+                let gid = node as usize;
+                if !g.alive[gid] || epoch != g.epochs[gid] {
+                    // Destination crashed after admission: the packet
+                    // evaporates with the incarnation it targeted.
+                    self.counters.inc_id(SIM_DELIVERIES_DROPPED_CRASH);
+                    let fault = hooks.as_ref().and_then(|h| h.crash[gid]);
+                    rec(
+                        hooks,
+                        self.clock_ns,
+                        node,
+                        TraceKind::PacketDrop(DropReason::Crash),
+                        ev.trace,
+                        fault,
+                    );
+                } else {
+                    self.counters.inc_id(SIM_PACKETS_DELIVERED);
+                    let deliver = rec(
+                        hooks,
+                        self.clock_ns,
+                        node,
+                        TraceKind::PacketDeliver { port },
+                        ev.trace,
+                        None,
+                    );
+                    let port = PortId(port as usize);
+                    self.dispatch(g, node, deliver, hooks, |n, ctx| n.on_packet(ctx, port, packet));
+                }
+            }
+            EvKind::Timer { node, tag, epoch } => {
+                let gid = node as usize;
+                let local = g.node_loc[gid].1 as usize;
+                self.pending_timers[local] -= 1;
+                if !g.alive[gid] || epoch != g.epochs[gid] {
+                    self.counters.inc_id(SIM_TIMERS_DROPPED_CRASH);
+                    let fault = hooks.as_ref().and_then(|h| h.crash[gid]);
+                    rec(hooks, self.clock_ns, node, TraceKind::TimerDrop { tag }, ev.trace, fault);
+                } else {
+                    self.counters.inc_id(SIM_TIMERS);
+                    let fire = rec(
+                        hooks,
+                        self.clock_ns,
+                        node,
+                        TraceKind::TimerFire { tag },
+                        ev.trace,
+                        None,
+                    );
+                    self.dispatch(g, node, fire, hooks, |n, ctx| n.on_timer(ctx, tag));
+                }
+            }
+        }
+    }
+
+    /// Run one node callback against the shard-owned scratch buffers and
+    /// apply whatever it queued. The buffers are `mem::take`n around the
+    /// callback so their capacity is reused event after event — the loop's
+    /// steady state performs no heap allocation.
+    fn dispatch(
+        &mut self,
+        g: &Globals,
+        gid: u32,
+        cause: Option<EventId>,
+        hooks: &mut Option<TraceHooks<'_>>,
+        f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>),
+    ) {
+        let local = g.node_loc[gid as usize].1 as usize;
+        let mut sends = std::mem::take(&mut self.scratch_sends);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        sends.clear();
+        timers.clear();
+        {
+            let trace =
+                TraceCtx::new(hooks.as_mut().map(|h| &mut *h.tracer), self.clock_ns, gid, cause);
+            let mut ctx = NodeCtx::new(
+                NodeId(gid as usize),
+                SimTime::from_nanos(self.clock_ns),
+                g.ports[gid as usize].len(),
+                &mut self.rngs[local],
+                trace,
+                &mut sends,
+                &mut timers,
+            );
+            f(self.nodes[local].as_mut(), &mut ctx);
+        }
+        self.apply_actions(g, gid, local, cause, hooks, &mut sends, &mut timers);
+        self.scratch_sends = sends;
+        self.scratch_timers = timers;
+    }
+
+    /// Admit queued sends onto their links and arm queued timers.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_actions(
+        &mut self,
+        g: &Globals,
+        gid: u32,
+        local: usize,
+        cause: Option<EventId>,
+        hooks: &mut Option<TraceHooks<'_>>,
+        sends: &mut Vec<(PortId, Packet)>,
+        timers: &mut Vec<(SimTime, u64)>,
+    ) {
+        let now = SimTime::from_nanos(self.clock_ns);
+        let from = NodeId(gid as usize);
+        for (port, packet) in sends.drain(..) {
+            self.counters.inc_id(SIM_PACKETS_SENT);
+            // The enqueue event roots this packet's causal chain at the
+            // dispatch event the node was handling when it sent.
+            let enq = rec(
+                hooks,
+                self.clock_ns,
+                gid,
+                TraceKind::PacketEnqueue { port: port.0 as u32, bytes: packet.wire_len() as u32 },
+                cause,
+                None,
+            );
+            let Some(&link_id) = g.ports[gid as usize].get(port.0) else {
+                self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
+                rec(
+                    hooks,
+                    self.clock_ns,
+                    gid,
+                    TraceKind::PacketDrop(DropReason::BadPort),
+                    enq,
+                    None,
+                );
+                continue;
+            };
+            let link = &g.links[link_id.0];
+            let Some((dir, dst, dst_port)) = link.direction_from(from, port) else {
+                self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
+                rec(
+                    hooks,
+                    self.clock_ns,
+                    gid,
+                    TraceKind::PacketDrop(DropReason::BadPort),
+                    enq,
+                    None,
+                );
+                continue;
+            };
+            // Fault gates, checked before the loss roll so injected faults
+            // never perturb the RNG stream of surviving traffic paths.
+            if link.down {
+                self.counters.inc_id(SIM_PACKETS_DROPPED_LINK_DOWN);
+                let fault = hooks.as_ref().and_then(|h| h.link_fault[link_id.0]);
+                rec(
+                    hooks,
+                    self.clock_ns,
+                    gid,
+                    TraceKind::PacketDrop(DropReason::LinkDown),
+                    enq,
+                    fault,
+                );
+                continue;
+            }
+            let loss = link.loss_override.unwrap_or(link.spec.loss_permille);
+            if !g.alive[dst.0] {
+                self.counters.inc_id(SIM_PACKETS_DROPPED_DEAD_NODE);
+                let fault = hooks.as_ref().and_then(|h| h.crash[dst.0]);
+                rec(
+                    hooks,
+                    self.clock_ns,
+                    gid,
+                    TraceKind::PacketDrop(DropReason::DeadNode),
+                    enq,
+                    fault,
+                );
+                continue;
+            }
+            if g.active_partitions > 0 {
+                if let Some(p) = g.blocking_partition(from, dst) {
+                    self.counters.inc_id(SIM_PACKETS_DROPPED_PARTITION);
+                    let fault = hooks.as_ref().and_then(|h| h.partition_fault[p]);
+                    rec(
+                        hooks,
+                        self.clock_ns,
+                        gid,
+                        TraceKind::PacketDrop(DropReason::Partition),
+                        enq,
+                        fault,
+                    );
+                    continue;
+                }
+            }
+            if loss > 0 {
+                use rand::Rng;
+                // The roll comes from the *sending* node's stream, so it
+                // is independent of shard layout and of other nodes.
+                if self.rngs[local].gen_range(0..1000u32) < u32::from(loss) {
+                    self.counters.inc_id(SIM_PACKETS_LOST);
+                    rec(
+                        hooks,
+                        self.clock_ns,
+                        gid,
+                        TraceKind::PacketDrop(DropReason::Loss),
+                        enq,
+                        None,
+                    );
+                    continue;
+                }
+            }
+            let slot = g.dir_slot[link_id.0][dir] as usize;
+            match self.dirs[slot].admit(&link.rate, link.spec.latency, now, packet.wire_len()) {
+                Some(arrival) => {
+                    self.inflight += 1;
+                    let epoch = g.epochs[dst.0];
+                    // Timestamp the transmit at serialization completion
+                    // (arrival minus propagation), so queue wait and wire
+                    // time separate cleanly on critical paths.
+                    let trace = rec(
+                        hooks,
+                        (arrival - link.spec.latency).as_nanos(),
+                        gid,
+                        TraceKind::PacketTransmit,
+                        enq,
+                        None,
+                    );
+                    let key = self.next_key(arrival.as_nanos(), gid, local);
+                    let data = EvData {
+                        kind: EvKind::Deliver {
+                            node: dst.0 as u32,
+                            port: dst_port.0 as u32,
+                            packet,
+                            epoch,
+                        },
+                        trace,
+                    };
+                    let dst_shard = g.node_loc[dst.0].0;
+                    if dst_shard as usize == self.idx {
+                        self.queue.push(key, data);
+                    } else {
+                        self.outbox.push((dst_shard, key, data));
+                    }
+                }
+                None => {
+                    self.counters.inc_id(SIM_PACKETS_DROPPED);
+                    rec(
+                        hooks,
+                        self.clock_ns,
+                        gid,
+                        TraceKind::PacketDrop(DropReason::QueueFull),
+                        enq,
+                        None,
+                    );
+                }
+            }
+        }
+        let epoch = g.epochs[gid as usize];
+        for (at, tag) in timers.drain(..) {
+            self.pending_timers[local] += 1;
+            let trace = rec(hooks, self.clock_ns, gid, TraceKind::TimerSet { tag }, cause, None);
+            let key = self.next_key(at.as_nanos(), gid, local);
+            self.queue.push(key, EvData { kind: EvKind::Timer { node: gid, tag, epoch }, trace });
+        }
+    }
+}
+
+/// The simulator.
+pub struct Sim {
+    cfg: SimConfig,
+    nshards: usize,
+    clock: SimTime,
+    /// Sequence for externally scheduled timers ([`Sim::schedule`]), which
+    /// use the reserved event-key source 0.
+    ext_seq: u64,
+    fault_seq: u64,
+    globals: Globals,
+    shards: Vec<Shard>,
+    faults: BinaryHeap<Reverse<FaultEntry>>,
+    /// Engine-level counters: `sim.events`, `sim.packets_sent`,
+    /// `sim.packets_delivered`, `sim.packets_dropped`, `sim.timers`.
+    /// Rebuilt from the per-shard slices at every barrier and at the end
+    /// of each `run_until` call.
+    pub counters: Counters,
+    /// Counter contributions made by the coordinator itself (fault
+    /// application), outside any shard.
+    base_counters: Counters,
+    /// Execution statistics (`sim.shard.*`): window count, cross-shard
+    /// packets, worker spawns. Kept apart from [`Sim::counters`] because
+    /// their values depend on `--shards`, and run output must not.
+    exec: Counters,
+    started: bool,
+    /// Events processed so far — a plain field so the per-event budget
+    /// check doesn't round-trip through the counter table.
+    events: u64,
     /// Causal-trace recorder (see [`Sim::enable_trace`]). Disabled by
     /// default: every emission site is a single branch and nothing
-    /// allocates.
+    /// allocates. Enabling tracing forces serial execution.
     pub tracer: Tracer,
     /// Time-series telemetry plane (see [`Sim::enable_metrics`]).
     /// Disabled by default: the event loop pays one branch per iteration
     /// and nothing allocates.
     pub metrics: MetricSet,
-    /// Packets admitted to a link and not yet delivered or dropped — the
-    /// in-flight term of the packet-conservation invariant and the
-    /// `engine.inflight_packets` gauge.
-    inflight_pkts: u64,
-    /// Per node: timers armed and not yet fired or discarded, for the
-    /// `node.pending_timers` gauge.
-    pending_timers: Vec<u64>,
+    /// Emit per-shard `shard.*` gauges on each metrics tick. Off by
+    /// default so committed metrics artifacts stay byte-identical across
+    /// shard counts; see [`Sim::enable_shard_telemetry`].
+    shard_telemetry: bool,
+    /// Test-only imbalance injected by [`Sim::debug_leak_inflight`].
+    inflight_leak: i64,
+    /// Minimum latency over cross-shard links (ns) — the conservative
+    /// lookahead bound. `u64::MAX` when no link crosses shards.
+    lookahead_ns: u64,
+    /// A zero-latency link crosses shards: no safe lookahead exists, so
+    /// execution stays serial.
+    zero_lookahead: bool,
+    /// Barrier merge scratch, reused window after window.
+    merge_buf: Vec<(u32, EventKey, EvData)>,
     /// Per node: trace id of the most recent crash fault, for the
     /// fault→dropped-delivery aux edge.
     crash_trace: Vec<Option<EventId>>,
@@ -176,37 +655,70 @@ pub struct Sim {
 impl Sim {
     /// Create an empty simulation.
     pub fn new(cfg: SimConfig) -> Sim {
+        let nshards = if cfg.shards == 0 { default_shards() } else { cfg.shards }.max(1);
         Sim {
-            rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
+            nshards,
             clock: SimTime::ZERO,
-            seq: 0,
-            nodes: Vec::new(),
-            ports: Vec::new(),
-            links: Vec::new(),
-            heap: BinaryHeap::new(),
+            ext_seq: 0,
+            fault_seq: 0,
+            globals: Globals {
+                links: Vec::new(),
+                ports: Vec::new(),
+                alive: Vec::new(),
+                epochs: Vec::new(),
+                partitions: Vec::new(),
+                active_partitions: 0,
+                node_loc: Vec::new(),
+                dir_slot: Vec::new(),
+            },
+            shards: (0..nshards).map(Shard::new).collect(),
+            faults: BinaryHeap::new(),
             counters: Counters::new(),
+            base_counters: Counters::new(),
+            exec: Counters::new(),
             started: false,
             events: 0,
-            alive: Vec::new(),
-            epochs: Vec::new(),
-            partitions: Vec::new(),
-            active_partitions: 0,
-            scratch_sends: Vec::new(),
-            scratch_timers: Vec::new(),
             tracer: Tracer::disabled(),
             metrics: MetricSet::disabled(),
-            inflight_pkts: 0,
-            pending_timers: Vec::new(),
+            shard_telemetry: false,
+            inflight_leak: 0,
+            lookahead_ns: u64::MAX,
+            zero_lookahead: false,
+            merge_buf: Vec::new(),
             crash_trace: Vec::new(),
             link_fault_trace: Vec::new(),
             partition_fault_trace: Vec::new(),
         }
     }
 
+    /// Number of shards this simulation partitions its nodes across.
+    pub fn shard_count(&self) -> usize {
+        self.nshards
+    }
+
+    /// Execution statistics (`sim.shard.windows`, `sim.shard.
+    /// xshard_packets`, `sim.shard.worker_spawns`). These describe *how*
+    /// the run executed, not *what* it simulated — they vary with
+    /// `--shards` and are therefore never folded into [`Sim::counters`].
+    pub fn exec_stats(&self) -> &Counters {
+        &self.exec
+    }
+
+    /// Emit per-shard `shard.queue_events` / `shard.clock_ns` gauges
+    /// (instances `s0`, `s1`, …) on each metrics tick. Off by default:
+    /// these gauges depend on the shard count, so committed metrics
+    /// artifacts leave them disabled to stay byte-identical across
+    /// `--shards`.
+    pub fn enable_shard_telemetry(&mut self) {
+        self.shard_telemetry = true;
+    }
+
     /// Turn on causal tracing, retaining the most recent `capacity`
     /// events. Call before running; the recorded stream (ids included) is
-    /// deterministic per seed.
+    /// deterministic per seed. Tracing forces serial execution (the trace
+    /// stream is a total order), which cannot change simulation results —
+    /// only wall-clock speed.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.tracer = Tracer::enabled(capacity);
     }
@@ -220,7 +732,9 @@ impl Sim {
     /// Turn on metrics sampling (and, per `cfg`, the invariant monitor).
     /// Call before running. Sampling reads state only — no events are
     /// scheduled and no RNG is drawn — so enabling metrics never perturbs
-    /// the simulation.
+    /// the simulation. Samples are taken at window barriers; the window
+    /// bound respects tick boundaries, so sampled values are identical
+    /// for every shard count.
     pub fn enable_metrics(&mut self, cfg: MetricsConfig) {
         self.metrics = MetricSet::enabled(cfg);
     }
@@ -245,13 +759,18 @@ impl Sim {
     /// packet-conservation audit fires. Not part of the public API.
     #[doc(hidden)]
     pub fn debug_leak_inflight(&mut self) {
-        self.inflight_pkts += 1;
+        self.inflight_leak += 1;
     }
 
     /// The nodes' [`Node::name`]s in id order — the track labels trace
     /// exporters want.
     pub fn node_names(&self) -> Vec<String> {
-        self.nodes.iter().map(|n| n.name().to_string()).collect()
+        (0..self.node_count())
+            .map(|gid| {
+                let (si, li) = self.globals.node_loc[gid];
+                self.shards[si as usize].nodes[li as usize].name().to_string()
+            })
+            .collect()
     }
 
     /// Current simulated time.
@@ -259,63 +778,105 @@ impl Sim {
         self.clock
     }
 
-    /// Add a node; returns its ID.
+    /// Add a node; returns its ID. Default placement assigns each node its
+    /// own region (round-robin across shards); use
+    /// [`Sim::add_node_in_region`] to co-locate nodes that talk on
+    /// low-latency links.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
-        let id = NodeId(self.nodes.len());
-        self.nodes.push(node);
-        self.ports.push(Vec::new());
-        self.alive.push(true);
-        self.epochs.push(0);
-        self.pending_timers.push(0);
+        let region = self.globals.node_loc.len();
+        self.add_node_in_region(node, region)
+    }
+
+    /// Add a node in spatial `region` (e.g. a rack or pod index). Nodes
+    /// sharing a region land on the same shard (`region % shards`), so
+    /// their traffic never crosses a shard boundary and the engine's
+    /// lookahead is bounded only by inter-region trunk latency. Placement
+    /// affects wall-clock speed, never results.
+    pub fn add_node_in_region(&mut self, node: Box<dyn Node>, region: usize) -> NodeId {
+        let gid = self.globals.node_loc.len();
+        let si = region % self.nshards;
+        let shard = &mut self.shards[si];
+        let li = shard.nodes.len();
+        self.globals.node_loc.push((si as u32, li as u32));
+        self.globals.ports.push(Vec::new());
+        self.globals.alive.push(true);
+        self.globals.epochs.push(0);
         self.crash_trace.push(None);
-        id
+        shard.gids.push(gid as u32);
+        shard.nodes.push(node);
+        shard.rngs.push(StdRng::seed_from_u64(node_stream_seed(self.cfg.seed, gid as u64)));
+        shard.node_seq.push(0);
+        shard.pending_timers.push(0);
+        NodeId(gid)
     }
 
     /// True when `node`'s network stack is up (not crashed by fault
     /// injection, or restarted since).
     pub fn node_alive(&self, node: NodeId) -> bool {
-        self.alive[node.0]
+        self.globals.alive[node.0]
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.globals.node_loc.len()
     }
 
     /// Connect `a` and `b` with a link, returning the port each end got.
     pub fn connect(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (PortId, PortId) {
-        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "connect: unknown node");
+        let n = self.globals.node_loc.len();
+        assert!(a.0 < n && b.0 < n, "connect: unknown node");
         assert_ne!(a, b, "self-links are not supported");
-        let pa = PortId(self.ports[a.0].len());
-        let pb = PortId(self.ports[b.0].len());
-        let id = LinkId(self.links.len());
-        self.links.push(Link {
+        let pa = PortId(self.globals.ports[a.0].len());
+        let pb = PortId(self.globals.ports[b.0].len());
+        let id = LinkId(self.globals.links.len());
+        self.globals.links.push(Link {
             spec,
             rate: LinkRate::from_spec(&spec),
             ends: [(a, pa), (b, pb)],
-            dirs: [Default::default(); 2],
             down: false,
             loss_override: None,
         });
-        self.ports[a.0].push(id);
-        self.ports[b.0].push(id);
+        self.globals.ports[a.0].push(id);
+        self.globals.ports[b.0].push(id);
         self.link_fault_trace.push(None);
+        // Each direction's transmitter state lives with its source node's
+        // shard (single writer).
+        let ends = [a, b];
+        let mut slots = [0u32; 2];
+        for (d, end) in ends.iter().enumerate() {
+            let si = self.globals.node_loc[end.0].0 as usize;
+            slots[d] = self.shards[si].dirs.len() as u32;
+            self.shards[si].dirs.push(Direction::default());
+        }
+        self.globals.dir_slot.push(slots);
+        // Cross-shard links bound the conservative lookahead.
+        let sa = self.globals.node_loc[a.0].0;
+        let sb = self.globals.node_loc[b.0].0;
+        if sa != sb {
+            let lat = spec.latency.as_nanos();
+            if lat == 0 {
+                self.zero_lookahead = true;
+            } else {
+                self.lookahead_ns = self.lookahead_ns.min(lat);
+            }
+        }
         (pa, pb)
     }
 
     /// Number of ports on `node`.
     pub fn port_count(&self, node: NodeId) -> usize {
-        self.ports[node.0].len()
+        self.globals.ports[node.0].len()
     }
 
     /// Schedule a timer event for `node` at absolute time `at`.
     ///
     /// This is how workload drivers kick protocols into motion from outside.
     pub fn schedule(&mut self, at: SimTime, node: NodeId, tag: u64) {
-        let epoch = self.epochs[node.0];
-        let seq = self.seq;
-        self.seq += 1;
-        self.pending_timers[node.0] += 1;
+        let epoch = self.globals.epochs[node.0];
+        let seq = self.ext_seq;
+        self.ext_seq += 1;
+        let (si, li) = self.globals.node_loc[node.0];
+        self.shards[si as usize].pending_timers[li as usize] += 1;
         let trace = self.tracer.record(
             self.clock.as_nanos(),
             node.0 as u32,
@@ -323,17 +884,16 @@ impl Sim {
             None,
             None,
         );
-        self.heap.push(Reverse(Event {
-            at,
-            seq,
-            kind: EventKind::Timer { node, tag, epoch },
-            trace,
-        }));
+        self.shards[si as usize].queue.push(
+            EventKey { at: at.as_nanos(), src: 0, seq },
+            EvData { kind: EvKind::Timer { node: node.0 as u32, tag, epoch }, trace },
+        );
     }
 
     /// Install a [`FaultPlan`]: resolve its link references against the
-    /// current topology and schedule every fault as a heap event at its
-    /// exact simulated time.
+    /// current topology and schedule every fault at its exact simulated
+    /// time. Faults apply at window barriers, before any simulation event
+    /// at an equal or later time — for every shard count.
     ///
     /// Call after all links are connected. Plans compose: installing
     /// several plans merges their schedules.
@@ -360,8 +920,8 @@ impl Sim {
                     self.push_fault(*until, FaultAction::LossOverride { link, loss: None });
                 }
                 FaultEvent::Partition { at, until, left, right } => {
-                    let id = self.partitions.len();
-                    self.partitions.push(Partition {
+                    let id = self.globals.partitions.len();
+                    self.globals.partitions.push(Partition {
                         left: left.clone(),
                         right: right.clone(),
                         active: false,
@@ -382,7 +942,7 @@ impl Sim {
 
     /// The link directly connecting `a` and `b` (either orientation).
     fn resolve_link(&self, a: NodeId, b: NodeId) -> LinkId {
-        for (i, link) in self.links.iter().enumerate() {
+        for (i, link) in self.globals.links.iter().enumerate() {
             let ends = [link.ends[0].0, link.ends[1].0];
             if ends == [a, b] || ends == [b, a] {
                 return LinkId(i);
@@ -392,9 +952,9 @@ impl Sim {
     }
 
     fn push_fault(&mut self, at: SimTime, action: FaultAction) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Event { at, seq, kind: EventKind::Fault(action), trace: None }));
+        let seq = self.fault_seq;
+        self.fault_seq += 1;
+        self.faults.push(Reverse(FaultEntry { at, seq, action }));
     }
 
     /// Record the trace event for a fault action and remember its id where
@@ -433,239 +993,93 @@ impl Sim {
     /// parent of whatever the restart handler does.
     fn apply_fault(&mut self, action: FaultAction, trace: Option<EventId>) {
         match action {
-            FaultAction::LinkState { link, down } => self.links[link.0].down = down,
-            FaultAction::LossOverride { link, loss } => self.links[link.0].loss_override = loss,
+            FaultAction::LinkState { link, down } => self.globals.links[link.0].down = down,
+            FaultAction::LossOverride { link, loss } => {
+                self.globals.links[link.0].loss_override = loss
+            }
             FaultAction::PartitionOn { id } => {
-                if !self.partitions[id].active {
-                    self.partitions[id].active = true;
-                    self.active_partitions += 1;
+                if !self.globals.partitions[id].active {
+                    self.globals.partitions[id].active = true;
+                    self.globals.active_partitions += 1;
                 }
             }
             FaultAction::PartitionOff { id } => {
-                if self.partitions[id].active {
-                    self.partitions[id].active = false;
-                    self.active_partitions -= 1;
+                if self.globals.partitions[id].active {
+                    self.globals.partitions[id].active = false;
+                    self.globals.active_partitions -= 1;
                 }
             }
             FaultAction::Crash { node } => {
-                if self.alive[node.0] {
-                    self.alive[node.0] = false;
+                if self.globals.alive[node.0] {
+                    self.globals.alive[node.0] = false;
                     // Every event scheduled for the old incarnation is now
                     // stale; bumping the epoch invalidates them lazily.
-                    self.epochs[node.0] += 1;
+                    self.globals.epochs[node.0] += 1;
                 }
             }
             FaultAction::Restart { node } => {
-                if !self.alive[node.0] {
-                    self.alive[node.0] = true;
-                    self.dispatch(node, trace, |n, ctx| n.on_restart(ctx));
+                if !self.globals.alive[node.0] {
+                    self.globals.alive[node.0] = true;
+                    self.dispatch_coord(node, trace, |n, ctx| n.on_restart(ctx));
                 }
             }
         }
     }
 
-    /// The index of an active partition separating `a` from `b`, if any.
-    fn blocking_partition(&self, a: NodeId, b: NodeId) -> Option<usize> {
-        self.partitions.iter().position(|p| p.active && p.separates(a, b))
-    }
-
-    /// Borrow a node's behaviour, downcast to its concrete type.
-    pub fn node_as<T: Node>(&self, id: NodeId) -> Option<&T> {
-        (self.nodes[id.0].as_ref() as &dyn Any).downcast_ref::<T>()
-    }
-
-    /// Mutably borrow a node's behaviour, downcast to its concrete type.
-    pub fn node_as_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
-        (self.nodes[id.0].as_mut() as &mut dyn Any).downcast_mut::<T>()
-    }
-
-    /// Run one node callback against the engine-owned scratch buffers and
-    /// apply whatever it queued. The buffers are `mem::take`n around the
-    /// callback so their capacity is reused event after event — the loop's
-    /// steady state performs no heap allocation.
-    fn dispatch(
+    /// Coordinator-side dispatch into a node's owning shard, at the
+    /// engine clock (used for `on_start` and post-restart callbacks, which
+    /// happen between windows).
+    fn dispatch_coord(
         &mut self,
         node: NodeId,
         cause: Option<EventId>,
         f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>),
     ) {
-        let mut sends = std::mem::take(&mut self.scratch_sends);
-        let mut timers = std::mem::take(&mut self.scratch_timers);
-        sends.clear();
-        timers.clear();
-        {
-            let trace = TraceCtx::new(
-                self.tracer.is_enabled().then_some(&mut self.tracer),
-                self.clock.as_nanos(),
-                node.0 as u32,
-                cause,
-            );
-            let mut ctx = NodeCtx::new(
-                node,
-                self.clock,
-                self.ports[node.0].len(),
-                &mut self.rng,
-                trace,
-                &mut sends,
-                &mut timers,
-            );
-            f(self.nodes[node.0].as_mut(), &mut ctx);
-        }
-        self.apply_actions(node, cause, &mut sends, &mut timers);
-        self.scratch_sends = sends;
-        self.scratch_timers = timers;
+        let si = self.globals.node_loc[node.0].0 as usize;
+        let now_ns = self.clock.as_nanos();
+        let mut hooks = self.tracer.is_enabled().then(|| TraceHooks {
+            tracer: &mut self.tracer,
+            crash: &self.crash_trace,
+            link_fault: &self.link_fault_trace,
+            partition_fault: &self.partition_fault_trace,
+        });
+        let g = &self.globals;
+        let shard = &mut self.shards[si];
+        // All pending events are at or after the engine clock here, so
+        // lifting the shard clock preserves its monotonicity.
+        shard.clock_ns = shard.clock_ns.max(now_ns);
+        shard.dispatch(g, node.0 as u32, cause, &mut hooks, f);
+        // Sends from this dispatch may target other shards; deliver them
+        // now — the next outbox drain could be windows away.
+        self.drain_outboxes();
     }
 
-    /// Record a drop at the admission path (no-op when tracing is off).
-    fn trace_drop(
-        &mut self,
-        node: NodeId,
-        reason: DropReason,
-        enq: Option<EventId>,
-        aux: Option<EventId>,
-    ) {
-        if self.tracer.is_enabled() {
-            self.tracer.record(
-                self.clock.as_nanos(),
-                node.0 as u32,
-                TraceKind::PacketDrop(reason),
-                enq,
-                aux,
-            );
+    /// Move every shard's outbox into the destination shard queues. Pop
+    /// order at the destination is governed by the canonical key, so the
+    /// iteration order here is immaterial.
+    fn drain_outboxes(&mut self) -> u64 {
+        let mut merge = std::mem::take(&mut self.merge_buf);
+        for s in self.shards.iter_mut() {
+            merge.append(&mut s.outbox);
         }
+        let moved = merge.len() as u64;
+        for (dst, key, data) in merge.drain(..) {
+            self.shards[dst as usize].queue.push(key, data);
+        }
+        self.merge_buf = merge;
+        moved
     }
 
-    fn apply_actions(
-        &mut self,
-        node: NodeId,
-        cause: Option<EventId>,
-        sends: &mut Vec<(PortId, Packet)>,
-        timers: &mut Vec<(SimTime, u64)>,
-    ) {
-        let tracing = self.tracer.is_enabled();
-        for (port, packet) in sends.drain(..) {
-            self.counters.inc_id(SIM_PACKETS_SENT);
-            // The enqueue event roots this packet's causal chain at the
-            // dispatch event the node was handling when it sent.
-            let enq = if tracing {
-                self.tracer.record(
-                    self.clock.as_nanos(),
-                    node.0 as u32,
-                    TraceKind::PacketEnqueue {
-                        port: port.0 as u32,
-                        bytes: packet.wire_len() as u32,
-                    },
-                    cause,
-                    None,
-                )
-            } else {
-                None
-            };
-            let Some(&link_id) = self.ports[node.0].get(port.0) else {
-                self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
-                self.trace_drop(node, DropReason::BadPort, enq, None);
-                continue;
-            };
-            let link = &self.links[link_id.0];
-            let Some((dir, dst, dst_port)) = link.direction_from(node, port) else {
-                self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
-                self.trace_drop(node, DropReason::BadPort, enq, None);
-                continue;
-            };
-            let spec = link.spec;
-            let rate = link.rate;
-            // Fault gates, checked before the loss roll so injected faults
-            // never perturb the RNG stream of surviving traffic paths.
-            if link.down {
-                self.counters.inc_id(SIM_PACKETS_DROPPED_LINK_DOWN);
-                let fault = self.link_fault_trace[link_id.0];
-                self.trace_drop(node, DropReason::LinkDown, enq, fault);
-                continue;
-            }
-            let loss = link.loss_override.unwrap_or(spec.loss_permille);
-            if !self.alive[dst.0] {
-                self.counters.inc_id(SIM_PACKETS_DROPPED_DEAD_NODE);
-                let fault = self.crash_trace[dst.0];
-                self.trace_drop(node, DropReason::DeadNode, enq, fault);
-                continue;
-            }
-            if self.active_partitions > 0 {
-                if let Some(p) = self.blocking_partition(node, dst) {
-                    self.counters.inc_id(SIM_PACKETS_DROPPED_PARTITION);
-                    let fault = self.partition_fault_trace[p];
-                    self.trace_drop(node, DropReason::Partition, enq, fault);
-                    continue;
-                }
-            }
-            if loss > 0 {
-                use rand::Rng;
-                if self.rng.gen_range(0..1000u32) < u32::from(loss) {
-                    self.counters.inc_id(SIM_PACKETS_LOST);
-                    self.trace_drop(node, DropReason::Loss, enq, None);
-                    continue;
-                }
-            }
-            match self.links[link_id.0].dirs[dir].admit(
-                &rate,
-                spec.latency,
-                self.clock,
-                packet.wire_len(),
-            ) {
-                Some(arrival) => {
-                    let seq = self.seq;
-                    self.seq += 1;
-                    self.inflight_pkts += 1;
-                    let epoch = self.epochs[dst.0];
-                    // Timestamp the transmit at serialization completion
-                    // (arrival minus propagation), so queue wait and wire
-                    // time separate cleanly on critical paths.
-                    let trace = if tracing {
-                        self.tracer.record(
-                            (arrival - spec.latency).as_nanos(),
-                            node.0 as u32,
-                            TraceKind::PacketTransmit,
-                            enq,
-                            None,
-                        )
-                    } else {
-                        None
-                    };
-                    self.heap.push(Reverse(Event {
-                        at: arrival,
-                        seq,
-                        kind: EventKind::Deliver { node: dst, port: dst_port, packet, epoch },
-                        trace,
-                    }));
-                }
-                None => {
-                    self.counters.inc_id(SIM_PACKETS_DROPPED);
-                    self.trace_drop(node, DropReason::QueueFull, enq, None);
-                }
-            }
-        }
-        let epoch = self.epochs[node.0];
-        for (at, tag) in timers.drain(..) {
-            let seq = self.seq;
-            self.seq += 1;
-            self.pending_timers[node.0] += 1;
-            let trace = if tracing {
-                self.tracer.record(
-                    self.clock.as_nanos(),
-                    node.0 as u32,
-                    TraceKind::TimerSet { tag },
-                    cause,
-                    None,
-                )
-            } else {
-                None
-            };
-            self.heap.push(Reverse(Event {
-                at,
-                seq,
-                kind: EventKind::Timer { node, tag, epoch },
-                trace,
-            }));
-        }
+    /// Borrow a node's behaviour, downcast to its concrete type.
+    pub fn node_as<T: Node>(&self, id: NodeId) -> Option<&T> {
+        let (si, li) = self.globals.node_loc[id.0];
+        (self.shards[si as usize].nodes[li as usize].as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutably borrow a node's behaviour, downcast to its concrete type.
+    pub fn node_as_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        let (si, li) = self.globals.node_loc[id.0];
+        (self.shards[si as usize].nodes[li as usize].as_mut() as &mut dyn Any).downcast_mut::<T>()
     }
 
     fn start_if_needed(&mut self) {
@@ -673,13 +1087,31 @@ impl Sim {
             return;
         }
         self.started = true;
-        for i in 0..self.nodes.len() {
-            self.dispatch(NodeId(i), None, |n, ctx| n.on_start(ctx));
+        for gid in 0..self.globals.node_loc.len() {
+            self.dispatch_coord(NodeId(gid), None, |n, ctx| n.on_start(ctx));
         }
     }
 
-    /// Run until the event heap is empty (or the event budget is spent).
-    /// Returns the number of events processed.
+    /// Rebuild the public counter table from the coordinator's own
+    /// contributions plus every shard's slice. Merging is an elementwise
+    /// add over global counter ids, so the result is independent of shard
+    /// layout.
+    fn refresh_counters(&mut self) {
+        let mut c = self.base_counters.clone();
+        for s in &self.shards {
+            c.merge(&s.counters);
+        }
+        self.counters = c;
+    }
+
+    /// Signed in-flight total across shards plus any test-injected leak.
+    fn total_inflight(&self) -> u64 {
+        let sum: i64 = self.inflight_leak + self.shards.iter().map(|s| s.inflight).sum::<i64>();
+        sum.max(0) as u64
+    }
+
+    /// Run until the event queues are empty (or the event budget is
+    /// spent). Returns the number of events processed.
     pub fn run_until_idle(&mut self) -> u64 {
         self.run_until(SimTime(u64::MAX))
     }
@@ -687,9 +1119,19 @@ impl Sim {
     /// Run while events exist with `at <= deadline`. Returns events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         self.start_if_needed();
+        let deadline_ns = deadline.as_nanos();
+        let serial = self.nshards == 1 || self.tracer.is_enabled() || self.zero_lookahead;
         let mut processed = 0u64;
-        while let Some(next_at) = self.heap.peek().map(|Reverse(ev)| ev.at) {
-            if next_at > deadline {
+        loop {
+            let mut next_ev = u64::MAX;
+            for s in self.shards.iter_mut() {
+                if let Some(k) = s.queue.peek() {
+                    next_ev = next_ev.min(k.at);
+                }
+            }
+            let next_fault = self.faults.peek().map(|r| r.0.at.as_nanos()).unwrap_or(u64::MAX);
+            let next_at = next_ev.min(next_fault);
+            if next_at == u64::MAX || next_at > deadline_ns {
                 break;
             }
             // Take any samples due strictly before the next event, so a
@@ -697,7 +1139,7 @@ impl Sim {
             // with time ≤ `b`. Sampling reads state only: no events, no
             // RNG — disabled metrics cost exactly this one branch.
             if self.metrics.is_enabled() {
-                self.pump_metrics(next_at.as_nanos());
+                self.pump_metrics(next_at);
             }
             if self.events >= self.cfg.max_events {
                 panic!(
@@ -705,75 +1147,122 @@ impl Sim {
                     self.cfg.max_events
                 );
             }
-            let Reverse(ev) = self.heap.pop().unwrap();
-            debug_assert!(ev.at >= self.clock, "time must not run backwards");
-            self.clock = ev.at;
-            self.events += 1;
-            self.counters.inc_id(SIM_EVENTS);
-            processed += 1;
-            match ev.kind {
-                EventKind::Deliver { node, port, packet, epoch } => {
-                    self.inflight_pkts -= 1;
-                    if !self.alive[node.0] || epoch != self.epochs[node.0] {
-                        // Destination crashed after admission: the packet
-                        // evaporates with the incarnation it targeted.
-                        self.counters.inc_id(SIM_DELIVERIES_DROPPED_CRASH);
-                        let fault = self.crash_trace[node.0];
-                        self.trace_drop(node, DropReason::Crash, ev.trace, fault);
-                    } else {
-                        self.counters.inc_id(SIM_PACKETS_DELIVERED);
-                        let deliver = if self.tracer.is_enabled() {
-                            self.tracer.record(
-                                self.clock.as_nanos(),
-                                node.0 as u32,
-                                TraceKind::PacketDeliver { port: port.0 as u32 },
-                                ev.trace,
-                                None,
-                            )
-                        } else {
-                            None
-                        };
-                        self.dispatch(node, deliver, |n, ctx| n.on_packet(ctx, port, packet));
-                    }
-                }
-                EventKind::Timer { node, tag, epoch } => {
-                    self.pending_timers[node.0] -= 1;
-                    if !self.alive[node.0] || epoch != self.epochs[node.0] {
-                        self.counters.inc_id(SIM_TIMERS_DROPPED_CRASH);
-                        if self.tracer.is_enabled() {
-                            let fault = self.crash_trace[node.0];
-                            self.tracer.record(
-                                self.clock.as_nanos(),
-                                node.0 as u32,
-                                TraceKind::TimerDrop { tag },
-                                ev.trace,
-                                fault,
-                            );
-                        }
-                    } else {
-                        self.counters.inc_id(SIM_TIMERS);
-                        let fire = if self.tracer.is_enabled() {
-                            self.tracer.record(
-                                self.clock.as_nanos(),
-                                node.0 as u32,
-                                TraceKind::TimerFire { tag },
-                                ev.trace,
-                                None,
-                            )
-                        } else {
-                            None
-                        };
-                        self.dispatch(node, fire, |n, ctx| n.on_timer(ctx, tag));
-                    }
-                }
-                EventKind::Fault(action) => {
-                    self.counters.inc_id(SIM_FAULTS_APPLIED);
-                    let trace = self.trace_fault(&action);
-                    self.apply_fault(action, trace);
+            if next_fault <= next_ev {
+                // Faults mutate global state; apply at the barrier, before
+                // any event at an equal or later time.
+                self.apply_next_fault();
+                processed += 1;
+            } else if serial {
+                self.process_next_serial();
+                processed += 1;
+            } else {
+                processed += self.run_window(next_ev, next_fault, deadline_ns);
+            }
+        }
+        self.refresh_counters();
+        processed
+    }
+
+    /// Pop and apply the earliest pending fault.
+    fn apply_next_fault(&mut self) {
+        let Reverse(f) = self.faults.pop().expect("caller peeked a fault");
+        debug_assert!(f.at >= self.clock, "time must not run backwards");
+        self.clock = f.at;
+        self.events += 1;
+        self.base_counters.inc_id(SIM_EVENTS);
+        self.base_counters.inc_id(SIM_FAULTS_APPLIED);
+        let trace = self.trace_fault(&f.action);
+        self.apply_fault(f.action, trace);
+    }
+
+    /// Serial mode: execute the globally smallest event key. Identical
+    /// pop order to any sharded execution — keys are canonical — so this
+    /// is also the reference order the trace stream exposes.
+    fn process_next_serial(&mut self) {
+        let mut best: Option<(EventKey, usize)> = None;
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            if let Some(k) = s.queue.peek() {
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, i));
                 }
             }
         }
-        processed
+        let (key, si) = best.expect("caller peeked an event");
+        let mut hooks = self.tracer.is_enabled().then(|| TraceHooks {
+            tracer: &mut self.tracer,
+            crash: &self.crash_trace,
+            link_fault: &self.link_fault_trace,
+            partition_fault: &self.partition_fault_trace,
+        });
+        let g = &self.globals;
+        self.shards[si].process_one(g, &mut hooks);
+        self.events += 1;
+        self.clock = SimTime::from_nanos(key.at);
+        // With more than one shard, serial mode still routes cross-shard
+        // sends through the outbox; deliver them before the next pop so
+        // the global argmin sees every pending event.
+        if self.nshards > 1 {
+            self.drain_outboxes();
+        }
+    }
+
+    /// Parallel mode: run one conservative-lookahead window starting at
+    /// `start_ns` across all shards with due events, then merge
+    /// cross-shard traffic at the barrier. Returns events processed.
+    fn run_window(&mut self, start_ns: u64, next_fault_ns: u64, deadline_ns: u64) -> u64 {
+        // Window end: bounded by the lookahead (cross-shard sends during
+        // [start, end) arrive at ≥ start + min cross-shard latency ≥ end,
+        // so shards are independent inside the window), clipped so faults,
+        // the deadline, and metrics ticks all land on barriers.
+        let mut end = start_ns.saturating_add(self.lookahead_ns);
+        end = end.min(next_fault_ns);
+        end = end.min(deadline_ns.saturating_add(1));
+        if let Some(tick) = self.metrics.due_before(u64::MAX) {
+            end = end.min(tick.saturating_add(1));
+        }
+        // Budget: each worker honours the full remaining budget; overshoot
+        // is bounded by one window and the panic fires at the next
+        // barrier, exactly like the serial loop's check.
+        let cap = self.cfg.max_events.saturating_sub(self.events).max(1);
+        let mut spawned = 0u64;
+        {
+            let g = &self.globals;
+            let mut active: Vec<&mut Shard> = self
+                .shards
+                .iter_mut()
+                .filter_map(|s| {
+                    let due = s.queue.peek().is_some_and(|k| k.at < end);
+                    due.then_some(s)
+                })
+                .collect();
+            if active.len() == 1 {
+                // One busy shard: run inline, no thread overhead.
+                active[0].process_window(g, end, cap);
+            } else {
+                spawned = active.len() as u64;
+                std::thread::scope(|scope| {
+                    for s in active {
+                        scope.spawn(move || s.process_window(g, end, cap));
+                    }
+                });
+            }
+        }
+        // Barrier: collect window results and merge outboxes. The merge
+        // inserts by canonical key, so destination pop order is
+        // independent of shard iteration order.
+        let mut done = 0u64;
+        let mut max_clock = self.clock.as_nanos();
+        for s in self.shards.iter_mut() {
+            done += std::mem::take(&mut s.window_done);
+            max_clock = max_clock.max(s.clock_ns);
+        }
+        let moved = self.drain_outboxes();
+        self.clock = SimTime::from_nanos(max_clock);
+        self.events += done;
+        self.exec.inc_id(SIM_SHARD_WINDOWS);
+        self.exec.add_id(SIM_SHARD_XSHARD_PACKETS, moved);
+        self.exec.add_id(SIM_SHARD_WORKER_SPAWNS, spawned);
+        done
     }
 
     // ---- metrics plumbing (called only when metrics are enabled) ----
@@ -792,18 +1281,26 @@ impl Sim {
     /// unique within the sim, else `n<id>` (the sampler normalizes labels
     /// to the gauge grammar).
     fn metric_instances(&self) -> Vec<String> {
-        let names: Vec<&str> = self.nodes.iter().map(|n| n.name()).collect();
+        let names = self.node_names();
         names
             .iter()
             .enumerate()
             .map(|(i, name)| {
                 if names.iter().filter(|m| *m == name).count() == 1 {
-                    (*name).to_string()
+                    name.clone()
                 } else {
                     format!("n{i}")
                 }
             })
             .collect()
+    }
+
+    /// The runtime state of one link direction, wherever its owner shard
+    /// keeps it.
+    fn link_dir(&self, link: usize, d: usize) -> &Direction {
+        let owner = self.globals.links[link].ends[d].0;
+        let si = self.globals.node_loc[owner.0].0 as usize;
+        &self.shards[si].dirs[self.globals.dir_slot[link][d] as usize]
     }
 
     /// Record one metrics tick at sim time `at` (ns): link and engine
@@ -813,45 +1310,66 @@ impl Sim {
     /// recording.
     fn take_sample(&mut self, at: u64) {
         use std::fmt::Write as _;
+        self.refresh_counters();
         let mut set = std::mem::take(&mut self.metrics);
         {
             let mut m = set.sampler(at);
             let mut label = String::new();
-            for (i, link) in self.links.iter().enumerate() {
+            for i in 0..self.globals.links.len() {
                 // Queue depth in bytes, both directions: the backlog is
                 // kept in the time domain, so scale back by the link rate.
+                let rate = self.globals.links[i].rate;
                 let mut queue_bytes = 0u64;
-                for dir in &link.dirs {
-                    let backlog_ns = dir.next_free.saturating_sub(self.clock).as_nanos();
+                for d in 0..2 {
+                    let backlog_ns =
+                        self.link_dir(i, d).next_free.saturating_sub(self.clock).as_nanos();
                     queue_bytes +=
-                        ((backlog_ns as u128 * 1000) / link.rate.ps_per_byte.max(1) as u128) as u64;
+                        ((backlog_ns as u128 * 1000) / rate.ps_per_byte.max(1) as u128) as u64;
                 }
                 label.clear();
                 let _ = write!(label, "l{i}");
                 m.set_instance(&label);
                 m.gauge("link.queue_bytes", queue_bytes);
-                for (d, dir) in link.dirs.iter().enumerate() {
+                for d in 0..2 {
                     label.clear();
                     let _ = write!(label, "l{i}_d{d}");
                     m.set_instance(&label);
-                    m.windowed_pct("link.util_pct", dir.busy_ns);
+                    m.windowed_pct("link.util_pct", self.link_dir(i, d).busy_ns);
                 }
             }
             let instances = self.metric_instances();
-            for (i, node) in self.nodes.iter().enumerate() {
-                m.set_instance(&instances[i]);
-                m.gauge("node.pending_timers", self.pending_timers[i]);
-                node.sample_metrics(&mut m);
+            for (gid, instance) in instances.iter().enumerate() {
+                let (si, li) = self.globals.node_loc[gid];
+                let shard = &self.shards[si as usize];
+                m.set_instance(instance);
+                m.gauge("node.pending_timers", shard.pending_timers[li as usize]);
+                shard.nodes[li as usize].sample_metrics(&mut m);
             }
             m.clear_instance();
-            m.gauge("engine.inflight_packets", self.inflight_pkts);
-            // Windowed rates over the engine counters: `rate.<counter>`.
+            m.gauge("engine.inflight_packets", self.total_inflight());
+            // Windowed rates over the *output* engine counters:
+            // `rate.<counter>`. The `sim.shard.*` execution-statistic tail
+            // of ENGINE_SLOTS is excluded — those values depend on
+            // --shards, and sampled output must not.
             let mut rate_name = String::new();
-            for (name, id) in ENGINE_SLOTS.iter().zip(ENGINE_SLOT_IDS.iter()) {
+            for (name, id) in ENGINE_SLOTS[..ENGINE_OUTPUT_SLOTS]
+                .iter()
+                .zip(ENGINE_SLOT_IDS[..ENGINE_OUTPUT_SLOTS].iter())
+            {
                 rate_name.clear();
                 rate_name.push_str("rate.");
                 rate_name.push_str(name);
                 m.rate_per_s(&rate_name, self.counters.get_id(*id));
+            }
+            if self.shard_telemetry {
+                for (i, s) in self.shards.iter().enumerate() {
+                    label.clear();
+                    let _ = write!(label, "s{i}");
+                    m.set_instance(&label);
+                    m.gauge("shard.queue_events", s.queue.len() as u64);
+                    m.gauge("shard.clock_ns", s.clock_ns);
+                }
+                m.clear_instance();
             }
         }
         if set.audit_enabled() {
@@ -869,6 +1387,7 @@ impl Sim {
         // happened is the right anchor.
         let ev = (self.tracer.is_enabled() && self.tracer.count() > 0)
             .then(|| EventId(self.tracer.count() - 1));
+        let inflight = self.total_inflight();
         let sent = self.counters.get_id(SIM_PACKETS_SENT);
         let accounted = self.counters.get_id(SIM_PACKETS_DELIVERED)
             + self.counters.get_id(SIM_PACKETS_DROPPED)
@@ -878,29 +1397,29 @@ impl Sim {
             + self.counters.get_id(SIM_PACKETS_DROPPED_PARTITION)
             + self.counters.get_id(SIM_PACKETS_DROPPED_DEAD_NODE)
             + self.counters.get_id(SIM_DELIVERIES_DROPPED_CRASH)
-            + self.inflight_pkts;
+            + inflight;
         if sent != accounted {
             set.report_violation(
                 at,
                 "packet_conservation",
                 format!(
                     "sent={sent} but delivered+dropped+lost+in-flight={accounted} \
-                     (in-flight={})",
-                    self.inflight_pkts
+                     (in-flight={inflight})"
                 ),
                 ev,
             );
         }
-        let snapshot: Vec<(&'static str, u64)> = ENGINE_SLOTS
+        let snapshot: Vec<(&'static str, u64)> = ENGINE_SLOTS[..ENGINE_OUTPUT_SLOTS]
             .iter()
-            .zip(ENGINE_SLOT_IDS.iter())
+            .zip(ENGINE_SLOT_IDS[..ENGINE_OUTPUT_SLOTS].iter())
             .map(|(name, id)| (*name, self.counters.get_id(*id)))
             .collect();
         set.check_monotonic(at, &snapshot, ev);
         set.begin_audit();
-        for i in 0..self.nodes.len() {
-            let mut scope = set.auditor(i as u32, self.alive[i]);
-            self.nodes[i].audit(&mut scope);
+        for gid in 0..self.globals.node_loc.len() {
+            let (si, li) = self.globals.node_loc[gid];
+            let mut scope = set.auditor(gid as u32, self.globals.alive[gid]);
+            self.shards[si as usize].nodes[li as usize].audit(&mut scope);
         }
         set.check_claims(at, ev);
     }
@@ -1583,5 +2102,159 @@ mod tests {
             rdv_trace::export::text_timeline(&t1, &n1),
             rdv_trace::export::text_timeline(&t2, &n2)
         );
+    }
+
+    // ---- sharded execution ----
+
+    /// One full faulted/lossy scenario at a given shard count, returning
+    /// everything a run exposes: counters, event count, final clock, and
+    /// the metrics JSON export.
+    fn sharded_fixture(seed: u64, shards: usize) -> (Vec<(&'static str, u64)>, u64, u64, String) {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(SimConfig { seed, shards, ..Default::default() });
+        let p = sim.add_node(Box::new(Pacer::new(50)));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns().with_loss(100));
+        let plan = FaultPlan::new()
+            .loss_burst(SimTime::from_micros(40), SimTime::from_micros(120), p, e, 700)
+            .crash(SimTime::from_micros(200), e)
+            .restart(SimTime::from_micros(260), e)
+            .partition(SimTime::from_micros(300), SimTime::from_micros(350), &[p], &[e]);
+        sim.install_fault_plan(&plan);
+        sim.enable_metrics(metrics_cfg(7_000));
+        let events = sim.run_until_idle();
+        sim.flush_metrics(sim.now());
+        let clock = sim.now().as_nanos();
+        let counters = sim.counters.iter().collect();
+        let json = rdv_metrics::export::json(&sim.take_metrics(), "T", seed);
+        (counters, events, clock, json)
+    }
+
+    #[test]
+    fn sharded_execution_is_byte_identical_to_single_shard() {
+        let flat = sharded_fixture(3, 1);
+        for shards in [2, 4, 8] {
+            assert_eq!(
+                sharded_fixture(3, shards),
+                flat,
+                "--shards {shards} must reproduce --shards 1 exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_parallel_path_actually_runs_windows() {
+        use crate::fault::FaultPlan;
+        fn run(shards: usize) -> (Vec<(&'static str, u64)>, u64, u64) {
+            let mut sim = Sim::new(SimConfig { seed: 3, shards, ..Default::default() });
+            let p = sim.add_node(Box::new(Pacer::new(50)));
+            let e = sim.add_node(Box::new(Echo));
+            sim.connect(p, e, spec_1b_per_ns().with_loss(100));
+            let plan = FaultPlan::new()
+                .crash(SimTime::from_micros(200), e)
+                .restart(SimTime::from_micros(260), e);
+            sim.install_fault_plan(&plan);
+            let events = sim.run_until_idle();
+            if shards > 1 {
+                // Two nodes, two shards, a 500 ns cross-shard link: the
+                // parallel windowed loop must have engaged.
+                assert!(
+                    sim.exec_stats().get("sim.shard.windows") > 0,
+                    "expected windowed execution"
+                );
+                assert!(
+                    sim.exec_stats().get("sim.shard.xshard_packets") > 0,
+                    "expected cross-shard traffic"
+                );
+            }
+            (sim.counters.iter().collect(), events, sim.now().as_nanos())
+        }
+        assert_eq!(run(1), run(2));
+    }
+
+    #[test]
+    fn regions_group_nodes_onto_shards() {
+        let mut sim = Sim::new(SimConfig { shards: 2, ..Default::default() });
+        let a = sim.add_node_in_region(Box::new(Echo), 0);
+        let b = sim.add_node_in_region(Box::new(Echo), 0);
+        let c = sim.add_node_in_region(Box::new(Echo), 1);
+        assert_eq!(sim.shard_count(), 2);
+        // Same region ⇒ same shard; links inside it never bound lookahead.
+        sim.connect(a, b, spec_1b_per_ns());
+        assert_eq!(sim.lookahead_ns, u64::MAX, "intra-region link must not bound lookahead");
+        sim.connect(b, c, spec_1b_per_ns());
+        assert_eq!(sim.lookahead_ns, 500, "cross-region link sets the lookahead");
+    }
+
+    #[test]
+    fn exec_stats_stay_out_of_run_counters() {
+        let mut sim = Sim::new(SimConfig { shards: 2, ..Default::default() });
+        let p = sim.add_node(Box::new(Pacer::new(20)));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        sim.run_until_idle();
+        assert!(sim.exec_stats().get("sim.shard.windows") > 0);
+        // The public counter table must not mention shard execution:
+        // its values would differ across --shards.
+        assert!(sim.counters.iter().all(|(name, _)| !name.starts_with("sim.shard.")));
+    }
+
+    #[test]
+    fn shard_telemetry_gauges_are_opt_in() {
+        fn run(telemetry: bool) -> Vec<String> {
+            let mut sim = Sim::new(SimConfig { shards: 2, ..Default::default() });
+            let p = sim.add_node(Box::new(Pacer::new(20)));
+            let e = sim.add_node(Box::new(Echo));
+            sim.connect(p, e, spec_1b_per_ns());
+            sim.enable_metrics(metrics_cfg(10_000));
+            if telemetry {
+                sim.enable_shard_telemetry();
+            }
+            sim.run_until_idle();
+            sim.flush_metrics(sim.now());
+            sim.take_metrics().names().to_vec()
+        }
+        let without = run(false);
+        assert!(without.iter().all(|n| !n.starts_with("shard.")), "telemetry must be opt-in");
+        let with = run(true);
+        for expected in ["shard.queue_events.s0", "shard.queue_events.s1", "shard.clock_ns.s0"] {
+            assert!(with.iter().any(|n| n == expected), "missing {expected}: {with:?}");
+        }
+    }
+
+    #[test]
+    fn external_schedule_is_shard_count_independent() {
+        struct Recorder {
+            tags: Vec<u64>,
+        }
+        impl Node for Recorder {
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, _: &mut NodeCtx<'_>, tag: u64) {
+                self.tags.push(tag);
+            }
+        }
+        fn run(shards: usize) -> Vec<(u64, u64)> {
+            let mut sim = Sim::new(SimConfig { shards, ..Default::default() });
+            let a = sim.add_node(Box::new(Recorder { tags: Vec::new() }));
+            let b = sim.add_node(Box::new(Recorder { tags: Vec::new() }));
+            sim.connect(a, b, spec_1b_per_ns());
+            for i in 0..10u64 {
+                sim.schedule(
+                    SimTime::from_micros(10 * (i % 3) + 5),
+                    if i % 2 == 0 { a } else { b },
+                    i,
+                );
+            }
+            sim.run_until_idle();
+            let mut out = Vec::new();
+            for (gid, node) in [a, b].into_iter().enumerate() {
+                for &t in &sim.node_as::<Recorder>(node).unwrap().tags {
+                    out.push((gid as u64, t));
+                }
+            }
+            out
+        }
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1), run(8));
     }
 }

@@ -39,6 +39,7 @@ pub mod fault;
 pub mod link;
 pub mod node;
 pub mod packet;
+pub mod queue;
 pub mod stats;
 pub mod time;
 pub mod topo;
@@ -46,7 +47,7 @@ pub mod topo;
 pub use rdv_metrics as metrics;
 pub use rdv_trace as trace;
 
-pub use engine::{Sim, SimConfig};
+pub use engine::{default_shards, set_default_shards, Sim, SimConfig};
 pub use fault::{FaultEvent, FaultPlan};
 pub use link::LinkSpec;
 pub use node::{Node, NodeCtx, NodeId, PortId};

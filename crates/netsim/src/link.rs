@@ -134,7 +134,11 @@ impl Direction {
     }
 }
 
-/// A link instance: the two endpoints and per-direction state.
+/// A link instance: endpoints, specs, and fault state. The mutable
+/// per-direction transmitter state ([`Direction`]) is *not* stored here —
+/// the engine keeps each direction in the shard that owns its source
+/// node, so shards can admit packets in parallel without sharing state
+/// (only a direction's source node ever writes it).
 #[derive(Debug)]
 pub(crate) struct Link {
     pub spec: LinkSpec,
@@ -142,7 +146,6 @@ pub(crate) struct Link {
     pub rate: LinkRate,
     /// (node, port) pairs for the two ends: `ends[0]` ↔ `ends[1]`.
     pub ends: [(NodeId, PortId); 2],
-    pub dirs: [Direction; 2],
     /// Administratively down (fault injection): admissions are refused.
     pub down: bool,
     /// Fault-injected loss rate overriding `spec.loss_permille` while set.
@@ -241,7 +244,6 @@ mod tests {
             spec: spec(),
             rate: LinkRate::from_spec(&spec()),
             ends: [(NodeId(1), PortId(0)), (NodeId(2), PortId(3))],
-            dirs: [Direction::default(); 2],
             down: false,
             loss_override: None,
         };

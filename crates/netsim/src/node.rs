@@ -25,8 +25,11 @@ pub struct PortId(pub usize);
 /// Behaviour attached to a network element.
 ///
 /// The `Any` supertrait lets experiments downcast a node back to its
-/// concrete type after a run (see [`crate::engine::Sim::node_as`]).
-pub trait Node: std::any::Any {
+/// concrete type after a run (see [`crate::engine::Sim::node_as`]). The
+/// `Send` supertrait lets the sharded engine move node sets onto worker
+/// threads for one lookahead window at a time (see `--shards`); nodes
+/// never share state, so no `Sync` is required.
+pub trait Node: std::any::Any + Send {
     /// A packet arrived on `port`.
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: PortId, packet: Packet);
 
@@ -85,7 +88,9 @@ pub struct NodeCtx<'a> {
     pub now: SimTime,
     /// Number of ports attached to this node.
     pub port_count: usize,
-    /// Deterministic per-simulation RNG (shared, seeded by [`crate::engine::SimConfig`]).
+    /// Deterministic RNG stream for this node, derived from the root
+    /// [`crate::engine::SimConfig`] seed and the node id — per-node
+    /// streams keep draws byte-identical for any `--shards` count.
     pub rng: &'a mut StdRng,
     /// Causal-trace handle for this callback: protocol code opens spans and
     /// drops marks here, pre-linked to the event being dispatched. Inert

@@ -1,0 +1,263 @@
+//! Bucketed calendar queue for near-future events.
+//!
+//! The engine's hot path is dominated by event-queue churn: almost every
+//! event scheduled is due within a few link latencies of *now*, which a
+//! binary heap pays `O(log n)` comparisons to order even though the time
+//! axis already orders it nearly for free. A calendar queue exploits that
+//! locality: the near future is a ring of fixed-width buckets (push is an
+//! `O(1)` append), only the *current* bucket is kept heap-ordered, and
+//! far-future items (long timers, scenario deadlines) fall back to an
+//! overflow heap so the ring stays small.
+//!
+//! Every item carries an [`EventKey`] `(at, src, seq)`; pops are globally
+//! ordered by that key. The key is execution-order-independent — `src`
+//! identifies the event's source stream and `seq` is per-source — which is
+//! what lets the sharded engine (see `engine.rs`) produce identical pop
+//! orders regardless of how events were interleaved when pushed.
+//!
+//! The module is public so `rdv-bench` can micro-benchmark it against the
+//! plain `BinaryHeap` it replaced; it is not otherwise part of the
+//! simulator's API surface.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total order for events: time, then source stream, then per-source
+/// sequence number. Keys are assigned so that the full set of (key, item)
+/// pairs produced by a run is independent of execution interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Due time in nanoseconds.
+    pub at: u64,
+    /// Source stream id (the engine uses 0 for externally scheduled
+    /// timers and `node_id + 1` for node-generated events).
+    pub src: u32,
+    /// Sequence number within the source stream.
+    pub seq: u64,
+}
+
+/// A keyed item; ordered by key alone so payloads need no `Ord`.
+struct Entry<T> {
+    key: EventKey,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A bucketed calendar queue: `O(1)` push for events due within
+/// `buckets × bucket_width` of the current bucket, heap ordering only
+/// within the bucket being drained, overflow heap for everything later.
+pub struct CalendarQueue<T> {
+    /// log2 of the bucket width in ns.
+    shift: u32,
+    /// Heap of items in the current bucket (and any pushed for the past —
+    /// time holds still between pops, so "the past" only arises from
+    /// zero-delay self-schedules, which land here and stay ordered).
+    cur: BinaryHeap<Reverse<Entry<T>>>,
+    /// Absolute index of the current bucket.
+    cur_bucket: u64,
+    /// Ring of unsorted future buckets: bucket `b` lives in slot
+    /// `b % ring.len()` while `b - cur_bucket ≤ ring.len()`.
+    ring: Vec<Vec<Entry<T>>>,
+    /// Items currently stored in the ring.
+    ring_len: usize,
+    /// Far-future items, beyond the ring horizon at push time.
+    overflow: BinaryHeap<Reverse<Entry<T>>>,
+    len: usize,
+}
+
+impl<T> CalendarQueue<T> {
+    /// Create a queue with `buckets` ring buckets of width
+    /// `bucket_width_ns` (rounded up to a power of two).
+    pub fn new(bucket_width_ns: u64, buckets: usize) -> CalendarQueue<T> {
+        assert!(buckets >= 1, "calendar queue needs at least one bucket");
+        let width = bucket_width_ns.max(1).next_power_of_two();
+        CalendarQueue {
+            shift: width.trailing_zeros(),
+            cur: BinaryHeap::new(),
+            cur_bucket: 0,
+            ring: (0..buckets).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queue `item` under `key`.
+    pub fn push(&mut self, key: EventKey, item: T) {
+        self.len += 1;
+        let bucket = key.at >> self.shift;
+        let entry = Entry { key, item };
+        if bucket <= self.cur_bucket {
+            self.cur.push(Reverse(entry));
+        } else if bucket - self.cur_bucket <= self.ring.len() as u64 {
+            let slot = (bucket % self.ring.len() as u64) as usize;
+            self.ring[slot].push(entry);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+    }
+
+    /// The smallest key queued, if any. `&mut` because peeking may advance
+    /// the calendar to the next non-empty bucket.
+    pub fn peek(&mut self) -> Option<EventKey> {
+        self.advance();
+        self.cur.peek().map(|Reverse(e)| e.key)
+    }
+
+    /// Remove and return the smallest-keyed item.
+    pub fn pop(&mut self) -> Option<(EventKey, T)> {
+        self.advance();
+        self.cur.pop().map(|Reverse(e)| {
+            self.len -= 1;
+            (e.key, e.item)
+        })
+    }
+
+    /// Ensure the current bucket holds the globally smallest keys: step
+    /// (or jump) the calendar forward until `cur` is non-empty, pulling
+    /// ring buckets and due overflow items in as their buckets come up.
+    fn advance(&mut self) {
+        while self.cur.is_empty() && self.len > 0 {
+            if self.ring_len == 0 {
+                // Nothing in the ring: jump straight to the overflow's
+                // first bucket instead of stepping through empty ones.
+                let Reverse(head) = self.overflow.peek().expect("len > 0 with empty ring");
+                self.cur_bucket = head.key.at >> self.shift;
+            } else {
+                self.cur_bucket += 1;
+            }
+            let slot = (self.cur_bucket % self.ring.len() as u64) as usize;
+            for e in self.ring[slot].drain(..) {
+                self.ring_len -= 1;
+                self.cur.push(Reverse(e));
+            }
+            while let Some(Reverse(head)) = self.overflow.peek() {
+                if head.key.at >> self.shift > self.cur_bucket {
+                    break;
+                }
+                let Reverse(e) = self.overflow.pop().expect("peeked");
+                self.cur.push(Reverse(e));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(at: u64, src: u32, seq: u64) -> EventKey {
+        EventKey { at, src, seq }
+    }
+
+    #[test]
+    fn pops_in_key_order_across_buckets_and_overflow() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new(64, 8);
+        // Same time, different src/seq; near future; far future (overflow).
+        let keys = [
+            key(10, 2, 0),
+            key(10, 0, 5),
+            key(10, 2, 1),
+            key(500, 1, 0),
+            key(65, 3, 0),
+            key(1_000_000, 1, 1),
+            key(999_999, 9, 9),
+            key(0, 0, 0),
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            q.push(*k, i as u64);
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort();
+        let mut popped = Vec::new();
+        while let Some((k, _)) = q.pop() {
+            popped.push(k);
+        }
+        assert_eq!(popped, sorted);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_reference_heap() {
+        // Deterministic pseudo-random workload compared against a plain
+        // BinaryHeap reference, including pushes into the current bucket
+        // (zero-delay), the ring, and the overflow.
+        let mut q: CalendarQueue<u64> = CalendarQueue::new(128, 16);
+        let mut reference: BinaryHeap<Reverse<EventKey>> = BinaryHeap::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for round in 0..5000u64 {
+            let r = lcg();
+            if r % 3 != 0 || reference.is_empty() {
+                // Push: mostly near future, sometimes far future, always
+                // at or after `now` (time never runs backwards).
+                let delta = match r % 7 {
+                    0 => 0,
+                    1..=4 => r % 900,
+                    5 => r % 20_000,
+                    _ => 100_000 + r % 1_000_000,
+                };
+                let k = key(now + delta, (r % 5) as u32, seq);
+                seq += 1;
+                q.push(k, round);
+                reference.push(Reverse(k));
+            } else {
+                let got = q.pop().map(|(k, _)| k);
+                let want = reference.pop().map(|Reverse(k)| k);
+                assert_eq!(got, want, "divergence at round {round}");
+                if let Some(k) = got {
+                    now = k.at;
+                }
+            }
+            assert_eq!(q.len(), reference.len());
+        }
+        while let Some(Reverse(want)) = reference.pop() {
+            assert_eq!(q.pop().map(|(k, _)| k), Some(want));
+        }
+        assert_eq!(q.pop().map(|(k, _)| k), None);
+    }
+
+    #[test]
+    fn peek_agrees_with_pop() {
+        let mut q: CalendarQueue<&str> = CalendarQueue::new(1, 4);
+        q.push(key(1 << 40, 0, 0), "far");
+        q.push(key(3, 0, 1), "near");
+        assert_eq!(q.peek(), Some(key(3, 0, 1)));
+        assert_eq!(q.pop(), Some((key(3, 0, 1), "near")));
+        assert_eq!(q.peek(), Some(key(1 << 40, 0, 0)));
+        assert_eq!(q.pop(), Some((key(1 << 40, 0, 0), "far")));
+        assert_eq!(q.peek(), None);
+    }
+}

@@ -47,9 +47,27 @@ pub const SIM_DELIVERIES_DROPPED_CRASH: CounterId = CounterId(11);
 /// `sim.timers_dropped.crash` — timers discarded because their node crashed
 /// after arming them.
 pub const SIM_TIMERS_DROPPED_CRASH: CounterId = CounterId(12);
+/// `sim.shard.windows` — conservative-lookahead windows executed by the
+/// sharded engine (an execution statistic: reported via
+/// [`crate::Sim::exec_stats`], never folded into run output, because its
+/// value depends on `--shards` and run output must not).
+pub const SIM_SHARD_WINDOWS: CounterId = CounterId(13);
+/// `sim.shard.xshard_packets` — packets merged into another shard's event
+/// queue at a window barrier (execution statistic, see
+/// [`SIM_SHARD_WINDOWS`]).
+pub const SIM_SHARD_XSHARD_PACKETS: CounterId = CounterId(14);
+/// `sim.shard.worker_spawns` — shard worker threads spawned across all
+/// windows (execution statistic, see [`SIM_SHARD_WINDOWS`]).
+pub const SIM_SHARD_WORKER_SPAWNS: CounterId = CounterId(15);
 
 /// Names behind the fixed engine slots above, in slot order.
-pub(crate) const ENGINE_SLOTS: [&str; 13] = [
+///
+/// The first [`ENGINE_OUTPUT_SLOTS`] entries are *run output*: identical
+/// for a given seed regardless of `--shards`, folded into
+/// `Sim::counters`, rate-derived and monotonicity-checked by the metrics
+/// plane. The tail entries are execution statistics (how the run was
+/// computed, not what it computed) and live only in `Sim::exec_stats`.
+pub(crate) const ENGINE_SLOTS: [&str; 16] = [
     "sim.events",
     "sim.packets_sent",
     "sim.packets_delivered",
@@ -63,12 +81,19 @@ pub(crate) const ENGINE_SLOTS: [&str; 13] = [
     "sim.packets_dropped.dead_node",
     "sim.deliveries_dropped.crash",
     "sim.timers_dropped.crash",
+    "sim.shard.windows",
+    "sim.shard.xshard_packets",
+    "sim.shard.worker_spawns",
 ];
+
+/// How many [`ENGINE_SLOTS`] entries are run output (see there); the rest
+/// are `--shards`-dependent execution statistics.
+pub(crate) const ENGINE_OUTPUT_SLOTS: usize = 13;
 
 /// The fixed engine slots above as ids, in slot order — the metrics
 /// plane zips this with [`ENGINE_SLOTS`] to derive `rate.<counter>`
-/// series and the monotonicity snapshot.
-pub(crate) const ENGINE_SLOT_IDS: [CounterId; 13] = [
+/// series and the monotonicity snapshot (output slots only).
+pub(crate) const ENGINE_SLOT_IDS: [CounterId; 16] = [
     SIM_EVENTS,
     SIM_PACKETS_SENT,
     SIM_PACKETS_DELIVERED,
@@ -82,6 +107,9 @@ pub(crate) const ENGINE_SLOT_IDS: [CounterId; 13] = [
     SIM_PACKETS_DROPPED_DEAD_NODE,
     SIM_DELIVERIES_DROPPED_CRASH,
     SIM_TIMERS_DROPPED_CRASH,
+    SIM_SHARD_WINDOWS,
+    SIM_SHARD_XSHARD_PACKETS,
+    SIM_SHARD_WORKER_SPAWNS,
 ];
 
 struct Registry {
@@ -389,10 +417,18 @@ mod tests {
             (SIM_PACKETS_DROPPED_DEAD_NODE, "sim.packets_dropped.dead_node"),
             (SIM_DELIVERIES_DROPPED_CRASH, "sim.deliveries_dropped.crash"),
             (SIM_TIMERS_DROPPED_CRASH, "sim.timers_dropped.crash"),
+            (SIM_SHARD_WINDOWS, "sim.shard.windows"),
+            (SIM_SHARD_XSHARD_PACKETS, "sim.shard.xshard_packets"),
+            (SIM_SHARD_WORKER_SPAWNS, "sim.shard.worker_spawns"),
         ] {
             assert_eq!(slot, CounterId::intern(name), "fixed slot for {name}");
             assert_eq!(slot.name(), name);
         }
+        assert!(ENGINE_OUTPUT_SLOTS <= ENGINE_SLOTS.len());
+        assert!(
+            ENGINE_SLOTS[ENGINE_OUTPUT_SLOTS..].iter().all(|n| n.starts_with("sim.shard.")),
+            "every non-output slot is an execution statistic"
+        );
     }
 
     #[test]

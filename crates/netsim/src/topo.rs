@@ -199,6 +199,78 @@ pub fn wire_line(sim: &mut Sim, nodes: &[NodeId], spec: LinkSpec) -> Fabric {
     fabric
 }
 
+/// A rack-structured fabric built by [`build_rack_ring`]: `racks` top-of-rack
+/// switches joined in a ring of trunk links, each serving `hosts_per_rack`
+/// hosts. Every node in rack `r` lives in region `r`, so under `--shards N`
+/// a whole rack lands on one shard and only the trunk ring crosses shards —
+/// the trunk latency becomes the engine's conservative lookahead.
+#[derive(Debug, Clone)]
+pub struct RackRing {
+    /// Top-of-rack switches, one per rack (`switches[r]` is rack `r`).
+    pub switches: Vec<NodeId>,
+    /// Hosts, rack-major: `hosts[r * hosts_per_rack + i]` is host `i` of
+    /// rack `r`.
+    pub hosts: Vec<NodeId>,
+    /// Hosts per rack, for index arithmetic.
+    pub hosts_per_rack: usize,
+    /// The wired fabric.
+    pub fabric: Fabric,
+}
+
+impl RackRing {
+    /// The rack index a host belongs to.
+    pub fn rack_of(&self, host_idx: usize) -> usize {
+        host_idx / self.hosts_per_rack
+    }
+
+    /// The hosts of rack `r`.
+    pub fn rack_hosts(&self, r: usize) -> &[NodeId] {
+        &self.hosts[r * self.hosts_per_rack..(r + 1) * self.hosts_per_rack]
+    }
+}
+
+/// Build a rack ring: add one switch and `hosts_per_rack` hosts per rack
+/// (all in region `r`), wire each host to its rack switch with `host_link`,
+/// and close the switches into a ring with `trunk` links. Node behaviours
+/// come from the factories, called with the rack index (switch) or the
+/// rack-major host index (host). This is the scaling topology used by the
+/// F5 figure and the CI scale smoke (100 000 hosts and up): regions keep
+/// host↔switch traffic shard-local, so the parallel engine's windows are
+/// bounded only by the trunk latency.
+pub fn build_rack_ring(
+    sim: &mut Sim,
+    racks: usize,
+    hosts_per_rack: usize,
+    mut mk_switch: impl FnMut(usize) -> Box<dyn crate::node::Node>,
+    mut mk_host: impl FnMut(usize) -> Box<dyn crate::node::Node>,
+    host_link: LinkSpec,
+    trunk: LinkSpec,
+) -> RackRing {
+    assert!(racks >= 1, "need at least one rack");
+    let mut fabric = Fabric::new();
+    let mut switches = Vec::with_capacity(racks);
+    let mut hosts = Vec::with_capacity(racks * hosts_per_rack);
+    for r in 0..racks {
+        let sw = sim.add_node_in_region(mk_switch(r), r);
+        switches.push(sw);
+        for i in 0..hosts_per_rack {
+            let h = sim.add_node_in_region(mk_host(r * hosts_per_rack + i), r);
+            hosts.push(h);
+            fabric.connect(sim, h, sw, host_link);
+        }
+    }
+    // Close the trunk ring (skip the self-link when there is only one
+    // rack, and avoid the duplicate link a 2-ring would create).
+    if racks == 2 {
+        fabric.connect(sim, switches[0], switches[1], trunk);
+    } else if racks > 2 {
+        for r in 0..racks {
+            fabric.connect(sim, switches[r], switches[(r + 1) % racks], trunk);
+        }
+    }
+    RackRing { switches, hosts, hosts_per_rack, fabric }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +356,48 @@ mod tests {
         assert_eq!(Some(hop), fabric.port_towards(ids[5], ids[2]));
         // Leaves reach each other through a spine.
         assert_eq!(fabric.distance(ids[2], ids[3]), Some(2));
+    }
+
+    #[test]
+    fn rack_ring_shape_and_regions() {
+        let mut sim = Sim::new(SimConfig { shards: 4, ..Default::default() });
+        let ring = build_rack_ring(
+            &mut sim,
+            4,
+            3,
+            |_| Box::new(Dummy),
+            |_| Box::new(Dummy),
+            LinkSpec::rack(),
+            LinkSpec::rack(),
+        );
+        assert_eq!(ring.switches.len(), 4);
+        assert_eq!(ring.hosts.len(), 12);
+        // 12 host links + 4 trunk links close the ring.
+        assert_eq!(ring.fabric.links().len(), 16);
+        assert_eq!(ring.rack_of(7), 2);
+        assert_eq!(ring.rack_hosts(2), &ring.hosts[6..9]);
+        // Host—own-switch is direct; adjacent racks are host—sw—sw—host.
+        assert_eq!(ring.fabric.distance(ring.hosts[0], ring.switches[0]), Some(1));
+        assert_eq!(ring.fabric.distance(ring.hosts[0], ring.hosts[3]), Some(3));
+        // One region per rack ⇒ racks round-robin onto the four shards.
+        assert_eq!(sim.shard_count(), 4);
+    }
+
+    #[test]
+    fn two_rack_ring_wires_a_single_trunk() {
+        let mut sim = Sim::new(SimConfig::default());
+        let ring = build_rack_ring(
+            &mut sim,
+            2,
+            1,
+            |_| Box::new(Dummy),
+            |_| Box::new(Dummy),
+            LinkSpec::rack(),
+            LinkSpec::rack(),
+        );
+        // 2 host links + exactly one trunk (no duplicate 2-ring edge).
+        assert_eq!(ring.fabric.links().len(), 3);
+        assert_eq!(ring.fabric.distance(ring.switches[0], ring.switches[1]), Some(1));
     }
 
     #[test]

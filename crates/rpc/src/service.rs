@@ -22,7 +22,10 @@ pub struct ServiceReply {
 }
 
 /// A dispatchable service.
-pub trait Service: std::any::Any {
+///
+/// `Send` because the server node holding the service migrates across the
+/// sharded engine's worker threads (see `rdv_netsim::Node`).
+pub trait Service: std::any::Any + Send {
     /// Handle `method(args)`.
     fn dispatch(&mut self, method: u32, args: &[u8]) -> Result<ServiceReply, RpcError>;
 

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Record or check the engine_hotpath throughput baseline.
+"""Record or check the throughput baselines for the engine benches.
 
 The vendored criterion stub prints one stable line per benchmark:
 
     engine_hotpath/packet_storm_interned  time: [lo med hi]  thrpt: 9.17 Melem/s
 
-This script runs the bench, parses those lines, and either
+This script runs every bench in BENCHES, parses those lines (benchmark
+names are group-qualified, so entries from different benches never
+collide), and either
 
     --record   writes results/bench_baseline.json (median ns + events/s), or
     (default)  compares the fresh run against the recorded baseline and
@@ -13,7 +15,7 @@ This script runs the bench, parses those lines, and either
                25%. Bench boxes in CI are noisy; the warning is a nudge to
                look, not a gate.
 
-Exit code is 0 in check mode unless the bench itself failed to run.
+Exit code is 0 in check mode unless a bench itself failed to run.
 """
 
 import json
@@ -24,7 +26,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 BASELINE = ROOT / "results" / "bench_baseline.json"
-BENCH_CMD = ["cargo", "bench", "-p", "rdv-bench", "--bench", "engine_hotpath"]
+BENCHES = ["engine_hotpath", "engine_shards"]
 REGRESSION_PCT = 25
 
 LINE = re.compile(
@@ -36,12 +38,17 @@ NS_PER = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
 RATE_MUL = {"": 1.0, "K": 1e3, "M": 1e6, "G": 1e9}
 
 
-def run_bench() -> list[dict]:
-    proc = subprocess.run(BENCH_CMD, cwd=ROOT, capture_output=True, text=True)
+def bench_cmd(bench: str) -> list[str]:
+    return ["cargo", "bench", "-p", "rdv-bench", "--bench", bench]
+
+
+def run_bench(bench: str) -> list[dict]:
+    cmd = bench_cmd(bench)
+    proc = subprocess.run(cmd, cwd=ROOT, capture_output=True, text=True)
     sys.stderr.write(proc.stderr)
     sys.stdout.write(proc.stdout)
     if proc.returncode != 0:
-        sys.exit(f"bench run failed with exit code {proc.returncode}")
+        sys.exit(f"{' '.join(cmd)} failed with exit code {proc.returncode}")
     results = []
     for line in proc.stdout.splitlines():
         m = LINE.match(line.strip())
@@ -55,15 +62,26 @@ def run_bench() -> list[dict]:
             }
         )
     if not results:
-        sys.exit("no benchmark lines parsed from bench output")
+        sys.exit(f"no benchmark lines parsed from {bench} output")
+    return results
+
+
+def run_all() -> list[dict]:
+    results: list[dict] = []
+    for bench in BENCHES:
+        results.extend(run_bench(bench))
+    names = [r["name"] for r in results]
+    dupes = {n for n in names if names.count(n) > 1}
+    if dupes:
+        sys.exit(f"duplicate benchmark names across benches: {sorted(dupes)}")
     return results
 
 
 def record(results: list[dict]) -> None:
     BASELINE.parent.mkdir(exist_ok=True)
     doc = {
-        "bench": "engine_hotpath",
-        "command": " ".join(BENCH_CMD),
+        "benches": BENCHES,
+        "command": " && ".join(" ".join(bench_cmd(b)) for b in BENCHES),
         "note": f"warn-only baseline; CI flags >{REGRESSION_PCT}% events/s regressions",
         "results": results,
     }
@@ -77,6 +95,8 @@ def check(results: list[dict]) -> None:
         return
     baseline = {r["name"]: r for r in json.loads(BASELINE.read_text())["results"]}
     fresh = {r["name"]: r for r in results}
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"::warning::benchmark {name} ran but has no baseline entry; re-record")
     for name, base in sorted(baseline.items()):
         if name not in fresh:
             print(f"::warning::benchmark {name} is in the baseline but did not run")
@@ -97,7 +117,7 @@ def main() -> None:
     mode = sys.argv[1] if len(sys.argv) > 1 else ""
     if mode not in ("", "--record"):
         sys.exit(__doc__)
-    results = run_bench()
+    results = run_all()
     if mode == "--record":
         record(results)
     else:

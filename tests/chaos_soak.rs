@@ -19,7 +19,7 @@ use rdv_det::DetMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rdv_core::scenarios::{build_star_fabric, host_link_rack};
+use rdv_core::scenarios::{build_star_fabric_sharded, host_link_rack};
 use rdv_discovery::{AccessFailure, DiscoveryMode, HostConfig, HostNode};
 use rdv_memproto::coherence::{DirAction, Directory};
 use rdv_memproto::msg::Msg;
@@ -165,10 +165,11 @@ fn gen_transport_scenario(seed: u64) -> TransportScenario {
 }
 
 /// Run a transport scenario to quiescence and check invariants 1 and 3.
-/// Returns the stats fingerprint for invariant 4.
-fn run_transport_scenario(seed: u64, sc: &TransportScenario) -> String {
+/// Returns the stats fingerprint for invariant 4. `shards` picks the
+/// engine's parallel shard count; every value must produce the same bytes.
+fn run_transport_scenario(seed: u64, sc: &TransportScenario, shards: usize) -> String {
     let cfg = TransportConfig { rto: SimTime::from_micros(200), max_retries: 12, backoff_cap: 3 };
-    let mut sim = Sim::new(SimConfig { seed, ..Default::default() });
+    let mut sim = Sim::new(SimConfig { seed, shards, ..Default::default() });
     let a = sim.add_node(Box::new(PipeNode::new(ObjId(0xA), ObjId(0xB), sc.messages, cfg)));
     let b = sim.add_node(Box::new(PipeNode::new(ObjId(0xB), ObjId(0xA), 0, cfg)));
     sim.connect(a, b, LinkSpec::rack().with_loss(sc.loss_permille));
@@ -228,10 +229,13 @@ fn transport_soak_under_loss_crash_and_outage() {
     let mut fingerprints = Vec::new();
     for seed in 0..12u64 {
         let sc = gen_transport_scenario(seed);
-        let fp = run_transport_scenario(seed, &sc);
-        // Invariant 4: same seed, byte-identical stats.
-        let again = run_transport_scenario(seed, &sc);
-        assert_eq!(fp, again, "seed {seed}: rerun diverged");
+        let fp = run_transport_scenario(seed, &sc, 1);
+        // Invariant 4: same seed, byte-identical stats — at every engine
+        // shard count (shards > 1 takes the parallel windowed path).
+        for shards in [1, 2, 8] {
+            let again = run_transport_scenario(seed, &sc, shards);
+            assert_eq!(fp, again, "seed {seed}: shards={shards} diverged");
+        }
         fingerprints.push(fp);
     }
     fingerprints.dedup();
@@ -282,7 +286,7 @@ struct FabricOutcome {
     fingerprint: String,
 }
 
-fn run_fabric_scenario(seed: u64, sc: &FabricScenario) -> FabricOutcome {
+fn run_fabric_scenario(seed: u64, sc: &FabricScenario, shards: usize) -> FabricOutcome {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0B7);
     let host_cfg = HostConfig {
         mode: DiscoveryMode::Controller,
@@ -323,7 +327,7 @@ fn run_fabric_scenario(seed: u64, sc: &FabricScenario) -> FabricOutcome {
     let plan_len = driver.plan.len();
     nodes.insert(0, (Box::new(driver), driver_inbox, link));
 
-    let (mut sim, ids) = build_star_fabric(seed, nodes, &obj_routes);
+    let (mut sim, ids) = build_star_fabric_sharded(seed, shards, nodes, &obj_routes);
     let switch = NodeId(ids.len());
     sim.enable_metrics(MetricsConfig::default());
 
@@ -414,14 +418,18 @@ fn fabric_soak_combines_loss_partition_and_crash() {
     let mut total_failed = 0usize;
     for seed in 0..25u64 {
         let sc = gen_fabric_scenario(seed);
-        let out = run_fabric_scenario(seed, &sc);
+        let out = run_fabric_scenario(seed, &sc, 1);
         if sc.restart_at.is_none() {
             total_failed += out.failed.len();
         }
 
-        // Invariant 4: byte-identical stats on an identical re-run.
-        let again = run_fabric_scenario(seed, &sc);
-        assert_eq!(out.fingerprint, again.fingerprint, "seed {seed}: rerun diverged");
+        // Invariant 4: byte-identical stats on an identical re-run — at
+        // every engine shard count (the star fabric spreads its hosts and
+        // switch across shards, so shards > 1 exercises cross-shard merge).
+        for shards in [1, 2, 8] {
+            let again = run_fabric_scenario(seed, &sc, shards);
+            assert_eq!(out.fingerprint, again.fingerprint, "seed {seed}: shards={shards} diverged");
+        }
         fingerprints.push(out.fingerprint);
     }
     fingerprints.dedup();

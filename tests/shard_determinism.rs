@@ -1,0 +1,57 @@
+//! Shard-count determinism regression: the sharded engine must be an
+//! *invisible* optimisation. Every committed artifact — figure series
+//! JSON, causal-trace exports, telemetry JSON, chaos fingerprints — must
+//! come out byte-identical for `--shards 1`, `2`, and `8`.
+//!
+//! One `#[test]` in its own binary, deliberately: the experiments under
+//! test build their simulations internally and pick up the engine's
+//! process-wide default shard count, so the sweep flips that default with
+//! [`rdv_netsim::set_default_shards`] — safe only while no other test in
+//! the process is constructing simulations.
+
+use rdv_bench::experiments;
+use rdv_core::scenarios::{run_lossy_invoke, LossyConfig};
+use rdv_netsim::set_default_shards;
+
+/// Everything a full artifact regeneration produces, as one big byte
+/// bundle: F3 and F4 figure series, their telemetry-plane exports, the F3
+/// causal-trace export, and two chaos scenarios (lossy invoke-by-reference
+/// with watchdog retries) fingerprinted via their `Debug` outcomes.
+fn regenerate_artifacts() -> Vec<(&'static str, String)> {
+    let mut out = Vec::new();
+    out.push(("f3.json", experiments::fig3::run(true).to_json()));
+    out.push(("f4.json", experiments::f4::run(true).to_json()));
+    for exp in ["F3", "F4"] {
+        let report = experiments::metrics::run(exp, true).expect("metricable");
+        out.push(("metrics.json", report.json));
+        out.push(("metrics.summary", report.summary));
+    }
+    let trace = experiments::trace::run("F3", true).expect("traceable");
+    out.push(("trace_f3.json", trace.json));
+    let chaos_a =
+        run_lossy_invoke(&LossyConfig { loss_permille: 150, seed: 97, ..Default::default() });
+    out.push(("chaos_lossy_a", format!("{chaos_a:?}")));
+    let chaos_b = run_lossy_invoke(&LossyConfig {
+        loss_permille: 250,
+        invokes: 6,
+        seed: 1234,
+        ..Default::default()
+    });
+    out.push(("chaos_lossy_b", format!("{chaos_b:?}")));
+    out
+}
+
+#[test]
+fn every_artifact_is_byte_identical_across_shard_counts() {
+    set_default_shards(1);
+    let flat = regenerate_artifacts();
+    for shards in [2usize, 8] {
+        set_default_shards(shards);
+        let sharded = regenerate_artifacts();
+        set_default_shards(1);
+        assert_eq!(sharded.len(), flat.len());
+        for ((name, a), (_, b)) in sharded.iter().zip(&flat) {
+            assert_eq!(a, b, "artifact {name} diverged at --shards {shards}");
+        }
+    }
+}
