@@ -9,6 +9,7 @@ pub mod a4;
 pub mod a5;
 pub mod f4;
 pub mod f5;
+pub mod f6;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -28,6 +29,7 @@ pub const CATALOG: &[(&str, &str)] = &[
     ("F3", "E2E access time vs % accesses to moved objects (paper Fig. 3)"),
     ("F4", "goodput and rendezvous completion vs fault severity (paper §3.2)"),
     ("F5", "sharded engine scaling: events/s and peak RSS vs fabric size (ROADMAP item 1)"),
+    ("F6", "million-user open-loop blip: goodput dip and recovery, rendezvous vs RPC (ISSUE 7)"),
     ("T1", "switch exact-match capacity vs ID width (paper §3.2)"),
     ("T2", "pointer encoding cost: FOT (64-bit) vs direct 128-bit pointers (paper §3.1)"),
     ("S1", "request-time (de)serialization and loading (paper §2 '70%')"),
@@ -46,6 +48,7 @@ pub fn run_all(quick: bool) -> Vec<Series> {
         fig3::run(quick),
         f4::run(quick),
         f5::run(quick),
+        f6::run(quick),
         t1::run(quick),
         t2::run(quick),
         s1::run(quick),

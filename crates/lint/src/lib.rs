@@ -13,8 +13,9 @@
 //! - **D2 `ambient-*`** — `Instant::now`, `SystemTime`, `thread_rng`,
 //!   `rand::random`, `env::var` are banned in the same crates.
 //! - **D3 `counter-name` / `event-name`** — string literals entering the
-//!   stats counter API must match the dotted lowercase scheme, and `sim.*`
-//!   names must exist in the pre-interned engine registry. Trace span/mark
+//!   stats counter API must match the dotted lowercase scheme, `sim.*`
+//!   names must exist in the pre-interned engine registry, and `load.*`
+//!   names in the traffic-plane registry (`LOAD_COUNTERS`). Trace span/mark
 //!   labels (`span_begin`, `span_end`, `mark`, `mark_linked`) follow the
 //!   same scheme, as does every entry of the rdv-trace `EVENT_NAMES` table.
 //! - **D4 `wire-parity`** — every variant of the wire-message enums must be
@@ -63,6 +64,7 @@ pub const DET_CRATES: &[&str] = &[
     "crdt",
     "trace",
     "metrics",
+    "load",
 ];
 
 /// D4 targets: wire enums and the functions that must cover every variant.
@@ -96,7 +98,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         Ok(src) => rules::parse_gauge_names(&src),
         Err(_) => Vec::new(),
     };
-    let cfg = LintConfig { sim_registry, gauge_registry };
+    let load_path = root.join("crates/load/src/lib.rs");
+    let load_registry = match fs::read_to_string(&load_path) {
+        Ok(src) => rules::parse_load_counters(&src),
+        Err(_) => Vec::new(),
+    };
+    let cfg = LintConfig { sim_registry, gauge_registry, load_registry };
 
     let mut diags = Vec::new();
     if cfg.sim_registry.is_empty() {
@@ -114,6 +121,15 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             line: 1,
             rule: "D3/gauge-name".to_string(),
             message: "could not parse GAUGE_NAMES registry; gauge names are unverifiable"
+                .to_string(),
+        });
+    }
+    if cfg.load_registry.is_empty() {
+        diags.push(Diagnostic {
+            file: "crates/load/src/lib.rs".to_string(),
+            line: 1,
+            rule: "D3/counter-name".to_string(),
+            message: "could not parse LOAD_COUNTERS registry; load.* names are unverifiable"
                 .to_string(),
         });
     }

@@ -29,6 +29,11 @@ pub struct LintConfig {
     /// table could not be read; membership checks are skipped then (the
     /// workspace linter reports the missing table separately).
     pub gauge_registry: Vec<String>,
+    /// Valid `load.*` counter names, parsed from the traffic-plane
+    /// registry (`LOAD_COUNTERS` in `crates/load/src/lib.rs`). Empty when
+    /// the table could not be read; membership checks are skipped then
+    /// (the workspace linter reports the missing table separately).
+    pub load_registry: Vec<String>,
 }
 
 /// Parsed allow comments: line → categories allowed on that line and the next.
@@ -275,6 +280,23 @@ pub fn lint_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
                         arg.text
                     ),
                 );
+            } else if arg.text.starts_with("load.")
+                && !cfg.load_registry.is_empty()
+                && !cfg.load_registry.iter().any(|n| n == &arg.text)
+            {
+                push(
+                    &mut diags,
+                    &allow,
+                    file,
+                    arg.line,
+                    "D3/counter-name",
+                    "counter-name",
+                    format!(
+                        "`{}` is not a registered load-plane counter (see LOAD_COUNTERS in \
+                         crates/load/src/lib.rs); load.* names must be table-registered",
+                        arg.text
+                    ),
+                );
             }
         }
 
@@ -509,6 +531,12 @@ pub fn parse_engine_slots(stats_src: &str) -> Vec<String> {
 /// literals inside the `GAUGE_NAMES` array.
 pub fn parse_gauge_names(metrics_src: &str) -> Vec<String> {
     parse_str_array(metrics_src, "GAUGE_NAMES").into_iter().map(|(name, _)| name).collect()
+}
+
+/// Parse the traffic-plane counter registry out of the rdv-load source:
+/// the string literals inside the `LOAD_COUNTERS` array.
+pub fn parse_load_counters(load_src: &str) -> Vec<String> {
+    parse_str_array(load_src, "LOAD_COUNTERS").into_iter().map(|(name, _)| name).collect()
 }
 
 /// D3 over the canonical gauge-name table: every entry of `GAUGE_NAMES`

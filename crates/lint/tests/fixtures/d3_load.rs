@@ -1,0 +1,10 @@
+//! Fixture: D3 discipline over the load-plane counter names.
+fn naughty(c: &mut Counters) {
+    c.add("load.bogus_counter", 1);
+    c.inc("load.Bad");
+    c.add("load.arrivals", 2);
+    c.inc("load.completions");
+    let n = c.get("load.failures");
+    // rdv-lint: allow(counter-name) -- fixture: migration shim name
+    c.add("load.legacy_shim", 1);
+}

@@ -14,6 +14,9 @@ fn stub_cfg() -> LintConfig {
     LintConfig {
         sim_registry: vec!["sim.events".to_string()],
         gauge_registry: vec!["link.queue_bytes".to_string(), "transport.inflight".to_string()],
+        load_registry: ["load.arrivals", "load.completions", "load.failures"]
+            .map(String::from)
+            .to_vec(),
     }
 }
 
@@ -123,6 +126,7 @@ fn d3_covers_the_sharded_engine_names() {
         .map(String::from)
         .to_vec(),
         gauge_registry: ["shard.queue_events", "shard.clock_ns"].map(String::from).to_vec(),
+        load_registry: Vec::new(),
     };
     let diags = lint_source("d3_shards.rs", &fixture("d3_shards.rs"), &cfg);
     assert_eq!(
@@ -132,6 +136,40 @@ fn d3_covers_the_sharded_engine_names() {
     );
     assert!(diags[0].message.contains("not a registered engine counter"));
     assert!(diags[1].message.contains("not a registered gauge"));
+}
+
+#[test]
+fn d3_enforces_load_counter_registry() {
+    let diags = lint_source("d3_load.rs", &fixture("d3_load.rs"), &stub_cfg());
+    assert_eq!(
+        locs(&diags),
+        vec![(3, "D3/counter-name"), (4, "D3/counter-name")],
+        "registered names (lines 5–7) and the allowed shim (line 9) must pass; got: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("not a registered load-plane counter"));
+    assert!(diags[1].message.contains("dotted lowercase"));
+}
+
+/// The load-plane counters the harness actually emits are present in the
+/// real registry the workspace lint parses — renaming a `load.*` tally
+/// without updating `LOAD_COUNTERS` breaks here first.
+#[test]
+fn real_registry_carries_the_load_counters() {
+    use rdv_lint::rules::parse_load_counters;
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let src = std::fs::read_to_string(root.join("crates/load/src/lib.rs")).unwrap();
+    let counters = parse_load_counters(&src);
+    for name in [
+        "load.arrivals",
+        "load.batches",
+        "load.entries",
+        "load.completions",
+        "load.failures",
+        "load.churn_joins",
+        "load.churn_leaves",
+    ] {
+        assert!(counters.iter().any(|c| c == name), "{name} missing from LOAD_COUNTERS");
+    }
 }
 
 /// The shard names the engine actually emits are present in the real

@@ -1,0 +1,275 @@
+//! Open-loop arrival generation.
+//!
+//! The schedule is computed **before** the simulation runs, purely from
+//! `(spec, seed)`: a non-homogeneous Poisson process (exponential gaps at
+//! the curve's peak rate, integer-permille thinning down to the curve)
+//! assigns arrival times; separate sub-RNG streams then pick the client
+//! and the target object for each accepted arrival. Because times come
+//! from their own stream, changing the popularity skew, the client pool,
+//! or churn rates never moves an arrival time — and because the schedule
+//! exists before the sim does, completions *cannot* influence arrivals.
+//! That is the open-loop invariant: offered load is what the spec says,
+//! not what the system under test manages to absorb.
+
+use crate::churn::{exp_gap_ns, ChurnPool, ChurnSpec};
+use crate::curve::LoadCurve;
+use crate::zipf::Zipf;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rdv_netsim::SimTime;
+
+/// Everything that determines an arrival schedule (besides the seed).
+#[derive(Debug, Clone)]
+pub struct OpenLoopSpec {
+    /// Id space for clients with no churn; with churn, the initial pool
+    /// comes from [`ChurnSpec::initial_active`] instead.
+    pub clients: u32,
+    /// Number of distinct target objects (Zipf ranks).
+    pub objects: u32,
+    /// Zipf skew in permille of the exponent (0 = uniform popularity).
+    pub zipf_skew_permille: u32,
+    /// Base arrival rate, arrivals/s, before the curve multiplier.
+    pub base_rate_per_s: u64,
+    /// First instant arrivals may occur.
+    pub start: SimTime,
+    /// Length of the arrival window; the schedule covers
+    /// `[start, start + duration)`.
+    pub duration: SimTime,
+    /// Rate multiplier over the window (diurnal shape, spikes).
+    pub curve: LoadCurve,
+    /// Optional client churn; `None` keeps the whole id space active.
+    pub churn: Option<ChurnSpec>,
+}
+
+impl OpenLoopSpec {
+    /// A small flat-rate spec, handy as a test baseline.
+    pub fn flat(clients: u32, objects: u32, rate_per_s: u64, duration: SimTime) -> OpenLoopSpec {
+        OpenLoopSpec {
+            clients,
+            objects,
+            zipf_skew_permille: 0,
+            base_rate_per_s: rate_per_s,
+            start: SimTime::from_micros(10),
+            duration,
+            curve: LoadCurve::flat(),
+            churn: None,
+        }
+    }
+}
+
+/// One scheduled arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// When the client issues the operation (sim time).
+    pub at: SimTime,
+    /// Issuing client id.
+    pub client: u32,
+    /// Target object rank (0 = hottest).
+    pub obj: u32,
+}
+
+/// A fully-materialized, time-sorted arrival schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSchedule {
+    /// Arrivals sorted by time (ties keep generation order).
+    pub arrivals: Vec<Arrival>,
+    /// Churn joins applied while generating (0 without churn).
+    pub churn_joins: u64,
+    /// Churn leaves applied while generating (0 without churn).
+    pub churn_leaves: u64,
+    /// Candidate arrivals skipped because the churned pool was empty.
+    pub skipped_empty_pool: u64,
+}
+
+// Sub-stream salts: each concern draws from its own generator so tuning
+// one knob never perturbs another's stream.
+const SALT_TIMES: u64 = 0x54_49_4D_45; // "TIME"
+const SALT_THIN: u64 = 0x54_48_49_4E; // "THIN"
+const SALT_CLIENT: u64 = 0x43_4C_49_45; // "CLIE"
+const SALT_OBJ: u64 = 0x4F_42_4A_53; // "OBJS"
+const SALT_CHURN: u64 = 0x43_48_52_4E; // "CHRN"
+
+impl ArrivalSchedule {
+    /// Materialize the schedule for `(spec, seed)`. Pure function; two
+    /// calls with equal inputs return equal schedules.
+    pub fn generate(spec: &OpenLoopSpec, seed: u64) -> ArrivalSchedule {
+        assert!(spec.base_rate_per_s > 0, "open-loop rate must be positive");
+        assert!(spec.objects >= 1, "need at least one object");
+        assert!(spec.duration.as_nanos() > 0, "empty arrival window");
+
+        let mut rng_times = StdRng::seed_from_u64(seed ^ SALT_TIMES);
+        let mut rng_thin = StdRng::seed_from_u64(seed ^ SALT_THIN);
+        let mut rng_client = StdRng::seed_from_u64(seed ^ SALT_CLIENT);
+        let mut rng_obj = StdRng::seed_from_u64(seed ^ SALT_OBJ);
+
+        let zipf = Zipf::new(spec.objects, spec.zipf_skew_permille);
+        let peak = spec.curve.peak_permille();
+        let start_ns = spec.start.as_nanos();
+        let dur_ns = spec.duration.as_nanos();
+        let end_ns = start_ns + dur_ns;
+
+        let mut churn = spec
+            .churn
+            .as_ref()
+            .map(|c| ChurnPool::new(c, spec.start, spec.duration, seed ^ SALT_CHURN));
+
+        let mut arrivals = Vec::new();
+        let mut skipped = 0u64;
+        let mut at_ns = start_ns;
+        loop {
+            // Candidate stream: homogeneous Poisson at the curve's peak
+            // rate, then thinned by mult/peak at the candidate's position.
+            // The thinning draw is consumed for EVERY candidate, accepted
+            // or not, so acceptance of one arrival never shifts another's
+            // time.
+            at_ns = at_ns.saturating_add(exp_gap_ns(&mut rng_times, spec.base_rate_per_s, peak));
+            if at_ns >= end_ns {
+                break;
+            }
+            let pos_permille = ((at_ns - start_ns).saturating_mul(1000) / dur_ns) as u32;
+            let mult = spec.curve.multiplier_permille(pos_permille);
+            let accept = rng_thin.gen_range(0..peak) < mult;
+            if !accept {
+                continue;
+            }
+            let at = SimTime::from_nanos(at_ns);
+            let client = match churn.as_mut() {
+                Some(pool) => {
+                    pool.advance(at);
+                    match pool.pick(&mut rng_client) {
+                        Some(c) => c,
+                        None => {
+                            skipped += 1;
+                            continue;
+                        }
+                    }
+                }
+                None => rng_client.gen_range(0..spec.clients.max(1)),
+            };
+            let obj = zipf.sample(&mut rng_obj);
+            arrivals.push(Arrival { at, client, obj });
+        }
+
+        let (churn_joins, churn_leaves) = match churn.as_mut() {
+            Some(pool) => {
+                // Account for churn past the last arrival too.
+                pool.advance(SimTime::from_nanos(end_ns));
+                (pool.joins, pool.leaves)
+            }
+            None => (0, 0),
+        };
+        ArrivalSchedule { arrivals, churn_joins, churn_leaves, skipped_empty_pool: skipped }
+    }
+
+    /// Mean offered rate over the window, arrivals per second.
+    pub fn offered_per_s(&self, spec: &OpenLoopSpec) -> f64 {
+        self.arrivals.len() as f64 * 1e9 / spec.duration.as_nanos() as f64
+    }
+
+    /// Canonical fingerprint: every arrival as `at:client:obj;` plus the
+    /// churn tallies. Byte-equal fingerprints mean byte-equal schedules.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::with_capacity(self.arrivals.len() * 16 + 64);
+        for a in &self.arrivals {
+            out.push_str(&format!("{}:{}:{};", a.at.as_nanos(), a.client, a.obj));
+        }
+        out.push_str(&format!(
+            "|joins={} leaves={} skipped={}",
+            self.churn_joins, self.churn_leaves, self.skipped_empty_pool
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::Spike;
+
+    #[test]
+    fn schedule_is_sorted_and_in_range() {
+        let spec = OpenLoopSpec::flat(100, 16, 2_000_000, SimTime::from_millis(1));
+        let s = ArrivalSchedule::generate(&spec, 17);
+        assert!(!s.arrivals.is_empty());
+        for w in s.arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for a in &s.arrivals {
+            assert!(a.at >= spec.start);
+            assert!(a.at.as_nanos() < spec.start.as_nanos() + spec.duration.as_nanos());
+            assert!(a.client < 100);
+            assert!(a.obj < 16);
+        }
+    }
+
+    #[test]
+    fn mean_rate_tracks_the_spec() {
+        let spec = OpenLoopSpec::flat(100, 16, 2_000_000, SimTime::from_millis(2));
+        let s = ArrivalSchedule::generate(&spec, 23);
+        let rate = s.offered_per_s(&spec);
+        assert!(
+            (1_700_000.0..2_300_000.0).contains(&rate),
+            "offered {rate} not within 15% of 2M/s"
+        );
+    }
+
+    #[test]
+    fn skew_changes_objects_but_not_times() {
+        let mut spec = OpenLoopSpec::flat(100, 64, 1_000_000, SimTime::from_millis(1));
+        let a = ArrivalSchedule::generate(&spec, 5);
+        spec.zipf_skew_permille = 1100;
+        let b = ArrivalSchedule::generate(&spec, 5);
+        assert_eq!(a.arrivals.len(), b.arrivals.len());
+        for (x, y) in a.arrivals.iter().zip(&b.arrivals) {
+            assert_eq!(x.at, y.at, "skew moved an arrival time");
+            assert_eq!(x.client, y.client, "skew moved a client draw");
+        }
+        let objs_a: Vec<u32> = a.arrivals.iter().map(|v| v.obj).collect();
+        let objs_b: Vec<u32> = b.arrivals.iter().map(|v| v.obj).collect();
+        assert_ne!(objs_a, objs_b, "skew had no effect on objects");
+    }
+
+    #[test]
+    fn flash_crowd_raises_local_rate() {
+        let spec = OpenLoopSpec {
+            curve: LoadCurve::flat().with_spike(Spike {
+                at_permille: 500,
+                dur_permille: 200,
+                add_permille: 4000,
+            }),
+            ..OpenLoopSpec::flat(100, 16, 1_000_000, SimTime::from_millis(2))
+        };
+        let s = ArrivalSchedule::generate(&spec, 31);
+        let start = spec.start.as_nanos();
+        let dur = spec.duration.as_nanos();
+        let in_window = |a: &&Arrival, lo: u64, hi: u64| {
+            let pos = (a.at.as_nanos() - start) * 1000 / dur;
+            (lo..hi).contains(&pos)
+        };
+        let before = s.arrivals.iter().filter(|a| in_window(a, 300, 500)).count();
+        let during = s.arrivals.iter().filter(|a| in_window(a, 500, 700)).count();
+        assert!(during > 3 * before, "spike window not hot: {during} during vs {before} before");
+    }
+
+    #[test]
+    fn churn_draws_from_the_live_pool() {
+        let spec = OpenLoopSpec {
+            churn: Some(ChurnSpec { initial_active: 8, join_per_s: 400_000, leave_per_s: 100_000 }),
+            ..OpenLoopSpec::flat(8, 16, 1_000_000, SimTime::from_millis(1))
+        };
+        let s = ArrivalSchedule::generate(&spec, 41);
+        assert!(s.churn_joins > 0);
+        // Late arrivals can come from joined clients (ids >= 8).
+        assert!(s.arrivals.iter().any(|a| a.client >= 8), "no joined client ever drew traffic");
+    }
+
+    #[test]
+    fn empty_pool_skips_without_stalling_times() {
+        let spec = OpenLoopSpec {
+            churn: Some(ChurnSpec { initial_active: 0, join_per_s: 0, leave_per_s: 0 }),
+            ..OpenLoopSpec::flat(8, 4, 500_000, SimTime::from_millis(1))
+        };
+        let s = ArrivalSchedule::generate(&spec, 47);
+        assert!(s.arrivals.is_empty());
+        assert!(s.skipped_empty_pool > 0);
+    }
+}

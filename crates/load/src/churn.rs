@@ -1,0 +1,168 @@
+//! Client churn: seeded Poisson join/leave streams over the client pool.
+//!
+//! Churn is modelled in aggregate — two homogeneous Poisson processes
+//! (joins and leaves) over the *pool*, not per-client session machines —
+//! so a million-client id space costs memory proportional to the number
+//! of concurrently-active clients, not the id space. Leaves pick a
+//! uniform victim from the active pool with `swap_remove`, which is
+//! deterministic because the pool's order is itself a pure function of
+//! the event stream.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rdv_netsim::SimTime;
+
+/// Aggregate churn parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// Clients active at t = start (ids `0..initial_active`).
+    pub initial_active: u32,
+    /// Mean pool joins per second (fresh, monotonically increasing ids).
+    pub join_per_s: u64,
+    /// Mean pool leaves per second (uniform victim from the active pool).
+    pub leave_per_s: u64,
+}
+
+/// One churn event on the pool timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChurnEvent {
+    Join,
+    Leave,
+}
+
+/// The active-client pool, advanced along a precomputed churn timeline.
+#[derive(Debug, Clone)]
+pub(crate) struct ChurnPool {
+    /// `(at, event)` sorted by time; merged join/leave streams.
+    timeline: Vec<(SimTime, ChurnEvent)>,
+    next: usize,
+    active: Vec<u32>,
+    next_id: u32,
+    rng: StdRng,
+    /// Joins applied so far.
+    pub joins: u64,
+    /// Leaves applied so far.
+    pub leaves: u64,
+}
+
+/// Exponential inter-event gap (nanoseconds) at `rate` events/s, drawn
+/// from 53 uniform mantissa bits with a nonzero guard so the stream can
+/// never stall on a zero gap.
+pub(crate) fn exp_gap_ns(rng: &mut StdRng, rate_per_s: u64, permille: u64) -> u64 {
+    debug_assert!(rate_per_s > 0 && permille > 0);
+    let mut u: f64 = rng.gen();
+    if u <= 0.0 {
+        u = f64::from_bits(1); // smallest positive; -ln stays finite
+    }
+    let mean_ns = 1e9 * 1000.0 / (rate_per_s as f64 * permille as f64);
+    ((-u.ln()) * mean_ns).max(1.0) as u64
+}
+
+impl ChurnPool {
+    /// Precompute the join/leave timeline over `[start, start+duration)`
+    /// and seat the initial pool.
+    pub(crate) fn new(spec: &ChurnSpec, start: SimTime, duration: SimTime, seed: u64) -> ChurnPool {
+        let mut timeline = Vec::new();
+        let end = start.as_nanos() + duration.as_nanos();
+        // Separate sub-streams per process so tuning one rate never
+        // perturbs the other's event times.
+        for (rate, ev, salt) in [
+            (spec.join_per_s, ChurnEvent::Join, 0x4A4F_494Eu64),
+            (spec.leave_per_s, ChurnEvent::Leave, 0x4C45_4156u64),
+        ] {
+            if rate == 0 {
+                continue;
+            }
+            let mut rng = StdRng::seed_from_u64(seed ^ salt);
+            let mut at = start.as_nanos();
+            loop {
+                at = at.saturating_add(exp_gap_ns(&mut rng, rate, 1000));
+                if at >= end {
+                    break;
+                }
+                timeline.push((SimTime::from_nanos(at), ev));
+            }
+        }
+        // Stable merge: ties resolve Join-before-Leave (enum order), then
+        // by original push order — all deterministic.
+        timeline.sort_by_key(|&(at, ev)| (at, matches!(ev, ChurnEvent::Leave)));
+        ChurnPool {
+            timeline,
+            next: 0,
+            active: (0..spec.initial_active).collect(),
+            next_id: spec.initial_active,
+            rng: StdRng::seed_from_u64(seed ^ 0x504F_4F4C),
+            joins: 0,
+            leaves: 0,
+        }
+    }
+
+    /// Apply every churn event at or before `now`.
+    pub(crate) fn advance(&mut self, now: SimTime) {
+        while self.next < self.timeline.len() && self.timeline[self.next].0 <= now {
+            let (_, ev) = self.timeline[self.next];
+            self.next += 1;
+            match ev {
+                ChurnEvent::Join => {
+                    self.active.push(self.next_id);
+                    self.next_id += 1;
+                    self.joins += 1;
+                }
+                ChurnEvent::Leave => {
+                    if !self.active.is_empty() {
+                        let idx = self.rng.gen_range(0..self.active.len());
+                        self.active.swap_remove(idx);
+                        self.leaves += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pick a uniformly-random active client, if any are active.
+    pub(crate) fn pick(&mut self, rng: &mut StdRng) -> Option<u32> {
+        if self.active.is_empty() {
+            None
+        } else {
+            Some(self.active[rng.gen_range(0..self.active.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ChurnSpec {
+        ChurnSpec { initial_active: 4, join_per_s: 200_000, leave_per_s: 100_000 }
+    }
+
+    #[test]
+    fn pool_grows_under_net_positive_churn() {
+        let mut pool = ChurnPool::new(&spec(), SimTime::ZERO, SimTime::from_millis(1), 9);
+        pool.advance(SimTime::from_millis(1));
+        assert!(pool.joins > pool.leaves, "{} joins vs {} leaves", pool.joins, pool.leaves);
+        assert!(pool.active.len() > 4);
+        // Fresh ids are monotonically assigned past the initial pool.
+        assert!(pool.active.iter().any(|&id| id >= 4));
+    }
+
+    #[test]
+    fn timeline_is_seed_deterministic() {
+        let a = ChurnPool::new(&spec(), SimTime::ZERO, SimTime::from_millis(1), 42);
+        let b = ChurnPool::new(&spec(), SimTime::ZERO, SimTime::from_millis(1), 42);
+        assert_eq!(a.timeline, b.timeline);
+        let c = ChurnPool::new(&spec(), SimTime::ZERO, SimTime::from_millis(1), 43);
+        assert_ne!(a.timeline, c.timeline);
+    }
+
+    #[test]
+    fn leave_on_empty_pool_is_a_no_op() {
+        let spec = ChurnSpec { initial_active: 0, join_per_s: 0, leave_per_s: 500_000 };
+        let mut pool = ChurnPool::new(&spec, SimTime::ZERO, SimTime::from_millis(1), 1);
+        pool.advance(SimTime::from_millis(1));
+        assert_eq!(pool.leaves, 0);
+        assert!(pool.active.is_empty());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(pool.pick(&mut rng), None);
+    }
+}

@@ -1,0 +1,155 @@
+//! Load curves: diurnal shapes and flash-crowd spikes as integer
+//! permille multipliers.
+//!
+//! A [`LoadCurve`] maps a position in the run (0‰–1000‰ of the spec's
+//! duration) to a rate multiplier in permille of the base rate. The
+//! representation is piecewise linear between integer-permille control
+//! points plus additive spike windows, and evaluation is integer-only —
+//! no floating point, no libm — so the curve contributes nothing that
+//! could vary across platforms or processes.
+
+/// A flash-crowd spike: an additive multiplier window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spike {
+    /// Window start, in permille of the run duration.
+    pub at_permille: u32,
+    /// Window length, in permille of the run duration.
+    pub dur_permille: u32,
+    /// Multiplier *added* to the base curve inside the window, permille.
+    pub add_permille: u32,
+}
+
+/// A piecewise-linear rate multiplier over the run, plus spikes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadCurve {
+    /// `(position_permille, multiplier_permille)` control points, sorted
+    /// by position. Positions outside the covered range clamp to the
+    /// nearest endpoint.
+    points: Vec<(u32, u32)>,
+    spikes: Vec<Spike>,
+}
+
+impl LoadCurve {
+    /// A flat curve: multiplier 1000‰ (×1.0) everywhere.
+    pub fn flat() -> LoadCurve {
+        LoadCurve { points: vec![(0, 1000), (1000, 1000)], spikes: Vec::new() }
+    }
+
+    /// A stylized diurnal day: overnight trough (×0.3), morning peak
+    /// (×1.0), lunch dip (×0.6), evening peak (×1.0), back to trough.
+    pub fn diurnal() -> LoadCurve {
+        LoadCurve {
+            points: vec![(0, 300), (250, 1000), (500, 600), (750, 1000), (1000, 300)],
+            spikes: Vec::new(),
+        }
+    }
+
+    /// A curve from explicit `(position_permille, multiplier_permille)`
+    /// control points. Points must be sorted by position and non-empty.
+    pub fn from_points(points: Vec<(u32, u32)>) -> LoadCurve {
+        assert!(!points.is_empty(), "a curve needs at least one control point");
+        assert!(points.windows(2).all(|w| w[0].0 <= w[1].0), "control points must be sorted");
+        LoadCurve { points, spikes: Vec::new() }
+    }
+
+    /// Add a flash-crowd spike window.
+    pub fn with_spike(mut self, spike: Spike) -> LoadCurve {
+        self.spikes.push(spike);
+        self
+    }
+
+    /// The spike windows, in insertion order.
+    pub fn spikes(&self) -> &[Spike] {
+        &self.spikes
+    }
+
+    /// The multiplier (permille) at `pos_permille` into the run.
+    /// Positions are clamped to 0‰–1000‰.
+    pub fn multiplier_permille(&self, pos_permille: u32) -> u64 {
+        let pos = pos_permille.min(1000);
+        let base = match self.points.iter().position(|&(p, _)| p >= pos) {
+            None => self.points.last().expect("non-empty").1 as u64,
+            Some(0) => self.points[0].1 as u64,
+            Some(i) => {
+                let (p0, m0) = self.points[i - 1];
+                let (p1, m1) = self.points[i];
+                if p1 == p0 {
+                    m1 as u64
+                } else {
+                    // Integer linear interpolation, rounding half up.
+                    let span = (p1 - p0) as u64;
+                    let off = (pos - p0) as u64;
+                    let (m0, m1) = (m0 as u64, m1 as u64);
+                    if m1 >= m0 {
+                        m0 + ((m1 - m0) * off + span / 2) / span
+                    } else {
+                        m0 - ((m0 - m1) * off + span / 2) / span
+                    }
+                }
+            }
+        };
+        let spike: u64 = self
+            .spikes
+            .iter()
+            .filter(|s| pos >= s.at_permille && pos < s.at_permille + s.dur_permille)
+            .map(|s| s.add_permille as u64)
+            .sum();
+        base + spike
+    }
+
+    /// The curve's maximum multiplier (permille) — the thinning envelope
+    /// for Poisson generation. Exact: the curve is linear between integer
+    /// permille positions, so the max over all 1001 positions is the max
+    /// over the whole run.
+    pub fn peak_permille(&self) -> u64 {
+        (0..=1000).map(|p| self.multiplier_permille(p)).max().unwrap_or(1000).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_curve_is_unit_everywhere() {
+        let c = LoadCurve::flat();
+        for p in [0, 1, 500, 999, 1000, 2000] {
+            assert_eq!(c.multiplier_permille(p), 1000);
+        }
+        assert_eq!(c.peak_permille(), 1000);
+    }
+
+    #[test]
+    fn interpolation_hits_control_points_and_midpoints() {
+        let c = LoadCurve::from_points(vec![(0, 0), (500, 1000), (1000, 0)]);
+        assert_eq!(c.multiplier_permille(0), 0);
+        assert_eq!(c.multiplier_permille(500), 1000);
+        assert_eq!(c.multiplier_permille(250), 500);
+        assert_eq!(c.multiplier_permille(750), 500);
+        assert_eq!(c.peak_permille(), 1000);
+    }
+
+    #[test]
+    fn spikes_add_inside_their_window_only() {
+        let c = LoadCurve::flat().with_spike(Spike {
+            at_permille: 400,
+            dur_permille: 100,
+            add_permille: 2000,
+        });
+        assert_eq!(c.multiplier_permille(399), 1000);
+        assert_eq!(c.multiplier_permille(400), 3000);
+        assert_eq!(c.multiplier_permille(499), 3000);
+        assert_eq!(c.multiplier_permille(500), 1000);
+        assert_eq!(c.peak_permille(), 3000);
+    }
+
+    #[test]
+    fn diurnal_has_trough_and_peaks() {
+        let c = LoadCurve::diurnal();
+        assert_eq!(c.multiplier_permille(0), 300);
+        assert_eq!(c.multiplier_permille(250), 1000);
+        assert_eq!(c.multiplier_permille(500), 600);
+        assert!(c.multiplier_permille(125) > 300);
+        assert!(c.multiplier_permille(125) < 1000);
+    }
+}

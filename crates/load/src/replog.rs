@@ -1,0 +1,176 @@
+//! Multi-writer replicated-log workload, Autobahn style.
+//!
+//! Clients' operations are append requests routed to one of a few
+//! `writers` (client id mod writers). Each writer batches pending entries
+//! per log head: the first entry opens a batch and starts the batch
+//! window; everything that lands on the same `(writer, head)` before the
+//! window expires rides in the same batch; the batch flushes (one fabric
+//! operation) when the window closes. Contention concentrates on the
+//! Zipf-hot log heads — the scale asymmetry ISSUE 7 wants exercised.
+
+use crate::arrivals::ArrivalSchedule;
+use rdv_netsim::SimTime;
+
+/// Replicated-log workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplogSpec {
+    /// Number of writer front-ends; clients map to writers by id modulo.
+    pub writers: u32,
+    /// Number of log heads (the arrival schedule's object space).
+    pub heads: u32,
+    /// Payload bytes per appended entry.
+    pub entry_bytes: u32,
+    /// How long a writer holds an open batch before flushing it.
+    pub batch_window: SimTime,
+}
+
+impl ReplogSpec {
+    /// A small default: 4 writers, 8 heads, 64-byte entries, 20 µs window.
+    pub fn small() -> ReplogSpec {
+        ReplogSpec { writers: 4, heads: 8, entry_bytes: 64, batch_window: SimTime::from_micros(20) }
+    }
+}
+
+/// One flushed batch: a single fabric operation carrying `entries`
+/// appends to `head`, issued by `writer` at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Batch {
+    /// Flush time (open time + batch window, or end of schedule).
+    pub at: SimTime,
+    /// Issuing writer index, `0..writers`.
+    pub writer: u32,
+    /// Target log head, `0..heads`.
+    pub head: u32,
+    /// Entries folded into this batch.
+    pub entries: u32,
+}
+
+impl Batch {
+    /// Payload bytes this batch carries under `spec`.
+    pub fn bytes(&self, spec: &ReplogSpec) -> u64 {
+        self.entries as u64 * spec.entry_bytes as u64
+    }
+}
+
+/// Fold an arrival schedule into flushed batches, sorted by
+/// `(at, writer, head)` — a pure, deterministic function of its inputs.
+pub fn batches(schedule: &ArrivalSchedule, spec: &ReplogSpec) -> Vec<Batch> {
+    assert!(spec.writers >= 1, "need at least one writer");
+    assert!(spec.heads >= 1, "need at least one log head");
+    // Open batches keyed densely by writer * heads + head.
+    let slots = spec.writers as usize * spec.heads as usize;
+    let mut open: Vec<Option<(SimTime, u32)>> = vec![None; slots]; // (opened_at, entries)
+    let mut out = Vec::new();
+    let window = spec.batch_window.as_nanos();
+
+    let flush = |open: &mut Vec<Option<(SimTime, u32)>>, slot: usize, out: &mut Vec<Batch>| {
+        if let Some((opened, entries)) = open[slot].take() {
+            out.push(Batch {
+                at: SimTime::from_nanos(opened.as_nanos() + window),
+                writer: (slot / spec.heads as usize) as u32,
+                head: (slot % spec.heads as usize) as u32,
+                entries,
+            });
+        }
+    };
+
+    for a in &schedule.arrivals {
+        // Flush every batch whose window closed before this arrival.
+        // Arrivals are time-sorted, so a linear scan per arrival keeps
+        // flush order deterministic; slot order breaks flush-time ties.
+        for slot in 0..slots {
+            if let Some((opened, _)) = open[slot] {
+                if opened.as_nanos() + window <= a.at.as_nanos() {
+                    flush(&mut open, slot, &mut out);
+                }
+            }
+        }
+        let writer = a.client % spec.writers;
+        let head = a.obj % spec.heads;
+        let slot = writer as usize * spec.heads as usize + head as usize;
+        match &mut open[slot] {
+            Some((_, entries)) => *entries += 1,
+            None => open[slot] = Some((a.at, 1)),
+        }
+    }
+    for slot in 0..slots {
+        flush(&mut open, slot, &mut out);
+    }
+    out.sort_by_key(|b| (b.at, b.writer, b.head));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{Arrival, ArrivalSchedule};
+
+    fn sched(arrivals: Vec<(u64, u32, u32)>) -> ArrivalSchedule {
+        ArrivalSchedule {
+            arrivals: arrivals
+                .into_iter()
+                .map(|(us, client, obj)| Arrival { at: SimTime::from_micros(us), client, obj })
+                .collect(),
+            churn_joins: 0,
+            churn_leaves: 0,
+            skipped_empty_pool: 0,
+        }
+    }
+
+    fn spec() -> ReplogSpec {
+        ReplogSpec { writers: 2, heads: 2, entry_bytes: 64, batch_window: SimTime::from_micros(10) }
+    }
+
+    #[test]
+    fn same_window_same_head_coalesces() {
+        // Clients 0 and 2 both map to writer 0; obj 0 on both.
+        let s = sched(vec![(100, 0, 0), (105, 2, 0)]);
+        let b = batches(&s, &spec());
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].entries, 2);
+        assert_eq!(b[0].writer, 0);
+        assert_eq!(b[0].head, 0);
+        assert_eq!(b[0].at, SimTime::from_micros(110));
+        assert_eq!(b[0].bytes(&spec()), 128);
+    }
+
+    #[test]
+    fn window_expiry_splits_batches() {
+        let s = sched(vec![(100, 0, 0), (115, 0, 0)]);
+        let b = batches(&s, &spec());
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].at, SimTime::from_micros(110));
+        assert_eq!(b[1].at, SimTime::from_micros(125));
+        assert!(b.iter().all(|x| x.entries == 1));
+    }
+
+    #[test]
+    fn writers_and_heads_partition_batches() {
+        // Same instant, four distinct (writer, head) slots.
+        let s = sched(vec![(100, 0, 0), (100, 1, 0), (100, 0, 1), (100, 1, 1)]);
+        let b = batches(&s, &spec());
+        assert_eq!(b.len(), 4);
+        let mut slots: Vec<(u32, u32)> = b.iter().map(|x| (x.writer, x.head)).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        // Canonical sort: flush-time ties broken by (writer, head).
+        assert!(b
+            .windows(2)
+            .all(|w| (w[0].at, w[0].writer, w[0].head) <= (w[1].at, w[1].writer, w[1].head)));
+    }
+
+    #[test]
+    fn batching_conserves_entries() {
+        let s = sched(vec![
+            (100, 0, 0),
+            (101, 1, 1),
+            (102, 2, 0),
+            (130, 3, 3),
+            (131, 0, 2),
+            (160, 1, 0),
+        ]);
+        let b = batches(&s, &spec());
+        let total: u32 = b.iter().map(|x| x.entries).sum();
+        assert_eq!(total, 6, "entries lost or duplicated in batching");
+    }
+}

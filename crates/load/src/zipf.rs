@@ -1,0 +1,106 @@
+//! Zipf object popularity with configurable skew.
+//!
+//! Real object traffic is heavy-tailed: a handful of hot objects absorb
+//! most accesses while the long tail is nearly cold. The skew is the
+//! paper's scale-pressure knob — the hotter the head, the harder a
+//! fabric must work to keep the hot objects' holders from becoming the
+//! bottleneck. Skew is expressed in permille of the classic Zipf
+//! exponent `s` (1000‰ = s 1.0); 0‰ degenerates to a uniform draw.
+
+use rand::{rngs::StdRng, Rng};
+
+/// A precomputed Zipf sampler over object ids `0..n`.
+///
+/// Construction computes the cumulative weight table once (`O(n)` with
+/// `powf`); sampling is a binary search over it. The weights are plain
+/// `f64` — same-machine byte determinism is the repo's bar, and the
+/// report layer already leans on `f64` for exactly this reason.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) weights; `cum[k]` covers ids `0..=k`.
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` objects (`n >= 1`) with exponent
+    /// `skew_permille / 1000`. Rank 0 is the hottest object.
+    pub fn new(n: u32, skew_permille: u32) -> Zipf {
+        assert!(n >= 1, "zipf needs at least one object");
+        let s = skew_permille as f64 / 1000.0;
+        let mut cum = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 0..n {
+            total += ((k + 1) as f64).powf(-s);
+            cum.push(total);
+        }
+        Zipf { cum }
+    }
+
+    /// The number of objects in the sampler's domain.
+    pub fn n(&self) -> u32 {
+        self.cum.len() as u32
+    }
+
+    /// Draw one object id in `0..n`, hot ids first.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        let total = *self.cum.last().expect("n >= 1");
+        // 53 uniform mantissa bits in [0, 1); partition_point keeps the
+        // draw in-range even at u == just-below-1.0.
+        let u: f64 = rng.gen();
+        let target = u * total;
+        self.cum.partition_point(|&c| c <= target).min(self.cum.len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_unskewed() {
+        let z = Zipf::new(8, 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hits = [0u32; 8];
+        for _ in 0..8000 {
+            hits[z.sample(&mut rng) as usize] += 1;
+        }
+        for &h in &hits {
+            assert!((700..1300).contains(&h), "uniform draw out of band: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_head_is_hot() {
+        let z = Zipf::new(64, 1200);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = vec![0u32; 64];
+        for _ in 0..10_000 {
+            hits[z.sample(&mut rng) as usize] += 1;
+        }
+        // With s = 1.2 over 64 objects the hottest object takes a large
+        // multiple of the coldest's share.
+        assert!(hits[0] > 10 * hits[63].max(1), "head not hot: {} vs {}", hits[0], hits[63]);
+        assert!(hits[0] > hits[1], "rank order violated");
+    }
+
+    #[test]
+    fn samples_always_in_range() {
+        let z = Zipf::new(3, 900);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Zipf::new(16, 800);
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+}

@@ -1,0 +1,91 @@
+//! The open-loop invariant under saturation (ISSUE 7 acceptance
+//! criterion): offered load is a pure function of the schedule. When
+//! service latency is inflated 10× — enough to push completions far
+//! behind arrivals — the issue times of every batch access are byte
+//! identical, and only the completion side (latency quantiles, goodput
+//! timing) moves. A closed-loop driver would fail this instantly: its
+//! next issue waits on the previous completion.
+
+use rdv_load::{
+    ArrivalSchedule, LoadCurve, LoadFabricSpec, LoadRun, OpenLoopSpec, ReplogSpec, Spike,
+};
+use rdv_netsim::SimTime;
+
+fn workload() -> (LoadFabricSpec, OpenLoopSpec, ReplogSpec) {
+    let fabric = LoadFabricSpec::small();
+    let replog = ReplogSpec::small();
+    let open = OpenLoopSpec {
+        zipf_skew_permille: 900,
+        curve: LoadCurve::flat().with_spike(Spike {
+            at_permille: 400,
+            dur_permille: 200,
+            add_permille: 2000,
+        }),
+        ..OpenLoopSpec::flat(10_000, replog.heads, 400_000, SimTime::from_micros(600))
+    };
+    (fabric, open, replog)
+}
+
+#[test]
+fn offered_rate_survives_10x_service_inflation() {
+    let (fabric, open, replog) = workload();
+    let normal = LoadRun::execute(&fabric, &open, &replog, None, 0xA11CE, false);
+
+    let mut slow = fabric;
+    slow.serve_delay = SimTime::from_nanos(fabric.serve_delay.as_nanos() * 10);
+    // Keep the watchdog from reclassifying slow-but-alive accesses.
+    slow.access_timeout = SimTime::from_nanos(fabric.access_timeout.as_nanos() * 10);
+    let inflated = LoadRun::execute(&slow, &open, &replog, None, 0xA11CE, false);
+
+    // The open-loop core: every issue time is identical. Offered load
+    // never bent to the slower fabric.
+    assert_eq!(
+        normal.issued_ns, inflated.issued_ns,
+        "issue times moved when service latency was inflated 10x"
+    );
+    assert_eq!(normal.scheduled_batches, inflated.scheduled_batches);
+    assert_eq!(normal.counters.get("load.arrivals"), inflated.counters.get("load.arrivals"));
+
+    // And the inflation was real: completions got slower.
+    let mean = |run: &LoadRun| {
+        run.completions.iter().map(|&(_, lat)| lat).sum::<u64>() / run.completions.len() as u64
+    };
+    assert!(
+        mean(&inflated) > mean(&normal),
+        "10x service delay did not slow completions ({} vs {})",
+        mean(&inflated),
+        mean(&normal)
+    );
+}
+
+#[test]
+fn issue_times_equal_the_precomputed_schedule() {
+    let (fabric, open, replog) = workload();
+    let schedule = ArrivalSchedule::generate(&open, 0xA11CE);
+    let batches = rdv_load::replog::batches(&schedule, &replog);
+    let run = LoadRun::execute(&fabric, &open, &replog, None, 0xA11CE, false);
+    let mut expected: Vec<u64> = batches.iter().map(|b| b.at.as_nanos()).collect();
+    expected.sort_unstable();
+    assert_eq!(run.issued_ns, expected, "the fabric issued at times other than the schedule's");
+}
+
+#[test]
+fn saturation_with_blip_still_keeps_issue_times() {
+    use rdv_load::Blip;
+    let (fabric, open, replog) = workload();
+    let blip = Blip {
+        at: SimTime::from_micros(200),
+        dur: SimTime::from_micros(150),
+        partition_holder: Some(0),
+        crash_holder: Some(1),
+    };
+    let healthy = LoadRun::execute(&fabric, &open, &replog, None, 0xB11B, false);
+    let blipped = LoadRun::execute(&fabric, &open, &replog, Some(&blip), 0xB11B, false);
+    // Even a mid-run fault window cannot move offered load: arrivals are
+    // scheduled, not reactive. Only completions/failures differ.
+    assert_eq!(healthy.issued_ns, blipped.issued_ns);
+    assert!(
+        blipped.counters.get("access_timeouts") > healthy.counters.get("access_timeouts"),
+        "blip should force watchdog work"
+    );
+}

@@ -1,0 +1,89 @@
+//! SLO quantile correctness (ISSUE 7 satellite): the p50/p99/p999 values
+//! read back out of the rdv-metrics gauge plane must match an exact
+//! nearest-rank oracle computed from the raw sorted samples — including
+//! the edge cases (empty window, single sample, all-equal values).
+
+use rdv_load::SloSeries;
+use rdv_metrics::{MetricSet, MetricsConfig};
+
+/// Exact nearest-rank oracle, written independently of the library code:
+/// sort ascending, take the `⌈p·n⌉`-th sample (1-based), clamped.
+fn oracle(samples: &[u64], p_num: u64, p_den: u64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_unstable();
+    let n = s.len() as u64;
+    let mut rank = (p_num * n).div_ceil(p_den);
+    rank = rank.clamp(1, n);
+    s[(rank - 1) as usize]
+}
+
+/// Compute a series over one window, emit it into a fresh MetricSet, and
+/// read the quantiles back from the gauge series.
+fn roundtrip(latencies_ns: &[u64]) -> (u64, u64, u64) {
+    let interval = 1_000_000; // one 1 ms window
+    let completions: Vec<(u64, u64)> = latencies_ns.iter().map(|&l| (500_000u64, l)).collect();
+    let series = SloSeries::compute(&[], &completions, interval, interval);
+    let mut set = MetricSet::enabled(MetricsConfig::default());
+    series.emit(&mut set);
+    let read = |name: &str| {
+        set.series_by_name(name)
+            .unwrap_or_else(|| panic!("{name} not emitted"))
+            .points()
+            .next()
+            .expect("one window")
+            .1
+    };
+    (read("load.p50_us"), read("load.p99_us"), read("load.p999_us"))
+}
+
+#[test]
+fn quantiles_match_oracle_on_synthetic_series() {
+    let cases: Vec<Vec<u64>> = vec![
+        (1..=100).map(|v| v * 1000).collect(),
+        (1..=10).map(|v| v * 1000).collect(),
+        (1..=1000).rev().map(|v| v * 1000).collect(), // unsorted input
+        vec![5000, 1000, 3000, 3000, 2000, 9000, 7000],
+        (0..997).map(|v| (v * 37 % 991) * 1000).collect(), // scrambled
+    ];
+    for samples in &cases {
+        let (p50, p99, p999) = roundtrip(samples);
+        assert_eq!(p50, oracle(samples, 500, 1000) / 1000, "p50 on {} samples", samples.len());
+        assert_eq!(p99, oracle(samples, 990, 1000) / 1000, "p99 on {} samples", samples.len());
+        assert_eq!(p999, oracle(samples, 999, 1000) / 1000, "p999 on {} samples", samples.len());
+    }
+}
+
+#[test]
+fn empty_window_reads_zero() {
+    let (p50, p99, p999) = roundtrip(&[]);
+    assert_eq!((p50, p99, p999), (0, 0, 0));
+}
+
+#[test]
+fn single_sample_is_every_quantile() {
+    let (p50, p99, p999) = roundtrip(&[42_000]);
+    assert_eq!((p50, p99, p999), (42, 42, 42));
+}
+
+#[test]
+fn all_equal_samples_collapse_every_quantile() {
+    let samples = vec![7000u64; 64];
+    let (p50, p99, p999) = roundtrip(&samples);
+    assert_eq!((p50, p99, p999), (7, 7, 7));
+}
+
+#[test]
+fn offered_and_goodput_scale_exactly() {
+    // 8 arrivals and 6 completions inside a 1 ms window scale to per-second.
+    let arrivals: Vec<u64> = (1..=8).map(|i| i * 100_000).collect();
+    let completions: Vec<(u64, u64)> = (1..=6).map(|i| (i * 150_000, 2000)).collect();
+    let series = SloSeries::compute(&arrivals, &completions, 1_000_000, 1_000_000);
+    let mut set = MetricSet::enabled(MetricsConfig::default());
+    series.emit(&mut set);
+    let point = |name: &str| set.series_by_name(name).unwrap().points().next().unwrap().1;
+    assert_eq!(point("load.offered_per_s"), 8000);
+    assert_eq!(point("load.goodput_per_s"), 6000);
+}

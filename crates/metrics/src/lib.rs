@@ -48,7 +48,7 @@ pub use set::{MetricSample, MetricSet, MetricsConfig, Series};
 /// counters. Full gauge names are `<base>.<instance>` (e.g.
 /// `link.queue_bytes.l0`); derived counter rates are named
 /// `rate.<counter>` and are registered dynamically by the engine.
-pub const GAUGE_NAMES: [&str; 17] = [
+pub const GAUGE_NAMES: [&str; 22] = [
     "link.queue_bytes",
     "link.util_pct",
     "node.pending_timers",
@@ -66,6 +66,11 @@ pub const GAUGE_NAMES: [&str; 17] = [
     "core.placement_queue",
     "shard.queue_events",
     "shard.clock_ns",
+    "load.offered_per_s",
+    "load.goodput_per_s",
+    "load.p50_us",
+    "load.p99_us",
+    "load.p999_us",
 ];
 
 /// Whether `base` is one of the canonical [`GAUGE_NAMES`].

@@ -890,6 +890,17 @@ impl Sim {
         );
     }
 
+    /// Bulk [`Sim::schedule`]: install a whole open-loop arrival schedule
+    /// in one call. Arrivals are consumed in iteration order; same-time
+    /// timers fire in that order, for every shard count — the workload
+    /// plane (`rdv-load`) relies on this to keep offered load a pure
+    /// function of the schedule, independent of completions.
+    pub fn schedule_batch(&mut self, arrivals: impl IntoIterator<Item = (SimTime, NodeId, u64)>) {
+        for (at, node, tag) in arrivals {
+            self.schedule(at, node, tag);
+        }
+    }
+
     /// Install a [`FaultPlan`]: resolve its link references against the
     /// current topology and schedule every fault at its exact simulated
     /// time. Faults apply at window barriers, before any simulation event
@@ -1524,6 +1535,39 @@ mod tests {
         sim.schedule(SimTime::from_micros(30), r, 4);
         sim.run_until_idle();
         assert_eq!(sim.node_as::<Recorder>(r).unwrap().tags, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn schedule_batch_matches_individual_schedules() {
+        struct Recorder {
+            fired: Vec<(u64, u64)>,
+        }
+        impl Node for Recorder {
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tag: u64) {
+                self.fired.push((ctx.now.as_nanos(), tag));
+            }
+        }
+        let arrivals = [(25u64, 0u64), (10, 1), (25, 2), (40, 3)];
+        let run = |batch: bool| {
+            let mut sim = Sim::new(SimConfig::default());
+            let r = sim.add_node(Box::new(Recorder { fired: Vec::new() }));
+            if batch {
+                sim.schedule_batch(
+                    arrivals.iter().map(|&(us, tag)| (SimTime::from_micros(us), r, tag)),
+                );
+            } else {
+                for &(us, tag) in &arrivals {
+                    sim.schedule(SimTime::from_micros(us), r, tag);
+                }
+            }
+            sim.run_until_idle();
+            sim.node_as::<Recorder>(r).unwrap().fired.clone()
+        };
+        let batched = run(true);
+        assert_eq!(batched, run(false));
+        // Same-time arrivals keep schedule order (tag 0 before tag 2).
+        assert_eq!(batched, vec![(10_000, 1), (25_000, 0), (25_000, 2), (40_000, 3)]);
     }
 
     #[test]

@@ -26,7 +26,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 BASELINE = ROOT / "results" / "bench_baseline.json"
-BENCHES = ["engine_hotpath", "engine_shards"]
+BENCHES = ["engine_hotpath", "engine_shards", "load_gen"]
 REGRESSION_PCT = 25
 
 LINE = re.compile(

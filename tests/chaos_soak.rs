@@ -21,6 +21,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rdv_core::scenarios::{build_star_fabric_sharded, host_link_rack};
 use rdv_discovery::{AccessFailure, DiscoveryMode, HostConfig, HostNode};
+use rdv_load::{
+    Blip, ChurnSpec, LoadCurve, LoadFabricSpec, LoadRun, OpenLoopSpec, ReplogSpec, Spike,
+};
 use rdv_memproto::coherence::{DirAction, Directory};
 use rdv_memproto::msg::Msg;
 use rdv_memproto::transport::{ReliableEndpoint, TransportConfig};
@@ -535,4 +538,167 @@ fn directory_soak_never_leaves_a_stale_copy_registered() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Family 4: load plane under flash crowds, churn, and fault windows
+// ---------------------------------------------------------------------------
+
+/// One randomized load-plane scenario: an open-loop replicated-log
+/// workload driven through the star fabric while a fault blip lands
+/// mid-run (invariants 3 and 4, at traffic-plane scale).
+struct LoadScenario {
+    fabric: LoadFabricSpec,
+    open: OpenLoopSpec,
+    replog: ReplogSpec,
+    blip: Blip,
+}
+
+/// Flash-crowd variant: a steep spike in the load curve with a holder
+/// crash-restart window opening inside the crowd.
+fn gen_flash_crowd_scenario(seed: u64) -> LoadScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1A5);
+    let mut fabric = LoadFabricSpec::small();
+    fabric.holders = rng.gen_range(2..5);
+    fabric.link_loss_permille = rng.gen_range(0..20);
+    let replog = ReplogSpec {
+        writers: rng.gen_range(2..5),
+        heads: rng.gen_range(4..13),
+        entry_bytes: 64,
+        batch_window: SimTime::from_micros(rng.gen_range(10..40)),
+    };
+    let mut open = OpenLoopSpec::flat(
+        rng.gen_range(2_000..20_000),
+        replog.heads,
+        rng.gen_range(150_000..500_000),
+        SimTime::from_micros(rng.gen_range(600..1_200)),
+    );
+    open.zipf_skew_permille = rng.gen_range(600..1_400);
+    // The crowd: load doubles-to-quadruples for ~a fifth of the run.
+    open.curve = LoadCurve::flat().with_spike(Spike {
+        at_permille: rng.gen_range(200..500),
+        dur_permille: rng.gen_range(150..300),
+        add_permille: rng.gen_range(1_000..3_000),
+    });
+    // The blip lands inside (or shouldering) the crowd window.
+    let blip = Blip {
+        at: SimTime::from_micros(rng.gen_range(150..400)),
+        dur: SimTime::from_micros(rng.gen_range(100..250)),
+        partition_holder: None,
+        crash_holder: Some(rng.gen_range(0..fabric.holders)),
+    };
+    LoadScenario { fabric, open, replog, blip }
+}
+
+/// Churn variant: clients join and leave throughout while one holder is
+/// partitioned off the switch for a window mid-run.
+fn gen_churn_partition_scenario(seed: u64) -> LoadScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A2);
+    let mut fabric = LoadFabricSpec::small();
+    fabric.holders = rng.gen_range(2..5);
+    fabric.link_loss_permille = rng.gen_range(0..20);
+    let replog = ReplogSpec {
+        writers: rng.gen_range(2..5),
+        heads: rng.gen_range(4..13),
+        entry_bytes: 64,
+        batch_window: SimTime::from_micros(rng.gen_range(10..40)),
+    };
+    let mut open = OpenLoopSpec::flat(
+        rng.gen_range(2_000..20_000),
+        replog.heads,
+        rng.gen_range(150_000..500_000),
+        SimTime::from_micros(rng.gen_range(600..1_200)),
+    );
+    open.zipf_skew_permille = rng.gen_range(600..1_400);
+    open.churn = Some(ChurnSpec {
+        initial_active: rng.gen_range(500..5_000),
+        join_per_s: rng.gen_range(1_000_000..20_000_000),
+        leave_per_s: rng.gen_range(1_000_000..20_000_000),
+    });
+    let blip = Blip {
+        at: SimTime::from_micros(rng.gen_range(150..400)),
+        dur: SimTime::from_micros(rng.gen_range(100..250)),
+        partition_holder: Some(rng.gen_range(0..fabric.holders)),
+        crash_holder: None,
+    };
+    LoadScenario { fabric, open, replog, blip }
+}
+
+/// Run one load scenario at the given shard count and distill it to the
+/// canonical fingerprint. Invariant 3 (completion or typed error) is
+/// asserted inside `LoadRun::execute` per writer; the cross-check here
+/// confirms the aggregate tallies agree with it.
+fn run_load_scenario(seed: u64, sc: &LoadScenario, shards: usize) -> String {
+    let mut fabric = sc.fabric;
+    fabric.shards = shards;
+    let run = LoadRun::execute(&fabric, &sc.open, &sc.replog, Some(&sc.blip), seed, false);
+    assert!(run.scheduled_batches > 0, "seed {seed}: scenario offered no load");
+    assert_eq!(
+        run.completions.len() + run.failed,
+        run.scheduled_batches,
+        "seed {seed}: a batch neither completed nor failed typed"
+    );
+    assert_eq!(run.issued_ns.len(), run.scheduled_batches, "seed {seed}: issue count drifted");
+    assert_eq!(run.counters.get("load.batches"), run.scheduled_batches as u64);
+    assert_eq!(run.counters.get("load.completions"), run.completions.len() as u64);
+    assert_eq!(run.counters.get("load.failures"), run.failed as u64);
+    run.fingerprint()
+}
+
+#[test]
+fn load_soak_flash_crowd_rides_out_a_crash_window() {
+    let mut fingerprints = Vec::new();
+    let mut total_timeouts = 0u64;
+    for seed in 0..8u64 {
+        let sc = gen_flash_crowd_scenario(seed);
+        let fp = run_load_scenario(seed, &sc, 1);
+        for shards in [2usize, 8] {
+            assert_eq!(
+                fp,
+                run_load_scenario(seed, &sc, shards),
+                "seed {seed}: fingerprint diverged at {shards} shards"
+            );
+        }
+        // The crash window forces watchdog work on at least some seeds.
+        let run = {
+            let mut fabric = sc.fabric;
+            fabric.shards = 1;
+            LoadRun::execute(&fabric, &sc.open, &sc.replog, Some(&sc.blip), seed, false)
+        };
+        total_timeouts += run.counters.get("access_timeouts");
+        fingerprints.push(fp);
+    }
+    assert!(total_timeouts > 0, "no crash window ever bit — scenarios too tame");
+    fingerprints.dedup();
+    assert!(fingerprints.len() > 1, "seeds collapsed to one scenario");
+}
+
+#[test]
+fn load_soak_churned_pool_survives_a_partition_window() {
+    let mut fingerprints = Vec::new();
+    let mut total_joins = 0u64;
+    let mut total_timeouts = 0u64;
+    for seed in 0..8u64 {
+        let sc = gen_churn_partition_scenario(seed);
+        let fp = run_load_scenario(seed, &sc, 1);
+        for shards in [2usize, 8] {
+            assert_eq!(
+                fp,
+                run_load_scenario(seed, &sc, shards),
+                "seed {seed}: fingerprint diverged at {shards} shards"
+            );
+        }
+        let run = {
+            let mut fabric = sc.fabric;
+            fabric.shards = 1;
+            LoadRun::execute(&fabric, &sc.open, &sc.replog, Some(&sc.blip), seed, false)
+        };
+        total_joins += run.counters.get("load.churn_joins");
+        total_timeouts += run.counters.get("access_timeouts");
+        fingerprints.push(fp);
+    }
+    assert!(total_joins > 0, "churn never materialized — rates too low");
+    assert!(total_timeouts > 0, "no partition window ever bit — scenarios too tame");
+    fingerprints.dedup();
+    assert!(fingerprints.len() > 1, "seeds collapsed to one scenario");
 }
