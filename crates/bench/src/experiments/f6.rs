@@ -58,6 +58,7 @@ fn fabric_spec() -> LoadFabricSpec {
         access_timeout: ACCESS_TIMEOUT,
         max_access_retries: MAX_RETRIES,
         slo_interval: SLO_INTERVAL,
+        shard_audit: false,
     }
 }
 

@@ -57,6 +57,7 @@ pub struct LocalSpace {
 impl LocalSpace {
     /// Create a space with the given function registry.
     pub fn new(registry: FnRegistry, seed: u64) -> LocalSpace {
+        // rdv-lint: allow(rng-stream) -- single-process LocalSpace stream derived from the scenario seed; no sim nodes exist here
         LocalSpace { hosts: DetMap::new(), registry, rng: StdRng::seed_from_u64(seed) }
     }
 

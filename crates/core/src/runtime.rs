@@ -1224,7 +1224,21 @@ impl Node for GasHostNode {
                 if self.cache.invalidate(obj, version) => {
                     self.counters.inc_id(ctr().dir_invalidates_applied);
                 }
-            _ => {}
+            // Explicitly ignored (D7): image requests we cannot serve and
+            // no-op directory invalidations fall through their guards above;
+            // read responses complete via the watchdog path; discovery,
+            // controller advertisements, upgrade coherence, and
+            // reliable-transport frames are other node kinds' protocols.
+            MsgBody::ObjImageReq { .. }
+            | MsgBody::DirInvalidate { .. }
+            | MsgBody::ReadResp { .. }
+            | MsgBody::DiscoverReq { .. }
+            | MsgBody::DiscoverResp { .. }
+            | MsgBody::Advertise { .. }
+            | MsgBody::UpgradeReq { .. }
+            | MsgBody::UpgradeAck { .. }
+            | MsgBody::RelData { .. }
+            | MsgBody::RelAck { .. } => {}
         }
     }
 

@@ -680,7 +680,7 @@ pub fn build_remote_chain(
 
 /// Run one A1 traversal.
 pub fn run_a1(cfg: &A1Config) -> A1Outcome {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed); // rdv-lint: allow(rng-stream) -- pre-sim topology/plan generator stream, derived from the scenario seed before any node runs
     let mut holder = GasHostNode::new("holder", HOLDER_INBOX, GasHostConfig::default());
     let (head, alloc_order) = build_remote_chain(
         &mut holder.store,

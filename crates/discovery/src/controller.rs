@@ -92,22 +92,46 @@ impl Node for ControllerNode {
 
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
         let Ok(msg) = Msg::decode(&packet.payload) else { return };
-        if let MsgBody::Advertise { obj } = msg.body {
-            self.advertisements += 1;
-            ctx.trace.mark("controller.advertise", obj.lo());
-            let holder = msg.header.src;
-            let sends = self.program_object(obj, holder);
-            ctx.trace.mark("controller.install", sends.len() as u64);
-            if self.processing_delay == SimTime::ZERO {
-                for (port, bytes) in sends {
-                    ctx.send(port, Packet::new(bytes, 0));
+        match msg.body {
+            MsgBody::Advertise { obj } => {
+                self.advertisements += 1;
+                ctx.trace.mark("controller.advertise", obj.lo());
+                let holder = msg.header.src;
+                let sends = self.program_object(obj, holder);
+                ctx.trace.mark("controller.install", sends.len() as u64);
+                if self.processing_delay == SimTime::ZERO {
+                    for (port, bytes) in sends {
+                        ctx.send(port, Packet::new(bytes, 0));
+                    }
+                } else {
+                    let id = self.next_defer;
+                    self.next_defer += 1;
+                    self.deferred.insert(id, sends);
+                    ctx.set_timer(self.processing_delay, id);
                 }
-            } else {
-                let id = self.next_defer;
-                self.next_defer += 1;
-                self.deferred.insert(id, sends);
-                ctx.set_timer(self.processing_delay, id);
             }
+            // Explicitly ignored (D7): the controller's only wire input is
+            // holder advertisements — data-plane traffic (reads, writes,
+            // images, invokes), coherence/invalidate messages, discovery
+            // round-trips, and reliable-transport frames never address it.
+            MsgBody::ReadReq { .. }
+            | MsgBody::ReadResp { .. }
+            | MsgBody::WriteReq { .. }
+            | MsgBody::WriteAck { .. }
+            | MsgBody::ObjImageReq { .. }
+            | MsgBody::ObjImageResp { .. }
+            | MsgBody::ObjImageFrag { .. }
+            | MsgBody::Invalidate { .. }
+            | MsgBody::DirInvalidate { .. }
+            | MsgBody::UpgradeReq { .. }
+            | MsgBody::UpgradeAck { .. }
+            | MsgBody::Nack { .. }
+            | MsgBody::DiscoverReq { .. }
+            | MsgBody::DiscoverResp { .. }
+            | MsgBody::Invoke { .. }
+            | MsgBody::InvokeResult { .. }
+            | MsgBody::RelData { .. }
+            | MsgBody::RelAck { .. } => {}
         }
     }
 

@@ -226,7 +226,7 @@ fn build_testbed(cfg: &ScenarioConfig, hosts: [HostNode; 3]) -> Testbed {
 
 /// Run one scenario point. Deterministic in `cfg.seed`.
 pub fn run_discovery(cfg: &ScenarioConfig) -> DiscoveryOutcome {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed); // rdv-lint: allow(rng-stream) -- pre-sim scenario generator stream, derived from the scenario seed before any node runs
     let host_cfg = HostConfig { mode: cfg.mode, staleness: cfg.staleness, ..Default::default() };
 
     let mut h0 = HostNode::new("h0", H0_INBOX, host_cfg);

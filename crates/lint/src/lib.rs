@@ -20,13 +20,25 @@
 //!   same scheme, as does every entry of the rdv-trace `EVENT_NAMES` table.
 //! - **D4 `wire-parity`** — every variant of the wire-message enums must be
 //!   handled by both the encode and decode functions.
+//! - **D5 `shard-interference`** — outside the engine's own barrier
+//!   internals (`engine.rs`, `queue.rs`, `audit.rs`), sim code may not name
+//!   the event-ordering types (`CalendarQueue`, `EventKey`) or reach into
+//!   shard/coordinator state; cross-shard effects flow through the outbox
+//!   API at the window barrier, nothing else.
+//! - **D6 `rng-stream`** — randomness flows through the per-node `NodeCtx`
+//!   stream the engine seeds; `from_entropy`, RNG cloning, and stream
+//!   construction outside `engine.rs` are flagged (pre-sim generator streams
+//!   carry an `allow(rng-stream)` with the salt-split justification).
+//! - **D7 `handler-parity`** — every node dispatch must handle or explicitly
+//!   ignore every variant of the wire enums it demuxes; wildcard arms that
+//!   would silently swallow new message kinds are rejected.
 //!
-//! See DESIGN.md §"Determinism rules" for the full contract.
+//! See DESIGN.md §11 "Correctness tooling" for the full contract.
 
 pub mod lexer;
 pub mod rules;
 
-use rules::{LintConfig, ParityTarget};
+use rules::{HandlerTarget, LintConfig, ParityTarget};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -83,6 +95,48 @@ const PARITY_TARGETS: &[(&str, &[ParityTarget])] = &[
         "crates/p4rt/src/pipeline.rs",
         &[ParityTarget { enum_name: "ControlMsg", fns: &["encode", "decode"] }],
     ),
+];
+
+/// D7 targets: every node dispatch that demuxes a wire enum. The enum lives
+/// in the protocol crate; the handlers live wherever the nodes do — D7 is
+/// the cross-crate completion of D4's same-file codec parity.
+const HANDLER_TARGETS: &[HandlerTarget] = &[
+    HandlerTarget {
+        enum_file: "crates/memproto/src/msg.rs",
+        enum_name: "MsgBody",
+        handler_file: "crates/discovery/src/host.rs",
+        fns: &["on_packet"],
+    },
+    HandlerTarget {
+        enum_file: "crates/memproto/src/msg.rs",
+        enum_name: "NackCode",
+        handler_file: "crates/discovery/src/host.rs",
+        fns: &["complete"],
+    },
+    HandlerTarget {
+        enum_file: "crates/memproto/src/msg.rs",
+        enum_name: "MsgBody",
+        handler_file: "crates/discovery/src/controller.rs",
+        fns: &["on_packet"],
+    },
+    HandlerTarget {
+        enum_file: "crates/memproto/src/msg.rs",
+        enum_name: "MsgBody",
+        handler_file: "crates/core/src/runtime.rs",
+        fns: &["on_packet"],
+    },
+    HandlerTarget {
+        enum_file: "crates/memproto/src/msg.rs",
+        enum_name: "MsgBody",
+        handler_file: "crates/memproto/src/transport.rs",
+        fns: &["on_receive"],
+    },
+    HandlerTarget {
+        enum_file: "crates/p4rt/src/pipeline.rs",
+        enum_name: "ControlMsg",
+        handler_file: "crates/p4rt/src/pipeline.rs",
+        fns: &["on_packet"],
+    },
 ];
 
 /// Lint every deterministic crate under `root` (the workspace root).
@@ -178,8 +232,76 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         }
     }
 
+    for target in HANDLER_TARGETS {
+        let missing = |file: &str, what: &str| Diagnostic {
+            file: file.to_string(),
+            line: 1,
+            rule: "D7/handler-parity".to_string(),
+            message: what.to_string(),
+        };
+        let Ok(enum_src) = fs::read_to_string(root.join(target.enum_file)) else {
+            diags.push(missing(target.enum_file, "handler-parity enum file is missing"));
+            continue;
+        };
+        let Some(variants) = rules::enum_variants_in(&enum_src, target.enum_name) else {
+            diags.push(missing(
+                target.enum_file,
+                &format!("expected `enum {}` in this file; not found", target.enum_name),
+            ));
+            continue;
+        };
+        match fs::read_to_string(root.join(target.handler_file)) {
+            Ok(src) => diags.extend(rules::lint_handler_parity(
+                target.handler_file,
+                &src,
+                target.enum_name,
+                &variants,
+                target.fns,
+            )),
+            Err(_) => {
+                diags.push(missing(target.handler_file, "handler-parity handler file is missing"))
+            }
+        }
+    }
+
     rules::sort_diagnostics(&mut diags);
     Ok(diags)
+}
+
+/// Render diagnostics as a stable JSON array (one object per finding, sorted
+/// like the text output). Hand-rolled so the linter keeps its zero-dependency
+/// footprint; CI turns these into GitHub error annotations.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            esc(&d.file),
+            d.line,
+            esc(&d.rule),
+            esc(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]\n" } else { "\n]\n" });
+    out
 }
 
 /// Recursively lint `.rs` files under `dir`, in sorted path order.

@@ -1,24 +1,29 @@
 //! CLI entry point: lint the workspace, print `file:line: [rule] message`
-//! lines, exit 1 on findings (2 on I/O failure) so CI can gate on it.
+//! lines (or a JSON array with `--json`), exit 1 on findings (2 on I/O
+//! failure) so CI can gate on it.
 
-use rdv_lint::{find_workspace_root, lint_workspace, rules};
+use rdv_lint::{find_workspace_root, lint_workspace, rules, to_json};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root_override: Option<PathBuf> = None;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root_override = args.next().map(PathBuf::from),
+            "--json" => json = true,
             "--help" | "-h" => {
                 println!(
                     "rdv-lint: workspace determinism linter\n\n\
-                     USAGE: rdv-lint [--root <workspace-root>]\n\n\
+                     USAGE: rdv-lint [--root <workspace-root>] [--json]\n\n\
                      Checks the deterministic crates for hash-ordered collections (D1),\n\
-                     ambient time/randomness/env (D2), counter-name discipline (D3), and\n\
-                     wire-message encode/decode parity (D4). Exits nonzero on findings.\n\
-                     See DESIGN.md \u{a7}\"Determinism rules\"."
+                     ambient time/randomness/env (D2), counter-name discipline (D3),\n\
+                     wire-message encode/decode parity (D4), shard interference (D5),\n\
+                     RNG stream discipline (D6), and handler exhaustiveness (D7).\n\
+                     --json prints findings as a JSON array (for CI annotations).\n\
+                     Exits nonzero on findings. See DESIGN.md \u{a7}11 \"Correctness tooling\"."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -59,6 +64,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if json {
+        print!("{}", to_json(&diags));
+        return if diags.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
 
     if diags.is_empty() {
         println!("rdv-lint: clean ({} deterministic crates checked)", rdv_lint::DET_CRATES.len());

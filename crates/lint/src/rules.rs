@@ -1,4 +1,4 @@
-//! The determinism rules (D1–D4) and the allow-comment escape hatch.
+//! The determinism rules (D1–D7) and the allow-comment escape hatch.
 //!
 //! Rules operate on the token stream from [`crate::lexer`], so strings and
 //! comments never trigger false positives. Each finding carries the rule id,
@@ -17,6 +17,40 @@ pub const ALLOW_CATEGORIES: &[&str] = &[
     "counter-name",
     "event-name",
     "gauge-name",
+    "shard-interference",
+    "rng-stream",
+    "handler-parity",
+];
+
+/// Files that *are* the sharded engine's barrier internals: the window
+/// coordinator, the calendar queue, and the shard-audit instrumentation.
+/// D5 exempts them (they implement the protocol the rule protects) and the
+/// D6 stream-construction check exempts them too (`engine.rs` is the one
+/// sanctioned node-stream seeding site).
+const ENGINE_INTERNAL_FILES: &[&str] =
+    &["crates/netsim/src/engine.rs", "crates/netsim/src/queue.rs", "crates/netsim/src/audit.rs"];
+
+/// Engine-internal types that node/scenario code must never name: holding a
+/// `CalendarQueue` or forging an `EventKey` outside the engine bypasses the
+/// canonical ordering that makes sharded runs byte-identical.
+const D5_ENGINE_TYPES: &[&str] = &["CalendarQueue", "EventKey"];
+
+/// Members (fields and methods) of the engine's shard/coordinator state.
+/// A `.member` access to any of these from outside the barrier internals is
+/// shard interference: mutating foreign-shard node/link/timer state or
+/// driving windows by hand instead of going through the outbox API.
+const D5_ENGINE_MEMBERS: &[&str] = &[
+    "outbox",
+    "merge_buf",
+    "node_loc",
+    "dir_slot",
+    "lookahead_ns",
+    "zero_lookahead",
+    "drain_outboxes",
+    "process_window",
+    "run_window",
+    "dispatch_coord",
+    "next_key",
 ];
 
 /// Configuration shared across files.
@@ -135,11 +169,12 @@ fn counter_name_ok(name: &str) -> bool {
         })
 }
 
-/// Run D1–D3 (plus allow-comment syntax checking) over one file.
+/// Run D1–D3 and D5–D6 (plus allow-comment syntax checking) over one file.
 pub fn lint_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
     let tokens = tokenize(src);
     let mut diags = Vec::new();
     let allow = collect_allows(file, &tokens, &mut diags);
+    let engine_internal = ENGINE_INTERNAL_FILES.iter().any(|f| file.ends_with(f));
 
     // Code-only view: comments dropped so sequences span commented lines.
     let code: Vec<&Token> = tokens
@@ -226,6 +261,101 @@ pub fn lint_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
                 "D2/ambient-env",
                 "ambient-env",
                 "`env::var` makes behavior depend on the process environment".to_string(),
+            );
+        }
+
+        // D5: shard interference. Outside the engine's own barrier internals,
+        // sim code may not name the event-ordering types or reach into the
+        // shard/coordinator state — cross-shard effects flow through the
+        // outbox API at the window barrier, nothing else.
+        if !engine_internal {
+            if t.kind == TokKind::Ident && D5_ENGINE_TYPES.contains(&t.text.as_str()) {
+                push(
+                    &mut diags,
+                    &allow,
+                    file,
+                    t.line,
+                    "D5/shard-interference",
+                    "shard-interference",
+                    format!(
+                        "`{}` is a sharded-engine internal; node and scenario code must \
+                         schedule through the `NodeCtx`/`Sim` public API so every event \
+                         gets a canonical key (cross-shard effects go through the outbox \
+                         at the window barrier)",
+                        t.text
+                    ),
+                );
+            }
+            if t.kind == TokKind::Punct && t.text == "." {
+                if let Some(m) = code.get(i + 1) {
+                    if m.kind == TokKind::Ident && D5_ENGINE_MEMBERS.contains(&m.text.as_str()) {
+                        push(
+                            &mut diags,
+                            &allow,
+                            file,
+                            m.line,
+                            "D5/shard-interference",
+                            "shard-interference",
+                            format!(
+                                "`.{}` reaches into the engine's shard/coordinator state; \
+                                 node/link/timer state is owner-shard-only and windows are \
+                                 driven by the coordinator — cross-shard effects must go \
+                                 through the outbox API",
+                                m.text
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // D6: RNG stream discipline. Sim randomness flows through the
+        // per-node `NodeCtx` stream that the engine seeds; constructing or
+        // duplicating streams elsewhere risks two nodes (or two shards)
+        // silently drawing correlated values.
+        if t.kind == TokKind::Ident && t.text == "from_entropy" {
+            push(
+                &mut diags,
+                &allow,
+                file,
+                t.line,
+                "D6/rng-stream",
+                "rng-stream",
+                "`from_entropy` seeds from the OS; every sim RNG stream must derive from \
+                 the scenario seed"
+                    .to_string(),
+            );
+        }
+        if !engine_internal && t.kind == TokKind::Ident && t.text == "seed_from_u64" {
+            push(
+                &mut diags,
+                &allow,
+                file,
+                t.line,
+                "D6/rng-stream",
+                "rng-stream",
+                "constructing an RNG stream outside the engine risks sharing it across \
+                 nodes or shards; node randomness comes from the per-node `NodeCtx` \
+                 stream (seeded once in engine.rs). Pre-sim generator streams need \
+                 `// rdv-lint: allow(rng-stream) -- <why>`"
+                    .to_string(),
+            );
+        }
+        if t.kind == TokKind::Ident
+            && (t.text == "rng" || t.text == "rngs")
+            && seq_at(&code, i + 1, &[".", "clone", "("])
+        {
+            push(
+                &mut diags,
+                &allow,
+                file,
+                t.line,
+                "D6/rng-stream",
+                "rng-stream",
+                "cloning an RNG duplicates its stream; two consumers of clones draw \
+                 identical values and silently correlate — derive a fresh salted stream \
+                 or use the per-node `NodeCtx` stream"
+                    .to_string(),
             );
         }
 
@@ -445,6 +575,92 @@ pub fn lint_enum_parity(file: &str, src: &str, targets: &[ParityTarget]) -> Vec<
                         ),
                     });
                 }
+            }
+        }
+    }
+    diags
+}
+
+/// One D7 check: a node dispatch function must either handle or *explicitly
+/// ignore* (name in a `=> {}` arm) every variant of a wire enum. Unlike D4,
+/// the enum and the handlers live in different files: a protocol crate grows
+/// a variant, and D7 forces every dispatch in every consuming crate to take a
+/// position on it — a wildcard `_ =>` arm silently swallowing new message
+/// kinds is exactly the bug class this rule exists to kill.
+pub struct HandlerTarget {
+    /// File declaring the wire enum (workspace-relative).
+    pub enum_file: &'static str,
+    /// Enum whose variants each handler must cover.
+    pub enum_name: &'static str,
+    /// File containing the dispatch functions (workspace-relative).
+    pub handler_file: &'static str,
+    /// Dispatch functions that must each mention every variant.
+    pub fns: &'static [&'static str],
+}
+
+/// Parse `enum <name>` variants out of raw source (D7 reads the enum from a
+/// different file than the handlers it checks).
+pub fn enum_variants_in(src: &str, name: &str) -> Option<Vec<String>> {
+    let tokens = tokenize(src);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    enum_variants(&code, name)
+}
+
+/// D7: handler exhaustiveness. Every variant in `variants` must be mentioned
+/// (`Enum::Variant` or `Self::Variant`) inside each named function of
+/// `handler_src`. The handler file's `allow(handler-parity)` annotations
+/// apply, keyed on the `fn` line — a dispatch that is a deliberate
+/// single-purpose demux can opt out with a reason.
+pub fn lint_handler_parity(
+    handler_file: &str,
+    handler_src: &str,
+    enum_name: &str,
+    variants: &[String],
+    fns: &[&str],
+) -> Vec<Diagnostic> {
+    let tokens = tokenize(handler_src);
+    // lint_source already reports malformed allow comments for this file;
+    // swallow the duplicates here and keep only the allow map.
+    let mut scratch = Vec::new();
+    let allow = collect_allows(handler_file, &tokens, &mut scratch);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut diags = Vec::new();
+
+    for fn_name in fns {
+        let Some((fn_line, body)) = fn_body(&code, fn_name) else {
+            diags.push(Diagnostic {
+                file: handler_file.to_string(),
+                line: 1,
+                rule: "D7/handler-parity".to_string(),
+                message: format!("expected `fn {fn_name}` in this file; not found"),
+            });
+            continue;
+        };
+        for variant in variants {
+            let mentioned = (0..body.len()).any(|i| {
+                seq_at(&body, i, &[enum_name, ":", ":", variant])
+                    || seq_at(&body, i, &["Self", ":", ":", variant])
+            });
+            if !mentioned {
+                push(
+                    &mut diags,
+                    &allow,
+                    handler_file,
+                    fn_line,
+                    "D7/handler-parity",
+                    "handler-parity",
+                    format!(
+                        "`fn {fn_name}` neither handles nor explicitly ignores \
+                         `{enum_name}::{variant}`; every wire variant must appear in the \
+                         dispatch (a wildcard arm silently swallows new message kinds)"
+                    ),
+                );
             }
         }
     }

@@ -1,0 +1,10 @@
+// D6 fixture: RNG stream construction, cloning, and OS entropy.
+fn streams(seed: u64, node: &NodeState, buf: &Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let other = StdRng::from_entropy();
+    let dup = rng.clone();
+    let shared = node.rngs.clone();
+    let data = buf.clone();
+    // rdv-lint: allow(rng-stream) -- fixture: pre-sim generator stream salt-split from the seed
+    let gen = StdRng::seed_from_u64(seed ^ 0xA5);
+}

@@ -1,0 +1,29 @@
+// D7 fixture: dispatches over the `Body` wire enum.
+enum Body {
+    Ping(u64),
+    Pong(u64),
+    Halt,
+}
+
+fn on_msg_good(b: &Body) {
+    match b {
+        Body::Ping(x) => reply(*x),
+        Body::Pong(_) => {}
+        // Halt is not ours: name it in an ignore arm so D7 stays satisfied.
+        Body::Halt => {}
+    }
+}
+
+fn on_msg_bad(b: &Body) {
+    match b {
+        Body::Ping(x) => reply(*x),
+        _ => {}
+    }
+}
+
+// rdv-lint: allow(handler-parity) -- fixture: single-purpose demux, every other variant is opaque
+fn on_msg_allowed(b: &Body) {
+    if let Body::Ping(x) = b {
+        reply(*x);
+    }
+}

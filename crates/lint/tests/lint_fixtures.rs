@@ -1,8 +1,10 @@
 //! Fixture tests: each rule fires with exact `file:line` diagnostics, the
 //! allow-comment escape hatch suppresses, and the real workspace is clean.
 
-use rdv_lint::rules::{lint_enum_parity, lint_source, LintConfig, ParityTarget};
-use rdv_lint::{lint_workspace, Diagnostic};
+use rdv_lint::rules::{
+    enum_variants_in, lint_enum_parity, lint_handler_parity, lint_source, LintConfig, ParityTarget,
+};
+use rdv_lint::{lint_workspace, to_json, Diagnostic};
 use std::path::Path;
 
 fn fixture(name: &str) -> String {
@@ -222,6 +224,98 @@ fn d4_reports_decode_missing_a_variant() {
     assert_eq!(locs(&diags), vec![(17, "D4/wire-parity")], "got: {diags:#?}");
     assert!(diags[0].message.contains("Frame::Data"));
     assert!(diags[0].message.contains("fn decode"));
+}
+
+#[test]
+fn d5_flags_engine_internals_outside_the_barrier_files() {
+    let diags = lint_source("d5_shard.rs", &fixture("d5_shard.rs"), &stub_cfg());
+    assert_eq!(
+        locs(&diags),
+        vec![
+            (3, "D5/shard-interference"),
+            (3, "D5/shard-interference"),
+            (4, "D5/shard-interference"),
+            (5, "D5/shard-interference"),
+            (6, "D5/shard-interference"),
+            (7, "D5/shard-interference"),
+            (8, "D5/shard-interference"),
+            (9, "D5/shard-interference"),
+        ],
+        "the allowed window-drive on line 11 must pass; got: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("outbox"), "fix hint names the sanctioned channel");
+}
+
+#[test]
+fn d5_and_d6_exempt_the_engine_internal_files() {
+    // The same source is a violation in node code but legitimate inside the
+    // engine's own barrier internals (the exemption is path-keyed).
+    let src = "fn seed(gid: u64) {\n    let key = EventKey { at: 0, src: 0, seq: 0 };\n    \
+               let rng = StdRng::seed_from_u64(gid);\n    self.queue.push(key, rng);\n}\n";
+    let hits = lint_source("crates/foo/src/node.rs", src, &stub_cfg());
+    assert_eq!(hits.len(), 2, "node code trips D5+D6: {hits:#?}");
+    for file in
+        ["crates/netsim/src/engine.rs", "crates/netsim/src/queue.rs", "crates/netsim/src/audit.rs"]
+    {
+        let diags = lint_source(file, src, &stub_cfg());
+        assert!(diags.is_empty(), "{file} is barrier-internal and exempt: {diags:#?}");
+    }
+}
+
+#[test]
+fn d6_flags_stream_construction_cloning_and_entropy() {
+    let diags = lint_source("d6_rng.rs", &fixture("d6_rng.rs"), &stub_cfg());
+    assert_eq!(
+        locs(&diags),
+        vec![
+            (3, "D6/rng-stream"),
+            (4, "D6/rng-stream"),
+            (5, "D6/rng-stream"),
+            (6, "D6/rng-stream"),
+        ],
+        "non-RNG clones (line 7) and the allowed generator stream (line 9) must pass; \
+         got: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("NodeCtx"), "fix hint names the per-node stream");
+    assert!(diags[2].message.contains("cloning an RNG"), "clone case gets its own message");
+}
+
+#[test]
+fn d7_reports_wildcard_dispatches_and_honors_allows() {
+    let src = fixture("d7_handlers.rs");
+    let variants = enum_variants_in(&src, "Body").expect("enum Body parses");
+    assert_eq!(variants, ["Ping", "Pong", "Halt"]);
+    let diags = lint_handler_parity(
+        "d7_handlers.rs",
+        &src,
+        "Body",
+        &variants,
+        &["on_msg_good", "on_msg_bad", "on_msg_allowed"],
+    );
+    assert_eq!(
+        locs(&diags),
+        vec![(17, "D7/handler-parity"), (17, "D7/handler-parity")],
+        "the exhaustive dispatch and the allowed demux must pass; got: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("Body::Pong"));
+    assert!(diags[1].message.contains("Body::Halt"));
+    assert!(diags[0].message.contains("fn on_msg_bad"));
+}
+
+#[test]
+fn json_output_is_stable_and_escaped() {
+    let diags = vec![Diagnostic {
+        file: "a.rs".to_string(),
+        line: 3,
+        rule: "D1/hash-order".to_string(),
+        message: "uses \"HashMap\"".to_string(),
+    }];
+    assert_eq!(
+        to_json(&diags),
+        "[\n  {\"file\": \"a.rs\", \"line\": 3, \"rule\": \"D1/hash-order\", \
+         \"message\": \"uses \\\"HashMap\\\"\"}\n]\n"
+    );
+    assert_eq!(to_json(&[]), "[]\n", "a clean run is an empty array, still valid JSON");
 }
 
 #[test]

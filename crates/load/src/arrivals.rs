@@ -96,10 +96,10 @@ impl ArrivalSchedule {
         assert!(spec.objects >= 1, "need at least one object");
         assert!(spec.duration.as_nanos() > 0, "empty arrival window");
 
-        let mut rng_times = StdRng::seed_from_u64(seed ^ SALT_TIMES);
-        let mut rng_thin = StdRng::seed_from_u64(seed ^ SALT_THIN);
-        let mut rng_client = StdRng::seed_from_u64(seed ^ SALT_CLIENT);
-        let mut rng_obj = StdRng::seed_from_u64(seed ^ SALT_OBJ);
+        let mut rng_times = StdRng::seed_from_u64(seed ^ SALT_TIMES); // rdv-lint: allow(rng-stream) -- open-loop generator sub-stream, salt-split from the scenario seed before the sim starts
+        let mut rng_thin = StdRng::seed_from_u64(seed ^ SALT_THIN); // rdv-lint: allow(rng-stream) -- open-loop generator sub-stream, salt-split from the scenario seed before the sim starts
+        let mut rng_client = StdRng::seed_from_u64(seed ^ SALT_CLIENT); // rdv-lint: allow(rng-stream) -- open-loop generator sub-stream, salt-split from the scenario seed before the sim starts
+        let mut rng_obj = StdRng::seed_from_u64(seed ^ SALT_OBJ); // rdv-lint: allow(rng-stream) -- open-loop generator sub-stream, salt-split from the scenario seed before the sim starts
 
         let zipf = Zipf::new(spec.objects, spec.zipf_skew_permille);
         let peak = spec.curve.peak_permille();

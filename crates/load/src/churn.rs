@@ -72,7 +72,7 @@ impl ChurnPool {
             if rate == 0 {
                 continue;
             }
-            let mut rng = StdRng::seed_from_u64(seed ^ salt);
+            let mut rng = StdRng::seed_from_u64(seed ^ salt); // rdv-lint: allow(rng-stream) -- per-phase churn sub-stream, salt-split from the scenario seed before the sim starts
             let mut at = start.as_nanos();
             loop {
                 at = at.saturating_add(exp_gap_ns(&mut rng, rate, 1000));
@@ -90,7 +90,7 @@ impl ChurnPool {
             next: 0,
             active: (0..spec.initial_active).collect(),
             next_id: spec.initial_active,
-            rng: StdRng::seed_from_u64(seed ^ 0x504F_4F4C),
+            rng: StdRng::seed_from_u64(seed ^ 0x504F_4F4C), // rdv-lint: allow(rng-stream) -- client-pool sub-stream, salt-split from the scenario seed before the sim starts
             joins: 0,
             leaves: 0,
         }
@@ -162,7 +162,7 @@ mod tests {
         pool.advance(SimTime::from_millis(1));
         assert_eq!(pool.leaves, 0);
         assert!(pool.active.is_empty());
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = StdRng::seed_from_u64(0); // rdv-lint: allow(rng-stream) -- test-local stream with a fixed seed; never crosses a node or shard boundary
         assert_eq!(pool.pick(&mut rng), None);
     }
 }

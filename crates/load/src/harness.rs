@@ -37,6 +37,11 @@ pub struct LoadFabricSpec {
     pub max_access_retries: u32,
     /// SLO window length for the derived series.
     pub slo_interval: SimTime,
+    /// Arm the engine's shard-ownership race detector for the run (see
+    /// `rdv_netsim::Sim::enable_shard_audit`). The detector reads state
+    /// only, so fingerprints are identical either way; soak suites turn
+    /// it on, figure generation leaves it off.
+    pub shard_audit: bool,
 }
 
 impl LoadFabricSpec {
@@ -51,6 +56,7 @@ impl LoadFabricSpec {
             access_timeout: SimTime::from_micros(200),
             max_access_retries: 8,
             slo_interval: SimTime::from_micros(50),
+            shard_audit: false,
         }
     }
 }
@@ -112,7 +118,7 @@ impl LoadRun {
         let schedule = ArrivalSchedule::generate(open, seed);
         let plan_batches = batches(&schedule, replog);
 
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x10AD);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x10AD); // rdv-lint: allow(rng-stream) -- workload-shape generator stream, salt-split from the scenario seed before the sim starts
         let writers = replog.writers as usize;
         let host_cfg = HostConfig {
             mode: DiscoveryMode::Controller,
@@ -174,6 +180,9 @@ impl LoadRun {
         let switch = NodeId(ids.len());
         if metrics {
             sim.enable_metrics(rdv_metrics::MetricsConfig::default());
+        }
+        if fabric.shard_audit {
+            sim.enable_shard_audit();
         }
 
         if let Some(blip) = blip {

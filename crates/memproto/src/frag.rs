@@ -258,7 +258,7 @@ mod tests {
             use rand::seq::SliceRandom;
             use rand::SeedableRng;
             let mut frags = fragment(42, &payload, mtu);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed); // rdv-lint: allow(rng-stream) -- test-local stream with a fixed seed; never crosses a node or shard boundary
             frags.shuffle(&mut rng);
             let mut r = Reassembler::new();
             let mut done = None;

@@ -68,6 +68,7 @@ impl TunnelNode {
 
 impl Node for TunnelNode {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        // rdv-lint: allow(shard-interference) -- TunnelNode's own outgoing-message buffer, not engine shard state
         let outbox = std::mem::take(&mut self.outbox);
         let peer = self.peer;
         for (i, inner) in outbox.into_iter().enumerate() {

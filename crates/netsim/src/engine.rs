@@ -36,6 +36,7 @@ use rdv_trace::{
     DropReason, EventId, EventKind as TraceKind, FaultKind, TraceCtx, Tracer, ENGINE_NODE,
 };
 
+use crate::audit::{ShardAudit, ShardAuditKind};
 use crate::fault::{FaultEvent, FaultPlan};
 use crate::link::{Direction, Link, LinkId, LinkRate, LinkSpec};
 use crate::node::{Node, NodeCtx, NodeId, PortId};
@@ -65,6 +66,24 @@ pub fn set_default_shards(n: usize) {
 /// The current process-wide default shard count.
 pub fn default_shards() -> usize {
     DEFAULT_SHARDS.load(Ordering::Relaxed).max(1)
+}
+
+/// Arm the shard-ownership race detector on every simulation created
+/// afterwards — how suites whose scenarios build simulations internally
+/// (chaos soak, shard-determinism, CI audit runs) run with
+/// [`Sim::enable_shard_audit`] on without plumbing a flag through each
+/// constructor. Mirrors [`set_default_shards`].
+static DEFAULT_SHARD_AUDIT: AtomicUsize = AtomicUsize::new(0);
+
+/// Set whether newly created simulations arm the shard-ownership race
+/// detector by default (see [`Sim::enable_shard_audit`]).
+pub fn set_default_shard_audit(on: bool) {
+    DEFAULT_SHARD_AUDIT.store(usize::from(on), Ordering::Relaxed);
+}
+
+/// The current process-wide shard-audit default.
+pub fn default_shard_audit() -> bool {
+    DEFAULT_SHARD_AUDIT.load(Ordering::Relaxed) != 0
 }
 
 /// Per-node RNG stream seed: the root seed xored with a golden-ratio
@@ -282,6 +301,9 @@ struct Shard {
     /// loop allocates nothing in steady state.
     scratch_sends: Vec<(PortId, Packet)>,
     scratch_timers: Vec<(SimTime, u64)>,
+    /// Ownership race detector state (see [`Sim::enable_shard_audit`]).
+    /// `None` unless armed: every check site costs one `is_some` branch.
+    audit: Option<Box<ShardAudit>>,
 }
 
 impl Shard {
@@ -302,6 +324,129 @@ impl Shard {
             outbox: Vec::new(),
             scratch_sends: Vec::new(),
             scratch_timers: Vec::new(),
+            audit: None,
+        }
+    }
+
+    /// shard-audit: tag the event being executed and assert this shard
+    /// owns its destination node's state. A mis-routed event (the bug an
+    /// outbox bypass plants) surfaces here even if the bypass itself went
+    /// unobserved — the non-owner ends up executing it.
+    #[track_caller]
+    fn audit_begin_event(&mut self, g: &Globals, key: EventKey, node: u32) {
+        let Some(a) = self.audit.as_deref_mut() else { return };
+        a.current = Some(key);
+        let owner = g.node_loc[node as usize].0;
+        if owner != self.idx as u32 {
+            a.record(
+                ShardAuditKind::ForeignState,
+                key.at,
+                self.idx as u32,
+                owner,
+                format!("executed an event for node {node}, whose state shard {owner} owns"),
+            );
+        }
+    }
+
+    /// shard-audit: resolve the RNG slot for a dispatch (applying any
+    /// seeded alias fault) and assert the stream belongs to the node
+    /// being dispatched. Returns the slot the dispatch must draw from.
+    #[track_caller]
+    fn audit_check_rng(&mut self, gid: u32, local: usize) -> usize {
+        let Some(a) = self.audit.as_deref_mut() else { return local };
+        let slot = match a.rng_alias {
+            Some((from, to)) if from == local => to,
+            _ => local,
+        };
+        let owner = a.rng_owner[slot];
+        if owner != gid {
+            let at = self.clock_ns;
+            let shard = self.idx as u32;
+            a.record(
+                ShardAuditKind::RngStreamShared,
+                at,
+                shard,
+                shard,
+                format!("dispatch for node {gid} drew from the RNG stream owned by node {owner}"),
+            );
+        }
+        slot
+    }
+
+    /// shard-audit: vet one routed send. Applies any seeded fault (outbox
+    /// bypass, lookahead violation), then asserts the cross-shard
+    /// discipline: an event pushed onto the local queue must target a
+    /// node this shard owns, and a cross-shard event produced inside a
+    /// parallel window must be due no earlier than the window's end (the
+    /// conservative-lookahead contract). Returns whether the event goes
+    /// onto the local queue.
+    #[track_caller]
+    fn audit_route_send(
+        &mut self,
+        key: &mut EventKey,
+        dst: u32,
+        dst_shard: u32,
+        to_self: bool,
+    ) -> bool {
+        let Some(a) = self.audit.as_deref_mut() else { return to_self };
+        let mut to_self = to_self;
+        if a.fault_bypass_outbox && !to_self {
+            // Seeded bug: skip the outbox and push straight onto our
+            // own queue, as a broken routing path would.
+            a.fault_bypass_outbox = false;
+            to_self = true;
+        }
+        if a.fault_violate_lookahead && !to_self && a.in_window {
+            // Seeded bug: schedule the cross-shard arrival "now",
+            // ignoring the link latency that funds the lookahead.
+            a.fault_violate_lookahead = false;
+            key.at = self.clock_ns;
+        }
+        if to_self {
+            if dst_shard != self.idx as u32 {
+                a.record(
+                    ShardAuditKind::OutboxBypass,
+                    key.at,
+                    self.idx as u32,
+                    dst_shard,
+                    format!(
+                        "event for node {dst} (owned by shard {dst_shard}) pushed onto shard {}'s \
+                         local queue, skipping the outbox barrier",
+                        self.idx
+                    ),
+                );
+            }
+        } else if a.in_window && key.at < a.window_end_ns {
+            a.record(
+                ShardAuditKind::LookaheadViolation,
+                key.at,
+                self.idx as u32,
+                dst_shard,
+                format!(
+                    "cross-shard event for node {dst} due at t={}ns, inside the current window \
+                     (end {}ns) — the destination may already have executed past it",
+                    key.at, a.window_end_ns
+                ),
+            );
+        }
+        to_self
+    }
+
+    /// shard-audit: assert a timer being armed belongs to a node this
+    /// shard owns (timers are always local state; a foreign one means
+    /// the dispatch itself ran on the wrong shard).
+    #[track_caller]
+    fn audit_check_timer(&mut self, g: &Globals, gid: u32, at: u64) {
+        let Some(a) = self.audit.as_deref_mut() else { return };
+        let owner = g.node_loc[gid as usize].0;
+        if owner != self.idx as u32 {
+            a.record(
+                ShardAuditKind::ForeignState,
+                at,
+                self.idx as u32,
+                owner,
+                format!("armed a timer for node {gid}, whose state shard {owner} owns"),
+            );
         }
     }
 
@@ -333,6 +478,12 @@ impl Shard {
         let (key, ev) = self.queue.pop().expect("caller peeked an event");
         debug_assert!(key.at >= self.clock_ns, "time must not run backwards");
         self.clock_ns = key.at;
+        if self.audit.is_some() {
+            let node = match &ev.kind {
+                EvKind::Deliver { node, .. } | EvKind::Timer { node, .. } => *node,
+            };
+            self.audit_begin_event(g, key, node);
+        }
         self.counters.inc_id(SIM_EVENTS);
         match ev.kind {
             EvKind::Deliver { node, port, packet, epoch } => {
@@ -402,6 +553,7 @@ impl Shard {
         f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>),
     ) {
         let local = g.node_loc[gid as usize].1 as usize;
+        let rng_slot = if self.audit.is_some() { self.audit_check_rng(gid, local) } else { local };
         let mut sends = std::mem::take(&mut self.scratch_sends);
         let mut timers = std::mem::take(&mut self.scratch_timers);
         sends.clear();
@@ -413,7 +565,7 @@ impl Shard {
                 NodeId(gid as usize),
                 SimTime::from_nanos(self.clock_ns),
                 g.ports[gid as usize].len(),
-                &mut self.rngs[local],
+                &mut self.rngs[rng_slot],
                 trace,
                 &mut sends,
                 &mut timers,
@@ -553,7 +705,7 @@ impl Shard {
                         enq,
                         None,
                     );
-                    let key = self.next_key(arrival.as_nanos(), gid, local);
+                    let mut key = self.next_key(arrival.as_nanos(), gid, local);
                     let data = EvData {
                         kind: EvKind::Deliver {
                             node: dst.0 as u32,
@@ -564,7 +716,11 @@ impl Shard {
                         trace,
                     };
                     let dst_shard = g.node_loc[dst.0].0;
-                    if dst_shard as usize == self.idx {
+                    let mut to_self = dst_shard as usize == self.idx;
+                    if self.audit.is_some() {
+                        to_self = self.audit_route_send(&mut key, dst.0 as u32, dst_shard, to_self);
+                    }
+                    if to_self {
                         self.queue.push(key, data);
                     } else {
                         self.outbox.push((dst_shard, key, data));
@@ -588,6 +744,9 @@ impl Shard {
             self.pending_timers[local] += 1;
             let trace = rec(hooks, self.clock_ns, gid, TraceKind::TimerSet { tag }, cause, None);
             let key = self.next_key(at.as_nanos(), gid, local);
+            if self.audit.is_some() {
+                self.audit_check_timer(g, gid, key.at);
+            }
             self.queue.push(key, EvData { kind: EvKind::Timer { node: gid, tag, epoch }, trace });
         }
     }
@@ -635,6 +794,10 @@ pub struct Sim {
     shard_telemetry: bool,
     /// Test-only imbalance injected by [`Sim::debug_leak_inflight`].
     inflight_leak: i64,
+    /// Shard-ownership race detector armed (see
+    /// [`Sim::enable_shard_audit`]). Off by default: every check site in
+    /// the event loop is a single branch.
+    audit_armed: bool,
     /// Minimum latency over cross-shard links (ns) — the conservative
     /// lookahead bound. `u64::MAX` when no link crosses shards.
     lookahead_ns: u64,
@@ -656,7 +819,7 @@ impl Sim {
     /// Create an empty simulation.
     pub fn new(cfg: SimConfig) -> Sim {
         let nshards = if cfg.shards == 0 { default_shards() } else { cfg.shards }.max(1);
-        Sim {
+        let mut sim = Sim {
             cfg,
             nshards,
             clock: SimTime::ZERO,
@@ -683,13 +846,18 @@ impl Sim {
             metrics: MetricSet::disabled(),
             shard_telemetry: false,
             inflight_leak: 0,
+            audit_armed: false,
             lookahead_ns: u64::MAX,
             zero_lookahead: false,
             merge_buf: Vec::new(),
             crash_trace: Vec::new(),
             link_fault_trace: Vec::new(),
             partition_fault_trace: Vec::new(),
+        };
+        if default_shard_audit() {
+            sim.enable_shard_audit();
         }
+        sim
     }
 
     /// Number of shards this simulation partitions its nodes across.
@@ -762,6 +930,101 @@ impl Sim {
         self.inflight_leak += 1;
     }
 
+    /// Arm the shard-ownership race detector (the dynamic half of
+    /// rdv-audit; see `DESIGN.md §11` and [`crate::audit`]). Every
+    /// mutable access to node, link, timer, RNG, and queue state is
+    /// tagged with its `(shard, window)` and checked at the access site:
+    /// only the owner shard may touch it, cross-shard effects must route
+    /// through the outbox barrier, and cross-shard schedule times must
+    /// respect the conservative-lookahead bound. The first violation
+    /// aborts the run via [`std::panic::panic_any`] with a typed
+    /// [`crate::audit::ShardAuditViolation`] payload carrying the engine
+    /// `file:line` of the failed check, the sim time, and the event key
+    /// being executed.
+    ///
+    /// Disabled (the default), each check site costs one branch. Armed,
+    /// the detector reads state only — a clean armed run is
+    /// byte-identical to an unarmed one for every `--shards` count.
+    pub fn enable_shard_audit(&mut self) {
+        self.audit_armed = true;
+        for s in self.shards.iter_mut() {
+            if s.audit.is_none() {
+                let mut a = Box::new(ShardAudit::new());
+                a.rng_owner = s.gids.clone();
+                s.audit = Some(a);
+            }
+        }
+    }
+
+    /// True when the shard-ownership race detector is armed.
+    pub fn shard_audit_enabled(&self) -> bool {
+        self.audit_armed
+    }
+
+    /// Seed an outbox-bypass bug: the next cross-shard send is pushed
+    /// straight onto the producing shard's local queue, skipping the
+    /// outbox barrier — the mutation seeded-violation tests use to prove
+    /// the armed detector catches discipline (2). Requires
+    /// [`Sim::enable_shard_audit`]. Not part of the public API.
+    #[doc(hidden)]
+    pub fn debug_audit_bypass_outbox(&mut self) {
+        assert!(self.audit_armed, "arm shard-audit first (enable_shard_audit)");
+        for s in self.shards.iter_mut() {
+            if let Some(a) = s.audit.as_deref_mut() {
+                a.fault_bypass_outbox = true;
+            }
+        }
+    }
+
+    /// Seed a lookahead bug: the next cross-shard send produced inside a
+    /// parallel window is scheduled at the sender's current clock,
+    /// ignoring the link latency that funds the lookahead — the mutation
+    /// seeded-violation tests use to prove the armed detector catches
+    /// discipline (3). Requires [`Sim::enable_shard_audit`]. Not part of
+    /// the public API.
+    #[doc(hidden)]
+    pub fn debug_audit_violate_lookahead(&mut self) {
+        assert!(self.audit_armed, "arm shard-audit first (enable_shard_audit)");
+        for s in self.shards.iter_mut() {
+            if let Some(a) = s.audit.as_deref_mut() {
+                a.fault_violate_lookahead = true;
+            }
+        }
+    }
+
+    /// Seed a shared-RNG-stream bug: dispatches for `victim` draw from
+    /// `donor`'s per-node stream — the mutation seeded-violation tests
+    /// use to prove the armed detector catches RNG stream discipline.
+    /// Both nodes must live on the same shard (co-locate them with
+    /// [`Sim::add_node_in_region`]). Requires
+    /// [`Sim::enable_shard_audit`]. Not part of the public API.
+    #[doc(hidden)]
+    pub fn debug_audit_share_rng(&mut self, donor: NodeId, victim: NodeId) {
+        assert!(self.audit_armed, "arm shard-audit first (enable_shard_audit)");
+        let (sd, ld) = self.globals.node_loc[donor.0];
+        let (sv, lv) = self.globals.node_loc[victim.0];
+        assert_eq!(sd, sv, "debug_audit_share_rng: nodes must share a shard");
+        if let Some(a) = self.shards[sd as usize].audit.as_deref_mut() {
+            a.rng_alias = Some((lv as usize, ld as usize));
+        }
+    }
+
+    /// Panic with the first recorded shard-audit violation, if any check
+    /// tripped since the last coordination point. Violations are
+    /// recorded (and printed) at the access site on worker threads, but
+    /// raised here on the coordinator so the typed payload survives
+    /// `thread::scope` and reaches `catch_unwind` intact.
+    fn audit_check_barrier(&mut self) {
+        if !self.audit_armed {
+            return;
+        }
+        for s in self.shards.iter_mut() {
+            if let Some(v) = s.audit.as_deref_mut().and_then(|a| a.violation.take()) {
+                std::panic::panic_any(v);
+            }
+        }
+    }
+
     /// The nodes' [`Node::name`]s in id order — the track labels trace
     /// exporters want.
     pub fn node_names(&self) -> Vec<String> {
@@ -805,6 +1068,9 @@ impl Sim {
         shard.gids.push(gid as u32);
         shard.nodes.push(node);
         shard.rngs.push(StdRng::seed_from_u64(node_stream_seed(self.cfg.seed, gid as u64)));
+        if let Some(a) = shard.audit.as_deref_mut() {
+            a.rng_owner.push(gid as u32);
+        }
         shard.node_seq.push(0);
         shard.pending_timers.push(0);
         NodeId(gid)
@@ -1063,6 +1329,7 @@ impl Sim {
         // Sends from this dispatch may target other shards; deliver them
         // now — the next outbox drain could be windows away.
         self.drain_outboxes();
+        self.audit_check_barrier();
     }
 
     /// Move every shard's outbox into the destination shard queues. Pop
@@ -1171,6 +1438,7 @@ impl Sim {
             }
         }
         self.refresh_counters();
+        self.audit_check_barrier();
         processed
     }
 
@@ -1215,6 +1483,7 @@ impl Sim {
         if self.nshards > 1 {
             self.drain_outboxes();
         }
+        self.audit_check_barrier();
     }
 
     /// Parallel mode: run one conservative-lookahead window starting at
@@ -1235,6 +1504,16 @@ impl Sim {
         // is bounded by one window and the panic fires at the next
         // barrier, exactly like the serial loop's check.
         let cap = self.cfg.max_events.saturating_sub(self.events).max(1);
+        if self.audit_armed {
+            // Tag the window every access inside it will be checked
+            // against: the lookahead bound only binds in-window sends.
+            for s in self.shards.iter_mut() {
+                if let Some(a) = s.audit.as_deref_mut() {
+                    a.window_end_ns = end;
+                    a.in_window = true;
+                }
+            }
+        }
         let mut spawned = 0u64;
         {
             let g = &self.globals;
@@ -1273,6 +1552,15 @@ impl Sim {
         self.exec.inc_id(SIM_SHARD_WINDOWS);
         self.exec.add_id(SIM_SHARD_XSHARD_PACKETS, moved);
         self.exec.add_id(SIM_SHARD_WORKER_SPAWNS, spawned);
+        if self.audit_armed {
+            for s in self.shards.iter_mut() {
+                if let Some(a) = s.audit.as_deref_mut() {
+                    a.window_end_ns = u64::MAX;
+                    a.in_window = false;
+                }
+            }
+            self.audit_check_barrier();
+        }
         done
     }
 

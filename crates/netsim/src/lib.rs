@@ -30,10 +30,16 @@
 //!   registered gauges (link queues, utilization, per-node state exposed
 //!   through [`node::Node::sample_metrics`]) on a fixed sim-time cadence
 //!   and runs the live invariant monitor ([`node::Node::audit`]).
+//! - [`audit`] — shard-ownership race detector: when armed via
+//!   [`engine::Sim::enable_shard_audit`], every mutable access to node,
+//!   link, timer, RNG, and queue state is checked against the sharded
+//!   engine's ownership, outbox, and lookahead disciplines, and the
+//!   first violation aborts with a typed [`audit::ShardAuditViolation`].
 #![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod engine;
 pub mod fault;
 pub mod link;
@@ -47,7 +53,11 @@ pub mod topo;
 pub use rdv_metrics as metrics;
 pub use rdv_trace as trace;
 
-pub use engine::{default_shards, set_default_shards, Sim, SimConfig};
+pub use audit::{ShardAuditKind, ShardAuditViolation};
+pub use engine::{
+    default_shard_audit, default_shards, set_default_shard_audit, set_default_shards, Sim,
+    SimConfig,
+};
 pub use fault::{FaultEvent, FaultPlan};
 pub use link::LinkSpec;
 pub use node::{Node, NodeCtx, NodeId, PortId};

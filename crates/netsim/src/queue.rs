@@ -250,6 +250,100 @@ mod tests {
     }
 
     #[test]
+    fn overflow_jump_then_ring_reuse() {
+        // Only far-future items: the calendar must jump straight to the
+        // overflow's first bucket instead of stepping the ring through
+        // millions of empty buckets — and after the jump, new pushes must
+        // still resolve ring slots relative to the new current bucket.
+        let mut q: CalendarQueue<&str> = CalendarQueue::new(64, 8);
+        q.push(key(1 << 50, 1, 0), "far-b");
+        q.push(key(1 << 40, 1, 1), "far-a");
+        assert_eq!(q.pop(), Some((key(1 << 40, 1, 1), "far-a")));
+        // The queue now sits at bucket (1<<40)>>shift; a near-future push
+        // relative to that time must land in the ring, not the overflow,
+        // and pop before the remaining far item.
+        q.push(key((1 << 40) + 100, 2, 0), "near");
+        assert_eq!(q.pop(), Some((key((1 << 40) + 100, 2, 0), "near")));
+        assert_eq!(q.pop(), Some((key(1 << 50, 1, 0), "far-b")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ring_horizon_boundary_is_inclusive() {
+        // With width 64 and 4 buckets, an item exactly `buckets` ahead is
+        // the last one the ring accepts; one bucket further overflows.
+        // Both must pop in key order regardless of which store they hit —
+        // this pins the `<=` in the horizon check, where an off-by-one
+        // would misfile the boundary bucket and (with a slot collision)
+        // drain it a full ring revolution early.
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(64, 4);
+        q.push(key(64 * 4 + 1, 0, 0), 1); // last ring bucket
+        q.push(key(64 * 5 + 1, 0, 1), 2); // first overflow bucket
+        q.push(key(1, 0, 2), 0);
+        assert_eq!(q.pop(), Some((key(1, 0, 2), 0)));
+        assert_eq!(q.pop(), Some((key(64 * 4 + 1, 0, 0), 1)));
+        assert_eq!(q.pop(), Some((key(64 * 5 + 1, 0, 1), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_slot_different_revolutions_stay_separated() {
+        // Buckets `cur+1` and `cur+1+len` map to the same ring slot on
+        // consecutive revolutions. The second lives in the overflow until
+        // the first revolution passes; popping must never surface it a
+        // revolution early.
+        let mut q: CalendarQueue<&str> = CalendarQueue::new(64, 4);
+        q.push(key(64 + 1, 0, 0), "rev0");
+        q.push(key(64 * 5 + 1, 0, 1), "rev1");
+        assert_eq!(q.pop(), Some((key(64 + 1, 0, 0), "rev0")));
+        assert_eq!(q.pop(), Some((key(64 * 5 + 1, 0, 1), "rev1")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_delay_push_into_the_current_bucket_keeps_order() {
+        // A node handling an event at `t` may schedule another event at
+        // the same `t` (zero-delay self-send). That push targets a bucket
+        // the calendar has already advanced into; it must land in the
+        // current heap and pop in (src, seq) order with its peers.
+        let mut q: CalendarQueue<u32> = CalendarQueue::new(64, 4);
+        q.push(key(1000, 5, 0), 0);
+        q.push(key(1000, 7, 0), 1);
+        assert_eq!(q.pop(), Some((key(1000, 5, 0), 0)));
+        // "Now" is 1000; a same-time push from a lower source stream must
+        // still pop before the queued higher-stream event.
+        q.push(key(1000, 6, 0), 2);
+        assert_eq!(q.pop(), Some((key(1000, 6, 0), 2)));
+        assert_eq!(q.pop(), Some((key(1000, 7, 0), 1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_time_ties_drain_by_source_then_sequence() {
+        // Many events due at the same instant, pushed in descending key
+        // order, spread so the tie group crosses the ring→current-heap
+        // transfer: pop order must be exactly (src, seq) — the canonical
+        // order the sharded engine's determinism proof leans on.
+        let mut q: CalendarQueue<usize> = CalendarQueue::new(64, 8);
+        let mut keys = Vec::new();
+        for src in (0..6u32).rev() {
+            for seq in (0..3u64).rev() {
+                keys.push(key(128, src, seq));
+            }
+        }
+        for (i, k) in keys.iter().enumerate() {
+            q.push(*k, i);
+        }
+        let mut want = keys.clone();
+        want.sort();
+        let mut got = Vec::new();
+        while let Some((k, _)) = q.pop() {
+            got.push(k);
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
     fn peek_agrees_with_pop() {
         let mut q: CalendarQueue<&str> = CalendarQueue::new(1, 4);
         q.push(key(1 << 40, 0, 0), "far");

@@ -140,7 +140,7 @@ pub struct SparseModel {
 impl SparseModel {
     /// Deterministically generate a model from `spec`.
     pub fn generate(spec: &SparseModelSpec) -> SparseModel {
-        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut rng = StdRng::seed_from_u64(spec.seed); // rdv-lint: allow(rng-stream) -- sparse-model generator stream, derived from the model spec's own seed field
         let vocab = (0..spec.vocab).map(|i| format!("feat_{i}_{:08x}", rng.gen::<u32>())).collect();
         let layers = (0..spec.layers)
             .map(|l| {

@@ -11,11 +11,16 @@ collide), and either
 
     --record   writes results/bench_baseline.json (median ns + events/s), or
     (default)  compares the fresh run against the recorded baseline and
-               *warns* -- never fails -- when events/s dropped by more than
-               25%. Bench boxes in CI are noisy; the warning is a nudge to
-               look, not a gate.
+               *warns* when events/s dropped by more than 25%. Bench boxes
+               in CI are noisy; the warning is a nudge to look, not a gate.
 
-Exit code is 0 in check mode unless a bench itself failed to run.
+The exception is the groups in FAIL_PCT: the engine hot path is the one
+place a silent slowdown compounds into every figure and soak, so a drop
+beyond its (much looser) threshold fails the run outright -- a 40% cliff
+is a lost optimisation, not box noise.
+
+Exit code is 0 in check mode unless a bench itself failed to run or a
+FAIL_PCT group regressed past its threshold.
 """
 
 import json
@@ -28,6 +33,9 @@ ROOT = Path(__file__).resolve().parent.parent
 BASELINE = ROOT / "results" / "bench_baseline.json"
 BENCHES = ["engine_hotpath", "engine_shards", "load_gen"]
 REGRESSION_PCT = 25
+# Per-group hard gates, keyed by the group prefix (the part of the
+# benchmark name before "/"). Groups not listed here stay warn-only.
+FAIL_PCT = {"engine_hotpath": 40}
 
 LINE = re.compile(
     r"^(?P<name>\S+)\s+time: \[(?P<lo>[\d.]+) (?P<lou>\S+) "
@@ -97,20 +105,32 @@ def check(results: list[dict]) -> None:
     fresh = {r["name"]: r for r in results}
     for name in sorted(set(fresh) - set(baseline)):
         print(f"::warning::benchmark {name} ran but has no baseline entry; re-record")
+    failures = []
     for name, base in sorted(baseline.items()):
         if name not in fresh:
             print(f"::warning::benchmark {name} is in the baseline but did not run")
             continue
         was, now = base["events_per_s"], fresh[name]["events_per_s"]
         delta_pct = (now - was) * 100.0 / was
+        fail_pct = FAIL_PCT.get(name.split("/", 1)[0])
         verdict = "ok"
-        if delta_pct < -REGRESSION_PCT:
+        if fail_pct is not None and delta_pct < -fail_pct:
+            verdict = f"REGRESSION (gated at {fail_pct}%)"
+            failures.append(name)
+            print(
+                f"::error::{name}: {now / 1e6:.2f} Melem/s is "
+                f"{-delta_pct:.0f}% below the recorded {was / 1e6:.2f} Melem/s "
+                f"(hard gate: {fail_pct}%)"
+            )
+        elif delta_pct < -REGRESSION_PCT:
             verdict = "REGRESSION (warn-only)"
             print(
                 f"::warning::{name}: {now / 1e6:.2f} Melem/s is "
                 f"{-delta_pct:.0f}% below the recorded {was / 1e6:.2f} Melem/s"
             )
         print(f"{name}: {was / 1e6:.2f} -> {now / 1e6:.2f} Melem/s ({delta_pct:+.0f}%) {verdict}")
+    if failures:
+        sys.exit(f"{len(failures)} gated benchmark group regression(s): {', '.join(failures)}")
 
 
 def main() -> None:

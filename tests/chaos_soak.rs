@@ -177,8 +177,10 @@ fn run_transport_scenario(seed: u64, sc: &TransportScenario, shards: usize) -> S
     let b = sim.add_node(Box::new(PipeNode::new(ObjId(0xB), ObjId(0xA), 0, cfg)));
     sim.connect(a, b, LinkSpec::rack().with_loss(sc.loss_permille));
     // The live invariant monitor audits every tick and panics on any
-    // violation, so the soak doubles as its acceptance run.
+    // violation, so the soak doubles as its acceptance run — and the
+    // shard-ownership race detector rides along on every scenario.
     sim.enable_metrics(MetricsConfig::default());
+    sim.enable_shard_audit();
     sim.install_fault_plan(&sc.plan);
     sim.run_until_idle();
 
@@ -333,6 +335,7 @@ fn run_fabric_scenario(seed: u64, sc: &FabricScenario, shards: usize) -> FabricO
     let (mut sim, ids) = build_star_fabric_sharded(seed, shards, nodes, &obj_routes);
     let switch = NodeId(ids.len());
     sim.enable_metrics(MetricsConfig::default());
+    sim.enable_shard_audit();
 
     // Faults: loss burst on the driver's uplink, partition around one
     // holder, crash (± restart) of another.
@@ -631,6 +634,7 @@ fn gen_churn_partition_scenario(seed: u64) -> LoadScenario {
 fn run_load_scenario(seed: u64, sc: &LoadScenario, shards: usize) -> String {
     let mut fabric = sc.fabric;
     fabric.shards = shards;
+    fabric.shard_audit = true;
     let run = LoadRun::execute(&fabric, &sc.open, &sc.replog, Some(&sc.blip), seed, false);
     assert!(run.scheduled_batches > 0, "seed {seed}: scenario offered no load");
     assert_eq!(

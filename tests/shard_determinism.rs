@@ -11,7 +11,7 @@
 
 use rdv_bench::experiments;
 use rdv_core::scenarios::{run_lossy_invoke, LossyConfig};
-use rdv_netsim::set_default_shards;
+use rdv_netsim::{set_default_shard_audit, set_default_shards};
 
 /// Everything a full artifact regeneration produces, as one big byte
 /// bundle: F3 and F4 figure series, their telemetry-plane exports, the F3
@@ -43,6 +43,11 @@ fn regenerate_artifacts() -> Vec<(&'static str, String)> {
 
 #[test]
 fn every_artifact_is_byte_identical_across_shard_counts() {
+    // Ride the whole sweep with the shard-ownership race detector armed:
+    // it reads state only, so artifacts must still come out identical —
+    // and any ownership bug the sweep would otherwise surface as an
+    // opaque byte diff aborts with a located diagnostic instead.
+    set_default_shard_audit(true);
     set_default_shards(1);
     let flat = regenerate_artifacts();
     for shards in [2usize, 8] {
@@ -54,4 +59,5 @@ fn every_artifact_is_byte_identical_across_shard_counts() {
             assert_eq!(a, b, "artifact {name} diverged at --shards {shards}");
         }
     }
+    set_default_shard_audit(false);
 }
