@@ -1,5 +1,11 @@
 //! F3 — Figure 3: *"E2E RTT as cache gets stale due to movement"* — mean
 //! access time climbs from 1 towards 2 RTTs; variability peaks mid-sweep.
+//!
+//! Two ablation arms ride along: NACK-rediscover (staleness found by a
+//! 3-leg NACK instead of move-time invalidation) and journal gossip
+//! (ISSUE 9: migrations propagate via `rdv-gossip` anti-entropy and
+//! stale routes repair from the local journal — the broadcast knee
+//! flattens to zero while staying under the NACK arm's latency).
 
 use rdv_discovery::{DiscoveryMode, ScenarioConfig, ScenarioKind, StalenessMode};
 
@@ -7,13 +13,22 @@ use crate::par::par_map;
 use crate::report::{f1, Series};
 
 /// Sweep 0–90 % of accesses to moved objects; also report the
-/// NACK-rediscover ablation.
+/// NACK-rediscover and journal-gossip ablations.
 pub fn run(quick: bool) -> Series {
     let accesses = if quick { 100 } else { 400 };
     let mut series = Series::new(
         "F3",
         "E2E access time vs % accesses to moved objects (paper Fig. 3)",
-        &["moved%", "mean_us", "stddev_us", "p99_us", "bcast/100", "nack_mode_mean_us"],
+        &[
+            "moved%",
+            "mean_us",
+            "stddev_us",
+            "p99_us",
+            "bcast/100",
+            "nack_mode_mean_us",
+            "gossip_mean_us",
+            "gossip_bcast/100",
+        ],
     );
     // Independent simulations per point: fan out, collect in point order.
     let rows = par_map((0..=90).step_by(10).collect(), |pct_moved| {
@@ -31,8 +46,14 @@ pub fn run(quick: bool) -> Series {
             staleness: StalenessMode::NackRediscover,
             ..base
         });
+        let gossip = rdv_discovery::scenario::run_discovery(&ScenarioConfig {
+            staleness: StalenessMode::InvalidateOnMove,
+            gossip: true,
+            ..base
+        });
         assert_eq!(inv.incomplete, 0);
         assert_eq!(nack.incomplete, 0);
+        assert_eq!(gossip.incomplete, 0);
         let mut rtt = inv.rtt;
         vec![
             pct_moved.to_string(),
@@ -41,6 +62,8 @@ pub fn run(quick: bool) -> Series {
             f1(rtt.percentile(99.0) as f64 / 1000.0),
             f1(inv.broadcasts_per_100),
             f1(nack.rtt.mean() / 1000.0),
+            f1(gossip.rtt.mean() / 1000.0),
+            f1(gossip.broadcasts_per_100),
         ]
     });
     for row in rows {
@@ -48,6 +71,11 @@ pub fn run(quick: bool) -> Series {
     }
     series.note("paper shape: mean climbs 1→2 RTT; variability peaks mid-sweep then drops");
     series.note("nack_mode = ablation where staleness is discovered by NACK (3 legs) instead of move-time invalidation");
+    series.note(
+        "gossip = journal-synchronized discovery (ISSUE 9): migrations ride anti-entropy \
+         rounds and stale routes repair from the local journal, so the broadcast knee \
+         flattens to zero while the mean stays under the NACK arm",
+    );
     series
 }
 
@@ -69,6 +97,14 @@ mod tests {
         // The NACK ablation is at least as expensive everywhere stale.
         for row in 1..10 {
             assert!(get(row, 5) >= get(row, 1) * 0.95, "row {row}");
+        }
+        // Gossip flattens the broadcast knee to zero at every staleness
+        // level, and its repair path stays under the NACK ablation.
+        for row in 0..10 {
+            assert_eq!(get(row, 7), 0.0, "gossip must never broadcast (row {row})");
+        }
+        for row in 1..10 {
+            assert!(get(row, 6) <= get(row, 5), "journal repair beats NACK rediscovery, row {row}");
         }
     }
 }

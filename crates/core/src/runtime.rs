@@ -1227,14 +1227,17 @@ impl Node for GasHostNode {
             // Explicitly ignored (D7): image requests we cannot serve and
             // no-op directory invalidations fall through their guards above;
             // read responses complete via the watchdog path; discovery,
-            // controller advertisements, upgrade coherence, and
-            // reliable-transport frames are other node kinds' protocols.
+            // gossip anti-entropy, controller advertisements, upgrade
+            // coherence, and reliable-transport frames are other node
+            // kinds' protocols.
             MsgBody::ObjImageReq { .. }
             | MsgBody::DirInvalidate { .. }
             | MsgBody::ReadResp { .. }
             | MsgBody::DiscoverReq { .. }
             | MsgBody::DiscoverResp { .. }
             | MsgBody::Advertise { .. }
+            | MsgBody::GossipDigest { .. }
+            | MsgBody::GossipDelta { .. }
             | MsgBody::UpgradeReq { .. }
             | MsgBody::UpgradeAck { .. }
             | MsgBody::RelData { .. }

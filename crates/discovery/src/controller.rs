@@ -131,7 +131,11 @@ impl Node for ControllerNode {
             | MsgBody::Invoke { .. }
             | MsgBody::InvokeResult { .. }
             | MsgBody::RelData { .. }
-            | MsgBody::RelAck { .. } => {}
+            | MsgBody::RelAck { .. }
+            // Gossip anti-entropy is host-to-host; the controller scheme
+            // never participates.
+            | MsgBody::GossipDigest { .. }
+            | MsgBody::GossipDelta { .. } => {}
         }
     }
 

@@ -3,19 +3,32 @@
 //! §4: *"hosts store a destination cache, recording a map of object IDs and
 //! hosts that it must use broadcast to discover on first access"*. Entries
 //! go stale when objects move; [`DestCache`] tracks hit/miss/invalidation
-//! counts for the Figure 2/3 sweeps.
+//! counts for the Figure 2/3 sweeps. An optional TTL ages entries out on
+//! the sim clock — an entry is dead **exactly at** `inserted + ttl` — and a
+//! hit refreshes the window (a route that keeps answering keeps its
+//! entry). [`DestCache::purge_holder`] drops every entry pointing at a
+//! crashed host so nothing repairs from a dead epoch.
 
 use rdv_det::DetMap;
 
+use rdv_netsim::SimTime;
 use rdv_objspace::ObjId;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    holder: ObjId,
+    used: u64,
+    inserted: SimTime,
+}
 
 /// A host's object-location cache, optionally bounded (LRU eviction) —
 /// the paper notes that *"memory constraints may impose limits"* on
 /// location state; hosts have the same problem as switches.
 #[derive(Debug, Default)]
 pub struct DestCache {
-    map: DetMap<ObjId, (ObjId, u64)>,
+    map: DetMap<ObjId, Entry>,
     capacity: Option<usize>,
+    ttl: Option<SimTime>,
     tick: u64,
     /// Lookups that found an entry.
     pub hits: u64,
@@ -25,6 +38,8 @@ pub struct DestCache {
     pub invalidations: u64,
     /// Entries dropped by LRU pressure.
     pub evictions: u64,
+    /// Entries dropped because their TTL ran out at lookup time.
+    pub expirations: u64,
 }
 
 impl DestCache {
@@ -38,6 +53,14 @@ impl DestCache {
         DestCache { capacity: Some(capacity.max(1)), ..Default::default() }
     }
 
+    /// Age entries out `ttl` after insertion (or after the last
+    /// refreshing hit). The boundary is exclusive on the live side: an
+    /// entry looked up at exactly `inserted + ttl` is already expired.
+    pub fn with_ttl(mut self, ttl: SimTime) -> DestCache {
+        self.ttl = Some(ttl);
+        self
+    }
+
     /// Entries currently cached.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -49,14 +72,15 @@ impl DestCache {
     }
 
     /// Look up the holder of `obj`, with accounting (bumps recency).
+    /// Ignores the TTL — callers with a clock use [`DestCache::lookup_at`].
     pub fn lookup(&mut self, obj: ObjId) -> Option<ObjId> {
         self.tick += 1;
         let tick = self.tick;
         match self.map.get_mut(&obj) {
-            Some((h, used)) => {
-                *used = tick;
+            Some(e) => {
+                e.used = tick;
                 self.hits += 1;
-                Some(*h)
+                Some(e.holder)
             }
             None => {
                 self.misses += 1;
@@ -65,29 +89,59 @@ impl DestCache {
         }
     }
 
-    /// Peek without touching the counters or recency.
+    /// Look up the holder of `obj` at sim-time `now`: an entry whose TTL
+    /// has run out (`now >= inserted + ttl`) is dropped and counted as an
+    /// expiration plus a miss; a live hit refreshes its TTL window.
+    pub fn lookup_at(&mut self, obj: ObjId, now: SimTime) -> Option<ObjId> {
+        if let (Some(ttl), Some(e)) = (self.ttl, self.map.get(&obj)) {
+            if now.saturating_sub(e.inserted) >= ttl {
+                self.map.remove(&obj);
+                self.expirations += 1;
+                self.misses += 1;
+                return None;
+            }
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&obj) {
+            Some(e) => {
+                e.used = tick;
+                e.inserted = now; // refresh-on-hit
+                self.hits += 1;
+                Some(e.holder)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching the counters, recency, or TTL.
     pub fn peek(&self, obj: ObjId) -> Option<ObjId> {
-        self.map.get(&obj).map(|(h, _)| *h)
+        self.map.get(&obj).map(|e| e.holder)
     }
 
     /// Record that `obj` lives behind `holder_inbox`, evicting the
     /// least-recently-used entry if bounded and full.
     pub fn insert(&mut self, obj: ObjId, holder_inbox: ObjId) {
+        self.insert_at(obj, holder_inbox, SimTime::ZERO);
+    }
+
+    /// [`DestCache::insert`] stamped at sim-time `now` (the TTL anchor).
+    pub fn insert_at(&mut self, obj: ObjId, holder_inbox: ObjId, now: SimTime) {
         self.tick += 1;
         if let Some(cap) = self.capacity {
             if !self.map.contains_key(&obj) && self.map.len() >= cap {
-                if let Some(&victim) = self
-                    .map
-                    .iter()
-                    .min_by_key(|(id, (_, used))| (*used, id.as_u128()))
-                    .map(|(id, _)| id)
+                if let Some(&victim) =
+                    self.map.iter().min_by_key(|(id, e)| (e.used, id.as_u128())).map(|(id, _)| id)
                 {
                     self.map.remove(&victim);
                     self.evictions += 1;
                 }
             }
         }
-        self.map.insert(obj, (holder_inbox, self.tick));
+        self.map.insert(obj, Entry { holder: holder_inbox, used: self.tick, inserted: now });
     }
 
     /// Drop the entry for `obj` (stale route learned the hard way).
@@ -97,6 +151,16 @@ impl DestCache {
             self.invalidations += 1;
         }
         existed
+    }
+
+    /// Drop every entry pointing at `holder` (the host crashed; none of
+    /// its routes may serve another access). Returns how many dropped.
+    pub fn purge_holder(&mut self, holder: ObjId) -> usize {
+        let before = self.map.len();
+        self.map.retain(|_, e| e.holder != holder);
+        let purged = before - self.map.len();
+        self.invalidations += purged as u64;
+        purged
     }
 
     /// Fraction of lookups that hit (0.0 when untouched).
@@ -113,6 +177,10 @@ impl DestCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
 
     #[test]
     fn lookup_accounting() {
@@ -168,5 +236,49 @@ mod tests {
         c.insert(ObjId(1), ObjId(0xB));
         assert_eq!(c.peek(ObjId(1)), Some(ObjId(0xB)));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ttl_expires_exactly_at_the_boundary() {
+        let mut c = DestCache::new().with_ttl(us(100));
+        c.insert_at(ObjId(1), ObjId(0xA), us(50));
+        // One tick before the boundary: live.
+        assert_eq!(c.lookup_at(ObjId(1), us(149)), Some(ObjId(0xA)));
+        // Re-anchor the entry without the refresh for the boundary check.
+        c.insert_at(ObjId(2), ObjId(0xB), us(0));
+        assert_eq!(c.lookup_at(ObjId(2), us(100)), None, "dead exactly at inserted + ttl");
+        assert_eq!(c.expirations, 1);
+        assert_eq!(c.peek(ObjId(2)), None, "expired entry is gone, not hidden");
+    }
+
+    #[test]
+    fn hit_refreshes_the_ttl_window() {
+        let mut c = DestCache::new().with_ttl(us(100));
+        c.insert_at(ObjId(1), ObjId(0xA), us(0));
+        // A hit at t=90 re-anchors the window to 90..190.
+        assert_eq!(c.lookup_at(ObjId(1), us(90)), Some(ObjId(0xA)));
+        assert_eq!(c.lookup_at(ObjId(1), us(150)), Some(ObjId(0xA)), "refreshed entry survives");
+        assert_eq!(c.expirations, 0);
+    }
+
+    #[test]
+    fn ttl_free_cache_never_expires() {
+        let mut c = DestCache::new();
+        c.insert_at(ObjId(1), ObjId(0xA), us(0));
+        assert_eq!(c.lookup_at(ObjId(1), SimTime::from_secs(3600)), Some(ObjId(0xA)));
+        assert_eq!(c.expirations, 0);
+    }
+
+    #[test]
+    fn purge_holder_drops_only_that_hosts_routes() {
+        let mut c = DestCache::new();
+        c.insert(ObjId(1), ObjId(0xA));
+        c.insert(ObjId(2), ObjId(0xB));
+        c.insert(ObjId(3), ObjId(0xA));
+        assert_eq!(c.purge_holder(ObjId(0xA)), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(ObjId(2)), Some(ObjId(0xB)));
+        assert_eq!(c.invalidations, 2);
+        assert_eq!(c.purge_holder(ObjId(0xC)), 0, "unknown holder purges nothing");
     }
 }

@@ -143,6 +143,47 @@ pub fn plan_overlay(
     plan
 }
 
+/// One host's planned gossip neighbourhood (see [`plan_gossip_peers`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipPeerPlan {
+    /// The host these peers belong to.
+    pub host: ObjId,
+    /// `(peer, relay)` pairs to feed `HostNode::add_gossip_peer`.
+    pub peers: Vec<(ObjId, Option<ObjId>)>,
+}
+
+/// Plan gossip neighbourhoods for hosts grouped into regions (racks or
+/// host groups — the same hierarchy [`RegionAllocator`] names): within a
+/// region the hosts form a ring, and each region's head host additionally
+/// gossips the next region's head, relay-first through its own ring
+/// successor so a cut trunk demotes to the direct route instead of
+/// stalling anti-entropy. O(1) peers per host regardless of fabric size —
+/// the whole point of replacing flood rediscovery.
+pub fn plan_gossip_peers(regions: &[Vec<ObjId>]) -> Vec<GossipPeerPlan> {
+    let mut plans = Vec::new();
+    let heads: Vec<ObjId> = regions.iter().filter(|r| !r.is_empty()).map(|r| r[0]).collect();
+    let mut head_idx = 0usize;
+    for region in regions {
+        if region.is_empty() {
+            continue;
+        }
+        for (i, &host) in region.iter().enumerate() {
+            let mut peers = Vec::new();
+            if region.len() > 1 {
+                peers.push((region[(i + 1) % region.len()], None));
+            }
+            if i == 0 && heads.len() > 1 {
+                let next_head = heads[(head_idx + 1) % heads.len()];
+                let relay = (region.len() > 1).then(|| region[1]);
+                peers.push((next_head, relay));
+            }
+            plans.push(GossipPeerPlan { host, peers });
+        }
+        head_idx += 1;
+    }
+    plans
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +195,31 @@ mod tests {
             Table::new("exact", vec![1], MatchKind::Exact, 128, budget),
             Table::new("lpm", vec![1], MatchKind::Lpm, 128, budget),
         )
+    }
+
+    #[test]
+    fn gossip_peer_plan_rings_regions_and_relays_cross_links() {
+        let regions = vec![
+            vec![ObjId(0x10), ObjId(0x11), ObjId(0x12)],
+            vec![ObjId(0x20), ObjId(0x21)],
+            vec![ObjId(0x30)],
+        ];
+        let plans = plan_gossip_peers(&regions);
+        assert_eq!(plans.len(), 6);
+        let of = |h: u128| plans.iter().find(|p| p.host == ObjId(h)).unwrap();
+        // In-region ring.
+        assert!(of(0x11).peers.contains(&(ObjId(0x12), None)));
+        assert!(of(0x12).peers.contains(&(ObjId(0x10), None)));
+        // Heads link to the next region's head, relayed through their own
+        // ring successor when one exists.
+        assert!(of(0x10).peers.contains(&(ObjId(0x20), Some(ObjId(0x11)))));
+        assert!(of(0x20).peers.contains(&(ObjId(0x30), Some(ObjId(0x21)))));
+        // A single-host region has no ring, so its head links direct.
+        assert_eq!(of(0x30).peers, vec![(ObjId(0x10), None)]);
+        // Peer counts stay O(1) no matter how many hosts exist.
+        assert!(plans.iter().all(|p| p.peers.len() <= 2));
+        // Deterministic: same input, same plan.
+        assert_eq!(plans, plan_gossip_peers(&regions));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use rdv_det::DetMap;
 use std::sync::OnceLock;
 
+use rdv_gossip::{ctr as gossip_ctr, GossipConfig, GossipSync};
 use rdv_memproto::msg::{Msg, MsgBody, NackCode};
 use rdv_netsim::metrics::{AuditScope, MetricSample};
 use rdv_netsim::trace::EventId;
@@ -145,6 +146,9 @@ struct Pending {
     broadcasts: u64,
     nacks: u64,
     retries: u64,
+    /// The holder the in-flight unicast was addressed to, so a timeout or
+    /// NACK never "repairs" back to the address that just failed.
+    last_holder: Option<ObjId>,
     /// The `discovery.access` span-begin, when tracing was enabled.
     span: Option<EventId>,
 }
@@ -190,6 +194,8 @@ pub mod tags {
     /// OR this bit: the access watchdog — fires if the req in the low bits
     /// has seen no reply within [`super::HostConfig::access_timeout`].
     pub const ACCESS_TIMEOUT: u64 = 1 << 59;
+    /// The gossip anti-entropy round timer (no payload bits).
+    pub const GOSSIP: u64 = 1 << 58;
 }
 
 /// A host in the object fabric.
@@ -211,6 +217,13 @@ pub struct HostNode {
     next_req: u64,
     next_trace: u64,
     next_defer: u64,
+    /// Journal-synchronized discovery (DESIGN.md §12), when enabled:
+    /// holder facts gossip between neighbours instead of flooding, and
+    /// stale cache entries repair from the local journal.
+    pub gossip: Option<GossipSync>,
+    /// Open `gossip.sync` spans keyed by peer inbox: begun at digest send,
+    /// ended when that peer's delta lands.
+    gossip_spans: DetMap<u128, Option<EventId>>,
     /// Completed accesses, in completion order.
     pub records: Vec<AccessRecord>,
     /// Accesses that gave up, with typed reasons, in failure order.
@@ -236,6 +249,8 @@ impl HostNode {
             next_req: 1,
             next_trace: 1,
             next_defer: 0,
+            gossip: None,
+            gossip_spans: DetMap::new(),
             records: Vec::new(),
             failed: Vec::new(),
             counters: rdv_netsim::Counters::new(),
@@ -250,6 +265,83 @@ impl HostNode {
     /// Accesses still awaiting completion.
     pub fn outstanding(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Switch this host to journal-synchronized discovery: it journals its
+    /// own holdings as `replica` and anti-entropies with the peers added
+    /// via [`HostNode::add_gossip_peer`]. Call before the sim starts.
+    pub fn enable_gossip(&mut self, replica: u64, cfg: GossipConfig) {
+        self.gossip = Some(GossipSync::new(self.inbox, replica, cfg));
+    }
+
+    /// Register a gossip neighbour, optionally relay-first through `relay`
+    /// (the Aura transport strategy: preferred path with priority fallback
+    /// to the direct route when the relay partitions away).
+    pub fn add_gossip_peer(&mut self, peer: ObjId, relay: Option<ObjId>) {
+        if let Some(g) = self.gossip.as_mut() {
+            g.add_peer(peer, relay);
+        }
+    }
+
+    /// Journal every locally held object as a fact written by us, and join
+    /// the membership set (called from `on_start`/`on_restart`).
+    fn journal_holdings(&mut self, now: SimTime) {
+        let Some(g) = self.gossip.as_mut() else { return };
+        g.journal.join_member(self.inbox);
+        let mut ids = self.store.ids();
+        ids.sort(); // deterministic journal write order
+        for obj in ids {
+            g.journal.record_holder(obj, self.inbox, now.as_nanos());
+        }
+    }
+
+    /// Arm the anti-entropy round timer (crash discards timers, so both
+    /// `on_start` and `on_restart` come through here).
+    fn arm_gossip(&mut self, ctx: &mut NodeCtx<'_>) {
+        if let Some(g) = &self.gossip {
+            if g.peer_count() > 0 {
+                ctx.set_timer(g.period(), tags::GOSSIP);
+            }
+        }
+    }
+
+    /// Run one gossip round: emit digests (one `gossip.sync` span per
+    /// digest, closed when the peer's delta lands) and re-arm the timer.
+    fn gossip_round(&mut self, ctx: &mut NodeCtx<'_>) {
+        let Some(g) = self.gossip.as_mut() else { return };
+        let msgs = g.on_round(&mut self.counters);
+        for msg in msgs {
+            if let MsgBody::GossipDigest { target, .. } = &msg.body {
+                let span = ctx.trace.span_begin("gossip.sync", target.lo());
+                self.gossip_spans.insert(target.as_u128(), span);
+            }
+            self.transmit(ctx, msg);
+        }
+        self.arm_gossip(ctx);
+    }
+
+    /// Feed a received gossip frame to the round machine and transmit
+    /// whatever it answers (forwarded frame, delta, reciprocal delta).
+    fn on_gossip(&mut self, ctx: &mut NodeCtx<'_>, msg: Msg) {
+        if let MsgBody::GossipDelta { target, .. } = &msg.body {
+            if *target == self.inbox {
+                if let Some(span) = self.gossip_spans.remove(&msg.header.src.as_u128()) {
+                    ctx.trace.span_end("gossip.sync", span);
+                }
+            }
+        }
+        let Some(g) = self.gossip.as_mut() else { return };
+        let out = g.on_msg(&msg, &mut self.counters);
+        for m in out {
+            self.transmit(ctx, m);
+        }
+    }
+
+    /// A holder for `target` the journal knows and we have not just failed
+    /// against — the no-network repair path for stale cache entries.
+    fn journal_repair(&mut self, target: ObjId, distrust: Option<ObjId>) -> Option<ObjId> {
+        let holder = self.gossip.as_ref()?.journal.lookup(target)?;
+        (holder != self.inbox && Some(holder) != distrust).then_some(holder)
     }
 
     fn fresh_trace(&mut self) -> u64 {
@@ -290,6 +382,7 @@ impl HostNode {
                         broadcasts: 0,
                         nacks: 0,
                         retries: 0,
+                        last_holder: None,
                         span,
                     },
                 );
@@ -300,46 +393,60 @@ impl HostNode {
                 );
                 self.transmit(ctx, msg);
             }
-            DiscoveryMode::E2E => match self.dest_cache.lookup(target) {
-                Some(holder) => {
-                    self.pending.insert(
-                        req,
-                        Pending {
-                            target,
-                            issued,
-                            state: PendingState::Reading,
-                            broadcasts: 0,
-                            nacks: 0,
-                            retries: 0,
-                            span,
-                        },
-                    );
-                    let msg = Msg::new(
-                        holder,
-                        self.inbox,
-                        MsgBody::ReadReq { req, target, offset: 8, len: self.cfg.read_len },
-                    );
-                    self.transmit(ctx, msg);
+            DiscoveryMode::E2E => {
+                // A cache miss consults the local journal before touching
+                // the network: gossip usually delivered the fact already.
+                let cached = self.dest_cache.lookup_at(target, ctx.now);
+                let holder = cached.or_else(|| {
+                    let repaired = self.journal_repair(target, None)?;
+                    self.counters.inc_id(gossip_ctr().repair_hits);
+                    ctx.trace.mark("gossip.repair", target.lo());
+                    self.dest_cache.insert_at(target, repaired, ctx.now);
+                    Some(repaired)
+                });
+                match holder {
+                    Some(holder) => {
+                        self.pending.insert(
+                            req,
+                            Pending {
+                                target,
+                                issued,
+                                state: PendingState::Reading,
+                                broadcasts: 0,
+                                nacks: 0,
+                                retries: 0,
+                                last_holder: Some(holder),
+                                span,
+                            },
+                        );
+                        let msg = Msg::new(
+                            holder,
+                            self.inbox,
+                            MsgBody::ReadReq { req, target, offset: 8, len: self.cfg.read_len },
+                        );
+                        self.transmit(ctx, msg);
+                    }
+                    None => {
+                        self.pending.insert(
+                            req,
+                            Pending {
+                                target,
+                                issued,
+                                state: PendingState::Discovering,
+                                broadcasts: 1,
+                                nacks: 0,
+                                retries: 0,
+                                last_holder: None,
+                                span,
+                            },
+                        );
+                        self.counters.inc_id(ctr().broadcasts);
+                        ctx.trace.mark("discovery.broadcast", target.lo());
+                        let msg = Msg::new(target, self.inbox, MsgBody::DiscoverReq { req });
+                        self.transmit(ctx, msg);
+                    }
                 }
-                None => {
-                    self.pending.insert(
-                        req,
-                        Pending {
-                            target,
-                            issued,
-                            state: PendingState::Discovering,
-                            broadcasts: 1,
-                            nacks: 0,
-                            retries: 0,
-                            span,
-                        },
-                    );
-                    self.counters.inc_id(ctr().broadcasts);
-                    ctx.trace.mark("discovery.broadcast", target.lo());
-                    let msg = Msg::new(target, self.inbox, MsgBody::DiscoverReq { req });
-                    self.transmit(ctx, msg);
-                }
-            },
+            }
         }
         self.arm_access_timeout(ctx, req);
     }
@@ -382,18 +489,50 @@ impl HostNode {
             }
             DiscoveryMode::E2E => {
                 // The holder (or its reply) vanished mid-access; whatever
-                // location we believed is suspect. Rediscover from scratch.
+                // location we believed is suspect.
                 self.dest_cache.invalidate(target);
-                {
-                    let p = self.pending.get_mut(&req).expect("checked above");
-                    p.retries += 1;
-                    p.state = PendingState::Discovering;
-                    p.broadcasts += 1;
+                let last = self.pending.get(&req).expect("checked above").last_holder;
+                if let Some(holder) = self.journal_repair(target, last) {
+                    // The journal already knows a newer holder (gossip
+                    // outran the failure): retry unicast, no rediscovery.
+                    self.counters.inc_id(gossip_ctr().repair_hits);
+                    ctx.trace.mark("gossip.repair", target.lo());
+                    self.dest_cache.insert_at(target, holder, ctx.now);
+                    {
+                        let p = self.pending.get_mut(&req).expect("checked above");
+                        p.retries += 1;
+                        p.state = PendingState::Reading;
+                        p.last_holder = Some(holder);
+                    }
+                    let msg = Msg::new(
+                        holder,
+                        self.inbox,
+                        MsgBody::ReadReq { req, target, offset: 8, len: self.cfg.read_len },
+                    );
+                    self.transmit(ctx, msg);
+                } else {
+                    // Nothing better known. Distrust the dead address fully:
+                    // tombstone the fact (so no peer repairs back to it) and
+                    // purge every cached route through that host — a crashed
+                    // epoch must not serve repairs. Then rediscover.
+                    if let (Some(dead), Some(g)) = (last, self.gossip.as_mut()) {
+                        if g.journal.lookup(target) == Some(dead) {
+                            g.journal.retire_holder(target, ctx.now.as_nanos());
+                        }
+                        self.dest_cache.purge_holder(dead);
+                    }
+                    {
+                        let p = self.pending.get_mut(&req).expect("checked above");
+                        p.retries += 1;
+                        p.state = PendingState::Discovering;
+                        p.broadcasts += 1;
+                        p.last_holder = None;
+                    }
+                    self.counters.inc_id(ctr().broadcasts);
+                    ctx.trace.mark("discovery.broadcast", target.lo());
+                    let msg = Msg::new(target, self.inbox, MsgBody::DiscoverReq { req });
+                    self.transmit(ctx, msg);
                 }
-                self.counters.inc_id(ctr().broadcasts);
-                ctx.trace.mark("discovery.broadcast", target.lo());
-                let msg = Msg::new(target, self.inbox, MsgBody::DiscoverReq { req });
-                self.transmit(ctx, msg);
             }
         }
         self.arm_access_timeout(ctx, req);
@@ -474,8 +613,15 @@ impl HostNode {
             MsgBody::DiscoverResp { holder_inbox, .. } => {
                 debug_assert_eq!(p.state, PendingState::Discovering);
                 ctx.trace.mark("discovery.resolved", holder_inbox.lo());
-                self.dest_cache.insert(p.target, holder_inbox);
+                self.dest_cache.insert_at(p.target, holder_inbox, ctx.now);
+                if let Some(g) = self.gossip.as_mut() {
+                    // A discovery answer is a fresh fact: journal it so the
+                    // whole neighbourhood learns it through anti-entropy
+                    // instead of each host flooding its own rediscovery.
+                    g.journal.record_holder(p.target, holder_inbox, ctx.now.as_nanos());
+                }
                 p.state = PendingState::Reading;
+                p.last_holder = Some(holder_inbox);
                 let msg = Msg::new(
                     holder_inbox,
                     self.inbox,
@@ -490,10 +636,34 @@ impl HostNode {
                 ctx.trace.mark("discovery.stale_nack", p.target.lo());
                 match self.cfg.mode {
                     DiscoveryMode::E2E => {
-                        // Stale destination: forget it and rediscover.
+                        // Stale destination: forget it, then repair from the
+                        // local journal when gossip already carried the
+                        // object's new location — one extra unicast leg
+                        // instead of a broadcast round.
                         self.dest_cache.invalidate(p.target);
+                        if let Some(holder) = self.journal_repair(p.target, p.last_holder) {
+                            self.counters.inc_id(gossip_ctr().repair_hits);
+                            ctx.trace.mark("gossip.repair", p.target.lo());
+                            self.dest_cache.insert_at(p.target, holder, ctx.now);
+                            p.state = PendingState::Reading;
+                            p.last_holder = Some(holder);
+                            let msg = Msg::new(
+                                holder,
+                                self.inbox,
+                                MsgBody::ReadReq {
+                                    req,
+                                    target: p.target,
+                                    offset: 8,
+                                    len: self.cfg.read_len,
+                                },
+                            );
+                            self.pending.insert(req, p);
+                            self.transmit(ctx, msg);
+                            return;
+                        }
                         p.broadcasts += 1;
                         p.state = PendingState::Discovering;
+                        p.last_holder = None;
                         self.counters.inc_id(ctr().broadcasts);
                         ctx.trace.mark("discovery.broadcast", p.target.lo());
                         let msg = Msg::new(p.target, self.inbox, MsgBody::DiscoverReq { req });
@@ -559,7 +729,11 @@ impl HostNode {
         let push =
             Msg::new(dest_inbox, self.inbox, MsgBody::ObjImageResp { req: 0, version, image });
         self.transmit(ctx, push);
-        if self.cfg.mode == DiscoveryMode::E2E
+        if let Some(g) = self.gossip.as_mut() {
+            // Journal the move: anti-entropy carries it to the fabric in
+            // O(1) messages per round, so no invalidate broadcast.
+            g.journal.record_holder(obj, dest_inbox, ctx.now.as_nanos());
+        } else if self.cfg.mode == DiscoveryMode::E2E
             && self.cfg.staleness == StalenessMode::InvalidateOnMove
         {
             // Tell the fabric: cached locations for this object are stale.
@@ -576,6 +750,10 @@ impl HostNode {
         };
         let obj = object.id();
         self.store.upsert(object);
+        if let Some(g) = self.gossip.as_mut() {
+            // We are the authoritative holder now; say so in the journal.
+            g.journal.record_holder(obj, self.inbox, ctx.now.as_nanos());
+        }
         if self.cfg.mode == DiscoveryMode::Controller {
             // Re-advertise so the controller repoints switch routes.
             self.counters.inc_id(ctr().advertises_sent);
@@ -603,6 +781,20 @@ impl HostNode {
 impl Node for HostNode {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         self.advertise_all(ctx);
+        self.journal_holdings(ctx.now);
+        self.arm_gossip(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        // The crash discarded our timers; memory (journal, store) survived.
+        // Bump the restart epoch so re-recorded facts are distinguishable
+        // from the dead incarnation's, re-journal what we still hold, and
+        // re-arm the anti-entropy pacing.
+        if let Some(g) = self.gossip.as_mut() {
+            g.journal.bump_epoch();
+        }
+        self.journal_holdings(ctx.now);
+        self.arm_gossip(ctx);
     }
 
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: PortId, packet: Packet) {
@@ -632,6 +824,9 @@ impl Node for HostNode {
                 // dst names the moved object.
                 self.dest_cache.invalidate(msg.header.dst);
             }
+            MsgBody::GossipDigest { .. } | MsgBody::GossipDelta { .. } => {
+                self.on_gossip(ctx, msg);
+            }
             // Explicitly ignored (D7): solicited images with a nonzero req
             // are not part of this protocol (reads complete via ReadResp),
             // and the remaining wire traffic — writes, upgrades, invokes,
@@ -659,6 +854,8 @@ impl Node for HostNode {
             }
         } else if tag & tags::ACCESS_TIMEOUT != 0 {
             self.handle_access_timeout(ctx, tag & !tags::ACCESS_TIMEOUT);
+        } else if tag & tags::GOSSIP != 0 {
+            self.gossip_round(ctx);
         } else if tag & tags::RETRY != 0 {
             let req = tag & !tags::RETRY;
             if let Some(p) = self.pending.get(&req) {
@@ -686,6 +883,11 @@ impl Node for HostNode {
         );
         m.gauge("discovery.pending_accesses", self.pending.len() as u64);
         m.rate_per_s("discovery.broadcast_rate", self.counters.get_id(ctr().broadcasts));
+        if let Some(g) = &self.gossip {
+            m.gauge("gossip.journal_entries", g.journal.len() as u64);
+            m.rate_per_s("gossip.sync_rate", self.counters.get_id(gossip_ctr().rounds));
+            m.gauge("gossip.repair_hits", self.counters.get_id(gossip_ctr().repair_hits));
+        }
     }
 
     fn audit(&self, a: &mut AuditScope<'_>) {
@@ -859,6 +1061,79 @@ mod tests {
         assert_eq!(drv.failed[0].reason, AccessFailure::TimedOut);
         assert_eq!(drv.dest_cache.peek(ghost), None, "stale entry distrusted");
         assert_eq!(drv.counters.get("broadcasts"), 2, "each retry rediscovered");
+    }
+
+    #[test]
+    fn gossip_delivers_fact_and_repairs_cache_miss_without_broadcast() {
+        // B holds an object A has never seen. After one anti-entropy round
+        // A's journal knows the fact, so A's cache miss repairs locally:
+        // zero broadcasts, one unicast read.
+        let mut rng = StdRng::seed_from_u64(5); // rdv-lint: allow(rng-stream) -- test-local stream with a fixed seed; never crosses a node or shard boundary
+        let mut sim = Sim::new(SimConfig::default());
+        let mut responder = HostNode::new("resp", ObjId(0xB), HostConfig::default());
+        let obj = responder.store.create(&mut rng, ObjectKind::Data);
+        let off = responder.store.get_mut(obj).unwrap().alloc(64).unwrap();
+        responder.store.get_mut(obj).unwrap().write_u64(off, 7).unwrap();
+        responder.enable_gossip(2, GossipConfig::default());
+        responder.add_gossip_peer(ObjId(0xA), None);
+
+        let mut driver = HostNode::new("drv", ObjId(0xA), HostConfig::default());
+        driver.plan = vec![obj];
+        driver.enable_gossip(1, GossipConfig::default());
+        driver.add_gossip_peer(ObjId(0xB), None);
+
+        let d = sim.add_node(Box::new(driver));
+        let r = sim.add_node(Box::new(responder));
+        sim.connect(d, r, LinkSpec::rack());
+        // Well past the first 40µs round, so the fact has gossiped over.
+        sim.schedule(SimTime::from_micros(200), d, 0);
+        sim.run_until(SimTime::from_micros(400));
+
+        let drv = sim.node_as::<HostNode>(d).unwrap();
+        assert_eq!(drv.records.len(), 1, "access completed");
+        assert_eq!(drv.records[0].broadcasts, 0, "no flood rediscovery");
+        assert_eq!(drv.counters.get("broadcasts"), 0);
+        assert_eq!(drv.counters.get("gossip.repair_hits"), 1, "journal repaired the miss");
+        assert_eq!(drv.gossip.as_ref().unwrap().journal.lookup(obj), Some(ObjId(0xB)));
+    }
+
+    #[test]
+    fn dead_holder_is_tombstoned_and_purged_not_repaired_from() {
+        // A learned obj@B (cache + journal), then B died silently. The
+        // watchdog must not "repair" back to the dead address: it
+        // tombstones the fact, purges B's cached routes, and the access
+        // surfaces a typed failure after broadcast rediscovery goes
+        // unanswered.
+        let mut sim = Sim::new(SimConfig::default());
+        let cfg = HostConfig {
+            mode: DiscoveryMode::E2E,
+            access_timeout: SimTime::from_micros(100),
+            max_access_retries: 2,
+            ..HostConfig::default()
+        };
+        let mut driver = HostNode::new("drv", ObjId(0xA), cfg);
+        let ghost = ObjId(0xDEAD);
+        driver.plan = vec![ghost];
+        driver.dest_cache.insert(ghost, ObjId(0xB));
+        driver.enable_gossip(1, GossipConfig::default());
+        driver.add_gossip_peer(ObjId(0xB), None);
+        driver.gossip.as_mut().unwrap().journal.record_holder(ghost, ObjId(0xB), 1);
+        let responder = HostNode::new("resp", ObjId(0xB), cfg);
+        let d = sim.add_node(Box::new(driver));
+        let r = sim.add_node(Box::new(responder));
+        sim.connect(d, r, LinkSpec::rack());
+        sim.install_fault_plan(&rdv_netsim::FaultPlan::new().crash(SimTime::from_micros(1), r));
+        sim.schedule(SimTime::from_micros(10), d, 0);
+        sim.run_until(SimTime::from_micros(2_000));
+
+        let drv = sim.node_as::<HostNode>(d).unwrap();
+        assert_eq!(drv.failed.len(), 1);
+        assert_eq!(drv.failed[0].reason, AccessFailure::TimedOut);
+        assert_eq!(drv.counters.get("gossip.repair_hits"), 0, "never repaired to the dead host");
+        let journal = &drv.gossip.as_ref().unwrap().journal;
+        assert_eq!(journal.lookup(ghost), None, "fact tombstoned");
+        assert!(journal.fact(ghost).unwrap().holder.is_nil());
+        assert!(drv.dest_cache.is_empty(), "dead host's routes purged");
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Journal-synchronized descriptor propagation (DESIGN.md §12).
+//!
+//! Replaces flood rediscovery in `rdv-discovery`: host descriptors and
+//! holder facts are CRDT envelopes (`rdv-crdt` LWW registers + OR-set
+//! membership) in a per-node [`Journal`], kept convergent by
+//! seed-deterministic neighbor anti-entropy ([`GossipSync`]: digest
+//! exchange → delta sync, paced on sim-time timers). A churn event costs
+//! O(1) gossip messages per round instead of an O(hosts) broadcast, and a
+//! stale destination-cache entry is repaired from the local journal
+//! without touching the network. Gossip frames travel relay-first with
+//! priority fallback to the direct route when a partition cuts the relay
+//! off ([`path::PeerPath`]).
+
+pub mod journal;
+pub mod path;
+pub mod sync;
+
+pub use journal::{Delta, Digest, HolderFact, Journal, Origin};
+pub use path::{PeerPath, Route};
+pub use sync::{ctr, GossipConfig, GossipCtr, GossipSync};
+
+/// Every `gossip.*` counter name the subsystem emits, in slot order of
+/// [`sync::GossipCtr`]. `rdv-lint` (rule D3) parses this table and flags
+/// any `gossip.*` counter used in workspace code but not registered here.
+pub const GOSSIP_COUNTERS: [&str; 7] = [
+    "gossip.rounds",
+    "gossip.digests_sent",
+    "gossip.deltas_sent",
+    "gossip.entries_applied",
+    "gossip.relay_fallbacks",
+    "gossip.relayed",
+    "gossip.repair_hits",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registry_matches_interned_set() {
+        use rdv_netsim::stats::Counters;
+        let mut counters = Counters::new();
+        let c = sync::ctr();
+        for id in [
+            c.rounds,
+            c.digests_sent,
+            c.deltas_sent,
+            c.entries_applied,
+            c.relay_fallbacks,
+            c.relayed,
+            c.repair_hits,
+        ] {
+            counters.inc_id(id);
+        }
+        for name in GOSSIP_COUNTERS {
+            assert_eq!(counters.get(name), 1, "{name} must be interned under its registry name");
+        }
+    }
+}

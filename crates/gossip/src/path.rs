@@ -1,0 +1,104 @@
+//! Relay-first path selection with priority fallback to the direct route.
+//!
+//! Aura's transport strategy: prefer the configured relay (a rack
+//! aggregator or well-connected neighbor) for gossip exchanges, and fall
+//! back to the direct route only after the relay path has gone
+//! unanswered for `suspect_after` consecutive digests — the signature of
+//! a partition cutting the relay off. A healthy exchange on any path
+//! restores relay preference, so the fallback is a priority order, not a
+//! permanent demotion.
+
+use rdv_objspace::ObjId;
+
+/// Which wire destination an exchange should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Forward through the relay's inbox.
+    Relay(ObjId),
+    /// Straight to the peer's inbox.
+    Direct,
+}
+
+/// Per-peer path state: the peer, its optional relay, and how many
+/// digests have gone unanswered on the current preference.
+#[derive(Debug, Clone)]
+pub struct PeerPath {
+    /// The peer's inbox (final gossip target).
+    pub peer: ObjId,
+    /// Preferred first hop, if any.
+    pub relay: Option<ObjId>,
+    unanswered: u32,
+    fallback: bool,
+}
+
+impl PeerPath {
+    /// A peer reached relay-first through `relay` (or always direct when
+    /// `None`).
+    pub fn new(peer: ObjId, relay: Option<ObjId>) -> PeerPath {
+        PeerPath { peer, relay, unanswered: 0, fallback: false }
+    }
+
+    /// Route for the next digest. Returns `(route, fell_back)` where
+    /// `fell_back` is true exactly when this call demoted the relay — the
+    /// caller counts it once per demotion.
+    pub fn choose(&mut self, suspect_after: u32) -> (Route, bool) {
+        let Some(relay) = self.relay else { return (Route::Direct, false) };
+        let mut fell_back = false;
+        if !self.fallback && self.unanswered >= suspect_after {
+            self.fallback = true;
+            fell_back = true;
+        }
+        if self.fallback {
+            (Route::Direct, fell_back)
+        } else {
+            (Route::Relay(relay), false)
+        }
+    }
+
+    /// A digest left on the chosen route.
+    pub fn on_sent(&mut self) {
+        self.unanswered = self.unanswered.saturating_add(1);
+    }
+
+    /// An exchange with this peer completed: restore relay preference.
+    pub fn on_answered(&mut self) {
+        self.unanswered = 0;
+        self.fallback = false;
+    }
+
+    /// Whether the path is currently demoted to direct.
+    pub fn fallen_back(&self) -> bool {
+        self.fallback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relayless_peers_are_always_direct() {
+        let mut p = PeerPath::new(ObjId(1), None);
+        for _ in 0..5 {
+            assert_eq!(p.choose(2), (Route::Direct, false));
+            p.on_sent();
+        }
+    }
+
+    #[test]
+    fn unanswered_relay_demotes_then_recovers() {
+        let mut p = PeerPath::new(ObjId(1), Some(ObjId(9)));
+        assert_eq!(p.choose(2), (Route::Relay(ObjId(9)), false));
+        p.on_sent();
+        assert_eq!(p.choose(2), (Route::Relay(ObjId(9)), false));
+        p.on_sent();
+        // Two unanswered digests: the third choice demotes, once.
+        assert_eq!(p.choose(2), (Route::Direct, true));
+        p.on_sent();
+        assert_eq!(p.choose(2), (Route::Direct, false), "demotion counts once");
+        // An answer restores relay preference.
+        p.on_answered();
+        assert!(!p.fallen_back());
+        assert_eq!(p.choose(2), (Route::Relay(ObjId(9)), false));
+    }
+}

@@ -1,0 +1,182 @@
+//! Anti-entropy convergence laws (ISSUE 9 satellite): the journal is a
+//! CRDT, so digest→delta exchanges must converge to identical content in
+//! any order, any grouping, and under arbitrary repetition. Each law is
+//! checked on journals built from a random op tape (records, retires,
+//! membership joins across several replicas) — the same state space the
+//! chaos soak's gossip family drives through a lossy fabric, here with
+//! the network stripped away so a violation names the algebra directly.
+
+use proptest::prelude::*;
+use rdv_gossip::{Digest, Journal};
+use rdv_objspace::ObjId;
+
+/// One raw op draw: `(kind, obj, holder, at)`. Kinds 0–3 record, 4
+/// retires, 5 joins — records dominate, mirroring real churn. The value
+/// spaces are small so replicas collide on objects (forcing real LWW
+/// conflicts, not disjoint merges).
+type RawOp = (u8, u8, u8, u16);
+
+/// Op tapes for `n` replicas: each tape is applied to its own journal.
+fn tapes(n: usize) -> impl Strategy<Value = Vec<Vec<RawOp>>> {
+    collection::vec(collection::vec((0u8..6, 0u8..6, 0u8..5, 0u16..1000), 1..12), n)
+}
+
+fn build(replica: u64, tape: &[RawOp]) -> Journal {
+    let mut j = Journal::new(replica);
+    for &(kind, obj, holder, at) in tape {
+        match kind {
+            // Inboxes offset past the object space so a holder is never
+            // confused with an object id.
+            0..=3 => j.record_holder(ObjId(obj as u128), ObjId(0x100 + holder as u128), at as u64),
+            4 => j.retire_holder(ObjId(obj as u128), at as u64),
+            _ => j.join_member(ObjId(0x100 + holder as u128)),
+        }
+    }
+    j
+}
+
+/// Ship everything `from` knows that `to`'s digest lacks.
+fn push(from: &Journal, to: &mut Journal) {
+    let delta = from.delta_since(&to.digest(), false);
+    to.apply(&delta);
+}
+
+/// One full state as a delta (what a brand-new peer would receive).
+fn full(j: &Journal) -> rdv_gossip::Delta {
+    j.delta_since(&Digest::default(), false)
+}
+
+proptest! {
+    /// Idempotence: applying the same delta twice is the same as once.
+    #[test]
+    fn apply_is_idempotent(tapes in tapes(2)) {
+        let a = build(1, &tapes[0]);
+        let mut b = build(2, &tapes[1]);
+        let delta = full(&a);
+        b.apply(&delta);
+        let once = b.fingerprint();
+        b.apply(&delta);
+        prop_assert_eq!(b.fingerprint(), once, "re-applying a delta changed content");
+    }
+
+    /// Commutativity: merging B-then-C equals merging C-then-B.
+    #[test]
+    fn apply_commutes(tapes in tapes(3)) {
+        let b = build(2, &tapes[1]);
+        let c = build(3, &tapes[2]);
+        let mut bc = build(1, &tapes[0]);
+        let mut cb = build(1, &tapes[0]);
+        bc.apply(&full(&b));
+        bc.apply(&full(&c));
+        cb.apply(&full(&c));
+        cb.apply(&full(&b));
+        prop_assert_eq!(bc.fingerprint(), cb.fingerprint(), "merge order changed content");
+    }
+
+    /// Associativity (grouping): A∪(B∪C) equals (A∪B)∪C — a delta built
+    /// from an already-merged journal carries the same information as the
+    /// two source deltas applied separately.
+    #[test]
+    fn apply_associates(tapes in tapes(3)) {
+        // Left: B absorbs C, then A absorbs the merged B.
+        let mut b_with_c = build(2, &tapes[1]);
+        b_with_c.apply(&full(&build(3, &tapes[2])));
+        let mut left = build(1, &tapes[0]);
+        left.apply(&full(&b_with_c));
+        // Right: A absorbs B, then absorbs C.
+        let mut right = build(1, &tapes[0]);
+        right.apply(&full(&build(2, &tapes[1])));
+        right.apply(&full(&build(3, &tapes[2])));
+        prop_assert_eq!(left.fingerprint(), right.fingerprint(), "grouping changed content");
+    }
+
+    /// Convergence: run pairwise digest→delta exchanges in a random order
+    /// until quiescent; every journal ends with the same fingerprint, the
+    /// same per-object answer, and the same answer any other exchange
+    /// order produces.
+    #[test]
+    fn random_exchange_orders_converge(
+        tapes in tapes(4),
+        order_seed in any::<u64>(),
+    ) {
+        let n = tapes.len();
+        // Reference: everyone absorbs everyone's full state directly.
+        let mut reference = build(1, &tapes[0]);
+        for (i, tape) in tapes.iter().enumerate().skip(1) {
+            reference.apply(&full(&build(i as u64 + 1, tape)));
+        }
+
+        let mut nodes: Vec<Journal> =
+            tapes.iter().enumerate().map(|(i, t)| build(i as u64 + 1, t)).collect();
+        // Deterministic pseudo-random pair schedule from the drawn seed.
+        let mut state = order_seed | 1;
+        let mut next = move |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        };
+        // Bounded pump: stop at the first fully-converged sweep. The
+        // bound is generous — random pairs cover the 4-clique fast.
+        for _ in 0..4 * n * n {
+            let i = next(n);
+            let j = (i + 1 + next(n - 1)) % n;
+            let (lo, hi) = (i.min(j), i.max(j));
+            let (a, b) = nodes.split_at_mut(hi);
+            let (a, b) = (&mut a[lo], &mut b[0]);
+            // Both directions, like the sync engine's 3-leg round.
+            push(a, b);
+            push(b, a);
+            let fp = nodes[0].fingerprint();
+            if nodes.iter().all(|x| x.fingerprint() == fp) {
+                break;
+            }
+        }
+
+        let fp = reference.fingerprint();
+        for (i, node) in nodes.iter().enumerate() {
+            prop_assert_eq!(
+                node.fingerprint(), fp,
+                "node {} diverged from the direct-merge reference", i
+            );
+            // The convergence oracle is honest: equal fingerprints must
+            // mean equal answers to every lookup the repair path asks.
+            for obj in 0u128..6 {
+                prop_assert_eq!(node.lookup(ObjId(obj)), reference.lookup(ObjId(obj)));
+            }
+            for inbox in 0u128..5 {
+                prop_assert_eq!(
+                    node.is_member(ObjId(0x100 + inbox)),
+                    reference.is_member(ObjId(0x100 + inbox))
+                );
+            }
+        }
+        // Quiescence: no one is ahead of anyone, and the delta a digest
+        // provokes is empty — anti-entropy has nothing left to ship.
+        for a in &nodes {
+            for b in &nodes {
+                prop_assert!(!a.is_ahead_of(&b.digest()));
+                let d = a.delta_since(&b.digest(), false);
+                prop_assert!(d.entries.is_empty() && d.members.is_none());
+            }
+        }
+    }
+
+    /// Deltas are minimal: after one full exchange, the reverse digest
+    /// provokes only what the other side is genuinely missing — never a
+    /// re-send of entries it already incorporated.
+    #[test]
+    fn no_redundant_resend(tapes in tapes(2)) {
+        let mut a = build(1, &tapes[0]);
+        let mut b = build(2, &tapes[1]);
+        push(&a, &mut b);
+        // B now supersets A's content; what B ships back must exclude
+        // every entry whose origin A already covers.
+        let back = b.delta_since(&a.digest(), false);
+        let a_digest = a.digest();
+        for (_, _, (replica, seq)) in &back.entries {
+            let seen = a_digest.vv.iter().find(|(r, _)| r == replica).map_or(0, |(_, s)| *s);
+            prop_assert!(*seq > seen, "entry {replica}:{seq} was already covered (seen {seen})");
+        }
+        a.apply(&back);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

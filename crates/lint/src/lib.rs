@@ -14,8 +14,9 @@
 //!   `rand::random`, `env::var` are banned in the same crates.
 //! - **D3 `counter-name` / `event-name`** — string literals entering the
 //!   stats counter API must match the dotted lowercase scheme, `sim.*`
-//!   names must exist in the pre-interned engine registry, and `load.*`
-//!   names in the traffic-plane registry (`LOAD_COUNTERS`). Trace span/mark
+//!   names must exist in the pre-interned engine registry, `load.*`
+//!   names in the traffic-plane registry (`LOAD_COUNTERS`), and `gossip.*`
+//!   names in the anti-entropy registry (`GOSSIP_COUNTERS`). Trace span/mark
 //!   labels (`span_begin`, `span_end`, `mark`, `mark_linked`) follow the
 //!   same scheme, as does every entry of the rdv-trace `EVENT_NAMES` table.
 //! - **D4 `wire-parity`** — every variant of the wire-message enums must be
@@ -77,6 +78,7 @@ pub const DET_CRATES: &[&str] = &[
     "trace",
     "metrics",
     "load",
+    "gossip",
 ];
 
 /// D4 targets: wire enums and the functions that must cover every variant.
@@ -157,7 +159,12 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         Ok(src) => rules::parse_load_counters(&src),
         Err(_) => Vec::new(),
     };
-    let cfg = LintConfig { sim_registry, gauge_registry, load_registry };
+    let gossip_path = root.join("crates/gossip/src/lib.rs");
+    let gossip_registry = match fs::read_to_string(&gossip_path) {
+        Ok(src) => rules::parse_gossip_counters(&src),
+        Err(_) => Vec::new(),
+    };
+    let cfg = LintConfig { sim_registry, gauge_registry, load_registry, gossip_registry };
 
     let mut diags = Vec::new();
     if cfg.sim_registry.is_empty() {
@@ -184,6 +191,15 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             line: 1,
             rule: "D3/counter-name".to_string(),
             message: "could not parse LOAD_COUNTERS registry; load.* names are unverifiable"
+                .to_string(),
+        });
+    }
+    if cfg.gossip_registry.is_empty() {
+        diags.push(Diagnostic {
+            file: "crates/gossip/src/lib.rs".to_string(),
+            line: 1,
+            rule: "D3/counter-name".to_string(),
+            message: "could not parse GOSSIP_COUNTERS registry; gossip.* names are unverifiable"
                 .to_string(),
         });
     }

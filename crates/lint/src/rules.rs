@@ -68,6 +68,10 @@ pub struct LintConfig {
     /// the table could not be read; membership checks are skipped then
     /// (the workspace linter reports the missing table separately).
     pub load_registry: Vec<String>,
+    /// Valid `gossip.*` counter names, parsed from the anti-entropy
+    /// registry (`GOSSIP_COUNTERS` in `crates/gossip/src/lib.rs`). Same
+    /// empty-table semantics as `load_registry`.
+    pub gossip_registry: Vec<String>,
 }
 
 /// Parsed allow comments: line → categories allowed on that line and the next.
@@ -427,6 +431,23 @@ pub fn lint_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
                         arg.text
                     ),
                 );
+            } else if arg.text.starts_with("gossip.")
+                && !cfg.gossip_registry.is_empty()
+                && !cfg.gossip_registry.iter().any(|n| n == &arg.text)
+            {
+                push(
+                    &mut diags,
+                    &allow,
+                    file,
+                    arg.line,
+                    "D3/counter-name",
+                    "counter-name",
+                    format!(
+                        "`{}` is not a registered anti-entropy counter (see GOSSIP_COUNTERS in \
+                         crates/gossip/src/lib.rs); gossip.* names must be table-registered",
+                        arg.text
+                    ),
+                );
             }
         }
 
@@ -753,6 +774,12 @@ pub fn parse_gauge_names(metrics_src: &str) -> Vec<String> {
 /// the string literals inside the `LOAD_COUNTERS` array.
 pub fn parse_load_counters(load_src: &str) -> Vec<String> {
     parse_str_array(load_src, "LOAD_COUNTERS").into_iter().map(|(name, _)| name).collect()
+}
+
+/// Parse the anti-entropy counter registry out of the rdv-gossip source:
+/// the string literals inside the `GOSSIP_COUNTERS` array.
+pub fn parse_gossip_counters(gossip_src: &str) -> Vec<String> {
+    parse_str_array(gossip_src, "GOSSIP_COUNTERS").into_iter().map(|(name, _)| name).collect()
 }
 
 /// D3 over the canonical gauge-name table: every entry of `GAUGE_NAMES`

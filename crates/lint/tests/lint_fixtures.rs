@@ -19,6 +19,7 @@ fn stub_cfg() -> LintConfig {
         load_registry: ["load.arrivals", "load.completions", "load.failures"]
             .map(String::from)
             .to_vec(),
+        gossip_registry: ["gossip.rounds", "gossip.digests_sent"].map(String::from).to_vec(),
     }
 }
 
@@ -129,6 +130,7 @@ fn d3_covers_the_sharded_engine_names() {
         .to_vec(),
         gauge_registry: ["shard.queue_events", "shard.clock_ns"].map(String::from).to_vec(),
         load_registry: Vec::new(),
+        gossip_registry: Vec::new(),
     };
     let diags = lint_source("d3_shards.rs", &fixture("d3_shards.rs"), &cfg);
     assert_eq!(

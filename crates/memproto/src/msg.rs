@@ -153,6 +153,28 @@ pub enum MsgBody {
         /// The object now held by `src`.
         obj: ObjId,
     },
+    /// Journal-synchronized discovery (`rdv-gossip`): anti-entropy digest
+    /// — the sender's journal version vector, asking `target` for the
+    /// facts it is missing. `header.dst` may be a relay inbox; the relay
+    /// forwards toward `target` (relay-first path selection).
+    GossipDigest {
+        /// The sender's anti-entropy round (for tracing/debugging).
+        round: u64,
+        /// The gossip peer this digest is ultimately for.
+        target: ObjId,
+        /// Encoded `rdv_gossip::Digest`.
+        data: Vec<u8>,
+    },
+    /// Journal-synchronized discovery: anti-entropy delta — the holder
+    /// facts a digest showed missing, merged CRDT-wise at `target`.
+    GossipDelta {
+        /// Round echoed from the triggering digest.
+        round: u64,
+        /// The gossip peer this delta is ultimately for.
+        target: ObjId,
+        /// Encoded `rdv_gossip::Delta`.
+        data: Vec<u8>,
+    },
     /// Rendezvous invocation request: run code object `code` with the
     /// destination object as its primary argument (see `rdv-core`).
     Invoke {
@@ -244,6 +266,8 @@ impl MsgBody {
             MsgBody::DiscoverReq { .. } => 0x10,
             MsgBody::DiscoverResp { .. } => 0x11,
             MsgBody::Advertise { .. } => 0x12,
+            MsgBody::GossipDigest { .. } => 0x13,
+            MsgBody::GossipDelta { .. } => 0x14,
             MsgBody::Invoke { .. } => 0x20,
             MsgBody::InvokeResult { .. } => 0x21,
             MsgBody::RelData { .. } => 0x40,
@@ -310,6 +334,12 @@ impl MsgBody {
                 holder_inbox.encode(w);
             }
             MsgBody::Advertise { obj } => obj.encode(w),
+            MsgBody::GossipDigest { round, target, data }
+            | MsgBody::GossipDelta { round, target, data } => {
+                w.put_uvarint(*round);
+                target.encode(w);
+                w.put_len_prefixed(data);
+            }
             MsgBody::Invoke { req, code, args } => {
                 w.put_uvarint(*req);
                 code.encode(w);
@@ -374,6 +404,16 @@ impl MsgBody {
                 MsgBody::DiscoverResp { req: r.get_uvarint()?, holder_inbox: ObjId::decode(r)? }
             }
             0x12 => MsgBody::Advertise { obj: ObjId::decode(r)? },
+            0x13 => MsgBody::GossipDigest {
+                round: r.get_uvarint()?,
+                target: ObjId::decode(r)?,
+                data: r.get_len_prefixed(MAX)?.to_vec(),
+            },
+            0x14 => MsgBody::GossipDelta {
+                round: r.get_uvarint()?,
+                target: ObjId::decode(r)?,
+                data: r.get_len_prefixed(MAX)?.to_vec(),
+            },
             0x20 => MsgBody::Invoke {
                 req: r.get_uvarint()?,
                 code: ObjId::decode(r)?,
@@ -466,6 +506,8 @@ mod tests {
             MsgBody::DiscoverReq { req: 6 },
             MsgBody::DiscoverResp { req: 6, holder_inbox: ObjId(0xBEEF) },
             MsgBody::Advertise { obj: ObjId(11) },
+            MsgBody::GossipDigest { round: 3, target: ObjId(0xAB), data: vec![4, 5, 6] },
+            MsgBody::GossipDelta { round: 3, target: ObjId(0xAB), data: vec![7, 8] },
             MsgBody::Invoke { req: 7, code: ObjId(0xC0DE), args: vec![ObjId(1), ObjId(2)] },
             MsgBody::InvokeResult { req: 7, result: vec![0xFF; 8] },
             MsgBody::RelData { seq: 10, ack: 9, inner: vec![0x01, 0x00] },

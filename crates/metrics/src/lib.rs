@@ -48,7 +48,7 @@ pub use set::{MetricSample, MetricSet, MetricsConfig, Series};
 /// counters. Full gauge names are `<base>.<instance>` (e.g.
 /// `link.queue_bytes.l0`); derived counter rates are named
 /// `rate.<counter>` and are registered dynamically by the engine.
-pub const GAUGE_NAMES: [&str; 22] = [
+pub const GAUGE_NAMES: [&str; 25] = [
     "link.queue_bytes",
     "link.util_pct",
     "node.pending_timers",
@@ -71,6 +71,9 @@ pub const GAUGE_NAMES: [&str; 22] = [
     "load.p50_us",
     "load.p99_us",
     "load.p999_us",
+    "gossip.journal_entries",
+    "gossip.sync_rate",
+    "gossip.repair_hits",
 ];
 
 /// Whether `base` is one of the canonical [`GAUGE_NAMES`].

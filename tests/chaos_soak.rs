@@ -706,3 +706,218 @@ fn load_soak_churned_pool_survives_a_partition_window() {
     fingerprints.dedup();
     assert!(fingerprints.len() > 1, "seeds collapsed to one scenario");
 }
+
+// ---------------------------------------------------------------------------
+// Family 5: journal-gossip discovery under churn + partition (ISSUE 9)
+// ---------------------------------------------------------------------------
+
+/// One gossip-discovery scenario: E2E hosts with anti-entropy enabled, a
+/// mid-plan migration burst (churn), and a partition window around the
+/// gossip relay so the relay-first path must demote to direct.
+struct GossipScenario {
+    objects_per_holder: usize,
+    accesses: usize,
+    link_loss: u16,
+    migrations: usize,
+    part_at: u64,
+    part_dur: u64,
+    access_at: u64,
+    access_gap: u64,
+}
+
+fn gen_gossip_scenario(seed: u64) -> GossipScenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x605);
+    let objects_per_holder = rng.gen_range(2..4);
+    GossipScenario {
+        objects_per_holder,
+        accesses: rng.gen_range(12..20),
+        link_loss: rng.gen_range(0..30) as u16,
+        migrations: rng.gen_range(1..=objects_per_holder),
+        part_at: rng.gen_range(100..700),
+        part_dur: rng.gen_range(150..450),
+        access_at: rng.gen_range(300..500),
+        access_gap: rng.gen_range(40..80),
+    }
+}
+
+struct GossipOutcome {
+    fingerprint: String,
+    relay_fallbacks: u64,
+    repair_hits: u64,
+    nacks: u64,
+}
+
+fn run_gossip_scenario(seed: u64, sc: &GossipScenario, shards: usize) -> GossipOutcome {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x605B);
+    let host_cfg = HostConfig {
+        mode: DiscoveryMode::E2E,
+        access_timeout: SimTime::from_micros(200),
+        max_access_retries: 8,
+        ..HostConfig::default()
+    };
+    const D0: ObjId = ObjId(0xD0);
+    const B0: ObjId = ObjId(0xB0);
+    const B1: ObjId = ObjId(0xB1);
+    const B2: ObjId = ObjId(0xB2);
+
+    let mut driver = HostNode::new("driver", D0, host_cfg);
+    let mut h0 = HostNode::new("h0", B0, host_cfg);
+    let mut h1 = HostNode::new("h1", B1, host_cfg);
+    // h2 holds no objects: it exists as the driver's gossip relay towards
+    // h0, and as the partition victim — cutting it off must demote the
+    // relay-first path to direct without stalling anti-entropy.
+    let mut h2 = HostNode::new("h2", B2, host_cfg);
+
+    for (host, replica) in [(&mut driver, 1u64), (&mut h0, 2), (&mut h1, 3), (&mut h2, 4)] {
+        host.enable_gossip(replica, rdv_gossip::GossipConfig::default());
+    }
+    driver.add_gossip_peer(B0, Some(B2));
+    driver.add_gossip_peer(B1, None);
+    h0.add_gossip_peer(D0, None);
+    h0.add_gossip_peer(B1, None);
+    h1.add_gossip_peer(B2, None);
+    h1.add_gossip_peer(D0, None);
+    h2.add_gossip_peer(B0, None);
+    h2.add_gossip_peer(B1, None);
+
+    // h0 and h1 each hold objects; routes point at the *initial* holders,
+    // so post-migration broadcasts land on the stale port and only the
+    // journal can repair the path (star switch default is drop, not flood).
+    // Loss rides the driver's uplink only: access traffic must survive
+    // drops via the retry budget, but the holder-to-holder migration push
+    // is a single unacked image transfer — losing it would orphan the
+    // object and (correctly) fail the all-accesses-complete invariant.
+    let driver_link = host_link_rack().with_loss(sc.link_loss);
+    let link = host_link_rack();
+    let mut obj_routes = Vec::new();
+    let mut owned0 = Vec::new();
+    let mut owned1 = Vec::new();
+    {
+        let mut seed_objects =
+            |host: &mut HostNode, port: usize, owned: &mut Vec<ObjId>, rng: &mut StdRng| {
+                for _ in 0..sc.objects_per_holder {
+                    let obj = host.store.create(rng, ObjectKind::Data);
+                    let off = host.store.get_mut(obj).unwrap().alloc(128).unwrap();
+                    host.store.get_mut(obj).unwrap().write_u64(off, obj.as_u128() as u64).unwrap();
+                    obj_routes.push((obj, port));
+                    owned.push(obj);
+                }
+            };
+        seed_objects(&mut h0, 1, &mut owned0, &mut rng);
+        seed_objects(&mut h1, 2, &mut owned1, &mut rng);
+    }
+
+    // Churn: a subset of h0's objects migrates to h1 mid-plan, after the
+    // driver has already cached their old location.
+    for &obj in owned0.iter().take(sc.migrations) {
+        h0.migrations.push((obj, B1));
+    }
+    for _ in 0..sc.accesses {
+        let pick = if rng.gen_bool(0.5) { &owned0 } else { &owned1 };
+        driver.plan.push(pick[rng.gen_range(0..pick.len())]);
+    }
+    let plan_len = driver.plan.len();
+
+    let nodes: Vec<(Box<dyn Node>, ObjId, LinkSpec)> = vec![
+        (Box::new(driver), D0, driver_link),
+        (Box::new(h0), B0, link),
+        (Box::new(h1), B1, link),
+        (Box::new(h2), B2, link),
+    ];
+    let (mut sim, ids) = build_star_fabric_sharded(seed, shards, nodes, &obj_routes);
+    let switch = NodeId(ids.len());
+    sim.enable_metrics(MetricsConfig::default());
+    sim.enable_shard_audit();
+
+    sim.install_fault_plan(&FaultPlan::new().partition(
+        SimTime::from_micros(sc.part_at),
+        SimTime::from_micros(sc.part_at + sc.part_dur),
+        &[switch],
+        &[ids[3]],
+    ));
+
+    // Accesses straddle the migration burst: the first half trains the
+    // destcache on the old holders, then the churn lands, then the stale
+    // second half must repair via Nack + local journal.
+    let migrate_at = sc.access_at + sc.access_gap * (sc.accesses as u64 / 2);
+    for m in 0..sc.migrations as u64 {
+        sim.schedule(
+            SimTime::from_micros(migrate_at + 10 * m),
+            ids[1],
+            rdv_discovery::host::tags::MIGRATE | m,
+        );
+    }
+    for i in 0..plan_len as u64 {
+        sim.schedule(SimTime::from_micros(sc.access_at + sc.access_gap * i), ids[0], i);
+    }
+    // Anti-entropy re-arms its timer forever, so the sim never idles:
+    // bound the run past the last access plus the full retry budget.
+    let last = sc.access_at + sc.access_gap * plan_len as u64;
+    sim.run_until(SimTime::from_micros(last + 3000));
+
+    let gctr = rdv_gossip::sync::ctr();
+    let mut relay_fallbacks = 0u64;
+    let mut repair_hits = 0u64;
+    let mut fingerprint = render_counters(&sim.counters);
+    fingerprint.push('#');
+    for (k, &id) in ids.iter().enumerate() {
+        let h = sim.node_as::<HostNode>(id).unwrap();
+        relay_fallbacks += h.counters.get_id(gctr.relay_fallbacks);
+        repair_hits += h.counters.get_id(gctr.repair_hits);
+        fingerprint.push_str(&render_counters(&h.counters));
+        if let Some(g) = &h.gossip {
+            fingerprint.push_str(&format!("J{k}:{:x};", g.journal.fingerprint()));
+        }
+    }
+
+    let drv = sim.node_as::<HostNode>(ids[0]).unwrap();
+    // Invariant 3: nothing wedges; and with no crash and the partition
+    // only around the object-free relay, every access must complete.
+    assert_eq!(drv.outstanding(), 0, "seed {seed}: accesses wedged in flight");
+    assert_eq!(
+        drv.records.len(),
+        plan_len,
+        "seed {seed}: churn + partition may not lose accesses ({:?})",
+        drv.failed
+    );
+    let mut nacks = 0u64;
+    for r in &drv.records {
+        assert!(r.latency() > SimTime::ZERO, "seed {seed}");
+        nacks += r.nacks;
+        fingerprint.push_str(&format!(
+            "r:{:x}:{}:{}:{}:{};",
+            r.target.as_u128(),
+            r.issued.as_nanos(),
+            r.completed.as_nanos(),
+            r.broadcasts,
+            r.nacks
+        ));
+    }
+    GossipOutcome { fingerprint, relay_fallbacks, repair_hits, nacks }
+}
+
+#[test]
+fn gossip_soak_churn_and_partition_under_journal_discovery() {
+    let mut fingerprints = Vec::new();
+    let (mut fallbacks, mut repairs, mut nacks) = (0u64, 0u64, 0u64);
+    for seed in 0..15u64 {
+        let sc = gen_gossip_scenario(seed);
+        let out = run_gossip_scenario(seed, &sc, 1);
+
+        // Invariant 4: byte-identical at every engine shard count, with
+        // the shard-ownership race detector armed (enable_shard_audit).
+        for shards in [2usize, 8] {
+            let again = run_gossip_scenario(seed, &sc, shards);
+            assert_eq!(out.fingerprint, again.fingerprint, "seed {seed}: shards={shards} diverged");
+        }
+        fallbacks += out.relay_fallbacks;
+        repairs += out.repair_hits;
+        nacks += out.nacks;
+        fingerprints.push(out.fingerprint);
+    }
+    assert!(fallbacks > 0, "no partition window ever demoted the relay path to direct");
+    assert!(repairs > 0, "journal repair never fired — gossip facts went unused");
+    assert!(nacks > 0, "no stale unicast ever hit the old holder — churn never bit");
+    fingerprints.dedup();
+    assert!(fingerprints.len() > 1, "seeds collapsed to one scenario");
+}
