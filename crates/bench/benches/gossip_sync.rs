@@ -64,7 +64,7 @@ fn ring_converge(nodes: usize, per_node: u64) -> u64 {
         .collect();
     let mut counters = Counters::new();
     for _ in 0..2 * nodes {
-        let outs: Vec<Msg> = ring.iter_mut().flat_map(|n| n.on_round(&mut counters)).collect();
+        let outs: Vec<Msg> = ring.iter_mut().flat_map(|n| n.on_round(0, &mut counters)).collect();
         pump(&mut ring, &mut counters, outs);
         let fp = ring[0].journal.fingerprint();
         if ring.iter().all(|n| n.journal.fingerprint() == fp) {
@@ -87,7 +87,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let (mut a, bn) = pair(entries);
             let mut counters = Counters::new();
-            let first = a.on_round(&mut counters);
+            let first = a.on_round(0, &mut counters);
             let mut nodes = vec![a, bn];
             let delivered = pump(&mut nodes, &mut counters, first);
             assert_eq!(nodes[0].journal.fingerprint(), nodes[1].journal.fingerprint());

@@ -41,7 +41,7 @@ use rdv_bench::Series;
 fn usage_exit() -> ! {
     eprintln!(
         "usage: figures [--quick] [--jobs N] [--shards N] [--list] [--trace EXP] \
-         [--metrics EXP] [F1 F2 F3 F4 F5 F6 F7 T1 T2 S1 A1 A2 A3 A4 A5]"
+         [--metrics EXP] [F1 F2 F3 F4 F5 F6 F7 F8 T1 T2 S1 A1 A2 A3 A4 A5]"
     );
     std::process::exit(2);
 }
@@ -143,6 +143,7 @@ fn main() {
             "F5" => experiments::f5::run(quick),
             "F6" => experiments::f6::run(quick),
             "F7" => experiments::f7::run(quick),
+            "F8" => experiments::f8::run(quick),
             "T1" => experiments::t1::run(quick),
             "T2" => experiments::t2::run(quick),
             "S1" => experiments::s1::run(quick),

@@ -39,8 +39,8 @@ const RATE_PER_S: u64 = 1_000_000;
 /// Arrival window length.
 const DURATION: SimTime = SimTime::from_millis(1);
 /// Blip start / length: partition + crash window injected mid-load.
-const BLIP_AT: SimTime = SimTime::from_micros(300);
-const BLIP_DUR: SimTime = SimTime::from_micros(200);
+pub(crate) const BLIP_AT: SimTime = SimTime::from_micros(300);
+pub(crate) const BLIP_DUR: SimTime = SimTime::from_micros(200);
 /// Writer-side patience: watchdog window × (1 + retries) for the
 /// rendezvous arm; the same total as a single RPC deadline.
 const ACCESS_TIMEOUT: SimTime = SimTime::from_micros(200);
@@ -49,7 +49,7 @@ const RPC_DEADLINE_NS: u64 = ACCESS_TIMEOUT.as_nanos() * (MAX_RETRIES as u64 + 1
 /// SLO window for the goodput/recovery series.
 const SLO_INTERVAL: SimTime = SimTime::from_micros(50);
 
-fn fabric_spec() -> LoadFabricSpec {
+pub(crate) fn fabric_spec() -> LoadFabricSpec {
     LoadFabricSpec {
         holders: 3,
         shards: 0,
@@ -59,14 +59,17 @@ fn fabric_spec() -> LoadFabricSpec {
         max_access_retries: MAX_RETRIES,
         slo_interval: SLO_INTERVAL,
         shard_audit: false,
+        bystanders: 0,
+        gossip_period: None,
+        flight_recorder: false,
     }
 }
 
-fn replog_spec() -> ReplogSpec {
+pub(crate) fn replog_spec() -> ReplogSpec {
     ReplogSpec { writers: 4, heads: 8, entry_bytes: 64, batch_window: SimTime::from_micros(20) }
 }
 
-fn open_spec(skew_permille: u32) -> OpenLoopSpec {
+pub(crate) fn open_spec(skew_permille: u32) -> OpenLoopSpec {
     OpenLoopSpec {
         clients: CLIENTS,
         objects: replog_spec().heads,
@@ -79,7 +82,7 @@ fn open_spec(skew_permille: u32) -> OpenLoopSpec {
     }
 }
 
-fn blip() -> Blip {
+pub(crate) fn blip() -> Blip {
     Blip { at: BLIP_AT, dur: BLIP_DUR, partition_holder: Some(0), crash_holder: Some(1) }
 }
 

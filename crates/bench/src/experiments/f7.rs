@@ -34,9 +34,10 @@ use rdv_discovery::hier::plan_gossip_peers;
 use rdv_gossip::sync::ctr;
 use rdv_gossip::{GossipConfig, GossipSync};
 use rdv_memproto::msg::{Msg, MsgBody, NackCode};
+use rdv_netsim::metrics::{MetricSample, MetricSet};
 use rdv_netsim::stats::Counters;
 use rdv_netsim::topo::build_rack_ring;
-use rdv_netsim::{Node, NodeCtx, Packet, PortId, Sim, SimConfig, SimTime};
+use rdv_netsim::{MetricsConfig, Node, NodeCtx, Packet, PortId, Sim, SimConfig, SimTime};
 use rdv_objspace::ObjId;
 
 /// ISSUE 9 acceptance: byte-identical across `--shards 1/2/8`.
@@ -168,6 +169,11 @@ struct F7Host {
     probe_done_ns: Option<u64>,
     journal_hit: bool,
     next_req: u64,
+    /// The representative host whose gossip gauges the metrics companion
+    /// samples (unique node name `probe`, so the series instance is
+    /// stable). Gauge sampling reads state only, so this never perturbs
+    /// the run fingerprint.
+    metrics_probe: bool,
 }
 
 impl F7Host {
@@ -184,6 +190,7 @@ impl F7Host {
             probe_done_ns: None,
             journal_hit: false,
             next_req: 0,
+            metrics_probe: false,
         }
     }
 
@@ -223,7 +230,8 @@ impl Node for F7Host {
         match tag {
             TAG_ROUND => {
                 let Some(sync) = self.sync.as_mut() else { return };
-                for msg in sync.on_round(&mut self.counters) {
+                let now_ns = ctx.now.as_nanos();
+                for msg in sync.on_round(now_ns, &mut self.counters) {
                     Self::send_msg(ctx, msg);
                 }
                 ctx.set_timer(self.sync.as_ref().expect("gossip arm").period(), TAG_ROUND);
@@ -318,28 +326,66 @@ impl Node for F7Host {
         }
     }
 
+    fn sample_metrics(&self, m: &mut MetricSample<'_>) {
+        if !self.metrics_probe {
+            return;
+        }
+        if let Some(sync) = &self.sync {
+            m.gauge("gossip.journal_entries", sync.journal.len() as u64);
+            m.rate_per_s("gossip.sync_rate", self.counters.get_id(ctr().rounds));
+            m.gauge("gossip.repair_hits", self.counters.get_id(ctr().repair_hits));
+        }
+    }
+
     fn name(&self) -> &str {
-        "f7-host"
+        if self.metrics_probe {
+            "probe"
+        } else {
+            "f7-host"
+        }
     }
 }
 
 /// One arm's deterministic outputs (plus the full fingerprint string).
 #[derive(Debug, PartialEq, Eq)]
-struct ArmOut {
-    events: u64,
+pub(crate) struct ArmOut {
+    pub(crate) events: u64,
     clock_ns: u64,
-    flood_rx: u64,
-    rounds: u64,
+    pub(crate) flood_rx: u64,
+    pub(crate) rounds: u64,
     gossip_msgs: u64,
-    entries_applied: u64,
-    repair_hits: u64,
+    pub(crate) entries_applied: u64,
+    pub(crate) repair_hits: u64,
     /// Churn-order probe latencies (mover-rack order), ns.
-    probe_ns: Vec<u64>,
+    pub(crate) probe_ns: Vec<u64>,
     fp: String,
 }
 
 fn run_arm(spec: &ChurnSpec, gossip: bool, seed: u64, shards: usize) -> ArmOut {
+    run_arm_inner(spec, gossip, seed, shards, false).0
+}
+
+/// One arm with the telemetry plane armed: engine gauges plus the gossip
+/// gauges of the first prober host (node name `probe`). Used by the
+/// `figures --metrics F7` companion.
+pub(crate) fn run_arm_metrics(spec_quick: bool, gossip: bool, seed: u64) -> (ArmOut, MetricSet) {
+    let (racks, hpr) = FABRICS[0];
+    let spec = spec(racks, hpr, spec_quick);
+    let (out, set) = run_arm_inner(&spec, gossip, seed, 1, true);
+    (out, set.expect("metrics were enabled"))
+}
+
+fn run_arm_inner(
+    spec: &ChurnSpec,
+    gossip: bool,
+    seed: u64,
+    shards: usize,
+    metrics: bool,
+) -> (ArmOut, Option<MetricSet>) {
     let mut sim = Sim::new(SimConfig { seed, shards, ..Default::default() });
+    if metrics {
+        sim.enable_metrics(MetricsConfig::default());
+    }
     let (racks, hpr) = (spec.racks, spec.hpr);
     let ring = build_rack_ring(
         &mut sim,
@@ -382,6 +428,10 @@ fn run_arm(spec: &ChurnSpec, gossip: bool, seed: u64, shards: usize) -> ArmOut {
         sim.schedule(probe, ring.hosts[m + 2], TAG_PROBE);
         probers.push(m + 2);
     }
+    if metrics {
+        let probe = sim.node_as_mut::<F7Host>(ring.hosts[probers[0]]).expect("prober");
+        probe.metrics_probe = true;
+    }
     // Gossip timers re-arm forever, so that arm runs to a deadline; the
     // flood arm has no standing timers and drains to idle.
     let events = if gossip {
@@ -390,6 +440,10 @@ fn run_arm(spec: &ChurnSpec, gossip: bool, seed: u64, shards: usize) -> ArmOut {
         sim.run_until_idle()
     };
     let clock_ns = sim.now().as_nanos();
+    let set = metrics.then(|| {
+        sim.flush_metrics(sim.now());
+        sim.take_metrics()
+    });
 
     let mut merged = Counters::new();
     let mut flood_rx = 0u64;
@@ -415,7 +469,7 @@ fn run_arm(spec: &ChurnSpec, gossip: bool, seed: u64, shards: usize) -> ArmOut {
     for (i, ns) in probe_ns.iter().enumerate() {
         fp.push_str(&format!("p{i}:{ns};"));
     }
-    ArmOut {
+    let out = ArmOut {
         events,
         clock_ns,
         flood_rx,
@@ -427,7 +481,8 @@ fn run_arm(spec: &ChurnSpec, gossip: bool, seed: u64, shards: usize) -> ArmOut {
         repair_hits: merged.get_id(g.repair_hits),
         probe_ns,
         fp,
-    }
+    };
+    (out, set)
 }
 
 /// Run the churn sweep: both arms at every fabric size, shard-sweep

@@ -11,6 +11,7 @@ pub mod f4;
 pub mod f5;
 pub mod f6;
 pub mod f7;
+pub mod f8;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -32,6 +33,7 @@ pub const CATALOG: &[(&str, &str)] = &[
     ("F5", "sharded engine scaling: events/s and peak RSS vs fabric size (ROADMAP item 1)"),
     ("F6", "million-user open-loop blip: goodput dip and recovery, rendezvous vs RPC (ISSUE 7)"),
     ("F7", "discovery churn at fabric scale: flood rediscovery vs journal gossip (ISSUE 9)"),
+    ("F8", "p999 tail attribution through the blip from deterministic sampled traces (ISSUE 10)"),
     ("T1", "switch exact-match capacity vs ID width (paper §3.2)"),
     ("T2", "pointer encoding cost: FOT (64-bit) vs direct 128-bit pointers (paper §3.1)"),
     ("S1", "request-time (de)serialization and loading (paper §2 '70%')"),
@@ -52,6 +54,7 @@ pub fn run_all(quick: bool) -> Vec<Series> {
         f5::run(quick),
         f6::run(quick),
         f7::run(quick),
+        f8::run(quick),
         t1::run(quick),
         t2::run(quick),
         s1::run(quick),

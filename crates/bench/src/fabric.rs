@@ -17,7 +17,12 @@
 //! shard count, and every harness built on this module asserts it.
 
 use rdv_netsim::topo::build_rack_ring;
+use rdv_netsim::trace::{EventId, SampleSpec, Tracer};
 use rdv_netsim::{LinkSpec, Node, NodeCtx, Packet, PortId, Sim, SimConfig, SimTime};
+
+/// Trace-ring capacity for sampled storm runs; sampling keeps the
+/// recorded stream far below this.
+const TRACE_CAPACITY: usize = 1 << 20;
 
 /// Workload shape: fabric size and per-node traffic budgets.
 #[derive(Debug, Clone, Copy)]
@@ -63,14 +68,22 @@ pub fn trunk_link() -> LinkSpec {
     }
 }
 
-/// Storms its uplink (port 0) and bounces every echo until spent.
+/// Storms its uplink (port 0) and bounces every echo until spent. Each
+/// host's whole bounce chain is one `fabric.storm` span rooted at start:
+/// under sampled tracing a kept host records every echo leg of its chain
+/// and an unsampled host records nothing, which is what makes tracing
+/// affordable on the 100 k-host F5 fabrics.
 struct StormHost {
+    index: u64,
     burst: u64,
     remaining: u64,
+    span: Option<EventId>,
 }
 
 impl Node for StormHost {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.trace.sample("fabric.storm", self.index);
+        self.span = ctx.trace.span_begin("fabric.storm", self.index);
         for i in 0..self.burst {
             ctx.send(PortId(0), Packet::new(vec![0u8; 64], i));
         }
@@ -79,6 +92,9 @@ impl Node for StormHost {
         if self.remaining > 0 {
             self.remaining -= 1;
             ctx.send(port, packet);
+            if self.remaining == 0 {
+                ctx.trace.span_end("fabric.storm", self.span.take());
+            }
         }
     }
     fn name(&self) -> &str {
@@ -116,7 +132,33 @@ impl Node for RingSwitch {
 /// One full fabric storm at `shards`. Returns `(events, final clock ns)` —
 /// the run fingerprint, identical for every shard count.
 pub fn run_fabric(spec: &FabricSpec, seed: u64, shards: usize) -> (u64, u64) {
+    storm(spec, seed, shards, None).0
+}
+
+/// [`run_fabric`] with deterministic sampled tracing: hosts whose
+/// `fabric.storm` chain wins the sample verdict record their full bounce
+/// chain into the returned ring. Also returns display names indexed by
+/// node id for the Perfetto export. The fingerprint is unchanged —
+/// tracing records events, it never adds any.
+pub fn run_fabric_traced(
+    spec: &FabricSpec,
+    seed: u64,
+    shards: usize,
+    sample: &SampleSpec,
+) -> ((u64, u64), Tracer, Vec<String>) {
+    let (fp, traced) = storm(spec, seed, shards, Some(sample));
+    let (tracer, names) = traced.expect("traced run");
+    (fp, tracer, names)
+}
+
+/// `(fingerprint, Some((tracer, node names)) when sampling was armed)`.
+type StormOutput = ((u64, u64), Option<(Tracer, Vec<String>)>);
+
+fn storm(spec: &FabricSpec, seed: u64, shards: usize, sample: Option<&SampleSpec>) -> StormOutput {
     let mut sim = Sim::new(SimConfig { seed, shards, ..Default::default() });
+    if let Some(spec) = sample {
+        sim.enable_trace_sampled(TRACE_CAPACITY, spec.clone());
+    }
     let hpr = spec.hosts_per_rack;
     let (ring_packets, ring_hops) = (spec.ring_packets, spec.ring_hops);
     let (burst, bounces) = (spec.burst, spec.bounces);
@@ -134,13 +176,24 @@ pub fn run_fabric(spec: &FabricSpec, seed: u64, shards: usize) -> (u64, u64) {
                 ring_hops,
             })
         },
-        |_| Box::new(StormHost { burst, remaining: bounces }),
+        |i| Box::new(StormHost { index: i as u64, burst, remaining: bounces, span: None }),
         host_link(),
         trunk_link(),
     );
     let events = sim.run_until_idle();
     debug_assert_eq!(ring.hosts.len(), spec.hosts());
-    (events, sim.now().as_nanos())
+    let traced = sample.is_some().then(|| {
+        let count = ring.switches.len() + ring.hosts.len();
+        let mut names = vec![String::new(); count];
+        for (r, &id) in ring.switches.iter().enumerate() {
+            names[id.0] = format!("sw{r}");
+        }
+        for (i, &id) in ring.hosts.iter().enumerate() {
+            names[id.0] = format!("h{}.{}", i / hpr, i % hpr);
+        }
+        (sim.take_tracer(), names)
+    });
+    ((events, sim.now().as_nanos()), traced)
 }
 
 #[cfg(test)]

@@ -120,8 +120,9 @@ pub struct AccessRecord {
     pub broadcasts: u64,
     /// NACKs (stale unicasts) this access hit.
     pub nacks: u64,
-    /// The `discovery.access` span-end event, when tracing was enabled —
-    /// the anchor critical-path extraction walks back from.
+    /// The access span-end event (`discovery.access`, or `load.batch` on
+    /// load-harness writers), when tracing was enabled — the anchor
+    /// critical-path extraction walks back from.
     pub trace_end: Option<EventId>,
 }
 
@@ -231,6 +232,12 @@ pub struct HostNode {
     /// Host counters: `broadcasts`, `nacks_received`, `serves`,
     /// `invalidates_sent`, `migrations_done`, `advertises_sent`.
     pub counters: rdv_netsim::Counters,
+    /// Label accesses as replicated-log batches: the per-access span
+    /// becomes `load.batch` (issue→ack) instead of `discovery.access`,
+    /// sampled under its own class, and each completed batch marks
+    /// `load.head_advance` with the head object — the writer's log head
+    /// moved. Set by the load harness on writer nodes.
+    pub load_spans: bool,
 }
 
 impl HostNode {
@@ -254,6 +261,7 @@ impl HostNode {
             records: Vec::new(),
             failed: Vec::new(),
             counters: rdv_netsim::Counters::new(),
+            load_spans: false,
         }
     }
 
@@ -305,18 +313,31 @@ impl HostNode {
         }
     }
 
-    /// Run one gossip round: emit digests (one `gossip.sync` span per
-    /// digest, closed when the peer's delta lands) and re-arm the timer.
+    /// Run one gossip round: emit digests (one `gossip.round` span over
+    /// the whole round, a `gossip.digest` mark plus one `gossip.sync` span
+    /// per digest, closed when the peer's delta lands) and re-arm the
+    /// timer.
     fn gossip_round(&mut self, ctx: &mut NodeCtx<'_>) {
-        let Some(g) = self.gossip.as_mut() else { return };
-        let msgs = g.on_round(&mut self.counters);
+        let Some(round) = self.gossip.as_ref().map(GossipSync::round) else { return };
+        // One sampling decision per (node, round): a kept round roots a
+        // chain that follows its digests, deltas, and repairs across the
+        // fabric; a skipped round is entirely invisible.
+        ctx.trace.sample("gossip.round", self.sample_origin(round));
+        let round_span = ctx.trace.span_begin("gossip.round", round);
+        let g = self.gossip.as_mut().expect("checked above");
+        let msgs = g.on_round(ctx.now.as_nanos(), &mut self.counters);
         for msg in msgs {
             if let MsgBody::GossipDigest { target, .. } = &msg.body {
+                ctx.trace.mark("gossip.digest", target.lo());
                 let span = ctx.trace.span_begin("gossip.sync", target.lo());
                 self.gossip_spans.insert(target.as_u128(), span);
             }
             self.transmit(ctx, msg);
         }
+        ctx.trace.span_end("gossip.round", round_span);
+        // Detach before re-arming: one sampled round must not causally
+        // adopt every future round through the periodic timer chain.
+        ctx.trace.detach();
         self.arm_gossip(ctx);
     }
 
@@ -325,6 +346,7 @@ impl HostNode {
     fn on_gossip(&mut self, ctx: &mut NodeCtx<'_>, msg: Msg) {
         if let MsgBody::GossipDelta { target, .. } = &msg.body {
             if *target == self.inbox {
+                ctx.trace.mark("gossip.delta", msg.header.src.lo());
                 if let Some(span) = self.gossip_spans.remove(&msg.header.src.as_u128()) {
                     ctx.trace.span_end("gossip.sync", span);
                 }
@@ -342,6 +364,24 @@ impl HostNode {
     fn journal_repair(&mut self, target: ObjId, distrust: Option<ObjId>) -> Option<ObjId> {
         let holder = self.gossip.as_ref()?.journal.lookup(target)?;
         (holder != self.inbox && Some(holder) != distrust).then_some(holder)
+    }
+
+    /// Span class of an access on this host: writer batches trace as
+    /// `load.batch`, ordinary accesses as `discovery.access`.
+    fn access_span(&self) -> &'static str {
+        if self.load_spans {
+            "load.batch"
+        } else {
+            "discovery.access"
+        }
+    }
+
+    /// Sampling origin stamp for the `seq`-th operation of a class on this
+    /// host: pure in per-node state, so the sampler's verdict — and with
+    /// it the kept-trace byte stream — is identical at any shard count or
+    /// process layout.
+    fn sample_origin(&self, seq: u64) -> u64 {
+        (seq << 20) | (self.inbox.lo() & 0xF_FFFF)
     }
 
     fn fresh_trace(&mut self) -> u64 {
@@ -370,7 +410,8 @@ impl HostNode {
         let req = self.next_req;
         self.next_req += 1;
         let issued = ctx.now;
-        let span = ctx.trace.span_begin("discovery.access", target.lo());
+        ctx.trace.sample(self.access_span(), self.sample_origin(req));
+        let span = ctx.trace.span_begin(self.access_span(), target.lo());
         match self.cfg.mode {
             DiscoveryMode::Controller => {
                 self.pending.insert(
@@ -600,7 +641,11 @@ impl HostNode {
         let Some(mut p) = self.pending.remove(&req) else { return };
         match body {
             MsgBody::ReadResp { .. } => {
-                let trace_end = ctx.trace.span_end("discovery.access", p.span);
+                let trace_end = ctx.trace.span_end(self.access_span(), p.span);
+                if self.load_spans {
+                    // The writer's view of this log head just advanced.
+                    ctx.trace.mark("load.head_advance", p.target.lo());
+                }
                 self.records.push(AccessRecord {
                     target: p.target,
                     issued: p.issued,

@@ -313,6 +313,20 @@ impl Journal {
         Delta { vv, entries, members, want_reply }
     }
 
+    /// Drop nil-holder tombstones whose LWW write time is older than
+    /// `now_ns - horizon`. The version vector is untouched — the expired
+    /// origins stay covered, so peers never re-request the dominated
+    /// writes; a peer that missed the tombstone entirely keeps its stale
+    /// fact, which is the standard tombstone-GC trade: pick a horizon
+    /// comfortably past anti-entropy convergence time. Returns how many
+    /// facts were dropped.
+    pub fn expire_tombstones(&mut self, now_ns: u64, horizon: u64) -> usize {
+        let cutoff = now_ns.saturating_sub(horizon);
+        let before = self.holders.len();
+        self.holders.retain(|_, e| !(e.fact.get().holder.is_nil() && e.fact.stamp().0 < cutoff));
+        before - self.holders.len()
+    }
+
     /// Merge a delta: LWW-join each entry, join membership if present,
     /// pointwise-max the version vector. Returns how many entries changed
     /// this journal's content.
@@ -471,6 +485,32 @@ mod tests {
         let delta = j.delta_since(&Digest::default(), true);
         let bytes = rdv_wire::encode_to_vec(&delta);
         assert_eq!(rdv_wire::decode_from_slice::<Delta>(&bytes).unwrap(), delta);
+    }
+
+    #[test]
+    fn tombstones_expire_past_the_horizon_and_stay_covered() {
+        let mut a = Journal::new(1);
+        a.record_holder(ObjId(1), ObjId(0x10), 100);
+        a.retire_holder(ObjId(1), 200);
+        a.record_holder(ObjId(2), ObjId(0x20), 250); // live fact, never expires
+        a.retire_holder(ObjId(3), 900); // young tombstone, inside horizon
+
+        assert_eq!(a.expire_tombstones(1_000, 500), 1, "only the old tombstone goes");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.fact(ObjId(1)), None, "expired fact is gone entirely");
+        assert_eq!(a.lookup(ObjId(2)), Some(ObjId(0x20)));
+        assert!(a.fact(ObjId(3)).unwrap().holder.is_nil(), "young tombstone survives");
+
+        // The expired origin stays covered: a fresh journal syncing from A
+        // never sees obj 1, and A's digest still claims those sequences, so
+        // nobody re-requests the dominated write.
+        let mut b = Journal::new(2);
+        b.apply(&a.delta_since(&b.digest(), false));
+        assert_eq!(b.fact(ObjId(1)), None);
+        assert!(!a.is_ahead_of(&b.digest()), "expiry leaves nothing left to ship");
+
+        // Idempotent: nothing else crosses the cutoff.
+        assert_eq!(a.expire_tombstones(1_000, 500), 0);
     }
 
     #[test]

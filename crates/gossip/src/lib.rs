@@ -22,7 +22,7 @@ pub use sync::{ctr, GossipConfig, GossipCtr, GossipSync};
 /// Every `gossip.*` counter name the subsystem emits, in slot order of
 /// [`sync::GossipCtr`]. `rdv-lint` (rule D3) parses this table and flags
 /// any `gossip.*` counter used in workspace code but not registered here.
-pub const GOSSIP_COUNTERS: [&str; 7] = [
+pub const GOSSIP_COUNTERS: [&str; 8] = [
     "gossip.rounds",
     "gossip.digests_sent",
     "gossip.deltas_sent",
@@ -30,6 +30,7 @@ pub const GOSSIP_COUNTERS: [&str; 7] = [
     "gossip.relay_fallbacks",
     "gossip.relayed",
     "gossip.repair_hits",
+    "gossip.facts_expired",
 ];
 
 #[cfg(test)]
@@ -49,6 +50,7 @@ mod tests {
             c.relay_fallbacks,
             c.relayed,
             c.repair_hits,
+            c.facts_expired,
         ] {
             counters.inc_id(id);
         }

@@ -35,11 +35,21 @@ pub struct GossipConfig {
     pub fanout: usize,
     /// Unanswered digests on the relay path before falling back direct.
     pub suspect_after: u32,
+    /// Drop nil-holder tombstones older than this sim-time horizon at the
+    /// start of each round (`None` keeps them forever). Pick a horizon
+    /// comfortably past anti-entropy convergence time, or a peer that
+    /// missed the tombstone keeps its stale fact.
+    pub expire_after: Option<SimTime>,
 }
 
 impl Default for GossipConfig {
     fn default() -> GossipConfig {
-        GossipConfig { period: SimTime::from_micros(40), fanout: 1, suspect_after: 2 }
+        GossipConfig {
+            period: SimTime::from_micros(40),
+            fanout: 1,
+            suspect_after: 2,
+            expire_after: None,
+        }
     }
 }
 
@@ -59,6 +69,8 @@ pub struct GossipCtr {
     pub relayed: CounterId,
     /// `gossip.repair_hits`
     pub repair_hits: CounterId,
+    /// `gossip.facts_expired`
+    pub facts_expired: CounterId,
 }
 
 /// The interned gossip counter set (process-wide, intern-once).
@@ -73,6 +85,7 @@ pub fn ctr() -> &'static GossipCtr {
         relay_fallbacks: CounterId::intern("gossip.relay_fallbacks"),
         relayed: CounterId::intern("gossip.relayed"),
         repair_hits: CounterId::intern("gossip.repair_hits"),
+        facts_expired: CounterId::intern("gossip.facts_expired"),
     })
 }
 
@@ -114,9 +127,17 @@ impl GossipSync {
         self.round
     }
 
-    /// Run one anti-entropy round: pick `fanout` peers by deterministic
-    /// rotation and emit a digest to each along its preferred path.
-    pub fn on_round(&mut self, counters: &mut Counters) -> Vec<Msg> {
+    /// Run one anti-entropy round at sim time `now_ns`: expire aged
+    /// tombstones when configured, then pick `fanout` peers by
+    /// deterministic rotation and emit a digest to each along its
+    /// preferred path.
+    pub fn on_round(&mut self, now_ns: u64, counters: &mut Counters) -> Vec<Msg> {
+        if let Some(horizon) = self.cfg.expire_after {
+            let expired = self.journal.expire_tombstones(now_ns, horizon.as_nanos());
+            if expired > 0 {
+                counters.add_id(ctr().facts_expired, expired as u64);
+            }
+        }
         if self.peers.is_empty() {
             return Vec::new();
         }
@@ -275,7 +296,7 @@ mod tests {
         a.journal.record_holder(ObjId(1), ObjId(0xA), 100);
         b.journal.record_holder(ObjId(2), ObjId(0xB), 120);
 
-        let first = a.on_round(&mut counters);
+        let first = a.on_round(200, &mut counters);
         assert_eq!(first.len(), 1);
         let mut nodes = [a, b];
         pump(&mut nodes, &mut counters, first);
@@ -293,7 +314,7 @@ mod tests {
         a.journal.record_holder(ObjId(1), ObjId(0xA), 100);
 
         // Healthy: the digest goes to the relay, which forwards it.
-        let out = a.on_round(&mut counters);
+        let out = a.on_round(200, &mut counters);
         assert_eq!(out[0].header.dst, ObjId(0xE));
         let fwd = r.on_msg(&out[0], &mut counters);
         assert_eq!(fwd.len(), 1);
@@ -302,10 +323,35 @@ mod tests {
         assert_eq!(counters.get_id(ctr().relayed), 1);
 
         // Partitioned relay: two more unanswered rounds demote to direct.
-        let out = a.on_round(&mut counters);
+        let out = a.on_round(300, &mut counters);
         assert_eq!(out[0].header.dst, ObjId(0xE), "still relay-first");
-        let out = a.on_round(&mut counters);
+        let out = a.on_round(400, &mut counters);
         assert_eq!(out[0].header.dst, ObjId(0xB), "fallback to the direct route");
         assert_eq!(counters.get_id(ctr().relay_fallbacks), 1);
+    }
+
+    #[test]
+    fn rounds_expire_aged_tombstones_when_configured() {
+        let mut counters = Counters::new();
+        let cfg = GossipConfig {
+            expire_after: Some(SimTime::from_nanos(500)),
+            ..GossipConfig::default()
+        };
+        let mut a = GossipSync::new(ObjId(0xA), 1, cfg);
+        a.add_peer(ObjId(0xB), None);
+        a.journal.record_holder(ObjId(1), ObjId(0xA), 100);
+        a.journal.retire_holder(ObjId(1), 200);
+
+        // Inside the horizon: the tombstone stays.
+        a.on_round(400, &mut counters);
+        assert_eq!(a.journal.len(), 1);
+        assert_eq!(counters.get_id(ctr().facts_expired), 0);
+
+        // Past it: expired at the next round, tallied once.
+        a.on_round(900, &mut counters);
+        assert_eq!(a.journal.len(), 0, "aged tombstone dropped");
+        assert_eq!(counters.get_id(ctr().facts_expired), 1);
+        a.on_round(1_300, &mut counters);
+        assert_eq!(counters.get_id(ctr().facts_expired), 1, "no double count");
     }
 }

@@ -15,10 +15,15 @@
 //! - **D3 `counter-name` / `event-name`** — string literals entering the
 //!   stats counter API must match the dotted lowercase scheme, `sim.*`
 //!   names must exist in the pre-interned engine registry, `load.*`
-//!   names in the traffic-plane registry (`LOAD_COUNTERS`), and `gossip.*`
-//!   names in the anti-entropy registry (`GOSSIP_COUNTERS`). Trace span/mark
-//!   labels (`span_begin`, `span_end`, `mark`, `mark_linked`) follow the
-//!   same scheme, as does every entry of the rdv-trace `EVENT_NAMES` table.
+//!   names in the traffic-plane registry (`LOAD_COUNTERS`), `gossip.*`
+//!   names in the anti-entropy registry (`GOSSIP_COUNTERS`), `obs.*` names
+//!   in the sampler tally registry (`OBS_COUNTERS`), and `flight.*` names
+//!   in the crash-recorder registry (`FLIGHT_COUNTERS`). Trace span/mark
+//!   labels (`span_begin`, `span_end`, `mark`, `mark_linked`, and the
+//!   sampler class key `sample`) follow the same scheme; `gossip.`/`load.`/
+//!   `fabric.` plane labels must additionally exist in the sampled-tracing
+//!   registry (`SPAN_LABELS`), and every entry of the rdv-trace
+//!   `EVENT_NAMES` table is scheme-checked too.
 //! - **D4 `wire-parity`** — every variant of the wire-message enums must be
 //!   handled by both the encode and decode functions.
 //! - **D5 `shard-interference`** — outside the engine's own barrier
@@ -164,7 +169,30 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
         Ok(src) => rules::parse_gossip_counters(&src),
         Err(_) => Vec::new(),
     };
-    let cfg = LintConfig { sim_registry, gauge_registry, load_registry, gossip_registry };
+    let span_path = root.join("crates/trace/src/event.rs");
+    let span_registry = match fs::read_to_string(&span_path) {
+        Ok(src) => rules::parse_span_labels(&src),
+        Err(_) => Vec::new(),
+    };
+    let obs_path = root.join("crates/trace/src/sample.rs");
+    let obs_registry = match fs::read_to_string(&obs_path) {
+        Ok(src) => rules::parse_obs_counters(&src),
+        Err(_) => Vec::new(),
+    };
+    let flight_path = root.join("crates/netsim/src/flight.rs");
+    let flight_registry = match fs::read_to_string(&flight_path) {
+        Ok(src) => rules::parse_flight_counters(&src),
+        Err(_) => Vec::new(),
+    };
+    let cfg = LintConfig {
+        sim_registry,
+        gauge_registry,
+        load_registry,
+        gossip_registry,
+        span_registry,
+        obs_registry,
+        flight_registry,
+    };
 
     let mut diags = Vec::new();
     if cfg.sim_registry.is_empty() {
@@ -200,6 +228,33 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
             line: 1,
             rule: "D3/counter-name".to_string(),
             message: "could not parse GOSSIP_COUNTERS registry; gossip.* names are unverifiable"
+                .to_string(),
+        });
+    }
+    if cfg.span_registry.is_empty() {
+        diags.push(Diagnostic {
+            file: "crates/trace/src/event.rs".to_string(),
+            line: 1,
+            rule: "D3/event-name".to_string(),
+            message: "could not parse SPAN_LABELS registry; plane span labels are unverifiable"
+                .to_string(),
+        });
+    }
+    if cfg.obs_registry.is_empty() {
+        diags.push(Diagnostic {
+            file: "crates/trace/src/sample.rs".to_string(),
+            line: 1,
+            rule: "D3/counter-name".to_string(),
+            message: "could not parse OBS_COUNTERS registry; obs.* names are unverifiable"
+                .to_string(),
+        });
+    }
+    if cfg.flight_registry.is_empty() {
+        diags.push(Diagnostic {
+            file: "crates/netsim/src/flight.rs".to_string(),
+            line: 1,
+            rule: "D3/counter-name".to_string(),
+            message: "could not parse FLIGHT_COUNTERS registry; flight.* names are unverifiable"
                 .to_string(),
         });
     }

@@ -72,6 +72,21 @@ pub struct LintConfig {
     /// registry (`GOSSIP_COUNTERS` in `crates/gossip/src/lib.rs`). Same
     /// empty-table semantics as `load_registry`.
     pub gossip_registry: Vec<String>,
+    /// Valid protocol-plane span labels, parsed from the sampled-tracing
+    /// registry (`SPAN_LABELS` in `crates/trace/src/event.rs`). Labels in
+    /// the `gossip.` / `load.` / `fabric.` namespaces must appear here —
+    /// the sampler's per-class keep rates key on these strings, so a typo
+    /// silently samples nothing. Same empty-table semantics as
+    /// `load_registry`.
+    pub span_registry: Vec<String>,
+    /// Valid `obs.*` counter names, parsed from the sampler tally
+    /// registry (`OBS_COUNTERS` in `crates/trace/src/sample.rs`). Same
+    /// empty-table semantics as `load_registry`.
+    pub obs_registry: Vec<String>,
+    /// Valid `flight.*` counter names, parsed from the crash-recorder
+    /// registry (`FLIGHT_COUNTERS` in `crates/netsim/src/flight.rs`).
+    /// Same empty-table semantics as `load_registry`.
+    pub flight_registry: Vec<String>,
 }
 
 /// Parsed allow comments: line → categories allowed on that line and the next.
@@ -448,6 +463,40 @@ pub fn lint_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
                         arg.text
                     ),
                 );
+            } else if arg.text.starts_with("obs.")
+                && !cfg.obs_registry.is_empty()
+                && !cfg.obs_registry.iter().any(|n| n == &arg.text)
+            {
+                push(
+                    &mut diags,
+                    &allow,
+                    file,
+                    arg.line,
+                    "D3/counter-name",
+                    "counter-name",
+                    format!(
+                        "`{}` is not a registered sampler tally (see OBS_COUNTERS in \
+                         crates/trace/src/sample.rs); obs.* names must be table-registered",
+                        arg.text
+                    ),
+                );
+            } else if arg.text.starts_with("flight.")
+                && !cfg.flight_registry.is_empty()
+                && !cfg.flight_registry.iter().any(|n| n == &arg.text)
+            {
+                push(
+                    &mut diags,
+                    &allow,
+                    file,
+                    arg.line,
+                    "D3/counter-name",
+                    "counter-name",
+                    format!(
+                        "`{}` is not a registered flight-recorder counter (see FLIGHT_COUNTERS \
+                         in crates/netsim/src/flight.rs); flight.* names must be table-registered",
+                        arg.text
+                    ),
+                );
             }
         }
 
@@ -507,7 +556,12 @@ pub fn lint_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
 
         // D3: trace event-name discipline. Span and mark labels entering the
         // rdv-trace API follow the same dotted lowercase scheme as counters:
-        // `.span_begin("…")`, `.span_end("…")`, `.mark("…")`, `.mark_linked("…")`.
+        // `.span_begin("…")`, `.span_end("…")`, `.mark("…")`, `.mark_linked("…")`,
+        // and the sampler's class key `.sample("…")`. Labels in the planes
+        // that committed to the sampled-tracing registry (`gossip.` /
+        // `load.` / `fabric.`) must additionally appear in `SPAN_LABELS` —
+        // the sampler's per-class keep rates key on these strings, so an
+        // unregistered label silently samples nothing.
         if t.kind == TokKind::Punct && t.text == "." {
             if let (Some(name), Some(open), Some(arg)) =
                 (code.get(i + 1), code.get(i + 2), code.get(i + 3))
@@ -515,25 +569,47 @@ pub fn lint_source(file: &str, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
                 if name.kind == TokKind::Ident
                     && matches!(
                         name.text.as_str(),
-                        "span_begin" | "span_end" | "mark" | "mark_linked"
+                        "span_begin" | "span_end" | "mark" | "mark_linked" | "sample"
                     )
                     && open.text == "("
                     && arg.kind == TokKind::StrLit
-                    && !counter_name_ok(&arg.text)
                 {
-                    push(
-                        &mut diags,
-                        &allow,
-                        file,
-                        arg.line,
-                        "D3/event-name",
-                        "event-name",
-                        format!(
-                            "trace event name `{}` violates the dotted lowercase scheme \
-                             `[a-z0-9_]+(.[a-z0-9_]+)*`",
-                            arg.text
-                        ),
-                    );
+                    if !counter_name_ok(&arg.text) {
+                        push(
+                            &mut diags,
+                            &allow,
+                            file,
+                            arg.line,
+                            "D3/event-name",
+                            "event-name",
+                            format!(
+                                "trace event name `{}` violates the dotted lowercase scheme \
+                                 `[a-z0-9_]+(.[a-z0-9_]+)*`",
+                                arg.text
+                            ),
+                        );
+                    } else if ["gossip.", "load.", "fabric."]
+                        .iter()
+                        .any(|p| arg.text.starts_with(p))
+                        && !cfg.span_registry.is_empty()
+                        && !cfg.span_registry.iter().any(|n| n == &arg.text)
+                    {
+                        push(
+                            &mut diags,
+                            &allow,
+                            file,
+                            arg.line,
+                            "D3/event-name",
+                            "event-name",
+                            format!(
+                                "`{}` is not a registered span label (see SPAN_LABELS in \
+                                 crates/trace/src/event.rs); gossip./load./fabric. plane \
+                                 labels must be table-registered so sampling classes \
+                                 resolve",
+                                arg.text
+                            ),
+                        );
+                    }
                 }
             }
         }
@@ -780,6 +856,24 @@ pub fn parse_load_counters(load_src: &str) -> Vec<String> {
 /// the string literals inside the `GOSSIP_COUNTERS` array.
 pub fn parse_gossip_counters(gossip_src: &str) -> Vec<String> {
     parse_str_array(gossip_src, "GOSSIP_COUNTERS").into_iter().map(|(name, _)| name).collect()
+}
+
+/// Parse the sampled-tracing span-label registry out of the rdv-trace
+/// source: the string literals inside the `SPAN_LABELS` array.
+pub fn parse_span_labels(event_src: &str) -> Vec<String> {
+    parse_str_array(event_src, "SPAN_LABELS").into_iter().map(|(name, _)| name).collect()
+}
+
+/// Parse the sampler tally registry out of the rdv-trace source: the
+/// string literals inside the `OBS_COUNTERS` array.
+pub fn parse_obs_counters(sample_src: &str) -> Vec<String> {
+    parse_str_array(sample_src, "OBS_COUNTERS").into_iter().map(|(name, _)| name).collect()
+}
+
+/// Parse the crash-recorder counter registry out of the rdv-netsim
+/// source: the string literals inside the `FLIGHT_COUNTERS` array.
+pub fn parse_flight_counters(flight_src: &str) -> Vec<String> {
+    parse_str_array(flight_src, "FLIGHT_COUNTERS").into_iter().map(|(name, _)| name).collect()
 }
 
 /// D3 over the canonical gauge-name table: every entry of `GAUGE_NAMES`

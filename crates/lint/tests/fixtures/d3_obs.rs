@@ -1,0 +1,20 @@
+//! Fixture: D3 discipline over the observability-plane names — sampler
+//! tallies (obs.*), flight-recorder counters (flight.*), and the
+//! sampled-tracing span-label registry for plane-scoped labels.
+fn naughty(c: &mut Counters, ctx: &mut Ctx) {
+    c.add("obs.bogus_tally", 1);
+    c.inc("flight.bogus_dumps");
+    ctx.trace.sample("gossip.unregistered_round", 7);
+    let s = ctx.trace.span_begin("load.bogus_batch", 1);
+    ctx.trace.span_end("fabric.bogus_storm", s);
+    c.add("obs.spans_sampled", 2);
+    c.inc("flight.dumps");
+    ctx.trace.sample("load.batch", 7);
+    let ok = ctx.trace.span_begin("fabric.storm", 1);
+    ctx.trace.span_end("gossip.round", ok);
+    ctx.trace.span_begin("discovery.access", 2);
+    // rdv-lint: allow(event-name) -- fixture: migration shim label
+    ctx.trace.sample("load.legacy_batch", 8);
+    // rdv-lint: allow(counter-name) -- fixture: migration shim tally
+    c.add("obs.legacy_tally", 1);
+}

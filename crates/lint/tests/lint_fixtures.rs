@@ -20,6 +20,9 @@ fn stub_cfg() -> LintConfig {
             .map(String::from)
             .to_vec(),
         gossip_registry: ["gossip.rounds", "gossip.digests_sent"].map(String::from).to_vec(),
+        span_registry: ["gossip.round", "load.batch", "fabric.storm"].map(String::from).to_vec(),
+        obs_registry: ["obs.spans_sampled", "obs.spans_skipped"].map(String::from).to_vec(),
+        flight_registry: ["flight.dumps", "flight.events"].map(String::from).to_vec(),
     }
 }
 
@@ -131,6 +134,9 @@ fn d3_covers_the_sharded_engine_names() {
         gauge_registry: ["shard.queue_events", "shard.clock_ns"].map(String::from).to_vec(),
         load_registry: Vec::new(),
         gossip_registry: Vec::new(),
+        span_registry: Vec::new(),
+        obs_registry: Vec::new(),
+        flight_registry: Vec::new(),
     };
     let diags = lint_source("d3_shards.rs", &fixture("d3_shards.rs"), &cfg);
     assert_eq!(
@@ -152,6 +158,51 @@ fn d3_enforces_load_counter_registry() {
     );
     assert!(diags[0].message.contains("not a registered load-plane counter"));
     assert!(diags[1].message.contains("dotted lowercase"));
+}
+
+#[test]
+fn d3_enforces_obs_flight_and_span_label_registries() {
+    let diags = lint_source("d3_obs.rs", &fixture("d3_obs.rs"), &stub_cfg());
+    assert_eq!(
+        locs(&diags),
+        vec![
+            (5, "D3/counter-name"),
+            (6, "D3/counter-name"),
+            (7, "D3/event-name"),
+            (8, "D3/event-name"),
+            (9, "D3/event-name"),
+        ],
+        "registered names (lines 10–15), the unscoped discovery label (line 16), and \
+         the allowed shims (lines 17–20) must pass; got: {diags:#?}"
+    );
+    assert!(diags[0].message.contains("not a registered sampler tally"));
+    assert!(diags[1].message.contains("not a registered flight-recorder counter"));
+    assert!(diags[2].message.contains("not a registered span label"));
+}
+
+/// The observability names the engine and protocol planes actually emit
+/// are present in the real registries the workspace lint parses —
+/// renaming a span label or a sampler/flight counter without updating
+/// its table breaks here first.
+#[test]
+fn real_registries_carry_the_observability_names() {
+    use rdv_lint::rules::{parse_flight_counters, parse_obs_counters, parse_span_labels};
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let event = std::fs::read_to_string(root.join("crates/trace/src/event.rs")).unwrap();
+    let spans = parse_span_labels(&event);
+    for name in ["gossip.round", "gossip.sync", "load.batch", "load.head_advance", "fabric.storm"] {
+        assert!(spans.iter().any(|s| s == name), "{name} missing from SPAN_LABELS");
+    }
+    let sample = std::fs::read_to_string(root.join("crates/trace/src/sample.rs")).unwrap();
+    let obs = parse_obs_counters(&sample);
+    for name in ["obs.spans_sampled", "obs.spans_skipped"] {
+        assert!(obs.iter().any(|s| s == name), "{name} missing from OBS_COUNTERS");
+    }
+    let flight = std::fs::read_to_string(root.join("crates/netsim/src/flight.rs")).unwrap();
+    let counters = parse_flight_counters(&flight);
+    for name in ["flight.dumps", "flight.events"] {
+        assert!(counters.iter().any(|s| s == name), "{name} missing from FLIGHT_COUNTERS");
+    }
 }
 
 /// The load-plane counters the harness actually emits are present in the

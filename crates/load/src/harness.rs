@@ -15,10 +15,28 @@ use crate::slo::SloSeries;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rdv_core::scenarios::{build_star_fabric_sharded, host_link_rack};
+use rdv_discovery::hier::plan_gossip_peers;
 use rdv_discovery::{DiscoveryMode, HostConfig, HostNode};
+use rdv_gossip::GossipConfig;
 use rdv_metrics::MetricSet;
 use rdv_netsim::{Counters, FaultPlan, LinkSpec, Node, NodeId, SimTime};
 use rdv_objspace::{ObjId, ObjectKind};
+use rdv_trace::{EventId, SampleSpec, Tracer};
+
+/// Gossip neighbourhood size for the background plane: hosts are grouped
+/// into rack-sized regions of this many and peered via
+/// [`plan_gossip_peers`] (in-region ring + head chain), so every host has
+/// O(1) peers regardless of fabric size.
+const GOSSIP_REGION: usize = 64;
+
+/// Trace-ring capacity for sampled runs. Sampling keeps the recorded
+/// stream far below this; the ring only allocates what it records.
+const TRACE_CAPACITY: usize = 1 << 20;
+
+/// Per-ring capacity when the crash flight recorder is armed: enough
+/// recent history for a postmortem's ancestry walk, bounded so the rings
+/// stay cheap on 100 k-host fabrics.
+const FLIGHT_CAPACITY: usize = 4096;
 
 /// Fabric shape and service parameters for a load run.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +60,21 @@ pub struct LoadFabricSpec {
     /// only, so fingerprints are identical either way; soak suites turn
     /// it on, figure generation leaves it off.
     pub shard_audit: bool,
+    /// Passive hosts attached behind the switch after the holders. They
+    /// hold no log heads and serve no batches, but they join the gossip
+    /// plane when one is configured — the F8 scale rows use them to grow
+    /// the fabric to 1 k/10 k/100 k hosts with real background traffic.
+    pub bystanders: usize,
+    /// Anti-entropy period for a background gossip plane across every
+    /// host (writers, holders, bystanders), peered in rack-sized regions.
+    /// `None` (the default) runs no gossip and changes nothing.
+    pub gossip_period: Option<SimTime>,
+    /// Arm the engine's crash flight recorder for the run (see
+    /// `rdv_netsim::Sim::enable_flight_recorder`). The rings record
+    /// passively and dump only on a failure, so a clean run's
+    /// fingerprint is identical either way; soak suites turn it on so
+    /// any invariant panic carries a postmortem.
+    pub flight_recorder: bool,
 }
 
 impl LoadFabricSpec {
@@ -57,6 +90,9 @@ impl LoadFabricSpec {
             max_access_retries: 8,
             slo_interval: SimTime::from_micros(50),
             shard_audit: false,
+            bystanders: 0,
+            gossip_period: None,
+            flight_recorder: false,
         }
     }
 }
@@ -101,6 +137,12 @@ pub struct LoadRun {
     pub slo: SloSeries,
     /// The telemetry plane, with the SLO gauges emitted, when requested.
     pub metrics: Option<MetricSet>,
+    /// `(completed_at_ns, latency_ns, span_end)` per completed batch whose
+    /// `load.batch` span was kept by the sampler, sorted by completion —
+    /// the join input for critical-path tail attribution (F8).
+    pub traced_batches: Vec<(u64, u64, EventId)>,
+    /// The trace ring, when sampled tracing was requested.
+    pub tracer: Option<Tracer>,
 }
 
 impl LoadRun {
@@ -113,6 +155,35 @@ impl LoadRun {
         blip: Option<&Blip>,
         seed: u64,
         metrics: bool,
+    ) -> LoadRun {
+        Self::run(fabric, open, replog, blip, seed, metrics, None)
+    }
+
+    /// [`LoadRun::execute`] with deterministic sampled tracing: operation
+    /// chains kept by `sample` are recorded, the ring is returned in
+    /// [`LoadRun::tracer`], and each traced batch's span-end lands in
+    /// [`LoadRun::traced_batches`]. Sampling verdicts are pure in the op's
+    /// origin stamp, so the recorded bytes are identical across shard
+    /// counts and processes.
+    pub fn execute_traced(
+        fabric: &LoadFabricSpec,
+        open: &OpenLoopSpec,
+        replog: &ReplogSpec,
+        blip: Option<&Blip>,
+        seed: u64,
+        sample: &SampleSpec,
+    ) -> LoadRun {
+        Self::run(fabric, open, replog, blip, seed, false, Some(sample))
+    }
+
+    fn run(
+        fabric: &LoadFabricSpec,
+        open: &OpenLoopSpec,
+        replog: &ReplogSpec,
+        blip: Option<&Blip>,
+        seed: u64,
+        metrics: bool,
+        sample: Option<&SampleSpec>,
     ) -> LoadRun {
         assert!(fabric.holders >= 1, "need at least one holder");
         let schedule = ArrivalSchedule::generate(open, seed);
@@ -134,10 +205,23 @@ impl LoadRun {
         // star builder maps position to switch port, so obj routes point
         // at `writers + holder_idx`.
         let mut writer_nodes: Vec<HostNode> = (0..writers)
-            .map(|w| HostNode::new(format!("w{w}"), ObjId(0x10AD_0000 + w as u128), host_cfg))
+            .map(|w| {
+                let mut n =
+                    HostNode::new(format!("w{w}"), ObjId(0x10AD_0000 + w as u128), host_cfg);
+                // Writers trace their accesses as replicated-log batches:
+                // a `load.batch` span from issue to ack, and a
+                // `load.head_advance` mark per completed batch.
+                n.load_spans = true;
+                n
+            })
             .collect();
         let mut holder_nodes: Vec<HostNode> = (0..fabric.holders)
             .map(|h| HostNode::new(format!("lh{h}"), ObjId(0x10AD_8000 + h as u128), host_cfg))
+            .collect();
+        // Bystander inboxes start past the holder range so sampling
+        // origin stamps (low inbox bits) stay distinct per host.
+        let mut bystander_nodes: Vec<HostNode> = (0..fabric.bystanders)
+            .map(|b| HostNode::new(format!("x{b}"), ObjId(0x10AD_A000 + b as u128), host_cfg))
             .collect();
         let mut obj_routes = Vec::new();
         let mut head_objs = Vec::with_capacity(replog.heads as usize);
@@ -168,12 +252,38 @@ impl LoadRun {
             keys.sort_unstable_by_key(|&(k, _)| k);
         }
 
+        if let Some(period) = fabric.gossip_period {
+            // Background anti-entropy plane: every host journals its
+            // holdings and gossips in rack-sized regions. Peer plans are a
+            // pure function of the inbox layout, so the plane is identical
+            // at every shard count.
+            let cfg = GossipConfig { period, ..GossipConfig::default() };
+            let mut all: Vec<&mut HostNode> = writer_nodes
+                .iter_mut()
+                .chain(holder_nodes.iter_mut())
+                .chain(bystander_nodes.iter_mut())
+                .collect();
+            let inboxes: Vec<ObjId> = all.iter().map(|n| n.inbox()).collect();
+            let regions: Vec<Vec<ObjId>> =
+                inboxes.chunks(GOSSIP_REGION).map(|c| c.to_vec()).collect();
+            for (i, plan) in plan_gossip_peers(&regions).iter().enumerate() {
+                debug_assert_eq!(plan.host, inboxes[i], "plan order follows fabric position");
+                all[i].enable_gossip(i as u64 + 1, cfg);
+                for &(peer, relay) in &plan.peers {
+                    all[i].add_gossip_peer(peer, relay);
+                }
+            }
+        }
+
         let mut nodes: Vec<(Box<dyn Node>, ObjId, LinkSpec)> = Vec::new();
         for (w, node) in writer_nodes.into_iter().enumerate() {
             nodes.push((Box::new(node), ObjId(0x10AD_0000 + w as u128), link));
         }
         for (h, node) in holder_nodes.into_iter().enumerate() {
             nodes.push((Box::new(node), ObjId(0x10AD_8000 + h as u128), link));
+        }
+        for (b, node) in bystander_nodes.into_iter().enumerate() {
+            nodes.push((Box::new(node), ObjId(0x10AD_A000 + b as u128), link));
         }
 
         let (mut sim, ids) = build_star_fabric_sharded(seed, fabric.shards, nodes, &obj_routes);
@@ -183,6 +293,12 @@ impl LoadRun {
         }
         if fabric.shard_audit {
             sim.enable_shard_audit();
+        }
+        if fabric.flight_recorder {
+            sim.enable_flight_recorder(FLIGHT_CAPACITY);
+        }
+        if let Some(spec) = sample {
+            sim.enable_trace_sampled(TRACE_CAPACITY, spec.clone());
         }
 
         if let Some(blip) = blip {
@@ -200,7 +316,19 @@ impl LoadRun {
         }
 
         sim.schedule_batch(timers.iter().map(|&(at, w, tag)| (at, ids[w], tag)));
-        sim.run_until_idle();
+        if fabric.gossip_period.is_some() {
+            // A gossip plane re-arms its round timer forever, so the sim
+            // never goes idle: run to a deterministic horizon instead —
+            // past the last batch's full watchdog patience and the blip's
+            // heal, so every access resolves before the clock stops.
+            let last = timers.iter().map(|&(at, _, _)| at.as_nanos()).max().unwrap_or(0);
+            let heal = blip.map(|b| b.at.as_nanos() + b.dur.as_nanos()).unwrap_or(0);
+            let patience =
+                fabric.access_timeout.as_nanos() * (u64::from(fabric.max_access_retries) + 2);
+            sim.run_until(SimTime::from_nanos(last.max(heal) + patience));
+        } else {
+            sim.run_until_idle();
+        }
 
         let mut set = metrics.then(|| {
             sim.flush_metrics(sim.now());
@@ -212,6 +340,7 @@ impl LoadRun {
         let mut issued_ns = Vec::new();
         let mut completed_entries = 0u64;
         let mut failed = 0usize;
+        let mut traced_batches: Vec<(u64, u64, EventId)> = Vec::new();
         for (w, keys) in batch_keys.iter().enumerate() {
             let host = sim.node_as::<HostNode>(ids[w]).expect("writer");
             assert_eq!(
@@ -230,6 +359,9 @@ impl LoadRun {
                     r.latency().as_nanos(),
                 ));
                 issued_ns.push(r.issued.as_nanos());
+                if let Some(end) = r.trace_end {
+                    traced_batches.push((r.completed.as_nanos(), r.latency().as_nanos(), end));
+                }
             }
             for f in &host.failed {
                 issued_ns.push(f.issued.as_nanos());
@@ -237,13 +369,14 @@ impl LoadRun {
             failed += host.failed.len();
             counters.merge(&host.counters);
         }
-        for h in 0..fabric.holders {
-            let host = sim.node_as::<HostNode>(ids[writers + h]).expect("holder");
+        for id in ids.iter().take(writers + fabric.holders + fabric.bystanders).skip(writers) {
+            let host = sim.node_as::<HostNode>(*id).expect("holder or bystander");
             counters.merge(&host.counters);
         }
         counters.merge(&sim.counters);
         completions.sort_unstable();
         issued_ns.sort_unstable();
+        traced_batches.sort_unstable_by_key(|&(done, lat, id)| (done, lat, id.0));
 
         counters.add("load.arrivals", schedule.arrivals.len() as u64);
         counters.add("load.batches", plan_batches.len() as u64);
@@ -263,6 +396,8 @@ impl LoadRun {
             slo.emit(set);
         }
 
+        let tracer = sample.is_some().then(|| sim.take_tracer());
+
         LoadRun {
             scheduled_batches: plan_batches.len(),
             completions,
@@ -273,6 +408,8 @@ impl LoadRun {
             clock_ns: sim.now().as_nanos(),
             slo,
             metrics: set,
+            traced_batches,
+            tracer,
         }
     }
 
@@ -346,6 +483,49 @@ mod tests {
         let healthy = LoadRun::execute(&fabric, &open, &replog, None, 5, false);
         assert_eq!(healthy.counters.get("load.failures"), 0);
         assert!(run.completions.len() + run.failed == run.scheduled_batches);
+    }
+
+    #[test]
+    fn sampled_tracing_joins_every_kept_batch_without_perturbing() {
+        let (fabric, open, replog) = small_inputs();
+        let plain = LoadRun::execute(&fabric, &open, &replog, None, 11, false);
+        let spec = SampleSpec::keep_all(11);
+        let traced = LoadRun::execute_traced(&fabric, &open, &replog, None, 11, &spec);
+        // The observer must not change what happened — only record it.
+        assert_eq!(plain.completions, traced.completions);
+        assert_eq!(plain.failed, traced.failed);
+        assert_eq!(
+            traced.traced_batches.len(),
+            traced.completions.len(),
+            "keep-all samples every batch span"
+        );
+        let tracer = traced.tracer.as_ref().expect("tracer returned");
+        for &(_, _, end) in &traced.traced_batches {
+            let ev = tracer.get(end).expect("span end retained");
+            assert_eq!(ev.kind.label(), Some("load.batch"));
+        }
+        // Half-rate sampling keeps a strict, deterministic subset.
+        let half = SampleSpec { seed: 11, default_permille: 500, classes: Vec::new() };
+        let a = LoadRun::execute_traced(&fabric, &open, &replog, None, 11, &half);
+        let b = LoadRun::execute_traced(&fabric, &open, &replog, None, 11, &half);
+        assert!(!a.traced_batches.is_empty() && a.traced_batches.len() < a.completions.len());
+        assert_eq!(a.traced_batches, b.traced_batches, "sampled set is seed-pure");
+    }
+
+    #[test]
+    fn background_gossip_plane_runs_on_bystanders_deterministically() {
+        let (mut fabric, open, replog) = small_inputs();
+        fabric.bystanders = 29;
+        fabric.gossip_period = Some(SimTime::from_micros(40));
+        let a = LoadRun::execute(&fabric, &open, &replog, None, 13, false);
+        assert!(a.counters.get("gossip.rounds") > 0, "the plane must actually gossip");
+        assert_eq!(a.failed, 0, "background gossip must not break the workload");
+        let b = LoadRun::execute(&fabric, &open, &replog, None, 13, false);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut sharded = fabric;
+        sharded.shards = 2;
+        let c = LoadRun::execute(&sharded, &open, &replog, None, 13, false);
+        assert_eq!(a.fingerprint(), c.fingerprint(), "plane is shard-invariant");
     }
 
     #[test]

@@ -36,7 +36,12 @@ pub struct Violation {
 }
 
 impl Violation {
-    fn render(&self) -> String {
+    /// Render the violation as the invariant-failure message the monitor
+    /// panics with: `invariant \`name\` violated at t=… ns…` plus the
+    /// gauge snapshot. Public so the engine can compose this exact text
+    /// with a flight-recorder postmortem while keeping the prefix that
+    /// `#[should_panic(expected = …)]` tests match against.
+    pub fn render(&self) -> String {
         let ev = match self.event_id {
             Some(id) => format!(" (trace event #{})", id.0),
             None => String::new(),

@@ -204,6 +204,19 @@ impl MetricSet {
         self.monitor.violations()
     }
 
+    /// Whether the monitor panics on the first violation (the configured
+    /// fail-fast mode).
+    pub fn panic_on_violation(&self) -> bool {
+        self.cfg.panic_on_violation
+    }
+
+    /// Override fail-fast mode at runtime. The engine uses this to defer
+    /// the panic for one audit pass when the flight recorder is armed, so
+    /// the eventual panic can carry a rendered postmortem.
+    pub fn set_panic_on_violation(&mut self, on: bool) {
+        self.cfg.panic_on_violation = on;
+    }
+
     /// The last recorded value of every gauge, in registration order —
     /// the snapshot attached to violations.
     pub fn last_values(&self) -> Vec<(String, u64)> {

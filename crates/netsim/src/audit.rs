@@ -101,6 +101,11 @@ pub struct ShardAuditViolation {
     pub event: Option<EventKey>,
     /// Human-readable account of the specific access.
     pub detail: String,
+    /// Rendered flight-recorder postmortem, attached by the engine at the
+    /// raising barrier when the recorder is armed (see
+    /// [`crate::Sim::enable_flight_recorder`]). `None` otherwise — the
+    /// detector itself never renders dumps.
+    pub postmortem: Option<String>,
 }
 
 impl fmt::Display for ShardAuditViolation {
@@ -119,7 +124,11 @@ impl fmt::Display for ShardAuditViolation {
         if let Some(k) = self.event {
             write!(f, " event=(at={}, src={}, seq={})", k.at, k.src, k.seq)?;
         }
-        write!(f, ": {} [{}:{}]", self.detail, self.file, self.line)
+        write!(f, ": {} [{}:{}]", self.detail, self.file, self.line)?;
+        if let Some(pm) = &self.postmortem {
+            write!(f, "\n{pm}")?;
+        }
+        Ok(())
     }
 }
 
@@ -187,6 +196,7 @@ impl ShardAudit {
             window_end_ns: self.window_end_ns,
             event: self.current,
             detail,
+            postmortem: None,
         };
         eprintln!("{v}");
         self.violation = Some(v);

@@ -33,11 +33,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rdv_metrics::{MetricSet, MetricsConfig};
 use rdv_trace::{
-    DropReason, EventId, EventKind as TraceKind, FaultKind, TraceCtx, Tracer, ENGINE_NODE,
+    DropReason, EventId, EventKind as TraceKind, FaultKind, FlightRing, SampleSpec, TraceCtx,
+    Tracer, ENGINE_NODE,
 };
 
-use crate::audit::{ShardAudit, ShardAuditKind};
+use crate::audit::{ShardAudit, ShardAuditKind, ShardAuditViolation};
 use crate::fault::{FaultEvent, FaultPlan};
+use crate::flight;
 use crate::link::{Direction, Link, LinkId, LinkRate, LinkSpec};
 use crate::node::{Node, NodeCtx, NodeId, PortId};
 use crate::packet::Packet;
@@ -227,40 +229,22 @@ struct Globals {
     /// the *source* node of a direction ever writes it, so ownership
     /// follows the sender.
     dir_slot: Vec<[u32; 2]>,
+    /// Per node: trace/flight id of the most recent crash fault, for the
+    /// fault→dropped-delivery aux edge. Lives here (not on [`Sim`]) so
+    /// both the serial tracer path and flight-recording parallel windows
+    /// can read it; like all of [`Globals`], it is mutated only between
+    /// windows (faults apply at barriers).
+    crash_trace: Vec<Option<EventId>>,
+    /// Per link: trace/flight id of the most recent link-state fault.
+    link_fault_trace: Vec<Option<EventId>>,
+    /// Per partition: trace/flight id of the fault that activated it.
+    partition_fault_trace: Vec<Option<EventId>>,
 }
 
 impl Globals {
     /// The index of an active partition separating `a` from `b`, if any.
     fn blocking_partition(&self, a: NodeId, b: NodeId) -> Option<usize> {
         self.partitions.iter().position(|p| p.active && p.separates(a, b))
-    }
-}
-
-/// Trace plumbing handed to the serial path (tracing forces serial
-/// execution, so the parallel path always passes `None`).
-struct TraceHooks<'a> {
-    tracer: &'a mut Tracer,
-    /// Per node: trace id of the most recent crash fault, for the
-    /// fault→dropped-delivery aux edge.
-    crash: &'a [Option<EventId>],
-    /// Per link: trace id of the most recent link-state fault.
-    link_fault: &'a [Option<EventId>],
-    /// Per partition: trace id of the fault that activated it.
-    partition_fault: &'a [Option<EventId>],
-}
-
-/// Record a trace event through the hooks (no-op when tracing is off).
-fn rec(
-    hooks: &mut Option<TraceHooks<'_>>,
-    at: u64,
-    node: u32,
-    kind: TraceKind,
-    cause: Option<EventId>,
-    aux: Option<EventId>,
-) -> Option<EventId> {
-    match hooks {
-        Some(h) => h.tracer.record(at, node, kind, cause, aux),
-        None => None,
     }
 }
 
@@ -298,9 +282,15 @@ struct Shard {
     /// key, event), merged into destination queues at the barrier.
     outbox: Vec<(u32, EventKey, EvData)>,
     /// Scratch buffers lent to [`NodeCtx`] for each callback, so the event
-    /// loop allocates nothing in steady state.
-    scratch_sends: Vec<(PortId, Packet)>,
-    scratch_timers: Vec<(SimTime, u64)>,
+    /// loop allocates nothing in steady state. Each entry carries the
+    /// causal provenance snapshotted when the node queued it.
+    scratch_sends: Vec<(PortId, Packet, Option<EventId>)>,
+    scratch_timers: Vec<(SimTime, u64, Option<EventId>)>,
+    /// Flight-recorder ring for this shard (see
+    /// [`Sim::enable_flight_recorder`]). Unlike the tracer, it records
+    /// during parallel windows too — ids are namespaced per ring, so no
+    /// cross-thread coordination is needed.
+    flight: Option<FlightRing>,
     /// Ownership race detector state (see [`Sim::enable_shard_audit`]).
     /// `None` unless armed: every check site costs one `is_some` branch.
     audit: Option<Box<ShardAudit>>,
@@ -324,7 +314,33 @@ impl Shard {
             outbox: Vec::new(),
             scratch_sends: Vec::new(),
             scratch_timers: Vec::new(),
+            flight: None,
             audit: None,
+        }
+    }
+
+    /// Record an engine event into whichever back-end is live: the tracer
+    /// when one is threaded in (serial execution only), else this shard's
+    /// flight-recorder ring, else nowhere. In selective-tracing mode a
+    /// causeless event belongs to no sampled chain and is dropped — that
+    /// single branch is what keeps off-chain traffic free.
+    fn ev_rec(
+        &mut self,
+        hooks: &mut Option<&mut Tracer>,
+        at: u64,
+        node: u32,
+        kind: TraceKind,
+        cause: Option<EventId>,
+        aux: Option<EventId>,
+    ) -> Option<EventId> {
+        match hooks.as_deref_mut() {
+            Some(t) => {
+                if t.is_selective() && cause.is_none() {
+                    return None;
+                }
+                t.record(at, node, kind, cause, aux)
+            }
+            None => self.flight.as_mut().map(|f| f.record(at, node, kind, cause, aux)),
         }
     }
 
@@ -474,7 +490,7 @@ impl Shard {
 
     /// Pop and execute the shard's smallest event. The caller must have
     /// peeked a key.
-    fn process_one(&mut self, g: &Globals, hooks: &mut Option<TraceHooks<'_>>) {
+    fn process_one(&mut self, g: &Globals, hooks: &mut Option<&mut Tracer>) {
         let (key, ev) = self.queue.pop().expect("caller peeked an event");
         debug_assert!(key.at >= self.clock_ns, "time must not run backwards");
         self.clock_ns = key.at;
@@ -493,10 +509,10 @@ impl Shard {
                     // Destination crashed after admission: the packet
                     // evaporates with the incarnation it targeted.
                     self.counters.inc_id(SIM_DELIVERIES_DROPPED_CRASH);
-                    let fault = hooks.as_ref().and_then(|h| h.crash[gid]);
-                    rec(
+                    let fault = g.crash_trace[gid];
+                    self.ev_rec(
                         hooks,
-                        self.clock_ns,
+                        key.at,
                         node,
                         TraceKind::PacketDrop(DropReason::Crash),
                         ev.trace,
@@ -504,9 +520,9 @@ impl Shard {
                     );
                 } else {
                     self.counters.inc_id(SIM_PACKETS_DELIVERED);
-                    let deliver = rec(
+                    let deliver = self.ev_rec(
                         hooks,
-                        self.clock_ns,
+                        key.at,
                         node,
                         TraceKind::PacketDeliver { port },
                         ev.trace,
@@ -522,13 +538,13 @@ impl Shard {
                 self.pending_timers[local] -= 1;
                 if !g.alive[gid] || epoch != g.epochs[gid] {
                     self.counters.inc_id(SIM_TIMERS_DROPPED_CRASH);
-                    let fault = hooks.as_ref().and_then(|h| h.crash[gid]);
-                    rec(hooks, self.clock_ns, node, TraceKind::TimerDrop { tag }, ev.trace, fault);
+                    let fault = g.crash_trace[gid];
+                    self.ev_rec(hooks, key.at, node, TraceKind::TimerDrop { tag }, ev.trace, fault);
                 } else {
                     self.counters.inc_id(SIM_TIMERS);
-                    let fire = rec(
+                    let fire = self.ev_rec(
                         hooks,
-                        self.clock_ns,
+                        key.at,
                         node,
                         TraceKind::TimerFire { tag },
                         ev.trace,
@@ -549,7 +565,7 @@ impl Shard {
         g: &Globals,
         gid: u32,
         cause: Option<EventId>,
-        hooks: &mut Option<TraceHooks<'_>>,
+        hooks: &mut Option<&mut Tracer>,
         f: impl FnOnce(&mut dyn Node, &mut NodeCtx<'_>),
     ) {
         let local = g.node_loc[gid as usize].1 as usize;
@@ -559,8 +575,8 @@ impl Shard {
         sends.clear();
         timers.clear();
         {
-            let trace =
-                TraceCtx::new(hooks.as_mut().map(|h| &mut *h.tracer), self.clock_ns, gid, cause);
+            let trace = TraceCtx::new(hooks.as_deref_mut(), self.clock_ns, gid, cause)
+                .with_flight(self.flight.as_mut());
             let mut ctx = NodeCtx::new(
                 NodeId(gid as usize),
                 SimTime::from_nanos(self.clock_ns),
@@ -572,32 +588,35 @@ impl Shard {
             );
             f(self.nodes[local].as_mut(), &mut ctx);
         }
-        self.apply_actions(g, gid, local, cause, hooks, &mut sends, &mut timers);
+        self.apply_actions(g, gid, local, hooks, &mut sends, &mut timers);
         self.scratch_sends = sends;
         self.scratch_timers = timers;
     }
 
-    /// Admit queued sends onto their links and arm queued timers.
+    /// Admit queued sends onto their links and arm queued timers. Each
+    /// queued action carries the causal provenance snapshotted when the
+    /// node issued it — the dispatch event in full-trace mode, the live
+    /// span anchor in sampled mode.
     #[allow(clippy::too_many_arguments)]
     fn apply_actions(
         &mut self,
         g: &Globals,
         gid: u32,
         local: usize,
-        cause: Option<EventId>,
-        hooks: &mut Option<TraceHooks<'_>>,
-        sends: &mut Vec<(PortId, Packet)>,
-        timers: &mut Vec<(SimTime, u64)>,
+        hooks: &mut Option<&mut Tracer>,
+        sends: &mut Vec<(PortId, Packet, Option<EventId>)>,
+        timers: &mut Vec<(SimTime, u64, Option<EventId>)>,
     ) {
         let now = SimTime::from_nanos(self.clock_ns);
+        let now_ns = self.clock_ns;
         let from = NodeId(gid as usize);
-        for (port, packet) in sends.drain(..) {
+        for (port, packet, cause) in sends.drain(..) {
             self.counters.inc_id(SIM_PACKETS_SENT);
             // The enqueue event roots this packet's causal chain at the
-            // dispatch event the node was handling when it sent.
-            let enq = rec(
+            // provenance the node captured when it sent.
+            let enq = self.ev_rec(
                 hooks,
-                self.clock_ns,
+                now_ns,
                 gid,
                 TraceKind::PacketEnqueue { port: port.0 as u32, bytes: packet.wire_len() as u32 },
                 cause,
@@ -605,9 +624,9 @@ impl Shard {
             );
             let Some(&link_id) = g.ports[gid as usize].get(port.0) else {
                 self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
-                rec(
+                self.ev_rec(
                     hooks,
-                    self.clock_ns,
+                    now_ns,
                     gid,
                     TraceKind::PacketDrop(DropReason::BadPort),
                     enq,
@@ -618,9 +637,9 @@ impl Shard {
             let link = &g.links[link_id.0];
             let Some((dir, dst, dst_port)) = link.direction_from(from, port) else {
                 self.counters.inc_id(SIM_PACKETS_DROPPED_BAD_PORT);
-                rec(
+                self.ev_rec(
                     hooks,
-                    self.clock_ns,
+                    now_ns,
                     gid,
                     TraceKind::PacketDrop(DropReason::BadPort),
                     enq,
@@ -632,10 +651,10 @@ impl Shard {
             // never perturb the RNG stream of surviving traffic paths.
             if link.down {
                 self.counters.inc_id(SIM_PACKETS_DROPPED_LINK_DOWN);
-                let fault = hooks.as_ref().and_then(|h| h.link_fault[link_id.0]);
-                rec(
+                let fault = g.link_fault_trace[link_id.0];
+                self.ev_rec(
                     hooks,
-                    self.clock_ns,
+                    now_ns,
                     gid,
                     TraceKind::PacketDrop(DropReason::LinkDown),
                     enq,
@@ -646,10 +665,10 @@ impl Shard {
             let loss = link.loss_override.unwrap_or(link.spec.loss_permille);
             if !g.alive[dst.0] {
                 self.counters.inc_id(SIM_PACKETS_DROPPED_DEAD_NODE);
-                let fault = hooks.as_ref().and_then(|h| h.crash[dst.0]);
-                rec(
+                let fault = g.crash_trace[dst.0];
+                self.ev_rec(
                     hooks,
-                    self.clock_ns,
+                    now_ns,
                     gid,
                     TraceKind::PacketDrop(DropReason::DeadNode),
                     enq,
@@ -660,10 +679,10 @@ impl Shard {
             if g.active_partitions > 0 {
                 if let Some(p) = g.blocking_partition(from, dst) {
                     self.counters.inc_id(SIM_PACKETS_DROPPED_PARTITION);
-                    let fault = hooks.as_ref().and_then(|h| h.partition_fault[p]);
-                    rec(
+                    let fault = g.partition_fault_trace[p];
+                    self.ev_rec(
                         hooks,
-                        self.clock_ns,
+                        now_ns,
                         gid,
                         TraceKind::PacketDrop(DropReason::Partition),
                         enq,
@@ -678,9 +697,9 @@ impl Shard {
                 // is independent of shard layout and of other nodes.
                 if self.rngs[local].gen_range(0..1000u32) < u32::from(loss) {
                     self.counters.inc_id(SIM_PACKETS_LOST);
-                    rec(
+                    self.ev_rec(
                         hooks,
-                        self.clock_ns,
+                        now_ns,
                         gid,
                         TraceKind::PacketDrop(DropReason::Loss),
                         enq,
@@ -697,7 +716,7 @@ impl Shard {
                     // Timestamp the transmit at serialization completion
                     // (arrival minus propagation), so queue wait and wire
                     // time separate cleanly on critical paths.
-                    let trace = rec(
+                    let trace = self.ev_rec(
                         hooks,
                         (arrival - link.spec.latency).as_nanos(),
                         gid,
@@ -728,9 +747,9 @@ impl Shard {
                 }
                 None => {
                     self.counters.inc_id(SIM_PACKETS_DROPPED);
-                    rec(
+                    self.ev_rec(
                         hooks,
-                        self.clock_ns,
+                        now_ns,
                         gid,
                         TraceKind::PacketDrop(DropReason::QueueFull),
                         enq,
@@ -740,9 +759,9 @@ impl Shard {
             }
         }
         let epoch = g.epochs[gid as usize];
-        for (at, tag) in timers.drain(..) {
+        for (at, tag, cause) in timers.drain(..) {
             self.pending_timers[local] += 1;
-            let trace = rec(hooks, self.clock_ns, gid, TraceKind::TimerSet { tag }, cause, None);
+            let trace = self.ev_rec(hooks, now_ns, gid, TraceKind::TimerSet { tag }, cause, None);
             let key = self.next_key(at.as_nanos(), gid, local);
             if self.audit.is_some() {
                 self.audit_check_timer(g, gid, key.at);
@@ -806,13 +825,10 @@ pub struct Sim {
     zero_lookahead: bool,
     /// Barrier merge scratch, reused window after window.
     merge_buf: Vec<(u32, EventKey, EvData)>,
-    /// Per node: trace id of the most recent crash fault, for the
-    /// fault→dropped-delivery aux edge.
-    crash_trace: Vec<Option<EventId>>,
-    /// Per link: trace id of the most recent link-state fault.
-    link_fault_trace: Vec<Option<EventId>>,
-    /// Per partition: trace id of the fault that activated it.
-    partition_fault_trace: Vec<Option<EventId>>,
+    /// Coordinator flight-recorder ring (fault events, external
+    /// schedules); `Some` iff the recorder is armed (see
+    /// [`Sim::enable_flight_recorder`]). Shard rings live on the shards.
+    flight_coord: Option<FlightRing>,
 }
 
 impl Sim {
@@ -834,6 +850,9 @@ impl Sim {
                 active_partitions: 0,
                 node_loc: Vec::new(),
                 dir_slot: Vec::new(),
+                crash_trace: Vec::new(),
+                link_fault_trace: Vec::new(),
+                partition_fault_trace: Vec::new(),
             },
             shards: (0..nshards).map(Shard::new).collect(),
             faults: BinaryHeap::new(),
@@ -850,9 +869,7 @@ impl Sim {
             lookahead_ns: u64::MAX,
             zero_lookahead: false,
             merge_buf: Vec::new(),
-            crash_trace: Vec::new(),
-            link_fault_trace: Vec::new(),
-            partition_fault_trace: Vec::new(),
+            flight_coord: None,
         };
         if default_shard_audit() {
             sim.enable_shard_audit();
@@ -889,6 +906,46 @@ impl Sim {
     /// only wall-clock speed.
     pub fn enable_trace(&mut self, capacity: usize) {
         self.tracer = Tracer::enabled(capacity);
+    }
+
+    /// Turn on *sampled* causal tracing: only operation chains rooted by a
+    /// winning [`TraceCtx::sample`] verdict are recorded, per `spec`.
+    /// Verdicts are pure in `(seed, class, origin)` — never in ring
+    /// occupancy or shard layout — so the sampled trace bytes are
+    /// identical across `--shards` counts and processes. Like full
+    /// tracing, this forces serial execution; unlike full tracing, the
+    /// ring holds a uniform slice of operations instead of the most
+    /// recent burst, which is what tail-attribution figures (F8) join
+    /// against SLO windows.
+    pub fn enable_trace_sampled(&mut self, capacity: usize, spec: SampleSpec) {
+        self.tracer = Tracer::sampled(capacity, spec);
+    }
+
+    /// Arm the crash flight recorder: every shard gets an always-on
+    /// last-`capacity`-events ring (plus one at the coordinator for fault
+    /// events and external schedules). On any invariant-monitor failure or
+    /// [`ShardAuditViolation`], the panic carries a rendered postmortem —
+    /// the causal ancestry of the failing event walked across rings, a
+    /// gauge snapshot, and per-shard window state — instead of a bare
+    /// message.
+    ///
+    /// The recorder observes only: rings record what already happened,
+    /// `flight.*` counters move only when a dump is rendered, and
+    /// recording works inside parallel windows (ids are namespaced per
+    /// ring), so arming it on a clean run changes zero output bytes and
+    /// never forces serial execution. Mutually exclusive with tracing by
+    /// construction: when a tracer is enabled it takes precedence at
+    /// every recording site.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        self.flight_coord = Some(FlightRing::new(flight::COORD_BASE, capacity));
+        for s in self.shards.iter_mut() {
+            s.flight = Some(FlightRing::new(flight::shard_base(s.idx), capacity));
+        }
+    }
+
+    /// True when the crash flight recorder is armed.
+    pub fn flight_recorder_enabled(&self) -> bool {
+        self.flight_coord.is_some()
     }
 
     /// Extract the tracer, leaving a disabled one behind — how harnesses
@@ -1018,10 +1075,21 @@ impl Sim {
         if !self.audit_armed {
             return;
         }
-        for s in self.shards.iter_mut() {
+        let mut hit: Option<(usize, ShardAuditViolation)> = None;
+        for (i, s) in self.shards.iter_mut().enumerate() {
             if let Some(v) = s.audit.as_deref_mut().and_then(|a| a.violation.take()) {
-                std::panic::panic_any(v);
+                hit = Some((i, v));
+                break;
             }
+        }
+        if let Some((i, mut v)) = hit {
+            // With the flight recorder armed, attach a postmortem anchored
+            // at the offending shard's most recent recorded event.
+            let anchor = self.shards[i].flight.as_ref().and_then(|f| f.latest());
+            let gauges =
+                if self.metrics.is_enabled() { self.metrics.last_values() } else { Vec::new() };
+            v.postmortem = self.render_flight_dump(anchor, &gauges);
+            std::panic::panic_any(v);
         }
     }
 
@@ -1064,7 +1132,7 @@ impl Sim {
         self.globals.ports.push(Vec::new());
         self.globals.alive.push(true);
         self.globals.epochs.push(0);
-        self.crash_trace.push(None);
+        self.globals.crash_trace.push(None);
         shard.gids.push(gid as u32);
         shard.nodes.push(node);
         shard.rngs.push(StdRng::seed_from_u64(node_stream_seed(self.cfg.seed, gid as u64)));
@@ -1104,7 +1172,7 @@ impl Sim {
         });
         self.globals.ports[a.0].push(id);
         self.globals.ports[b.0].push(id);
-        self.link_fault_trace.push(None);
+        self.globals.link_fault_trace.push(None);
         // Each direction's transmitter state lives with its source node's
         // shard (single writer).
         let ends = [a, b];
@@ -1143,13 +1211,27 @@ impl Sim {
         self.ext_seq += 1;
         let (si, li) = self.globals.node_loc[node.0];
         self.shards[si as usize].pending_timers[li as usize] += 1;
-        let trace = self.tracer.record(
-            self.clock.as_nanos(),
-            node.0 as u32,
-            TraceKind::TimerSet { tag },
-            None,
-            None,
-        );
+        let trace = if self.tracer.is_enabled() {
+            if self.tracer.is_selective() {
+                // An external kick roots no sampled chain by itself; it
+                // becomes visible only when a protocol callback roots one
+                // with a winning sample() verdict.
+                None
+            } else {
+                self.tracer.record(
+                    self.clock.as_nanos(),
+                    node.0 as u32,
+                    TraceKind::TimerSet { tag },
+                    None,
+                    None,
+                )
+            }
+        } else {
+            let now_ns = self.clock.as_nanos();
+            self.flight_coord
+                .as_mut()
+                .map(|f| f.record(now_ns, node.0 as u32, TraceKind::TimerSet { tag }, None, None))
+        };
         self.shards[si as usize].queue.push(
             EventKey { at: at.as_nanos(), src: 0, seq },
             EvData { kind: EvKind::Timer { node: node.0 as u32, tag, epoch }, trace },
@@ -1203,7 +1285,7 @@ impl Sim {
                         right: right.clone(),
                         active: false,
                     });
-                    self.partition_fault_trace.push(None);
+                    self.globals.partition_fault_trace.push(None);
                     self.push_fault(*at, FaultAction::PartitionOn { id });
                     self.push_fault(*until, FaultAction::PartitionOff { id });
                 }
@@ -1234,10 +1316,12 @@ impl Sim {
         self.faults.push(Reverse(FaultEntry { at, seq, action }));
     }
 
-    /// Record the trace event for a fault action and remember its id where
-    /// later drops will need it for aux edges.
+    /// Record the trace (or flight) event for a fault action and remember
+    /// its id where later drops will need it for aux edges. Faults apply
+    /// only at barriers, so writing the `Globals` arrays here never races
+    /// a window.
     fn trace_fault(&mut self, action: &FaultAction) -> Option<EventId> {
-        if !self.tracer.is_enabled() {
+        if !self.tracer.is_enabled() && self.flight_coord.is_none() {
             return None;
         }
         let kind = match action {
@@ -1248,17 +1332,20 @@ impl Sim {
             FaultAction::Crash { .. } => FaultKind::Crash,
             FaultAction::Restart { .. } => FaultKind::Restart,
         };
-        let id = self.tracer.record(
-            self.clock.as_nanos(),
-            ENGINE_NODE,
-            TraceKind::Fault(kind),
-            None,
-            None,
-        );
+        let now_ns = self.clock.as_nanos();
+        let id = if self.tracer.is_enabled() {
+            self.tracer.record(now_ns, ENGINE_NODE, TraceKind::Fault(kind), None, None)
+        } else {
+            self.flight_coord
+                .as_mut()
+                .map(|f| f.record(now_ns, ENGINE_NODE, TraceKind::Fault(kind), None, None))
+        };
         match action {
-            FaultAction::LinkState { link, down: true } => self.link_fault_trace[link.0] = id,
-            FaultAction::PartitionOn { id: p } => self.partition_fault_trace[*p] = id,
-            FaultAction::Crash { node } => self.crash_trace[node.0] = id,
+            FaultAction::LinkState { link, down: true } => {
+                self.globals.link_fault_trace[link.0] = id
+            }
+            FaultAction::PartitionOn { id: p } => self.globals.partition_fault_trace[*p] = id,
+            FaultAction::Crash { node } => self.globals.crash_trace[node.0] = id,
             _ => {}
         }
         id
@@ -1314,12 +1401,7 @@ impl Sim {
     ) {
         let si = self.globals.node_loc[node.0].0 as usize;
         let now_ns = self.clock.as_nanos();
-        let mut hooks = self.tracer.is_enabled().then(|| TraceHooks {
-            tracer: &mut self.tracer,
-            crash: &self.crash_trace,
-            link_fault: &self.link_fault_trace,
-            partition_fault: &self.partition_fault_trace,
-        });
+        let mut hooks = if self.tracer.is_enabled() { Some(&mut self.tracer) } else { None };
         let g = &self.globals;
         let shard = &mut self.shards[si];
         // All pending events are at or after the engine clock here, so
@@ -1379,6 +1461,13 @@ impl Sim {
         for s in &self.shards {
             c.merge(&s.counters);
         }
+        // Sampling-decision tallies surface as counters only when a
+        // sampler exists, so runs without sampled tracing (including every
+        // committed figure) expose an unchanged counter table.
+        if let Some((sampled, skipped)) = self.tracer.sample_tallies() {
+            c.add("obs.spans_sampled", sampled);
+            c.add("obs.spans_skipped", skipped);
+        }
         self.counters = c;
     }
 
@@ -1386,6 +1475,112 @@ impl Sim {
     fn total_inflight(&self) -> u64 {
         let sum: i64 = self.inflight_leak + self.shards.iter().map(|s| s.inflight).sum::<i64>();
         sum.max(0) as u64
+    }
+
+    /// The most recently stamped event across every flight ring (fixed
+    /// scan order, strict max on sim time — deterministic). `None` when
+    /// the recorder is unarmed or nothing has been recorded.
+    fn flight_latest(&self) -> Option<EventId> {
+        let mut best: Option<(u64, EventId)> = None;
+        let rings =
+            self.shards.iter().filter_map(|s| s.flight.as_ref()).chain(self.flight_coord.as_ref());
+        for r in rings {
+            if let Some(id) = r.latest() {
+                let at = r.get(id).map(|ev| ev.at).unwrap_or(0);
+                if best.is_none_or(|(bat, _)| at > bat) {
+                    best = Some((at, id));
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Render the flight-recorder postmortem: the causal ancestry of
+    /// `anchor` walked across rings, per-shard window state, the merged
+    /// counter table, and a gauge snapshot. Returns `None` when the
+    /// recorder is unarmed. This is the only place the `flight.*`
+    /// counters move, so a run that never dumps is byte-identical to one
+    /// with the recorder off.
+    fn render_flight_dump(
+        &mut self,
+        anchor: Option<EventId>,
+        gauges: &[(String, u64)],
+    ) -> Option<String> {
+        use std::fmt::Write as _;
+        self.flight_coord.as_ref()?;
+        self.refresh_counters();
+        let mut out = String::new();
+        out.push_str("==== flight-recorder postmortem ====\n");
+        let _ = writeln!(out, "sim clock: {} ns", self.clock.as_nanos());
+        out.push_str("causal ancestry (most recent first):\n");
+        {
+            let mut rings: Vec<&FlightRing> =
+                self.shards.iter().filter_map(|s| s.flight.as_ref()).collect();
+            if let Some(c) = self.flight_coord.as_ref() {
+                rings.push(c);
+            }
+            match anchor {
+                Some(a) => flight::render_ancestry(&rings, a, &mut out),
+                None => out.push_str("  (no events recorded)\n"),
+            }
+        }
+        out.push_str("shard state:\n");
+        let mut ring_events = 0u64;
+        for s in &self.shards {
+            let (recorded, retained) = s
+                .flight
+                .as_ref()
+                .map(|f| (f.count(), f.count() - f.first_retained()))
+                .unwrap_or((0, 0));
+            ring_events += recorded;
+            let _ = writeln!(
+                out,
+                "  s{}: clock={} ns queue={} outbox={} recorded={} retained={}",
+                s.idx,
+                s.clock_ns,
+                s.queue.len(),
+                s.outbox.len(),
+                recorded,
+                retained
+            );
+        }
+        if let Some(c) = self.flight_coord.as_ref() {
+            ring_events += c.count();
+            let _ = writeln!(
+                out,
+                "  coord: clock={} ns recorded={} retained={}",
+                self.clock.as_nanos(),
+                c.count(),
+                c.count() - c.first_retained()
+            );
+        }
+        out.push_str("counters:\n");
+        for (name, v) in self.counters.iter() {
+            let _ = writeln!(out, "  {name} = {v}");
+        }
+        if !gauges.is_empty() {
+            out.push_str("gauge snapshot:\n");
+            for (name, v) in gauges {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+        out.push_str("==== end postmortem ====");
+        self.base_counters.inc("flight.dumps");
+        self.base_counters.add("flight.events", ring_events);
+        self.refresh_counters();
+        Some(out)
+    }
+
+    /// Render the postmortem a failure at this moment would carry,
+    /// anchored at `anchor` (or the most recent recorded event when
+    /// `None`). `None` when the recorder is unarmed. Public so harnesses
+    /// and chaos suites can capture a dump around their own typed
+    /// failures, not just engine-raised ones.
+    pub fn flight_postmortem(&mut self, anchor: Option<EventId>) -> Option<String> {
+        let anchor = anchor.or_else(|| self.flight_latest());
+        let gauges =
+            if self.metrics.is_enabled() { self.metrics.last_values() } else { Vec::new() };
+        self.render_flight_dump(anchor, &gauges)
     }
 
     /// Run until the event queues are empty (or the event budget is
@@ -1467,12 +1662,7 @@ impl Sim {
             }
         }
         let (key, si) = best.expect("caller peeked an event");
-        let mut hooks = self.tracer.is_enabled().then(|| TraceHooks {
-            tracer: &mut self.tracer,
-            crash: &self.crash_trace,
-            link_fault: &self.link_fault_trace,
-            partition_fault: &self.partition_fault_trace,
-        });
+        let mut hooks = if self.tracer.is_enabled() { Some(&mut self.tracer) } else { None };
         let g = &self.globals;
         self.shards[si].process_one(g, &mut hooks);
         self.events += 1;
@@ -1677,10 +1867,33 @@ impl Sim {
         self.metrics = set;
     }
 
-    /// One invariant-monitor pass at sim time `at`: the engine-level
-    /// checks (packet conservation, counter monotonicity), then every
-    /// node's [`Node::audit`] claims, cross-checked at the end.
+    /// One invariant-monitor pass at sim time `at`. With the flight
+    /// recorder armed and the monitor in panic-on-violation mode, the
+    /// checks run with panics deferred so a failure can carry the rendered
+    /// postmortem: the panic message is the violation's own rendering
+    /// (identical prefix to the bare panic) followed by the dump.
     fn run_audit(&mut self, set: &mut MetricSet, at: u64) {
+        if self.flight_coord.is_some() && set.panic_on_violation() {
+            let before = set.violations().len();
+            set.set_panic_on_violation(false);
+            self.run_audit_checks(set, at);
+            set.set_panic_on_violation(true);
+            if set.violations().len() > before {
+                let rendered = set.violations()[before].render();
+                let anchor = self.flight_latest();
+                let gauges = set.last_values();
+                let dump = self.render_flight_dump(anchor, &gauges).unwrap_or_default();
+                panic!("{rendered}\n{dump}");
+            }
+        } else {
+            self.run_audit_checks(set, at);
+        }
+    }
+
+    /// The invariant checks themselves: the engine-level ones (packet
+    /// conservation, counter monotonicity), then every node's
+    /// [`Node::audit`] claims, cross-checked at the end.
+    fn run_audit_checks(&mut self, set: &mut MetricSet, at: u64) {
         // With tracing on, pin any violation to the most recent recorded
         // event — audits run between events, so the last thing that
         // happened is the right anchor.
@@ -2588,5 +2801,137 @@ mod tests {
         }
         assert_eq!(run(1), run(2));
         assert_eq!(run(1), run(8));
+    }
+
+    // ---- flight recorder & sampled tracing ----
+
+    #[test]
+    fn flight_recorder_on_a_clean_run_changes_no_output() {
+        use crate::fault::FaultPlan;
+        fn run(flight: bool) -> (Vec<(&'static str, u64)>, u64, u64, String) {
+            let mut sim = Sim::new(SimConfig { seed: 3, shards: 2, ..Default::default() });
+            let p = sim.add_node(Box::new(Pacer::new(50)));
+            let e = sim.add_node(Box::new(Echo));
+            sim.connect(p, e, spec_1b_per_ns().with_loss(100));
+            let plan = FaultPlan::new()
+                .crash(SimTime::from_micros(200), e)
+                .restart(SimTime::from_micros(260), e);
+            sim.install_fault_plan(&plan);
+            sim.enable_metrics(metrics_cfg(7_000));
+            if flight {
+                sim.enable_flight_recorder(256);
+            }
+            let events = sim.run_until_idle();
+            sim.flush_metrics(sim.now());
+            let clock = sim.now().as_nanos();
+            let counters = sim.counters.iter().collect();
+            let json = rdv_metrics::export::json(&sim.take_metrics(), "T", 3);
+            (counters, events, clock, json)
+        }
+        assert_eq!(run(false), run(true), "an armed recorder must not change a clean run");
+    }
+
+    #[test]
+    fn flight_postmortem_walks_causal_ancestry_across_rings() {
+        let mut sim = Sim::new(SimConfig { seed: 1, shards: 2, ..Default::default() });
+        let p = sim.add_node(Box::new(Pinger { out: PortId(0), sent_at: None, rtt: None }));
+        let e = sim.add_node(Box::new(Echo));
+        sim.connect(p, e, spec_1b_per_ns());
+        sim.enable_flight_recorder(64);
+        sim.run_until_idle();
+        let dump = sim.flight_postmortem(None).expect("recorder is armed");
+        assert!(dump.starts_with("==== flight-recorder postmortem ===="), "{dump}");
+        assert!(dump.contains("causal ancestry (most recent first):"), "{dump}");
+        // The pinger's echo round-trip crossed both shard rings: the
+        // ancestry of the final delivery names a cross-ring cause.
+        assert!(dump.contains("packet.deliver"), "{dump}");
+        assert!(dump.contains("cause=s"), "ancestry must carry ring-qualified edges: {dump}");
+        assert!(dump.contains("shard state:") && dump.contains("counters:"), "{dump}");
+        assert_eq!(sim.counters.get("flight.dumps"), 1);
+        assert!(sim.counters.get("flight.events") > 0);
+    }
+
+    #[test]
+    fn seeded_leak_with_flight_recorder_panics_with_postmortem() {
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut sim = Sim::new(SimConfig::default());
+            let p = sim.add_node(Box::new(Pacer::new(5)));
+            let e = sim.add_node(Box::new(Echo));
+            sim.connect(p, e, spec_1b_per_ns());
+            sim.enable_metrics(metrics_cfg(10_000));
+            sim.enable_flight_recorder(128);
+            sim.debug_leak_inflight();
+            sim.run_until_idle();
+        }))
+        .expect_err("the leak must still panic with the recorder armed");
+        let msg = payload.downcast_ref::<String>().expect("panic message is a String");
+        assert!(
+            msg.starts_with("invariant `packet_conservation` violated"),
+            "the bare-panic prefix must survive: {msg}"
+        );
+        assert!(msg.contains("==== flight-recorder postmortem ===="), "{msg}");
+        assert!(msg.contains("causal ancestry (most recent first):"), "{msg}");
+        assert!(msg.contains("gauge snapshot:"), "{msg}");
+    }
+
+    #[test]
+    fn sampled_tracing_keeps_only_rooted_chains_and_is_deterministic() {
+        /// A pacer whose every batch asks the sampler for a verdict,
+        /// wraps the send in a span, and detaches before re-arming — the
+        /// pattern protocol instrumentation uses.
+        struct SamplingPacer {
+            seq: u64,
+            n: u64,
+        }
+        impl Node for SamplingPacer {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                self.pump(ctx);
+            }
+            fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _tag: u64) {
+                self.pump(ctx);
+            }
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: PortId, _: Packet) {}
+            fn name(&self) -> &str {
+                "sampler"
+            }
+        }
+        impl SamplingPacer {
+            fn pump(&mut self, ctx: &mut NodeCtx<'_>) {
+                if self.seq < self.n {
+                    self.seq += 1;
+                    ctx.trace.sample("load.batch", self.seq);
+                    let begin = ctx.trace.span_begin("load.batch", self.seq);
+                    ctx.send(PortId(0), Packet::new(vec![0u8; 64], self.seq));
+                    ctx.trace.span_end("load.batch", begin);
+                    ctx.trace.detach();
+                    ctx.set_timer(SimTime::from_micros(10), 0);
+                }
+            }
+        }
+        fn run(shards: usize) -> (String, (u64, u64)) {
+            let mut sim = Sim::new(SimConfig { seed: 7, shards, ..Default::default() });
+            let p = sim.add_node(Box::new(SamplingPacer { seq: 0, n: 40 }));
+            let e = sim.add_node(Box::new(Echo));
+            sim.connect(p, e, spec_1b_per_ns());
+            sim.enable_trace_sampled(
+                1 << 12,
+                SampleSpec { seed: 7, default_permille: 500, classes: vec![] },
+            );
+            sim.run_until_idle();
+            let names = sim.node_names();
+            let tallies = sim.tracer.sample_tallies().unwrap();
+            (rdv_trace::export::chrome_json(&sim.take_tracer(), &names), tallies)
+        }
+        let (json1, (sampled, skipped)) = run(1);
+        assert_eq!(sampled + skipped, 40, "every batch got a verdict");
+        assert!(sampled > 0 && skipped > 0, "500‰ must split 40 batches ({sampled}/{skipped})");
+        // Detached re-arm timers belong to no sampled chain: the pacing
+        // clockwork is invisible in the selective trace.
+        assert!(!json1.contains("timer.set"), "unrooted timers must be dropped");
+        assert!(json1.contains("load.batch"), "sampled spans are recorded");
+        assert!(json1.contains("packet.deliver"), "sampled sends chain through delivery");
+        let (json2, tallies2) = run(2);
+        assert_eq!(json1, json2, "sampled trace must be byte-identical across --shards");
+        assert_eq!((sampled, skipped), tallies2);
     }
 }

@@ -35,6 +35,13 @@
 //!   link, timer, RNG, and queue state is checked against the sharded
 //!   engine's ownership, outbox, and lookahead disciplines, and the
 //!   first violation aborts with a typed [`audit::ShardAuditViolation`].
+//! - [`flight`] — crash flight recorder: when armed via
+//!   [`engine::Sim::enable_flight_recorder`], every shard keeps an
+//!   always-on last-N-events ring (zero-alloc steady state, works inside
+//!   parallel windows), and any invariant-monitor failure or shard-audit
+//!   violation dies with a byte-deterministic postmortem — causal
+//!   ancestry, gauge snapshot, per-shard window state — instead of a
+//!   bare panic.
 #![warn(clippy::disallowed_types, clippy::disallowed_methods)]
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -42,6 +49,7 @@
 pub mod audit;
 pub mod engine;
 pub mod fault;
+pub mod flight;
 pub mod link;
 pub mod node;
 pub mod packet;
@@ -59,6 +67,7 @@ pub use engine::{
     SimConfig,
 };
 pub use fault::{FaultEvent, FaultPlan};
+pub use flight::FLIGHT_COUNTERS;
 pub use link::LinkSpec;
 pub use node::{Node, NodeCtx, NodeId, PortId};
 pub use packet::Packet;

@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rdv_metrics::{AuditScope, MetricSample};
-use rdv_trace::TraceCtx;
+use rdv_trace::{EventId, TraceCtx};
 
 use crate::packet::Packet;
 use crate::time::SimTime;
@@ -96,8 +96,14 @@ pub struct NodeCtx<'a> {
     /// drops marks here, pre-linked to the event being dispatched. Inert
     /// (every call a no-op) unless tracing was enabled on the [`crate::Sim`].
     pub trace: TraceCtx<'a>,
-    pub(crate) sends: &'a mut Vec<(PortId, Packet)>,
-    pub(crate) timers: &'a mut Vec<(SimTime, u64)>,
+    /// Buffered sends, each with the causal provenance snapshotted at the
+    /// moment of the call: the dispatch cause in full-trace mode (so one
+    /// callback's sends all share the dispatch event, exactly as before
+    /// selective tracing existed), or the current span anchor in sampled
+    /// mode (so a send issued inside a span chains to that span).
+    pub(crate) sends: &'a mut Vec<(PortId, Packet, Option<EventId>)>,
+    /// Buffered timers, with provenance snapshotted like `sends`.
+    pub(crate) timers: &'a mut Vec<(SimTime, u64, Option<EventId>)>,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -107,8 +113,8 @@ impl<'a> NodeCtx<'a> {
         port_count: usize,
         rng: &'a mut StdRng,
         trace: TraceCtx<'a>,
-        sends: &'a mut Vec<(PortId, Packet)>,
-        timers: &'a mut Vec<(SimTime, u64)>,
+        sends: &'a mut Vec<(PortId, Packet, Option<EventId>)>,
+        timers: &'a mut Vec<(SimTime, u64, Option<EventId>)>,
     ) -> Self {
         NodeCtx { id, now, port_count, rng, trace, sends, timers }
     }
@@ -116,23 +122,26 @@ impl<'a> NodeCtx<'a> {
     /// Transmit `packet` out of `port`.
     pub fn send(&mut self, port: PortId, packet: Packet) {
         debug_assert!(port.0 < self.port_count, "send on unattached port");
-        self.sends.push((port, packet));
+        let provenance = self.trace.provenance();
+        self.sends.push((port, packet, provenance));
     }
 
     /// Transmit a copy of `packet` out of every port except `except`
     /// (pass `None` to flood all ports) — the broadcast primitive used by
     /// E2E discovery.
     pub fn flood(&mut self, packet: &Packet, except: Option<PortId>) {
+        let provenance = self.trace.provenance();
         for p in 0..self.port_count {
             if Some(PortId(p)) != except {
-                self.sends.push((PortId(p), packet.clone()));
+                self.sends.push((PortId(p), packet.clone(), provenance));
             }
         }
     }
 
     /// Arrange for [`Node::on_timer`] to fire `delay` from now with `tag`.
     pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
-        self.timers.push((self.now + delay, tag));
+        let provenance = self.trace.provenance();
+        self.timers.push((self.now + delay, tag, provenance));
     }
 }
 
@@ -157,7 +166,7 @@ mod tests {
         ctx.send(PortId(1), Packet::new(vec![1], 0));
         ctx.set_timer(SimTime::from_micros(10), 77);
         assert_eq!(sends.len(), 1);
-        assert_eq!(timers, vec![(SimTime::from_micros(15), 77)]);
+        assert_eq!(timers, vec![(SimTime::from_micros(15), 77, None)]);
     }
 
     #[test]
@@ -174,7 +183,7 @@ mod tests {
             &mut timers,
         );
         ctx.flood(&Packet::new(vec![9], 1), Some(PortId(2)));
-        let ports: Vec<usize> = sends.iter().map(|(p, _)| p.0).collect();
+        let ports: Vec<usize> = sends.iter().map(|(p, _, _)| p.0).collect();
         assert_eq!(ports, vec![0, 1, 3]);
     }
 

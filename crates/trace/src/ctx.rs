@@ -6,8 +6,26 @@
 //! open spans and drop marks without knowing anything about the engine's
 //! bookkeeping — and everything they record is automatically stitched into
 //! the causal graph via that dispatch cause.
+//!
+//! Two optional back-ends hang off the same handle:
+//!
+//! - a [`Tracer`], possibly in *selective mode* (see [`Tracer::sampled`]).
+//!   In selective mode the handle tracks an **anchor** — initially the
+//!   dispatch cause, advanced to the last event recorded through this
+//!   handle — and only records while anchored or rooted by a winning
+//!   [`TraceCtx::sample`] verdict. Engine actions snapshot
+//!   [`TraceCtx::provenance`] per action, so packets and timers issued
+//!   after a span chain to that span, not to the whole dispatch.
+//! - a [`FlightRing`], the crash flight recorder. It only records when no
+//!   tracer is active (the two are mutually exclusive back-ends by
+//!   construction in the engine) and always keeps everything.
+//!
+//! In full-recording mode the anchor machinery is inert: `provenance()`
+//! returns the dispatch cause unconditionally, so full traces are
+//! byte-for-byte what they were before selective mode existed.
 
 use crate::event::{EventId, EventKind};
+use crate::flight::FlightRing;
 use crate::tracer::Tracer;
 
 /// A borrowed recording handle scoped to one node callback.
@@ -17,9 +35,17 @@ use crate::tracer::Tracer;
 #[derive(Debug)]
 pub struct TraceCtx<'a> {
     tracer: Option<&'a mut Tracer>,
+    flight: Option<&'a mut FlightRing>,
     now: u64,
     node: u32,
     cause: Option<EventId>,
+    /// Selective-mode causal attachment point: starts at `cause`, advances
+    /// to the last event recorded through this handle, cleared by
+    /// [`TraceCtx::detach`].
+    anchor: Option<EventId>,
+    /// Set by a winning [`TraceCtx::sample`]: permits recording the root
+    /// event of a new chain even with no anchor.
+    root_ok: bool,
 }
 
 impl<'a> TraceCtx<'a> {
@@ -31,18 +57,34 @@ impl<'a> TraceCtx<'a> {
         node: u32,
         cause: Option<EventId>,
     ) -> TraceCtx<'a> {
-        TraceCtx { tracer, now, node, cause }
+        TraceCtx { tracer, flight: None, now, node, cause, anchor: cause, root_ok: false }
+    }
+
+    /// Attach a flight-recorder ring. The ring records only when no
+    /// enabled tracer is attached.
+    pub fn with_flight(mut self, flight: Option<&'a mut FlightRing>) -> TraceCtx<'a> {
+        self.flight = flight;
+        self
     }
 
     /// A permanently inert handle — for tests that build node contexts by
     /// hand.
     pub fn inert() -> TraceCtx<'static> {
-        TraceCtx { tracer: None, now: 0, node: 0, cause: None }
+        TraceCtx {
+            tracer: None,
+            flight: None,
+            now: 0,
+            node: 0,
+            cause: None,
+            anchor: None,
+            root_ok: false,
+        }
     }
 
-    /// Whether anything recorded here is actually kept.
+    /// Whether anything recorded here is actually kept (by the tracer or
+    /// the flight recorder).
     pub fn is_enabled(&self) -> bool {
-        self.tracer.as_ref().is_some_and(|t| t.is_enabled())
+        self.tracer.as_ref().is_some_and(|t| t.is_enabled()) || self.flight.is_some()
     }
 
     /// The event this dispatch is handling (the causal parent of anything
@@ -51,10 +93,70 @@ impl<'a> TraceCtx<'a> {
         self.cause
     }
 
+    /// Whether the active tracer is in selective (sampled) mode.
+    pub fn is_selective(&self) -> bool {
+        self.tracer.as_ref().is_some_and(|t| t.is_selective())
+    }
+
+    /// The causal edge an engine action issued *now* should carry: the
+    /// dispatch cause in full mode, the current anchor in selective mode.
+    /// The engine snapshots this per buffered action (send / flood /
+    /// timer-set) so actions issued after a span chain to the span.
+    pub fn provenance(&self) -> Option<EventId> {
+        if self.is_selective() {
+            self.anchor
+        } else {
+            self.cause
+        }
+    }
+
+    /// Ask the sampler whether the operation `(class, origin)` is kept.
+    /// On a winning verdict this handle may root a new recorded chain.
+    /// Full-recording tracers keep everything (`true`); with no active
+    /// back-end the verdict is `false` (recording is a no-op anyway); the
+    /// flight recorder keeps everything it sees (`true`).
+    pub fn sample(&mut self, class: &'static str, origin: u64) -> bool {
+        if let Some(t) = self.tracer.as_mut() {
+            if t.is_enabled() {
+                let keep = t.sample(class, origin).unwrap_or(true);
+                if keep {
+                    self.root_ok = true;
+                }
+                return keep;
+            }
+        }
+        self.flight.is_some()
+    }
+
+    /// Detach from the current chain: subsequent records and actions no
+    /// longer extend it (until a new winning [`TraceCtx::sample`]). Call
+    /// this before re-arming a periodic timer so one sampled round does
+    /// not causally adopt every future round. No effect in full mode.
+    pub fn detach(&mut self) {
+        self.anchor = None;
+        self.root_ok = false;
+    }
+
     fn record(&mut self, kind: EventKind, aux: Option<EventId>) -> Option<EventId> {
-        let cause = self.cause;
         let (now, node) = (self.now, self.node);
-        self.tracer.as_mut().and_then(|t| t.record(now, node, kind, cause, aux))
+        if let Some(t) = self.tracer.as_mut() {
+            if t.is_enabled() {
+                if t.is_selective() {
+                    if self.anchor.is_none() && !self.root_ok {
+                        return None;
+                    }
+                    let cause = self.anchor;
+                    let id = t.record(now, node, kind, cause, aux);
+                    if id.is_some() {
+                        self.anchor = id;
+                    }
+                    return id;
+                }
+                return t.record(now, node, kind, self.cause, aux);
+            }
+        }
+        let cause = self.cause;
+        self.flight.as_mut().map(|f| f.record(now, node, kind, cause, aux))
     }
 
     /// Open a protocol span (e.g. `discovery.access`). Keep the returned
@@ -91,6 +193,7 @@ impl<'a> TraceCtx<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sample::SampleSpec;
 
     #[test]
     fn inert_ctx_is_disabled_and_records_nothing() {
@@ -98,6 +201,7 @@ mod tests {
         assert!(!ctx.is_enabled());
         assert_eq!(ctx.span_begin("a.b", 1), None);
         assert_eq!(ctx.mark("a.b", 1), None);
+        assert!(!ctx.sample("a.b", 1), "no back-end, nothing to root");
     }
 
     #[test]
@@ -105,6 +209,7 @@ mod tests {
         let mut t = Tracer::enabled(16);
         let dispatch = t.record(5, 1, EventKind::PacketDeliver { port: 0 }, None, None).unwrap();
         let mut ctx = TraceCtx::new(Some(&mut t), 5, 1, Some(dispatch));
+        assert!(ctx.sample("proto.op", 9), "full recording keeps everything");
         let begin = ctx.span_begin("proto.op", 42);
         let mark = ctx.mark("proto.step", 7);
         let end = ctx.span_end("proto.op", begin);
@@ -127,5 +232,53 @@ mod tests {
         let mut ctx = TraceCtx::new(Some(&mut t), 9, 0, None);
         let m = ctx.mark_linked("transport.retransmit", 1, Some(orig)).unwrap();
         assert_eq!(t.get(m).unwrap().aux, Some(orig));
+    }
+
+    #[test]
+    fn selective_mode_blocks_unrooted_records() {
+        let mut t =
+            Tracer::sampled(16, SampleSpec { seed: 1, default_permille: 0, classes: vec![] });
+        let mut ctx = TraceCtx::new(Some(&mut t), 0, 0, None);
+        assert!(!ctx.sample("proto.op", 5), "0‰ never keeps");
+        assert_eq!(ctx.span_begin("proto.op", 5), None, "unrooted record is dropped");
+        assert_eq!(ctx.provenance(), None);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn selective_mode_chains_through_the_anchor() {
+        let mut t = Tracer::sampled(16, SampleSpec::keep_all(1));
+        let mut ctx = TraceCtx::new(Some(&mut t), 0, 3, None);
+        assert!(ctx.sample("proto.op", 5));
+        let begin = ctx.span_begin("proto.op", 5);
+        assert_eq!(ctx.provenance(), begin, "actions after the span chain to it");
+        let mark = ctx.mark("proto.step", 1);
+        assert_eq!(ctx.provenance(), mark, "anchor advances with each record");
+        ctx.detach();
+        assert_eq!(ctx.provenance(), None, "detached: future actions are chainless");
+        assert_eq!(ctx.mark("proto.late", 2), None, "detached and unrooted");
+        assert_eq!(t.get(mark.unwrap()).unwrap().cause, begin);
+    }
+
+    #[test]
+    fn selective_anchor_starts_at_the_dispatch_cause() {
+        let mut t = Tracer::sampled(16, SampleSpec::keep_all(1));
+        let dispatch = t.record(0, 0, EventKind::PacketDeliver { port: 0 }, None, None).unwrap();
+        let mut ctx = TraceCtx::new(Some(&mut t), 1, 0, Some(dispatch));
+        assert_eq!(ctx.provenance(), Some(dispatch), "anchored by the dispatch event");
+        let m = ctx.mark("proto.step", 0);
+        assert_eq!(t.get(m.unwrap()).unwrap().cause, Some(dispatch));
+    }
+
+    #[test]
+    fn flight_ring_records_when_no_tracer_is_active() {
+        let mut ring = FlightRing::new(5 << crate::flight::SEQ_BITS, 8);
+        let mut ctx = TraceCtx::new(None, 7, 2, None).with_flight(Some(&mut ring));
+        assert!(ctx.is_enabled());
+        assert!(ctx.sample("proto.op", 1), "flight keeps everything");
+        let begin = ctx.span_begin("proto.op", 1).expect("flight records");
+        assert!(ring.owns(begin));
+        assert_eq!(ring.get(begin).unwrap().node, 2);
+        assert_eq!(ring.count(), 1);
     }
 }

@@ -228,6 +228,22 @@ pub const EVENT_NAMES: &[&str] = &[
     "mark",
 ];
 
+/// Span and mark labels of the gossip, load, and fabric observability
+/// planes, in declaration order. rdv-lint parses this table (rule D3):
+/// every `gossip.*` / `load.*` / `fabric.*` label passed to `span_begin`
+/// / `span_end` / `mark` / `mark_linked` must appear here, so a typo'd
+/// label fails the lint instead of silently fragmenting a trace join.
+pub const SPAN_LABELS: [&str; 8] = [
+    "gossip.round",
+    "gossip.sync",
+    "gossip.digest",
+    "gossip.delta",
+    "gossip.repair",
+    "load.batch",
+    "load.head_advance",
+    "fabric.storm",
+];
+
 /// The node index used for engine-level events that belong to no node
 /// (fault applications, external schedules).
 pub const ENGINE_NODE: u32 = u32::MAX;
@@ -310,6 +326,21 @@ mod tests {
             );
         }
         assert_eq!(kinds.len(), EVENT_NAMES.len(), "EVENT_NAMES has entries no kind produces");
+    }
+
+    #[test]
+    fn span_labels_are_dotted_lowercase_unique_and_scoped() {
+        let mut seen = std::collections::BTreeSet::new();
+        for label in SPAN_LABELS {
+            assert!(dotted_lowercase(label), "span label {label:?} violates the D3 scheme");
+            assert!(seen.insert(label), "duplicate span label {label:?}");
+            assert!(
+                label.starts_with("gossip.")
+                    || label.starts_with("load.")
+                    || label.starts_with("fabric."),
+                "registry covers the gossip/load/fabric planes only, got {label:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! The flight-recorder ring: an always-on, last-N-events buffer.
+//!
+//! A [`FlightRing`] is the storage half of the crash flight recorder. It
+//! differs from [`crate::Tracer`] in two ways that matter to the engine:
+//!
+//! - **Id namespacing.** Each ring stamps its ids with an
+//!   externally-supplied `base` in the bits above [`SEQ_BITS`]. A sharded
+//!   simulation runs one ring per shard (plus one at the coordinator for
+//!   fault events); because every id says which ring minted it, a causal
+//!   ancestry can be walked *across* rings after a parallel window, with
+//!   no cross-thread coordination while events are being recorded.
+//! - **Zero-alloc steady state.** The backing `Vec` grows to capacity
+//!   once and is overwritten in place forever after, so arming the
+//!   recorder costs one branch per event plus a bounded allocation — cheap
+//!   enough to leave on for every chaos soak.
+//!
+//! The ring only stores; rendering the postmortem dump (ancestry, gauge
+//! snapshot, per-shard window state) lives in `rdv-netsim`, which owns the
+//! rings and the rest of the state the dump describes.
+
+use crate::event::{EventId, EventKind, TraceEvent};
+
+/// Bits of an [`EventId`] used for the per-ring sequence number; the bits
+/// above carry the ring's `base` namespace.
+pub const SEQ_BITS: u32 = 48;
+
+/// Mask selecting the sequence bits of a flight id.
+pub const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
+/// A bounded, namespaced, always-recording event ring.
+#[derive(Debug, Clone)]
+pub struct FlightRing {
+    /// Namespace stamped into the high bits of every id this ring mints.
+    base: u64,
+    cap: usize,
+    /// Sequence number of the next event; `next - buf.len() .. next` are
+    /// retained.
+    next: u64,
+    /// Circular storage: sequence `i` lives at `i % cap` once full.
+    buf: Vec<TraceEvent>,
+}
+
+impl FlightRing {
+    /// A ring minting ids in namespace `base` (which must have no bits
+    /// below [`SEQ_BITS`]) and retaining the most recent `capacity`
+    /// events (minimum 1).
+    pub fn new(base: u64, capacity: usize) -> FlightRing {
+        debug_assert_eq!(base & SEQ_MASK, 0, "flight base collides with sequence bits");
+        FlightRing { base, cap: capacity.max(1), next: 0, buf: Vec::new() }
+    }
+
+    /// This ring's id namespace.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Whether `id` was minted by this ring (it may still be evicted).
+    pub fn owns(&self, id: EventId) -> bool {
+        id.0 & !SEQ_MASK == self.base
+    }
+
+    /// Record an event; always succeeds and returns the new id.
+    pub fn record(
+        &mut self,
+        at: u64,
+        node: u32,
+        kind: EventKind,
+        cause: Option<EventId>,
+        aux: Option<EventId>,
+    ) -> EventId {
+        let seq = self.next;
+        self.next += 1;
+        let ev = TraceEvent { at, node, kind, cause, aux };
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            let idx = (seq % self.cap as u64) as usize;
+            self.buf[idx] = ev;
+        }
+        EventId(self.base | seq)
+    }
+
+    /// Events ever recorded (sequences run `0..count`).
+    pub fn count(&self) -> u64 {
+        self.next
+    }
+
+    /// The oldest sequence number still retained.
+    pub fn first_retained(&self) -> u64 {
+        self.next - self.buf.len() as u64
+    }
+
+    /// The id of the most recently recorded event, if any.
+    pub fn latest(&self) -> Option<EventId> {
+        self.next.checked_sub(1).map(|seq| EventId(self.base | seq))
+    }
+
+    /// Look up a retained event; `None` if evicted, never recorded, or
+    /// minted by a different ring.
+    pub fn get(&self, id: EventId) -> Option<&TraceEvent> {
+        if !self.owns(id) {
+            return None;
+        }
+        let seq = id.0 & SEQ_MASK;
+        if seq >= self.next || seq < self.first_retained() {
+            return None;
+        }
+        Some(&self.buf[(seq % self.cap as u64) as usize])
+    }
+
+    /// Iterate retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &TraceEvent)> {
+        (self.first_retained()..self.next).map(move |seq| {
+            let id = EventId(self.base | seq);
+            (id, self.get(id).expect("retained seq"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mark(name: &'static str) -> EventKind {
+        EventKind::Mark { name, detail: 0 }
+    }
+
+    #[test]
+    fn ids_carry_the_namespace_and_round_trip() {
+        let base = 3u64 << SEQ_BITS;
+        let mut r = FlightRing::new(base, 8);
+        let a = r.record(10, 0, mark("a.a"), None, None);
+        let b = r.record(20, 1, mark("a.b"), Some(a), None);
+        assert_eq!(a.0, base);
+        assert_eq!(b.0, base | 1);
+        assert!(r.owns(a) && r.owns(b));
+        assert_eq!(r.get(b).unwrap().cause, Some(a));
+    }
+
+    #[test]
+    fn foreign_ids_are_rejected_not_aliased() {
+        let mut r = FlightRing::new(1 << SEQ_BITS, 8);
+        let a = r.record(0, 0, mark("a.a"), None, None);
+        let foreign = EventId((2 << SEQ_BITS) | (a.0 & SEQ_MASK));
+        assert!(!r.owns(foreign));
+        assert_eq!(r.get(foreign), None, "same sequence, different ring");
+    }
+
+    #[test]
+    fn steady_state_overwrites_in_place() {
+        let mut r = FlightRing::new(0, 4);
+        let ids: Vec<EventId> = (0..10).map(|i| r.record(i, 0, mark("a.a"), None, None)).collect();
+        assert_eq!(r.count(), 10);
+        assert_eq!(r.first_retained(), 6);
+        assert_eq!(r.buf.capacity(), 4, "no growth past capacity");
+        assert_eq!(r.get(ids[5]), None, "evicted");
+        assert_eq!(r.get(ids[6]).unwrap().at, 6);
+        assert_eq!(r.latest(), Some(ids[9]));
+        assert_eq!(r.iter().count(), 4);
+        let ats: Vec<u64> = r.iter().map(|(_, ev)| ev.at).collect();
+        assert_eq!(ats, vec![6, 7, 8, 9], "iteration is oldest-first");
+    }
+
+    #[test]
+    fn empty_ring_has_no_latest() {
+        let r = FlightRing::new(0, 4);
+        assert_eq!(r.latest(), None);
+        assert_eq!(r.count(), 0);
+    }
+}

@@ -35,8 +35,14 @@ mod tracer;
 
 pub mod critical;
 pub mod export;
+pub mod flight;
+pub mod sample;
 
 pub use critical::{CriticalPath, PathBreakdown, Segment, CATEGORIES};
 pub use ctx::TraceCtx;
-pub use event::{DropReason, EventId, EventKind, FaultKind, TraceEvent, ENGINE_NODE, EVENT_NAMES};
+pub use event::{
+    DropReason, EventId, EventKind, FaultKind, TraceEvent, ENGINE_NODE, EVENT_NAMES, SPAN_LABELS,
+};
+pub use flight::FlightRing;
+pub use sample::{SampleSpec, Sampler, OBS_COUNTERS};
 pub use tracer::{Tracer, DEFAULT_CAPACITY};

@@ -12,6 +12,7 @@
 //! machines, and worker counts.
 
 use crate::event::{EventId, EventKind, TraceEvent};
+use crate::sample::{SampleSpec, Sampler};
 
 /// Default ring capacity used by integrations that enable tracing without
 /// an explicit size (2^20 events ≈ 48 MiB).
@@ -22,6 +23,14 @@ pub const DEFAULT_CAPACITY: usize = 1 << 20;
 /// A disabled tracer ([`Tracer::disabled`]) allocates nothing and turns
 /// every [`Tracer::record`] into a single branch, so the sim engine can
 /// thread one through unconditionally at zero cost.
+///
+/// A tracer built with [`Tracer::sampled`] carries a [`Sampler`] and is
+/// in *selective mode*: only operations rooted by a winning
+/// [`crate::TraceCtx::sample`] call are recorded (the engine drops
+/// causeless events, so everything off the sampled chains costs one
+/// branch). Selective mode keeps ids dense over the *recorded* sequence,
+/// which is still deterministic because sampling verdicts are pure in the
+/// op's origin stamp.
 #[derive(Debug, Clone)]
 pub struct Tracer {
     enabled: bool,
@@ -31,23 +40,56 @@ pub struct Tracer {
     next: u64,
     /// Circular storage: absolute id `i` lives at `i % cap` once full.
     buf: Vec<TraceEvent>,
+    /// Present in selective mode only.
+    sampler: Option<Sampler>,
 }
 
 impl Tracer {
     /// A recorder that drops everything. This is the engine default.
     pub fn disabled() -> Tracer {
-        Tracer { enabled: false, cap: 0, next: 0, buf: Vec::new() }
+        Tracer { enabled: false, cap: 0, next: 0, buf: Vec::new(), sampler: None }
     }
 
     /// An enabled recorder retaining the most recent `capacity` events
     /// (minimum 1).
     pub fn enabled(capacity: usize) -> Tracer {
-        Tracer { enabled: true, cap: capacity.max(1), next: 0, buf: Vec::new() }
+        Tracer { enabled: true, cap: capacity.max(1), next: 0, buf: Vec::new(), sampler: None }
+    }
+
+    /// A selective recorder: keeps only op chains rooted by a winning
+    /// sampling verdict under `spec`.
+    pub fn sampled(capacity: usize, spec: SampleSpec) -> Tracer {
+        Tracer {
+            enabled: true,
+            cap: capacity.max(1),
+            next: 0,
+            buf: Vec::new(),
+            sampler: Some(Sampler::new(spec)),
+        }
     }
 
     /// Whether events are being kept.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether this tracer records selectively (a sampler is installed).
+    pub fn is_selective(&self) -> bool {
+        self.enabled && self.sampler.is_some()
+    }
+
+    /// Ask the sampler for a verdict on `(class, origin)`. `None` when
+    /// this tracer is not selective (full recording keeps everything).
+    pub fn sample(&mut self, class: &'static str, origin: u64) -> Option<bool> {
+        if !self.enabled {
+            return None;
+        }
+        self.sampler.as_mut().map(|s| s.decide(class, origin))
+    }
+
+    /// The sampler's running tallies as `(sampled, skipped)`, if selective.
+    pub fn sample_tallies(&self) -> Option<(u64, u64)> {
+        self.sampler.as_ref().map(|s| (s.sampled, s.skipped))
     }
 
     /// Record an event; returns its id, or `None` when disabled.
@@ -234,6 +276,19 @@ mod tests {
         let c = t.record(2, 0, mark("a.c"), Some(a), None).unwrap();
         let _d = t.record(3, 0, mark("a.d"), Some(b), None).unwrap();
         assert_eq!(t.children(a), vec![b, c]);
+    }
+
+    #[test]
+    fn sampled_tracer_reports_selective_and_tallies() {
+        use crate::sample::SampleSpec;
+        let mut t = Tracer::sampled(8, SampleSpec::keep_all(7));
+        assert!(t.is_enabled() && t.is_selective());
+        assert_eq!(t.sample("x.y", 1), Some(true), "keep_all keeps everything");
+        assert_eq!(t.sample_tallies(), Some((1, 0)));
+        let mut full = Tracer::enabled(8);
+        assert!(!full.is_selective());
+        assert_eq!(full.sample("x.y", 1), None, "full recording has no verdicts");
+        assert_eq!(Tracer::disabled().sample_tallies(), None);
     }
 
     #[test]

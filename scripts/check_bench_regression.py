@@ -31,7 +31,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 BASELINE = ROOT / "results" / "bench_baseline.json"
-BENCHES = ["engine_hotpath", "engine_shards", "load_gen", "gossip_sync"]
+BENCHES = ["engine_hotpath", "engine_shards", "load_gen", "gossip_sync", "trace_sampled"]
 REGRESSION_PCT = 25
 # Per-group hard gates, keyed by the group prefix (the part of the
 # benchmark name before "/"). Groups not listed here stay warn-only.

@@ -178,9 +178,13 @@ fn run_transport_scenario(seed: u64, sc: &TransportScenario, shards: usize) -> S
     sim.connect(a, b, LinkSpec::rack().with_loss(sc.loss_permille));
     // The live invariant monitor audits every tick and panics on any
     // violation, so the soak doubles as its acceptance run — and the
-    // shard-ownership race detector rides along on every scenario.
+    // shard-ownership race detector and the
+    // flight recorder ride along on every scenario — any abort carries a
+    // postmortem, and clean runs stay byte-identical either way
+    // (tests/flight_recorder.rs).
     sim.enable_metrics(MetricsConfig::default());
     sim.enable_shard_audit();
+    sim.enable_flight_recorder(1 << 12);
     sim.install_fault_plan(&sc.plan);
     sim.run_until_idle();
 
@@ -336,6 +340,7 @@ fn run_fabric_scenario(seed: u64, sc: &FabricScenario, shards: usize) -> FabricO
     let switch = NodeId(ids.len());
     sim.enable_metrics(MetricsConfig::default());
     sim.enable_shard_audit();
+    sim.enable_flight_recorder(1 << 12);
 
     // Faults: loss burst on the driver's uplink, partition around one
     // holder, crash (± restart) of another.
@@ -635,6 +640,7 @@ fn run_load_scenario(seed: u64, sc: &LoadScenario, shards: usize) -> String {
     let mut fabric = sc.fabric;
     fabric.shards = shards;
     fabric.shard_audit = true;
+    fabric.flight_recorder = true;
     let run = LoadRun::execute(&fabric, &sc.open, &sc.replog, Some(&sc.blip), seed, false);
     assert!(run.scheduled_batches > 0, "seed {seed}: scenario offered no load");
     assert_eq!(
@@ -828,6 +834,7 @@ fn run_gossip_scenario(seed: u64, sc: &GossipScenario, shards: usize) -> GossipO
     let switch = NodeId(ids.len());
     sim.enable_metrics(MetricsConfig::default());
     sim.enable_shard_audit();
+    sim.enable_flight_recorder(1 << 12);
 
     sim.install_fault_plan(&FaultPlan::new().partition(
         SimTime::from_micros(sc.part_at),
